@@ -1,0 +1,50 @@
+//! Compiler-pipeline cost: symbolic solve + lowering + clustering + CSE
+//! + halo detection + IET construction for each kernel (the JIT-compile
+//! latency a Devito user pays once per `Operator`).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use mpix_solvers::{KernelKind, ModelSpec, Propagator};
+
+fn bench_compile(c: &mut Criterion) {
+    let mut g = c.benchmark_group("operator_compile");
+    g.sample_size(10);
+    for kind in KernelKind::all() {
+        g.bench_with_input(BenchmarkId::new(kind.name(), "so8"), &kind, |b, &kind| {
+            b.iter(|| {
+                let spec = ModelSpec::new(&[8, 8, 8]).with_nbl(0);
+                Propagator::build(kind, spec, 8).op.op_counts().flops()
+            })
+        });
+    }
+    g.finish();
+}
+
+fn bench_cgen(c: &mut Criterion) {
+    let mut g = c.benchmark_group("c_emission");
+    g.sample_size(20);
+    let spec = ModelSpec::new(&[8, 8, 8]).with_nbl(0);
+    let prop = Propagator::build(KernelKind::Elastic, spec, 8);
+    g.bench_function("elastic_so8_basic", |b| {
+        b.iter(|| prop.op.c_code(mpix_dmp::HaloMode::Basic).len())
+    });
+    g.finish();
+}
+
+fn bench_executable(c: &mut Criterion) {
+    let mut g = c.benchmark_group("bytecode_compile");
+    g.sample_size(20);
+    let spec = ModelSpec::new(&[8, 8, 8]).with_nbl(0);
+    let prop = Propagator::build(KernelKind::Viscoelastic, spec, 8);
+    g.bench_function("viscoelastic_so8", |b| {
+        b.iter(|| {
+            prop.op
+                .executable(mpix_dmp::HaloMode::Diagonal)
+                .compiled_clusters()
+                .len()
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_compile, bench_cgen, bench_executable);
+criterion_main!(benches);

@@ -1,0 +1,57 @@
+//! Single-rank stencil-kernel throughput per propagator and SDO, plus
+//! the loop-blocking ablation (DESIGN.md §5.2).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use mpix_core::ApplyOptions;
+use mpix_solvers::{KernelKind, ModelSpec, Propagator};
+
+fn bench_kernels(c: &mut Criterion) {
+    let mut g = c.benchmark_group("kernel_step");
+    g.sample_size(10);
+    for kind in KernelKind::all() {
+        for so in [4u32, 8] {
+            let spec = ModelSpec::new(&[20, 20, 20]).with_nbl(2);
+            let prop = Propagator::build(kind, spec, so);
+            let points = prop.points_per_step();
+            g.throughput(Throughput::Elements(points));
+            g.bench_with_input(
+                BenchmarkId::new(kind.name(), format!("so{so}")),
+                &prop,
+                |b, prop| {
+                    let opts = prop.apply_options(1);
+                    b.iter(|| {
+                        prop.op.apply_local(
+                            &opts,
+                            |ws| prop.init(ws),
+                            |ws| ws.field_final(prop.main_field()).raw()[0],
+                        )
+                    });
+                },
+            );
+        }
+    }
+    g.finish();
+}
+
+fn bench_blocking(c: &mut Criterion) {
+    let mut g = c.benchmark_group("blocking_ablation");
+    g.sample_size(10);
+    let spec = ModelSpec::new(&[28, 28, 28]).with_nbl(2);
+    let prop = Propagator::build(KernelKind::Acoustic, spec, 8);
+    for block in [0usize, 4, 8, 16] {
+        g.bench_with_input(BenchmarkId::new("acoustic_so8", block), &block, |b, &block| {
+            let opts: ApplyOptions = prop.apply_options(2).with_block(block);
+            b.iter(|| {
+                prop.op.apply_local(
+                    &opts,
+                    |ws| prop.init(ws),
+                    |ws| ws.field_final(prop.main_field()).raw()[0],
+                )
+            });
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_kernels, bench_blocking);
+criterion_main!(benches);

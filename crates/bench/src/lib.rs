@@ -1,0 +1,24 @@
+//! # mpix-bench
+//!
+//! The benchmark harness: regenerates every table and figure of the
+//! paper's evaluation (see DESIGN.md §4 for the index) and hosts the
+//! Criterion micro-benchmarks.
+//!
+//! * [`profiles`] — builds [`mpix_perf::KernelProfile`]s from *real
+//!   compiled operators* (flops, streams, exchange plan all come from
+//!   the compiler).
+//! * [`paper`] — the paper's reference numbers (appendix tables
+//!   III–XXXIV), embedded for side-by-side comparison columns.
+//! * [`tables`] — table formatting and the experiment drivers used by
+//!   the `tables` binary.
+
+// Numerical kernels index several arrays with one loop variable; the
+// clippy suggestion (iterators + zip) hurts clarity in stencil code.
+#![allow(clippy::needless_range_loop)]
+#![allow(clippy::manual_is_multiple_of)]
+
+pub mod paper;
+pub mod profiles;
+pub mod tables;
+
+pub use profiles::profile_for;

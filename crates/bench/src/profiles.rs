@@ -1,0 +1,107 @@
+//! Kernel profiles derived from compiled operators.
+
+use mpix_perf::KernelProfile;
+use mpix_solvers::{KernelKind, ModelSpec, Propagator};
+
+/// Build the performance-model profile of a kernel at spatial order
+/// `sdo` by compiling the real operator and reading the compiler's
+/// metrics (per-point quantities are shape-independent, so a tiny model
+/// suffices).
+pub fn profile_for(kind: KernelKind, sdo: u32) -> KernelProfile {
+    let spec = ModelSpec::new(&[8, 8, 8]).with_nbl(0);
+    let p = Propagator::build(kind, spec, sdo);
+    profile_of(&p)
+}
+
+/// Profile an already-built propagator.
+pub fn profile_of(p: &Propagator) -> KernelProfile {
+    let counts = p.op.op_counts();
+    KernelProfile {
+        name: p.kind.name().to_string(),
+        sdo: p.so,
+        flops_per_pt: counts.flops() as f64,
+        bytes_per_pt: counts.bytes() as f64,
+        raw_loads: counts.raw_loads,
+        working_set: counts.working_set(),
+        exchanged_buffers: p.op.halo_plan().exchanges_per_step(),
+        exchange_phases: p
+            .op
+            .halo_plan()
+            .per_cluster
+            .iter()
+            .filter(|v| !v.is_empty())
+            .count(),
+        radius: (p.so / 2) as usize,
+        clusters: p.op.clusters().len(),
+        efficiency: KernelProfile::calibrated_efficiency(p.kind.name()),
+    }
+}
+
+/// The paper's CPU strong-scaling domain per kernel (§IV-C).
+pub fn cpu_domain(kind: KernelKind) -> [usize; 3] {
+    match kind {
+        KernelKind::Acoustic | KernelKind::Elastic | KernelKind::Tti => [1024, 1024, 1024],
+        KernelKind::Viscoelastic => [768, 768, 768],
+    }
+}
+
+/// The paper's GPU strong-scaling domain per kernel (§IV-C).
+pub fn gpu_domain(kind: KernelKind) -> [usize; 3] {
+    match kind {
+        KernelKind::Acoustic => [1158, 1158, 1158],
+        KernelKind::Elastic => [832, 832, 832],
+        KernelKind::Tti => [896, 896, 896],
+        KernelKind::Viscoelastic => [704, 704, 704],
+    }
+}
+
+/// Simulated time steps per kernel for 512 ms (§IV-C).
+pub fn timesteps(kind: KernelKind) -> usize {
+    match kind {
+        KernelKind::Acoustic | KernelKind::Tti => 290,
+        KernelKind::Elastic => 363,
+        KernelKind::Viscoelastic => 251,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn profiles_reflect_kernel_ordering() {
+        let ac = profile_for(KernelKind::Acoustic, 8);
+        let tti = profile_for(KernelKind::Tti, 8);
+        let el = profile_for(KernelKind::Elastic, 8);
+        let ve = profile_for(KernelKind::Viscoelastic, 8);
+        // Working sets: 5 < tti < 22 < 34 (paper field counts).
+        assert_eq!(ac.working_set, 5);
+        assert_eq!(el.working_set, 22);
+        assert_eq!(ve.working_set, 34);
+        assert!(tti.working_set > ac.working_set);
+        // OI ordering: TTI highest, acoustic higher than the staggered
+        // systems (star stencil, few streams).
+        assert!(tti.oi() > ac.oi());
+        assert!(tti.oi() > el.oi());
+        // Communication: the staggered systems exchange many more
+        // buffers than acoustic (9 = 6 stresses + 3 fresh velocities;
+        // the viscoelastic memory variables are read at the centre only
+        // and need no halo, so its count equals elastic's).
+        assert_eq!(el.exchanged_buffers, 9);
+        assert_eq!(ve.exchanged_buffers, 9);
+        assert!(el.exchanged_buffers > ac.exchanged_buffers);
+        assert_eq!(el.exchange_phases, 2);
+        assert_eq!(ac.exchange_phases, 1);
+    }
+
+    #[test]
+    fn flops_grow_with_sdo() {
+        for kind in KernelKind::all() {
+            let a = profile_for(kind, 4);
+            let b = profile_for(kind, 8);
+            assert!(b.flops_per_pt > a.flops_per_pt, "{kind:?}");
+            assert_eq!(b.radius, 4);
+            assert_eq!(a.radius, 2);
+        }
+    }
+}

@@ -1,0 +1,418 @@
+//! Experiment drivers and table formatting for the `tables` binary.
+
+use mpix_perf::machine::{archer2_node, tursa_a100};
+use mpix_perf::roofline::roofline_point;
+use mpix_perf::scaling::{efficiency, mode_crossover, strong_scaling, weak_scaling, Mode, ScalePoint};
+use mpix_solvers::KernelKind;
+
+use crate::paper::{self, UNITS};
+use crate::profiles::{cpu_domain, gpu_domain, profile_for, timesteps};
+
+/// Modeled CPU strong-scaling rows `[basic, diag, full]` in GPts/s.
+pub fn model_cpu_rows(kind: KernelKind, sdo: u32) -> [[f64; 8]; 3] {
+    let prof = profile_for(kind, sdo);
+    let m = archer2_node();
+    let global = cpu_domain(kind);
+    let mut out = [[0.0; 8]; 3];
+    for (mi, mode) in Mode::all().iter().enumerate() {
+        for (ui, &u) in UNITS.iter().enumerate() {
+            out[mi][ui] = strong_scaling(&prof, &m, *mode, u, &global).gpts;
+        }
+    }
+    out
+}
+
+/// Modeled GPU strong-scaling row (basic mode) in GPts/s.
+pub fn model_gpu_row(kind: KernelKind, sdo: u32) -> [f64; 8] {
+    let prof = profile_for(kind, sdo);
+    let m = tursa_a100();
+    let global = gpu_domain(kind);
+    let mut out = [0.0; 8];
+    for (ui, &u) in UNITS.iter().enumerate() {
+        out[ui] = strong_scaling(&prof, &m, Mode::Basic, u, &global).gpts;
+    }
+    out
+}
+
+fn fmt_opt(v: Option<f64>) -> String {
+    match v {
+        Some(x) if x >= 100.0 => format!("{x:7.1}"),
+        Some(x) => format!("{x:7.2}"),
+        None => format!("{:>7}", "-"),
+    }
+}
+
+/// Print one CPU table (paper Tables III–XVIII) with paper references.
+pub fn print_cpu_table(kind: KernelKind, sdo: u32) {
+    let ours = model_cpu_rows(kind, sdo);
+    let reference = paper::cpu_table(kind, sdo);
+    println!(
+        "\n## CPU strong scaling — {} so-{sdo} ({}³ dom., GPts/s; Tables III-XVIII / Figs 8-11,13-16)",
+        kind.name(),
+        cpu_domain(kind)[0]
+    );
+    print!("{:<14}", "nodes");
+    for u in UNITS {
+        print!("{u:>8}");
+    }
+    println!();
+    for (mi, mode) in Mode::all().iter().enumerate() {
+        print!("{:<14}", format!("{} (model)", mode.label()));
+        for v in ours[mi] {
+            print!(" {}", fmt_opt(Some(v)));
+        }
+        println!();
+        if let Some(rt) = reference {
+            print!("{:<14}", format!("{} (paper)", mode.label()));
+            for v in rt.rows[mi] {
+                print!(" {}", fmt_opt(v));
+            }
+            println!();
+        }
+    }
+    // Efficiency line (as the paper's "ideal" annotations).
+    let prof = profile_for(kind, sdo);
+    let m = archer2_node();
+    let pts: Vec<ScalePoint> = UNITS
+        .iter()
+        .map(|&u| strong_scaling(&prof, &m, Mode::Basic, u, &cpu_domain(kind)))
+        .collect();
+    let eff = efficiency(&pts);
+    println!(
+        "basic efficiency at 128 nodes: {:.0}% of ideal",
+        eff[7] * 100.0
+    );
+}
+
+/// Print one GPU table (paper Tables XIX–XXXIV).
+pub fn print_gpu_table(kind: KernelKind, sdo: u32) {
+    let ours = model_gpu_row(kind, sdo);
+    let reference = paper::gpu_table(kind, sdo);
+    println!(
+        "\n## GPU strong scaling — {} so-{sdo} ({}³ dom., GPts/s, basic; Tables XIX-XXXIV / Figs 17-20)",
+        kind.name(),
+        gpu_domain(kind)[0]
+    );
+    print!("{:<14}", "GPUs");
+    for u in UNITS {
+        print!("{u:>8}");
+    }
+    println!();
+    print!("{:<14}", "Basic (model)");
+    for v in ours {
+        print!(" {}", fmt_opt(Some(v)));
+    }
+    println!();
+    if let Some(rt) = reference {
+        print!("{:<14}", "Basic (paper)");
+        for v in rt.row {
+            print!(" {}", fmt_opt(v));
+        }
+        println!();
+    }
+}
+
+/// Print the weak-scaling runtime chart (paper Fig. 12 / 21–24).
+pub fn print_weak(sdo: u32) {
+    println!(
+        "\n## Weak scaling — runtime [s] at 256³/unit, so-{sdo} (Fig. 12, 21-24)"
+    );
+    print!("{:<22}", "units");
+    for u in UNITS {
+        print!("{u:>8}");
+    }
+    println!();
+    for kind in KernelKind::all() {
+        let prof = profile_for(kind, sdo);
+        let nt = timesteps(kind);
+        // CPU: all three modes (the paper's Fig. 12 plots each); GPU:
+        // basic only (§III h).
+        for mode in Mode::all() {
+            print!("{:<22}", format!("{} CPU {}", kind.name(), mode.label()));
+            for &u in &UNITS {
+                let (_, t) = weak_scaling(&prof, &archer2_node(), mode, u, &[256, 256, 256], nt);
+                print!(" {t:7.1}");
+            }
+            println!();
+        }
+        print!("{:<22}", format!("{} GPU Basic", kind.name()));
+        for &u in &UNITS {
+            let (_, t) = weak_scaling(&prof, &tursa_a100(), Mode::Basic, u, &[256, 256, 256], nt);
+            print!(" {t:7.1}");
+        }
+        println!();
+    }
+}
+
+/// Print the single-unit roofline data (paper Fig. 7).
+pub fn print_fig7() {
+    println!("\n## Single-unit roofline (Fig. 7): OI from the compiler's AST, GFlops/s from the model");
+    println!(
+        "{:<14} {:>6} | {:>10} {:>12} {:>12} | {:>10} {:>12}",
+        "kernel", "OI", "CPU GPts/s", "CPU GFlop/s", "CPU ceiling", "GPU GPts/s", "GPU GFlop/s"
+    );
+    for kind in KernelKind::all() {
+        let prof = profile_for(kind, 8);
+        let c = roofline_point(&prof, &archer2_node(), &cpu_domain(kind));
+        let g = roofline_point(&prof, &tursa_a100(), &gpu_domain(kind));
+        println!(
+            "{:<14} {:>6.2} | {:>10.2} {:>12.1} {:>12.1} | {:>10.2} {:>12.1}",
+            kind.name(),
+            prof.oi(),
+            c.gpts,
+            c.gflops,
+            c.bw_ceiling.min(c.peak_ceiling),
+            g.gpts,
+            g.gflops,
+        );
+    }
+}
+
+/// Print Table I — derived from the implementations, not hard-coded.
+pub fn print_table1() {
+    use mpix_dmp::HaloMode;
+    println!("\n## Table I: communication/computation patterns (derived from mpix-dmp)");
+    println!(
+        "{:<10} {:<10} {:<24} {:<13} {:<14} {:<18}",
+        "MPI mode", "Target", "Communication", "Batches", "#msgs (3D)", "Buffer allocation"
+    );
+    for (mode, target, comm, batch) in [
+        (HaloMode::Basic, "CPU, GPU", "Sync, no comp overlap", "Multi-step"),
+        (HaloMode::Diagonal, "CPU", "Sync, no comp overlap", "Single-step"),
+        (HaloMode::Full, "CPU", "Async, comp overlap", "Single-step"),
+    ] {
+        println!(
+            "{:<10} {:<10} {:<24} {:<13} {:<14} {:<18}",
+            format!("{mode:?}"),
+            target,
+            comm,
+            batch,
+            mode.messages_per_exchange(3),
+            if mode.preallocates_buffers() {
+                "pre-alloc"
+            } else {
+                "runtime"
+            }
+        );
+    }
+}
+
+/// Agreement report: for every (kernel, sdo, unit count) with published
+/// numbers, does the model pick the same winning mode as the paper?
+pub fn trend_report() -> (usize, usize) {
+    println!("\n## Trend agreement: best mode, model vs paper (CPU strong scaling)");
+    let mut agree = 0;
+    let mut total = 0;
+    for kind in KernelKind::all() {
+        for sdo in [4u32, 8, 12, 16] {
+            let Some(rt) = paper::cpu_table(kind, sdo) else {
+                continue;
+            };
+            let ours = model_cpu_rows(kind, sdo);
+            for (ui, &u) in UNITS.iter().enumerate() {
+                // Only compare where all three paper entries exist.
+                let pvals: Vec<f64> = (0..3).filter_map(|mi| rt.rows[mi][ui]).collect();
+                if pvals.len() < 3 {
+                    continue;
+                }
+                let pbest = (0..3)
+                    .max_by(|&a, &b| {
+                        rt.rows[a][ui]
+                            .unwrap()
+                            .partial_cmp(&rt.rows[b][ui].unwrap())
+                            .unwrap()
+                    })
+                    .unwrap();
+                let obest = (0..3)
+                    .max_by(|&a, &b| ours[a][ui].partial_cmp(&ours[b][ui]).unwrap())
+                    .unwrap();
+                total += 1;
+                // Count as agreement when the paper's margin is decisive
+                // (>3%) and we match, or when the margin is within noise.
+                let pmax = pvals.iter().cloned().fold(f64::MIN, f64::max);
+                let pmin2 = {
+                    let mut v = pvals.clone();
+                    v.sort_by(|a, b| b.partial_cmp(a).unwrap());
+                    v[1]
+                };
+                let decisive = (pmax - pmin2) / pmax > 0.03;
+                if obest == pbest || !decisive {
+                    agree += 1;
+                } else {
+                    println!(
+                        "  disagree: {} so-{sdo} @ {u}: paper {} vs model {}",
+                        kind.name(),
+                        Mode::all()[pbest].label(),
+                        Mode::all()[obest].label()
+                    );
+                }
+            }
+        }
+    }
+    println!("best-mode agreement: {agree}/{total}");
+    (agree, total)
+}
+
+/// Correlate modeled vs paper throughput (log-space) across all
+/// published CPU entries; returns (mean |log2 error|, count).
+pub fn accuracy_report() -> (f64, usize) {
+    let mut sum = 0.0;
+    let mut n = 0;
+    for kind in KernelKind::all() {
+        for sdo in [4u32, 8, 12, 16] {
+            let Some(rt) = paper::cpu_table(kind, sdo) else {
+                continue;
+            };
+            let ours = model_cpu_rows(kind, sdo);
+            for mi in 0..3 {
+                for ui in 0..8 {
+                    if let Some(p) = rt.rows[mi][ui] {
+                        sum += (ours[mi][ui] / p).log2().abs();
+                        n += 1;
+                    }
+                }
+            }
+        }
+    }
+    let mean = sum / n as f64;
+    println!("\nmodel-vs-paper CPU accuracy: mean |log2 ratio| = {mean:.3} over {n} entries");
+    (mean, n)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cpu_rows_are_positive_and_grow() {
+        let rows = model_cpu_rows(KernelKind::Acoustic, 8);
+        for row in rows {
+            assert!(row.iter().all(|&v| v > 0.0));
+            assert!(row[7] > row[0]);
+        }
+    }
+
+    #[test]
+    fn gpu_single_unit_beats_cpu_node() {
+        for kind in KernelKind::all() {
+            let c = model_cpu_rows(kind, 8)[0][0];
+            let g = model_gpu_row(kind, 8)[0];
+            assert!(g > c, "{kind:?}: GPU {g} !> CPU {c}");
+        }
+    }
+}
+
+/// Crossover analysis: where each mode permanently overtakes another,
+/// per kernel and SDO — model vs the paper's published rows.
+pub fn print_crossovers() {
+    println!("\n## Mode crossovers (basic overtakes diagonal at N nodes; §IV-D)");
+    println!(
+        "{:<14} {:>5} {:>14} {:>14}",
+        "kernel", "sdo", "model", "paper"
+    );
+    for kind in KernelKind::all() {
+        for sdo in [4u32, 8, 12, 16] {
+            let prof = profile_for(kind, sdo);
+            let m = archer2_node();
+            let model = mode_crossover(
+                &prof,
+                &m,
+                &cpu_domain(kind),
+                Mode::Basic,
+                Mode::Diagonal,
+                &UNITS,
+            );
+            // Paper crossover from the reference rows (where complete).
+            let paper_x = paper::cpu_table(kind, sdo).and_then(|t| {
+                let wins: Vec<Option<bool>> = (0..8)
+                    .map(|ui| match (t.rows[0][ui], t.rows[1][ui]) {
+                        (Some(b), Some(d)) => Some(b >= d),
+                        _ => None,
+                    })
+                    .collect();
+                if wins.iter().any(|w| w.is_none()) {
+                    return None;
+                }
+                let wins: Vec<bool> = wins.into_iter().map(|w| w.unwrap()).collect();
+                match wins.iter().rposition(|&w| !w) {
+                    None => Some(Some(UNITS[0])),
+                    Some(last) if last + 1 < 8 => Some(Some(UNITS[last + 1])),
+                    Some(_) => Some(None),
+                }
+            });
+            let fmt = |x: Option<usize>| match x {
+                Some(u) => format!("{u}"),
+                None => "never".to_string(),
+            };
+            let paper_s = match paper_x {
+                Some(x) => fmt(x),
+                None => "-".to_string(),
+            };
+            println!(
+                "{:<14} {:>5} {:>14} {:>14}",
+                kind.name(),
+                sdo,
+                fmt(model),
+                paper_s
+            );
+        }
+    }
+}
+
+/// Machine-readable dump of every modeled curve (for external plotting).
+pub fn json_dump() -> String {
+    use serde_json::json;
+    let mut cpu = Vec::new();
+    let mut gpu = Vec::new();
+    for kind in KernelKind::all() {
+        for sdo in [4u32, 8, 12, 16] {
+            let rows = model_cpu_rows(kind, sdo);
+            for (mi, mode) in Mode::all().iter().enumerate() {
+                cpu.push(json!({
+                    "kernel": kind.name(),
+                    "sdo": sdo,
+                    "mode": mode.label(),
+                    "units": UNITS,
+                    "gpts": rows[mi],
+                    "paper": paper::cpu_table(kind, sdo).map(|t| t.rows[mi].to_vec()),
+                }));
+            }
+            gpu.push(json!({
+                "kernel": kind.name(),
+                "sdo": sdo,
+                "mode": "Basic",
+                "units": UNITS,
+                "gpts": model_gpu_row(kind, sdo),
+                "paper": paper::gpu_table(kind, sdo).map(|t| t.row.to_vec()),
+            }));
+        }
+    }
+    let mut weak = Vec::new();
+    for kind in KernelKind::all() {
+        let prof = profile_for(kind, 8);
+        let nt = timesteps(kind);
+        for (mach, label) in [(archer2_node(), "cpu"), (tursa_a100(), "gpu")] {
+            let runtimes: Vec<f64> = UNITS
+                .iter()
+                .map(|&u| weak_scaling(&prof, &mach, Mode::Basic, u, &[256, 256, 256], nt).1)
+                .collect();
+            weak.push(serde_json::json!({
+                "kernel": kind.name(),
+                "machine": label,
+                "units": UNITS,
+                "runtime_s": runtimes,
+            }));
+        }
+    }
+    let profiles: Vec<serde_json::Value> = KernelKind::all()
+        .iter()
+        .map(|&k| serde_json::to_value(profile_for(k, 8)).unwrap())
+        .collect();
+    serde_json::to_string_pretty(&serde_json::json!({
+        "strong_cpu": cpu,
+        "strong_gpu": gpu,
+        "weak": weak,
+        "profiles_sdo8": profiles,
+    }))
+    .unwrap()
+}

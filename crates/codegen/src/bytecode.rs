@@ -1,0 +1,448 @@
+//! Bytecode compilation of cluster statements.
+//!
+//! Each cluster body (per-point `Let`s and `Store`s) compiles to a flat
+//! stack program. Field accesses become `(stream slot, offset index)`
+//! pairs; the offset table is resolved to concrete linear deltas once per
+//! kernel launch, when the rank-local strides are known. This plays the
+//! role of the paper's JIT-compiled C kernel body.
+
+use mpix_symbolic::{FieldId, UnaryFn};
+
+use mpix_ir::cluster::{Cluster, Stmt};
+use mpix_ir::iexpr::IExpr;
+
+/// One bytecode instruction. The machine is a straightforward f32 stack
+/// machine; temporaries and parameters live in side tables.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub enum Op {
+    /// Push a constant from the pool.
+    Const(u32),
+    /// Push a runtime scalar (dt, h_x, …) by slot.
+    Scalar(u32),
+    /// Push a precomputed parameter by slot.
+    Param(u32),
+    /// Push a per-point temporary.
+    Temp(u32),
+    /// Pop into a per-point temporary.
+    SetTemp(u32),
+    /// Push `field_stream[base + offset_table[idx]]`.
+    Load { stream: u32, off: u32 },
+    /// Pop into `field_stream[base]` (stores are always at the point).
+    Store { stream: u32 },
+    /// Pop 2, push sum.
+    Add,
+    /// Pop 2, push product.
+    Mul,
+    /// Pop 1, push `x^n` (n may be negative).
+    Pow(i32),
+    /// Pop 1, push `f(x)` for an elementary function.
+    Call(UnaryFn),
+}
+
+/// A compiled cluster body.
+#[derive(Clone, Debug)]
+pub struct CompiledCluster {
+    pub ops: Vec<Op>,
+    pub consts: Vec<f32>,
+    /// Runtime scalar names, indexed by `Op::Scalar` slot.
+    pub scalars: Vec<String>,
+    /// Streams: distinct `(field, time offset)` arrays touched.
+    pub streams: Vec<(FieldId, i32)>,
+    /// Which streams are written.
+    pub written: Vec<bool>,
+    /// Offset table: `(stream slot, index deltas)` per `Op::Load` entry.
+    pub offsets: Vec<(u32, Vec<i32>)>,
+    pub num_temps: usize,
+    /// Maximum stack depth needed.
+    pub max_stack: usize,
+}
+
+impl CompiledCluster {
+    pub fn stream_slot(&self, field: FieldId, toff: i32) -> Option<usize> {
+        self.streams.iter().position(|&(f, t)| (f, t) == (field, toff))
+    }
+}
+
+struct Compiler {
+    ops: Vec<Op>,
+    consts: Vec<f32>,
+    scalars: Vec<String>,
+    streams: Vec<(FieldId, i32)>,
+    written: Vec<bool>,
+    offsets: Vec<(u32, Vec<i32>)>,
+    depth: usize,
+    max_depth: usize,
+}
+
+impl Compiler {
+    fn push_depth(&mut self) {
+        self.depth += 1;
+        self.max_depth = self.max_depth.max(self.depth);
+    }
+    fn pop_depth(&mut self, n: usize) {
+        self.depth -= n;
+    }
+
+    fn const_slot(&mut self, v: f64) -> u32 {
+        let v = v as f32;
+        if let Some(i) = self.consts.iter().position(|&c| c == v) {
+            return i as u32;
+        }
+        self.consts.push(v);
+        (self.consts.len() - 1) as u32
+    }
+
+    fn scalar_slot(&mut self, name: &str) -> u32 {
+        if let Some(i) = self.scalars.iter().position(|s| s == name) {
+            return i as u32;
+        }
+        self.scalars.push(name.to_string());
+        (self.scalars.len() - 1) as u32
+    }
+
+    fn stream_slot(&mut self, field: FieldId, toff: i32) -> u32 {
+        if let Some(i) = self.streams.iter().position(|&(f, t)| (f, t) == (field, toff)) {
+            return i as u32;
+        }
+        self.streams.push((field, toff));
+        self.written.push(false);
+        (self.streams.len() - 1) as u32
+    }
+
+    fn offset_slot(&mut self, stream: u32, deltas: &[i32]) -> u32 {
+        if let Some(i) = self
+            .offsets
+            .iter()
+            .position(|(s, d)| *s == stream && d == deltas)
+        {
+            return i as u32;
+        }
+        self.offsets.push((stream, deltas.to_vec()));
+        (self.offsets.len() - 1) as u32
+    }
+
+    fn emit_expr(&mut self, e: &IExpr) {
+        match e {
+            IExpr::Const(c) => {
+                let s = self.const_slot(*c);
+                self.ops.push(Op::Const(s));
+                self.push_depth();
+            }
+            IExpr::Sym(name) => {
+                let s = self.scalar_slot(name);
+                self.ops.push(Op::Scalar(s));
+                self.push_depth();
+            }
+            IExpr::Param(i) => {
+                self.ops.push(Op::Param(*i as u32));
+                self.push_depth();
+            }
+            IExpr::Temp(i) => {
+                self.ops.push(Op::Temp(*i as u32));
+                self.push_depth();
+            }
+            IExpr::Load(a) => {
+                let stream = self.stream_slot(a.field, a.time_offset);
+                let off = self.offset_slot(stream, &a.deltas);
+                self.ops.push(Op::Load { stream, off });
+                self.push_depth();
+            }
+            IExpr::Add(xs) => {
+                for (i, x) in xs.iter().enumerate() {
+                    self.emit_expr(x);
+                    if i > 0 {
+                        self.ops.push(Op::Add);
+                        self.pop_depth(1);
+                    }
+                }
+            }
+            IExpr::Mul(xs) => {
+                for (i, x) in xs.iter().enumerate() {
+                    self.emit_expr(x);
+                    if i > 0 {
+                        self.ops.push(Op::Mul);
+                        self.pop_depth(1);
+                    }
+                }
+            }
+            IExpr::Pow(b, e2) => {
+                self.emit_expr(b);
+                self.ops.push(Op::Pow(*e2));
+            }
+            IExpr::Func(fx, b) => {
+                self.emit_expr(b);
+                self.ops.push(Op::Call(*fx));
+            }
+        }
+    }
+}
+
+/// Compile a cluster body into bytecode.
+pub fn compile_cluster(cl: &Cluster) -> CompiledCluster {
+    let mut c = Compiler {
+        ops: Vec::new(),
+        consts: Vec::new(),
+        scalars: Vec::new(),
+        streams: Vec::new(),
+        written: Vec::new(),
+        offsets: Vec::new(),
+        depth: 0,
+        max_depth: 0,
+    };
+    for s in &cl.stmts {
+        match s {
+            Stmt::Let { temp, value } => {
+                c.emit_expr(value);
+                c.ops.push(Op::SetTemp(*temp as u32));
+                c.pop_depth(1);
+            }
+            Stmt::Store { target, value } => {
+                assert!(
+                    target.deltas.iter().all(|&d| d == 0),
+                    "stores must be at the evaluation point"
+                );
+                c.emit_expr(value);
+                let stream = c.stream_slot(target.field, target.time_offset);
+                c.written[stream as usize] = true;
+                c.ops.push(Op::Store { stream });
+                c.pop_depth(1);
+            }
+        }
+    }
+    assert_eq!(c.depth, 0, "unbalanced stack in compiled cluster");
+    CompiledCluster {
+        ops: c.ops,
+        consts: c.consts,
+        scalars: c.scalars,
+        streams: c.streams,
+        written: c.written,
+        offsets: c.offsets,
+        num_temps: cl.num_temps,
+        max_stack: c.max_depth,
+    }
+}
+
+/// Evaluate one point of a compiled cluster. `bases[slot]` is the linear
+/// index of the evaluation point in stream `slot`'s buffer;
+/// `resolved_offsets[k]` the linear delta of offset entry `k`.
+///
+/// This is the scalar reference interpreter; the executor uses a
+/// specialized inner loop built on the same instruction set.
+#[allow(clippy::too_many_arguments)]
+pub fn eval_point(
+    cc: &CompiledCluster,
+    buffers: &mut [&mut [f32]],
+    bases: &[usize],
+    resolved_offsets: &[isize],
+    scalar_values: &[f32],
+    param_values: &[f32],
+    temps: &mut [f32],
+    stack: &mut [f32],
+) {
+    let mut sp = 0usize;
+    for op in &cc.ops {
+        match *op {
+            Op::Const(i) => {
+                stack[sp] = cc.consts[i as usize];
+                sp += 1;
+            }
+            Op::Scalar(i) => {
+                stack[sp] = scalar_values[i as usize];
+                sp += 1;
+            }
+            Op::Param(i) => {
+                stack[sp] = param_values[i as usize];
+                sp += 1;
+            }
+            Op::Temp(i) => {
+                stack[sp] = temps[i as usize];
+                sp += 1;
+            }
+            Op::SetTemp(i) => {
+                sp -= 1;
+                temps[i as usize] = stack[sp];
+            }
+            Op::Load { stream, off } => {
+                let idx = bases[stream as usize] as isize + resolved_offsets[off as usize];
+                stack[sp] = buffers[stream as usize][idx as usize];
+                sp += 1;
+            }
+            Op::Store { stream } => {
+                sp -= 1;
+                let idx = bases[stream as usize];
+                buffers[stream as usize][idx] = stack[sp];
+            }
+            Op::Add => {
+                sp -= 1;
+                stack[sp - 1] += stack[sp];
+            }
+            Op::Mul => {
+                sp -= 1;
+                stack[sp - 1] *= stack[sp];
+            }
+            Op::Pow(n) => {
+                let v = stack[sp - 1];
+                stack[sp - 1] = powi(v, n);
+            }
+            Op::Call(fx) => {
+                stack[sp - 1] = fx.apply_f32(stack[sp - 1]);
+            }
+        }
+    }
+}
+
+/// `f32` integer power, matching `Pow` semantics (negative = reciprocal).
+#[inline]
+pub fn powi(v: f32, n: i32) -> f32 {
+    match n {
+        2 => v * v,
+        -1 => 1.0 / v,
+        -2 => 1.0 / (v * v),
+        _ => v.powi(n),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mpix_ir::iexpr::IdxAccess as IA;
+
+    fn store(field: u32, value: IExpr) -> Stmt {
+        Stmt::Store {
+            target: IA {
+                field: FieldId(field),
+                time_offset: 1,
+                deltas: vec![0],
+            },
+            value,
+        }
+    }
+
+    fn load(field: u32, toff: i32, dx: i32) -> IExpr {
+        IExpr::Load(IA {
+            field: FieldId(field),
+            time_offset: toff,
+            deltas: vec![dx],
+        })
+    }
+
+    #[test]
+    fn compile_and_eval_simple_stencil() {
+        // u[t+1] = 0.5*(u[t,x-1] + u[t,x+1])
+        let cl = Cluster {
+            stmts: vec![store(
+                0,
+                IExpr::Mul(vec![
+                    IExpr::Const(0.5),
+                    IExpr::Add(vec![load(0, 0, -1), load(0, 0, 1)]),
+                ]),
+            )],
+            params: vec![],
+            num_temps: 0,
+        };
+        let cc = compile_cluster(&cl);
+        assert_eq!(cc.streams.len(), 2); // (f0,t0) read, (f0,t1) written
+        assert!(cc.max_stack <= 3);
+
+        // 1-D buffers of length 8, halo 1, point at index 3.
+        let mut read = vec![0.0f32; 8];
+        read[2] = 2.0;
+        read[4] = 4.0;
+        let mut write = vec![0.0f32; 8];
+        let read_slot = cc.stream_slot(FieldId(0), 0).unwrap();
+        let write_slot = cc.stream_slot(FieldId(0), 1).unwrap();
+        let mut bases = vec![0usize; 2];
+        bases[read_slot] = 3;
+        bases[write_slot] = 3;
+        let resolved: Vec<isize> = cc.offsets.iter().map(|(_, d)| d[0] as isize).collect();
+        let mut bufs: Vec<&mut [f32]> = Vec::new();
+        // Order buffers by slot.
+        if read_slot == 0 {
+            bufs.push(&mut read);
+            bufs.push(&mut write);
+        } else {
+            bufs.push(&mut write);
+            bufs.push(&mut read);
+        }
+        let mut stack = [0.0f32; 16];
+        eval_point(&cc, &mut bufs, &bases, &resolved, &[], &[], &mut [], &mut stack);
+        let w = if read_slot == 0 { &bufs[1] } else { &bufs[0] };
+        assert_eq!(w[3], 3.0);
+    }
+
+    #[test]
+    fn temps_flow_between_statements() {
+        // tmp0 = 2*u[t]; u[t+1] = tmp0 + tmp0
+        let cl = Cluster {
+            stmts: vec![
+                Stmt::Let {
+                    temp: 0,
+                    value: IExpr::Mul(vec![IExpr::Const(2.0), load(0, 0, 0)]),
+                },
+                store(0, IExpr::Add(vec![IExpr::Temp(0), IExpr::Temp(0)])),
+            ],
+            params: vec![],
+            num_temps: 1,
+        };
+        let cc = compile_cluster(&cl);
+        let mut read = vec![3.0f32; 4];
+        let mut write = vec![0.0f32; 4];
+        let rs = cc.stream_slot(FieldId(0), 0).unwrap();
+        let resolved: Vec<isize> = cc.offsets.iter().map(|(_, d)| d[0] as isize).collect();
+        let mut temps = vec![0.0f32; 1];
+        let mut stack = [0.0f32; 16];
+        let mut bufs: Vec<&mut [f32]> = if rs == 0 {
+            vec![&mut read, &mut write]
+        } else {
+            vec![&mut write, &mut read]
+        };
+        eval_point(&cc, &mut bufs, &[1, 1], &resolved, &[], &[], &mut temps, &mut stack);
+        let w = if rs == 0 { &bufs[1] } else { &bufs[0] };
+        assert_eq!(w[1], 12.0);
+        assert_eq!(temps[0], 6.0);
+    }
+
+    #[test]
+    fn pow_variants() {
+        assert_eq!(powi(3.0, 2), 9.0);
+        assert_eq!(powi(2.0, -1), 0.5);
+        assert_eq!(powi(2.0, -2), 0.25);
+        assert_eq!(powi(2.0, 3), 8.0);
+    }
+
+    #[test]
+    fn scalars_and_consts_dedup() {
+        let cl = Cluster {
+            stmts: vec![store(
+                0,
+                IExpr::Add(vec![
+                    IExpr::Mul(vec![IExpr::Sym("dt".into()), IExpr::Const(2.0)]),
+                    IExpr::Mul(vec![IExpr::Sym("dt".into()), IExpr::Const(2.0)]),
+                ]),
+            )],
+            params: vec![],
+            num_temps: 0,
+        };
+        let cc = compile_cluster(&cl);
+        assert_eq!(cc.scalars, vec!["dt".to_string()]);
+        assert_eq!(cc.consts, vec![2.0]);
+    }
+
+    #[test]
+    #[should_panic]
+    fn offset_store_rejected() {
+        let cl = Cluster {
+            stmts: vec![Stmt::Store {
+                target: IA {
+                    field: FieldId(0),
+                    time_offset: 1,
+                    deltas: vec![1],
+                },
+                value: IExpr::Const(0.0),
+            }],
+            params: vec![],
+            num_temps: 0,
+        };
+        compile_cluster(&cl);
+    }
+}

@@ -1,0 +1,284 @@
+//! Cartesian process topologies.
+//!
+//! The paper (§III a) partitions the grid with MPI's Cartesian topology
+//! abstraction; users may override the default factorization with
+//! `Grid(..., topology=(…))`. [`dims_create`] reproduces
+//! `MPI_Dims_create`'s balanced factorization, and [`CartComm`] provides
+//! coordinates and neighbour lookup — including the diagonal neighbours
+//! (8 in 2-D, 26 in 3-D) that the *diagonal* and *full* exchange patterns
+//! message with.
+
+use crate::comm::Comm;
+
+/// Balanced factorization of `nranks` into `ndims` factors, mirroring
+/// `MPI_Dims_create`: factors are as close together as possible and
+/// returned in non-increasing order.
+pub fn dims_create(nranks: usize, ndims: usize) -> Vec<usize> {
+    assert!(nranks >= 1 && ndims >= 1);
+    let mut dims = vec![1usize; ndims];
+    // Distribute prime factors largest-first onto the currently smallest
+    // dimension.
+    let mut factors = prime_factors(nranks);
+    factors.sort_unstable_by(|a, b| b.cmp(a));
+    for f in factors {
+        let smallest = dims
+            .iter()
+            .enumerate()
+            .min_by_key(|(_, &v)| v)
+            .map(|(i, _)| i)
+            .unwrap();
+        dims[smallest] *= f;
+    }
+    dims.sort_unstable_by(|a, b| b.cmp(a));
+    dims
+}
+
+fn prime_factors(mut n: usize) -> Vec<usize> {
+    let mut out = Vec::new();
+    let mut d = 2;
+    while d * d <= n {
+        while n % d == 0 {
+            out.push(d);
+            n /= d;
+        }
+        d += 1;
+    }
+    if n > 1 {
+        out.push(n);
+    }
+    out
+}
+
+/// A communicator with Cartesian structure (non-periodic, as the paper's
+/// wave-propagation domains are bounded).
+pub struct CartComm {
+    comm: Comm,
+    dims: Vec<usize>,
+    coords: Vec<usize>,
+}
+
+impl CartComm {
+    /// Attach a Cartesian topology to a communicator. `dims` must
+    /// multiply to `comm.size()`.
+    pub fn new(comm: Comm, dims: &[usize]) -> CartComm {
+        let prod: usize = dims.iter().product();
+        assert_eq!(
+            prod,
+            comm.size(),
+            "topology {:?} does not cover {} ranks",
+            dims,
+            comm.size()
+        );
+        let coords = Self::coords_of(dims, comm.rank());
+        CartComm {
+            comm,
+            dims: dims.to_vec(),
+            coords,
+        }
+    }
+
+    /// Attach the default (`dims_create`) topology.
+    pub fn with_default_topology(comm: Comm, ndims: usize) -> CartComm {
+        let dims = dims_create(comm.size(), ndims);
+        CartComm::new(comm, &dims)
+    }
+
+    /// The underlying point-to-point communicator.
+    pub fn comm(&self) -> &Comm {
+        &self.comm
+    }
+
+    pub fn rank(&self) -> usize {
+        self.comm.rank()
+    }
+    pub fn size(&self) -> usize {
+        self.comm.size()
+    }
+
+    /// The process grid shape.
+    pub fn dims(&self) -> &[usize] {
+        &self.dims
+    }
+
+    /// This rank's Cartesian coordinates.
+    pub fn coords(&self) -> &[usize] {
+        &self.coords
+    }
+
+    /// Row-major coordinates of an arbitrary rank.
+    pub fn coords_of(dims: &[usize], rank: usize) -> Vec<usize> {
+        let mut coords = vec![0; dims.len()];
+        let mut r = rank;
+        for d in (0..dims.len()).rev() {
+            coords[d] = r % dims[d];
+            r /= dims[d];
+        }
+        coords
+    }
+
+    /// Row-major rank of Cartesian coordinates.
+    pub fn rank_of(dims: &[usize], coords: &[usize]) -> usize {
+        let mut rank = 0;
+        for d in 0..dims.len() {
+            debug_assert!(coords[d] < dims[d]);
+            rank = rank * dims[d] + coords[d];
+        }
+        rank
+    }
+
+    /// Neighbour rank at relative Cartesian displacement `disp`
+    /// (entries in `{-1, 0, 1}` typically). `None` when the displacement
+    /// leaves the process grid (MPI_PROC_NULL: the physical domain
+    /// boundary).
+    pub fn neighbor(&self, disp: &[i32]) -> Option<usize> {
+        assert_eq!(disp.len(), self.dims.len());
+        let mut coords = Vec::with_capacity(self.dims.len());
+        for d in 0..self.dims.len() {
+            let c = self.coords[d] as i64 + disp[d] as i64;
+            if c < 0 || c >= self.dims[d] as i64 {
+                return None;
+            }
+            coords.push(c as usize);
+        }
+        Some(Self::rank_of(&self.dims, &coords))
+    }
+
+    /// The 2·ndim face neighbours (the *basic* pattern's peers),
+    /// as `(displacement, rank)` pairs; boundary directions omitted.
+    pub fn face_neighbors(&self) -> Vec<(Vec<i32>, usize)> {
+        let nd = self.dims.len();
+        let mut out = Vec::with_capacity(2 * nd);
+        for d in 0..nd {
+            for s in [-1i32, 1] {
+                let mut disp = vec![0i32; nd];
+                disp[d] = s;
+                if let Some(r) = self.neighbor(&disp) {
+                    out.push((disp, r));
+                }
+            }
+        }
+        out
+    }
+
+    /// All `3^ndim - 1` neighbours including diagonals (the *diagonal*
+    /// and *full* patterns' peers); boundary directions omitted.
+    pub fn all_neighbors(&self) -> Vec<(Vec<i32>, usize)> {
+        let nd = self.dims.len();
+        let mut out = Vec::new();
+        let total = 3usize.pow(nd as u32);
+        for code in 0..total {
+            let mut c = code;
+            let mut disp = vec![0i32; nd];
+            for d in (0..nd).rev() {
+                disp[d] = (c % 3) as i32 - 1;
+                c /= 3;
+            }
+            if disp.iter().all(|&x| x == 0) {
+                continue;
+            }
+            if let Some(r) = self.neighbor(&disp) {
+                out.push((disp, r));
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::universe::Universe;
+
+    #[test]
+    fn dims_create_is_balanced() {
+        assert_eq!(dims_create(16, 3), vec![4, 2, 2]);
+        assert_eq!(dims_create(8, 3), vec![2, 2, 2]);
+        assert_eq!(dims_create(64, 3), vec![4, 4, 4]);
+        assert_eq!(dims_create(12, 2), vec![4, 3]);
+        assert_eq!(dims_create(7, 2), vec![7, 1]);
+        assert_eq!(dims_create(1, 3), vec![1, 1, 1]);
+    }
+
+    #[test]
+    fn dims_create_covers_all_ranks() {
+        for n in 1..=128 {
+            for nd in 1..=3 {
+                let d = dims_create(n, nd);
+                assert_eq!(d.iter().product::<usize>(), n, "n={n} nd={nd}");
+                assert_eq!(d.len(), nd);
+            }
+        }
+    }
+
+    #[test]
+    fn coords_rank_roundtrip() {
+        let dims = vec![4, 2, 2];
+        for r in 0..16 {
+            let c = CartComm::coords_of(&dims, r);
+            assert_eq!(CartComm::rank_of(&dims, &c), r);
+        }
+    }
+
+    #[test]
+    fn face_neighbor_counts_interior_and_corner() {
+        // 4x2x2 topology of Fig. 2a.
+        let out = Universe::run(16, |c| {
+            let cart = CartComm::new(c, &[4, 2, 2]);
+            (cart.coords().to_vec(), cart.face_neighbors().len(), cart.all_neighbors().len())
+        });
+        for (coords, faces, all) in out {
+            // Corner rank (0,0,0): 3 face neighbours, 7 total.
+            if coords == vec![0, 0, 0] {
+                assert_eq!(faces, 3);
+                assert_eq!(all, 7);
+            }
+            // Interior in x only (y,z are size-2 so no interior there).
+            if coords == vec![1, 0, 0] {
+                assert_eq!(faces, 4);
+            }
+        }
+    }
+
+    #[test]
+    fn interior_rank_has_26_neighbors_in_3d() {
+        let out = Universe::run(27, |c| {
+            let cart = CartComm::new(c, &[3, 3, 3]);
+            (cart.coords().to_vec(), cart.all_neighbors().len(), cart.face_neighbors().len())
+        });
+        for (coords, all, faces) in out {
+            if coords == vec![1, 1, 1] {
+                assert_eq!(all, 26, "paper Table I: 26 messages in 3D");
+                assert_eq!(faces, 6, "paper Table I: 6 messages in 3D basic");
+            }
+        }
+    }
+
+    #[test]
+    fn neighbor_is_symmetric() {
+        let out = Universe::run(8, |c| {
+            let cart = CartComm::with_default_topology(c, 3);
+            let mut pairs = Vec::new();
+            for (disp, r) in cart.all_neighbors() {
+                pairs.push((cart.rank(), disp, r));
+            }
+            pairs
+        });
+        // For each (a -> b at disp), b must see (b -> a at -disp).
+        let all: Vec<_> = out.into_iter().flatten().collect();
+        for (a, disp, b) in &all {
+            let inv: Vec<i32> = disp.iter().map(|x| -x).collect();
+            assert!(
+                all.iter().any(|(x, d, y)| x == b && y == a && *d == inv),
+                "asymmetric neighbour {a}->{b}"
+            );
+        }
+    }
+
+    #[test]
+    #[should_panic]
+    fn topology_must_cover_ranks() {
+        Universe::run(4, |c| {
+            CartComm::new(c, &[3, 2]);
+        });
+    }
+}

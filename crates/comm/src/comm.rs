@@ -1,0 +1,501 @@
+//! The communicator: point-to-point messaging, requests, collectives.
+
+use std::sync::Arc;
+use std::time::Duration;
+
+use parking_lot::{Condvar, Mutex};
+
+use crate::stats::{CommStats, StatsInner};
+
+/// Message tag. User tags must stay below [`RESERVED_TAG_BASE`].
+pub type Tag = u32;
+
+/// Tags at or above this value are reserved for collectives.
+pub const RESERVED_TAG_BASE: Tag = 1 << 30;
+
+/// How long a blocking receive waits before declaring deadlock. Generous
+/// for slow CI machines while still failing fast on real bugs.
+const RECV_TIMEOUT: Duration = Duration::from_secs(60);
+
+#[derive(Debug)]
+struct Envelope {
+    src: usize,
+    tag: Tag,
+    data: Vec<u8>,
+}
+
+#[derive(Default)]
+struct MailboxInner {
+    queue: Vec<Envelope>,
+}
+
+/// One mailbox per rank; senders push, the owner matches and pops.
+pub(crate) struct Mailbox {
+    inner: Mutex<MailboxInner>,
+    arrived: Condvar,
+}
+
+impl Mailbox {
+    pub(crate) fn new() -> Mailbox {
+        Mailbox {
+            inner: Mutex::new(MailboxInner::default()),
+            arrived: Condvar::new(),
+        }
+    }
+}
+
+/// Shared state for a set of ranks (the "world").
+pub(crate) struct World {
+    pub(crate) mailboxes: Vec<Mailbox>,
+    pub(crate) barrier: std::sync::Barrier,
+    pub(crate) stats: Vec<Mutex<StatsInner>>,
+}
+
+impl World {
+    pub(crate) fn new(n: usize) -> World {
+        World {
+            mailboxes: (0..n).map(|_| Mailbox::new()).collect(),
+            barrier: std::sync::Barrier::new(n),
+            stats: (0..n).map(|_| Mutex::new(StatsInner::default())).collect(),
+        }
+    }
+}
+
+/// A per-rank communicator handle. Clone-free by design: each rank thread
+/// owns exactly one.
+pub struct Comm {
+    rank: usize,
+    size: usize,
+    world: Arc<World>,
+}
+
+/// Completed-on-creation send request (eager delivery), kept for API
+/// symmetry with MPI's `MPI_Isend`.
+#[derive(Debug)]
+pub struct SendRequest {
+    pub(crate) bytes: usize,
+}
+
+impl SendRequest {
+    /// Eager sends complete immediately.
+    pub fn test(&self) -> bool {
+        true
+    }
+    pub fn wait(self) {}
+    /// Number of payload bytes the message carried.
+    pub fn bytes(&self) -> usize {
+        self.bytes
+    }
+}
+
+/// A pending non-blocking receive. Poll with [`RecvRequest::test`] (the
+/// paper's progress thread calls `MPI_Test` between tile blocks) or block
+/// with [`RecvRequest::wait`].
+pub struct RecvRequest {
+    src: usize,
+    tag: Tag,
+    world: Arc<World>,
+    rank: usize,
+    done: Option<Vec<u8>>,
+}
+
+impl RecvRequest {
+    /// Try to complete the receive without blocking. Returns `true` once
+    /// the message has been matched (idempotent afterwards).
+    pub fn test(&mut self) -> bool {
+        if self.done.is_some() {
+            return true;
+        }
+        let mailbox = &self.world.mailboxes[self.rank];
+        let mut inner = mailbox.inner.lock();
+        if let Some(pos) = inner
+            .queue
+            .iter()
+            .position(|e| e.src == self.src && e.tag == self.tag)
+        {
+            let env = inner.queue.remove(pos);
+            drop(inner);
+            self.record_recv(env.data.len());
+            self.done = Some(env.data);
+            true
+        } else {
+            false
+        }
+    }
+
+    /// Non-blocking: if the message has arrived (or was already matched
+    /// by a previous [`test`](Self::test)), take its payload. The request
+    /// must not be used again after this returns `Some`.
+    pub fn try_take(&mut self) -> Option<Vec<u8>> {
+        if self.test() {
+            self.done.take()
+        } else {
+            None
+        }
+    }
+
+    /// Block until the message arrives and return its payload.
+    pub fn wait(mut self) -> Vec<u8> {
+        if let Some(d) = self.done.take() {
+            return d;
+        }
+        let mailbox = &self.world.mailboxes[self.rank];
+        let mut inner = mailbox.inner.lock();
+        loop {
+            if let Some(pos) = inner
+                .queue
+                .iter()
+                .position(|e| e.src == self.src && e.tag == self.tag)
+            {
+                let env = inner.queue.remove(pos);
+                drop(inner);
+                self.record_recv(env.data.len());
+                return env.data;
+            }
+            let timed_out = mailbox
+                .arrived
+                .wait_for(&mut inner, RECV_TIMEOUT)
+                .timed_out();
+            assert!(
+                !timed_out,
+                "rank {} deadlocked waiting for (src={}, tag={})",
+                self.rank, self.src, self.tag
+            );
+        }
+    }
+
+    /// Like [`wait`](Self::wait) but interpreting the payload as `f32`s.
+    pub fn wait_f32(self) -> Vec<f32> {
+        bytes_to_f32(&self.wait())
+    }
+
+    fn record_recv(&self, bytes: usize) {
+        let mut s = self.world.stats[self.rank].lock();
+        s.msgs_received += 1;
+        s.bytes_received += bytes as u64;
+    }
+}
+
+impl Comm {
+    pub(crate) fn new(rank: usize, size: usize, world: Arc<World>) -> Comm {
+        Comm { rank, size, world }
+    }
+
+    /// This rank's id, `0..size`.
+    pub fn rank(&self) -> usize {
+        self.rank
+    }
+
+    /// Number of ranks in the world.
+    pub fn size(&self) -> usize {
+        self.size
+    }
+
+    // ---------------------------------------------------------------- P2P
+
+    /// Blocking (eager, buffered) send of raw bytes.
+    pub fn send(&self, dest: usize, tag: Tag, data: &[u8]) {
+        self.isend(dest, tag, data).wait();
+    }
+
+    /// Non-blocking send; completes eagerly.
+    pub fn isend(&self, dest: usize, tag: Tag, data: &[u8]) -> SendRequest {
+        assert!(dest < self.size, "send to out-of-range rank {dest}");
+        assert!(dest != self.rank, "self-send unsupported (as in the generated code)");
+        {
+            let mut s = self.world.stats[self.rank].lock();
+            s.msgs_sent += 1;
+            s.bytes_sent += data.len() as u64;
+            *s.per_peer_msgs.entry(dest).or_insert(0) += 1;
+        }
+        let mailbox = &self.world.mailboxes[dest];
+        {
+            let mut inner = mailbox.inner.lock();
+            inner.queue.push(Envelope {
+                src: self.rank,
+                tag,
+                data: data.to_vec(),
+            });
+        }
+        mailbox.arrived.notify_all();
+        SendRequest { bytes: data.len() }
+    }
+
+    /// Blocking receive of a message from `src` with `tag`.
+    pub fn recv(&self, src: usize, tag: Tag) -> Vec<u8> {
+        self.irecv(src, tag).wait()
+    }
+
+    /// Post a non-blocking receive.
+    pub fn irecv(&self, src: usize, tag: Tag) -> RecvRequest {
+        assert!(src < self.size, "recv from out-of-range rank {src}");
+        RecvRequest {
+            src,
+            tag,
+            world: Arc::clone(&self.world),
+            rank: self.rank,
+            done: None,
+        }
+    }
+
+    /// Typed convenience: send a slice of `f32`.
+    pub fn send_f32(&self, dest: usize, tag: Tag, data: &[f32]) {
+        self.send(dest, tag, &f32_to_bytes(data));
+    }
+
+    /// Typed convenience: non-blocking `f32` send.
+    pub fn isend_f32(&self, dest: usize, tag: Tag, data: &[f32]) -> SendRequest {
+        self.isend(dest, tag, &f32_to_bytes(data))
+    }
+
+    /// Typed convenience: blocking `f32` receive.
+    pub fn recv_f32(&self, src: usize, tag: Tag) -> Vec<f32> {
+        bytes_to_f32(&self.recv(src, tag))
+    }
+
+    // ---------------------------------------------------------- collectives
+
+    /// Synchronize all ranks.
+    pub fn barrier(&self) {
+        self.world.barrier.wait();
+    }
+
+    /// All-reduce a single `f64` with the given associative op.
+    pub fn allreduce_f64(&self, value: f64, op: ReduceOp) -> f64 {
+        const TAG_UP: Tag = RESERVED_TAG_BASE + 1;
+        const TAG_DOWN: Tag = RESERVED_TAG_BASE + 2;
+        if self.rank == 0 {
+            let mut acc = value;
+            for src in 1..self.size {
+                let v = f64::from_le_bytes(self.recv(src, TAG_UP).try_into().unwrap());
+                acc = op.apply(acc, v);
+            }
+            for dest in 1..self.size {
+                self.send(dest, TAG_DOWN, &acc.to_le_bytes());
+            }
+            acc
+        } else {
+            self.send(0, TAG_UP, &value.to_le_bytes());
+            f64::from_le_bytes(self.recv(0, TAG_DOWN).try_into().unwrap())
+        }
+    }
+
+    /// Gather variable-length `f32` buffers on `root`; other ranks get
+    /// `None`.
+    pub fn gather_f32(&self, root: usize, data: &[f32]) -> Option<Vec<Vec<f32>>> {
+        const TAG: Tag = RESERVED_TAG_BASE + 3;
+        if self.rank == root {
+            let mut out = vec![Vec::new(); self.size];
+            out[root] = data.to_vec();
+            for src in 0..self.size {
+                if src != root {
+                    out[src] = self.recv_f32(src, TAG);
+                }
+            }
+            Some(out)
+        } else {
+            self.send_f32(root, TAG, data);
+            None
+        }
+    }
+
+    /// Broadcast a `f32` buffer from `root` to everyone; returns the data
+    /// on all ranks.
+    pub fn bcast_f32(&self, root: usize, data: &[f32]) -> Vec<f32> {
+        const TAG: Tag = RESERVED_TAG_BASE + 4;
+        if self.rank == root {
+            for dest in 0..self.size {
+                if dest != root {
+                    self.send_f32(dest, TAG, data);
+                }
+            }
+            data.to_vec()
+        } else {
+            self.recv_f32(root, TAG)
+        }
+    }
+
+    // --------------------------------------------------------------- stats
+
+    /// Snapshot of this rank's traffic counters.
+    pub fn stats(&self) -> CommStats {
+        self.world.stats[self.rank].lock().snapshot(self.rank)
+    }
+
+    /// Reset this rank's traffic counters.
+    pub fn reset_stats(&self) {
+        *self.world.stats[self.rank].lock() = StatsInner::default();
+    }
+}
+
+/// Reduction operators for [`Comm::allreduce_f64`].
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum ReduceOp {
+    Sum,
+    Min,
+    Max,
+}
+
+impl ReduceOp {
+    fn apply(self, a: f64, b: f64) -> f64 {
+        match self {
+            ReduceOp::Sum => a + b,
+            ReduceOp::Min => a.min(b),
+            ReduceOp::Max => a.max(b),
+        }
+    }
+}
+
+/// Reinterpret an `f32` slice as little-endian bytes.
+pub fn f32_to_bytes(data: &[f32]) -> Vec<u8> {
+    let mut out = Vec::with_capacity(data.len() * 4);
+    for v in data {
+        out.extend_from_slice(&v.to_le_bytes());
+    }
+    out
+}
+
+/// Reinterpret little-endian bytes as `f32`s.
+pub fn bytes_to_f32(data: &[u8]) -> Vec<f32> {
+    assert_eq!(data.len() % 4, 0, "payload not a whole number of f32s");
+    data.chunks_exact(4)
+        .map(|c| f32::from_le_bytes(c.try_into().unwrap()))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::universe::Universe;
+
+    #[test]
+    fn bytes_roundtrip() {
+        let v = vec![1.5f32, -2.25, 0.0, f32::MAX];
+        assert_eq!(bytes_to_f32(&f32_to_bytes(&v)), v);
+    }
+
+    #[test]
+    fn ping_pong() {
+        Universe::run(2, |c| {
+            if c.rank() == 0 {
+                c.send_f32(1, 5, &[42.0]);
+                let r = c.recv_f32(1, 6);
+                assert_eq!(r, vec![43.0]);
+            } else {
+                let r = c.recv_f32(0, 5);
+                assert_eq!(r, vec![42.0]);
+                c.send_f32(0, 6, &[43.0]);
+            }
+        });
+    }
+
+    #[test]
+    fn tag_matching_is_selective() {
+        Universe::run(2, |c| {
+            if c.rank() == 0 {
+                // Send tag 2 first, then tag 1; receiver asks for 1 first.
+                c.send_f32(1, 2, &[2.0]);
+                c.send_f32(1, 1, &[1.0]);
+            } else {
+                assert_eq!(c.recv_f32(0, 1), vec![1.0]);
+                assert_eq!(c.recv_f32(0, 2), vec![2.0]);
+            }
+        });
+    }
+
+    #[test]
+    fn same_tag_preserves_order() {
+        Universe::run(2, |c| {
+            if c.rank() == 0 {
+                for i in 0..10 {
+                    c.send_f32(1, 9, &[i as f32]);
+                }
+            } else {
+                for i in 0..10 {
+                    assert_eq!(c.recv_f32(0, 9), vec![i as f32]);
+                }
+            }
+        });
+    }
+
+    #[test]
+    fn irecv_test_polls_without_blocking() {
+        Universe::run(2, |c| {
+            if c.rank() == 1 {
+                let mut req = c.irecv(0, 3);
+                // Might not have arrived yet — poll until it does.
+                let mut spins = 0u64;
+                while !req.test() {
+                    std::hint::spin_loop();
+                    spins += 1;
+                    assert!(spins < 1_000_000_000, "never arrived");
+                }
+                assert_eq!(req.wait_f32(), vec![7.0]);
+            } else {
+                c.send_f32(1, 3, &[7.0]);
+            }
+        });
+    }
+
+    #[test]
+    fn allreduce_sum_min_max() {
+        let out = Universe::run(5, |c| {
+            let v = c.rank() as f64 + 1.0;
+            (
+                c.allreduce_f64(v, ReduceOp::Sum),
+                c.allreduce_f64(v, ReduceOp::Min),
+                c.allreduce_f64(v, ReduceOp::Max),
+            )
+        });
+        for (s, mn, mx) in out {
+            assert_eq!(s, 15.0);
+            assert_eq!(mn, 1.0);
+            assert_eq!(mx, 5.0);
+        }
+    }
+
+    #[test]
+    fn gather_collects_in_rank_order() {
+        let out = Universe::run(4, |c| c.gather_f32(0, &[c.rank() as f32; 2]));
+        assert!(out[1].is_none());
+        let g = out[0].as_ref().unwrap();
+        for (r, buf) in g.iter().enumerate() {
+            assert_eq!(buf, &vec![r as f32; 2]);
+        }
+    }
+
+    #[test]
+    fn bcast_reaches_everyone() {
+        let out = Universe::run(3, |c| c.bcast_f32(1, &[9.0, 8.0]));
+        for v in out {
+            assert_eq!(v, vec![9.0, 8.0]);
+        }
+    }
+
+    #[test]
+    fn stats_count_messages_and_bytes() {
+        let out = Universe::run(2, |c| {
+            if c.rank() == 0 {
+                c.send_f32(1, 1, &[0.0; 10]);
+                c.send_f32(1, 1, &[0.0; 6]);
+            } else {
+                c.recv_f32(0, 1);
+                c.recv_f32(0, 1);
+            }
+            c.barrier();
+            c.stats()
+        });
+        assert_eq!(out[0].msgs_sent, 2);
+        assert_eq!(out[0].bytes_sent, 64);
+        assert_eq!(out[1].msgs_received, 2);
+        assert_eq!(out[1].bytes_received, 64);
+    }
+
+    #[test]
+    #[should_panic]
+    fn self_send_rejected() {
+        Universe::run(1, |c| {
+            c.send_f32(0, 0, &[1.0]);
+        });
+    }
+}

@@ -1,0 +1,53 @@
+//! Per-rank communication statistics.
+//!
+//! The performance model (`mpix-perf`) consumes these counters to relate
+//! observed message counts/volumes to the analytic cost model; tests use
+//! them to assert the paper's Table I message counts (6 vs 26 in 3-D).
+
+use std::collections::BTreeMap;
+
+/// Internal mutable counters (one per rank, behind a lock).
+#[derive(Default, Debug, Clone)]
+pub(crate) struct StatsInner {
+    pub msgs_sent: u64,
+    pub bytes_sent: u64,
+    pub msgs_received: u64,
+    pub bytes_received: u64,
+    pub per_peer_msgs: BTreeMap<usize, u64>,
+}
+
+impl StatsInner {
+    pub(crate) fn snapshot(&self, rank: usize) -> CommStats {
+        CommStats {
+            rank,
+            msgs_sent: self.msgs_sent,
+            bytes_sent: self.bytes_sent,
+            msgs_received: self.msgs_received,
+            bytes_received: self.bytes_received,
+            per_peer_msgs: self.per_peer_msgs.clone(),
+        }
+    }
+}
+
+/// An immutable snapshot of one rank's traffic.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CommStats {
+    pub rank: usize,
+    /// Messages this rank sent.
+    pub msgs_sent: u64,
+    /// Payload bytes this rank sent.
+    pub bytes_sent: u64,
+    /// Messages this rank received.
+    pub msgs_received: u64,
+    /// Payload bytes this rank received.
+    pub bytes_received: u64,
+    /// Messages sent per destination rank.
+    pub per_peer_msgs: BTreeMap<usize, u64>,
+}
+
+impl CommStats {
+    /// Number of distinct peers this rank sent to.
+    pub fn peer_count(&self) -> usize {
+        self.per_peer_msgs.len()
+    }
+}

@@ -1,0 +1,79 @@
+//! Rank spawning: the analogue of `mpirun -np N`.
+
+use std::sync::Arc;
+
+use crate::comm::{Comm, World};
+
+/// Entry point for simulated multi-rank execution.
+///
+/// `Universe::run(n, f)` plays the role of
+/// `mpirun -np <n> <executable>` in the paper: it spawns `n` rank threads,
+/// hands each a [`Comm`], and joins them, returning the per-rank results
+/// in rank order. Panics in any rank are propagated to the caller.
+pub struct Universe;
+
+impl Universe {
+    /// Run `f` on `n` ranks. The closure may borrow from the environment
+    /// (scoped threads); shared captures must be `Sync`.
+    pub fn run<R, F>(n: usize, f: F) -> Vec<R>
+    where
+        R: Send,
+        F: Fn(Comm) -> R + Send + Sync,
+    {
+        assert!(n >= 1, "need at least one rank");
+        let world = Arc::new(World::new(n));
+        let f = &f;
+        std::thread::scope(|scope| {
+            let mut handles = Vec::with_capacity(n);
+            for rank in 0..n {
+                let world = Arc::clone(&world);
+                handles.push(scope.spawn(move || f(Comm::new(rank, n, world))));
+            }
+            handles
+                .into_iter()
+                .map(|h| match h.join() {
+                    Ok(r) => r,
+                    Err(payload) => std::panic::resume_unwind(payload),
+                })
+                .collect()
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn results_are_in_rank_order() {
+        let out = Universe::run(6, |c| c.rank() * 10);
+        assert_eq!(out, vec![0, 10, 20, 30, 40, 50]);
+    }
+
+    #[test]
+    fn closures_can_borrow_environment() {
+        let base = 100usize;
+        let out = Universe::run(3, |c| base + c.rank());
+        assert_eq!(out, vec![100, 101, 102]);
+    }
+
+    #[test]
+    fn single_rank_works() {
+        let out = Universe::run(1, |c| {
+            assert_eq!(c.size(), 1);
+            c.barrier();
+            "ok"
+        });
+        assert_eq!(out, vec!["ok"]);
+    }
+
+    #[test]
+    #[should_panic(expected = "boom")]
+    fn rank_panics_propagate() {
+        Universe::run(2, |c| {
+            if c.rank() == 1 {
+                panic!("boom");
+            }
+        });
+    }
+}

@@ -1,0 +1,193 @@
+//! Automated runtime tuning — the paper's §IV-F future work items:
+//! "an automated tuning system for selecting the best-performing MPI
+//! pattern without exploring all three options manually, and another
+//! level of automated tuning for custom decompositions for the *full*
+//! mode", plus the loop-blocking autotuning mentioned in §IV-C.
+//!
+//! The tuner runs short timed trials of the compiled operator on
+//! scratch workspaces (leaving user data untouched) and picks the
+//! fastest configuration.
+
+use std::time::Instant;
+
+use mpix_comm::dims_create;
+use mpix_dmp::HaloMode;
+
+use crate::operator::{ApplyOptions, Operator};
+use crate::workspace::Workspace;
+
+/// Result of a tuning sweep: the chosen configuration plus the measured
+/// trial times for transparency.
+#[derive(Clone, Debug)]
+pub struct TuneReport<C> {
+    pub best: C,
+    /// `(candidate, seconds)` for every trial, in sweep order.
+    pub trials: Vec<(C, f64)>,
+}
+
+impl Operator {
+    /// Select the fastest halo-exchange pattern for this operator at the
+    /// given rank count by running `trial_nt` timed steps per mode on
+    /// scratch data (model parameters seeded by `init`).
+    pub fn autotune_mode<FI>(
+        &self,
+        nranks: usize,
+        topology: Option<Vec<usize>>,
+        base: &ApplyOptions,
+        trial_nt: i64,
+        init: FI,
+    ) -> TuneReport<HaloMode>
+    where
+        FI: Fn(&mut Workspace) + Send + Sync,
+    {
+        let mut trials = Vec::new();
+        for mode in [HaloMode::Basic, HaloMode::Diagonal, HaloMode::Full] {
+            let opts = base.clone().with_mode(mode).with_nt(trial_nt);
+            // Warm-up step amortizes first-touch allocation effects.
+            let t0 = Instant::now();
+            self.apply_distributed(nranks, topology.clone(), &opts, &init, |_| ());
+            trials.push((mode, t0.elapsed().as_secs_f64()));
+        }
+        let best = trials
+            .iter()
+            .min_by(|a, b| a.1.partial_cmp(&b.1).unwrap())
+            .unwrap()
+            .0;
+        TuneReport { best, trials }
+    }
+
+    /// Select the fastest cache-blocking tile from `candidates` with
+    /// single-rank trials (blocking is a per-rank concern).
+    pub fn autotune_block<FI>(
+        &self,
+        base: &ApplyOptions,
+        trial_nt: i64,
+        candidates: &[usize],
+        init: FI,
+    ) -> TuneReport<usize>
+    where
+        FI: Fn(&mut Workspace) + Send + Sync,
+    {
+        assert!(!candidates.is_empty());
+        let mut trials = Vec::new();
+        for &block in candidates {
+            let opts = base.clone().with_block(block).with_nt(trial_nt);
+            let t0 = Instant::now();
+            self.apply_local(&opts, &init, |_| ());
+            trials.push((block, t0.elapsed().as_secs_f64()));
+        }
+        let best = trials
+            .iter()
+            .min_by(|a, b| a.1.partial_cmp(&b.1).unwrap())
+            .unwrap()
+            .0;
+        TuneReport { best, trials }
+    }
+
+    /// Tune the process-grid topology for the *full* pattern (§IV-F:
+    /// "customizing the decomposition to only split in x and y" can beat
+    /// the balanced default). Sweeps the balanced factorization plus the
+    /// axis-restricted variants that keep the innermost dimension
+    /// contiguous.
+    pub fn autotune_topology<FI>(
+        &self,
+        nranks: usize,
+        base: &ApplyOptions,
+        trial_nt: i64,
+        init: FI,
+    ) -> TuneReport<Vec<usize>>
+    where
+        FI: Fn(&mut Workspace) + Send + Sync,
+    {
+        let nd = self.grid().ndim();
+        let mut candidates: Vec<Vec<usize>> = vec![dims_create(nranks, nd)];
+        if nd == 3 {
+            // Split only x/y (keep z whole: unbroken vector dimension).
+            let mut xy = dims_create(nranks, 2);
+            xy.push(1);
+            candidates.push(xy);
+            // Split only x (maximal slabs).
+            candidates.push(vec![nranks, 1, 1]);
+        } else if nd == 2 {
+            candidates.push(vec![nranks, 1]);
+        }
+        candidates.retain(|c| {
+            c.iter()
+                .zip(self.grid().shape.iter())
+                .all(|(&p, &s)| p <= s)
+        });
+        candidates.dedup();
+        let mut trials = Vec::new();
+        for topo in candidates {
+            let opts = base.clone().with_nt(trial_nt);
+            let t0 = Instant::now();
+            self.apply_distributed(nranks, Some(topo.clone()), &opts, &init, |_| ());
+            trials.push((topo, t0.elapsed().as_secs_f64()));
+        }
+        let best = trials
+            .iter()
+            .min_by(|a, b| a.1.partial_cmp(&b.1).unwrap())
+            .unwrap()
+            .0
+            .clone();
+        TuneReport { best, trials }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mpix_symbolic::{Context, Eq, Grid};
+
+    fn op() -> Operator {
+        let mut ctx = Context::new();
+        let grid = Grid::new(&[16, 16], &[1.0, 1.0]);
+        let u = ctx.add_time_function("u", &grid, 4, 1);
+        let eq = Eq::new(u.dt(), u.laplace());
+        let st = eq.solve_for(&u.forward(), &ctx).unwrap();
+        Operator::build(ctx, grid, vec![st]).unwrap()
+    }
+
+    #[test]
+    fn mode_tuner_tries_all_three_and_picks_a_valid_mode() {
+        let op = op();
+        let base = ApplyOptions::default().with_dt(0.001);
+        let report = op.autotune_mode(4, None, &base, 3, |ws| {
+            ws.field_data_mut("u", 0).fill_global_slice(&[4..12, 4..12], 1.0);
+        });
+        assert_eq!(report.trials.len(), 3);
+        assert!(report.trials.iter().any(|(m, _)| *m == report.best));
+        assert!(report.trials.iter().all(|(_, t)| *t > 0.0));
+    }
+
+    #[test]
+    fn block_tuner_picks_from_candidates() {
+        let op = op();
+        let base = ApplyOptions::default().with_dt(0.001);
+        let report = op.autotune_block(&base, 2, &[0, 4, 8], |_| ());
+        assert!([0, 4, 8].contains(&report.best));
+        assert_eq!(report.trials.len(), 3);
+    }
+
+    #[test]
+    fn topology_tuner_includes_axis_restricted_candidates() {
+        let op = op();
+        let base = ApplyOptions::default()
+            .with_dt(0.001)
+            .with_mode(mpix_dmp::HaloMode::Full);
+        let report = op.autotune_topology(4, &base, 2, |_| ());
+        // 2-D grid: balanced [2,2] plus slab [4,1].
+        assert!(report.trials.len() >= 2);
+        let topos: Vec<&Vec<usize>> = report.trials.iter().map(|(t, _)| t).collect();
+        assert!(topos.contains(&&vec![2, 2]));
+        assert!(topos.contains(&&vec![4, 1]));
+    }
+
+    #[test]
+    #[should_panic]
+    fn block_tuner_requires_candidates() {
+        let op = op();
+        let base = ApplyOptions::default();
+        op.autotune_block(&base, 1, &[], |_| ());
+    }
+}

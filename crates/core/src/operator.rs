@@ -1,0 +1,313 @@
+//! The `Operator`: compile once, apply at any rank count and MPI mode.
+
+use std::collections::HashMap;
+
+use mpix_codegen::executor::{mpi_mode_of, ExecOptions, ExecStats, OperatorExec};
+use mpix_comm::{dims_create, CartComm, Universe};
+use mpix_dmp::HaloMode;
+use mpix_ir::cluster::{clusterize, Cluster};
+use mpix_ir::halo::{detect_halo_exchanges, HaloPlan};
+use mpix_ir::iet::{build_iet, Node};
+use mpix_ir::lowering::{lower_equations, LoweringError};
+use mpix_ir::opcount::{op_counts, OpCounts};
+use mpix_ir::passes::{cse_cluster, lower_halo_spots};
+use mpix_ir::schedule::ScheduleTree;
+use mpix_symbolic::{Context, Eq, Grid};
+
+use crate::workspace::Workspace;
+
+/// Compilation failures surfaced to the user.
+#[derive(Debug)]
+pub enum BuildError {
+    Lowering(LoweringError),
+    /// The operator has no equations.
+    Empty,
+}
+
+impl From<LoweringError> for BuildError {
+    fn from(e: LoweringError) -> Self {
+        BuildError::Lowering(e)
+    }
+}
+
+/// Runtime options for `apply` — the paper's `DEVITO_MPI` mode, blocking
+/// tile, thread count and time-step configuration.
+#[derive(Clone, Debug)]
+pub struct ApplyOptions {
+    pub mode: HaloMode,
+    pub block: usize,
+    pub threads: usize,
+    /// Number of time steps.
+    pub nt: i64,
+    /// First time index (enables external stepping: run `nt` steps from
+    /// `t0`, inspect, continue from `t0 + nt` with rotation preserved).
+    pub t0: i64,
+    /// Time-step size; if `None`, a default of 1.0 is used.
+    pub dt: Option<f64>,
+    /// Extra runtime scalars beyond `dt`/`h_*`.
+    pub scalars: Vec<(String, f32)>,
+}
+
+impl Default for ApplyOptions {
+    fn default() -> Self {
+        ApplyOptions {
+            mode: HaloMode::Basic,
+            block: 0,
+            threads: 1,
+            nt: 1,
+            t0: 0,
+            dt: None,
+            scalars: Vec::new(),
+        }
+    }
+}
+
+impl ApplyOptions {
+    pub fn with_mode(mut self, mode: HaloMode) -> Self {
+        self.mode = mode;
+        self
+    }
+    pub fn with_nt(mut self, nt: i64) -> Self {
+        self.nt = nt;
+        self
+    }
+    pub fn with_t0(mut self, t0: i64) -> Self {
+        self.t0 = t0;
+        self
+    }
+    pub fn with_dt(mut self, dt: f64) -> Self {
+        self.dt = Some(dt);
+        self
+    }
+    pub fn with_block(mut self, block: usize) -> Self {
+        self.block = block;
+        self
+    }
+    pub fn with_threads(mut self, threads: usize) -> Self {
+        self.threads = threads;
+        self
+    }
+    pub fn with_scalar(mut self, name: &str, v: f32) -> Self {
+        self.scalars.push((name.to_string(), v));
+        self
+    }
+
+    /// Read runtime knobs from the environment, mirroring the paper's
+    /// job scripts: `MPIX_MPI` (like `DEVITO_MPI`: `basic`, `diag`,
+    /// `diag2`, `full`), `MPIX_BLOCK` (tile edge) and `MPIX_THREADS`
+    /// (like `OMP_NUM_THREADS`).
+    pub fn from_env() -> Self {
+        let mut o = ApplyOptions::default();
+        if let Ok(v) = std::env::var("MPIX_MPI") {
+            if let Some(mode) = HaloMode::parse(&v) {
+                o.mode = mode;
+            }
+        }
+        if let Ok(v) = std::env::var("MPIX_BLOCK") {
+            if let Ok(b) = v.parse() {
+                o.block = b;
+            }
+        }
+        if let Ok(v) = std::env::var("MPIX_THREADS") {
+            if let Ok(t) = v.parse::<usize>() {
+                o.threads = t.max(1);
+            }
+        }
+        o
+    }
+}
+
+/// A compiled operator: the product of the Fig. 1 pipeline, plus enough
+/// metadata to print every IR level.
+pub struct Operator {
+    ctx: Context,
+    grid: Grid,
+    clusters: Vec<Cluster>,
+    plan: HaloPlan,
+    iet: Node,
+    counts: OpCounts,
+}
+
+impl Operator {
+    /// Run the compilation pipeline on explicit update equations
+    /// (each `Eq` must already be in `target = stencil` form; use
+    /// [`Eq::solve_for`] first for implicit PDE statements).
+    pub fn build(ctx: Context, grid: Grid, eqs: Vec<Eq>) -> Result<Operator, BuildError> {
+        if eqs.is_empty() {
+            return Err(BuildError::Empty);
+        }
+        let lowered = lower_equations(&eqs, &ctx)?;
+        let mut clusters = clusterize(&lowered);
+        let mut next_param = 0;
+        for cl in &mut clusters {
+            cse_cluster(cl, &mut next_param);
+        }
+        let plan = detect_halo_exchanges(&clusters, &ctx);
+        let counts = op_counts(&clusters);
+        let iet = build_iet(clusters.clone(), &plan, "Kernel", 0, true);
+        Ok(Operator {
+            ctx,
+            grid,
+            clusters,
+            plan,
+            iet,
+            counts,
+        })
+    }
+
+    pub fn ctx(&self) -> &Context {
+        &self.ctx
+    }
+    pub fn grid(&self) -> &Grid {
+        &self.grid
+    }
+    pub fn clusters(&self) -> &[Cluster] {
+        &self.clusters
+    }
+    pub fn halo_plan(&self) -> &HaloPlan {
+        &self.plan
+    }
+    /// Compile-time operation counts (OI, flops/pt, streams) — the
+    /// paper's §IV-C compile-time metrics.
+    pub fn op_counts(&self) -> &OpCounts {
+        &self.counts
+    }
+
+    /// The schedule tree (Listing 4).
+    pub fn schedule_tree(&self) -> String {
+        ScheduleTree::build(&self.clusters, &self.plan, &self.ctx).to_string()
+    }
+
+    /// The IET with HaloSpots (Listing 5).
+    pub fn iet_string(&self) -> String {
+        format!(
+            "{}",
+            mpix_ir::iet::IetPrinter {
+                node: &self.iet,
+                ctx: &self.ctx
+            }
+        )
+    }
+
+    /// Generated C code for the given mode (Listing 11).
+    pub fn c_code(&self, mode: HaloMode) -> String {
+        let lowered = lower_halo_spots(self.iet.clone(), mpi_mode_of(mode));
+        mpix_codegen::cgen::emit_c(&lowered, &self.ctx)
+    }
+
+    /// Mode-lowered executable.
+    pub fn executable(&self, mode: HaloMode) -> OperatorExec {
+        let lowered = lower_halo_spots(self.iet.clone(), mpi_mode_of(mode));
+        OperatorExec::new(lowered, &self.ctx)
+    }
+
+    /// Default runtime scalars: `dt` and the grid spacings.
+    pub fn default_scalars(&self, opts: &ApplyOptions) -> HashMap<String, f32> {
+        let mut m = HashMap::new();
+        m.insert("dt".to_string(), opts.dt.unwrap_or(1.0) as f32);
+        for d in 0..self.grid.ndim() {
+            m.insert(
+                Grid::spacing_symbol_name(d),
+                self.grid.spacing(d) as f32,
+            );
+        }
+        for (k, v) in &opts.scalars {
+            m.insert(k.clone(), *v);
+        }
+        m
+    }
+
+    /// Run on an existing per-rank workspace (the low-level entry point;
+    /// `apply_distributed` wraps it).
+    pub fn apply(&self, ws: &mut Workspace, exec: &OperatorExec, opts: &ApplyOptions) -> ExecStats {
+        let scalars = self.default_scalars(opts);
+        let Workspace {
+            cart,
+            fields,
+            sparse,
+            ..
+        } = ws;
+        exec.run(
+            cart,
+            fields,
+            &scalars,
+            sparse,
+            opts.t0,
+            opts.nt,
+            &ExecOptions {
+                mode: opts.mode,
+                block: opts.block,
+                threads: opts.threads,
+            },
+        )
+    }
+
+    /// The paper's zero-code-change promise: run the same operator on
+    /// `nranks` simulated MPI ranks. `init` seeds each rank's data
+    /// (global indexing — every rank runs the same code, as with the
+    /// distributed NumPy arrays); `extract` pulls per-rank results.
+    pub fn apply_distributed<R, FI, FX>(
+        &self,
+        nranks: usize,
+        topology: Option<Vec<usize>>,
+        opts: &ApplyOptions,
+        init: FI,
+        extract: FX,
+    ) -> Vec<R>
+    where
+        R: Send,
+        FI: Fn(&mut Workspace) + Send + Sync,
+        FX: Fn(&mut Workspace) -> R + Send + Sync,
+    {
+        let dims = topology.unwrap_or_else(|| dims_create(nranks, self.grid.ndim()));
+        let exec = self.executable(opts.mode);
+        Universe::run(nranks, |comm| {
+            let cart = CartComm::new(comm, &dims);
+            let mut ws = Workspace::new(&self.ctx, &self.grid, cart);
+            init(&mut ws);
+            let stats = self.apply(&mut ws, &exec, opts);
+            ws.last_stats = Some(stats);
+            ws.final_t = opts.t0 + opts.nt;
+            extract(&mut ws)
+        })
+    }
+
+    /// Single-rank convenience (serial reference runs).
+    pub fn apply_local<R>(
+        &self,
+        opts: &ApplyOptions,
+        init: impl Fn(&mut Workspace) + Send + Sync,
+        extract: impl Fn(&mut Workspace) -> R + Send + Sync,
+    ) -> R
+    where
+        R: Send,
+    {
+        self.apply_distributed(1, None, opts, init, extract)
+            .into_iter()
+            .next()
+            .unwrap()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn apply_options_from_env_parses_job_script_values() {
+        // Serialize env mutation within this test.
+        std::env::set_var("MPIX_MPI", "diag2");
+        std::env::set_var("MPIX_BLOCK", "16");
+        std::env::set_var("MPIX_THREADS", "4");
+        let o = ApplyOptions::from_env();
+        assert_eq!(o.mode, HaloMode::Diagonal);
+        assert_eq!(o.block, 16);
+        assert_eq!(o.threads, 4);
+        std::env::remove_var("MPIX_MPI");
+        std::env::remove_var("MPIX_BLOCK");
+        std::env::remove_var("MPIX_THREADS");
+        let o = ApplyOptions::from_env();
+        assert_eq!(o.mode, HaloMode::Basic);
+        assert_eq!(o.block, 0);
+    }
+}

@@ -1,0 +1,228 @@
+//! Cartesian domain decomposition and global↔local index conversion.
+//!
+//! A [`Decomposition`] splits a global grid of `shape` points across a
+//! process grid `dims` (either the `MPI_Dims_create`-style default from
+//! [`mpix_comm::dims_create`] or a user-provided topology, Fig. 2). The
+//! split is balanced: when `shape[d]` does not divide evenly, the first
+//! `shape[d] % dims[d]` process columns get one extra point — the same
+//! rule MPI-based frameworks conventionally use.
+
+use std::ops::Range;
+
+/// An immutable description of how a global grid maps onto a process
+/// grid.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Decomposition {
+    global: Vec<usize>,
+    dims: Vec<usize>,
+}
+
+impl Decomposition {
+    /// Create a decomposition of `global` points over a `dims` process
+    /// grid.
+    ///
+    /// # Panics
+    /// If dimensionalities disagree or any dimension has fewer points
+    /// than process columns.
+    pub fn new(global: &[usize], dims: &[usize]) -> Decomposition {
+        assert_eq!(global.len(), dims.len(), "shape/topology rank mismatch");
+        for d in 0..global.len() {
+            assert!(
+                global[d] >= dims[d],
+                "dimension {d}: {} points cannot be split over {} ranks",
+                global[d],
+                dims[d]
+            );
+            assert!(dims[d] >= 1);
+        }
+        Decomposition {
+            global: global.to_vec(),
+            dims: dims.to_vec(),
+        }
+    }
+
+    /// Global grid shape.
+    pub fn global_shape(&self) -> &[usize] {
+        &self.global
+    }
+
+    /// Process grid shape.
+    pub fn dims(&self) -> &[usize] {
+        &self.dims
+    }
+
+    /// Number of spatial dimensions.
+    pub fn ndim(&self) -> usize {
+        self.global.len()
+    }
+
+    /// The range of global indices along `d` owned by process column `c`.
+    pub fn owned_range(&self, d: usize, c: usize) -> Range<usize> {
+        let s = self.global[d];
+        let p = self.dims[d];
+        debug_assert!(c < p);
+        let base = s / p;
+        let rem = s % p;
+        let start = c * base + c.min(rem);
+        let len = base + usize::from(c < rem);
+        start..start + len
+    }
+
+    /// The local shape (owned points per dimension) of the rank at
+    /// Cartesian coordinates `coords`.
+    pub fn local_shape(&self, coords: &[usize]) -> Vec<usize> {
+        (0..self.ndim())
+            .map(|d| self.owned_range(d, coords[d]).len())
+            .collect()
+    }
+
+    /// The process column along `d` owning global index `g`.
+    pub fn owner_of(&self, d: usize, g: usize) -> usize {
+        let s = self.global[d];
+        let p = self.dims[d];
+        assert!(g < s, "global index {g} out of range for dim {d}");
+        let base = s / p;
+        let rem = s % p;
+        let big = (base + 1) * rem; // indices covered by the larger columns
+        if g < big {
+            g / (base + 1)
+        } else {
+            rem + (g - big) / base
+        }
+    }
+
+    /// Convert a global index along `d` to `(process column, local index)`.
+    pub fn global_to_local(&self, d: usize, g: usize) -> (usize, usize) {
+        let c = self.owner_of(d, g);
+        let r = self.owned_range(d, c);
+        (c, g - r.start)
+    }
+
+    /// Convert a local index on process column `c` back to global.
+    pub fn local_to_global(&self, d: usize, c: usize, l: usize) -> usize {
+        let r = self.owned_range(d, c);
+        debug_assert!(l < r.len());
+        r.start + l
+    }
+
+    /// Intersect a global range along `d` with the ownership of column
+    /// `c`, returning the *local* range, or `None` when disjoint.
+    pub fn intersect_local(&self, d: usize, c: usize, global: &Range<usize>) -> Option<Range<usize>> {
+        let owned = self.owned_range(d, c);
+        let lo = global.start.max(owned.start);
+        let hi = global.end.min(owned.end);
+        if lo >= hi {
+            None
+        } else {
+            Some(lo - owned.start..hi - owned.start)
+        }
+    }
+
+    /// The process columns along `d` whose ownership intersects the
+    /// global range (used for sparse-point replication, Fig. 3).
+    pub fn owners_of_range(&self, d: usize, global: &Range<usize>) -> Range<usize> {
+        assert!(global.start < global.end);
+        let first = self.owner_of(d, global.start.min(self.global[d] - 1));
+        let last = self.owner_of(d, (global.end - 1).min(self.global[d] - 1));
+        first..last + 1
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn even_split() {
+        let dc = Decomposition::new(&[8, 8], &[2, 2]);
+        assert_eq!(dc.owned_range(0, 0), 0..4);
+        assert_eq!(dc.owned_range(0, 1), 4..8);
+        assert_eq!(dc.local_shape(&[1, 1]), vec![4, 4]);
+    }
+
+    #[test]
+    fn uneven_split_gives_extra_to_leading_columns() {
+        let dc = Decomposition::new(&[10], &[4]);
+        // 10 = 3 + 3 + 2 + 2
+        assert_eq!(dc.owned_range(0, 0), 0..3);
+        assert_eq!(dc.owned_range(0, 1), 3..6);
+        assert_eq!(dc.owned_range(0, 2), 6..8);
+        assert_eq!(dc.owned_range(0, 3), 8..10);
+    }
+
+    #[test]
+    fn owner_of_matches_ranges() {
+        let dc = Decomposition::new(&[10], &[4]);
+        for g in 0..10 {
+            let c = dc.owner_of(0, g);
+            assert!(dc.owned_range(0, c).contains(&g), "g={g} c={c}");
+        }
+    }
+
+    #[test]
+    fn global_local_roundtrip() {
+        let dc = Decomposition::new(&[17, 9], &[3, 2]);
+        for d in 0..2 {
+            for g in 0..dc.global_shape()[d] {
+                let (c, l) = dc.global_to_local(d, g);
+                assert_eq!(dc.local_to_global(d, c, l), g);
+            }
+        }
+    }
+
+    #[test]
+    fn intersect_local_clips() {
+        let dc = Decomposition::new(&[8], &[2]);
+        // Global 3..6 intersected with rank 0 (0..4) -> local 3..4
+        assert_eq!(dc.intersect_local(0, 0, &(3..6)), Some(3..4));
+        // with rank 1 (4..8) -> local 0..2
+        assert_eq!(dc.intersect_local(0, 1, &(3..6)), Some(0..2));
+        assert_eq!(dc.intersect_local(0, 1, &(0..4)), None);
+    }
+
+    #[test]
+    fn owners_of_range_spans_boundary() {
+        let dc = Decomposition::new(&[8], &[4]);
+        // Range 3..5 crosses ranks 1 (2..4) and 2 (4..6).
+        assert_eq!(dc.owners_of_range(0, &(3..5)), 1..3);
+        assert_eq!(dc.owners_of_range(0, &(0..1)), 0..1);
+    }
+
+    #[test]
+    #[should_panic]
+    fn more_ranks_than_points_rejected() {
+        Decomposition::new(&[3], &[4]);
+    }
+
+    proptest! {
+        #[test]
+        fn prop_partition_is_exact_and_balanced(s in 1usize..2000, p in 1usize..64) {
+            prop_assume!(s >= p);
+            let dc = Decomposition::new(&[s], &[p]);
+            let mut total = 0;
+            let mut prev_end = 0;
+            let mut sizes = Vec::new();
+            for c in 0..p {
+                let r = dc.owned_range(0, c);
+                prop_assert_eq!(r.start, prev_end, "contiguous");
+                prev_end = r.end;
+                total += r.len();
+                sizes.push(r.len());
+            }
+            prop_assert_eq!(total, s, "covers all points");
+            let mx = *sizes.iter().max().unwrap();
+            let mn = *sizes.iter().min().unwrap();
+            prop_assert!(mx - mn <= 1, "balanced within one point");
+        }
+
+        #[test]
+        fn prop_owner_roundtrip(s in 1usize..1000, p in 1usize..32, g in 0usize..1000) {
+            prop_assume!(s >= p && g < s);
+            let dc = Decomposition::new(&[s], &[p]);
+            let (c, l) = dc.global_to_local(0, g);
+            prop_assert_eq!(dc.local_to_global(0, c, l), g);
+            prop_assert!(dc.owned_range(0, c).contains(&g));
+        }
+    }
+}

@@ -1,0 +1,137 @@
+//! Property tests for halo exchange: random shapes, topologies, radii and
+//! modes must reconstruct every interior FULL-region value, and all three
+//! modes must agree bit-for-bit.
+
+use std::sync::Arc;
+
+use mpix_comm::{CartComm, Universe};
+use mpix_dmp::halo::make_exchange;
+use mpix_dmp::regions::for_each_index;
+use mpix_dmp::{Decomposition, DistArray, HaloMode, Region};
+use proptest::prelude::*;
+
+/// Run one exchange and return every rank's FULL-region contents in a
+/// canonical (coords, values) form.
+fn exchange_snapshot(
+    global: &[usize],
+    dims: &[usize],
+    radius: usize,
+    mode: HaloMode,
+) -> Vec<Vec<f32>> {
+    let nranks: usize = dims.iter().product();
+    let global = global.to_vec();
+    let dims = dims.to_vec();
+    Universe::run(nranks, move |comm| {
+        let cart = CartComm::new(comm, &dims);
+        let dc = Arc::new(Decomposition::new(&global, &dims));
+        let coords = cart.coords().to_vec();
+        let mut arr = DistArray::new(Arc::clone(&dc), &coords, radius.max(2));
+        // Owned values = global linear index + 1.
+        let nd = global.len();
+        let starts: Vec<usize> = (0..nd)
+            .map(|d| dc.owned_range(d, coords[d]).start)
+            .collect();
+        let local: Vec<std::ops::Range<usize>> =
+            arr.local_shape().iter().map(|&n| 0..n).collect();
+        let mut writes = Vec::new();
+        for_each_index(&local, |idx| {
+            let mut lin = 0usize;
+            for d in 0..nd {
+                lin = lin * global[d] + starts[d] + idx[d];
+            }
+            writes.push((idx.to_vec(), (lin + 1) as f32));
+        });
+        for (idx, v) in writes {
+            arr.set_local(&idx, v);
+        }
+        let mut ex = make_exchange(mode);
+        ex.exchange(&cart, &mut arr, radius, 0);
+        let full = arr.region(Region::Full, radius);
+        let mut vals = Vec::new();
+        for_each_index(&full, |p| vals.push(arr.get_padded(p)));
+        vals
+    })
+}
+
+/// Reference: what the FULL region *should* contain, computed globally.
+fn expected_snapshot(global: &[usize], dims: &[usize], radius: usize) -> Vec<Vec<f32>> {
+    let nranks: usize = dims.iter().product();
+    let dc = Decomposition::new(global, dims);
+    let nd = global.len();
+    (0..nranks)
+        .map(|rank| {
+            let coords = CartComm::coords_of(dims, rank);
+            let starts: Vec<i64> = (0..nd)
+                .map(|d| dc.owned_range(d, coords[d]).start as i64)
+                .collect();
+            let shape = dc.local_shape(&coords);
+            let full: Vec<std::ops::Range<i64>> = shape
+                .iter()
+                .map(|&n| -(radius as i64)..(n + radius) as i64)
+                .collect();
+            let mut vals = Vec::new();
+            let mut idx: Vec<i64> = full.iter().map(|r| r.start).collect();
+            'outer: loop {
+                let mut lin = 0i64;
+                let mut inside = true;
+                for d in 0..nd {
+                    let g = idx[d] + starts[d];
+                    if g < 0 || g >= global[d] as i64 {
+                        inside = false;
+                    }
+                    lin = lin * global[d] as i64 + g;
+                }
+                vals.push(if inside { (lin + 1) as f32 } else { 0.0 });
+                let mut d = nd;
+                loop {
+                    if d == 0 {
+                        break 'outer;
+                    }
+                    d -= 1;
+                    idx[d] += 1;
+                    if idx[d] < full[d].end {
+                        break;
+                    }
+                    idx[d] = full[d].start;
+                }
+            }
+            vals
+        })
+        .collect()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+    #[test]
+    fn prop_exchange_reconstructs_full_region_2d(
+        px in 1usize..4, py in 1usize..4,
+        ex in 6usize..12, ey in 6usize..12,
+        radius in 1usize..3,
+        mode_idx in 0usize..3,
+    ) {
+        let dims = [px, py];
+        let global = [px * ex, py * ey];
+        prop_assume!(px * py > 1);
+        let mode = [HaloMode::Basic, HaloMode::Diagonal, HaloMode::Full][mode_idx];
+        let got = exchange_snapshot(&global, &dims, radius, mode);
+        let want = expected_snapshot(&global, &dims, radius);
+        prop_assert_eq!(got, want, "mode {:?} dims {:?} radius {}", mode, dims, radius);
+    }
+
+    #[test]
+    fn prop_modes_agree_3d(
+        px in 1usize..3, py in 1usize..3, pz in 1usize..3,
+        radius in 1usize..3,
+    ) {
+        prop_assume!(px * py * pz > 1);
+        let dims = [px, py, pz];
+        let global = [px * 5, py * 6, pz * 4];
+        let a = exchange_snapshot(&global, &dims, radius, HaloMode::Basic);
+        let b = exchange_snapshot(&global, &dims, radius, HaloMode::Diagonal);
+        let c = exchange_snapshot(&global, &dims, radius, HaloMode::Full);
+        prop_assert_eq!(&a, &b);
+        prop_assert_eq!(&a, &c);
+        let want = expected_snapshot(&global, &dims, radius);
+        prop_assert_eq!(a, want);
+    }
+}

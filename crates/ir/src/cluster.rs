@@ -1,0 +1,225 @@
+//! Cluster-level IR: grouping statements by data dependence (paper §II).
+//!
+//! A [`Cluster`] is a set of statements sharing one iteration space that
+//! can legally execute in a single loop nest. The clustering rule mirrors
+//! Devito's: a statement may join the open cluster unless it reads — at a
+//! nonzero spatial offset — a value the cluster writes in the same time
+//! step (a cross-iteration flow dependence, which requires a loop-nest
+//! boundary and, under DMP, a halo exchange in between). Same-point reads
+//! of freshly written values are fine: statement order within the loop
+//! body preserves them.
+
+use mpix_symbolic::FieldId;
+
+use crate::iexpr::{IExpr, IdxAccess};
+use crate::lowering::LoweredEq;
+
+/// One statement of a cluster body.
+#[derive(Clone, Debug)]
+pub enum Stmt {
+    /// A per-point temporary (CSE result): `tmpN = expr`.
+    Let { temp: usize, value: IExpr },
+    /// A field store: `target = expr`.
+    Store { target: IdxAccess, value: IExpr },
+}
+
+impl Stmt {
+    pub fn value(&self) -> &IExpr {
+        match self {
+            Stmt::Let { value, .. } | Stmt::Store { value, .. } => value,
+        }
+    }
+    pub fn value_mut(&mut self) -> &mut IExpr {
+        match self {
+            Stmt::Let { value, .. } | Stmt::Store { value, .. } => value,
+        }
+    }
+}
+
+/// A group of statements executable as one loop nest over DOMAIN.
+#[derive(Clone, Debug, Default)]
+pub struct Cluster {
+    pub stmts: Vec<Stmt>,
+    /// Loop-invariant parameter definitions hoisted out of this cluster
+    /// (filled by [`crate::passes::cse_cluster`]); indices are global
+    /// across the operator.
+    pub params: Vec<(usize, IExpr)>,
+    /// Number of per-point temporaries used by `stmts`.
+    pub num_temps: usize,
+}
+
+impl Cluster {
+    /// `(field, time_offset)` pairs written by this cluster.
+    pub fn writes(&self) -> Vec<(FieldId, i32)> {
+        let mut out: Vec<(FieldId, i32)> = Vec::new();
+        for s in &self.stmts {
+            if let Stmt::Store { target, .. } = s {
+                let key = (target.field, target.time_offset);
+                if !out.contains(&key) {
+                    out.push(key);
+                }
+            }
+        }
+        out
+    }
+
+    /// `(field, time_offset, radius-per-dim)` triples read by this
+    /// cluster (maximum radius over all loads).
+    pub fn reads(&self) -> Vec<(FieldId, i32, Vec<usize>)> {
+        let mut map: std::collections::BTreeMap<(FieldId, i32), Vec<usize>> = Default::default();
+        for s in &self.stmts {
+            s.value().visit_loads(&mut |a: &IdxAccess| {
+                let e = map
+                    .entry((a.field, a.time_offset))
+                    .or_insert_with(|| vec![0; a.deltas.len()]);
+                for d in 0..a.deltas.len() {
+                    e[d] = e[d].max(a.radius(d));
+                }
+            });
+        }
+        map.into_iter().map(|((f, t), r)| (f, t, r)).collect()
+    }
+
+    /// Maximum stencil radius over every read, per dimension — the halo
+    /// width this cluster's loop nest needs.
+    pub fn max_radius(&self, ndim: usize) -> Vec<usize> {
+        let mut r = vec![0usize; ndim];
+        for (_, _, rr) in self.reads() {
+            for d in 0..ndim.min(rr.len()) {
+                r[d] = r[d].max(rr[d]);
+            }
+        }
+        r
+    }
+
+    /// Number of spatial dimensions (from the first store).
+    pub fn ndim(&self) -> usize {
+        self.stmts
+            .iter()
+            .find_map(|s| match s {
+                Stmt::Store { target, .. } => Some(target.deltas.len()),
+                _ => None,
+            })
+            .unwrap_or(0)
+    }
+}
+
+/// Group lowered equations into clusters, preserving program order.
+pub fn clusterize(eqs: &[LoweredEq]) -> Vec<Cluster> {
+    let mut clusters: Vec<Cluster> = Vec::new();
+    let mut open = Cluster::default();
+
+    for eq in eqs {
+        if needs_new_cluster(&open, eq) {
+            clusters.push(std::mem::take(&mut open));
+        }
+        open.stmts.push(Stmt::Store {
+            target: eq.target.clone(),
+            value: eq.rhs.clone(),
+        });
+    }
+    if !open.stmts.is_empty() {
+        clusters.push(open);
+    }
+    clusters
+}
+
+/// Does `eq` read — at a nonzero spatial offset — anything the open
+/// cluster writes at the same time offset?
+fn needs_new_cluster(open: &Cluster, eq: &LoweredEq) -> bool {
+    if open.stmts.is_empty() {
+        return false;
+    }
+    let writes = open.writes();
+    let mut conflict = false;
+    eq.rhs.visit_loads(&mut |a: &IdxAccess| {
+        if writes.contains(&(a.field, a.time_offset)) && a.deltas.iter().any(|&d| d != 0) {
+            conflict = true;
+        }
+    });
+    // A repeated write to the same (field, time) is also a boundary (the
+    // second write would clobber within one nest in an order-dependent way).
+    if writes.contains(&(eq.target.field, eq.target.time_offset)) {
+        conflict = true;
+    }
+    conflict
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mpix_symbolic::{Context, Eq, Grid};
+
+    fn lower(ctx: &Context, eqs: &[Eq]) -> Vec<LoweredEq> {
+        crate::lowering::lower_equations(eqs, ctx).unwrap()
+    }
+
+    #[test]
+    fn independent_updates_share_a_cluster() {
+        let mut ctx = Context::new();
+        let g = Grid::new(&[8, 8], &[1.0, 1.0]);
+        let u = ctx.add_time_function("u", &g, 2, 1);
+        let v = ctx.add_time_function("v", &g, 2, 1);
+        // Both read only t-level values: one loop nest suffices.
+        let eqs = vec![
+            Eq::new(u.forward(), u.laplace()),
+            Eq::new(v.forward(), v.laplace()),
+        ];
+        let cl = clusterize(&lower(&ctx, &eqs));
+        assert_eq!(cl.len(), 1);
+        assert_eq!(cl[0].stmts.len(), 2);
+        assert_eq!(cl[0].writes().len(), 2);
+    }
+
+    #[test]
+    fn stencil_read_of_fresh_write_splits_clusters() {
+        let mut ctx = Context::new();
+        let g = Grid::new(&[8, 8], &[1.0, 1.0]);
+        let u = ctx.add_time_function("u", &g, 2, 1);
+        let v = ctx.add_time_function("v", &g, 2, 1);
+        // v.forward reads the laplacian of u.forward -> flow dependence at
+        // nonzero offsets -> two clusters (elastic-style coupling).
+        let eq1 = Eq::new(u.forward(), u.laplace());
+        let lap_fwd = mpix_symbolic::eq::lower_time_derivs(&u.laplace(), &ctx)
+            .unwrap()
+            .shifted_time(1);
+        let eq2 = Eq::new(v.forward(), lap_fwd);
+        let cl = clusterize(&lower(&ctx, &[eq1, eq2]));
+        assert_eq!(cl.len(), 2);
+    }
+
+    #[test]
+    fn same_point_read_of_fresh_write_stays_fused() {
+        let mut ctx = Context::new();
+        let g = Grid::new(&[8, 8], &[1.0, 1.0]);
+        let u = ctx.add_time_function("u", &g, 2, 1);
+        let v = ctx.add_time_function("v", &g, 2, 1);
+        let eq1 = Eq::new(u.forward(), u.center() * 2.0);
+        // v.forward = u.forward (same point): scalarizable, one nest.
+        let eq2 = Eq::new(v.forward(), u.forward());
+        let cl = clusterize(&lower(&ctx, &[eq1, eq2]));
+        assert_eq!(cl.len(), 1);
+    }
+
+    #[test]
+    fn double_write_splits() {
+        let mut ctx = Context::new();
+        let g = Grid::new(&[8, 8], &[1.0, 1.0]);
+        let u = ctx.add_time_function("u", &g, 2, 1);
+        let eq1 = Eq::new(u.forward(), u.center() * 2.0);
+        let eq2 = Eq::new(u.forward(), u.center() * 3.0);
+        let cl = clusterize(&lower(&ctx, &[eq1, eq2]));
+        assert_eq!(cl.len(), 2);
+    }
+
+    #[test]
+    fn max_radius_covers_all_reads() {
+        let mut ctx = Context::new();
+        let g = Grid::new(&[32, 32], &[1.0, 1.0]);
+        let u = ctx.add_time_function("u", &g, 8, 2);
+        let eq = Eq::new(u.dt2(), u.laplace());
+        let st = eq.solve_for(&u.forward(), &ctx).unwrap();
+        let cl = clusterize(&lower(&ctx, &[st]));
+        assert_eq!(cl[0].max_radius(2), vec![4, 4]);
+    }
+}

@@ -1,0 +1,218 @@
+//! Halo-exchange detection (paper §III f, g).
+//!
+//! Runs at the Cluster level, where data-dependence analysis is
+//! straightforward ("expressions still need to be optimized, and the
+//! analysis is more straightforward than at later stages"). The detector
+//! walks clusters in program order tracking which `(field, time buffer)`
+//! halos are valid, and emits:
+//!
+//! * **hoisted** exchanges — time-invariant `Function`s (model
+//!   parameters) are exchanged once before the time loop (the hoisting
+//!   optimization of §III g);
+//! * **per-cluster** exchange sets — time-varying buffers read at a
+//!   nonzero stencil radius whose halo is dirty. Multiple fields needing
+//!   exchange at the same position are *merged* into one set, and a
+//!   buffer already exchanged this step and not rewritten is *dropped*
+//!   (the drop/merge passes of §III g).
+
+use std::collections::BTreeMap;
+
+use mpix_symbolic::{Context, FieldId, FieldKind};
+
+use crate::cluster::Cluster;
+
+/// One required halo exchange: which buffer, how wide.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct HaloXchg {
+    pub field: FieldId,
+    /// Relative time-buffer offset of the buffer to exchange.
+    pub time_offset: i32,
+    /// Exchange width per dimension (the detected stencil radius).
+    pub radius: Vec<usize>,
+}
+
+/// The full exchange plan for one operator.
+#[derive(Clone, Debug, Default)]
+pub struct HaloPlan {
+    /// Exchanged once, before the time loop.
+    pub hoisted: Vec<HaloXchg>,
+    /// Exchange set required immediately before each cluster.
+    pub per_cluster: Vec<Vec<HaloXchg>>,
+}
+
+impl HaloPlan {
+    /// Total number of (field, buffer) exchanges per time step.
+    pub fn exchanges_per_step(&self) -> usize {
+        self.per_cluster.iter().map(|v| v.len()).sum()
+    }
+}
+
+/// Analyze clusters and build the exchange plan.
+pub fn detect_halo_exchanges(clusters: &[Cluster], ctx: &Context) -> HaloPlan {
+    let mut plan = HaloPlan {
+        hoisted: Vec::new(),
+        per_cluster: vec![Vec::new(); clusters.len()],
+    };
+    // Valid (exchanged, unwritten-since) halos this step: radius per dim.
+    let mut clean: BTreeMap<(FieldId, i32), Vec<usize>> = BTreeMap::new();
+
+    for (ci, cl) in clusters.iter().enumerate() {
+        for (f, toff, radius) in cl.reads() {
+            if radius.iter().all(|&r| r == 0) {
+                continue; // center-only read: no halo needed
+            }
+            match ctx.field(f).kind {
+                FieldKind::Function => {
+                    // Never written inside the loop: hoist, taking the max
+                    // radius over all uses.
+                    merge_xchg(&mut plan.hoisted, f, toff, &radius);
+                }
+                FieldKind::TimeFunction => {
+                    let covered = clean
+                        .get(&(f, toff))
+                        .map(|c| radius.iter().zip(c).all(|(r, cr)| r <= cr))
+                        .unwrap_or(false);
+                    if !covered {
+                        merge_xchg(&mut plan.per_cluster[ci], f, toff, &radius);
+                        let entry = clean.entry((f, toff)).or_insert_with(|| radius.clone());
+                        for d in 0..radius.len() {
+                            entry[d] = entry[d].max(radius[d]);
+                        }
+                    }
+                }
+            }
+        }
+        // Writes dirty their buffer.
+        for (f, toff) in cl.writes() {
+            clean.remove(&(f, toff));
+        }
+    }
+    plan
+}
+
+fn merge_xchg(list: &mut Vec<HaloXchg>, f: FieldId, toff: i32, radius: &[usize]) {
+    if let Some(x) = list
+        .iter_mut()
+        .find(|x| x.field == f && x.time_offset == toff)
+    {
+        for d in 0..radius.len() {
+            x.radius[d] = x.radius[d].max(radius[d]);
+        }
+    } else {
+        list.push(HaloXchg {
+            field: f,
+            time_offset: toff,
+            radius: radius.to_vec(),
+        });
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cluster::clusterize;
+    use crate::lowering::lower_equations;
+    use mpix_symbolic::{Eq, Grid};
+
+    #[test]
+    fn acoustic_needs_one_exchange_of_current_buffer() {
+        let mut ctx = Context::new();
+        let g = Grid::new(&[32, 32], &[1.0, 1.0]);
+        let u = ctx.add_time_function("u", &g, 4, 2);
+        let m = ctx.add_function("m", &g, 4);
+        let pde = m.center() * u.dt2() - u.laplace();
+        let st = mpix_symbolic::solve(&pde, &u.forward(), &ctx).unwrap();
+        let cl = clusterize(&lower_equations(&[st], &ctx).unwrap());
+        let plan = detect_halo_exchanges(&cl, &ctx);
+        // m is read at the center only -> nothing hoisted.
+        assert!(plan.hoisted.is_empty());
+        assert_eq!(plan.per_cluster.len(), 1);
+        assert_eq!(plan.per_cluster[0].len(), 1);
+        let x = &plan.per_cluster[0][0];
+        assert_eq!(x.field, u.id());
+        assert_eq!(x.time_offset, 0);
+        assert_eq!(x.radius, vec![2, 2]); // so 4 -> radius 2
+    }
+
+    #[test]
+    fn function_read_at_offset_is_hoisted() {
+        let mut ctx = Context::new();
+        let g = Grid::new(&[32, 32], &[1.0, 1.0]);
+        let u = ctx.add_time_function("u", &g, 4, 1);
+        let c = ctx.add_function("c", &g, 4);
+        // u.forward = dx(c) + u: reads c at radius 2, but c is constant in
+        // time -> exchange once before the loop.
+        let eq = Eq::new(u.forward(), c.dx(0) + u.center());
+        let cl = clusterize(&lower_equations(&[eq], &ctx).unwrap());
+        let plan = detect_halo_exchanges(&cl, &ctx);
+        assert_eq!(plan.hoisted.len(), 1);
+        assert_eq!(plan.hoisted[0].field, c.id());
+        assert!(plan.per_cluster[0].is_empty());
+    }
+
+    #[test]
+    fn coupled_system_exchanges_fresh_buffer_between_clusters() {
+        let mut ctx = Context::new();
+        let g = Grid::new(&[32, 32], &[1.0, 1.0]);
+        let v = ctx.add_time_function("v", &g, 4, 1);
+        let tau = ctx.add_time_function("tau", &g, 4, 1);
+        // v.forward = laplace(tau); tau.forward = laplace(v.forward):
+        // elastic-style coupling -> exchange tau[t] before cluster 0 and
+        // v[t+1] before cluster 1.
+        let eq1 = Eq::new(v.forward(), tau.laplace());
+        let lap_v_fwd = mpix_symbolic::eq::lower_time_derivs(&v.laplace(), &ctx)
+            .unwrap()
+            .shifted_time(1);
+        let eq2 = Eq::new(tau.forward(), lap_v_fwd);
+        let cl = clusterize(&lower_equations(&[eq1, eq2], &ctx).unwrap());
+        assert_eq!(cl.len(), 2);
+        let plan = detect_halo_exchanges(&cl, &ctx);
+        assert_eq!(plan.per_cluster[0].len(), 1);
+        assert_eq!(plan.per_cluster[0][0].field, tau.id());
+        assert_eq!(plan.per_cluster[0][0].time_offset, 0);
+        assert_eq!(plan.per_cluster[1].len(), 1);
+        assert_eq!(plan.per_cluster[1][0].field, v.id());
+        assert_eq!(plan.per_cluster[1][0].time_offset, 1);
+    }
+
+    #[test]
+    fn repeated_clean_read_is_dropped() {
+        let mut ctx = Context::new();
+        let g = Grid::new(&[32, 32], &[1.0, 1.0]);
+        let u = ctx.add_time_function("u", &g, 4, 1);
+        let a = ctx.add_time_function("a", &g, 4, 1);
+        let b = ctx.add_time_function("b", &g, 4, 1);
+        // Two clusters both read u[t] at offset; u is not written in
+        // between -> only the first needs the exchange (drop pass).
+        let eq1 = Eq::new(a.forward(), u.laplace());
+        let lap_a_fwd = mpix_symbolic::eq::lower_time_derivs(&a.laplace(), &ctx)
+            .unwrap()
+            .shifted_time(1);
+        let eq2 = Eq::new(b.forward(), lap_a_fwd + u.laplace());
+        let cl = clusterize(&lower_equations(&[eq1, eq2], &ctx).unwrap());
+        assert_eq!(cl.len(), 2);
+        let plan = detect_halo_exchanges(&cl, &ctx);
+        let cluster1_fields: Vec<FieldId> =
+            plan.per_cluster[1].iter().map(|x| x.field).collect();
+        assert!(cluster1_fields.contains(&a.id()));
+        assert!(
+            !cluster1_fields.contains(&u.id()),
+            "u[t] halo still clean — exchange must be dropped"
+        );
+    }
+
+    #[test]
+    fn merged_exchange_takes_max_radius() {
+        let mut ctx = Context::new();
+        let g = Grid::new(&[64, 64], &[1.0, 1.0]);
+        let u = ctx.add_time_function("u", &g, 8, 1);
+        let a = ctx.add_time_function("a", &g, 8, 1);
+        // One cluster, two reads of u at different radii (dx radius 4 via
+        // so-8 first derivative; explicit narrow access radius 1).
+        let eq1 = Eq::new(a.forward(), u.dx(0) + u.at(0, &[1, 0]));
+        let cl = clusterize(&lower_equations(&[eq1], &ctx).unwrap());
+        let plan = detect_halo_exchanges(&cl, &ctx);
+        assert_eq!(plan.per_cluster[0].len(), 1);
+        assert_eq!(plan.per_cluster[0][0].radius, vec![4, 0]);
+    }
+}

@@ -1,0 +1,315 @@
+//! The Iteration/Expression Tree (IET): the control-flow level IR.
+//!
+//! Built from the schedule, the IET is an immutable tree of loops and
+//! expressions. `HaloSpot` nodes (Listing 5) carry the exchange metadata
+//! detected at the Cluster level; the mode-lowering pass
+//! ([`crate::passes::lower_halo_spots`]) rewrites them into
+//! `HaloUpdate`/`HaloWait` calls and — for the *full* pattern — splits
+//! the enclosed loop nest into CORE and REMAINDER iterations (Listing 6).
+
+use std::fmt;
+
+use mpix_symbolic::Context;
+
+use crate::cluster::{Cluster, Stmt};
+use crate::halo::{HaloPlan, HaloXchg};
+use crate::iexpr::IExpr;
+
+/// Which part of the local domain a space loop covers.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum RegionKind {
+    /// The whole writable region (CORE ∪ OWNED).
+    Domain,
+    /// Only points whose reads stay local.
+    Core,
+    /// Only the OWNED/remainder strips that read HALO.
+    Remainder,
+}
+
+/// An IET node.
+#[derive(Clone, Debug)]
+pub enum Node {
+    /// The kernel entry: precomputed parameters, then the body.
+    Callable {
+        name: String,
+        /// `(param index, defining expression)` — `r0 = 1/dt` etc.
+        params: Vec<(usize, IExpr)>,
+        body: Vec<Node>,
+    },
+    /// The sequential, affine time loop.
+    TimeLoop { body: Vec<Node> },
+    /// Pre-lowering: a position where `exchanges` must complete before
+    /// `body` runs.
+    HaloSpot {
+        exchanges: Vec<HaloXchg>,
+        body: Vec<Node>,
+    },
+    /// Lowered: perform the exchanges (synchronously, or just *start*
+    /// them when `is_async`).
+    HaloUpdate {
+        exchanges: Vec<HaloXchg>,
+        is_async: bool,
+    },
+    /// Lowered: wait for async exchanges to complete and unpack.
+    HaloWait { exchanges: Vec<HaloXchg> },
+    /// A loop nest over the spatial dimensions executing a cluster's
+    /// statements at every point of `region`.
+    SpaceLoop {
+        cluster: Cluster,
+        region: RegionKind,
+        /// Loop-blocking tile edge (0 = unblocked).
+        block: usize,
+        /// Whether the outermost spatial dimension is thread-parallel.
+        parallel: bool,
+    },
+    /// A named grouping (profiling sections, overlap regions).
+    Section { name: String, body: Vec<Node> },
+}
+
+impl Node {
+    /// Recursively map children through `f` (post-order on containers).
+    pub fn map_children(self, f: &impl Fn(Node) -> Vec<Node>) -> Node {
+        let map_body = |body: Vec<Node>| -> Vec<Node> {
+            body.into_iter()
+                .map(|n| n.map_children(f))
+                .flat_map(f)
+                .collect()
+        };
+        match self {
+            Node::Callable { name, params, body } => Node::Callable {
+                name,
+                params,
+                body: map_body(body),
+            },
+            Node::TimeLoop { body } => Node::TimeLoop { body: map_body(body) },
+            Node::HaloSpot { exchanges, body } => Node::HaloSpot {
+                exchanges,
+                body: map_body(body),
+            },
+            Node::Section { name, body } => Node::Section {
+                name,
+                body: map_body(body),
+            },
+            leaf => leaf,
+        }
+    }
+
+    /// Count nodes matching a predicate.
+    pub fn count(&self, pred: &impl Fn(&Node) -> bool) -> usize {
+        let mut n = usize::from(pred(self));
+        match self {
+            Node::Callable { body, .. }
+            | Node::TimeLoop { body }
+            | Node::HaloSpot { body, .. }
+            | Node::Section { body, .. } => {
+                n += body.iter().map(|c| c.count(pred)).sum::<usize>();
+            }
+            _ => {}
+        }
+        n
+    }
+}
+
+/// Build the IET from clusters and the exchange plan. Every cluster's
+/// loop nest is wrapped in a `HaloSpot` carrying its required exchanges
+/// (empty for none); hoisted exchanges form a `HaloSpot` before the time
+/// loop.
+pub fn build_iet(
+    clusters: Vec<Cluster>,
+    plan: &HaloPlan,
+    name: &str,
+    block: usize,
+    parallel: bool,
+) -> Node {
+    let mut params: Vec<(usize, IExpr)> = Vec::new();
+    for cl in &clusters {
+        for (i, def) in &cl.params {
+            params.push((*i, def.clone()));
+        }
+    }
+    let mut time_body = Vec::with_capacity(clusters.len());
+    for (ci, cl) in clusters.into_iter().enumerate() {
+        let loop_node = Node::SpaceLoop {
+            cluster: cl,
+            region: RegionKind::Domain,
+            block,
+            parallel,
+        };
+        time_body.push(Node::HaloSpot {
+            exchanges: plan.per_cluster[ci].clone(),
+            body: vec![loop_node],
+        });
+    }
+    let mut body = Vec::new();
+    if !plan.hoisted.is_empty() {
+        body.push(Node::HaloSpot {
+            exchanges: plan.hoisted.clone(),
+            body: vec![],
+        });
+    }
+    body.push(Node::TimeLoop { body: time_body });
+    Node::Callable {
+        name: name.to_string(),
+        params,
+        body,
+    }
+}
+
+/// Pretty-printer reproducing the abbreviated IET listings of the paper.
+pub struct IetPrinter<'a> {
+    pub node: &'a Node,
+    pub ctx: &'a Context,
+}
+
+impl fmt::Display for IetPrinter<'_> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        print_node(self.node, self.ctx, 0, f)
+    }
+}
+
+fn xchg_names(xs: &[HaloXchg], ctx: &Context) -> String {
+    xs.iter()
+        .map(|x| format!("{}[t{:+}]", ctx.field(x.field).name, x.time_offset))
+        .collect::<Vec<_>>()
+        .join(", ")
+}
+
+fn print_node(n: &Node, ctx: &Context, depth: usize, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+    let pad = "  ".repeat(depth);
+    match n {
+        Node::Callable { name, params, body } => {
+            writeln!(f, "{pad}<Callable {name}>")?;
+            for (i, def) in params {
+                writeln!(f, "{pad}  <Expression r{i} = {def}>")?;
+            }
+            for c in body {
+                print_node(c, ctx, depth + 1, f)?;
+            }
+            Ok(())
+        }
+        Node::TimeLoop { body } => {
+            writeln!(f, "{pad}<[affine,sequential] Iteration time>")?;
+            for c in body {
+                print_node(c, ctx, depth + 1, f)?;
+            }
+            Ok(())
+        }
+        Node::HaloSpot { exchanges, body } => {
+            writeln!(f, "{pad}<HaloSpot({}) >", xchg_names(exchanges, ctx))?;
+            for c in body {
+                print_node(c, ctx, depth + 1, f)?;
+            }
+            Ok(())
+        }
+        Node::HaloUpdate { exchanges, is_async } => writeln!(
+            f,
+            "{pad}<HaloUpdateCall{}({})>",
+            if *is_async { "[async]" } else { "" },
+            xchg_names(exchanges, ctx)
+        ),
+        Node::HaloWait { exchanges } => {
+            writeln!(f, "{pad}<HaloWaitCall({})>", xchg_names(exchanges, ctx))
+        }
+        Node::SpaceLoop {
+            cluster,
+            region,
+            block,
+            parallel,
+        } => {
+            let nd = cluster.ndim();
+            let region_s = match region {
+                RegionKind::Domain => "",
+                RegionKind::Core => " CORE",
+                RegionKind::Remainder => " REMAINDER",
+            };
+            for d in 0..nd {
+                let props = if d == 0 && *parallel {
+                    if *block > 0 {
+                        "[affine,parallel,blocked]"
+                    } else {
+                        "[affine,parallel]"
+                    }
+                } else if d == nd - 1 {
+                    "[affine,parallel,vector-dim]"
+                } else {
+                    "[affine,parallel]"
+                };
+                writeln!(
+                    f,
+                    "{}{props} Iteration x{d}{region_s}",
+                    "  ".repeat(depth + d)
+                )?;
+            }
+            let inner = "  ".repeat(depth + nd);
+            for s in &cluster.stmts {
+                match s {
+                    Stmt::Let { temp, value } => {
+                        writeln!(f, "{inner}<Expression tmp{temp} = {value}>")?
+                    }
+                    Stmt::Store { target, value } => {
+                        let name = &ctx.field(target.field).name;
+                        writeln!(
+                            f,
+                            "{inner}<Expression {name}[t{:+}] = {value}>",
+                            target.time_offset
+                        )?
+                    }
+                }
+            }
+            Ok(())
+        }
+        Node::Section { name, body } => {
+            writeln!(f, "{pad}<Section {name}>")?;
+            for c in body {
+                print_node(c, ctx, depth + 1, f)?;
+            }
+            Ok(())
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cluster::clusterize;
+    use crate::halo::detect_halo_exchanges;
+    use crate::lowering::lower_equations;
+    use mpix_symbolic::{Eq, Grid};
+
+    fn diffusion_iet() -> (Node, Context) {
+        let mut ctx = Context::new();
+        let g = Grid::new(&[8, 8], &[1.0, 1.0]);
+        let u = ctx.add_time_function("u", &g, 2, 1);
+        let eq = Eq::new(u.dt(), u.laplace());
+        let st = eq.solve_for(&u.forward(), &ctx).unwrap();
+        let cl = clusterize(&lower_equations(&[st], &ctx).unwrap());
+        let plan = detect_halo_exchanges(&cl, &ctx);
+        (build_iet(cl, &plan, "Kernel", 0, true), ctx)
+    }
+
+    #[test]
+    fn iet_contains_halospot_inside_time_loop() {
+        let (iet, _ctx) = diffusion_iet();
+        assert_eq!(iet.count(&|n| matches!(n, Node::HaloSpot { .. })), 1);
+        assert_eq!(iet.count(&|n| matches!(n, Node::TimeLoop { .. })), 1);
+        assert_eq!(iet.count(&|n| matches!(n, Node::SpaceLoop { .. })), 1);
+    }
+
+    #[test]
+    fn printer_reproduces_listing5_shape() {
+        let (iet, ctx) = diffusion_iet();
+        let s = format!("{}", IetPrinter { node: &iet, ctx: &ctx });
+        assert!(s.contains("<Callable Kernel>"), "{s}");
+        assert!(s.contains("Iteration time"), "{s}");
+        assert!(s.contains("<HaloSpot(u[t+0]) >"), "{s}");
+        assert!(s.contains("vector-dim"), "{s}");
+    }
+
+    #[test]
+    fn count_visits_nested_structure() {
+        let (iet, _) = diffusion_iet();
+        // Exactly one callable, everything reachable.
+        assert_eq!(iet.count(&|n| matches!(n, Node::Callable { .. })), 1);
+        assert!(iet.count(&|_| true) >= 4);
+    }
+}

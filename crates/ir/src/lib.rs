@@ -1,0 +1,42 @@
+//! # mpix-ir
+//!
+//! The compiler's intermediate representations, mirroring the two IR
+//! levels of the paper (§II, Fig. 1):
+//!
+//! 1. **Cluster level** ([`cluster`]): symbolic equations are lowered to
+//!    indexed form ([`iexpr`], [`lowering`]), grouped into [`Cluster`]s
+//!    by data-dependence analysis, and scanned for required halo
+//!    exchanges ([`halo`], §III f). Flop-reducing transformations live
+//!    here: parameter extraction (loop-invariant code motion), common
+//!    sub-expression elimination ([`passes::cse_cluster`]).
+//! 2. **IET level** ([`iet`]): an iteration/expression tree with
+//!    [`HaloSpot`](iet::Node::HaloSpot) nodes carrying exchange metadata
+//!    (Listing 5), which the mode-lowering pass rewrites into
+//!    `HaloUpdate`/`HaloWait` calls (Listing 6) — synchronously for
+//!    *basic*/*diagonal*, or split into CORE + REMAINDER iterations with
+//!    asynchronous update for *full* (§III g, h).
+//!
+//! A [`schedule::ScheduleTree`] sits between the two, reproducing the
+//! abbreviated form of Listing 4.
+
+// Numerical kernels index several arrays with one loop variable; the
+// clippy suggestion (iterators + zip) hurts clarity in stencil code.
+#![allow(clippy::needless_range_loop)]
+#![allow(clippy::manual_is_multiple_of)]
+
+pub mod cluster;
+pub mod halo;
+pub mod iet;
+pub mod iexpr;
+pub mod lowering;
+pub mod opcount;
+pub mod passes;
+pub mod schedule;
+
+pub use cluster::{clusterize, Cluster, Stmt};
+pub use halo::{detect_halo_exchanges, HaloPlan, HaloXchg};
+pub use iexpr::{IExpr, IdxAccess};
+pub use iet::{build_iet, Node, RegionKind};
+pub use lowering::{lower_equations, LoweredEq, LoweringError};
+pub use opcount::{op_counts, OpCounts};
+pub use passes::{cse_cluster, lower_halo_spots};

@@ -1,0 +1,138 @@
+//! Equation lowering: symbolic user equations → indexed statements.
+//!
+//! Corresponds to the paper's *Equations lowering* stage (Fig. 1):
+//! derivatives are discretized, staggered offsets resolved to array-index
+//! deltas, and access alignment metadata recorded (the `+ halo` shift
+//! itself is applied by the backends so indices stay relative here).
+
+use mpix_symbolic::{discretize, Context, DiscretizeError, Eq, Expr, FieldId, Stagger};
+
+use crate::iexpr::{IExpr, IdxAccess};
+
+/// A lowered, indexed, explicit update statement.
+#[derive(Clone, Debug)]
+pub struct LoweredEq {
+    /// The written access (time offset `+1` for updates, `0` for
+    /// time-invariant precomputations).
+    pub target: IdxAccess,
+    pub rhs: IExpr,
+    /// Evaluation lattice (the target field's staggering): needed to map
+    /// any later symbolic rewrites consistently.
+    pub eval_stagger: Vec<Stagger>,
+}
+
+/// Lowering failures.
+#[derive(Debug, Clone, PartialEq)]
+pub enum LoweringError {
+    Discretize(DiscretizeError),
+    /// The left-hand side is not a plain access.
+    TargetNotAccess,
+    /// The target carries spatial offsets (unsupported write pattern).
+    OffsetWrite,
+}
+
+impl From<DiscretizeError> for LoweringError {
+    fn from(e: DiscretizeError) -> Self {
+        LoweringError::Discretize(e)
+    }
+}
+
+/// Lower a list of already-explicit equations (LHS = forward access).
+pub fn lower_equations(eqs: &[Eq], ctx: &Context) -> Result<Vec<LoweredEq>, LoweringError> {
+    eqs.iter().map(|eq| lower_equation(eq, ctx)).collect()
+}
+
+/// Lower one equation.
+pub fn lower_equation(eq: &Eq, ctx: &Context) -> Result<LoweredEq, LoweringError> {
+    let target_acc = match &eq.lhs {
+        Expr::Acc(a) => a.clone(),
+        _ => return Err(LoweringError::TargetNotAccess),
+    };
+    if target_acc.offsets_h.iter().any(|&o| o != 0) {
+        return Err(LoweringError::OffsetWrite);
+    }
+    let eval_stagger = ctx.field(target_acc.field).stagger.clone();
+    let lowered = discretize(eq, ctx)?;
+    let target = IdxAccess {
+        field: target_acc.field,
+        time_offset: target_acc.time_offset,
+        deltas: vec![0; target_acc.offsets_h.len()],
+    };
+    let rhs = IExpr::from_symbolic(&lowered.rhs, ctx, &eval_stagger);
+    Ok(LoweredEq {
+        target,
+        rhs,
+        eval_stagger,
+    })
+}
+
+impl LoweredEq {
+    /// Every `(field, time_offset)` pair read, with the per-dimension
+    /// stencil radius over all its loads.
+    pub fn reads(&self) -> Vec<(FieldId, i32, Vec<usize>)> {
+        let mut map: std::collections::BTreeMap<(FieldId, i32), Vec<usize>> = Default::default();
+        self.rhs.visit_loads(&mut |a: &IdxAccess| {
+            let e = map
+                .entry((a.field, a.time_offset))
+                .or_insert_with(|| vec![0; a.deltas.len()]);
+            for d in 0..a.deltas.len() {
+                e[d] = e[d].max(a.radius(d));
+            }
+        });
+        map.into_iter().map(|((f, t), r)| (f, t, r)).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mpix_symbolic::Grid;
+
+    #[test]
+    fn lower_diffusion_equation() {
+        let mut ctx = Context::new();
+        let g = Grid::new(&[4, 4], &[2.0, 2.0]);
+        let u = ctx.add_time_function("u", &g, 2, 1);
+        let eq = Eq::new(u.dt(), u.laplace());
+        let st = eq.solve_for(&u.forward(), &ctx).unwrap();
+        let low = lower_equation(&st, &ctx).unwrap();
+        assert_eq!(low.target.time_offset, 1);
+        assert_eq!(low.target.deltas, vec![0, 0]);
+        let reads = low.reads();
+        // Reads u at t+0 with radius 1 in both dims.
+        let r = reads
+            .iter()
+            .find(|(f, t, _)| *f == u.id() && *t == 0)
+            .expect("reads u[t]");
+        assert_eq!(r.2, vec![1, 1]);
+        // Never reads the written buffer.
+        assert!(!reads.iter().any(|(f, t, _)| *f == u.id() && *t == 1));
+    }
+
+    #[test]
+    fn lower_rejects_non_access_lhs() {
+        let mut ctx = Context::new();
+        let g = Grid::new(&[4, 4], &[1.0, 1.0]);
+        let u = ctx.add_time_function("u", &g, 2, 1);
+        let eq = Eq::new(u.center() + u.forward(), u.center());
+        assert!(matches!(
+            lower_equation(&eq, &ctx),
+            Err(LoweringError::TargetNotAccess)
+        ));
+    }
+
+    #[test]
+    fn radius_scales_with_space_order() {
+        for so in [2u32, 4, 8, 16] {
+            let mut ctx = Context::new();
+            let g = Grid::new(&[64, 64], &[1.0, 1.0]);
+            let u = ctx.add_time_function("u", &g, so, 2);
+            let eq = Eq::new(u.dt2(), u.laplace());
+            let st = eq.solve_for(&u.forward(), &ctx).unwrap();
+            let low = lower_equation(&st, &ctx).unwrap();
+            let reads = low.reads();
+            let r = reads.iter().find(|(_, t, _)| *t == 0).unwrap();
+            assert_eq!(r.2, vec![so as usize / 2, so as usize / 2], "so={so}");
+        }
+    }
+}

@@ -1,0 +1,181 @@
+//! Compile-time operation and traffic counting.
+//!
+//! The paper (§IV-C) computes CPU operational intensity at compile time
+//! "by examining the code's abstract syntax tree to identify operations
+//! and memory accesses and compute the ratio of computation to the
+//! amount of memory traffic". This module does exactly that over the
+//! Cluster IR: per-point flop counts and a streaming memory-traffic
+//! model (each distinct `(field, time buffer)` array is one stream read
+//! or written once per point; neighbouring stencil loads hit cache).
+
+use std::collections::BTreeSet;
+
+use mpix_symbolic::FieldId;
+
+use crate::cluster::{Cluster, Stmt};
+use crate::iexpr::IExpr;
+
+/// Per-grid-point operation counts for a set of clusters.
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct OpCounts {
+    /// Additions/subtractions per point.
+    pub adds: usize,
+    /// Multiplications per point.
+    pub muls: usize,
+    /// Divisions per point (negative powers that survived hoisting).
+    pub divs: usize,
+    /// Transcendental/elementary function calls per point.
+    pub funcs: usize,
+    /// Distinct `(field, time offset)` streams read per point.
+    pub read_streams: usize,
+    /// Distinct `(field, time offset)` streams written per point.
+    pub write_streams: usize,
+    /// Distinct `(field, time offset)` streams touched at all (union of
+    /// reads and writes) — the number of arrays in the working set.
+    pub unique_streams: usize,
+    /// Total loads appearing per point (before cache reuse).
+    pub raw_loads: usize,
+}
+
+impl OpCounts {
+    /// Total floating-point operations per point (divisions and
+    /// elementary functions weighted 1).
+    pub fn flops(&self) -> usize {
+        self.adds + self.muls + self.divs + self.funcs
+    }
+
+    /// Streaming memory traffic per point, in bytes (`f32` arrays, each
+    /// stream touched once; writes counted once — write-allocate
+    /// traffic is ignored, as in the paper's compile-time model).
+    pub fn bytes(&self) -> usize {
+        4 * (self.read_streams + self.write_streams)
+    }
+
+    /// Operational intensity: flops per byte of streaming traffic.
+    pub fn oi(&self) -> f64 {
+        self.flops() as f64 / self.bytes() as f64
+    }
+
+    /// Number of distinct arrays in the working set (read or written) —
+    /// the paper's per-model "fields" count driving communication volume.
+    pub fn working_set(&self) -> usize {
+        self.unique_streams
+    }
+}
+
+/// Count operations over all clusters (one "time step" worth of work).
+pub fn op_counts(clusters: &[Cluster]) -> OpCounts {
+    let mut out = OpCounts::default();
+    let mut reads: BTreeSet<(FieldId, i32)> = BTreeSet::new();
+    let mut writes: BTreeSet<(FieldId, i32)> = BTreeSet::new();
+    for cl in clusters {
+        for s in &cl.stmts {
+            count_expr(s.value(), &mut out);
+            s.value().visit_loads(&mut |a| {
+                out.raw_loads += 1;
+                reads.insert((a.field, a.time_offset));
+            });
+            if let Stmt::Store { target, .. } = s {
+                writes.insert((target.field, target.time_offset));
+            }
+        }
+    }
+    out.read_streams = reads.len();
+    out.write_streams = writes.len();
+    out.unique_streams = reads.union(&writes).count();
+    out
+}
+
+fn count_expr(e: &IExpr, out: &mut OpCounts) {
+    match e {
+        IExpr::Add(xs) => {
+            out.adds += xs.len() - 1;
+            xs.iter().for_each(|x| count_expr(x, out));
+        }
+        IExpr::Mul(xs) => {
+            out.muls += xs.len() - 1;
+            xs.iter().for_each(|x| count_expr(x, out));
+        }
+        IExpr::Pow(b, e2) => {
+            // x^n: |n|-1 multiplies, plus a divide if negative.
+            let n = e2.unsigned_abs() as usize;
+            out.muls += n.saturating_sub(1);
+            if *e2 < 0 {
+                out.divs += 1;
+            }
+            count_expr(b, out);
+        }
+        IExpr::Func(_, b) => {
+            out.funcs += 1;
+            count_expr(b, out);
+        }
+        _ => {}
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cluster::clusterize;
+    use crate::lowering::lower_equations;
+    use mpix_symbolic::{Context, Eq, Grid};
+
+    fn acoustic_counts(so: u32) -> OpCounts {
+        let mut ctx = Context::new();
+        let g = Grid::new(&[64, 64, 64], &[1.0, 1.0, 1.0]);
+        let u = ctx.add_time_function("u", &g, so, 2);
+        let m = ctx.add_function("m", &g, so);
+        let pde = m.center() * u.dt2() - u.laplace();
+        let st = mpix_symbolic::solve(&pde, &u.forward(), &ctx).unwrap();
+        let cls = clusterize(&lower_equations(&[st], &ctx).unwrap());
+        op_counts(&cls)
+    }
+
+    #[test]
+    fn acoustic_streams_match_field_structure() {
+        let c = acoustic_counts(8);
+        // Reads: u[t], u[t-1], m; writes: u[t+1].
+        assert_eq!(c.read_streams, 3);
+        assert_eq!(c.write_streams, 1);
+        assert_eq!(c.bytes(), 16);
+    }
+
+    #[test]
+    fn flops_grow_with_space_order() {
+        let c4 = acoustic_counts(4);
+        let c8 = acoustic_counts(8);
+        let c16 = acoustic_counts(16);
+        assert!(c8.flops() > c4.flops());
+        assert!(c16.flops() > c8.flops());
+        // OI grows with SDO for fixed streams (paper Fig. 6/7 narrative).
+        assert!(c16.oi() > c4.oi());
+    }
+
+    #[test]
+    fn raw_loads_count_stencil_points() {
+        let c = acoustic_counts(8);
+        // 3-D so-8 star: 3*(8+1) - 2 = 25 loads of u[t] + u[t-1] + m >= 27.
+        assert!(c.raw_loads >= 27, "raw loads {}", c.raw_loads);
+    }
+
+    #[test]
+    fn hoisted_params_reduce_divisions() {
+        let mut ctx = Context::new();
+        let g = Grid::new(&[16, 16], &[1.0, 1.0]);
+        let u = ctx.add_time_function("u", &g, 2, 1);
+        let eq = Eq::new(u.dt(), u.laplace());
+        let st = eq.solve_for(&u.forward(), &ctx).unwrap();
+        let mut cls = clusterize(&lower_equations(&[st], &ctx).unwrap());
+        let before = op_counts(&cls);
+        let mut next = 0;
+        crate::passes::cse_cluster(&mut cls[0], &mut next);
+        let after = op_counts(&cls);
+        assert!(
+            after.divs <= before.divs,
+            "divisions must not increase: {} -> {}",
+            before.divs,
+            after.divs
+        );
+        assert!(after.flops() <= before.flops());
+    }
+}

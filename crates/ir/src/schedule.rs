@@ -1,0 +1,119 @@
+//! The schedule tree: the abbreviated structural IR of Listing 4, sitting
+//! between the Cluster level and the IET.
+
+use std::fmt;
+
+use mpix_symbolic::Context;
+
+use crate::cluster::Cluster;
+use crate::halo::HaloPlan;
+
+/// A schedule-tree node.
+#[derive(Clone, Debug)]
+pub enum SNode {
+    /// Ordered children.
+    List(Vec<SNode>),
+    /// The sequential time loop.
+    Time(Vec<SNode>),
+    /// A halo exchange position, naming the buffers it touches.
+    Halo(Vec<String>),
+    /// A cluster's loop nest over its spatial dimensions.
+    Exprs { cluster: usize, dims: usize },
+}
+
+/// The schedule tree for one operator.
+#[derive(Clone, Debug)]
+pub struct ScheduleTree {
+    pub root: SNode,
+}
+
+impl ScheduleTree {
+    /// Structure the clusters and exchange plan as a schedule tree
+    /// (Listing 4: halos placed inside the time loop, before their
+    /// cluster).
+    pub fn build(clusters: &[Cluster], plan: &HaloPlan, ctx: &Context) -> ScheduleTree {
+        let name = |x: &crate::halo::HaloXchg| {
+            format!(
+                "{}[t{:+}]",
+                ctx.field(x.field).name,
+                x.time_offset
+            )
+        };
+        let mut top = Vec::new();
+        if !plan.hoisted.is_empty() {
+            top.push(SNode::Halo(plan.hoisted.iter().map(name).collect()));
+        }
+        let mut time_body = Vec::new();
+        for (ci, cl) in clusters.iter().enumerate() {
+            if !plan.per_cluster[ci].is_empty() {
+                time_body.push(SNode::Halo(
+                    plan.per_cluster[ci].iter().map(name).collect(),
+                ));
+            }
+            time_body.push(SNode::Exprs {
+                cluster: ci,
+                dims: cl.ndim(),
+            });
+        }
+        top.push(SNode::Time(time_body));
+        ScheduleTree {
+            root: SNode::List(top),
+        }
+    }
+}
+
+impl fmt::Display for ScheduleTree {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fn go(n: &SNode, depth: usize, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+            let pad = "  ".repeat(depth);
+            match n {
+                SNode::List(children) => {
+                    writeln!(f, "{pad}<List>")?;
+                    for c in children {
+                        go(c, depth + 1, f)?;
+                    }
+                    Ok(())
+                }
+                SNode::Time(children) => {
+                    writeln!(f, "{pad}<Time [sequential]>")?;
+                    for c in children {
+                        go(c, depth + 1, f)?;
+                    }
+                    Ok(())
+                }
+                SNode::Halo(names) => writeln!(f, "{pad}<Halo({})>", names.join(", ")),
+                SNode::Exprs { cluster, dims } => {
+                    writeln!(f, "{pad}<Exprs cluster{cluster} over {dims} space dims>")
+                }
+            }
+        }
+        go(&self.root, 0, f)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cluster::clusterize;
+    use crate::halo::detect_halo_exchanges;
+    use crate::lowering::lower_equations;
+    use mpix_symbolic::{Eq, Grid};
+
+    #[test]
+    fn schedule_places_halo_inside_time_loop_before_exprs() {
+        let mut ctx = Context::new();
+        let g = Grid::new(&[8, 8], &[1.0, 1.0]);
+        let u = ctx.add_time_function("u", &g, 2, 1);
+        let eq = Eq::new(u.dt(), u.laplace());
+        let st = eq.solve_for(&u.forward(), &ctx).unwrap();
+        let cl = clusterize(&lower_equations(&[st], &ctx).unwrap());
+        let plan = detect_halo_exchanges(&cl, &ctx);
+        let tree = ScheduleTree::build(&cl, &plan, &ctx);
+        let s = tree.to_string();
+        // Listing 4 shape: time loop containing a halo then the exprs.
+        let hpos = s.find("<Halo(u[t+0])>").expect("halo node present");
+        let epos = s.find("<Exprs").expect("exprs node present");
+        let tpos = s.find("<Time").unwrap();
+        assert!(tpos < hpos && hpos < epos, "{s}");
+    }
+}

@@ -1,0 +1,157 @@
+//! Machine descriptions for the paper's two systems (§IV-A).
+
+use serde::{Deserialize, Serialize};
+
+/// One scalable compute unit (a CPU node or a GPU device) plus its
+/// interconnect characteristics.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct MachineSpec {
+    pub name: String,
+    /// Peak FP32 throughput per unit (flop/s).
+    pub peak_flops: f64,
+    /// Sustained memory bandwidth per unit (B/s).
+    pub mem_bw: f64,
+    /// MPI ranks per unit (8 per Archer2 node; 1 per GPU).
+    pub ranks_per_unit: usize,
+    /// Network latency per message (s).
+    pub net_alpha: f64,
+    /// Per-message CPU/NIC injection overhead (s) — what makes many
+    /// small messages expensive.
+    pub net_msg_overhead: f64,
+    /// Network bandwidth per rank (B/s).
+    pub net_beta: f64,
+    /// Fast intra-unit-group fabric (NVLink): bandwidth per rank (B/s).
+    /// `None` for CPU clusters.
+    pub intra_beta: Option<f64>,
+    /// Units sharing the fast fabric (4 GPUs per Tursa node).
+    pub intra_group: usize,
+    /// Fixed per-loop-nest launch/sync overhead per time step (s) —
+    /// kernel launches on GPUs, OpenMP barriers on CPUs.
+    pub nest_overhead: f64,
+    /// Relative throughput of REMAINDER-area points in *full* mode
+    /// (strided accesses, poor vectorization — §III h). 1.0 = no
+    /// penalty; the paper's discussion implies a substantial one.
+    pub remainder_efficiency: f64,
+    /// Last-level cache capacity per rank (bytes); strong scaling goes
+    /// superlinear once the per-rank working set drops below this (the
+    /// paper's acoustic rows jump >2x from 64 to 128 nodes).
+    pub cache_per_rank: f64,
+    /// Bandwidth multiplier once the working set is cache-resident.
+    pub cache_bw_boost: f64,
+}
+
+/// An Archer2 compute node: dual AMD EPYC 7742 (128 cores), 8 NUMA
+/// ranks × 16 OpenMP threads, HPE Slingshot (200 Gb/s, dragonfly).
+pub fn archer2_node() -> MachineSpec {
+    MachineSpec {
+        name: "Archer2-node".into(),
+        // 128 cores * 2.25 GHz * 2 FMA units * 2 flops * 8-wide f32.
+        peak_flops: 9.2e12,
+        // 8 DDR4-3200 channels x 2 sockets ~ 410 GB/s peak, ~85% stream.
+        mem_bw: 350.0e9,
+        ranks_per_unit: 8,
+        net_alpha: 2.0e-6,
+        net_msg_overhead: 1.0e-6,
+        // 2x 200 Gb/s NICs per node = 50 GB/s, shared by 8 ranks.
+        net_beta: 6.25e9,
+        intra_beta: None,
+        intra_group: 1,
+        nest_overhead: 4.0e-6,
+        remainder_efficiency: 0.25,
+        // 16 MB L3 per 4 cores, 16 cores per rank -> 64 MB nominal;
+        // halos and conflict misses make ~48 MB usable.
+        cache_per_rank: 32.0e6,
+        cache_bw_boost: 2.2,
+    }
+}
+
+/// A Tursa A100-80 GPU: 19.5 TF FP32, 2 TB/s HBM2e, NVLink within the
+/// 4-GPU node, 4×200 Gb/s InfiniBand out of the node.
+pub fn tursa_a100() -> MachineSpec {
+    MachineSpec {
+        name: "Tursa-A100".into(),
+        peak_flops: 19.5e12,
+        mem_bw: 1.6e12,
+        ranks_per_unit: 1,
+        net_alpha: 3.5e-6,
+        net_msg_overhead: 1.5e-6,
+        // 4x 200 Gb/s IB per node / 4 GPUs = 25 GB/s per GPU.
+        net_beta: 25.0e9,
+        // NVLink3: ~250 GB/s effective per GPU pair.
+        intra_beta: Some(250.0e9),
+        intra_group: 4,
+        nest_overhead: 10.0e-6,
+        remainder_efficiency: 0.25,
+        // 40 MB L2 on A100 — small next to HBM working sets; the boost
+        // is rarely reached on the GPU problem sizes.
+        cache_per_rank: 40.0e6,
+        cache_bw_boost: 1.5,
+    }
+}
+
+impl MachineSpec {
+    /// Peak flops available to a single rank.
+    pub fn rank_flops(&self) -> f64 {
+        self.peak_flops / self.ranks_per_unit as f64
+    }
+    /// Memory bandwidth available to a single rank.
+    pub fn rank_bw(&self) -> f64 {
+        self.mem_bw / self.ranks_per_unit as f64
+    }
+    /// Effective per-rank bandwidth for a given per-rank working set:
+    /// ramps from DRAM speed up to `cache_bw_boost`x as the working set
+    /// falls below the last-level-cache capacity.
+    pub fn rank_bw_for(&self, working_set_bytes: f64) -> f64 {
+        let base = self.rank_bw();
+        let ratio = working_set_bytes / self.cache_per_rank;
+        let boost = if ratio >= 0.8 {
+            1.0
+        } else if ratio <= 0.2 {
+            self.cache_bw_boost
+        } else {
+            // Linear ramp between 0.8x and 0.2x the cache capacity.
+            1.0 + (self.cache_bw_boost - 1.0) * (0.8 - ratio) / 0.6
+        };
+        base * boost
+    }
+    /// Effective network bandwidth per rank given the number of units:
+    /// GPU groups use NVLink while the job fits inside one group.
+    pub fn effective_beta(&self, units: usize) -> f64 {
+        match self.intra_beta {
+            Some(fast) if units <= self.intra_group => fast,
+            // Beyond one group, traffic mixes NVLink and IB; the slow
+            // links dominate the critical path.
+            _ => self.net_beta,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn archer2_is_memory_bound_for_low_oi() {
+        let m = archer2_node();
+        // machine balance ~ 26 flops/byte
+        assert!(m.peak_flops / m.mem_bw > 5.0);
+        assert_eq!(m.ranks_per_unit, 8);
+    }
+
+    #[test]
+    fn tursa_nvlink_only_inside_group() {
+        let g = tursa_a100();
+        assert!(g.effective_beta(2) > g.effective_beta(8));
+        assert_eq!(g.effective_beta(4), 250.0e9);
+        assert_eq!(g.effective_beta(5), 25.0e9);
+    }
+
+    #[test]
+    fn gpu_unit_is_faster_than_cpu_node_on_bandwidth() {
+        // The paper's weak scaling: GPUs ~4x faster for the same points.
+        let c = archer2_node();
+        let g = tursa_a100();
+        let ratio = g.mem_bw / c.mem_bw;
+        assert!(ratio > 3.0 && ratio < 6.0, "{ratio}");
+    }
+}

@@ -1,0 +1,124 @@
+//! Kernel profiles: the compiler-derived characteristics the performance
+//! model consumes.
+
+use serde::{Deserialize, Serialize};
+
+/// Everything the scaling model needs to know about one compiled
+/// operator. Constructed by the benchmark harness from real
+/// `mpix_core::Operator`s (`Operator::op_counts`, `Operator::halo_plan`);
+/// the synthetic constructors below exist for unit tests only.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct KernelProfile {
+    pub name: String,
+    /// Spatial discretization order.
+    pub sdo: u32,
+    /// Floating-point operations per grid point per time step (all
+    /// clusters).
+    pub flops_per_pt: f64,
+    /// Streaming traffic per grid point per step, bytes (distinct
+    /// read+write streams × 4).
+    pub bytes_per_pt: f64,
+    /// Total stencil loads per point before cache reuse (pressure
+    /// signal).
+    pub raw_loads: usize,
+    /// Number of arrays in the working set (the paper's "fields").
+    pub working_set: usize,
+    /// Buffers exchanged per time step (Σ over clusters of the halo
+    /// plan).
+    pub exchanged_buffers: usize,
+    /// Distinct exchange positions per step (clusters preceded by a
+    /// non-empty exchange set) — each pays the latency/handshake terms.
+    pub exchange_phases: usize,
+    /// Exchange radius (stencil radius = sdo/2).
+    pub radius: usize,
+    /// Loop nests per time step (sync points).
+    pub clusters: usize,
+    /// Single-unit efficiency calibration vs. the roofline bound:
+    /// `(cpu, gpu)`. Calibrated once against the paper's Fig. 7 /
+    /// single-node table entries; see EXPERIMENTS.md.
+    pub efficiency: (f64, f64),
+}
+
+impl KernelProfile {
+    /// Calibrated single-unit efficiency factors for the four paper
+    /// kernels, keyed by kernel name. The staggered, many-cluster
+    /// kernels sustain a smaller fraction of the streaming roofline —
+    /// the paper's Fig. 7 shows exactly this spread.
+    pub fn calibrated_efficiency(name: &str) -> (f64, f64) {
+        // Derived from the paper's single-unit SDO-8 entries divided by
+        // the roofline ceilings of the machine specs (see EXPERIMENTS.md
+        // for the arithmetic).
+        // Note: these are a *whole-curve* fit (mean |log2 ratio| over all
+        // published entries), not a pure single-node fit — the paper's
+        // curves lose more efficiency at scale than the network model
+        // alone explains, so a single-node-exact calibration would
+        // overshoot everywhere else. See EXPERIMENTS.md.
+        match name {
+            "acoustic" => (0.73, 0.39),
+            "tti" => (0.60, 0.65),
+            "elastic" => (0.45, 0.29),
+            "viscoelastic" => (0.43, 0.24),
+            _ => (0.8, 0.5),
+        }
+    }
+
+    /// A synthetic memory-bound profile (unit tests).
+    pub fn synthetic_memory_bound() -> KernelProfile {
+        KernelProfile {
+            name: "synthetic-mem".into(),
+            sdo: 8,
+            flops_per_pt: 40.0,
+            bytes_per_pt: 20.0,
+            raw_loads: 30,
+            working_set: 5,
+            exchanged_buffers: 1,
+            exchange_phases: 1,
+            radius: 4,
+            clusters: 1,
+            efficiency: (1.0, 1.0),
+        }
+    }
+
+    /// A synthetic compute-bound profile (unit tests).
+    pub fn synthetic_compute_bound() -> KernelProfile {
+        KernelProfile {
+            name: "synthetic-flop".into(),
+            sdo: 8,
+            flops_per_pt: 4000.0,
+            bytes_per_pt: 60.0,
+            raw_loads: 700,
+            working_set: 14,
+            exchanged_buffers: 3,
+            exchange_phases: 1,
+            radius: 4,
+            clusters: 1,
+            efficiency: (1.0, 1.0),
+        }
+    }
+
+    /// Operational intensity (flops per byte).
+    pub fn oi(&self) -> f64 {
+        self.flops_per_pt / self.bytes_per_pt
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn oi_ordering_of_synthetics() {
+        assert!(
+            KernelProfile::synthetic_compute_bound().oi()
+                > KernelProfile::synthetic_memory_bound().oi()
+        );
+    }
+
+    #[test]
+    fn calibration_covers_all_paper_kernels() {
+        for k in ["acoustic", "tti", "elastic", "viscoelastic"] {
+            let (c, g) = KernelProfile::calibrated_efficiency(k);
+            assert!(c > 0.0 && c <= 1.0 && g > 0.0 && g <= 1.0, "{k}");
+        }
+    }
+}

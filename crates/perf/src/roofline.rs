@@ -1,0 +1,83 @@
+//! Single-unit roofline data (paper Fig. 7).
+
+use serde::{Deserialize, Serialize};
+
+use crate::machine::MachineSpec;
+use crate::profile::KernelProfile;
+use crate::scaling::{strong_scaling, Mode};
+
+/// One kernel's position on the roofline plot.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct RooflinePoint {
+    pub kernel: String,
+    /// Operational intensity (flops/byte), computed at compile time from
+    /// the AST as in §IV-C.
+    pub oi: f64,
+    /// Achieved GFlops/s on one unit.
+    pub gflops: f64,
+    /// Achieved GPts/s on one unit.
+    pub gpts: f64,
+    /// The bandwidth-bound ceiling at this OI (GFlops/s).
+    pub bw_ceiling: f64,
+    /// The peak-compute ceiling (GFlops/s).
+    pub peak_ceiling: f64,
+}
+
+/// Single-unit throughput of a kernel (GPts/s).
+pub fn single_unit_gpts(profile: &KernelProfile, machine: &MachineSpec, global: &[usize]) -> f64 {
+    strong_scaling(profile, machine, Mode::Basic, 1, global).gpts
+}
+
+/// Build the Fig. 7 roofline point for a kernel.
+pub fn roofline_point(
+    profile: &KernelProfile,
+    machine: &MachineSpec,
+    global: &[usize],
+) -> RooflinePoint {
+    let gpts = single_unit_gpts(profile, machine, global);
+    RooflinePoint {
+        kernel: profile.name.clone(),
+        oi: profile.oi(),
+        gflops: gpts * profile.flops_per_pt,
+        gpts,
+        bw_ceiling: machine.mem_bw * profile.oi() / 1e9,
+        peak_ceiling: machine.peak_flops / 1e9,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::machine::archer2_node;
+
+    #[test]
+    fn achieved_stays_under_the_roofline() {
+        let m = archer2_node();
+        for p in [
+            KernelProfile::synthetic_memory_bound(),
+            KernelProfile::synthetic_compute_bound(),
+        ] {
+            let pt = roofline_point(&p, &m, &[512, 512, 512]);
+            let ceiling = pt.bw_ceiling.min(pt.peak_ceiling);
+            assert!(
+                pt.gflops <= ceiling * 1.001,
+                "{}: {} > ceiling {}",
+                pt.kernel,
+                pt.gflops,
+                ceiling
+            );
+            assert!(pt.gflops > 0.0);
+        }
+    }
+
+    #[test]
+    fn memory_bound_kernel_sits_on_bandwidth_slope() {
+        let m = archer2_node();
+        let p = KernelProfile::synthetic_memory_bound();
+        let pt = roofline_point(&p, &m, &[512, 512, 512]);
+        // efficiency 1.0 synthetic: achieved approaches the bw ceiling;
+        // the gap is the (real) intra-node halo traffic of the 8 ranks
+        // plus nest overhead.
+        assert!(pt.gflops > 0.75 * pt.bw_ceiling.min(pt.peak_ceiling));
+    }
+}

@@ -1,0 +1,387 @@
+//! Strong and weak scaling generation (paper §IV-D, §IV-E).
+
+use serde::{Deserialize, Serialize};
+
+use crate::machine::MachineSpec;
+use crate::network::comm_time_per_step;
+use crate::profile::KernelProfile;
+
+/// Exchange mode (mirror of the runtime's `HaloMode`; kept local so the
+/// model crate has no runtime dependency).
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Serialize, Deserialize)]
+pub enum Mode {
+    Basic,
+    Diagonal,
+    Full,
+}
+
+impl Mode {
+    pub fn all() -> [Mode; 3] {
+        [Mode::Basic, Mode::Diagonal, Mode::Full]
+    }
+    pub fn label(self) -> &'static str {
+        match self {
+            Mode::Basic => "Basic",
+            Mode::Diagonal => "Diag",
+            Mode::Full => "Full",
+        }
+    }
+}
+
+/// One point of a scaling curve.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct ScalePoint {
+    pub units: usize,
+    /// Modeled time per time step (s).
+    pub step_time: f64,
+    /// Throughput in GPts/s over the global domain.
+    pub gpts: f64,
+    /// Fraction of compute time spent in communication (exposed).
+    pub comm_fraction: f64,
+}
+
+/// Balanced factorization (MPI_Dims_create-like, non-increasing).
+pub fn balanced_dims(nranks: usize, ndims: usize) -> Vec<usize> {
+    let mut dims = vec![1usize; ndims];
+    let mut factors = Vec::new();
+    let mut n = nranks;
+    let mut d = 2;
+    while d * d <= n {
+        while n % d == 0 {
+            factors.push(d);
+            n /= d;
+        }
+        d += 1;
+    }
+    if n > 1 {
+        factors.push(n);
+    }
+    factors.sort_unstable_by(|a, b| b.cmp(a));
+    for f in factors {
+        let i = dims
+            .iter()
+            .enumerate()
+            .min_by_key(|(_, &v)| v)
+            .map(|(i, _)| i)
+            .unwrap();
+        dims[i] *= f;
+    }
+    dims.sort_unstable_by(|a, b| b.cmp(a));
+    dims
+}
+
+/// Per-rank local shape for a global domain over `ranks` ranks
+/// (largest shard — the critical path).
+fn local_shape(global: &[usize], ranks: usize) -> Vec<usize> {
+    let dims = balanced_dims(ranks, global.len());
+    global
+        .iter()
+        .zip(&dims)
+        .map(|(&g, &p)| g.div_ceil(p))
+        .collect()
+}
+
+/// Roofline time per point for one rank (s), with the kernel's
+/// calibrated single-unit efficiency applied and the cache-residency
+/// bandwidth boost for small per-rank working sets.
+fn time_per_point(
+    profile: &KernelProfile,
+    machine: &MachineSpec,
+    is_gpu: bool,
+    local_pts: f64,
+) -> f64 {
+    let working_set = local_pts * profile.working_set as f64 * 4.0;
+    let t_flop = profile.flops_per_pt / machine.rank_flops();
+    let t_mem = profile.bytes_per_pt / machine.rank_bw_for(working_set);
+    let eff = if is_gpu {
+        profile.efficiency.1
+    } else {
+        profile.efficiency.0
+    };
+    t_flop.max(t_mem) / eff
+}
+
+/// Model one strong-scaling point: fixed `global` domain over `units`
+/// nodes/GPUs.
+pub fn strong_scaling(
+    profile: &KernelProfile,
+    machine: &MachineSpec,
+    mode: Mode,
+    units: usize,
+    global: &[usize],
+) -> ScalePoint {
+    let ranks = units * machine.ranks_per_unit;
+    let local = local_shape(global, ranks);
+    let local_pts: f64 = local.iter().map(|&n| n as f64).product();
+    let is_gpu = machine.intra_beta.is_some();
+    let t_pt = time_per_point(profile, machine, is_gpu, local_pts);
+    let nests = machine.nest_overhead * profile.clusters as f64;
+
+    let comm = comm_time_per_step(profile, machine, units, &local, mode_net(mode));
+    let step_time = match mode {
+        Mode::Basic | Mode::Diagonal => local_pts * t_pt + comm.time + nests,
+        Mode::Full => {
+            // CORE overlaps the exchange; REMAINDER runs afterwards at
+            // reduced efficiency (strided accesses, §III h / §IV-F).
+            let r = profile.radius as f64;
+            let core_pts: f64 = local
+                .iter()
+                .map(|&n| (n as f64 - 2.0 * r).max(0.0))
+                .product();
+            let rem_pts = (local_pts - core_pts).max(0.0);
+            let core_time = core_pts * t_pt;
+            let rem_time = rem_pts * t_pt / machine.remainder_efficiency;
+            core_time.max(comm.time) + rem_time + 2.0 * nests
+        }
+    };
+    let global_pts: f64 = global.iter().map(|&n| n as f64).product();
+    ScalePoint {
+        units,
+        step_time,
+        gpts: global_pts / step_time / 1e9,
+        comm_fraction: (comm.time / step_time).min(1.0),
+    }
+}
+
+fn mode_net(m: Mode) -> Mode {
+    m
+}
+
+/// Model one weak-scaling point: `per_unit` points per node/GPU, domain
+/// grown with the unit count (paper §IV-E: 256³ per unit, doubling one
+/// dimension at a time). Returns the runtime for `nt` steps.
+pub fn weak_scaling(
+    profile: &KernelProfile,
+    machine: &MachineSpec,
+    mode: Mode,
+    units: usize,
+    per_unit: &[usize],
+    nt: usize,
+) -> (ScalePoint, f64) {
+    // Grow the global domain by doubling dimensions cyclically.
+    let mut global = per_unit.to_vec();
+    let mut n = units;
+    let mut d = 0;
+    while n > 1 {
+        assert!(n % 2 == 0, "weak scaling expects power-of-two units");
+        global[d] *= 2;
+        d = (d + 1) % global.len();
+        n /= 2;
+    }
+    let p = strong_scaling(profile, machine, mode, units, &global);
+    let runtime = p.step_time * nt as f64;
+    (p, runtime)
+}
+
+/// Parallel efficiency of a strong-scaling curve vs. linear scaling from
+/// its first point.
+pub fn efficiency(points: &[ScalePoint]) -> Vec<f64> {
+    if points.is_empty() {
+        return Vec::new();
+    }
+    let base = points[0].gpts / points[0].units as f64;
+    points
+        .iter()
+        .map(|p| p.gpts / (base * p.units as f64))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::machine::{archer2_node, tursa_a100};
+
+    fn mem() -> KernelProfile {
+        KernelProfile::synthetic_memory_bound()
+    }
+    fn flop() -> KernelProfile {
+        KernelProfile::synthetic_compute_bound()
+    }
+
+    const G: [usize; 3] = [1024, 1024, 1024];
+
+    #[test]
+    fn balanced_dims_examples() {
+        assert_eq!(balanced_dims(16, 3), vec![4, 2, 2]);
+        assert_eq!(balanced_dims(1024, 3), vec![16, 8, 8]);
+        assert_eq!(balanced_dims(1, 3), vec![1, 1, 1]);
+    }
+
+    #[test]
+    fn throughput_increases_with_units() {
+        let m = archer2_node();
+        let p = mem();
+        let g1 = strong_scaling(&p, &m, Mode::Basic, 1, &G).gpts;
+        let g16 = strong_scaling(&p, &m, Mode::Basic, 16, &G).gpts;
+        let g128 = strong_scaling(&p, &m, Mode::Basic, 128, &G).gpts;
+        assert!(g16 > 4.0 * g1, "{g16} vs {g1}");
+        assert!(g128 > g16);
+    }
+
+    #[test]
+    fn efficiency_decays_with_scale() {
+        let m = archer2_node();
+        let p = mem();
+        let pts: Vec<ScalePoint> = [1, 2, 4, 8, 16, 32, 64, 128]
+            .iter()
+            .map(|&u| strong_scaling(&p, &m, Mode::Basic, u, &G))
+            .collect();
+        let eff = efficiency(&pts);
+        assert!(eff[0] > 0.99);
+        assert!(eff[7] < eff[0]);
+        assert!(eff[7] > 0.2, "unreasonably bad: {}", eff[7]);
+    }
+
+    #[test]
+    fn compute_bound_kernel_scales_better() {
+        // TTI-like kernels have a higher compute/comm ratio -> higher
+        // strong-scaling efficiency (paper Fig. 10 narrative).
+        let m = archer2_node();
+        let e_mem = {
+            let pts: Vec<_> = [1, 128]
+                .iter()
+                .map(|&u| strong_scaling(&mem(), &m, Mode::Diagonal, u, &G))
+                .collect();
+            efficiency(&pts)[1]
+        };
+        let e_flop = {
+            let pts: Vec<_> = [1, 128]
+                .iter()
+                .map(|&u| strong_scaling(&flop(), &m, Mode::Diagonal, u, &G))
+                .collect();
+            efficiency(&pts)[1]
+        };
+        assert!(e_flop > e_mem, "{e_flop} !> {e_mem}");
+    }
+
+    #[test]
+    fn full_mode_loses_when_communication_is_cheap() {
+        // Acoustic-like kernel at small scale: the remainder penalty
+        // outweighs the hidden communication (paper Fig. 8).
+        let m = archer2_node();
+        let p = mem();
+        let f = strong_scaling(&p, &m, Mode::Full, 4, &G).gpts;
+        let b = strong_scaling(&p, &m, Mode::Basic, 4, &G).gpts;
+        assert!(b > f * 0.95, "basic {b} vs full {f}");
+    }
+
+    #[test]
+    fn gpu_strong_scaling_less_efficient_but_faster() {
+        let c = archer2_node();
+        let g = tursa_a100();
+        let p = mem();
+        let cpu1 = strong_scaling(&p, &c, Mode::Basic, 1, &G);
+        let gpu1 = strong_scaling(&p, &g, Mode::Basic, 1, &G);
+        assert!(gpu1.gpts > 2.0 * cpu1.gpts, "GPU single-unit advantage");
+        let cpu_eff = {
+            let pts: Vec<_> = [1, 128]
+                .iter()
+                .map(|&u| strong_scaling(&p, &c, Mode::Basic, u, &G))
+                .collect();
+            efficiency(&pts)[1]
+        };
+        let gpu_eff = {
+            let pts: Vec<_> = [1, 128]
+                .iter()
+                .map(|&u| strong_scaling(&p, &g, Mode::Basic, u, &G))
+                .collect();
+            efficiency(&pts)[1]
+        };
+        assert!(
+            gpu_eff < cpu_eff,
+            "GPUs scale less efficiently: {gpu_eff} vs {cpu_eff}"
+        );
+    }
+
+    #[test]
+    fn weak_scaling_runtime_is_nearly_flat() {
+        let m = archer2_node();
+        let p = mem();
+        let (_, t1) = weak_scaling(&p, &m, Mode::Basic, 1, &[256, 256, 256], 290);
+        let (_, t128) = weak_scaling(&p, &m, Mode::Basic, 128, &[256, 256, 256], 290);
+        let ratio = t128 / t1;
+        assert!(
+            (0.9..1.6).contains(&ratio),
+            "weak scaling should be near-flat: {ratio}"
+        );
+    }
+
+    #[test]
+    fn weak_scaling_gpu_is_about_4x_faster() {
+        let c = archer2_node();
+        let g = tursa_a100();
+        let p = mem();
+        let (_, tc) = weak_scaling(&p, &c, Mode::Basic, 8, &[256, 256, 256], 290);
+        let (_, tg) = weak_scaling(&p, &g, Mode::Basic, 8, &[256, 256, 256], 290);
+        let speedup = tc / tg;
+        // The paper's text says ~4x; its own single-unit table entries
+        // imply ~2.4x. The model lands in between (see EXPERIMENTS.md).
+        assert!(
+            (2.0..7.0).contains(&speedup),
+            "paper: GPUs markedly faster in weak scaling, got {speedup}"
+        );
+    }
+}
+
+/// Find the smallest unit count in `units` at which `a` becomes at least
+/// as fast as `b` and stays so through the end of the sweep — the
+/// crossover the paper's §IV-D discussion revolves around (e.g. *basic*
+/// overtaking *diagonal* for the acoustic kernel at high node counts).
+/// Returns `None` if `a` never permanently overtakes `b`.
+pub fn mode_crossover(
+    profile: &KernelProfile,
+    machine: &MachineSpec,
+    global: &[usize],
+    a: Mode,
+    b: Mode,
+    units: &[usize],
+) -> Option<usize> {
+    let wins: Vec<bool> = units
+        .iter()
+        .map(|&u| {
+            strong_scaling(profile, machine, a, u, global).gpts
+                >= strong_scaling(profile, machine, b, u, global).gpts
+        })
+        .collect();
+    // Last index where a loses; crossover is the next sweep point.
+    match wins.iter().rposition(|&w| !w) {
+        None => units.first().copied(),
+        Some(last_loss) if last_loss + 1 < units.len() => Some(units[last_loss + 1]),
+        Some(_) => None,
+    }
+}
+
+#[cfg(test)]
+mod crossover_tests {
+    use super::*;
+    use crate::machine::archer2_node;
+    use crate::profile::KernelProfile;
+
+    const UNITS: [usize; 8] = [1, 2, 4, 8, 16, 32, 64, 128];
+
+    #[test]
+    fn acoustic_like_kernel_crosses_to_basic_at_scale() {
+        // Memory-bound single-buffer kernel: diagonal wins mid-range,
+        // basic overtakes once messages shrink (paper Tables III/V).
+        let p = KernelProfile::synthetic_memory_bound();
+        let m = archer2_node();
+        let x = mode_crossover(&p, &m, &[1024, 1024, 1024], Mode::Basic, Mode::Diagonal, &UNITS);
+        assert!(x.is_some(), "basic must eventually overtake diagonal");
+        assert!(x.unwrap() >= 16, "crossover should be at scale, got {x:?}");
+    }
+
+    #[test]
+    fn full_does_not_overtake_diagonal_early() {
+        // The remainder penalty keeps full behind diagonal until
+        // communication dominates — if it ever overtakes, only at scale
+        // (the paper's acoustic so-4 row shows exactly this: full beats
+        // diag at 128 nodes but nowhere before 16).
+        let p = KernelProfile::synthetic_memory_bound();
+        let m = archer2_node();
+        let x = mode_crossover(&p, &m, &[1024, 1024, 1024], Mode::Full, Mode::Diagonal, &UNITS);
+        assert!(
+            x.is_none() || x.unwrap() >= 32,
+            "full overtook diagonal too early: {x:?}"
+        );
+    }
+}

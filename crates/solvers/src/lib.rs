@@ -1,0 +1,37 @@
+//! # mpix-solvers
+//!
+//! The four wave-propagator stencil kernels of the paper's evaluation
+//! (§IV-B, Appendix A), built entirely on the symbolic DSL:
+//!
+//! * [`acoustic`] — isotropic acoustic: single scalar PDE, star stencil,
+//!   memory-bound, 5-field working set.
+//! * [`tti`] — anisotropic acoustic (TTI): coupled pseudo-acoustic
+//!   system with a rotated Laplacian built from nested first
+//!   derivatives; the most arithmetically intense kernel (12 fields).
+//! * [`elastic`] — isotropic elastic (Virieux velocity–stress): coupled
+//!   vector/tensor system on a staggered grid, first order in time,
+//!   22-field working set.
+//! * [`viscoelastic`] — Robertsson visco-elastic: adds memory variables,
+//!   the largest working set (36 fields in 3-D).
+//!
+//! Support modules: [`ricker`] (the seismic source wavelet), [`model`]
+//! (velocity models and the absorbing-boundary damping layer), and
+//! [`propagator`] (a uniform wrapper the benchmarks drive).
+
+// Numerical kernels index several arrays with one loop variable; the
+// clippy suggestion (iterators + zip) hurts clarity in stencil code.
+#![allow(clippy::needless_range_loop)]
+#![allow(clippy::manual_is_multiple_of)]
+
+pub mod acoustic;
+pub mod elastic;
+pub mod model;
+pub mod propagator;
+pub mod ricker;
+pub mod tti;
+pub mod verification;
+pub mod viscoelastic;
+
+pub use model::ModelSpec;
+pub use propagator::{KernelKind, Propagator};
+pub use ricker::ricker_wavelet;

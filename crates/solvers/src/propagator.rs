@@ -1,0 +1,221 @@
+//! A uniform wrapper over the four kernels, used by examples, the
+//! benchmark harness and the performance model.
+
+use mpix_core::{ApplyOptions, Operator, Workspace};
+use mpix_dmp::SparsePoints;
+
+use crate::model::ModelSpec;
+use crate::ricker::ricker_wavelet;
+use crate::viscoelastic::Relaxation;
+use crate::{acoustic, elastic, tti, viscoelastic};
+
+/// The four wave-propagator kernels of the paper's evaluation.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum KernelKind {
+    Acoustic,
+    Tti,
+    Elastic,
+    Viscoelastic,
+}
+
+impl KernelKind {
+    pub fn all() -> [KernelKind; 4] {
+        [
+            KernelKind::Acoustic,
+            KernelKind::Tti,
+            KernelKind::Elastic,
+            KernelKind::Viscoelastic,
+        ]
+    }
+
+    pub fn name(self) -> &'static str {
+        match self {
+            KernelKind::Acoustic => "acoustic",
+            KernelKind::Tti => "tti",
+            KernelKind::Elastic => "elastic",
+            KernelKind::Viscoelastic => "viscoelastic",
+        }
+    }
+}
+
+/// A compiled propagator plus the model/runtime configuration needed to
+/// run it.
+pub struct Propagator {
+    pub kind: KernelKind,
+    pub spec: ModelSpec,
+    pub op: Operator,
+    pub so: u32,
+    pub dt: f64,
+}
+
+impl Propagator {
+    /// Compile the chosen kernel for a model at spatial order `so`.
+    pub fn build(kind: KernelKind, spec: ModelSpec, so: u32) -> Propagator {
+        let op = match kind {
+            KernelKind::Acoustic => acoustic::operator(&spec, so),
+            KernelKind::Tti => tti::operator(&spec, so),
+            KernelKind::Elastic => elastic::operator(&spec, so),
+            KernelKind::Viscoelastic => viscoelastic::operator(&spec, so),
+        };
+        let dt = match kind {
+            KernelKind::Acoustic => spec.stable_dt(0.4),
+            KernelKind::Tti => spec.stable_dt(0.2),
+            KernelKind::Elastic | KernelKind::Viscoelastic => {
+                0.3 * spec.spacing / (spec.vp * 3.0f64.sqrt())
+            }
+        };
+        Propagator {
+            kind,
+            spec,
+            op,
+            so,
+            dt,
+        }
+    }
+
+    /// Seed the rank's model-parameter fields.
+    pub fn init(&self, ws: &mut Workspace) {
+        match self.kind {
+            KernelKind::Acoustic => acoustic::init_workspace(&self.spec, ws),
+            KernelKind::Tti => tti::init_workspace(&self.spec, ws),
+            KernelKind::Elastic => elastic::init_workspace(&self.spec, ws),
+            KernelKind::Viscoelastic => viscoelastic::init_workspace(&self.spec, ws),
+        }
+    }
+
+    /// The representative output wavefield.
+    pub fn main_field(&self) -> &'static str {
+        match self.kind {
+            KernelKind::Acoustic => acoustic::MAIN_FIELD,
+            KernelKind::Tti => tti::MAIN_FIELD,
+            KernelKind::Elastic => elastic::MAIN_FIELD,
+            KernelKind::Viscoelastic => viscoelastic::MAIN_FIELD,
+        }
+    }
+
+    /// Fields a Ricker point source is injected into.
+    pub fn source_fields(&self) -> Vec<&'static str> {
+        match self.kind {
+            KernelKind::Acoustic => vec!["u"],
+            KernelKind::Tti => vec!["u", "v"],
+            KernelKind::Elastic | KernelKind::Viscoelastic => vec!["txx", "tyy", "tzz"],
+        }
+    }
+
+    /// Default apply options for `nt` steps (stable dt, kernel scalars).
+    pub fn apply_options(&self, nt: i64) -> ApplyOptions {
+        let mut o = ApplyOptions::default().with_nt(nt).with_dt(self.dt);
+        if self.kind == KernelKind::Viscoelastic {
+            for (k, v) in viscoelastic::apply_scalars(&Relaxation::default()) {
+                o = o.with_scalar(&k, v);
+            }
+        }
+        o
+    }
+
+    /// Register a centred Ricker source on a workspace (paper §IV-C).
+    pub fn add_ricker_source(&self, ws: &mut Workspace, f0: f64, nt: usize) {
+        let signal = ricker_wavelet(f0, self.dt, nt);
+        let spacing = vec![self.spec.spacing; self.spec.shape.len()];
+        let center = self.spec.center_coords();
+        // Inject dt²/m-scaled for the second-order kernels, dt-scaled for
+        // the first-order systems.
+        let scale = match self.kind {
+            KernelKind::Acoustic | KernelKind::Tti => {
+                (self.dt * self.dt / self.spec.m()) as f32
+            }
+            _ => self.dt as f32,
+        };
+        for f in self.source_fields() {
+            let pts = SparsePoints::new(vec![center.clone()], spacing.clone());
+            ws.add_injection(f, pts, signal.clone(), vec![scale]);
+        }
+    }
+
+    /// Number of grid points updated per time step (all stores, padded
+    /// domain) — the numerator of the paper's GPts/s metric.
+    pub fn points_per_step(&self) -> u64 {
+        let domain: u64 = self.spec.padded_shape().iter().map(|&s| s as u64).product();
+        let stores: u64 = self
+            .op
+            .clusters()
+            .iter()
+            .map(|c| {
+                c.stmts
+                    .iter()
+                    .filter(|s| matches!(s, mpix_ir::cluster::Stmt::Store { .. }))
+                    .count() as u64
+            })
+            .sum();
+        domain * stores
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn all_four_kernels_compile_at_so4() {
+        let spec = ModelSpec::new(&[8, 8, 8]).with_nbl(2);
+        for kind in KernelKind::all() {
+            let p = Propagator::build(kind, spec.clone(), 4);
+            assert!(p.op.op_counts().flops() > 0, "{kind:?}");
+            assert!(p.dt > 0.0);
+        }
+    }
+
+    #[test]
+    fn field_counts_match_paper_ordering() {
+        // acoustic 5 < tti < elastic 22 < viscoelastic 34 working sets.
+        let spec = ModelSpec::new(&[8, 8, 8]).with_nbl(0);
+        let ws: Vec<usize> = KernelKind::all()
+            .iter()
+            .map(|&k| {
+                Propagator::build(k, spec.clone(), 4)
+                    .op
+                    .op_counts()
+                    .working_set()
+            })
+            .collect();
+        assert_eq!(ws[0], 5);
+        assert!(ws[1] > ws[0]);
+        assert_eq!(ws[2], 22);
+        assert_eq!(ws[3], 34);
+    }
+
+    #[test]
+    fn ricker_source_excites_every_kernel() {
+        let spec = ModelSpec::new(&[8, 8, 8]).with_nbl(2);
+        for kind in KernelKind::all() {
+            let p = Propagator::build(kind, spec.clone(), 4);
+            let nt = 6;
+            let opts = p.apply_options(nt);
+            let pref = &p;
+            let g = p.op.apply_local(
+                &opts,
+                move |ws| {
+                    pref.init(ws);
+                    pref.add_ricker_source(ws, 20.0, nt as usize);
+                },
+                |ws| ws.gather(pref.main_field()),
+            );
+            assert!(g.iter().all(|v| v.is_finite()), "{kind:?} blew up");
+            assert!(
+                g.iter().map(|v| v.abs()).sum::<f32>() > 0.0,
+                "{kind:?} silent"
+            );
+        }
+    }
+
+    #[test]
+    fn points_per_step_counts_stencils() {
+        let spec = ModelSpec::new(&[8, 8, 8]).with_nbl(0);
+        let ac = Propagator::build(KernelKind::Acoustic, spec.clone(), 4);
+        assert_eq!(ac.points_per_step(), 512);
+        let el = Propagator::build(KernelKind::Elastic, spec.clone(), 4);
+        assert_eq!(el.points_per_step(), 512 * 9);
+        let ve = Propagator::build(KernelKind::Viscoelastic, spec, 4);
+        assert_eq!(ve.points_per_step(), 512 * 15);
+    }
+}

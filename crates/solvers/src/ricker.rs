@@ -1,0 +1,61 @@
+//! The Ricker wavelet — the standard seismic source time signature
+//! (paper §IV-C, reference 31).
+
+/// Sample a Ricker wavelet of peak frequency `f0` (Hz) at `nt` steps of
+/// `dt` seconds. The wavelet is shifted by `1/f0` so it starts near zero.
+///
+/// `r(t) = (1 - 2 π² f0² τ²) · exp(-π² f0² τ²)`, `τ = t - 1/f0`.
+pub fn ricker_wavelet(f0: f64, dt: f64, nt: usize) -> Vec<f32> {
+    assert!(f0 > 0.0 && dt > 0.0);
+    (0..nt)
+        .map(|i| {
+            let tau = i as f64 * dt - 1.0 / f0;
+            let a = (std::f64::consts::PI * f0 * tau).powi(2);
+            ((1.0 - 2.0 * a) * (-a).exp()) as f32
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn peak_is_at_shift_time() {
+        let f0 = 10.0;
+        let dt = 0.001;
+        let w = ricker_wavelet(f0, dt, 400);
+        let peak = w
+            .iter()
+            .enumerate()
+            .max_by(|a, b| a.1.partial_cmp(b.1).unwrap())
+            .unwrap()
+            .0;
+        let t_peak = peak as f64 * dt;
+        assert!((t_peak - 0.1).abs() < 2.0 * dt, "peak at {t_peak}");
+        assert!((w[peak] - 1.0).abs() < 1e-4);
+    }
+
+    #[test]
+    fn wavelet_decays_to_zero() {
+        let w = ricker_wavelet(10.0, 0.001, 1000);
+        assert!(w.last().unwrap().abs() < 1e-6);
+        assert!(w[0].abs() < 1e-3, "start {}", w[0]);
+    }
+
+    #[test]
+    fn zero_mean_within_tolerance() {
+        // The Ricker wavelet integrates to ~0.
+        let dt = 0.0005;
+        let w = ricker_wavelet(8.0, dt, 2000);
+        let integral: f64 = w.iter().map(|&v| v as f64 * dt).sum();
+        assert!(integral.abs() < 1e-3, "integral {integral}");
+    }
+
+    #[test]
+    fn has_two_negative_side_lobes() {
+        let w = ricker_wavelet(10.0, 0.001, 400);
+        let min = w.iter().cloned().fold(f32::INFINITY, f32::min);
+        assert!(min < -0.3 && min > -0.5, "side lobe {min}");
+    }
+}

@@ -1,0 +1,518 @@
+//! Equations, finite-difference discretization, and the explicit-update
+//! solver.
+//!
+//! `solve` mirrors Devito's `solve(eq, u.forward)`: the time derivative is
+//! discretized, the equation is rearranged so the forward access stands
+//! alone on the left, and the result becomes the explicit update stencil.
+//! Spatial derivatives are lowered separately by [`discretize`], which
+//! replaces every `Deriv` node by a weighted sum of shifted copies of its
+//! sub-expression (the general rule that also covers the TTI rotated
+//! Laplacian, where derivatives apply to products of fields).
+
+use crate::context::{Context, Stagger};
+use crate::expr::{Access, DerivDim, Expr};
+use crate::fd;
+use crate::grid::Grid;
+use crate::simplify::{collect_linear, simplify};
+
+/// A symbolic equation `lhs = rhs`.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Eq {
+    pub lhs: Expr,
+    pub rhs: Expr,
+}
+
+/// Errors from the linear solver.
+#[derive(Debug, Clone, PartialEq)]
+pub enum SolveError {
+    /// The target does not appear, or appears non-linearly.
+    NotLinear,
+    /// The target is not a plain field access.
+    TargetNotAccess,
+    /// The coefficient of the target vanished.
+    SingularCoefficient,
+}
+
+/// Errors from discretization.
+#[derive(Debug, Clone, PartialEq)]
+pub enum DiscretizeError {
+    /// A derivative was requested along a dimension the field lacks.
+    BadDimension,
+    /// Mixed staggering inside a single derivative sub-expression.
+    MixedStagger,
+    /// A staggered (half-offset) derivative of order other than one.
+    StaggeredHighOrder,
+    /// After lowering, an access does not land on its field's sample
+    /// lattice.
+    OffLattice { field: u32, dim: usize },
+    /// A time derivative outside what the field's time order supports.
+    UnsupportedTimeDerivative,
+}
+
+impl Eq {
+    pub fn new(lhs: Expr, rhs: Expr) -> Eq {
+        Eq { lhs, rhs }
+    }
+
+    /// Residual form `lhs - rhs`.
+    pub fn residual(&self) -> Expr {
+        self.lhs.clone() - self.rhs.clone()
+    }
+
+    /// Devito's `solve(eq, target)`: discretize time derivatives, then
+    /// rearrange the equation into an explicit update `target = …`.
+    pub fn solve_for(&self, target: &Expr, ctx: &Context) -> Result<Eq, SolveError> {
+        solve(&self.residual(), target, ctx)
+    }
+}
+
+/// Solve `residual == 0` for `target` (a field access, typically
+/// `u.forward()`), discretizing time derivatives in the process.
+pub fn solve(residual: &Expr, target: &Expr, ctx: &Context) -> Result<Eq, SolveError> {
+    let target_acc = match target {
+        Expr::Acc(a) => a.clone(),
+        _ => return Err(SolveError::TargetNotAccess),
+    };
+    let time_lowered = lower_time_derivs(residual, ctx).map_err(|_| SolveError::NotLinear)?;
+    let (a, b) = collect_linear(&time_lowered, target).ok_or(SolveError::NotLinear)?;
+    if a == Expr::Const(0.0) {
+        return Err(SolveError::SingularCoefficient);
+    }
+    // target = -b / a
+    let solution = simplify(&(Expr::Const(-1.0) * b * Expr::Pow(Box::new(a), -1)));
+    let _ = target_acc;
+    Ok(Eq::new(target.clone(), solution))
+}
+
+/// Replace time-`Deriv` nodes with finite differences:
+/// * order 1 → forward difference `(e(t+1) - e(t)) / dt`
+/// * order 2 → central difference `(e(t+1) - 2 e(t) + e(t-1)) / dt²`
+#[allow(clippy::only_used_in_recursion)] // ctx reserved for staggered-time lowering
+pub fn lower_time_derivs(e: &Expr, ctx: &Context) -> Result<Expr, DiscretizeError> {
+    let out = match e {
+        Expr::Deriv {
+            expr,
+            dim: DerivDim::Time,
+            order,
+            ..
+        } => {
+            let inner = lower_time_derivs(expr, ctx)?;
+            let dt = Expr::sym("dt");
+            match order {
+                1 => (inner.shifted_time(1) - inner) * dt.pow(-1),
+                2 => {
+                    (inner.shifted_time(1) - 2.0 * inner.clone() + inner.shifted_time(-1))
+                        * dt.pow(-2)
+                }
+                _ => return Err(DiscretizeError::UnsupportedTimeDerivative),
+            }
+        }
+        Expr::Deriv {
+            expr,
+            dim,
+            order,
+            accuracy,
+        } => Expr::Deriv {
+            expr: Box::new(lower_time_derivs(expr, ctx)?),
+            dim: *dim,
+            order: *order,
+            accuracy: *accuracy,
+        },
+        Expr::Add(xs) => Expr::Add(
+            xs.iter()
+                .map(|x| lower_time_derivs(x, ctx))
+                .collect::<Result<_, _>>()?,
+        ),
+        Expr::Mul(xs) => Expr::Mul(
+            xs.iter()
+                .map(|x| lower_time_derivs(x, ctx))
+                .collect::<Result<_, _>>()?,
+        ),
+        Expr::Pow(b, e2) => Expr::Pow(Box::new(lower_time_derivs(b, ctx)?), *e2),
+        Expr::Func(fx, b) => Expr::Func(*fx, Box::new(lower_time_derivs(b, ctx)?)),
+        other => other.clone(),
+    };
+    Ok(simplify(&out))
+}
+
+/// Fully discretize an equation: lower remaining time derivatives, then
+/// every spatial derivative, using the *LHS field's* staggering as the
+/// evaluation lattice. Validates that every final access lands on its
+/// field's sample lattice.
+pub fn discretize(eq: &Eq, ctx: &Context) -> Result<Eq, DiscretizeError> {
+    let eval_stagger: Vec<Stagger> = match &eq.lhs {
+        Expr::Acc(a) => ctx.field(a.field).stagger.clone(),
+        _ => vec![Stagger::Node; max_ndim(&eq.rhs, ctx).unwrap_or(1)],
+    };
+    let lhs = lower_time_derivs(&eq.lhs, ctx)?;
+    let rhs = lower_time_derivs(&eq.rhs, ctx)?;
+    let rhs = lower_space_derivs(&rhs, ctx, &eval_stagger)?;
+    let lhs = lower_space_derivs(&lhs, ctx, &eval_stagger)?;
+    validate_lattice(&lhs, ctx, &eval_stagger)?;
+    validate_lattice(&rhs, ctx, &eval_stagger)?;
+    Ok(Eq::new(lhs, rhs))
+}
+
+fn max_ndim(e: &Expr, ctx: &Context) -> Option<usize> {
+    match e {
+        Expr::Acc(a) => Some(ctx.field(a.field).ndim()),
+        Expr::Add(xs) | Expr::Mul(xs) => xs.iter().filter_map(|x| max_ndim(x, ctx)).max(),
+        Expr::Pow(b, _) => max_ndim(b, ctx),
+        Expr::Func(_, b) => max_ndim(b, ctx),
+        Expr::Deriv { expr, .. } => max_ndim(expr, ctx),
+        _ => None,
+    }
+}
+
+/// Recursively replace spatial `Deriv` nodes (innermost first) by FD sums.
+pub fn lower_space_derivs(
+    e: &Expr,
+    ctx: &Context,
+    eval_stagger: &[Stagger],
+) -> Result<Expr, DiscretizeError> {
+    let out = match e {
+        Expr::Deriv {
+            expr,
+            dim: DerivDim::Space(d),
+            order,
+            accuracy,
+        } => {
+            let inner = lower_space_derivs(expr, ctx, eval_stagger)?;
+            apply_space_fd(&inner, *d, *order, *accuracy, ctx, eval_stagger)?
+        }
+        Expr::Deriv {
+            dim: DerivDim::Time,
+            ..
+        } => return Err(DiscretizeError::UnsupportedTimeDerivative),
+        Expr::Add(xs) => Expr::Add(
+            xs.iter()
+                .map(|x| lower_space_derivs(x, ctx, eval_stagger))
+                .collect::<Result<_, _>>()?,
+        ),
+        Expr::Mul(xs) => Expr::Mul(
+            xs.iter()
+                .map(|x| lower_space_derivs(x, ctx, eval_stagger))
+                .collect::<Result<_, _>>()?,
+        ),
+        Expr::Pow(b, e2) => Expr::Pow(
+            Box::new(lower_space_derivs(b, ctx, eval_stagger)?),
+            *e2,
+        ),
+        Expr::Func(fx, b) => Expr::Func(
+            *fx,
+            Box::new(lower_space_derivs(b, ctx, eval_stagger)?),
+        ),
+        other => other.clone(),
+    };
+    Ok(simplify(&out))
+}
+
+/// Apply the FD approximation of `d^order/dx_d^order` to an already
+/// lowered sub-expression: `Σ_k w_k · shift(e, d, δ_k)`.
+///
+/// The node set (centered even offsets vs staggered odd offsets) is chosen
+/// from the *parity* of the accessed samples relative to the evaluation
+/// lattice; mixed parities inside one derivative are rejected.
+fn apply_space_fd(
+    inner: &Expr,
+    d: usize,
+    order: u32,
+    accuracy: u32,
+    ctx: &Context,
+    eval_stagger: &[Stagger],
+) -> Result<Expr, DiscretizeError> {
+    if d >= eval_stagger.len() {
+        return Err(DiscretizeError::BadDimension);
+    }
+    let parity = sub_expr_parity(inner, d, ctx, eval_stagger)?;
+    let weights: Vec<(i32, f64)> = match parity {
+        // Samples on the evaluation lattice: centered stencil.
+        Some(0) | None => fd::centered_weights(accuracy, order),
+        // Samples at half offsets: staggered stencil (first order only).
+        Some(1) => {
+            if order != 1 {
+                return Err(DiscretizeError::StaggeredHighOrder);
+            }
+            fd::staggered_weights(accuracy)
+        }
+        _ => unreachable!(),
+    };
+    let h = Expr::sym(Grid::spacing_symbol_name(d)).pow(-(order as i32));
+    // The sub-expression is evaluable exactly at shifts matching its access
+    // parity (even shifts for on-lattice, odd for half-shifted samples) —
+    // which is the node set chosen above, so each term shifts by the node
+    // offset directly.
+    let terms: Vec<Expr> = weights
+        .iter()
+        .map(|&(off, w)| Expr::Mul(vec![Expr::Const(w), inner.shifted_space(d, off)]))
+        .collect();
+    Ok(simplify(&(Expr::Add(terms) * h)))
+}
+
+/// Parity (0 = on-lattice, 1 = half-shifted) of all accesses in `e` along
+/// dimension `d`, relative to the evaluation lattice. `None` when the
+/// sub-expression reads no fields.
+fn sub_expr_parity(
+    e: &Expr,
+    d: usize,
+    ctx: &Context,
+    eval_stagger: &[Stagger],
+) -> Result<Option<i32>, DiscretizeError> {
+    let mut parity: Option<i32> = None;
+    let mut check = |a: &Access| -> Result<(), DiscretizeError> {
+        let f = ctx.field(a.field);
+        if d >= f.ndim() {
+            return Err(DiscretizeError::BadDimension);
+        }
+        // Physical sample position minus evaluation position, in halves:
+        // o + s_f - s_w; parity decides node set.
+        let p = (a.offsets_h[d] + f.stagger[d].halves() - eval_stagger[d].halves()).rem_euclid(2);
+        match parity {
+            None => parity = Some(p),
+            Some(q) if q == p => {}
+            Some(_) => return Err(DiscretizeError::MixedStagger),
+        }
+        Ok(())
+    };
+    visit_accesses(e, &mut check)?;
+    Ok(parity)
+}
+
+fn visit_accesses<E>(
+    e: &Expr,
+    f: &mut impl FnMut(&Access) -> Result<(), E>,
+) -> Result<(), E> {
+    match e {
+        Expr::Acc(a) => f(a),
+        Expr::Add(xs) | Expr::Mul(xs) => {
+            for x in xs {
+                visit_accesses(x, f)?;
+            }
+            Ok(())
+        }
+        Expr::Pow(b, _) => visit_accesses(b, f),
+        Expr::Func(_, b) => visit_accesses(b, f),
+        Expr::Deriv { expr, .. } => visit_accesses(expr, f),
+        _ => Ok(()),
+    }
+}
+
+/// Check that every access in a lowered expression lands on its field's
+/// sample lattice relative to the evaluation lattice.
+fn validate_lattice(
+    e: &Expr,
+    ctx: &Context,
+    eval_stagger: &[Stagger],
+) -> Result<(), DiscretizeError> {
+    visit_accesses(e, &mut |a: &Access| {
+        let f = ctx.field(a.field);
+        for d in 0..f.ndim() {
+            let rel = a.offsets_h[d] + eval_stagger[d].halves() - f.stagger[d].halves();
+            if rel.rem_euclid(2) != 0 {
+                return Err(DiscretizeError::OffLattice {
+                    field: a.field.0,
+                    dim: d,
+                });
+            }
+        }
+        Ok(())
+    })
+}
+
+/// Convert a lowered access's half-step offsets to concrete array-index
+/// deltas, given the evaluation lattice. Must be called only on validated
+/// expressions.
+pub fn access_index_deltas(a: &Access, ctx: &Context, eval_stagger: &[Stagger]) -> Vec<i32> {
+    let f = ctx.field(a.field);
+    (0..f.ndim())
+        .map(|d| {
+            let rel = a.offsets_h[d] + eval_stagger[d].halves() - f.stagger[d].halves();
+            debug_assert_eq!(rel.rem_euclid(2), 0, "off-lattice access");
+            rel.div_euclid(2)
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::context::Context;
+    use crate::grid::Grid;
+
+    fn setup() -> (Context, crate::context::FieldHandle) {
+        let mut ctx = Context::new();
+        let g = Grid::new(&[4, 4], &[2.0, 2.0]);
+        let u = ctx.add_time_function("u", &g, 2, 2);
+        (ctx, u)
+    }
+
+    #[test]
+    fn solve_diffusion_matches_hand_derivation() {
+        // u.dt = u.laplace  with time_order 1 semantics via dt()
+        let mut ctx = Context::new();
+        let g = Grid::new(&[4, 4], &[2.0, 2.0]);
+        let u = ctx.add_time_function("u", &g, 2, 1);
+        let eq = Eq::new(u.dt(), u.laplace());
+        let st = eq.solve_for(&u.forward(), &ctx).unwrap();
+        assert_eq!(st.lhs, u.forward());
+        // stencil = u + dt * laplace(u); check structure after full lowering
+        let lowered = discretize(&st, &ctx).unwrap();
+        assert!(lowered.rhs.is_lowered());
+        // 5 accesses in the 2D 5-point stencil (u + 4 neighbours sharing center)
+        let mut n = 0;
+        visit_accesses::<()>(&lowered.rhs, &mut |_| {
+            n += 1;
+            Ok(())
+        })
+        .unwrap();
+        assert!(n >= 5, "expected at least 5 accesses, got {n}");
+    }
+
+    #[test]
+    fn solve_wave_equation_second_order() {
+        // m * u.dt2 - u.laplace = 0
+        let (mut ctx, u) = {
+            let mut ctx = Context::new();
+            let g = Grid::new(&[8, 8], &[1.0, 1.0]);
+            let u = ctx.add_time_function("u", &g, 4, 2);
+            (ctx, u)
+        };
+        let m = ctx.add_function("m", &Grid::new(&[8, 8], &[1.0, 1.0]), 4);
+        let pde = m.center() * u.dt2() - u.laplace();
+        let st = solve(&pde, &u.forward(), &ctx).unwrap();
+        // RHS must reference u[t] and u[t-1] but not u[t+1]
+        assert!(!st.rhs.contains_access(&match u.forward() {
+            Expr::Acc(a) => a,
+            _ => unreachable!(),
+        }));
+        assert!(st.rhs.references_field(u.id()));
+        assert!(st.rhs.references_field(m.id()));
+    }
+
+    #[test]
+    fn solve_rejects_missing_target() {
+        let (ctx, u) = setup();
+        let e = u.center(); // residual without u.forward
+        assert!(matches!(
+            solve(&e, &u.forward(), &ctx),
+            Err(SolveError::NotLinear) | Err(SolveError::SingularCoefficient)
+        ));
+    }
+
+    #[test]
+    fn time_lowering_first_order() {
+        let (ctx, u) = setup();
+        let e = lower_time_derivs(&u.dt(), &ctx).unwrap();
+        // (u[t+1] - u[t]) / dt : both time offsets appear
+        let fwd = match u.forward() {
+            Expr::Acc(a) => a,
+            _ => unreachable!(),
+        };
+        let cur = match u.center() {
+            Expr::Acc(a) => a,
+            _ => unreachable!(),
+        };
+        assert!(e.contains_access(&fwd));
+        assert!(e.contains_access(&cur));
+    }
+
+    #[test]
+    fn time_lowering_second_order_has_three_levels() {
+        let (ctx, u) = setup();
+        let e = lower_time_derivs(&u.dt2(), &ctx).unwrap();
+        for t in [-1, 0, 1] {
+            let a = match u.at(t, &[0, 0]) {
+                Expr::Acc(a) => a,
+                _ => unreachable!(),
+            };
+            assert!(e.contains_access(&a), "missing t{t:+} in {e}");
+        }
+    }
+
+    #[test]
+    fn space_lowering_produces_shifted_accesses() {
+        let (ctx, u) = setup();
+        let lap = lower_space_derivs(&u.dx2(0), &ctx, &[Stagger::Node, Stagger::Node]).unwrap();
+        assert!(lap.is_lowered());
+        let left = match u.at(0, &[-1, 0]) {
+            Expr::Acc(a) => a,
+            _ => unreachable!(),
+        };
+        assert!(lap.contains_access(&left), "{lap}");
+    }
+
+    #[test]
+    fn staggered_first_derivative_lands_on_lattice() {
+        let mut ctx = Context::new();
+        let g = Grid::new(&[8, 8], &[1.0, 1.0]);
+        // vx staggered in x; tau on nodes. d(vx)/dx evaluated on tau's lattice.
+        let vx = ctx.add_staggered_time_function("vx", &g, 4, 1, &[Stagger::Half, Stagger::Node]);
+        let tau = ctx.add_time_function("tau", &g, 4, 1);
+        let eq = Eq::new(tau.forward(), vx.dx(0));
+        let lowered = discretize(&eq, &ctx).unwrap();
+        assert!(lowered.rhs.is_lowered());
+        // All accesses of vx must land on half lattice relative to node eval.
+        validate_lattice(
+            &lowered.rhs,
+            &ctx,
+            &[Stagger::Node, Stagger::Node],
+        )
+        .unwrap();
+    }
+
+    #[test]
+    fn staggered_second_derivative_rejected() {
+        let mut ctx = Context::new();
+        let g = Grid::new(&[8, 8], &[1.0, 1.0]);
+        let vx = ctx.add_staggered_time_function("vx", &g, 4, 1, &[Stagger::Half, Stagger::Node]);
+        let tau = ctx.add_time_function("tau", &g, 4, 1);
+        let eq = Eq::new(tau.forward(), vx.dx2(0));
+        assert_eq!(
+            discretize(&eq, &ctx).unwrap_err(),
+            DiscretizeError::StaggeredHighOrder
+        );
+    }
+
+    #[test]
+    fn index_deltas_for_staggered_access() {
+        let mut ctx = Context::new();
+        let g = Grid::new(&[8], &[1.0]);
+        let vx = ctx.add_staggered_time_function("vx", &g, 2, 1, &[Stagger::Half]);
+        // Access vx at -1/2 relative to node eval: array delta -1... sample j
+        // at physical j + 1/2; eval at node 0; offset -1 half -> position
+        // -1/2 -> j = -1.
+        let a = Access {
+            field: vx.id(),
+            time_offset: 0,
+            offsets_h: vec![-1],
+        };
+        let deltas = access_index_deltas(&a, &ctx, &[Stagger::Node]);
+        assert_eq!(deltas, vec![-1]);
+        let b = Access {
+            field: vx.id(),
+            time_offset: 0,
+            offsets_h: vec![1],
+        };
+        assert_eq!(access_index_deltas(&b, &ctx, &[Stagger::Node]), vec![0]);
+    }
+
+    #[test]
+    fn nested_derivative_tti_style() {
+        // d/dx( c * d/dx(u) ) lowers to a wide stencil.
+        let mut ctx = Context::new();
+        let g = Grid::new(&[16, 16], &[1.0, 1.0]);
+        let u = ctx.add_time_function("u", &g, 4, 2);
+        let c = ctx.add_function("c", &g, 4);
+        let inner = crate::context::deriv_of(c.center() * u.dx(0), 0, 1, 4);
+        let lowered =
+            lower_space_derivs(&inner, &ctx, &[Stagger::Node, Stagger::Node]).unwrap();
+        assert!(lowered.is_lowered());
+        // Must reach offset +2 full steps (nested so-4 first derivatives).
+        let far = Access {
+            field: u.id(),
+            time_offset: 0,
+            offsets_h: vec![8, 0],
+        };
+        assert!(lowered.contains_access(&far), "{lowered}");
+    }
+}

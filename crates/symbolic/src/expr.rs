@@ -1,0 +1,598 @@
+//! Symbolic expression trees.
+//!
+//! Expressions are plain immutable trees. Spatial offsets are stored in
+//! *half grid steps* so that staggered (half-node) positions are exactly
+//! representable: an offset of `+2` is one full grid step, `+1` is half a
+//! step. Staggered fields have their samples located at half positions;
+//! the conversion to concrete array-index deltas happens during lowering
+//! (see `mpix-ir`).
+
+use std::cmp::Ordering;
+use std::fmt;
+use std::ops;
+
+use crate::context::FieldId;
+
+/// A named scalar symbol (e.g. `dt`, `h_x`, `damp_coeff`).
+///
+/// Symbols are compared by name; they are cheap to clone.
+#[derive(Clone, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct Symbol(pub String);
+
+impl Symbol {
+    pub fn new(name: impl Into<String>) -> Self {
+        Symbol(name.into())
+    }
+    pub fn name(&self) -> &str {
+        &self.0
+    }
+}
+
+impl fmt::Debug for Symbol {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.0)
+    }
+}
+
+/// A read or write access of a grid function at a relative position.
+#[derive(Clone, PartialEq, Eq, Hash, PartialOrd, Ord, Debug)]
+pub struct Access {
+    /// Which field is accessed.
+    pub field: FieldId,
+    /// Offset along the time dimension relative to the current step `t`
+    /// (`+1` = forward, `-1` = backward). Always 0 for time-invariant
+    /// `Function`s.
+    pub time_offset: i32,
+    /// Spatial offsets in **half grid steps**, one per grid dimension.
+    pub offsets_h: Vec<i32>,
+}
+
+impl Access {
+    /// True if all spatial offsets are zero (the access is at the
+    /// evaluation point).
+    pub fn is_centered(&self) -> bool {
+        self.offsets_h.iter().all(|&o| o == 0)
+    }
+
+    /// Shift the access by `delta_h` half-steps along `dim`.
+    pub fn shifted(&self, dim: usize, delta_h: i32) -> Access {
+        let mut a = self.clone();
+        a.offsets_h[dim] += delta_h;
+        a
+    }
+}
+
+/// A unary elementary function applicable pointwise.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Debug)]
+pub enum UnaryFn {
+    Sqrt,
+    Sin,
+    Cos,
+    Exp,
+    Abs,
+}
+
+impl UnaryFn {
+    pub fn apply(self, x: f64) -> f64 {
+        match self {
+            UnaryFn::Sqrt => x.sqrt(),
+            UnaryFn::Sin => x.sin(),
+            UnaryFn::Cos => x.cos(),
+            UnaryFn::Exp => x.exp(),
+            UnaryFn::Abs => x.abs(),
+        }
+    }
+    /// `f32` evaluation (matches the executor's arithmetic width).
+    pub fn apply_f32(self, x: f32) -> f32 {
+        match self {
+            UnaryFn::Sqrt => x.sqrt(),
+            UnaryFn::Sin => x.sin(),
+            UnaryFn::Cos => x.cos(),
+            UnaryFn::Exp => x.exp(),
+            UnaryFn::Abs => x.abs(),
+        }
+    }
+    pub fn name(self) -> &'static str {
+        match self {
+            UnaryFn::Sqrt => "sqrt",
+            UnaryFn::Sin => "sin",
+            UnaryFn::Cos => "cos",
+            UnaryFn::Exp => "exp",
+            UnaryFn::Abs => "abs",
+        }
+    }
+}
+
+/// The dimension a [`Expr::Deriv`] differentiates along.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Debug)]
+pub enum DerivDim {
+    /// Time.
+    Time,
+    /// The `i`-th spatial dimension.
+    Space(usize),
+}
+
+/// A symbolic expression.
+///
+/// Invariants after [`crate::simplify::simplify`]:
+/// * `Add`/`Mul` children are flattened (no directly nested same-kind node),
+///   sorted canonically, and contain at most one leading `Const`;
+/// * neither `Add` nor `Mul` has fewer than two children;
+/// * `Pow` exponents are non-zero and not one.
+#[derive(Clone, PartialEq, Debug)]
+pub enum Expr {
+    /// A floating-point constant.
+    Const(f64),
+    /// A named scalar symbol.
+    Sym(Symbol),
+    /// A grid-function access.
+    Acc(Access),
+    /// Sum of the children.
+    Add(Vec<Expr>),
+    /// Product of the children.
+    Mul(Vec<Expr>),
+    /// Integer power (negative exponents express division).
+    Pow(Box<Expr>, i32),
+    /// A pointwise elementary function (`sqrt`, `sin`, …).
+    Func(UnaryFn, Box<Expr>),
+    /// A not-yet-discretized derivative of arbitrary order.
+    ///
+    /// `accuracy` is the spatial discretization order (SDO) for spatial
+    /// derivatives; ignored for time derivatives (which use the field's
+    /// intrinsic time order).
+    Deriv {
+        expr: Box<Expr>,
+        dim: DerivDim,
+        order: u32,
+        accuracy: u32,
+    },
+}
+
+impl Expr {
+    pub fn zero() -> Expr {
+        Expr::Const(0.0)
+    }
+    pub fn one() -> Expr {
+        Expr::Const(1.0)
+    }
+    pub fn sym(name: impl Into<String>) -> Expr {
+        Expr::Sym(Symbol::new(name))
+    }
+
+    /// True when the expression contains no [`Expr::Deriv`] nodes, i.e. is
+    /// fully discretized and ready for the compiler's lowering stages.
+    pub fn is_lowered(&self) -> bool {
+        match self {
+            Expr::Deriv { .. } => false,
+            Expr::Const(_) | Expr::Sym(_) | Expr::Acc(_) => true,
+            Expr::Add(xs) | Expr::Mul(xs) => xs.iter().all(|x| x.is_lowered()),
+            Expr::Pow(b, _) => b.is_lowered(),
+            Expr::Func(_, b) => b.is_lowered(),
+        }
+    }
+
+    /// `self` raised to an integer power.
+    pub fn pow(self, e: i32) -> Expr {
+        crate::simplify::simplify(&Expr::Pow(Box::new(self), e))
+    }
+
+    /// Multiplicative inverse.
+    pub fn recip(self) -> Expr {
+        self.pow(-1)
+    }
+
+    /// Pointwise square root.
+    pub fn sqrt(self) -> Expr {
+        crate::simplify::simplify(&Expr::Func(UnaryFn::Sqrt, Box::new(self)))
+    }
+    /// Pointwise sine.
+    pub fn sin(self) -> Expr {
+        crate::simplify::simplify(&Expr::Func(UnaryFn::Sin, Box::new(self)))
+    }
+    /// Pointwise cosine.
+    pub fn cos(self) -> Expr {
+        crate::simplify::simplify(&Expr::Func(UnaryFn::Cos, Box::new(self)))
+    }
+    /// Pointwise exponential.
+    pub fn exp(self) -> Expr {
+        crate::simplify::simplify(&Expr::Func(UnaryFn::Exp, Box::new(self)))
+    }
+    /// Pointwise absolute value.
+    pub fn abs(self) -> Expr {
+        crate::simplify::simplify(&Expr::Func(UnaryFn::Abs, Box::new(self)))
+    }
+
+    /// Does this expression contain exactly this access as a leaf?
+    pub fn contains_access(&self, a: &Access) -> bool {
+        match self {
+            Expr::Acc(b) => a == b,
+            Expr::Add(xs) | Expr::Mul(xs) => xs.iter().any(|x| x.contains_access(a)),
+            Expr::Pow(b, _) => b.contains_access(a),
+            Expr::Func(_, b) => b.contains_access(a),
+            Expr::Deriv { expr, .. } => expr.contains_access(a),
+            _ => false,
+        }
+    }
+
+    /// Does this expression read (or write) the given field anywhere?
+    pub fn references_field(&self, f: FieldId) -> bool {
+        match self {
+            Expr::Acc(a) => a.field == f,
+            Expr::Add(xs) | Expr::Mul(xs) => xs.iter().any(|x| x.references_field(f)),
+            Expr::Pow(b, _) => b.references_field(f),
+            Expr::Func(_, b) => b.references_field(f),
+            Expr::Deriv { expr, .. } => expr.references_field(f),
+            _ => false,
+        }
+    }
+
+    /// Extract the constant value if this is a `Const`.
+    pub fn as_const(&self) -> Option<f64> {
+        match self {
+            Expr::Const(c) => Some(*c),
+            _ => None,
+        }
+    }
+
+    /// Shift every access in the expression by `delta_h` half-steps along
+    /// spatial dimension `dim`. Scalars are untouched. This is the core
+    /// operation behind finite-difference discretization of arbitrary
+    /// sub-expressions.
+    pub fn shifted_space(&self, dim: usize, delta_h: i32) -> Expr {
+        match self {
+            Expr::Acc(a) => Expr::Acc(a.shifted(dim, delta_h)),
+            Expr::Add(xs) => Expr::Add(xs.iter().map(|x| x.shifted_space(dim, delta_h)).collect()),
+            Expr::Mul(xs) => Expr::Mul(xs.iter().map(|x| x.shifted_space(dim, delta_h)).collect()),
+            Expr::Pow(b, e) => Expr::Pow(Box::new(b.shifted_space(dim, delta_h)), *e),
+            Expr::Func(fx, b) => Expr::Func(*fx, Box::new(b.shifted_space(dim, delta_h))),
+            Expr::Deriv {
+                expr,
+                dim: d,
+                order,
+                accuracy,
+            } => Expr::Deriv {
+                expr: Box::new(expr.shifted_space(dim, delta_h)),
+                dim: *d,
+                order: *order,
+                accuracy: *accuracy,
+            },
+            other => other.clone(),
+        }
+    }
+
+    /// Shift every access in the expression by `delta` steps in time.
+    pub fn shifted_time(&self, delta: i32) -> Expr {
+        match self {
+            Expr::Acc(a) => {
+                let mut a = a.clone();
+                a.time_offset += delta;
+                Expr::Acc(a)
+            }
+            Expr::Add(xs) => Expr::Add(xs.iter().map(|x| x.shifted_time(delta)).collect()),
+            Expr::Mul(xs) => Expr::Mul(xs.iter().map(|x| x.shifted_time(delta)).collect()),
+            Expr::Pow(b, e) => Expr::Pow(Box::new(b.shifted_time(delta)), *e),
+            Expr::Func(fx, b) => Expr::Func(*fx, Box::new(b.shifted_time(delta))),
+            Expr::Deriv {
+                expr,
+                dim,
+                order,
+                accuracy,
+            } => Expr::Deriv {
+                expr: Box::new(expr.shifted_time(delta)),
+                dim: *dim,
+                order: *order,
+                accuracy: *accuracy,
+            },
+            other => other.clone(),
+        }
+    }
+
+    /// A total, deterministic ordering key used to canonicalize `Add`/`Mul`
+    /// child order. Constants sort first, then symbols, then accesses,
+    /// then compounds.
+    fn sort_class(&self) -> u8 {
+        match self {
+            Expr::Const(_) => 0,
+            Expr::Sym(_) => 1,
+            Expr::Acc(_) => 2,
+            Expr::Pow(_, _) => 3,
+            Expr::Mul(_) => 4,
+            Expr::Add(_) => 5,
+            Expr::Deriv { .. } => 6,
+            Expr::Func(_, _) => 7,
+        }
+    }
+
+    /// Canonical structural comparison (total order; NaN-free constants
+    /// assumed).
+    pub fn canon_cmp(&self, other: &Expr) -> Ordering {
+        let c = self.sort_class().cmp(&other.sort_class());
+        if c != Ordering::Equal {
+            return c;
+        }
+        match (self, other) {
+            (Expr::Const(a), Expr::Const(b)) => a.partial_cmp(b).unwrap_or(Ordering::Equal),
+            (Expr::Sym(a), Expr::Sym(b)) => a.cmp(b),
+            (Expr::Acc(a), Expr::Acc(b)) => a.cmp(b),
+            (Expr::Pow(a, ea), Expr::Pow(b, eb)) => {
+                a.canon_cmp(b).then_with(|| ea.cmp(eb))
+            }
+            (Expr::Func(fa, a), Expr::Func(fb, b)) => fa.cmp(fb).then_with(|| a.canon_cmp(b)),
+            (Expr::Add(xs), Expr::Add(ys)) | (Expr::Mul(xs), Expr::Mul(ys)) => {
+                for (x, y) in xs.iter().zip(ys.iter()) {
+                    let c = x.canon_cmp(y);
+                    if c != Ordering::Equal {
+                        return c;
+                    }
+                }
+                xs.len().cmp(&ys.len())
+            }
+            (
+                Expr::Deriv {
+                    expr: ea,
+                    dim: da,
+                    order: oa,
+                    accuracy: aa,
+                },
+                Expr::Deriv {
+                    expr: eb,
+                    dim: db,
+                    order: ob,
+                    accuracy: ab,
+                },
+            ) => ea
+                .canon_cmp(eb)
+                .then_with(|| da.cmp(db))
+                .then_with(|| oa.cmp(ob))
+                .then_with(|| aa.cmp(ab)),
+            _ => Ordering::Equal,
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Operator overloading: Expr {+,-,*,/} Expr and f64 on either side.
+// Results are simplified eagerly, which keeps user-built trees small.
+// ---------------------------------------------------------------------------
+
+impl ops::Add for Expr {
+    type Output = Expr;
+    fn add(self, rhs: Expr) -> Expr {
+        crate::simplify::simplify(&Expr::Add(vec![self, rhs]))
+    }
+}
+impl ops::Sub for Expr {
+    type Output = Expr;
+    fn sub(self, rhs: Expr) -> Expr {
+        crate::simplify::simplify(&Expr::Add(vec![
+            self,
+            Expr::Mul(vec![Expr::Const(-1.0), rhs]),
+        ]))
+    }
+}
+impl ops::Mul for Expr {
+    type Output = Expr;
+    fn mul(self, rhs: Expr) -> Expr {
+        crate::simplify::simplify(&Expr::Mul(vec![self, rhs]))
+    }
+}
+impl ops::Div for Expr {
+    type Output = Expr;
+    fn div(self, rhs: Expr) -> Expr {
+        crate::simplify::simplify(&Expr::Mul(vec![self, Expr::Pow(Box::new(rhs), -1)]))
+    }
+}
+impl ops::Neg for Expr {
+    type Output = Expr;
+    fn neg(self) -> Expr {
+        crate::simplify::simplify(&Expr::Mul(vec![Expr::Const(-1.0), self]))
+    }
+}
+
+impl ops::Add<f64> for Expr {
+    type Output = Expr;
+    fn add(self, rhs: f64) -> Expr {
+        self + Expr::Const(rhs)
+    }
+}
+impl ops::Sub<f64> for Expr {
+    type Output = Expr;
+    fn sub(self, rhs: f64) -> Expr {
+        self - Expr::Const(rhs)
+    }
+}
+impl ops::Mul<f64> for Expr {
+    type Output = Expr;
+    fn mul(self, rhs: f64) -> Expr {
+        self * Expr::Const(rhs)
+    }
+}
+impl ops::Div<f64> for Expr {
+    type Output = Expr;
+    fn div(self, rhs: f64) -> Expr {
+        self / Expr::Const(rhs)
+    }
+}
+impl ops::Add<Expr> for f64 {
+    type Output = Expr;
+    fn add(self, rhs: Expr) -> Expr {
+        Expr::Const(self) + rhs
+    }
+}
+impl ops::Sub<Expr> for f64 {
+    type Output = Expr;
+    fn sub(self, rhs: Expr) -> Expr {
+        Expr::Const(self) - rhs
+    }
+}
+impl ops::Mul<Expr> for f64 {
+    type Output = Expr;
+    fn mul(self, rhs: Expr) -> Expr {
+        Expr::Const(self) * rhs
+    }
+}
+impl ops::Div<Expr> for f64 {
+    type Output = Expr;
+    fn div(self, rhs: Expr) -> Expr {
+        Expr::Const(self) / rhs
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Display
+// ---------------------------------------------------------------------------
+
+impl fmt::Display for Expr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Expr::Const(c) => {
+                if *c == c.trunc() && c.abs() < 1e15 {
+                    write!(f, "{}", *c as i64)
+                } else {
+                    write!(f, "{c}")
+                }
+            }
+            Expr::Sym(s) => write!(f, "{}", s.0),
+            Expr::Acc(a) => {
+                write!(f, "F{}[t{:+}", a.field.0, a.time_offset)?;
+                for o in &a.offsets_h {
+                    if o % 2 == 0 {
+                        write!(f, ",{:+}", o / 2)?;
+                    } else {
+                        write!(f, ",{:+}/2", o)?;
+                    }
+                }
+                write!(f, "]")
+            }
+            Expr::Add(xs) => {
+                write!(f, "(")?;
+                for (i, x) in xs.iter().enumerate() {
+                    if i > 0 {
+                        write!(f, " + ")?;
+                    }
+                    write!(f, "{x}")?;
+                }
+                write!(f, ")")
+            }
+            Expr::Mul(xs) => {
+                for (i, x) in xs.iter().enumerate() {
+                    if i > 0 {
+                        write!(f, "*")?;
+                    }
+                    write!(f, "{x}")?;
+                }
+                Ok(())
+            }
+            Expr::Pow(b, e) => write!(f, "({b})^{e}"),
+            Expr::Func(fx, b) => write!(f, "{}({b})", fx.name()),
+            Expr::Deriv {
+                expr, dim, order, ..
+            } => match dim {
+                DerivDim::Time => write!(f, "d{order}/dt{order}({expr})"),
+                DerivDim::Space(d) => write!(f, "d{order}/dx{d}({expr})"),
+            },
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn symbol_ordering_and_equality() {
+        assert_eq!(Symbol::new("dt"), Symbol::new("dt"));
+        assert!(Symbol::new("a") < Symbol::new("b"));
+    }
+
+    #[test]
+    fn access_shift() {
+        let a = Access {
+            field: FieldId(0),
+            time_offset: 0,
+            offsets_h: vec![0, 0],
+        };
+        let b = a.shifted(1, 2);
+        assert_eq!(b.offsets_h, vec![0, 2]);
+        assert!(a.is_centered());
+        assert!(!b.is_centered());
+    }
+
+    #[test]
+    fn operator_overloading_builds_simplified_trees() {
+        let x = Expr::sym("x");
+        let e = x.clone() + x.clone();
+        // 2*x after like-term collection
+        assert_eq!(e, Expr::Mul(vec![Expr::Const(2.0), Expr::sym("x")]));
+        let z = x.clone() - x;
+        assert_eq!(z, Expr::Const(0.0));
+    }
+
+    #[test]
+    fn division_becomes_negative_power() {
+        let x = Expr::sym("x");
+        let y = Expr::sym("y");
+        let e = x / y;
+        match e {
+            Expr::Mul(xs) => {
+                assert!(xs.iter().any(|t| matches!(t, Expr::Pow(_, -1))));
+            }
+            other => panic!("expected Mul, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn shifted_space_moves_all_accesses() {
+        let a = Expr::Acc(Access {
+            field: FieldId(3),
+            time_offset: 0,
+            offsets_h: vec![0, 0, 0],
+        });
+        let e = a.clone() * Expr::sym("c") + a;
+        let s = e.shifted_space(2, 4);
+        // every access offset along z must now be +4 halves (= 2 steps)
+        fn check(e: &Expr) {
+            match e {
+                Expr::Acc(a) => assert_eq!(a.offsets_h[2], 4),
+                Expr::Add(xs) | Expr::Mul(xs) => xs.iter().for_each(check),
+                Expr::Pow(b, _) => check(b),
+                _ => {}
+            }
+        }
+        check(&s);
+    }
+
+    #[test]
+    fn display_is_readable() {
+        let a = Expr::Acc(Access {
+            field: FieldId(0),
+            time_offset: 1,
+            offsets_h: vec![2, -2],
+        });
+        let s = format!("{a}");
+        assert!(s.contains("t+1"), "{s}");
+        assert!(s.contains("+1") && s.contains("-1"), "{s}");
+    }
+
+    #[test]
+    fn canon_cmp_is_total_and_consistent() {
+        let items = vec![
+            Expr::Const(1.0),
+            Expr::sym("a"),
+            Expr::sym("b"),
+            Expr::Acc(Access {
+                field: FieldId(0),
+                time_offset: 0,
+                offsets_h: vec![0],
+            }),
+        ];
+        for x in &items {
+            assert_eq!(x.canon_cmp(x), Ordering::Equal);
+            for y in &items {
+                let xy = x.canon_cmp(y);
+                let yx = y.canon_cmp(x);
+                assert_eq!(xy, yx.reverse());
+            }
+        }
+    }
+}

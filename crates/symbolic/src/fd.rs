@@ -1,0 +1,209 @@
+//! Finite-difference weight generation.
+//!
+//! Implements Fornberg's algorithm ("Generation of Finite Difference
+//! Formulas on Arbitrarily Spaced Grids", Math. Comp. 51, 1988) for the
+//! weights of the `m`-th derivative at an evaluation point `x0` given
+//! arbitrary sample locations. Node locations are expressed in *half grid
+//! steps* (see [`crate::expr`]) so both centered stencils (even offsets)
+//! and staggered stencils (odd offsets) come out of the same machinery.
+
+/// Compute finite-difference weights via Fornberg's recurrence.
+///
+/// * `m` — derivative order (`0` = interpolation).
+/// * `x0` — evaluation point.
+/// * `nodes` — sample locations (must be pairwise distinct).
+///
+/// Returns one weight per node such that
+/// `f^(m)(x0) ≈ Σ w_i f(nodes[i])`, exact for polynomials of degree
+/// `nodes.len() - 1`.
+pub fn fd_weights(m: u32, x0: f64, nodes: &[f64]) -> Vec<f64> {
+    let n = nodes.len();
+    assert!(n > m as usize, "need more than {m} nodes for order-{m} derivative");
+    let m = m as usize;
+    // delta[k][j] = weight of node j for the k-th derivative, updated
+    // incrementally as nodes are introduced (Fornberg 1988, in-place form).
+    let mut delta = vec![vec![0.0f64; n]; m + 1];
+    delta[0][0] = 1.0;
+    let mut c1 = 1.0f64;
+    for i in 1..n {
+        let xi = nodes[i];
+        // Snapshot the previous node's column before it is overwritten:
+        // the new node's weights are built from it.
+        let old_last: Vec<f64> = (0..=m).map(|k| delta[k][i - 1]).collect();
+        let mut c2 = 1.0f64;
+        for j in 0..i {
+            let c3 = xi - nodes[j];
+            assert!(c3 != 0.0, "duplicate FD nodes");
+            c2 *= c3;
+            for k in (0..=m.min(i)).rev() {
+                let prev = if k > 0 { delta[k - 1][j] } else { 0.0 };
+                delta[k][j] = ((xi - x0) * delta[k][j] - k as f64 * prev) / c3;
+            }
+        }
+        let c5 = nodes[i - 1] - x0;
+        for k in (0..=m.min(i)).rev() {
+            let prev = if k > 0 { old_last[k - 1] } else { 0.0 };
+            delta[k][i] = c1 / c2 * (k as f64 * prev - c5 * old_last[k]);
+        }
+        c1 = c2;
+    }
+    delta[m].clone()
+}
+
+/// Node offsets (in half steps) for a centered stencil of spatial
+/// discretization order `so` (even), derivative order `m`.
+///
+/// Uses radius `so/2` for first and second derivatives, matching Devito's
+/// default: `so + 1` points.
+pub fn centered_node_offsets(so: u32, m: u32) -> Vec<i32> {
+    assert!(so >= 2 && so % 2 == 0, "space order must be even and >= 2");
+    let r = (so / 2) as i32 + (m as i32 - 1).max(0) / 2;
+    (-r..=r).map(|k| 2 * k).collect()
+}
+
+/// Node offsets (in half steps) for a staggered first-derivative stencil
+/// of spatial order `so`: `so` points at odd half-step positions
+/// `±1, ±3, …, ±(so-1)`.
+pub fn staggered_node_offsets(so: u32) -> Vec<i32> {
+    assert!(so >= 2 && so % 2 == 0, "space order must be even and >= 2");
+    let r = so as i32 / 2;
+    (-r..r).map(|k| 2 * k + 1).collect()
+}
+
+/// Weights for the centered `m`-th derivative of order `so`, paired with
+/// their half-step offsets. The weights are in units of `h^-m` (the caller
+/// multiplies by the appropriate spacing symbol power).
+pub fn centered_weights(so: u32, m: u32) -> Vec<(i32, f64)> {
+    let offs = centered_node_offsets(so, m);
+    let xs: Vec<f64> = offs.iter().map(|&o| o as f64 / 2.0).collect();
+    let w = fd_weights(m, 0.0, &xs);
+    offs.into_iter().zip(w).collect()
+}
+
+/// Weights for the staggered first derivative of order `so`, paired with
+/// their half-step offsets (odd). In units of `h^-1`.
+pub fn staggered_weights(so: u32) -> Vec<(i32, f64)> {
+    let offs = staggered_node_offsets(so);
+    let xs: Vec<f64> = offs.iter().map(|&o| o as f64 / 2.0).collect();
+    let w = fd_weights(1, 0.0, &xs);
+    offs.into_iter().zip(w).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn approx(a: f64, b: f64) {
+        assert!((a - b).abs() < 1e-9, "{a} != {b}");
+    }
+
+    #[test]
+    fn second_derivative_so2_is_classic_three_point() {
+        let w = centered_weights(2, 2);
+        assert_eq!(w.len(), 3);
+        approx(w[0].1, 1.0);
+        approx(w[1].1, -2.0);
+        approx(w[2].1, 1.0);
+        assert_eq!(w[0].0, -2); // one full step left
+    }
+
+    #[test]
+    fn first_derivative_so2_is_classic_central() {
+        let w = centered_weights(2, 1);
+        assert_eq!(w.len(), 3);
+        approx(w[0].1, -0.5);
+        approx(w[1].1, 0.0);
+        approx(w[2].1, 0.5);
+    }
+
+    #[test]
+    fn second_derivative_so4() {
+        // classic: [-1/12, 4/3, -5/2, 4/3, -1/12]
+        let w = centered_weights(4, 2);
+        let expected = [-1.0 / 12.0, 4.0 / 3.0, -5.0 / 2.0, 4.0 / 3.0, -1.0 / 12.0];
+        for (got, want) in w.iter().zip(expected) {
+            approx(got.1, want);
+        }
+    }
+
+    #[test]
+    fn staggered_so2_is_two_point() {
+        // f'(0) ~ f(1/2) - f(-1/2)
+        let w = staggered_weights(2);
+        assert_eq!(w.len(), 2);
+        assert_eq!(w[0].0, -1);
+        assert_eq!(w[1].0, 1);
+        approx(w[0].1, -1.0);
+        approx(w[1].1, 1.0);
+    }
+
+    #[test]
+    fn staggered_so4_matches_reference() {
+        // classic 4th-order staggered: [1/24, -9/8, 9/8, -1/24]
+        let w = staggered_weights(4);
+        let expected = [1.0 / 24.0, -9.0 / 8.0, 9.0 / 8.0, -1.0 / 24.0];
+        for (got, want) in w.iter().zip(expected) {
+            approx(got.1, want);
+        }
+    }
+
+    #[test]
+    fn weights_sum_to_zero_for_derivatives() {
+        for so in [2u32, 4, 8, 12, 16] {
+            for m in [1u32, 2] {
+                let s: f64 = centered_weights(so, m).iter().map(|(_, w)| w).sum();
+                assert!(s.abs() < 1e-8, "so={so} m={m} sum={s}");
+            }
+            let s: f64 = staggered_weights(so).iter().map(|(_, w)| w).sum();
+            assert!(s.abs() < 1e-8, "staggered so={so} sum={s}");
+        }
+    }
+
+    #[test]
+    fn weights_are_exact_on_polynomials() {
+        // order-`so` stencil must differentiate x^k exactly for k <= so.
+        for so in [2u32, 4, 8] {
+            let w = centered_weights(so, 2);
+            for k in 0..=so {
+                let exact = if k == 2 { 2.0 } else { 0.0 };
+                let got: f64 = w
+                    .iter()
+                    .map(|&(o, wt)| wt * (o as f64 / 2.0).powi(k as i32))
+                    .sum();
+                assert!(
+                    (got - exact).abs() < 1e-6,
+                    "so={so} k={k}: {got} vs {exact}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn interpolation_weights_partition_unity() {
+        // m = 0: interpolation weights sum to 1.
+        let nodes = [-1.5, -0.5, 0.5, 1.5];
+        let w = fd_weights(0, 0.0, &nodes);
+        let s: f64 = w.iter().sum();
+        approx(s, 1.0);
+    }
+
+    #[test]
+    fn asymmetric_nodes_first_derivative() {
+        // One-sided 2-point: f'(0) ~ f(1) - f(0)
+        let w = fd_weights(1, 0.0, &[0.0, 1.0]);
+        approx(w[0], -1.0);
+        approx(w[1], 1.0);
+    }
+
+    #[test]
+    #[should_panic]
+    fn duplicate_nodes_panic() {
+        fd_weights(1, 0.0, &[0.0, 0.0, 1.0]);
+    }
+
+    #[test]
+    #[should_panic]
+    fn too_few_nodes_panic() {
+        fd_weights(2, 0.0, &[0.0, 1.0]);
+    }
+}

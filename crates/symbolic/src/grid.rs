@@ -1,0 +1,116 @@
+//! The structured computational grid.
+//!
+//! A [`Grid`] describes the *global* problem domain: its shape in points,
+//! its physical extent, and the per-dimension spacing symbols (`h_x`,
+//! `h_y`, `h_z`) the compiler substitutes at run time. Domain
+//! decomposition over MPI ranks is layered on top by `mpix-dmp`; the
+//! symbolic layer only sees the logical grid, exactly as in the paper
+//! (§III a: decomposition happens at `Grid` creation but is invisible to
+//! the symbolic equations).
+
+use crate::expr::Expr;
+
+/// Names used for spacing symbols, one per dimension, in order.
+pub const DIM_NAMES: [&str; 3] = ["x", "y", "z"];
+
+/// A structured grid with up to three spatial dimensions.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Grid {
+    /// Number of points in each dimension (the `data` region, no halo).
+    pub shape: Vec<usize>,
+    /// Physical extent in each dimension.
+    pub extent: Vec<f64>,
+}
+
+impl Grid {
+    /// Create a grid of `shape` points spanning `extent` physical units.
+    ///
+    /// # Panics
+    /// If the number of dimensions is 0 or above 3, or shapes/extents
+    /// disagree in length, or any dimension has fewer than 2 points.
+    pub fn new(shape: &[usize], extent: &[f64]) -> Grid {
+        assert!(
+            (1..=3).contains(&shape.len()),
+            "grids must have 1..=3 dimensions"
+        );
+        assert_eq!(shape.len(), extent.len(), "shape/extent dimension mismatch");
+        assert!(shape.iter().all(|&s| s >= 2), "each dimension needs >= 2 points");
+        Grid {
+            shape: shape.to_vec(),
+            extent: extent.to_vec(),
+        }
+    }
+
+    /// Number of spatial dimensions.
+    pub fn ndim(&self) -> usize {
+        self.shape.len()
+    }
+
+    /// Grid spacing along dimension `d`: `extent / (points - 1)`.
+    pub fn spacing(&self, d: usize) -> f64 {
+        self.extent[d] / (self.shape[d] - 1) as f64
+    }
+
+    /// The spacing *symbol* for dimension `d` (`h_x`, `h_y`, `h_z`),
+    /// used in symbolic stencils.
+    pub fn spacing_symbol(&self, d: usize) -> Expr {
+        Expr::sym(format!("h_{}", DIM_NAMES[d]))
+    }
+
+    /// The name of the spacing symbol for dimension `d`.
+    pub fn spacing_symbol_name(d: usize) -> String {
+        format!("h_{}", DIM_NAMES[d])
+    }
+
+    /// Total number of grid points.
+    pub fn num_points(&self) -> usize {
+        self.shape.iter().product()
+    }
+
+    /// Physical coordinates of grid point `idx`.
+    pub fn point_coords(&self, idx: &[usize]) -> Vec<f64> {
+        idx.iter()
+            .enumerate()
+            .map(|(d, &i)| i as f64 * self.spacing(d))
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn spacing_matches_listing1() {
+        // Listing 1: nx=ny=4, extent 2.0 -> dx = 2/(4-1)
+        let g = Grid::new(&[4, 4], &[2.0, 2.0]);
+        assert!((g.spacing(0) - 2.0 / 3.0).abs() < 1e-12);
+        assert_eq!(g.ndim(), 2);
+        assert_eq!(g.num_points(), 16);
+    }
+
+    #[test]
+    fn spacing_symbols_are_named_per_dim() {
+        let g = Grid::new(&[8, 8, 8], &[1.0, 1.0, 1.0]);
+        assert_eq!(g.spacing_symbol(2), Expr::sym("h_z"));
+    }
+
+    #[test]
+    fn point_coords() {
+        let g = Grid::new(&[3], &[2.0]);
+        assert_eq!(g.point_coords(&[2]), vec![2.0]);
+        assert_eq!(g.point_coords(&[1]), vec![1.0]);
+    }
+
+    #[test]
+    #[should_panic]
+    fn zero_dim_rejected() {
+        Grid::new(&[], &[]);
+    }
+
+    #[test]
+    #[should_panic]
+    fn four_dims_rejected() {
+        Grid::new(&[2, 2, 2, 2], &[1.0, 1.0, 1.0, 1.0]);
+    }
+}

@@ -1,0 +1,457 @@
+//! Canonical simplification and expansion of symbolic expressions.
+//!
+//! `simplify` establishes the canonical form documented on [`Expr`]:
+//! flattened, constant-folded, like-term-collected `Add`/`Mul` nodes with a
+//! deterministic child order. `expand` additionally distributes products
+//! over sums, which the linear solver ([`crate::eq::solve`]) relies on.
+
+use std::cmp::Ordering;
+
+use crate::expr::Expr;
+
+/// Simplify an expression to canonical form. Idempotent.
+pub fn simplify(e: &Expr) -> Expr {
+    match e {
+        Expr::Const(_) | Expr::Sym(_) | Expr::Acc(_) => e.clone(),
+        Expr::Add(xs) => simplify_add(xs),
+        Expr::Mul(xs) => simplify_mul(xs),
+        Expr::Pow(b, e) => simplify_pow(b, *e),
+        Expr::Func(fx, b) => {
+            let inner = simplify(b);
+            match inner {
+                Expr::Const(c) => Expr::Const(fx.apply(c)),
+                other => Expr::Func(*fx, Box::new(other)),
+            }
+        }
+        Expr::Deriv {
+            expr,
+            dim,
+            order,
+            accuracy,
+        } => Expr::Deriv {
+            expr: Box::new(simplify(expr)),
+            dim: *dim,
+            order: *order,
+            accuracy: *accuracy,
+        },
+    }
+}
+
+fn simplify_pow(base: &Expr, exp: i32) -> Expr {
+    let b = simplify(base);
+    if exp == 0 {
+        return Expr::Const(1.0);
+    }
+    if exp == 1 {
+        return b;
+    }
+    match b {
+        Expr::Const(c) => Expr::Const(c.powi(exp)),
+        Expr::Pow(inner, e2) => simplify_pow(&inner, e2 * exp),
+        other => Expr::Pow(Box::new(other), exp),
+    }
+}
+
+fn simplify_add(children: &[Expr]) -> Expr {
+    // Flatten and simplify children.
+    let mut flat: Vec<Expr> = Vec::with_capacity(children.len());
+    for c in children {
+        match simplify(c) {
+            Expr::Add(inner) => flat.extend(inner),
+            other => flat.push(other),
+        }
+    }
+    // Split each term into (coefficient, residual) and collect like terms.
+    let mut constant = 0.0;
+    let mut terms: Vec<(Expr, f64)> = Vec::new();
+    'outer: for t in flat {
+        if let Expr::Const(c) = t {
+            constant += c;
+            continue;
+        }
+        let (coeff, rest) = split_coefficient(t);
+        for (r, c) in terms.iter_mut() {
+            if *r == rest {
+                *c += coeff;
+                continue 'outer;
+            }
+        }
+        terms.push((rest, coeff));
+    }
+    let mut out: Vec<Expr> = Vec::with_capacity(terms.len() + 1);
+    if constant != 0.0 {
+        out.push(Expr::Const(constant));
+    }
+    for (rest, coeff) in terms {
+        if coeff == 0.0 {
+            continue;
+        }
+        if coeff == 1.0 {
+            out.push(rest);
+        } else {
+            out.push(attach_coefficient(coeff, rest));
+        }
+    }
+    match out.len() {
+        0 => Expr::Const(0.0),
+        1 => out.pop().unwrap(),
+        _ => {
+            out.sort_by(|a, b| a.canon_cmp(b));
+            Expr::Add(out)
+        }
+    }
+}
+
+/// Split `t` into a numeric coefficient and the remaining (canonical)
+/// factor. `3*x*y` → `(3, x*y)`; `x` → `(1, x)`.
+fn split_coefficient(t: Expr) -> (f64, Expr) {
+    match t {
+        Expr::Mul(xs) => {
+            let mut coeff = 1.0;
+            let mut rest: Vec<Expr> = Vec::with_capacity(xs.len());
+            for x in xs {
+                if let Expr::Const(c) = x {
+                    coeff *= c;
+                } else {
+                    rest.push(x);
+                }
+            }
+            let rest = match rest.len() {
+                0 => Expr::Const(1.0),
+                1 => rest.pop().unwrap(),
+                _ => Expr::Mul(rest),
+            };
+            (coeff, rest)
+        }
+        other => (1.0, other),
+    }
+}
+
+fn attach_coefficient(coeff: f64, rest: Expr) -> Expr {
+    match rest {
+        Expr::Const(c) => Expr::Const(coeff * c),
+        Expr::Mul(mut xs) => {
+            let mut v = vec![Expr::Const(coeff)];
+            v.append(&mut xs);
+            Expr::Mul(v)
+        }
+        other => Expr::Mul(vec![Expr::Const(coeff), other]),
+    }
+}
+
+fn simplify_mul(children: &[Expr]) -> Expr {
+    let mut flat: Vec<Expr> = Vec::with_capacity(children.len());
+    for c in children {
+        match simplify(c) {
+            Expr::Mul(inner) => flat.extend(inner),
+            other => flat.push(other),
+        }
+    }
+    let mut constant = 1.0;
+    // Collect powers of identical bases: base -> accumulated exponent.
+    let mut bases: Vec<(Expr, i32)> = Vec::new();
+    'outer: for f in flat {
+        match f {
+            Expr::Const(c) => {
+                constant *= c;
+            }
+            other => {
+                let (base, exp) = match other {
+                    Expr::Pow(b, e) => (*b, e),
+                    x => (x, 1),
+                };
+                for (b, e) in bases.iter_mut() {
+                    if *b == base {
+                        *e += exp;
+                        continue 'outer;
+                    }
+                }
+                bases.push((base, exp));
+            }
+        }
+    }
+    if constant == 0.0 {
+        return Expr::Const(0.0);
+    }
+    let mut out: Vec<Expr> = Vec::with_capacity(bases.len() + 1);
+    for (b, e) in bases {
+        match e {
+            0 => {}
+            1 => out.push(b),
+            e => out.push(Expr::Pow(Box::new(b), e)),
+        }
+    }
+    out.sort_by(|a, b| a.canon_cmp(b));
+    if constant != 1.0 || out.is_empty() {
+        out.insert(0, Expr::Const(constant));
+    }
+    match out.len() {
+        1 => out.pop().unwrap(),
+        _ => Expr::Mul(out),
+    }
+}
+
+/// Fully distribute products over sums and positive integer powers of sums,
+/// then simplify. The result is a flat sum of monomial terms.
+pub fn expand(e: &Expr) -> Expr {
+    let e = simplify(e);
+    let expanded = expand_inner(&e);
+    simplify(&expanded)
+}
+
+fn expand_inner(e: &Expr) -> Expr {
+    match e {
+        Expr::Add(xs) => Expr::Add(xs.iter().map(expand_inner).collect()),
+        Expr::Mul(xs) => {
+            // Expand children first, then distribute pairwise.
+            let parts: Vec<Expr> = xs.iter().map(expand_inner).collect();
+            let mut acc: Vec<Expr> = vec![Expr::Const(1.0)];
+            for p in parts {
+                let terms: Vec<Expr> = match p {
+                    Expr::Add(ts) => ts,
+                    other => vec![other],
+                };
+                let mut next = Vec::with_capacity(acc.len() * terms.len());
+                for a in &acc {
+                    for t in &terms {
+                        next.push(Expr::Mul(vec![a.clone(), t.clone()]));
+                    }
+                }
+                acc = next;
+            }
+            Expr::Add(acc)
+        }
+        Expr::Pow(b, e2) if *e2 > 1 => {
+            let base = expand_inner(b);
+            if matches!(base, Expr::Add(_)) {
+                let mut m = Vec::with_capacity(*e2 as usize);
+                for _ in 0..*e2 {
+                    m.push(base.clone());
+                }
+                expand_inner(&Expr::Mul(m))
+            } else {
+                Expr::Pow(Box::new(base), *e2)
+            }
+        }
+        Expr::Pow(b, e2) => Expr::Pow(Box::new(expand_inner(b)), *e2),
+        Expr::Func(fx, b) => Expr::Func(*fx, Box::new(expand_inner(b))),
+        other => other.clone(),
+    }
+}
+
+/// Collect the expression as a linear polynomial in `needle`, returning
+/// `(a, b)` such that `expr == a*needle + b` and neither `a` nor `b`
+/// contains `needle`. Returns `None` if the dependence is non-linear (the
+/// needle appears inside a `Pow` or multiplied by itself).
+pub fn collect_linear(expr: &Expr, needle: &Expr) -> Option<(Expr, Expr)> {
+    let e = expand(expr);
+    let terms: Vec<Expr> = match e {
+        Expr::Add(ts) => ts,
+        other => vec![other],
+    };
+    let mut coeff_terms: Vec<Expr> = Vec::new();
+    let mut rest_terms: Vec<Expr> = Vec::new();
+    for t in terms {
+        match factor_out(&t, needle)? {
+            Some(c) => coeff_terms.push(c),
+            None => rest_terms.push(t),
+        }
+    }
+    let a = simplify(&Expr::Add(coeff_terms));
+    let b = simplify(&Expr::Add(rest_terms));
+    Some((a, b))
+}
+
+/// If `term` contains `needle` as a degree-one factor, return
+/// `Ok(Some(term / needle))`. If it does not contain it, `Ok(None)`.
+/// Non-linear occurrences yield `None` at the outer level (propagated as
+/// `Option` by the caller via `?`).
+fn factor_out(term: &Expr, needle: &Expr) -> Option<Option<Expr>> {
+    if term == needle {
+        return Some(Some(Expr::Const(1.0)));
+    }
+    match term {
+        Expr::Mul(xs) => {
+            let mut found = false;
+            let mut rest: Vec<Expr> = Vec::with_capacity(xs.len());
+            for x in xs {
+                if x == needle {
+                    if found {
+                        return None; // needle squared -> non-linear
+                    }
+                    found = true;
+                } else if occurs_in(x, needle) {
+                    return None; // nested occurrence (e.g. inside Pow)
+                } else {
+                    rest.push(x.clone());
+                }
+            }
+            if found {
+                Some(Some(simplify(&Expr::Mul(rest))))
+            } else {
+                Some(None)
+            }
+        }
+        other => {
+            if occurs_in(other, needle) {
+                None
+            } else {
+                Some(None)
+            }
+        }
+    }
+}
+
+fn occurs_in(hay: &Expr, needle: &Expr) -> bool {
+    if hay == needle {
+        return true;
+    }
+    match hay {
+        Expr::Add(xs) | Expr::Mul(xs) => xs.iter().any(|x| occurs_in(x, needle)),
+        Expr::Pow(b, _) => occurs_in(b, needle),
+        Expr::Func(_, b) => occurs_in(b, needle),
+        Expr::Deriv { expr, .. } => occurs_in(expr, needle),
+        _ => false,
+    }
+}
+
+/// Deterministic ordering helper re-exported for IR passes.
+pub fn canon_order(a: &Expr, b: &Expr) -> Ordering {
+    a.canon_cmp(b)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::context::FieldId;
+    use crate::expr::Access;
+
+    fn x() -> Expr {
+        Expr::sym("x")
+    }
+    fn y() -> Expr {
+        Expr::sym("y")
+    }
+
+    #[test]
+    fn constant_folding() {
+        let e = Expr::Add(vec![Expr::Const(1.0), Expr::Const(2.0), Expr::Const(3.0)]);
+        assert_eq!(simplify(&e), Expr::Const(6.0));
+        let m = Expr::Mul(vec![Expr::Const(2.0), Expr::Const(4.0)]);
+        assert_eq!(simplify(&m), Expr::Const(8.0));
+    }
+
+    #[test]
+    fn mul_by_zero_annihilates() {
+        let e = Expr::Mul(vec![Expr::Const(0.0), x(), y()]);
+        assert_eq!(simplify(&e), Expr::Const(0.0));
+    }
+
+    #[test]
+    fn like_terms_collect() {
+        // 2x + 3x -> 5x
+        let e = Expr::Add(vec![
+            Expr::Mul(vec![Expr::Const(2.0), x()]),
+            Expr::Mul(vec![Expr::Const(3.0), x()]),
+        ]);
+        assert_eq!(simplify(&e), Expr::Mul(vec![Expr::Const(5.0), x()]));
+    }
+
+    #[test]
+    fn powers_combine() {
+        // x * x -> x^2, x^2 * x^-1 -> x
+        let e = Expr::Mul(vec![x(), x()]);
+        assert_eq!(simplify(&e), Expr::Pow(Box::new(x()), 2));
+        let e2 = Expr::Mul(vec![
+            Expr::Pow(Box::new(x()), 2),
+            Expr::Pow(Box::new(x()), -1),
+        ]);
+        assert_eq!(simplify(&e2), x());
+    }
+
+    #[test]
+    fn nested_pow_flattens() {
+        let e = Expr::Pow(Box::new(Expr::Pow(Box::new(x()), 2)), 3);
+        assert_eq!(simplify(&e), Expr::Pow(Box::new(x()), 6));
+    }
+
+    #[test]
+    fn simplify_is_idempotent() {
+        let e = Expr::Add(vec![
+            Expr::Mul(vec![Expr::Const(2.0), x(), y()]),
+            Expr::Mul(vec![y(), x()]),
+            Expr::Const(0.0),
+        ]);
+        let s1 = simplify(&e);
+        let s2 = simplify(&s1);
+        assert_eq!(s1, s2);
+    }
+
+    #[test]
+    fn expansion_distributes() {
+        // (x+1)*(y+2) = x*y + 2x + y + 2
+        let e = Expr::Mul(vec![
+            Expr::Add(vec![x(), Expr::Const(1.0)]),
+            Expr::Add(vec![y(), Expr::Const(2.0)]),
+        ]);
+        let ex = expand(&e);
+        match &ex {
+            Expr::Add(ts) => assert_eq!(ts.len(), 4, "{ex}"),
+            other => panic!("expected Add, got {other}"),
+        }
+    }
+
+    #[test]
+    fn expansion_of_squared_sum() {
+        // (x+y)^2 = x^2 + 2xy + y^2
+        let e = Expr::Pow(Box::new(Expr::Add(vec![x(), y()])), 2);
+        let ex = expand(&e);
+        match &ex {
+            Expr::Add(ts) => assert_eq!(ts.len(), 3, "{ex}"),
+            other => panic!("expected Add, got {other}"),
+        }
+    }
+
+    #[test]
+    fn collect_linear_basic() {
+        let u = Expr::Acc(Access {
+            field: FieldId(0),
+            time_offset: 1,
+            offsets_h: vec![0, 0],
+        });
+        // 3*m*u + 7 - u  ->  a = 3m - 1, b = 7
+        let m = Expr::sym("m");
+        let e = Expr::Add(vec![
+            Expr::Mul(vec![Expr::Const(3.0), m.clone(), u.clone()]),
+            Expr::Const(7.0),
+            Expr::Mul(vec![Expr::Const(-1.0), u.clone()]),
+        ]);
+        let (a, b) = collect_linear(&e, &u).unwrap();
+        assert_eq!(b, Expr::Const(7.0));
+        let expected_a = simplify(&Expr::Add(vec![
+            Expr::Mul(vec![Expr::Const(3.0), m]),
+            Expr::Const(-1.0),
+        ]));
+        assert_eq!(a, expected_a);
+    }
+
+    #[test]
+    fn collect_linear_rejects_nonlinear() {
+        let u = Expr::Acc(Access {
+            field: FieldId(0),
+            time_offset: 1,
+            offsets_h: vec![0],
+        });
+        let e = Expr::Mul(vec![u.clone(), u.clone()]);
+        assert!(collect_linear(&simplify(&e), &u).is_none());
+    }
+
+    #[test]
+    fn canonical_ordering_sorts_constants_first() {
+        let e = Expr::Add(vec![x(), Expr::Const(5.0)]);
+        match simplify(&e) {
+            Expr::Add(ts) => assert_eq!(ts[0], Expr::Const(5.0)),
+            other => panic!("{other:?}"),
+        }
+    }
+}

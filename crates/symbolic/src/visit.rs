@@ -1,0 +1,184 @@
+//! Generic traversal, substitution and evaluation utilities used by the
+//! compiler's IR passes and by tests.
+
+use std::collections::BTreeSet;
+
+use crate::context::FieldId;
+use crate::expr::{Access, Expr, Symbol};
+
+/// Collect every access in the expression, in deterministic order,
+/// de-duplicated.
+pub fn collect_accesses(e: &Expr) -> Vec<Access> {
+    let mut set: BTreeSet<Access> = BTreeSet::new();
+    fn walk(e: &Expr, set: &mut BTreeSet<Access>) {
+        match e {
+            Expr::Acc(a) => {
+                set.insert(a.clone());
+            }
+            Expr::Add(xs) | Expr::Mul(xs) => xs.iter().for_each(|x| walk(x, set)),
+            Expr::Pow(b, _) => walk(b, set),
+            Expr::Func(_, b) => walk(b, set),
+            Expr::Deriv { expr, .. } => walk(expr, set),
+            _ => {}
+        }
+    }
+    walk(e, &mut set);
+    set.into_iter().collect()
+}
+
+/// Collect every symbol name in the expression, deterministically.
+pub fn collect_symbols(e: &Expr) -> Vec<Symbol> {
+    let mut set: BTreeSet<Symbol> = BTreeSet::new();
+    fn walk(e: &Expr, set: &mut BTreeSet<Symbol>) {
+        match e {
+            Expr::Sym(s) => {
+                set.insert(s.clone());
+            }
+            Expr::Add(xs) | Expr::Mul(xs) => xs.iter().for_each(|x| walk(x, set)),
+            Expr::Pow(b, _) => walk(b, set),
+            Expr::Func(_, b) => walk(b, set),
+            Expr::Deriv { expr, .. } => walk(expr, set),
+            _ => {}
+        }
+    }
+    walk(e, &mut set);
+    set.into_iter().collect()
+}
+
+/// Fields referenced anywhere in the expression, deterministic order.
+pub fn collect_fields(e: &Expr) -> Vec<FieldId> {
+    let mut set: BTreeSet<FieldId> = BTreeSet::new();
+    for a in collect_accesses(e) {
+        set.insert(a.field);
+    }
+    set.into_iter().collect()
+}
+
+/// Replace every occurrence of symbol `name` by a constant.
+pub fn substitute_symbol(e: &Expr, name: &str, value: f64) -> Expr {
+    let out = match e {
+        Expr::Sym(s) if s.name() == name => Expr::Const(value),
+        Expr::Add(xs) => Expr::Add(xs.iter().map(|x| substitute_symbol(x, name, value)).collect()),
+        Expr::Mul(xs) => Expr::Mul(xs.iter().map(|x| substitute_symbol(x, name, value)).collect()),
+        Expr::Pow(b, e2) => Expr::Pow(Box::new(substitute_symbol(b, name, value)), *e2),
+        Expr::Func(fx, b) => Expr::Func(*fx, Box::new(substitute_symbol(b, name, value))),
+        Expr::Deriv {
+            expr,
+            dim,
+            order,
+            accuracy,
+        } => Expr::Deriv {
+            expr: Box::new(substitute_symbol(expr, name, value)),
+            dim: *dim,
+            order: *order,
+            accuracy: *accuracy,
+        },
+        other => other.clone(),
+    };
+    crate::simplify::simplify(&out)
+}
+
+/// Rewrite every access through `f` (e.g. for index shifting in lowering).
+pub fn map_accesses(e: &Expr, f: &impl Fn(&Access) -> Access) -> Expr {
+    match e {
+        Expr::Acc(a) => Expr::Acc(f(a)),
+        Expr::Add(xs) => Expr::Add(xs.iter().map(|x| map_accesses(x, f)).collect()),
+        Expr::Mul(xs) => Expr::Mul(xs.iter().map(|x| map_accesses(x, f)).collect()),
+        Expr::Pow(b, e2) => Expr::Pow(Box::new(map_accesses(b, f)), *e2),
+        Expr::Func(fx, b) => Expr::Func(*fx, Box::new(map_accesses(b, f))),
+        Expr::Deriv {
+            expr,
+            dim,
+            order,
+            accuracy,
+        } => Expr::Deriv {
+            expr: Box::new(map_accesses(expr, f)),
+            dim: *dim,
+            order: *order,
+            accuracy: *accuracy,
+        },
+        other => other.clone(),
+    }
+}
+
+/// Numerically evaluate a lowered expression. `sym` resolves symbols,
+/// `acc` resolves field accesses. Panics on `Deriv` nodes — evaluate only
+/// lowered expressions.
+pub fn eval_with(
+    e: &Expr,
+    sym: &impl Fn(&str) -> f64,
+    acc: &impl Fn(&Access) -> f64,
+) -> f64 {
+    match e {
+        Expr::Const(c) => *c,
+        Expr::Sym(s) => sym(s.name()),
+        Expr::Acc(a) => acc(a),
+        Expr::Add(xs) => xs.iter().map(|x| eval_with(x, sym, acc)).sum(),
+        Expr::Mul(xs) => xs.iter().map(|x| eval_with(x, sym, acc)).product(),
+        Expr::Pow(b, e2) => eval_with(b, sym, acc).powi(*e2),
+        Expr::Func(fx, b) => fx.apply(eval_with(b, sym, acc)),
+        Expr::Deriv { .. } => panic!("cannot numerically evaluate underived expression"),
+    }
+}
+
+/// Structural size of the expression (number of nodes) — used by compiler
+/// heuristics and tests.
+pub fn node_count(e: &Expr) -> usize {
+    match e {
+        Expr::Add(xs) | Expr::Mul(xs) => 1 + xs.iter().map(node_count).sum::<usize>(),
+        Expr::Pow(b, _) => 1 + node_count(b),
+        Expr::Func(_, b) => 1 + node_count(b),
+        Expr::Deriv { expr, .. } => 1 + node_count(expr),
+        _ => 1,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::context::Context;
+    use crate::grid::Grid;
+
+    #[test]
+    fn collect_accesses_dedups() {
+        let mut ctx = Context::new();
+        let g = Grid::new(&[4, 4], &[1.0, 1.0]);
+        let u = ctx.add_time_function("u", &g, 2, 1);
+        let e = u.center() * Expr::sym("a") + u.center() + u.forward();
+        let accs = collect_accesses(&e);
+        assert_eq!(accs.len(), 2);
+    }
+
+    #[test]
+    fn collect_symbols_finds_all() {
+        let e = Expr::sym("dt") * Expr::sym("h_x") + Expr::sym("dt");
+        let syms = collect_symbols(&e);
+        assert_eq!(syms.len(), 2);
+    }
+
+    #[test]
+    fn substitution_folds_constants() {
+        let e = Expr::sym("dt") * Expr::sym("x");
+        let s = substitute_symbol(&e, "dt", 2.0);
+        assert_eq!(s, Expr::Mul(vec![Expr::Const(2.0), Expr::sym("x")]));
+        let s2 = substitute_symbol(&s, "x", 3.0);
+        assert_eq!(s2, Expr::Const(6.0));
+    }
+
+    #[test]
+    fn eval_with_matches_hand_computation() {
+        let mut ctx = Context::new();
+        let g = Grid::new(&[4], &[1.0]);
+        let u = ctx.add_time_function("u", &g, 2, 1);
+        // 2*u[t,0] + dt^2
+        let e = 2.0 * u.center() + Expr::sym("dt").pow(2);
+        let v = eval_with(&e, &|s| if s == "dt" { 3.0 } else { 0.0 }, &|_| 5.0);
+        assert_eq!(v, 19.0);
+    }
+
+    #[test]
+    fn node_count_counts() {
+        let e = Expr::sym("a") + Expr::sym("b");
+        assert_eq!(node_count(&e), 3);
+    }
+}

@@ -1,0 +1,175 @@
+//! Property tests on the symbolic algebra: simplification and expansion
+//! must preserve numeric value; FD weights must satisfy their defining
+//! moment conditions for arbitrary valid node sets.
+
+use mpix_symbolic::{expand, fd_weights, simplify, Expr};
+use proptest::prelude::*;
+
+/// A random expression over two symbols and constants.
+fn expr_strategy() -> impl Strategy<Value = Expr> {
+    let leaf = prop_oneof![
+        (-4.0f64..4.0).prop_map(|c| Expr::Const((c * 8.0).round() / 8.0)),
+        Just(Expr::sym("x")),
+        Just(Expr::sym("y")),
+    ];
+    leaf.prop_recursive(3, 24, 4, |inner| {
+        prop_oneof![
+            proptest::collection::vec(inner.clone(), 2..4).prop_map(Expr::Add),
+            proptest::collection::vec(inner.clone(), 2..3).prop_map(Expr::Mul),
+            (inner, 1..3i32).prop_map(|(b, e)| Expr::Pow(Box::new(b), e)),
+        ]
+    })
+}
+
+fn eval(e: &Expr, x: f64, y: f64) -> f64 {
+    mpix_symbolic::visit::eval_with(
+        e,
+        &|s| if s == "x" { x } else { y } as f32 as f64,
+        &|_| 0.0,
+    )
+}
+
+fn close(a: f64, b: f64) -> bool {
+    if !a.is_finite() || !b.is_finite() {
+        return true; // overflow cases are out of scope
+    }
+    (a - b).abs() <= 1e-6 * a.abs().max(b.abs()).max(1.0)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    #[test]
+    fn simplify_preserves_value(e in expr_strategy(), x in -2.0f64..2.0, y in -2.0f64..2.0) {
+        let s = simplify(&e);
+        prop_assert!(
+            close(eval(&e, x, y), eval(&s, x, y)),
+            "simplify changed value: {} -> {} at x={x}, y={y}: {} vs {}",
+            e, s, eval(&e, x, y), eval(&s, x, y)
+        );
+    }
+
+    #[test]
+    fn expand_preserves_value(e in expr_strategy(), x in -2.0f64..2.0, y in -2.0f64..2.0) {
+        let ex = expand(&e);
+        prop_assert!(
+            close(eval(&e, x, y), eval(&ex, x, y)),
+            "expand changed value: {} -> {} at x={x}, y={y}",
+            e, ex
+        );
+    }
+
+    #[test]
+    fn simplify_is_idempotent(e in expr_strategy()) {
+        let s1 = simplify(&e);
+        let s2 = simplify(&s1);
+        prop_assert_eq!(&s1, &s2, "not idempotent: {} -> {} -> {}", e, s1, s2);
+    }
+
+    #[test]
+    fn arithmetic_ops_match_f64(a in -3.0f64..3.0, b in -3.0f64..3.0) {
+        let (ea, eb) = (Expr::Const(a), Expr::Const(b));
+        prop_assert!(close(eval(&(ea.clone() + eb.clone()), 0.0, 0.0), a + b));
+        prop_assert!(close(eval(&(ea.clone() - eb.clone()), 0.0, 0.0), a - b));
+        prop_assert!(close(eval(&(ea.clone() * eb.clone()), 0.0, 0.0), a * b));
+        if b.abs() > 1e-6 {
+            prop_assert!(close(eval(&(ea / eb), 0.0, 0.0), a / b));
+        }
+    }
+
+    #[test]
+    fn fd_weights_satisfy_moment_conditions(
+        m in 0u32..3,
+        extra in 1usize..4,
+        x0 in -1.0f64..1.0,
+    ) {
+        // Random distinct nodes around x0.
+        let n = m as usize + extra + 1;
+        let nodes: Vec<f64> = (0..n).map(|i| i as f64 - (n as f64) / 2.0).collect();
+        let w = fd_weights(m, x0, &nodes);
+        // Moment conditions: sum w_i (x_i - x0)^k = k! [k == m] for k <= deg.
+        for k in 0..n.min(m as usize + extra) {
+            let got: f64 = w
+                .iter()
+                .zip(&nodes)
+                .map(|(wi, xi)| wi * (xi - x0).powi(k as i32))
+                .sum();
+            let want = if k == m as usize {
+                (1..=k).product::<usize>() as f64
+            } else {
+                0.0
+            };
+            prop_assert!(
+                (got - want).abs() < 1e-6 * w.iter().map(|v| v.abs()).sum::<f64>().max(1.0),
+                "m={m} k={k}: {got} vs {want}"
+            );
+        }
+    }
+}
+
+mod func_props {
+    use mpix_symbolic::{expand, simplify, Expr, UnaryFn};
+    use proptest::prelude::*;
+
+    fn eval(e: &Expr, x: f64) -> f64 {
+        mpix_symbolic::visit::eval_with(e, &|_| x, &|_| 0.0)
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(128))]
+        #[test]
+        fn func_simplify_preserves_value(
+            f in prop_oneof![
+                Just(UnaryFn::Sin), Just(UnaryFn::Cos), Just(UnaryFn::Exp), Just(UnaryFn::Abs)
+            ],
+            x in -2.0f64..2.0,
+            c in -2.0f64..2.0,
+        ) {
+            // f(c * x + 1) through simplify and expand.
+            let e = Expr::Func(
+                f,
+                Box::new(Expr::Add(vec![
+                    Expr::Mul(vec![Expr::Const(c), Expr::sym("x")]),
+                    Expr::Const(1.0),
+                ])),
+            );
+            let direct = f.apply(c * x + 1.0);
+            let via_simplify = eval(&simplify(&e), x);
+            let via_expand = eval(&expand(&e), x);
+            prop_assert!((direct - via_simplify).abs() < 1e-12);
+            prop_assert!((direct - via_expand).abs() < 1e-12);
+        }
+
+        #[test]
+        fn func_of_constant_folds(c in 0.0f64..4.0) {
+            let e = Expr::Const(c).sqrt();
+            prop_assert_eq!(e, Expr::Const(c.sqrt()));
+        }
+    }
+
+    #[test]
+    fn trig_identity_numerically() {
+        // sin²+cos² == 1 through the full expression machinery.
+        let x = Expr::sym("x");
+        let e = x.clone().sin().pow(2) + x.cos().pow(2);
+        for v in [-1.3f64, 0.0, 0.7, 2.9] {
+            let r = mpix_symbolic::visit::eval_with(&e, &|_| v, &|_| 0.0);
+            assert!((r - 1.0).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn solve_keeps_functions_of_known_fields() {
+        // m·u_tt = sqrt(k)·u is linear in u.forward even with the sqrt.
+        use mpix_symbolic::{solve, Context, Grid};
+        let mut ctx = Context::new();
+        let g = Grid::new(&[8, 8], &[1.0, 1.0]);
+        let u = ctx.add_time_function("u", &g, 2, 2);
+        let k = ctx.add_function("k", &g, 2);
+        let pde = u.dt2() - k.center().sqrt() * u.center();
+        let st = solve(&pde, &u.forward(), &ctx).unwrap();
+        assert!(st.rhs.references_field(k.id()));
+        let s = format!("{}", st.rhs);
+        assert!(s.contains("sqrt"), "{s}");
+    }
+}

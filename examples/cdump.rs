@@ -1,0 +1,10 @@
+use mpix::prelude::*;
+fn main() {
+    let mut ctx = Context::new();
+    let grid = Grid::new(&[4, 4], &[2.0, 2.0]);
+    let u = ctx.add_time_function("u", &grid, 2, 1);
+    let eq = Eq::new(u.dt(), u.laplace());
+    let stencil = eq.solve_for(&u.forward(), &ctx).unwrap();
+    let op = Operator::build(ctx, grid, vec![stencil]).unwrap();
+    print!("{}", op.c_code(HaloMode::Basic));
+}

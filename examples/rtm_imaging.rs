@@ -1,0 +1,278 @@
+//! Reverse-time migration (RTM) — the industrial application the paper's
+//! introduction motivates ("full-waveform inversion (FWI), high-frequency
+//! reverse-time migration (RTM)"). A complete 2-D imaging experiment on
+//! the DSL:
+//!
+//! 1. forward-model a shot over a two-layer velocity model (the "true"
+//!    earth) and record receivers;
+//! 2. forward-model over the smooth background and record again — the
+//!    difference isolates the reflection;
+//! 3. back-propagate the time-reversed residual with the (self-adjoint)
+//!    wave operator, cross-correlating with the saved background
+//!    wavefield at every step (the zero-lag imaging condition);
+//! 4. the resulting image peaks at the reflector depth.
+//!
+//! ```sh
+//! cargo run --release --example rtm_imaging
+//! ```
+
+use mpix::prelude::*;
+use mpix::solvers::ricker_wavelet;
+
+const NX: usize = 81; // depth points
+const NY: usize = 81; // lateral points
+const H: f64 = 0.01; // km
+const V_TOP: f64 = 1.5;
+const V_BOTTOM: f64 = 2.2;
+const REFLECTOR_DEPTH: usize = 48;
+
+fn build_operator() -> Operator {
+    let mut ctx = Context::new();
+    let extent = [(NX - 1) as f64 * H, (NY - 1) as f64 * H];
+    let grid = Grid::new(&[NX, NY], &extent);
+    let u = ctx.add_time_function("u", &grid, 8, 2);
+    let m = ctx.add_function("m", &grid, 8);
+    let damp = ctx.add_function("damp", &grid, 8);
+    let pde = m.center() * u.dt2() - u.laplace() + damp.center() * u.dt();
+    let st = mpix_symbolic::solve(&pde, &u.forward(), &ctx).unwrap();
+    Operator::build(ctx, grid, vec![st]).unwrap()
+}
+
+/// Quadratic sponge on all sides but the top (free surface-ish).
+fn fill_damp(ws: &mut Workspace, nbl: usize) {
+    let coeff = 3.0 * V_BOTTOM * (1000.0f64).ln() / (2.0 * nbl as f64 * H);
+    for i in 0..NX {
+        for j in 0..NY {
+            let d_bot = (NX - 1 - i).min(j).min(NY - 1 - j);
+            let v = if d_bot < nbl {
+                let r = (nbl - d_bot) as f64 / nbl as f64;
+                coeff * r * r
+            } else {
+                0.0
+            };
+            ws.field_data_mut("damp", 0).set_global(&[i, j], v as f32);
+        }
+    }
+}
+
+fn fill_velocity(ws: &mut Workspace, layered: bool) {
+    for i in 0..NX {
+        for j in 0..NY {
+            let v = if layered && i >= REFLECTOR_DEPTH {
+                V_BOTTOM
+            } else {
+                V_TOP
+            };
+            let m = 1.0 / (v * v);
+            ws.field_data_mut("m", 0).set_global(&[i, j], m as f32);
+        }
+    }
+}
+
+struct Shot {
+    /// `gather[t][r]`
+    gather: Vec<Vec<f32>>,
+    /// Forward wavefield snapshots `snaps[t][x*NY+y]` (background model
+    /// run only).
+    snaps: Option<Vec<Vec<f32>>>,
+}
+
+fn receiver_coords() -> Vec<Vec<f64>> {
+    (0..16)
+        .map(|r| vec![2.0 * H, (8 + r * 4) as f64 * H])
+        .collect()
+}
+
+/// Forward-model one shot; optionally save snapshots for imaging.
+fn forward(op: &Operator, nt: usize, dt: f64, layered: bool, save: bool) -> Shot {
+    let wavelet = ricker_wavelet(12.0, dt, nt);
+    let out = op.apply_distributed(
+        4,
+        Some(vec![2, 2]),
+        &ApplyOptions::default().with_nt(0).with_dt(dt),
+        |_| {},
+        move |ws| {
+            fill_velocity(ws, layered);
+            fill_damp(ws, 10);
+            let spacing = vec![H, H];
+            let src = SparsePoints::new(vec![vec![2.0 * H, (NY / 2) as f64 * H]], spacing.clone());
+            let scale = (dt * dt * V_TOP * V_TOP) as f32;
+            ws.add_injection("u", src, wavelet.clone(), vec![scale]);
+            ws.add_receivers("u", SparsePoints::new(receiver_coords(), spacing));
+            // Step externally so snapshots can be captured.
+            let exec = op.executable(HaloMode::Diagonal);
+            let mut snaps = Vec::new();
+            for k in 0..nt {
+                let opts = ApplyOptions::default()
+                    .with_nt(1)
+                    .with_t0(k as i64)
+                    .with_dt(dt)
+                    .with_mode(HaloMode::Diagonal);
+                op.apply(ws, &exec, &opts);
+                if save {
+                    snaps.push(ws.field_data("u", (k + 1) as i64).gather_global(ws.cart.comm()));
+                }
+            }
+            let gather = ws.take_samples(1);
+            (gather, if save { Some(snaps) } else { None })
+        },
+    );
+    // Merge receiver rows across ranks (one non-NaN owner per point).
+    let nrec = receiver_coords().len();
+    let mut gather = vec![vec![0.0f32; nrec]; nt];
+    for (g, _) in &out {
+        for (t, row) in g.iter().enumerate() {
+            for (r, &v) in row.iter().enumerate() {
+                if !v.is_nan() {
+                    gather[t][r] = v;
+                }
+            }
+        }
+    }
+    Shot {
+        gather,
+        snaps: out.into_iter().next().unwrap().1,
+    }
+}
+
+/// Back-propagate the residual and apply the imaging condition.
+fn migrate(op: &Operator, nt: usize, dt: f64, residual: &[Vec<f32>], snaps: &[Vec<f32>]) -> Vec<f64> {
+    let nrec = receiver_coords().len();
+    let out = op.apply_distributed(
+        4,
+        Some(vec![2, 2]),
+        &ApplyOptions::default().with_nt(0).with_dt(dt),
+        |_| {},
+        move |ws| {
+            fill_velocity(ws, false);
+            fill_damp(ws, 10);
+            let spacing = vec![H, H];
+            // The adjoint source: every receiver injects its own
+            // time-reversed residual trace.
+            let coords = receiver_coords();
+            let nrec = coords.len();
+            let traces: Vec<Vec<f32>> = (0..nrec)
+                .map(|r| (0..nt).map(|t| residual[nt - 1 - t][r]).collect())
+                .collect();
+            ws.add_injection_traces(
+                "u",
+                SparsePoints::new(coords, spacing),
+                traces,
+                vec![(dt * dt * V_TOP * V_TOP) as f32; nrec],
+            );
+            let exec = op.executable(HaloMode::Diagonal);
+            let mut image = vec![0.0f64; NX * NY];
+            for s in 0..nt {
+                let opts = ApplyOptions::default()
+                    .with_nt(1)
+                    .with_t0(s as i64)
+                    .with_dt(dt)
+                    .with_mode(HaloMode::Diagonal);
+                op.apply(ws, &exec, &opts);
+                let v = ws.field_data("u", (s + 1) as i64).gather_global(ws.cart.comm());
+                // Zero-lag cross-correlation: adjoint time s ~ forward
+                // time nt-1-s.
+                let fwd = &snaps[nt - 1 - s];
+                for (px, (&a, &b)) in image.iter_mut().zip(fwd.iter().zip(&v)) {
+                    *px += (a as f64) * (b as f64);
+                }
+            }
+            image
+        },
+    );
+    let _ = nrec;
+    out.into_iter().next().unwrap()
+}
+
+fn main() {
+    let op = build_operator();
+    let dt = 0.4 * H / (V_BOTTOM * 2.0f64.sqrt());
+    let nt = 700;
+    println!("RTM demo: {NX}x{NY} grid, reflector at depth index {REFLECTOR_DEPTH}, {nt} steps");
+
+    println!("  forward modeling (true two-layer model)...");
+    let observed = forward(&op, nt, dt, true, false);
+    println!("  forward modeling (smooth background, saving wavefield)...");
+    let background = forward(&op, nt, dt, false, true);
+
+    // Residual isolates the reflection event.
+    let residual: Vec<Vec<f32>> = observed
+        .gather
+        .iter()
+        .zip(&background.gather)
+        .map(|(o, b)| o.iter().zip(b).map(|(x, y)| x - y).collect())
+        .collect();
+    let res_energy: f64 = residual
+        .iter()
+        .flatten()
+        .map(|&v| (v as f64) * (v as f64))
+        .sum();
+    println!("  residual energy: {res_energy:.4e}");
+    // Diagnostics: when does the reflection arrive, and where is the
+    // forward wavefield over time?
+    let rmax = residual
+        .iter()
+        .enumerate()
+        .map(|(t, row)| (t, row.iter().fold(0.0f32, |a, &b| a.max(b.abs()))))
+        .max_by(|a, b| a.1.partial_cmp(&b.1).unwrap())
+        .unwrap();
+    println!("  residual peak at forward step {} (amp {:.2e})", rmax.0, rmax.1);
+    let dmax = observed.gather
+        .iter()
+        .enumerate()
+        .map(|(t, row)| (t, row.iter().fold(0.0f32, |a, &b| a.max(b.abs()))))
+        .max_by(|a, b| a.1.partial_cmp(&b.1).unwrap())
+        .unwrap();
+    println!("  direct-wave peak at forward step {} (amp {:.2e})", dmax.0, dmax.1);
+    let snaps_ref = background.snaps.as_ref().unwrap();
+    for t in (60..nt).step_by(60) {
+        let row48: f32 = (0..NY).map(|j| snaps_ref[t][REFLECTOR_DEPTH * NY + j].abs()).fold(0.0, f32::max);
+        let row20: f32 = (0..NY).map(|j| snaps_ref[t][20 * NY + j].abs()).fold(0.0, f32::max);
+        println!("  fwd snap t={t}: max|u| at depth 20 = {row20:.2e}, at depth 48 = {row48:.2e}");
+    }
+    assert!(res_energy > 0.0, "no reflection recorded");
+
+    println!("  migrating residual (adjoint + imaging condition)...");
+    let image = migrate(&op, nt, dt, &residual, background.snaps.as_ref().unwrap());
+
+    // Standard RTM post-processing: the raw cross-correlation image is
+    // dominated by the smooth, low-wavenumber source-side artifact
+    // (forward and adjoint waves travelling together down from the
+    // surface). A Laplacian filter suppresses it and sharpens the
+    // reflector.
+    let mut filtered = vec![0.0f64; NX * NY];
+    for i in 1..NX - 1 {
+        for j in 1..NY - 1 {
+            filtered[i * NY + j] = 4.0 * image[i * NY + j]
+                - image[(i - 1) * NY + j]
+                - image[(i + 1) * NY + j]
+                - image[i * NY + j - 1]
+                - image[i * NY + j + 1];
+        }
+    }
+
+    // Depth profile: RMS over the lateral axis, interior only.
+    let mut profile = vec![0.0f64; NX];
+    for (i, p) in profile.iter_mut().enumerate() {
+        let mut acc = 0.0;
+        for j in 12..NY - 12 {
+            acc += filtered[i * NY + j] * filtered[i * NY + j];
+        }
+        *p = acc.sqrt();
+    }
+    // Peak below the source region must sit near the reflector.
+    let search_from = 20usize;
+    let peak = (search_from..NX - 10)
+        .max_by(|&a, &b| profile[a].partial_cmp(&profile[b]).unwrap())
+        .unwrap();
+    println!("  image depth profile peak at index {peak} (true reflector {REFLECTOR_DEPTH})");
+    for i in (16..NX - 10).step_by(4) {
+        let bar = "#".repeat((60.0 * profile[i] / profile[peak]) as usize);
+        println!("    depth {i:>3} | {bar}");
+    }
+    assert!(
+        (peak as i64 - REFLECTOR_DEPTH as i64).abs() <= 6,
+        "image peak {peak} too far from reflector {REFLECTOR_DEPTH}"
+    );
+    println!("RTM image localizes the reflector ✓");
+}

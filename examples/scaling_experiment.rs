@@ -1,0 +1,83 @@
+//! A strong/weak scaling experiment combining *real* simulated-MPI runs
+//! (at rank counts a laptop can hold) with the calibrated cluster model
+//! that regenerates the paper's 1–128-node curves (§IV-D/E).
+//!
+//! ```sh
+//! cargo run --release --example scaling_experiment
+//! ```
+
+use mpix::perf::machine::{archer2_node, tursa_a100};
+use mpix::perf::scaling::{efficiency, strong_scaling, Mode};
+use mpix::prelude::*;
+use mpix::solvers::{KernelKind, ModelSpec, Propagator};
+use mpix_bench::profiles::{cpu_domain, profile_for};
+
+fn main() {
+    // ---- Part 1: real runs, 1..8 simulated ranks -----------------------
+    println!("## Real simulated-MPI strong scaling (acoustic so-8, 24³+ABC, wall-clock)");
+    let spec = ModelSpec::new(&[24, 24, 24]).with_nbl(4);
+    let prop = Propagator::build(KernelKind::Acoustic, spec, 8);
+    let nt = 20i64;
+    let pref = &prop;
+    let mut base = None;
+    for nranks in [1usize, 2, 4, 8] {
+        let opts = prop.apply_options(nt).with_mode(HaloMode::Diagonal);
+        let t0 = std::time::Instant::now();
+        let stats = prop.op.apply_distributed(
+            nranks,
+            None,
+            &opts,
+            move |ws| pref.init(ws),
+            |ws| ws.last_stats.clone().unwrap(),
+        );
+        let wall = t0.elapsed().as_secs_f64();
+        let halo: f64 = stats.iter().map(|s| s.halo_secs).sum::<f64>() / nranks as f64;
+        let base_t = *base.get_or_insert(wall);
+        println!(
+            "  {nranks} ranks: {wall:.3}s wall ({:.0}% of linear), avg halo time {halo:.3}s",
+            100.0 * base_t / (wall * nranks as f64)
+        );
+    }
+    println!("  (ranks are threads on one machine — wall-clock scaling here measures");
+    println!("   overhead structure, not parallel speedup; the cluster model below");
+    println!("   extrapolates with calibrated machine parameters)\n");
+
+    // ---- Part 2: modeled paper-scale curves ----------------------------
+    println!("## Modeled CPU strong scaling, SDO 8 (paper Figs 8-11)");
+    for kind in KernelKind::all() {
+        let prof = profile_for(kind, 8);
+        let m = archer2_node();
+        let global = cpu_domain(kind);
+        print!("{:<14}", kind.name());
+        let mut best_modes = Vec::new();
+        for units in [1usize, 8, 64, 128] {
+            let (mode, pt) = Mode::all()
+                .iter()
+                .map(|&mo| (mo, strong_scaling(&prof, &m, mo, units, &global)))
+                .max_by(|a, b| a.1.gpts.partial_cmp(&b.1.gpts).unwrap())
+                .unwrap();
+            print!("  {units:>3}n: {:7.1} GPts/s ({})", pt.gpts, mode.label());
+            best_modes.push(mode);
+        }
+        println!();
+    }
+
+    println!("\n## Modeled GPU vs CPU at 128 units, SDO 8 (paper §IV-F)");
+    for kind in KernelKind::all() {
+        let prof = profile_for(kind, 8);
+        let cpu = strong_scaling(&prof, &archer2_node(), Mode::Basic, 128, &cpu_domain(kind));
+        let gpu = strong_scaling(&prof, &tursa_a100(), Mode::Basic, 128, &cpu_domain(kind));
+        let pts: Vec<_> = [1, 128]
+            .iter()
+            .map(|&u| strong_scaling(&prof, &archer2_node(), Mode::Basic, u, &cpu_domain(kind)))
+            .collect();
+        println!(
+            "  {:<14} CPU {:7.1} GPts/s (eff {:4.0}%)   GPU {:7.1} GPts/s ({:.1}x)",
+            kind.name(),
+            cpu.gpts,
+            efficiency(&pts)[1] * 100.0,
+            gpu.gpts,
+            gpu.gpts / cpu.gpts
+        );
+    }
+}

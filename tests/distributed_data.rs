@@ -1,0 +1,131 @@
+//! Integration: the "logically centralized, physically distributed"
+//! array contract (paper §III b, Listings 2–3) through the public facade.
+
+use mpix::prelude::*;
+use proptest::prelude::*;
+
+fn diffusion_op(nx: usize, ny: usize) -> Operator {
+    let mut ctx = Context::new();
+    let grid = Grid::new(&[nx, ny], &[2.0, 2.0]);
+    let u = ctx.add_time_function("u", &grid, 2, 1);
+    let eq = Eq::new(u.dt(), u.laplace());
+    let stencil = eq.solve_for(&u.forward(), &ctx).unwrap();
+    Operator::build(ctx, grid, vec![stencil]).unwrap()
+}
+
+#[test]
+fn listing2_exact_reproduction() {
+    let op = diffusion_op(4, 4);
+    let views = op.apply_distributed(
+        4,
+        Some(vec![2, 2]),
+        &ApplyOptions::default().with_nt(0),
+        |ws| ws.field_data_mut("u", 0).fill_global_slice(&[1..3, 1..3], 1.0),
+        |ws| ws.field_data("u", 0).local_view_string(),
+    );
+    assert_eq!(
+        views,
+        vec![
+            "[[0.00 0.00]\n [0.00 1.00]]",
+            "[[0.00 0.00]\n [1.00 0.00]]",
+            "[[0.00 1.00]\n [0.00 0.00]]",
+            "[[1.00 0.00]\n [0.00 0.00]]",
+        ]
+    );
+}
+
+#[test]
+fn global_write_lands_on_exactly_one_rank() {
+    let op = diffusion_op(8, 8);
+    for nranks in [2usize, 4, 8] {
+        let owners: Vec<usize> = op
+            .apply_distributed(
+                nranks,
+                None,
+                &ApplyOptions::default().with_nt(0),
+                |ws| ws.field_data_mut("u", 0).set_global(&[3, 5], 7.0),
+                |ws| {
+                    let nonzero = ws
+                        .field_data("u", 0)
+                        .raw()
+                        .iter()
+                        .filter(|&&v| v != 0.0)
+                        .count();
+                    nonzero
+                },
+            )
+            .into_iter()
+            .collect();
+        assert_eq!(owners.iter().sum::<usize>(), 1, "nranks={nranks}");
+    }
+}
+
+#[test]
+fn gather_is_identical_on_every_rank_and_to_serial() {
+    let op = diffusion_op(12, 10);
+    let init = |ws: &mut Workspace| {
+        for i in 0..12 {
+            for j in 0..10 {
+                ws.field_data_mut("u", 0)
+                    .set_global(&[i, j], (i * 10 + j) as f32);
+            }
+        }
+    };
+    let serial = op.apply_local(&ApplyOptions::default().with_nt(0), init, |ws| ws.gather("u"));
+    let all = op.apply_distributed(
+        6,
+        None,
+        &ApplyOptions::default().with_nt(0),
+        init,
+        |ws| ws.gather("u"),
+    );
+    for g in &all {
+        assert_eq!(g, &serial);
+    }
+}
+
+#[test]
+fn slices_crossing_rank_boundaries_cover_exactly_once() {
+    let op = diffusion_op(16, 16);
+    let total: f32 = op
+        .apply_distributed(
+            4,
+            Some(vec![2, 2]),
+            &ApplyOptions::default().with_nt(0),
+            |ws| ws.field_data_mut("u", 0).fill_global_slice(&[5..13, 3..11], 1.0),
+            |ws| {
+                ws.field_data("u", 0)
+                    .raw()
+                    .iter()
+                    .sum::<f32>()
+            },
+        )
+        .iter()
+        .sum();
+    assert_eq!(total, 64.0); // 8x8 slice, each point exactly once
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+    #[test]
+    fn prop_random_slices_distribute_exactly(
+        x0 in 0usize..10, w in 1usize..6,
+        y0 in 0usize..10, h in 1usize..6,
+        ranks in 1usize..6,
+    ) {
+        let op = diffusion_op(16, 16);
+        let (x1, y1) = ((x0 + w).min(16), (y0 + h).min(16));
+        let expected = ((x1 - x0) * (y1 - y0)) as f32;
+        let total: f32 = op
+            .apply_distributed(
+                ranks,
+                None,
+                &ApplyOptions::default().with_nt(0),
+                move |ws| ws.field_data_mut("u", 0).fill_global_slice(&[x0..x1, y0..y1], 1.0),
+                |ws| ws.field_data("u", 0).raw().iter().sum::<f32>(),
+            )
+            .iter()
+            .sum();
+        prop_assert_eq!(total, expected);
+    }
+}

@@ -1,0 +1,136 @@
+//! Integration: sparse (off-grid) operations under DMP — ownership
+//! replication (Fig. 3), injection conservation, receiver gathers across
+//! topologies.
+
+use std::sync::Arc;
+
+use mpix::prelude::*;
+use mpix::solvers::{acoustic, ModelSpec};
+use proptest::prelude::*;
+
+#[test]
+fn receiver_gather_is_topology_invariant() {
+    let spec = ModelSpec::new(&[12, 12, 12]).with_nbl(2);
+    let op = acoustic::operator(&spec, 4);
+    let nt = 6i64;
+    let dt = spec.stable_dt(0.4);
+    let opts = ApplyOptions::default().with_nt(nt).with_dt(dt);
+    let spacing = vec![spec.spacing; 3];
+    let rec: Vec<Vec<f64>> = vec![
+        vec![0.05, 0.05, 0.08],
+        vec![0.0799, 0.0799, 0.0799], // near a rank corner
+    ];
+
+    let mut gathers: Vec<Vec<Vec<f32>>> = Vec::new();
+    for topo in [vec![2, 2, 2], vec![4, 2, 1], vec![8, 1, 1]] {
+        let s2 = spec.clone();
+        let rc = rec.clone();
+        let sp = spacing.clone();
+        let out = op.apply_distributed(
+            8,
+            Some(topo),
+            &opts,
+            move |ws| {
+                acoustic::init_workspace(&s2, ws);
+                let c = s2.padded_shape()[0] / 2;
+                ws.field_data_mut("u", 0).set_global(&[c, c, c], 1.0);
+                ws.field_data_mut("u", -1).set_global(&[c, c, c], 1.0);
+                ws.add_receivers("u", SparsePoints::new(rc.clone(), sp.clone()));
+            },
+            |ws| ws.take_samples(0),
+        );
+        // Merge: exactly one non-NaN per (t, p).
+        let mut merged = vec![vec![f32::NAN; rec.len()]; nt as usize];
+        for samples in &out {
+            for (t, row) in samples.iter().enumerate() {
+                for (p, &v) in row.iter().enumerate() {
+                    if !v.is_nan() {
+                        assert!(merged[t][p].is_nan(), "point recorded twice");
+                        merged[t][p] = v;
+                    }
+                }
+            }
+        }
+        for row in &merged {
+            for &v in row {
+                assert!(!v.is_nan(), "point never recorded");
+            }
+        }
+        gathers.push(merged);
+    }
+    for other in &gathers[1..] {
+        for (a, b) in gathers[0].iter().flatten().zip(other.iter().flatten()) {
+            assert!(
+                (a - b).abs() <= 1e-5 * b.abs().max(1e-3),
+                "gather depends on topology: {a} vs {b}"
+            );
+        }
+    }
+}
+
+#[test]
+fn source_injection_is_topology_invariant() {
+    let spec = ModelSpec::new(&[12, 12, 12]).with_nbl(2);
+    let op = acoustic::operator(&spec, 4);
+    let nt = 6i64;
+    let opts = ApplyOptions::default()
+        .with_nt(nt)
+        .with_dt(spec.stable_dt(0.4));
+    let spacing = vec![spec.spacing; 3];
+    // Off-grid source near the center (straddling ranks in some topologies).
+    let src = vec![0.0755, 0.0755, 0.0755];
+    let mut fields = Vec::new();
+    for ranks_topo in [(1usize, None), (4, Some(vec![2, 2, 1])), (8, Some(vec![2, 2, 2]))] {
+        let s2 = spec.clone();
+        let sc = src.clone();
+        let sp = spacing.clone();
+        let out = op.apply_distributed(
+            ranks_topo.0,
+            ranks_topo.1,
+            &opts,
+            move |ws| {
+                acoustic::init_workspace(&s2, ws);
+                ws.add_injection(
+                    "u",
+                    SparsePoints::new(vec![sc.clone()], sp.clone()),
+                    vec![1.0; nt as usize],
+                    vec![1.0],
+                );
+            },
+            |ws| ws.gather("u"),
+        );
+        fields.push(out.into_iter().next().unwrap());
+    }
+    for other in &fields[1..] {
+        for (a, b) in fields[0].iter().zip(other) {
+            assert!(
+                (a - b).abs() <= 1e-5 * a.abs().max(1.0),
+                "injection depends on decomposition: {a} vs {b}"
+            );
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+    #[test]
+    fn prop_ownership_covers_weights(x in 0.0f64..7.0, y in 0.0f64..7.0) {
+        // Every nonzero-weight grid node of a random point must belong to
+        // at least one rank of the replication set, and the weights sum
+        // to 1.
+        let dc = Arc::new(Decomposition::new(&[8, 8], &[2, 2]));
+        let sp = SparsePoints::new(vec![vec![x, y]], vec![1.0, 1.0]);
+        let weights = sp.corner_weights(0, &[8, 8]);
+        let total: f64 = weights.iter().map(|(_, w)| w).sum();
+        prop_assert!((total - 1.0).abs() < 1e-9);
+        let owners = sp.owner_coords(0, &dc);
+        prop_assert!(!owners.is_empty());
+        for (node, w) in &weights {
+            prop_assert!(*w >= 0.0);
+            let covered = owners.iter().any(|coords| {
+                (0..2).all(|d| dc.owned_range(d, coords[d]).contains(&node[d]))
+            });
+            prop_assert!(covered, "node {:?} uncovered", node);
+        }
+    }
+}
