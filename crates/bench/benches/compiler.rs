@@ -1,8 +1,10 @@
-//! Compiler-pipeline cost: symbolic solve + lowering + clustering + CSE
-//! + halo detection + IET construction for each kernel (the JIT-compile
+//! Compiler-pipeline cost: symbolic solve, lowering, clustering, CSE,
+//! halo detection, and IET construction for each kernel (the JIT-compile
 //! latency a Devito user pays once per `Operator`).
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use mpix_core::ApplyOptions;
+use mpix_dmp::HaloMode;
 use mpix_solvers::{KernelKind, ModelSpec, Propagator};
 
 fn bench_compile(c: &mut Criterion) {
@@ -24,8 +26,9 @@ fn bench_cgen(c: &mut Criterion) {
     g.sample_size(20);
     let spec = ModelSpec::new(&[8, 8, 8]).with_nbl(0);
     let prop = Propagator::build(KernelKind::Elastic, spec, 8);
+    let opts = ApplyOptions::default().with_mode(HaloMode::Basic);
     g.bench_function("elastic_so8_basic", |b| {
-        b.iter(|| prop.op.c_code(mpix_dmp::HaloMode::Basic).len())
+        b.iter(|| prop.op.c_code_for(&opts).len())
     });
     g.finish();
 }
@@ -35,13 +38,9 @@ fn bench_executable(c: &mut Criterion) {
     g.sample_size(20);
     let spec = ModelSpec::new(&[8, 8, 8]).with_nbl(0);
     let prop = Propagator::build(KernelKind::Viscoelastic, spec, 8);
+    let opts = ApplyOptions::default().with_mode(HaloMode::Diagonal);
     g.bench_function("viscoelastic_so8", |b| {
-        b.iter(|| {
-            prop.op
-                .executable(mpix_dmp::HaloMode::Diagonal)
-                .compiled_clusters()
-                .len()
-        })
+        b.iter(|| prop.op.executable_for(&opts).compiled_clusters().len())
     });
     g.finish();
 }

@@ -26,8 +26,7 @@ fn bench_pack(c: &mut Criterion) {
     let mut arr = DistArray::new(Arc::clone(&dc), &[0, 0, 0], 4);
     // Face slab perpendicular to x: radius 4.
     let local = arr.local_shape().to_vec();
-    let b4: Vec<std::ops::Range<usize>> =
-        vec![4..8, 4..4 + local[1], 4..4 + local[2]];
+    let b4: Vec<std::ops::Range<usize>> = vec![4..8, 4..4 + local[1], 4..4 + local[2]];
     let mut buf = Vec::new();
     c.bench_function("pack_face_slab_64x64x4", |bch| {
         bch.iter(|| {
@@ -85,5 +84,12 @@ fn bench_regions(c: &mut Criterion) {
     });
 }
 
-criterion_group!(benches, bench_decomp, bench_pack, bench_slicing, bench_sparse, bench_regions);
+criterion_group!(
+    benches,
+    bench_decomp,
+    bench_pack,
+    bench_slicing,
+    bench_sparse,
+    bench_regions
+);
 criterion_main!(benches);

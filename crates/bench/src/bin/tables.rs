@@ -9,6 +9,7 @@
 //! cargo run -p mpix-bench --release --bin tables -- table1
 //! cargo run -p mpix-bench --release --bin tables -- trends
 //! cargo run -p mpix-bench --release --bin tables -- validate   # real multi-rank runs
+//! cargo run -p mpix-bench --release --bin tables -- perf       # per-rank PerfSummary
 //! ```
 
 use mpix_bench::tables;
@@ -38,6 +39,7 @@ fn main() {
             tables::accuracy_report();
         }
         "validate" => validate(),
+        "perf" => tables::print_perf(),
         "json" => println!("{}", tables::json_dump()),
         "crossovers" => tables::print_crossovers(),
         "all" => {
@@ -52,6 +54,7 @@ fn main() {
             tables::accuracy_report();
             tables::print_crossovers();
             validate();
+            tables::print_perf();
         }
         other => {
             eprintln!("unknown experiment {other:?}; see the header comment");
@@ -104,18 +107,21 @@ fn validate() {
             pref.init(ws);
             pref.add_ricker_source(ws, 18.0, nt as usize);
         };
-        let serial = p
-            .op
-            .apply_local(&opts, init, |ws| ws.gather(pref.main_field()));
+        let serial =
+            p.op.run(&opts, init, |ws| ws.gather(pref.main_field()))
+                .results
+                .remove(0);
         for mode in [HaloMode::Basic, HaloMode::Diagonal, HaloMode::Full] {
-            let opts = opts.clone().with_mode(mode);
+            let opts = opts.clone().with_mode(mode).with_ranks(8);
             let t0 = std::time::Instant::now();
-            let out = p.op.apply_distributed(8, None, &opts, init, |ws| {
-                (
-                    ws.gather(pref.main_field()),
-                    ws.cart.comm().stats().msgs_sent,
-                )
-            });
+            let out =
+                p.op.run(&opts, init, |ws| {
+                    (
+                        ws.gather(pref.main_field()),
+                        ws.cart.comm().stats().msgs_sent,
+                    )
+                })
+                .results;
             let wall = t0.elapsed().as_secs_f64();
             let mut max_dev = 0.0f64;
             for (a, b) in out[0].0.iter().zip(&serial) {

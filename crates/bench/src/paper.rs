@@ -214,22 +214,86 @@ pub const CPU_TABLES: [CpuTable; 16] = [
 
 /// GPU strong scaling, Tables XIX–XXXIV (basic mode only, §III h).
 pub const GPU_TABLES: [GpuTable; 16] = [
-    GpuTable { kernel: "acoustic", sdo: 4, row: r([34.3, 65.6, 123.3, 200.2, 348.6, 583.0, 985.2, 1535.0]) },
-    GpuTable { kernel: "acoustic", sdo: 8, row: r([31.2, 59.4, 121.7, 199.2, 333.1, 565.5, 970.1, 1474.5]) },
-    GpuTable { kernel: "acoustic", sdo: 12, row: r([28.8, 61.0, 104.7, 160.2, 271.2, 434.6, 742.2, 1140.7]) },
-    GpuTable { kernel: "acoustic", sdo: 16, row: r([25.8, 47.9, 90.7, 143.7, 242.4, 387.8, 666.2, 1017.3]) },
-    GpuTable { kernel: "elastic", sdo: 4, row: r([6.5, 11.7, 22.0, 34.2, 58.0, 95.4, 143.9, 198.9]) },
-    GpuTable { kernel: "elastic", sdo: 8, row: r([5.2, 9.4, 16.8, 27.2, 45.5, 72.7, 114.1, 164.2]) },
-    GpuTable { kernel: "elastic", sdo: 12, row: r([4.0, 7.2, 13.3, 21.7, 35.8, 57.2, 92.7, 131.9]) },
-    GpuTable { kernel: "elastic", sdo: 16, row: r([2.5, 4.6, 8.6, 15.4, 26.0, 42.4, 68.9, 100.7]) },
-    GpuTable { kernel: "tti", sdo: 4, row: r([10.5, 20.3, 37.8, 63.8, 109.6, 200.1, 354.9, 541.8]) },
-    GpuTable { kernel: "tti", sdo: 8, row: r([8.5, 16.2, 31.0, 53.1, 90.6, 163.8, 289.1, 460.7]) },
-    GpuTable { kernel: "tti", sdo: 12, row: r([7.5, 14.4, 27.4, 46.0, 78.0, 138.9, 250.3, 405.1]) },
-    GpuTable { kernel: "tti", sdo: 16, row: r([5.8, 11.2, 21.3, 38.2, 65.7, 115.8, 205.2, 322.4]) },
-    GpuTable { kernel: "viscoelastic", sdo: 4, row: r([3.4, 6.3, 11.9, 19.2, 33.6, 57.4, 90.8, 128.1]) },
-    GpuTable { kernel: "viscoelastic", sdo: 8, row: r([2.8, 5.3, 9.4, 16.0, 27.9, 46.0, 73.7, 107.8]) },
-    GpuTable { kernel: "viscoelastic", sdo: 12, row: r([2.5, 4.7, 8.5, 13.1, 23.0, 37.4, 60.4, 88.4]) },
-    GpuTable { kernel: "viscoelastic", sdo: 16, row: r([1.6, 3.1, 6.2, 10.7, 18.6, 31.0, 48.9, 71.6]) },
+    GpuTable {
+        kernel: "acoustic",
+        sdo: 4,
+        row: r([34.3, 65.6, 123.3, 200.2, 348.6, 583.0, 985.2, 1535.0]),
+    },
+    GpuTable {
+        kernel: "acoustic",
+        sdo: 8,
+        row: r([31.2, 59.4, 121.7, 199.2, 333.1, 565.5, 970.1, 1474.5]),
+    },
+    GpuTable {
+        kernel: "acoustic",
+        sdo: 12,
+        row: r([28.8, 61.0, 104.7, 160.2, 271.2, 434.6, 742.2, 1140.7]),
+    },
+    GpuTable {
+        kernel: "acoustic",
+        sdo: 16,
+        row: r([25.8, 47.9, 90.7, 143.7, 242.4, 387.8, 666.2, 1017.3]),
+    },
+    GpuTable {
+        kernel: "elastic",
+        sdo: 4,
+        row: r([6.5, 11.7, 22.0, 34.2, 58.0, 95.4, 143.9, 198.9]),
+    },
+    GpuTable {
+        kernel: "elastic",
+        sdo: 8,
+        row: r([5.2, 9.4, 16.8, 27.2, 45.5, 72.7, 114.1, 164.2]),
+    },
+    GpuTable {
+        kernel: "elastic",
+        sdo: 12,
+        row: r([4.0, 7.2, 13.3, 21.7, 35.8, 57.2, 92.7, 131.9]),
+    },
+    GpuTable {
+        kernel: "elastic",
+        sdo: 16,
+        row: r([2.5, 4.6, 8.6, 15.4, 26.0, 42.4, 68.9, 100.7]),
+    },
+    GpuTable {
+        kernel: "tti",
+        sdo: 4,
+        row: r([10.5, 20.3, 37.8, 63.8, 109.6, 200.1, 354.9, 541.8]),
+    },
+    GpuTable {
+        kernel: "tti",
+        sdo: 8,
+        row: r([8.5, 16.2, 31.0, 53.1, 90.6, 163.8, 289.1, 460.7]),
+    },
+    GpuTable {
+        kernel: "tti",
+        sdo: 12,
+        row: r([7.5, 14.4, 27.4, 46.0, 78.0, 138.9, 250.3, 405.1]),
+    },
+    GpuTable {
+        kernel: "tti",
+        sdo: 16,
+        row: r([5.8, 11.2, 21.3, 38.2, 65.7, 115.8, 205.2, 322.4]),
+    },
+    GpuTable {
+        kernel: "viscoelastic",
+        sdo: 4,
+        row: r([3.4, 6.3, 11.9, 19.2, 33.6, 57.4, 90.8, 128.1]),
+    },
+    GpuTable {
+        kernel: "viscoelastic",
+        sdo: 8,
+        row: r([2.8, 5.3, 9.4, 16.0, 27.9, 46.0, 73.7, 107.8]),
+    },
+    GpuTable {
+        kernel: "viscoelastic",
+        sdo: 12,
+        row: r([2.5, 4.7, 8.5, 13.1, 23.0, 37.4, 60.4, 88.4]),
+    },
+    GpuTable {
+        kernel: "viscoelastic",
+        sdo: 16,
+        row: r([1.6, 3.1, 6.2, 10.7, 18.6, 31.0, 48.9, 71.6]),
+    },
 ];
 
 /// Headline efficiency figures quoted in §IV-D (SDO 8, 128 units).
@@ -242,10 +306,34 @@ pub struct Headline {
 }
 
 pub const HEADLINES: [Headline; 4] = [
-    Headline { kernel: "acoustic", cpu_gpts_128: 1050.0, cpu_efficiency: 0.64, gpu_gpts_128: 1470.0, gpu_efficiency: 0.37 },
-    Headline { kernel: "elastic", cpu_gpts_128: 106.0, cpu_efficiency: 0.46, gpu_gpts_128: 164.0, gpu_efficiency: 0.25 },
-    Headline { kernel: "tti", cpu_gpts_128: 314.0, cpu_efficiency: 0.69, gpu_gpts_128: 460.0, gpu_efficiency: 0.42 },
-    Headline { kernel: "viscoelastic", cpu_gpts_128: 73.0, cpu_efficiency: 0.46, gpu_gpts_128: 107.0, gpu_efficiency: 0.30 },
+    Headline {
+        kernel: "acoustic",
+        cpu_gpts_128: 1050.0,
+        cpu_efficiency: 0.64,
+        gpu_gpts_128: 1470.0,
+        gpu_efficiency: 0.37,
+    },
+    Headline {
+        kernel: "elastic",
+        cpu_gpts_128: 106.0,
+        cpu_efficiency: 0.46,
+        gpu_gpts_128: 164.0,
+        gpu_efficiency: 0.25,
+    },
+    Headline {
+        kernel: "tti",
+        cpu_gpts_128: 314.0,
+        cpu_efficiency: 0.69,
+        gpu_gpts_128: 460.0,
+        gpu_efficiency: 0.42,
+    },
+    Headline {
+        kernel: "viscoelastic",
+        cpu_gpts_128: 73.0,
+        cpu_efficiency: 0.46,
+        gpu_gpts_128: 107.0,
+        gpu_efficiency: 0.30,
+    },
 ];
 
 /// Look up a CPU reference table.

@@ -2,7 +2,9 @@
 
 use mpix_perf::machine::{archer2_node, tursa_a100};
 use mpix_perf::roofline::roofline_point;
-use mpix_perf::scaling::{efficiency, mode_crossover, strong_scaling, weak_scaling, Mode, ScalePoint};
+use mpix_perf::scaling::{
+    efficiency, mode_crossover, strong_scaling, weak_scaling, Mode, ScalePoint,
+};
 use mpix_solvers::KernelKind;
 
 use crate::paper::{self, UNITS};
@@ -114,9 +116,7 @@ pub fn print_gpu_table(kind: KernelKind, sdo: u32) {
 
 /// Print the weak-scaling runtime chart (paper Fig. 12 / 21–24).
 pub fn print_weak(sdo: u32) {
-    println!(
-        "\n## Weak scaling — runtime [s] at 256³/unit, so-{sdo} (Fig. 12, 21-24)"
-    );
+    println!("\n## Weak scaling — runtime [s] at 256³/unit, so-{sdo} (Fig. 12, 21-24)");
     print!("{:<22}", "units");
     for u in UNITS {
         print!("{u:>8}");
@@ -146,7 +146,9 @@ pub fn print_weak(sdo: u32) {
 
 /// Print the single-unit roofline data (paper Fig. 7).
 pub fn print_fig7() {
-    println!("\n## Single-unit roofline (Fig. 7): OI from the compiler's AST, GFlops/s from the model");
+    println!(
+        "\n## Single-unit roofline (Fig. 7): OI from the compiler's AST, GFlops/s from the model"
+    );
     println!(
         "{:<14} {:>6} | {:>10} {:>12} {:>12} | {:>10} {:>12}",
         "kernel", "OI", "CPU GPts/s", "CPU GFlop/s", "CPU ceiling", "GPU GPts/s", "GPU GFlop/s"
@@ -177,8 +179,18 @@ pub fn print_table1() {
         "MPI mode", "Target", "Communication", "Batches", "#msgs (3D)", "Buffer allocation"
     );
     for (mode, target, comm, batch) in [
-        (HaloMode::Basic, "CPU, GPU", "Sync, no comp overlap", "Multi-step"),
-        (HaloMode::Diagonal, "CPU", "Sync, no comp overlap", "Single-step"),
+        (
+            HaloMode::Basic,
+            "CPU, GPU",
+            "Sync, no comp overlap",
+            "Multi-step",
+        ),
+        (
+            HaloMode::Diagonal,
+            "CPU",
+            "Sync, no comp overlap",
+            "Single-step",
+        ),
         (HaloMode::Full, "CPU", "Async, comp overlap", "Single-step"),
     ] {
         println!(
@@ -279,29 +291,6 @@ pub fn accuracy_report() -> (f64, usize) {
     (mean, n)
 }
 
-#[cfg(test)]
-mod tests {
-    use super::*;
-
-    #[test]
-    fn cpu_rows_are_positive_and_grow() {
-        let rows = model_cpu_rows(KernelKind::Acoustic, 8);
-        for row in rows {
-            assert!(row.iter().all(|&v| v > 0.0));
-            assert!(row[7] > row[0]);
-        }
-    }
-
-    #[test]
-    fn gpu_single_unit_beats_cpu_node() {
-        for kind in KernelKind::all() {
-            let c = model_cpu_rows(kind, 8)[0][0];
-            let g = model_gpu_row(kind, 8)[0];
-            assert!(g > c, "{kind:?}: GPU {g} !> CPU {c}");
-        }
-    }
-}
-
 /// Crossover analysis: where each mode permanently overtakes another,
 /// per kernel and SDO — model vs the paper's published rows.
 pub fn print_crossovers() {
@@ -361,7 +350,7 @@ pub fn print_crossovers() {
 
 /// Machine-readable dump of every modeled curve (for external plotting).
 pub fn json_dump() -> String {
-    use serde_json::json;
+    use mpix_json::{json, Value};
     let mut cpu = Vec::new();
     let mut gpu = Vec::new();
     for kind in KernelKind::all() {
@@ -372,8 +361,8 @@ pub fn json_dump() -> String {
                     "kernel": kind.name(),
                     "sdo": sdo,
                     "mode": mode.label(),
-                    "units": UNITS,
-                    "gpts": rows[mi],
+                    "units": &UNITS[..],
+                    "gpts": rows[mi].to_vec(),
                     "paper": paper::cpu_table(kind, sdo).map(|t| t.rows[mi].to_vec()),
                 }));
             }
@@ -381,8 +370,8 @@ pub fn json_dump() -> String {
                 "kernel": kind.name(),
                 "sdo": sdo,
                 "mode": "Basic",
-                "units": UNITS,
-                "gpts": model_gpu_row(kind, sdo),
+                "units": &UNITS[..],
+                "gpts": model_gpu_row(kind, sdo).to_vec(),
                 "paper": paper::gpu_table(kind, sdo).map(|t| t.row.to_vec()),
             }));
         }
@@ -396,23 +385,79 @@ pub fn json_dump() -> String {
                 .iter()
                 .map(|&u| weak_scaling(&prof, &mach, Mode::Basic, u, &[256, 256, 256], nt).1)
                 .collect();
-            weak.push(serde_json::json!({
+            weak.push(json!({
                 "kernel": kind.name(),
                 "machine": label,
-                "units": UNITS,
+                "units": &UNITS[..],
                 "runtime_s": runtimes,
             }));
         }
     }
-    let profiles: Vec<serde_json::Value> = KernelKind::all()
+    let profiles: Vec<Value> = KernelKind::all()
         .iter()
-        .map(|&k| serde_json::to_value(profile_for(k, 8)).unwrap())
+        .map(|&k| profile_for(k, 8).to_json())
         .collect();
-    serde_json::to_string_pretty(&serde_json::json!({
+    json!({
         "strong_cpu": cpu,
         "strong_gpu": gpu,
         "weak": weak,
         "profiles_sdo8": profiles,
-    }))
-    .unwrap()
+    })
+    .pretty()
+}
+
+/// Per-rank observability readout: run the acoustic kernel for real on
+/// 4 simulated ranks under `TraceLevel::Full`, once per halo mode, and
+/// print each run's [`PerfSummary`] as a table plus machine-readable
+/// JSON (the `trace` layer of this PR, end to end).
+pub fn print_perf() {
+    use mpix_core::Workspace;
+    use mpix_dmp::HaloMode;
+    use mpix_solvers::{ModelSpec, Propagator};
+    use mpix_trace::TraceLevel;
+
+    println!(
+        "\n## Per-rank performance summaries — acoustic so-4, 32³+ABC, 4 ranks, MPIX_TRACE=full"
+    );
+    let spec = ModelSpec::new(&[32, 32, 32]).with_nbl(4);
+    let p = Propagator::build(KernelKind::Acoustic, spec, 4);
+    let nt = 16i64;
+    let pref = &p;
+    let init = move |ws: &mut Workspace| {
+        pref.init(ws);
+        pref.add_ricker_source(ws, 18.0, nt as usize);
+    };
+    for mode in [HaloMode::Basic, HaloMode::Diagonal, HaloMode::Full] {
+        let opts = p
+            .apply_options(nt)
+            .with_mode(mode)
+            .with_ranks(4)
+            .with_trace(TraceLevel::Full);
+        let summary = p.op.run(&opts, init, |_| ()).summary;
+        println!("\n{}", summary.table());
+        println!("json: {}", summary.to_json());
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cpu_rows_are_positive_and_grow() {
+        let rows = model_cpu_rows(KernelKind::Acoustic, 8);
+        for row in rows {
+            assert!(row.iter().all(|&v| v > 0.0));
+            assert!(row[7] > row[0]);
+        }
+    }
+
+    #[test]
+    fn gpu_single_unit_beats_cpu_node() {
+        for kind in KernelKind::all() {
+            let c = model_cpu_rows(kind, 8)[0][0];
+            let g = model_gpu_row(kind, 8)[0];
+            assert!(g > c, "{kind:?}: GPU {g} !> CPU {c}");
+        }
+    }
 }

@@ -59,7 +59,9 @@ pub struct CompiledCluster {
 
 impl CompiledCluster {
     pub fn stream_slot(&self, field: FieldId, toff: i32) -> Option<usize> {
-        self.streams.iter().position(|&(f, t)| (f, t) == (field, toff))
+        self.streams
+            .iter()
+            .position(|&(f, t)| (f, t) == (field, toff))
     }
 }
 
@@ -101,7 +103,11 @@ impl Compiler {
     }
 
     fn stream_slot(&mut self, field: FieldId, toff: i32) -> u32 {
-        if let Some(i) = self.streams.iter().position(|&(f, t)| (f, t) == (field, toff)) {
+        if let Some(i) = self
+            .streams
+            .iter()
+            .position(|&(f, t)| (f, t) == (field, toff))
+        {
             return i as u32;
         }
         self.streams.push((field, toff));
@@ -365,7 +371,16 @@ mod tests {
             bufs.push(&mut read);
         }
         let mut stack = [0.0f32; 16];
-        eval_point(&cc, &mut bufs, &bases, &resolved, &[], &[], &mut [], &mut stack);
+        eval_point(
+            &cc,
+            &mut bufs,
+            &bases,
+            &resolved,
+            &[],
+            &[],
+            &mut [],
+            &mut stack,
+        );
         let w = if read_slot == 0 { &bufs[1] } else { &bufs[0] };
         assert_eq!(w[3], 3.0);
     }
@@ -396,7 +411,16 @@ mod tests {
         } else {
             vec![&mut write, &mut read]
         };
-        eval_point(&cc, &mut bufs, &[1, 1], &resolved, &[], &[], &mut temps, &mut stack);
+        eval_point(
+            &cc,
+            &mut bufs,
+            &[1, 1],
+            &resolved,
+            &[],
+            &[],
+            &mut temps,
+            &mut stack,
+        );
         let w = if rs == 0 { &bufs[1] } else { &bufs[0] };
         assert_eq!(w[1], 12.0);
         assert_eq!(temps[0], 6.0);

@@ -98,7 +98,10 @@ impl Emitter<'_> {
                     self.node(c);
                 }
             }
-            Node::HaloUpdate { exchanges, is_async } => {
+            Node::HaloUpdate {
+                exchanges,
+                is_async,
+            } => {
                 for x in exchanges {
                     let f = self.ctx.field(x.field);
                     let r = x.radius.iter().max().copied().unwrap_or(0);

@@ -17,6 +17,7 @@ use mpix_ir::iet::{Node, RegionKind};
 use mpix_ir::iexpr::IExpr;
 use mpix_ir::passes::MpiMode;
 use mpix_symbolic::{Context, FieldId};
+use mpix_trace::{Section, TraceLevel, TraceReport, Tracer};
 
 use crate::bytecode::{compile_cluster, powi, CompiledCluster, Op};
 
@@ -91,6 +92,9 @@ pub struct ExecOptions {
     pub block: usize,
     /// Shared-memory worker threads per rank (the OpenMP analogue).
     pub threads: usize,
+    /// Instrumentation level; at [`TraceLevel::Off`] (the default) the
+    /// hooks cost one branch per span.
+    pub trace: TraceLevel,
 }
 
 impl Default for ExecOptions {
@@ -99,6 +103,7 @@ impl Default for ExecOptions {
             mode: HaloMode::Basic,
             block: 0,
             threads: 1,
+            trace: TraceLevel::Off,
         }
     }
 }
@@ -118,6 +123,9 @@ pub struct ExecStats {
     pub compute_secs: f64,
     pub halo_secs: f64,
     pub points_updated: u64,
+    /// Per-section trace, present when the run's `trace` level was not
+    /// [`TraceLevel::Off`].
+    pub trace: Option<TraceReport>,
 }
 
 impl ExecStats {
@@ -202,10 +210,20 @@ impl OperatorExec {
         opts: &ExecOptions,
     ) -> ExecStats {
         // Evaluate precomputed parameters (r0 = 1/dt, ...).
-        let max_param = self.param_defs.iter().map(|(i, _)| i + 1).max().unwrap_or(0);
+        let max_param = self
+            .param_defs
+            .iter()
+            .map(|(i, _)| i + 1)
+            .max()
+            .unwrap_or(0);
         let mut params = vec![0.0f32; max_param];
         for (i, def) in &self.param_defs {
             params[*i] = eval_invariant(def, scalars, &params);
+        }
+        // At Full level the communicator logs every message so the report
+        // can break halo traffic down per peer/tag.
+        if opts.trace == TraceLevel::Full {
+            cart.comm().set_msg_log(true);
         }
         let mut st = ExecState {
             cart,
@@ -219,6 +237,7 @@ impl OperatorExec {
             full_ex: FullExchange::new(),
             exchangers: HashMap::new(),
             stats: ExecStats::default(),
+            tracer: Tracer::new(opts.trace),
         };
         let body = match &self.iet {
             Node::Callable { body, .. } => body,
@@ -227,7 +246,19 @@ impl OperatorExec {
         for n in body {
             self.exec_node(n, &mut st, sparse, t0, nt);
         }
-        st.stats
+        let ExecState {
+            mut stats, tracer, ..
+        } = st;
+        if opts.trace.enabled() {
+            let messages = if opts.trace == TraceLevel::Full {
+                cart.comm().set_msg_log(false);
+                cart.comm().take_msg_log()
+            } else {
+                Vec::new()
+            };
+            stats.trace = Some(tracer.finish(cart.comm().rank(), messages));
+        }
+        stats
     }
 
     fn exec_node(
@@ -244,13 +275,17 @@ impl OperatorExec {
                 for t in t0..t0 + nt {
                     st.t = t;
                     st.loop_idx = first_loop;
+                    st.tracer.begin_step(t);
                     for c in body {
                         self.exec_node(c, st, sparse, t0, nt);
                     }
                     self.exec_sparse(st, sparse);
                 }
             }
-            Node::HaloUpdate { exchanges, is_async } => {
+            Node::HaloUpdate {
+                exchanges,
+                is_async,
+            } => {
                 let start = Instant::now();
                 if *is_async {
                     for x in exchanges {
@@ -279,7 +314,13 @@ impl OperatorExec {
                 let radius = cluster.max_radius(cluster.ndim());
                 let max_r = radius.iter().copied().max().unwrap_or(0);
                 self.exec_space_loop(cc, *region, max_r, st);
-                st.stats.compute_secs += start.elapsed().as_secs_f64();
+                let elapsed = start.elapsed().as_secs_f64();
+                st.stats.compute_secs += elapsed;
+                let section = match region {
+                    RegionKind::Remainder => Section::Remainder,
+                    _ => Section::Compute,
+                };
+                st.tracer.add_secs(section, elapsed);
             }
             Node::Section { body, .. } | Node::HaloSpot { body, .. } => {
                 for c in body {
@@ -322,6 +363,11 @@ impl OperatorExec {
     fn exec_sparse(&self, st: &mut ExecState<'_>, sparse: &mut [SparseOp]) {
         let step = st.t;
         for (si, op) in sparse.iter_mut().enumerate() {
+            let section = match op {
+                SparseOp::Inject { .. } | SparseOp::InjectTraces { .. } => Section::Source,
+                SparseOp::Sample { .. } => Section::Receiver,
+            };
+            let sp = st.tracer.begin(section);
             match op {
                 SparseOp::Inject {
                     field,
@@ -376,8 +422,8 @@ impl OperatorExec {
                     let arr = &fs.buffers[b];
                     let mut row = vec![f32::NAN; points.len()];
                     for p in 0..points.len() {
-                        let tag = mpix_comm::comm::RESERVED_TAG_BASE / 2
-                            + (si * points.len() + p) as u32;
+                        let tag =
+                            mpix_comm::comm::RESERVED_TAG_BASE / 2 + (si * points.len() + p) as u32;
                         if let Some(v) = points.interpolate(p, arr, st.cart, tag) {
                             row[p] = v as f32;
                         }
@@ -385,6 +431,7 @@ impl OperatorExec {
                     samples.push(row);
                 }
             }
+            st.tracer.end(sp);
         }
     }
 
@@ -566,7 +613,9 @@ fn exec_box(
                 let mut tile = bx.clone();
                 tile[0] = x0..x1;
                 tile[1] = y0..y1;
-                exec_box_flat(cc, &tile, buffers, strides, halos, resolved, scalars, params);
+                exec_box_flat(
+                    cc, &tile, buffers, strides, halos, resolved, scalars, params,
+                );
                 y0 = y1;
             }
             x0 = x1;
@@ -613,7 +662,9 @@ fn exec_box_flat(
             bases[s] = base;
         }
         for _ in inner.clone() {
-            eval_point_fast(cc, buffers, &bases, resolved, scalars, params, &mut temps, &mut stack);
+            eval_point_fast(
+                cc, buffers, &bases, resolved, scalars, params, &mut temps, &mut stack,
+            );
             for b in bases.iter_mut() {
                 *b += 1; // innermost stride is 1 for every stream
             }
@@ -742,8 +793,16 @@ fn exec_box_threaded(
                 let mut reads = wk.reads;
                 let mut writes = wk.writes;
                 exec_box_mixed(
-                    cc, &sub, &mut reads, &mut writes, strides, halos, resolved, scalars,
-                    params, block,
+                    cc,
+                    &sub,
+                    &mut reads,
+                    &mut writes,
+                    strides,
+                    halos,
+                    resolved,
+                    scalars,
+                    params,
+                    block,
                 );
             });
         }
@@ -994,6 +1053,7 @@ struct ExecState<'a> {
     /// mode keeps its preallocated buffers across steps).
     exchangers: HashMap<(u32, i32), Box<dyn HaloExchange + Send>>,
     stats: ExecStats,
+    tracer: Tracer,
 }
 
 impl ExecState<'_> {
@@ -1014,11 +1074,12 @@ impl ExecState<'_> {
             .exchangers
             .entry(key)
             .or_insert_with(|| mpix_dmp::halo::make_exchange(mode));
-        ex.exchange(
+        ex.exchange_traced(
             self.cart,
             &mut fs.buffers[b],
             radius,
             Self::tag_base(x.field.0, x.time_offset),
+            &mut self.tracer,
         );
     }
 
@@ -1029,11 +1090,12 @@ impl ExecState<'_> {
         }
         let fs = &self.fields[x.field.0 as usize];
         let b = fs.buffer_index(self.t, x.time_offset);
-        let token = self.full_ex.begin(
+        let token = self.full_ex.begin_traced(
             self.cart,
             &fs.buffers[b],
             radius,
             Self::tag_base(x.field.0, x.time_offset),
+            &mut self.tracer,
         );
         self.pending.insert((x.field.0, x.time_offset), token);
     }
@@ -1042,7 +1104,8 @@ impl ExecState<'_> {
         if let Some(token) = self.pending.remove(&(x.field.0, x.time_offset)) {
             let fs = &mut self.fields[x.field.0 as usize];
             let b = fs.buffer_index(self.t, x.time_offset);
-            self.full_ex.finish(token, &mut fs.buffers[b]);
+            self.full_ex
+                .finish_traced(token, &mut fs.buffers[b], &mut self.tracer);
         }
     }
 }
@@ -1187,10 +1250,8 @@ mod tests {
                 for i in 0..12 {
                     for j in 0..10 {
                         for k in 0..8 {
-                            fields[0].buffers[0].set_global(
-                                &[i, j, k],
-                                ((i * 80 + j * 8 + k) % 13) as f32,
-                            );
+                            fields[0].buffers[0]
+                                .set_global(&[i, j, k], ((i * 80 + j * 8 + k) % 13) as f32);
                         }
                     }
                 }
@@ -1210,6 +1271,7 @@ mod tests {
                         mode: HaloMode::Basic,
                         block,
                         threads,
+                        ..ExecOptions::default()
                     },
                 );
                 fields[0].buffers[fields[0].buffer_index(3, 0)]

@@ -224,7 +224,11 @@ mod tests {
         // 4x2x2 topology of Fig. 2a.
         let out = Universe::run(16, |c| {
             let cart = CartComm::new(c, &[4, 2, 2]);
-            (cart.coords().to_vec(), cart.face_neighbors().len(), cart.all_neighbors().len())
+            (
+                cart.coords().to_vec(),
+                cart.face_neighbors().len(),
+                cart.all_neighbors().len(),
+            )
         });
         for (coords, faces, all) in out {
             // Corner rank (0,0,0): 3 face neighbours, 7 total.
@@ -243,7 +247,11 @@ mod tests {
     fn interior_rank_has_26_neighbors_in_3d() {
         let out = Universe::run(27, |c| {
             let cart = CartComm::new(c, &[3, 3, 3]);
-            (cart.coords().to_vec(), cart.all_neighbors().len(), cart.face_neighbors().len())
+            (
+                cart.coords().to_vec(),
+                cart.all_neighbors().len(),
+                cart.face_neighbors().len(),
+            )
         });
         for (coords, all, faces) in out {
             if coords == vec![1, 1, 1] {

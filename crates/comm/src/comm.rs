@@ -1,9 +1,9 @@
 //! The communicator: point-to-point messaging, requests, collectives.
 
-use std::sync::Arc;
-use std::time::Duration;
+use std::sync::{Arc, Condvar, Mutex};
+use std::time::{Duration, Instant};
 
-use parking_lot::{Condvar, Mutex};
+use mpix_trace::{MsgDir, MsgRecord};
 
 use crate::stats::{CommStats, StatsInner};
 
@@ -22,6 +22,9 @@ struct Envelope {
     src: usize,
     tag: Tag,
     data: Vec<u8>,
+    /// When the sender enqueued this message; receivers derive the
+    /// enqueue→match latency logged at `TraceLevel::Full`.
+    sent_at: Instant,
 }
 
 #[derive(Default)]
@@ -107,7 +110,7 @@ impl RecvRequest {
             return true;
         }
         let mailbox = &self.world.mailboxes[self.rank];
-        let mut inner = mailbox.inner.lock();
+        let mut inner = mailbox.inner.lock().unwrap();
         if let Some(pos) = inner
             .queue
             .iter()
@@ -115,7 +118,7 @@ impl RecvRequest {
         {
             let env = inner.queue.remove(pos);
             drop(inner);
-            self.record_recv(env.data.len());
+            self.record_recv(&env);
             self.done = Some(env.data);
             true
         } else {
@@ -140,7 +143,7 @@ impl RecvRequest {
             return d;
         }
         let mailbox = &self.world.mailboxes[self.rank];
-        let mut inner = mailbox.inner.lock();
+        let mut inner = mailbox.inner.lock().unwrap();
         loop {
             if let Some(pos) = inner
                 .queue
@@ -149,18 +152,18 @@ impl RecvRequest {
             {
                 let env = inner.queue.remove(pos);
                 drop(inner);
-                self.record_recv(env.data.len());
+                self.record_recv(&env);
                 return env.data;
             }
-            let timed_out = mailbox
-                .arrived
-                .wait_for(&mut inner, RECV_TIMEOUT)
-                .timed_out();
+            let (guard, timeout) = mailbox.arrived.wait_timeout(inner, RECV_TIMEOUT).unwrap();
             assert!(
-                !timed_out,
+                !timeout.timed_out(),
                 "rank {} deadlocked waiting for (src={}, tag={})",
-                self.rank, self.src, self.tag
+                self.rank,
+                self.src,
+                self.tag
             );
+            inner = guard;
         }
     }
 
@@ -169,10 +172,19 @@ impl RecvRequest {
         bytes_to_f32(&self.wait())
     }
 
-    fn record_recv(&self, bytes: usize) {
-        let mut s = self.world.stats[self.rank].lock();
+    fn record_recv(&self, env: &Envelope) {
+        let mut s = self.world.stats[self.rank].lock().unwrap();
         s.msgs_received += 1;
-        s.bytes_received += bytes as u64;
+        s.bytes_received += env.data.len() as u64;
+        if s.log_messages {
+            s.msg_log.push(MsgRecord {
+                dir: MsgDir::Received,
+                peer: env.src,
+                tag: env.tag,
+                bytes: env.data.len(),
+                latency_secs: env.sent_at.elapsed().as_secs_f64(),
+            });
+        }
     }
 }
 
@@ -201,20 +213,33 @@ impl Comm {
     /// Non-blocking send; completes eagerly.
     pub fn isend(&self, dest: usize, tag: Tag, data: &[u8]) -> SendRequest {
         assert!(dest < self.size, "send to out-of-range rank {dest}");
-        assert!(dest != self.rank, "self-send unsupported (as in the generated code)");
+        assert!(
+            dest != self.rank,
+            "self-send unsupported (as in the generated code)"
+        );
         {
-            let mut s = self.world.stats[self.rank].lock();
+            let mut s = self.world.stats[self.rank].lock().unwrap();
             s.msgs_sent += 1;
             s.bytes_sent += data.len() as u64;
             *s.per_peer_msgs.entry(dest).or_insert(0) += 1;
+            if s.log_messages {
+                s.msg_log.push(MsgRecord {
+                    dir: MsgDir::Sent,
+                    peer: dest,
+                    tag,
+                    bytes: data.len(),
+                    latency_secs: 0.0,
+                });
+            }
         }
         let mailbox = &self.world.mailboxes[dest];
         {
-            let mut inner = mailbox.inner.lock();
+            let mut inner = mailbox.inner.lock().unwrap();
             inner.queue.push(Envelope {
                 src: self.rank,
                 tag,
                 data: data.to_vec(),
+                sent_at: Instant::now(),
             });
         }
         mailbox.arrived.notify_all();
@@ -319,12 +344,35 @@ impl Comm {
 
     /// Snapshot of this rank's traffic counters.
     pub fn stats(&self) -> CommStats {
-        self.world.stats[self.rank].lock().snapshot(self.rank)
+        self.world.stats[self.rank]
+            .lock()
+            .unwrap()
+            .snapshot(self.rank)
     }
 
-    /// Reset this rank's traffic counters.
+    /// Reset this rank's traffic counters (the message log and its
+    /// enable flag survive the reset).
     pub fn reset_stats(&self) {
-        *self.world.stats[self.rank].lock() = StatsInner::default();
+        let mut s = self.world.stats[self.rank].lock().unwrap();
+        let log_messages = s.log_messages;
+        let msg_log = std::mem::take(&mut s.msg_log);
+        *s = StatsInner {
+            log_messages,
+            msg_log,
+            ..StatsInner::default()
+        };
+    }
+
+    /// Enable or disable this rank's per-message log. Off by default;
+    /// the executor switches it on at `TraceLevel::Full`.
+    pub fn set_msg_log(&self, on: bool) {
+        self.world.stats[self.rank].lock().unwrap().log_messages = on;
+    }
+
+    /// Drain this rank's message log (records accumulated since the log
+    /// was enabled or last drained).
+    pub fn take_msg_log(&self) -> Vec<MsgRecord> {
+        std::mem::take(&mut self.world.stats[self.rank].lock().unwrap().msg_log)
     }
 }
 
@@ -489,6 +537,60 @@ mod tests {
         assert_eq!(out[0].bytes_sent, 64);
         assert_eq!(out[1].msgs_received, 2);
         assert_eq!(out[1].bytes_received, 64);
+    }
+
+    #[test]
+    fn msg_log_records_both_directions() {
+        let out = Universe::run(2, |c| {
+            c.set_msg_log(true);
+            if c.rank() == 0 {
+                c.send_f32(1, 11, &[1.0; 4]);
+            } else {
+                c.recv_f32(0, 11);
+            }
+            c.barrier();
+            c.take_msg_log()
+        });
+        assert_eq!(out[0].len(), 1);
+        assert_eq!(out[0][0].dir, MsgDir::Sent);
+        assert_eq!(
+            (out[0][0].peer, out[0][0].tag, out[0][0].bytes),
+            (1, 11, 16)
+        );
+        assert_eq!(out[0][0].latency_secs, 0.0);
+        assert_eq!(out[1].len(), 1);
+        assert_eq!(out[1][0].dir, MsgDir::Received);
+        assert_eq!(
+            (out[1][0].peer, out[1][0].tag, out[1][0].bytes),
+            (0, 11, 16)
+        );
+        assert!(out[1][0].latency_secs >= 0.0);
+    }
+
+    #[test]
+    fn msg_log_off_by_default_and_survives_reset() {
+        let out = Universe::run(2, |c| {
+            if c.rank() == 0 {
+                c.send_f32(1, 1, &[0.0]);
+            } else {
+                c.recv_f32(0, 1);
+            }
+            c.barrier();
+            c.set_msg_log(true);
+            c.reset_stats();
+            if c.rank() == 0 {
+                c.send_f32(1, 2, &[0.0]);
+            } else {
+                c.recv_f32(0, 2);
+            }
+            c.barrier();
+            (c.take_msg_log(), c.stats())
+        });
+        // The first exchange predates set_msg_log; only the second is logged,
+        // and reset_stats keeps the flag (and any already-logged records).
+        assert_eq!(out[0].0.len(), 1);
+        assert_eq!(out[0].0[0].tag, 2);
+        assert_eq!(out[0].1.msgs_sent, 1);
     }
 
     #[test]

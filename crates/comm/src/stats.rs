@@ -6,6 +6,8 @@
 
 use std::collections::BTreeMap;
 
+use mpix_trace::MsgRecord;
+
 /// Internal mutable counters (one per rank, behind a lock).
 #[derive(Default, Debug, Clone)]
 pub(crate) struct StatsInner {
@@ -14,6 +16,10 @@ pub(crate) struct StatsInner {
     pub msgs_received: u64,
     pub bytes_received: u64,
     pub per_peer_msgs: BTreeMap<usize, u64>,
+    /// When set, every send/receive appends a [`MsgRecord`] to `msg_log`.
+    /// Off by default so the counters stay cheap.
+    pub log_messages: bool,
+    pub msg_log: Vec<MsgRecord>,
 }
 
 impl StatsInner {

@@ -39,7 +39,7 @@ fn interleaved_tags_do_not_cross_match() {
     Universe::run(4, |c| {
         let me = c.rank();
         let peer = me ^ 1; // pairs (0,1), (2,3)
-        // Send on 8 tags in a scrambled order.
+                           // Send on 8 tags in a scrambled order.
         let order = [5u32, 2, 7, 0, 3, 6, 1, 4];
         for &t in &order {
             c.send_f32(peer, t, &[t as f32 * 10.0 + me as f32]);
@@ -62,7 +62,7 @@ fn pending_irecvs_complete_in_any_poll_order() {
         } else {
             let mut reqs: Vec<_> = (0..16u32).map(|t| c.irecv(0, t)).collect();
             // Poll in reverse until all complete.
-            let mut done = vec![false; 16];
+            let mut done = [false; 16];
             let mut spins = 0u64;
             while done.iter().any(|d| !d) {
                 for (i, r) in reqs.iter_mut().enumerate().rev() {

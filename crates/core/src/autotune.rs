@@ -42,10 +42,15 @@ impl Operator {
     {
         let mut trials = Vec::new();
         for mode in [HaloMode::Basic, HaloMode::Diagonal, HaloMode::Full] {
-            let opts = base.clone().with_mode(mode).with_nt(trial_nt);
+            let mut opts = base
+                .clone()
+                .with_mode(mode)
+                .with_nt(trial_nt)
+                .with_ranks(nranks);
+            opts.topology = topology.clone();
             // Warm-up step amortizes first-touch allocation effects.
             let t0 = Instant::now();
-            self.apply_distributed(nranks, topology.clone(), &opts, &init, |_| ());
+            self.run(&opts, &init, |_| ());
             trials.push((mode, t0.elapsed().as_secs_f64()));
         }
         let best = trials
@@ -71,9 +76,14 @@ impl Operator {
         assert!(!candidates.is_empty());
         let mut trials = Vec::new();
         for &block in candidates {
-            let opts = base.clone().with_block(block).with_nt(trial_nt);
+            let mut opts = base
+                .clone()
+                .with_block(block)
+                .with_nt(trial_nt)
+                .with_ranks(1);
+            opts.topology = None;
             let t0 = Instant::now();
-            self.apply_local(&opts, &init, |_| ());
+            self.run(&opts, &init, |_| ());
             trials.push((block, t0.elapsed().as_secs_f64()));
         }
         let best = trials
@@ -119,9 +129,13 @@ impl Operator {
         candidates.dedup();
         let mut trials = Vec::new();
         for topo in candidates {
-            let opts = base.clone().with_nt(trial_nt);
+            let opts = base
+                .clone()
+                .with_nt(trial_nt)
+                .with_ranks(nranks)
+                .with_topology(&topo);
             let t0 = Instant::now();
-            self.apply_distributed(nranks, Some(topo.clone()), &opts, &init, |_| ());
+            self.run(&opts, &init, |_| ());
             trials.push((topo, t0.elapsed().as_secs_f64()));
         }
         let best = trials
@@ -153,7 +167,8 @@ mod tests {
         let op = op();
         let base = ApplyOptions::default().with_dt(0.001);
         let report = op.autotune_mode(4, None, &base, 3, |ws| {
-            ws.field_data_mut("u", 0).fill_global_slice(&[4..12, 4..12], 1.0);
+            ws.field_data_mut("u", 0)
+                .fill_global_slice(&[4..12, 4..12], 1.0);
         });
         assert_eq!(report.trials.len(), 3);
         assert!(report.trials.iter().any(|(m, _)| *m == report.best));

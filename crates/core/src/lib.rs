@@ -14,17 +14,20 @@
 //! let op = Operator::build(ctx, grid, vec![stencil]).unwrap();
 //!
 //! // Run on 4 simulated MPI ranks, zero changes to the "user code":
-//! let out = op.apply_distributed(4, None, &ApplyOptions::default().with_nt(1), |ws| {
+//! let out = op.run(&ApplyOptions::default().with_nt(1).with_ranks(4), |ws| {
 //!     ws.field_data_mut("u", 0).fill_global_slice(&[1..3, 1..3], 1.0);
 //! }, |ws| ws.gather("u"));
-//! assert_eq!(out[0].len(), 16);
+//! assert_eq!(out.results[0].len(), 16);
+//! assert_eq!(out.summary.ranks, 4);   // per-rank PerfSummary rides along
 //! ```
 //!
 //! `Operator::build` runs the full compilation pipeline of Fig. 1:
 //! equation lowering → clustering → flop-reduction (parameter hoisting +
 //! CSE) → halo-exchange detection → schedule tree → IET with HaloSpots.
-//! `apply*` lowers the HaloSpots for the selected MPI mode (basic /
-//! diagonal / full) and executes the result on every rank.
+//! `Operator::run` lowers the HaloSpots for the MPI mode selected in
+//! [`ApplyOptions`] (basic / diagonal / full), executes the result on
+//! every rank, and returns the extracted values together with a
+//! cross-rank performance summary.
 
 // Numerical kernels index several arrays with one loop variable; the
 // clippy suggestion (iterators + zip) hurts clarity in stencil code.
@@ -36,12 +39,14 @@ pub mod operator;
 pub mod workspace;
 
 pub use autotune::TuneReport;
-pub use operator::{ApplyOptions, BuildError, Operator};
+pub use operator::{Applied, ApplyOptions, BuildError, Operator};
 pub use workspace::Workspace;
+// The observability vocabulary, so downstream code needs only mpix-core.
+pub use mpix_trace::{PerfSummary, Section, TraceLevel, TraceReport};
 
 /// Convenient glob imports for examples and downstream crates.
 pub mod prelude {
-    pub use crate::{ApplyOptions, Operator, Workspace};
+    pub use crate::{Applied, ApplyOptions, Operator, PerfSummary, TraceLevel, Workspace};
     pub use mpix_comm::{CartComm, Comm, Universe};
     pub use mpix_dmp::{Decomposition, DistArray, HaloMode, SparsePoints};
     pub use mpix_symbolic::{Context, Eq, Expr, FieldHandle, Grid, Stagger};

@@ -12,7 +12,9 @@ use mpix_ir::lowering::{lower_equations, LoweringError};
 use mpix_ir::opcount::{op_counts, OpCounts};
 use mpix_ir::passes::{cse_cluster, lower_halo_spots};
 use mpix_ir::schedule::ScheduleTree;
+use mpix_perf::machine::archer2_node;
 use mpix_symbolic::{Context, Eq, Grid};
+use mpix_trace::{PerfSummary, TraceLevel, TraceReport};
 
 use crate::workspace::Workspace;
 
@@ -30,8 +32,23 @@ impl From<LoweringError> for BuildError {
     }
 }
 
-/// Runtime options for `apply` — the paper's `DEVITO_MPI` mode, blocking
-/// tile, thread count and time-step configuration.
+/// The one runtime configuration for [`Operator::run`] — the paper's
+/// `DEVITO_MPI` mode, blocking tile, thread count, time stepping, rank
+/// topology, and instrumentation level, in a single struct.
+///
+/// The documented configuration path is: start from the builder
+/// (`ApplyOptions::default().with_mode(...).with_ranks(4)...`), then let
+/// the environment override it with [`env_overrides`](Self::env_overrides).
+/// Environment values always win over builder values, mirroring how the
+/// paper's job scripts control a fixed binary:
+///
+/// | variable       | overrides | values                                 |
+/// |----------------|-----------|----------------------------------------|
+/// | `MPIX_MPI`     | `mode`    | `basic`, `diag`/`diag2`, `full`        |
+/// | `MPIX_BLOCK`   | `block`   | tile edge (0 = off)                    |
+/// | `MPIX_THREADS` | `threads` | like `OMP_NUM_THREADS`                 |
+/// | `MPIX_RANKS`   | `ranks`   | simulated MPI ranks                    |
+/// | `MPIX_TRACE`   | `trace`   | `off`, `summary`, `full`               |
 #[derive(Clone, Debug)]
 pub struct ApplyOptions {
     pub mode: HaloMode,
@@ -46,6 +63,14 @@ pub struct ApplyOptions {
     pub dt: Option<f64>,
     /// Extra runtime scalars beyond `dt`/`h_*`.
     pub scalars: Vec<(String, f32)>,
+    /// Simulated MPI ranks for [`Operator::run`].
+    pub ranks: usize,
+    /// Explicit Cartesian topology; `None` = balanced `dims_create`.
+    pub topology: Option<Vec<usize>>,
+    /// Instrumentation level (see `mpix_trace`); `Off` costs a branch.
+    pub trace: TraceLevel,
+    /// Label stamped into the [`PerfSummary`] (e.g. `acoustic-so4`).
+    pub label: String,
 }
 
 impl Default for ApplyOptions {
@@ -58,6 +83,10 @@ impl Default for ApplyOptions {
             t0: 0,
             dt: None,
             scalars: Vec::new(),
+            ranks: 1,
+            topology: None,
+            trace: TraceLevel::Off,
+            label: "operator".to_string(),
         }
     }
 }
@@ -91,30 +120,80 @@ impl ApplyOptions {
         self.scalars.push((name.to_string(), v));
         self
     }
+    pub fn with_ranks(mut self, ranks: usize) -> Self {
+        self.ranks = ranks.max(1);
+        self
+    }
+    pub fn with_topology(mut self, dims: &[usize]) -> Self {
+        self.topology = Some(dims.to_vec());
+        self
+    }
+    pub fn with_trace(mut self, level: TraceLevel) -> Self {
+        self.trace = level;
+        self
+    }
+    pub fn with_label(mut self, label: &str) -> Self {
+        self.label = label.to_string();
+        self
+    }
 
-    /// Read runtime knobs from the environment, mirroring the paper's
-    /// job scripts: `MPIX_MPI` (like `DEVITO_MPI`: `basic`, `diag`,
-    /// `diag2`, `full`), `MPIX_BLOCK` (tile edge) and `MPIX_THREADS`
-    /// (like `OMP_NUM_THREADS`).
-    pub fn from_env() -> Self {
-        let mut o = ApplyOptions::default();
+    /// Apply environment overrides on top of the builder values (env
+    /// wins — see the table on [`ApplyOptions`]). Unset variables leave
+    /// the builder value untouched; a set-but-unparseable value panics,
+    /// like [`TraceLevel::from_env`] — silently ignoring a typo'd job
+    /// script is worse.
+    pub fn env_overrides(mut self) -> Self {
         if let Ok(v) = std::env::var("MPIX_MPI") {
-            if let Some(mode) = HaloMode::parse(&v) {
-                o.mode = mode;
-            }
+            self.mode = HaloMode::parse(&v)
+                .unwrap_or_else(|| panic!("MPIX_MPI={v:?}: expected basic|diag|diag2|full"));
         }
         if let Ok(v) = std::env::var("MPIX_BLOCK") {
-            if let Ok(b) = v.parse() {
-                o.block = b;
-            }
+            self.block = v
+                .parse()
+                .unwrap_or_else(|_| panic!("MPIX_BLOCK={v:?}: expected a block size"));
         }
         if let Ok(v) = std::env::var("MPIX_THREADS") {
-            if let Ok(t) = v.parse::<usize>() {
-                o.threads = t.max(1);
-            }
+            let t: usize = v
+                .parse()
+                .unwrap_or_else(|_| panic!("MPIX_THREADS={v:?}: expected a thread count"));
+            self.threads = t.max(1);
         }
-        o
+        if let Ok(v) = std::env::var("MPIX_RANKS") {
+            let r: usize = v
+                .parse()
+                .unwrap_or_else(|_| panic!("MPIX_RANKS={v:?}: expected a rank count"));
+            self.ranks = r.max(1);
+        }
+        if std::env::var("MPIX_TRACE").is_ok() {
+            self.trace = TraceLevel::from_env();
+        }
+        self
     }
+
+    /// Defaults plus environment overrides — the paper's job-script
+    /// path for a binary with no hard-coded configuration.
+    pub fn from_env() -> Self {
+        ApplyOptions::default().env_overrides()
+    }
+}
+
+/// User-facing label of a halo mode, as stamped into [`PerfSummary`].
+fn mode_label(mode: HaloMode) -> &'static str {
+    match mode {
+        HaloMode::Basic => "basic",
+        HaloMode::Diagonal => "diag",
+        HaloMode::Full => "full",
+    }
+}
+
+/// The result of one [`Operator::run`]: every rank's extracted value
+/// plus the aggregated performance readout.
+pub struct Applied<R> {
+    /// Per-rank results from the `extract` closure, rank order.
+    pub results: Vec<R>,
+    /// Cross-rank performance aggregate (timings are real even at
+    /// `TraceLevel::Off`; section/message detail needs `Summary`/`Full`).
+    pub summary: PerfSummary,
 }
 
 /// A compiled operator: the product of the Fig. 1 pipeline, plus enough
@@ -189,16 +268,28 @@ impl Operator {
         )
     }
 
-    /// Generated C code for the given mode (Listing 11).
-    pub fn c_code(&self, mode: HaloMode) -> String {
-        let lowered = lower_halo_spots(self.iet.clone(), mpi_mode_of(mode));
+    /// Generated C code for the mode selected in `opts` (Listing 11).
+    pub fn c_code_for(&self, opts: &ApplyOptions) -> String {
+        let lowered = lower_halo_spots(self.iet.clone(), mpi_mode_of(opts.mode));
         mpix_codegen::cgen::emit_c(&lowered, &self.ctx)
     }
 
-    /// Mode-lowered executable.
-    pub fn executable(&self, mode: HaloMode) -> OperatorExec {
-        let lowered = lower_halo_spots(self.iet.clone(), mpi_mode_of(mode));
+    /// Executable lowered for the mode selected in `opts`.
+    pub fn executable_for(&self, opts: &ApplyOptions) -> OperatorExec {
+        let lowered = lower_halo_spots(self.iet.clone(), mpi_mode_of(opts.mode));
         OperatorExec::new(lowered, &self.ctx)
+    }
+
+    /// Generated C code for the given mode (Listing 11).
+    #[deprecated(note = "use c_code_for(&ApplyOptions) — mode now lives in ApplyOptions")]
+    pub fn c_code(&self, mode: HaloMode) -> String {
+        self.c_code_for(&ApplyOptions::default().with_mode(mode))
+    }
+
+    /// Mode-lowered executable.
+    #[deprecated(note = "use executable_for(&ApplyOptions) — mode now lives in ApplyOptions")]
+    pub fn executable(&self, mode: HaloMode) -> OperatorExec {
+        self.executable_for(&ApplyOptions::default().with_mode(mode))
     }
 
     /// Default runtime scalars: `dt` and the grid spacings.
@@ -206,10 +297,7 @@ impl Operator {
         let mut m = HashMap::new();
         m.insert("dt".to_string(), opts.dt.unwrap_or(1.0) as f32);
         for d in 0..self.grid.ndim() {
-            m.insert(
-                Grid::spacing_symbol_name(d),
-                self.grid.spacing(d) as f32,
-            );
+            m.insert(Grid::spacing_symbol_name(d), self.grid.spacing(d) as f32);
         }
         for (k, v) in &opts.scalars {
             m.insert(k.clone(), *v);
@@ -238,14 +326,70 @@ impl Operator {
                 mode: opts.mode,
                 block: opts.block,
                 threads: opts.threads,
+                trace: opts.trace,
             },
         )
     }
 
-    /// The paper's zero-code-change promise: run the same operator on
-    /// `nranks` simulated MPI ranks. `init` seeds each rank's data
-    /// (global indexing — every rank runs the same code, as with the
-    /// distributed NumPy arrays); `extract` pulls per-rank results.
+    /// The paper's zero-code-change promise, with observability: run the
+    /// same operator on `opts.ranks` simulated MPI ranks. `init` seeds
+    /// each rank's data (global indexing — every rank runs the same
+    /// code, as with the distributed NumPy arrays); `extract` pulls
+    /// per-rank results. The returned [`Applied`] carries both the
+    /// extracted values and a cross-rank [`PerfSummary`] with the
+    /// roofline ceiling of the reference machine attached.
+    pub fn run<R, FI, FX>(&self, opts: &ApplyOptions, init: FI, extract: FX) -> Applied<R>
+    where
+        R: Send,
+        FI: Fn(&mut Workspace) + Send + Sync,
+        FX: Fn(&mut Workspace) -> R + Send + Sync,
+    {
+        let nranks = opts.ranks.max(1);
+        let dims = opts
+            .topology
+            .clone()
+            .unwrap_or_else(|| dims_create(nranks, self.grid.ndim()));
+        let exec = self.executable_for(opts);
+        let per_rank = Universe::run(nranks, |comm| {
+            let cart = CartComm::new(comm, &dims);
+            let mut ws = Workspace::new(&self.ctx, &self.grid, cart);
+            init(&mut ws);
+            let stats = self.apply(&mut ws, &exec, opts);
+            ws.last_stats = Some(stats.clone());
+            ws.final_t = opts.t0 + opts.nt;
+            (extract(&mut ws), stats)
+        });
+
+        let mut results = Vec::with_capacity(per_rank.len());
+        let mut rank_totals = Vec::with_capacity(per_rank.len());
+        let mut reports: Vec<TraceReport> = Vec::new();
+        for (r, stats) in per_rank {
+            rank_totals.push((stats.total_secs(), stats.points_updated));
+            if let Some(tr) = stats.trace {
+                reports.push(tr);
+            }
+            results.push(r);
+        }
+
+        let oi = self.counts.oi();
+        let machine = archer2_node();
+        let ceiling = (machine.peak_flops).min(machine.mem_bw * oi) / 1e9;
+        let summary = PerfSummary::from_reports(
+            &opts.label,
+            mode_label(opts.mode),
+            opts.nt,
+            self.counts.flops() as f64,
+            oi,
+            &rank_totals,
+            &reports,
+        )
+        .with_roofline(format!("{} (reference)", machine.name), ceiling);
+
+        Applied { results, summary }
+    }
+
+    /// Run on `nranks` simulated MPI ranks, discarding the summary.
+    #[deprecated(note = "use Operator::run — ranks/topology now live in ApplyOptions")]
     pub fn apply_distributed<R, FI, FX>(
         &self,
         nranks: usize,
@@ -259,20 +403,13 @@ impl Operator {
         FI: Fn(&mut Workspace) + Send + Sync,
         FX: Fn(&mut Workspace) -> R + Send + Sync,
     {
-        let dims = topology.unwrap_or_else(|| dims_create(nranks, self.grid.ndim()));
-        let exec = self.executable(opts.mode);
-        Universe::run(nranks, |comm| {
-            let cart = CartComm::new(comm, &dims);
-            let mut ws = Workspace::new(&self.ctx, &self.grid, cart);
-            init(&mut ws);
-            let stats = self.apply(&mut ws, &exec, opts);
-            ws.last_stats = Some(stats);
-            ws.final_t = opts.t0 + opts.nt;
-            extract(&mut ws)
-        })
+        let mut opts = opts.clone().with_ranks(nranks);
+        opts.topology = topology;
+        self.run(&opts, init, extract).results
     }
 
     /// Single-rank convenience (serial reference runs).
+    #[deprecated(note = "use Operator::run with the default single-rank ApplyOptions")]
     pub fn apply_local<R>(
         &self,
         opts: &ApplyOptions,
@@ -282,7 +419,10 @@ impl Operator {
     where
         R: Send,
     {
-        self.apply_distributed(1, None, opts, init, extract)
+        let mut opts = opts.clone().with_ranks(1);
+        opts.topology = None;
+        self.run(&opts, init, extract)
+            .results
             .into_iter()
             .next()
             .unwrap()
@@ -295,19 +435,46 @@ mod tests {
 
     #[test]
     fn apply_options_from_env_parses_job_script_values() {
-        // Serialize env mutation within this test.
+        // Serialize ALL env mutation within this one test: the env is
+        // process-global and tests run on parallel threads.
         std::env::set_var("MPIX_MPI", "diag2");
         std::env::set_var("MPIX_BLOCK", "16");
         std::env::set_var("MPIX_THREADS", "4");
+        std::env::set_var("MPIX_RANKS", "8");
+        std::env::set_var("MPIX_TRACE", "summary");
         let o = ApplyOptions::from_env();
         assert_eq!(o.mode, HaloMode::Diagonal);
         assert_eq!(o.block, 16);
         assert_eq!(o.threads, 4);
+        assert_eq!(o.ranks, 8);
+        assert_eq!(o.trace, TraceLevel::Summary);
+
+        // Precedence: environment beats builder.
+        let o = ApplyOptions::default()
+            .with_mode(HaloMode::Full)
+            .with_block(64)
+            .with_trace(TraceLevel::Full)
+            .env_overrides();
+        assert_eq!(o.mode, HaloMode::Diagonal);
+        assert_eq!(o.block, 16);
+        assert_eq!(o.trace, TraceLevel::Summary);
+
         std::env::remove_var("MPIX_MPI");
         std::env::remove_var("MPIX_BLOCK");
         std::env::remove_var("MPIX_THREADS");
+        std::env::remove_var("MPIX_RANKS");
+        std::env::remove_var("MPIX_TRACE");
         let o = ApplyOptions::from_env();
         assert_eq!(o.mode, HaloMode::Basic);
         assert_eq!(o.block, 0);
+        assert_eq!(o.trace, TraceLevel::Off);
+
+        // Unset env leaves builder values untouched.
+        let o = ApplyOptions::default()
+            .with_mode(HaloMode::Full)
+            .with_ranks(4)
+            .env_overrides();
+        assert_eq!(o.mode, HaloMode::Full);
+        assert_eq!(o.ranks, 4);
     }
 }

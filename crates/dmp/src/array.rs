@@ -246,7 +246,8 @@ impl DistArray {
     /// Global L2 norm over owned points (collective).
     pub fn norm2(&self, comm: &Comm) -> f64 {
         let local: f64 = self.owned_fold(0.0, |acc, v| acc + (v as f64) * (v as f64));
-        comm.allreduce_f64(local, mpix_comm::comm::ReduceOp::Sum).sqrt()
+        comm.allreduce_f64(local, mpix_comm::comm::ReduceOp::Sum)
+            .sqrt()
     }
 
     /// Global sum over owned points (collective).

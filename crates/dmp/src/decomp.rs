@@ -107,7 +107,12 @@ impl Decomposition {
 
     /// Intersect a global range along `d` with the ownership of column
     /// `c`, returning the *local* range, or `None` when disjoint.
-    pub fn intersect_local(&self, d: usize, c: usize, global: &Range<usize>) -> Option<Range<usize>> {
+    pub fn intersect_local(
+        &self,
+        d: usize,
+        c: usize,
+        global: &Range<usize>,
+    ) -> Option<Range<usize>> {
         let owned = self.owned_range(d, c);
         let lo = global.start.max(owned.start);
         let hi = global.end.min(owned.end);

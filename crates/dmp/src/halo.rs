@@ -17,6 +17,7 @@
 //! analogue), and `finish()` before computing the remainder (Listing 8).
 
 use mpix_comm::{CartComm, RecvRequest, Tag};
+use mpix_trace::{Section, Tracer};
 
 use crate::array::DistArray;
 use crate::regions::{box_len, BoxNd};
@@ -63,10 +64,24 @@ impl HaloMode {
 
 /// A synchronous halo exchange strategy for one field.
 pub trait HaloExchange {
-    /// Update the halo of `arr` with width `radius` from all neighbours.
-    /// `tag_base` namespaces messages when multiple fields exchange in
-    /// the same step.
-    fn exchange(&mut self, cart: &CartComm, arr: &mut DistArray, radius: usize, tag_base: Tag);
+    /// Update the halo of `arr` with width `radius` from all neighbours,
+    /// attributing pack/send/wait/unpack wall time to `tracer`'s halo
+    /// sections. `tag_base` namespaces messages when multiple fields
+    /// exchange in the same step.
+    fn exchange_traced(
+        &mut self,
+        cart: &CartComm,
+        arr: &mut DistArray,
+        radius: usize,
+        tag_base: Tag,
+        tracer: &mut Tracer,
+    );
+
+    /// Untraced convenience wrapper around
+    /// [`exchange_traced`](Self::exchange_traced).
+    fn exchange(&mut self, cart: &CartComm, arr: &mut DistArray, radius: usize, tag_base: Tag) {
+        self.exchange_traced(cart, arr, radius, tag_base, &mut Tracer::off());
+    }
 }
 
 // ---------------------------------------------------------------------------
@@ -80,7 +95,14 @@ pub trait HaloExchange {
 pub struct BasicExchange;
 
 impl HaloExchange for BasicExchange {
-    fn exchange(&mut self, cart: &CartComm, arr: &mut DistArray, radius: usize, tag_base: Tag) {
+    fn exchange_traced(
+        &mut self,
+        cart: &CartComm,
+        arr: &mut DistArray,
+        radius: usize,
+        tag_base: Tag,
+        tracer: &mut Tracer,
+    ) {
         let nd = arr.local_shape().len();
         let halo = arr.halo();
         assert!(radius <= halo);
@@ -141,13 +163,21 @@ impl HaloExchange for BasicExchange {
                         .collect();
                     // Runtime allocation, as in the paper's basic mode.
                     let mut buf = Vec::new();
+                    let sp = tracer.begin(Section::HaloPack);
                     arr.pack_box(&send_box, &mut buf);
+                    tracer.end(sp);
+                    let sp = tracer.begin(Section::HaloSend);
                     cart.comm().isend_f32(peer, tag, &buf);
+                    tracer.end(sp);
                 }
             }
             for (req, recv_box) in reqs {
+                let sp = tracer.begin(Section::HaloWait);
                 let data = req.wait_f32();
+                tracer.end(sp);
+                let sp = tracer.begin(Section::HaloUnpack);
                 arr.unpack_box(&recv_box, &data);
+                tracer.end(sp);
             }
         }
     }
@@ -176,7 +206,8 @@ impl DiagonalExchange {
 
     /// Encode a displacement as a dense code in `0..3^nd`.
     fn code_of(disp: &[i32]) -> usize {
-        disp.iter().fold(0usize, |acc, &d| acc * 3 + (d + 1) as usize)
+        disp.iter()
+            .fold(0usize, |acc, &d| acc * 3 + (d + 1) as usize)
     }
 
     /// The owned-side box to *send* toward displacement `disp`.
@@ -220,7 +251,14 @@ impl Default for DiagonalExchange {
 }
 
 impl HaloExchange for DiagonalExchange {
-    fn exchange(&mut self, cart: &CartComm, arr: &mut DistArray, radius: usize, tag_base: Tag) {
+    fn exchange_traced(
+        &mut self,
+        cart: &CartComm,
+        arr: &mut DistArray,
+        radius: usize,
+        tag_base: Tag,
+        tracer: &mut Tracer,
+    ) {
         let nd = arr.local_shape().len();
         if self.send_bufs.len() != 3usize.pow(nd as u32) {
             // One-time preallocation (construction can't know nd/shape).
@@ -243,12 +281,20 @@ impl HaloExchange for DiagonalExchange {
             let sb = Self::send_box(arr, disp, radius);
             let code = Self::code_of(disp);
             let buf = &mut self.send_bufs[code];
+            let sp = tracer.begin(Section::HaloPack);
             arr.pack_box(&sb, buf);
+            tracer.end(sp);
+            let sp = tracer.begin(Section::HaloSend);
             cart.comm().isend_f32(*peer, tag, buf);
+            tracer.end(sp);
         }
         for (req, rb) in reqs {
+            let sp = tracer.begin(Section::HaloWait);
             let data = req.wait_f32();
+            tracer.end(sp);
+            let sp = tracer.begin(Section::HaloUnpack);
             arr.unpack_box(&rb, &data);
+            tracer.end(sp);
         }
     }
 }
@@ -313,6 +359,18 @@ impl FullExchange {
         radius: usize,
         tag_base: Tag,
     ) -> FullToken {
+        self.begin_traced(cart, arr, radius, tag_base, &mut Tracer::off())
+    }
+
+    /// [`begin`](Self::begin) with pack/send spans attributed to `tracer`.
+    pub fn begin_traced(
+        &mut self,
+        cart: &CartComm,
+        arr: &DistArray,
+        radius: usize,
+        tag_base: Tag,
+        tracer: &mut Tracer,
+    ) -> FullToken {
         let nd = arr.local_shape().len();
         if self.send_bufs.len() != 3usize.pow(nd as u32) {
             self.send_bufs = vec![Vec::new(); 3usize.pow(nd as u32)];
@@ -332,8 +390,12 @@ impl FullExchange {
             let sb = DiagonalExchange::send_box(arr, disp, radius);
             let code = DiagonalExchange::code_of(disp);
             let buf = &mut self.send_bufs[code];
+            let sp = tracer.begin(Section::HaloPack);
             arr.pack_box(&sb, buf);
+            tracer.end(sp);
+            let sp = tracer.begin(Section::HaloSend);
             cart.comm().isend_f32(*peer, tag, buf);
+            tracer.end(sp);
         }
         FullToken { pending }
     }
@@ -341,10 +403,22 @@ impl FullExchange {
     /// Wait for all remaining messages and unpack them (`halo_wait()` in
     /// Listing 8).
     pub fn finish(&mut self, token: FullToken, arr: &mut DistArray) {
+        self.finish_traced(token, arr, &mut Tracer::off());
+    }
+
+    /// [`finish`](Self::finish) with wait/unpack spans attributed to
+    /// `tracer`. In overlap mode the wait section shrinks as messages
+    /// arrive during the CORE computation — exactly the effect the
+    /// paper's *full* pattern exists to create.
+    pub fn finish_traced(&mut self, token: FullToken, arr: &mut DistArray, tracer: &mut Tracer) {
         for (req, rb) in token.pending {
+            let sp = tracer.begin(Section::HaloWait);
             let data = req.wait_f32();
+            tracer.end(sp);
+            let sp = tracer.begin(Section::HaloUnpack);
             debug_assert_eq!(data.len(), box_len(&rb));
             arr.unpack_box(&rb, &data);
+            tracer.end(sp);
         }
     }
 }
@@ -358,9 +432,16 @@ impl Default for FullExchange {
 impl HaloExchange for FullExchange {
     /// Degenerate synchronous use: begin + finish back to back (no
     /// overlap). The operator executor uses `begin`/`finish` directly.
-    fn exchange(&mut self, cart: &CartComm, arr: &mut DistArray, radius: usize, tag_base: Tag) {
-        let token = self.begin(cart, arr, radius, tag_base);
-        self.finish(token, arr);
+    fn exchange_traced(
+        &mut self,
+        cart: &CartComm,
+        arr: &mut DistArray,
+        radius: usize,
+        tag_base: Tag,
+        tracer: &mut Tracer,
+    ) {
+        let token = self.begin_traced(cart, arr, radius, tag_base, tracer);
+        self.finish_traced(token, arr, tracer);
     }
 }
 
@@ -441,7 +522,9 @@ mod tests {
                 };
                 let got = arr.get_padded(pidx);
                 if got != want {
-                    errors.push(format!("coords {coords:?} p {pidx:?}: got {got} want {want}"));
+                    errors.push(format!(
+                        "coords {coords:?} p {pidx:?}: got {got} want {want}"
+                    ));
                 }
             });
             assert!(errors.is_empty(), "{mode:?}: {}", errors.join("; "));

@@ -37,8 +37,6 @@ pub mod sparse;
 
 pub use array::DistArray;
 pub use decomp::Decomposition;
-pub use halo::{
-    BasicExchange, DiagonalExchange, FullExchange, FullToken, HaloExchange, HaloMode,
-};
+pub use halo::{BasicExchange, DiagonalExchange, FullExchange, FullToken, HaloExchange, HaloMode};
 pub use regions::{remainder_boxes, BoxNd, Region};
 pub use sparse::SparsePoints;

@@ -175,10 +175,7 @@ mod tests {
         let b: BoxNd = vec![0..2, 1..3];
         let mut got = Vec::new();
         for_each_index(&b, |i| got.push(i.to_vec()));
-        assert_eq!(
-            got,
-            vec![vec![0, 1], vec![0, 2], vec![1, 1], vec![1, 2]]
-        );
+        assert_eq!(got, vec![vec![0, 1], vec![0, 2], vec![1, 1], vec![1, 2]]);
     }
 
     #[test]

@@ -157,13 +157,7 @@ impl SparsePoints {
     /// `Some(value)` on the primary owner, `None` elsewhere.
     ///
     /// All replicated ranks must call this collectively.
-    pub fn interpolate(
-        &self,
-        p: usize,
-        arr: &DistArray,
-        cart: &CartComm,
-        tag: Tag,
-    ) -> Option<f64> {
+    pub fn interpolate(&self, p: usize, arr: &DistArray, cart: &CartComm, tag: Tag) -> Option<f64> {
         let decomp = arr.decomp();
         let owners = self.owner_coords(p, decomp);
         let me = arr.coords().to_vec();
@@ -263,8 +257,8 @@ mod tests {
     fn inject_writes_each_node_once_across_replicas() {
         let dc = Arc::new(decomp());
         let sp = points(vec![vec![3.5, 3.5]]); // shared by 4 ranks
-        // Simulate all four ranks injecting; sum of all shards must equal
-        // the injected value (weights partition unity).
+                                               // Simulate all four ranks injecting; sum of all shards must equal
+                                               // the injected value (weights partition unity).
         let mut total = 0.0f64;
         for ci in 0..2 {
             for cj in 0..2 {

@@ -31,8 +31,7 @@ fn exchange_snapshot(
         let starts: Vec<usize> = (0..nd)
             .map(|d| dc.owned_range(d, coords[d]).start)
             .collect();
-        let local: Vec<std::ops::Range<usize>> =
-            arr.local_shape().iter().map(|&n| 0..n).collect();
+        let local: Vec<std::ops::Range<usize>> = arr.local_shape().iter().map(|&n| 0..n).collect();
         let mut writes = Vec::new();
         for_each_index(&local, |idx| {
             let mut lin = 0usize;

@@ -192,8 +192,7 @@ mod tests {
         let cl = clusterize(&lower_equations(&[eq1, eq2], &ctx).unwrap());
         assert_eq!(cl.len(), 2);
         let plan = detect_halo_exchanges(&cl, &ctx);
-        let cluster1_fields: Vec<FieldId> =
-            plan.per_cluster[1].iter().map(|x| x.field).collect();
+        let cluster1_fields: Vec<FieldId> = plan.per_cluster[1].iter().map(|x| x.field).collect();
         assert!(cluster1_fields.contains(&a.id()));
         assert!(
             !cluster1_fields.contains(&u.id()),

@@ -81,7 +81,9 @@ impl Node {
                 params,
                 body: map_body(body),
             },
-            Node::TimeLoop { body } => Node::TimeLoop { body: map_body(body) },
+            Node::TimeLoop { body } => Node::TimeLoop {
+                body: map_body(body),
+            },
             Node::HaloSpot { exchanges, body } => Node::HaloSpot {
                 exchanges,
                 body: map_body(body),
@@ -201,7 +203,10 @@ fn print_node(n: &Node, ctx: &Context, depth: usize, f: &mut fmt::Formatter<'_>)
             }
             Ok(())
         }
-        Node::HaloUpdate { exchanges, is_async } => writeln!(
+        Node::HaloUpdate {
+            exchanges,
+            is_async,
+        } => writeln!(
             f,
             "{pad}<HaloUpdateCall{}({})>",
             if *is_async { "[async]" } else { "" },
@@ -298,7 +303,13 @@ mod tests {
     #[test]
     fn printer_reproduces_listing5_shape() {
         let (iet, ctx) = diffusion_iet();
-        let s = format!("{}", IetPrinter { node: &iet, ctx: &ctx });
+        let s = format!(
+            "{}",
+            IetPrinter {
+                node: &iet,
+                ctx: &ctx
+            }
+        );
         assert!(s.contains("<Callable Kernel>"), "{s}");
         assert!(s.contains("Iteration time"), "{s}");
         assert!(s.contains("<HaloSpot(u[t+0]) >"), "{s}");

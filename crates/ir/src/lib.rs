@@ -35,8 +35,8 @@ pub mod schedule;
 
 pub use cluster::{clusterize, Cluster, Stmt};
 pub use halo::{detect_halo_exchanges, HaloPlan, HaloXchg};
-pub use iexpr::{IExpr, IdxAccess};
 pub use iet::{build_iet, Node, RegionKind};
+pub use iexpr::{IExpr, IdxAccess};
 pub use lowering::{lower_equations, LoweredEq, LoweringError};
 pub use opcount::{op_counts, OpCounts};
 pub use passes::{cse_cluster, lower_halo_spots};

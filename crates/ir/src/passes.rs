@@ -209,9 +209,7 @@ pub fn lower_halo_spots(iet: Node, mode: MpiMode) -> Node {
             if exchanges.is_empty() {
                 return body;
             }
-            let has_loop = body
-                .iter()
-                .any(|b| matches!(b, Node::SpaceLoop { .. }));
+            let has_loop = body.iter().any(|b| matches!(b, Node::SpaceLoop { .. }));
             match mode {
                 MpiMode::Basic | MpiMode::Diagonal => {
                     let mut out = vec![Node::HaloUpdate {
@@ -352,14 +350,20 @@ mod tests {
                     time_offset: 1,
                     deltas: vec![0, 0],
                 },
-                value: IExpr::Add(vec![rep.clone(), IExpr::Mul(vec![IExpr::Sym("a".into()), rep])]),
+                value: IExpr::Add(vec![
+                    rep.clone(),
+                    IExpr::Mul(vec![IExpr::Sym("a".into()), rep]),
+                ]),
             }],
             params: vec![],
             num_temps: 0,
         };
         let mut next = 0;
         cse_cluster(&mut cl, &mut next);
-        assert!(cl.num_temps >= 1, "expected a temp for the repeated subtree");
+        assert!(
+            cl.num_temps >= 1,
+            "expected a temp for the repeated subtree"
+        );
         assert!(matches!(cl.stmts[0], Stmt::Let { .. }));
     }
 
@@ -371,7 +375,13 @@ mod tests {
         let low = lower_halo_spots(iet, MpiMode::Basic);
         assert_eq!(low.count(&|n| matches!(n, Node::HaloSpot { .. })), 0);
         assert_eq!(
-            low.count(&|n| matches!(n, Node::HaloUpdate { is_async: false, .. })),
+            low.count(&|n| matches!(
+                n,
+                Node::HaloUpdate {
+                    is_async: false,
+                    ..
+                }
+            )),
             1
         );
         assert_eq!(low.count(&|n| matches!(n, Node::HaloWait { .. })), 0);

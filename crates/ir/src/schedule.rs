@@ -33,11 +33,7 @@ impl ScheduleTree {
     /// cluster).
     pub fn build(clusters: &[Cluster], plan: &HaloPlan, ctx: &Context) -> ScheduleTree {
         let name = |x: &crate::halo::HaloXchg| {
-            format!(
-                "{}[t{:+}]",
-                ctx.field(x.field).name,
-                x.time_offset
-            )
+            format!("{}[t{:+}]", ctx.field(x.field).name, x.time_offset)
         };
         let mut top = Vec::new();
         if !plan.hoisted.is_empty() {
@@ -46,9 +42,7 @@ impl ScheduleTree {
         let mut time_body = Vec::new();
         for (ci, cl) in clusters.iter().enumerate() {
             if !plan.per_cluster[ci].is_empty() {
-                time_body.push(SNode::Halo(
-                    plan.per_cluster[ci].iter().map(name).collect(),
-                ));
+                time_body.push(SNode::Halo(plan.per_cluster[ci].iter().map(name).collect()));
             }
             time_body.push(SNode::Exprs {
                 cluster: ci,

@@ -1,10 +1,8 @@
 //! Machine descriptions for the paper's two systems (§IV-A).
 
-use serde::{Deserialize, Serialize};
-
 /// One scalable compute unit (a CPU node or a GPU device) plus its
 /// interconnect characteristics.
-#[derive(Clone, Debug, Serialize, Deserialize)]
+#[derive(Clone, Debug)]
 pub struct MachineSpec {
     pub name: String,
     /// Peak FP32 throughput per unit (flop/s).

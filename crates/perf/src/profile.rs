@@ -1,13 +1,13 @@
 //! Kernel profiles: the compiler-derived characteristics the performance
 //! model consumes.
 
-use serde::{Deserialize, Serialize};
+use mpix_json::{json, Value};
 
 /// Everything the scaling model needs to know about one compiled
 /// operator. Constructed by the benchmark harness from real
 /// `mpix_core::Operator`s (`Operator::op_counts`, `Operator::halo_plan`);
 /// the synthetic constructors below exist for unit tests only.
-#[derive(Clone, Debug, Serialize, Deserialize)]
+#[derive(Clone, Debug)]
 pub struct KernelProfile {
     pub name: String,
     /// Spatial discretization order.
@@ -99,6 +99,23 @@ impl KernelProfile {
     /// Operational intensity (flops per byte).
     pub fn oi(&self) -> f64 {
         self.flops_per_pt / self.bytes_per_pt
+    }
+
+    /// Machine-readable form for the experiment dumps.
+    pub fn to_json(&self) -> Value {
+        json!({
+            "name": &self.name,
+            "sdo": self.sdo,
+            "flops_per_pt": self.flops_per_pt,
+            "bytes_per_pt": self.bytes_per_pt,
+            "raw_loads": self.raw_loads,
+            "working_set": self.working_set,
+            "exchanged_buffers": self.exchanged_buffers,
+            "exchange_phases": self.exchange_phases,
+            "radius": self.radius,
+            "clusters": self.clusters,
+            "efficiency": vec![self.efficiency.0, self.efficiency.1],
+        })
     }
 }
 

@@ -1,13 +1,11 @@
 //! Single-unit roofline data (paper Fig. 7).
 
-use serde::{Deserialize, Serialize};
-
 use crate::machine::MachineSpec;
 use crate::profile::KernelProfile;
 use crate::scaling::{strong_scaling, Mode};
 
 /// One kernel's position on the roofline plot.
-#[derive(Clone, Debug, Serialize, Deserialize)]
+#[derive(Clone, Debug)]
 pub struct RooflinePoint {
     pub kernel: String,
     /// Operational intensity (flops/byte), computed at compile time from

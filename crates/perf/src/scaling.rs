@@ -1,14 +1,12 @@
 //! Strong and weak scaling generation (paper §IV-D, §IV-E).
 
-use serde::{Deserialize, Serialize};
-
 use crate::machine::MachineSpec;
 use crate::network::comm_time_per_step;
 use crate::profile::KernelProfile;
 
 /// Exchange mode (mirror of the runtime's `HaloMode`; kept local so the
 /// model crate has no runtime dependency).
-#[derive(Clone, Copy, PartialEq, Eq, Debug, Serialize, Deserialize)]
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
 pub enum Mode {
     Basic,
     Diagonal,
@@ -29,7 +27,7 @@ impl Mode {
 }
 
 /// One point of a scaling curve.
-#[derive(Clone, Debug, Serialize, Deserialize)]
+#[derive(Clone, Debug)]
 pub struct ScalePoint {
     pub units: usize,
     /// Modeled time per time step (s).
@@ -365,7 +363,14 @@ mod crossover_tests {
         // basic overtakes once messages shrink (paper Tables III/V).
         let p = KernelProfile::synthetic_memory_bound();
         let m = archer2_node();
-        let x = mode_crossover(&p, &m, &[1024, 1024, 1024], Mode::Basic, Mode::Diagonal, &UNITS);
+        let x = mode_crossover(
+            &p,
+            &m,
+            &[1024, 1024, 1024],
+            Mode::Basic,
+            Mode::Diagonal,
+            &UNITS,
+        );
         assert!(x.is_some(), "basic must eventually overtake diagonal");
         assert!(x.unwrap() >= 16, "crossover should be at scale, got {x:?}");
     }
@@ -378,7 +383,14 @@ mod crossover_tests {
         // diag at 128 nodes but nowhere before 16).
         let p = KernelProfile::synthetic_memory_bound();
         let m = archer2_node();
-        let x = mode_crossover(&p, &m, &[1024, 1024, 1024], Mode::Full, Mode::Diagonal, &UNITS);
+        let x = mode_crossover(
+            &p,
+            &m,
+            &[1024, 1024, 1024],
+            Mode::Full,
+            Mode::Diagonal,
+            &UNITS,
+        );
         assert!(
             x.is_none() || x.unwrap() >= 32,
             "full overtook diagonal too early: {x:?}"

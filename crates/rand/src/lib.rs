@@ -1,0 +1,122 @@
+//! Local stand-in for the `rand` crate.
+//!
+//! The build environment has no registry access, so this workspace-internal
+//! crate provides exactly the slice of the `rand 0.8` API our tests use:
+//! `rngs::StdRng`, `SeedableRng::seed_from_u64`, and `Rng::gen_range` over
+//! half-open ranges. The generator is splitmix64 — deterministic, seedable,
+//! and plenty for test-input shuffling (not cryptographic).
+
+/// Seedable construction, mirroring `rand::SeedableRng`.
+pub trait SeedableRng: Sized {
+    fn seed_from_u64(seed: u64) -> Self;
+}
+
+/// Sampling interface, mirroring the subset of `rand::Rng` we use.
+pub trait Rng {
+    fn next_u64(&mut self) -> u64;
+
+    /// Uniform sample from a half-open range. Panics on empty ranges.
+    fn gen_range<T: SampleUniform>(&mut self, range: std::ops::Range<T>) -> T {
+        T::sample(self.next_u64(), &range)
+    }
+}
+
+/// Types that can be drawn uniformly from a `Range` by [`Rng::gen_range`].
+pub trait SampleUniform: Copy + PartialOrd {
+    fn sample(word: u64, range: &std::ops::Range<Self>) -> Self;
+}
+
+macro_rules! uniform_int {
+    ($($t:ty => $wide:ty),*) => {
+        $(impl SampleUniform for $t {
+            fn sample(word: u64, range: &std::ops::Range<Self>) -> Self {
+                assert!(range.start < range.end, "gen_range on empty range");
+                let span = (range.end as $wide).wrapping_sub(range.start as $wide) as u64;
+                // Modulo bias is irrelevant at test-input scales.
+                (range.start as $wide).wrapping_add((word % span) as $wide) as $t
+            }
+        })*
+    };
+}
+uniform_int!(u8 => u64, u16 => u64, u32 => u64, u64 => u64, usize => u64,
+             i8 => i64, i16 => i64, i32 => i64, i64 => i64, isize => i64);
+
+impl SampleUniform for f64 {
+    fn sample(word: u64, range: &std::ops::Range<Self>) -> Self {
+        assert!(range.start < range.end, "gen_range on empty range");
+        let unit = (word >> 11) as f64 / (1u64 << 53) as f64;
+        range.start + unit * (range.end - range.start)
+    }
+}
+
+impl SampleUniform for f32 {
+    fn sample(word: u64, range: &std::ops::Range<Self>) -> Self {
+        f64::sample(word, &((range.start as f64)..(range.end as f64))) as f32
+    }
+}
+
+pub mod rngs {
+    use super::{Rng, SeedableRng};
+
+    /// Deterministic seedable generator (splitmix64).
+    #[derive(Clone, Debug)]
+    pub struct StdRng {
+        state: u64,
+    }
+
+    impl SeedableRng for StdRng {
+        fn seed_from_u64(seed: u64) -> StdRng {
+            StdRng {
+                state: seed.wrapping_add(0x9E37_79B9_7F4A_7C15),
+            }
+        }
+    }
+
+    impl Rng for StdRng {
+        fn next_u64(&mut self) -> u64 {
+            self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+            let mut z = self.state;
+            z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+            z ^ (z >> 31)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::rngs::StdRng;
+    use super::{Rng, SeedableRng};
+
+    #[test]
+    fn deterministic_for_fixed_seed() {
+        let mut a = StdRng::seed_from_u64(7);
+        let mut b = StdRng::seed_from_u64(7);
+        for _ in 0..100 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+    }
+
+    #[test]
+    fn ranges_stay_in_bounds() {
+        let mut rng = StdRng::seed_from_u64(42);
+        for _ in 0..1000 {
+            let u = rng.gen_range(0usize..17);
+            assert!(u < 17);
+            let i = rng.gen_range(-8i32..8);
+            assert!((-8..8).contains(&i));
+            let f = rng.gen_range(-1.5f64..2.5);
+            assert!((-1.5..2.5).contains(&f));
+        }
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let mut a = StdRng::seed_from_u64(1);
+        let mut b = StdRng::seed_from_u64(2);
+        assert_ne!(
+            (0..8).map(|_| a.next_u64()).collect::<Vec<_>>(),
+            (0..8).map(|_| b.next_u64()).collect::<Vec<_>>()
+        );
+    }
+}

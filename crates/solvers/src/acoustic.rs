@@ -33,6 +33,9 @@ pub fn init_workspace(spec: &ModelSpec, ws: &mut Workspace) {
 pub const MAIN_FIELD: &str = "u";
 
 #[cfg(test)]
+// Deliberately keeps exercising the deprecated apply_* shims so the
+// back-compat wrappers stay covered; new code should use Operator::run.
+#[allow(deprecated)]
 mod tests {
     use super::*;
     use mpix_core::ApplyOptions;

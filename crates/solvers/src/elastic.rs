@@ -142,6 +142,9 @@ pub fn seed_pressure_source(spec: &ModelSpec, ws: &mut Workspace, amp: f32) {
 }
 
 #[cfg(test)]
+// Deliberately keeps exercising the deprecated apply_* shims so the
+// back-compat wrappers stay covered; new code should use Operator::run.
+#[allow(deprecated)]
 mod tests {
     use super::*;
     use mpix_core::ApplyOptions;
@@ -216,18 +219,20 @@ mod tests {
         };
         let serial = op.apply_local(&opts, &init, |ws| (ws.gather("txx"), ws.gather("vx")));
         for mode in [HaloMode::Basic, HaloMode::Diagonal, HaloMode::Full] {
-            let out = op.apply_distributed(
-                8,
-                None,
-                &opts.clone().with_mode(mode),
-                &init,
-                |ws| (ws.gather("txx"), ws.gather("vx")),
-            );
+            let out = op.apply_distributed(8, None, &opts.clone().with_mode(mode), &init, |ws| {
+                (ws.gather("txx"), ws.gather("vx"))
+            });
             for (a, b) in out[0].0.iter().zip(&serial.0) {
-                assert!((a - b).abs() <= 2e-5 * b.abs().max(1.0), "{mode:?} txx: {a} vs {b}");
+                assert!(
+                    (a - b).abs() <= 2e-5 * b.abs().max(1.0),
+                    "{mode:?} txx: {a} vs {b}"
+                );
             }
             for (a, b) in out[0].1.iter().zip(&serial.1) {
-                assert!((a - b).abs() <= 2e-5 * b.abs().max(1.0), "{mode:?} vx: {a} vs {b}");
+                assert!(
+                    (a - b).abs() <= 2e-5 * b.abs().max(1.0),
+                    "{mode:?} vx: {a} vs {b}"
+                );
             }
         }
     }

@@ -122,9 +122,8 @@ impl ModelSpec {
         let nd = shape.len();
         let decomp = arr.decomp().clone();
         let coords = arr.coords().to_vec();
-        let ranges: Vec<std::ops::Range<usize>> = (0..nd)
-            .map(|d| decomp.owned_range(d, coords[d]))
-            .collect();
+        let ranges: Vec<std::ops::Range<usize>> =
+            (0..nd).map(|d| decomp.owned_range(d, coords[d])).collect();
         let mut idx: Vec<usize> = ranges.iter().map(|r| r.start).collect();
         loop {
             arr.set_global(&idx, self.damping_at(&idx) as f32);

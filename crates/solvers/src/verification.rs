@@ -46,13 +46,18 @@ pub fn standing_wave_error(n: usize, nd: usize, so: u32, nt: usize, ranks: usize
     let dt = 0.2 * h / (c * (nd as f64).sqrt());
     let m_val = 1.0 / (c * c);
     let shape = vec![n; nd];
-    let opts = ApplyOptions::default().with_nt(nt as i64).with_dt(dt);
+    let opts = ApplyOptions::default()
+        .with_nt(nt as i64)
+        .with_dt(dt)
+        .with_ranks(ranks)
+        .with_label("standing-wave");
 
     let seed = {
         let shape = shape.clone();
         move |ws: &mut Workspace| {
             let full: Vec<std::ops::Range<usize>> = shape.iter().map(|&s| 0..s).collect();
-            ws.field_data_mut("m", 0).fill_global_slice(&full, m_val as f32);
+            ws.field_data_mut("m", 0)
+                .fill_global_slice(&full, m_val as f32);
             let total: usize = shape.iter().product();
             let mut idx = vec![0usize; shape.len()];
             for lin in 0..total {
@@ -69,7 +74,7 @@ pub fn standing_wave_error(n: usize, nd: usize, so: u32, nt: usize, ranks: usize
             }
         }
     };
-    let got = op.apply_distributed(ranks, None, &opts, seed, |ws| ws.gather("u"));
+    let got = op.run(&opts, seed, |ws| ws.gather("u")).results;
     let g = &got[0];
     let t_final = nt as f64 * dt;
     let decay = (omega * t_final).cos();

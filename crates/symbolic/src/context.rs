@@ -106,7 +106,14 @@ impl Context {
         time_order: u32,
     ) -> FieldHandle {
         assert!(time_order >= 1, "time functions need time_order >= 1");
-        self.add_field(name, grid, space_order, time_order, FieldKind::TimeFunction, None)
+        self.add_field(
+            name,
+            grid,
+            space_order,
+            time_order,
+            FieldKind::TimeFunction,
+            None,
+        )
     }
 
     /// Register a staggered `TimeFunction` (elastic/viscoelastic grids).
@@ -138,7 +145,10 @@ impl Context {
         kind: FieldKind,
         stagger: Option<Vec<Stagger>>,
     ) -> FieldHandle {
-        assert!(space_order >= 2 && space_order % 2 == 0, "space order must be even, >= 2");
+        assert!(
+            space_order >= 2 && space_order % 2 == 0,
+            "space order must be even, >= 2"
+        );
         assert!(
             self.fields.iter().all(|f| f.name != name),
             "duplicate field name {name:?}"

@@ -194,14 +194,8 @@ pub fn lower_space_derivs(
                 .map(|x| lower_space_derivs(x, ctx, eval_stagger))
                 .collect::<Result<_, _>>()?,
         ),
-        Expr::Pow(b, e2) => Expr::Pow(
-            Box::new(lower_space_derivs(b, ctx, eval_stagger)?),
-            *e2,
-        ),
-        Expr::Func(fx, b) => Expr::Func(
-            *fx,
-            Box::new(lower_space_derivs(b, ctx, eval_stagger)?),
-        ),
+        Expr::Pow(b, e2) => Expr::Pow(Box::new(lower_space_derivs(b, ctx, eval_stagger)?), *e2),
+        Expr::Func(fx, b) => Expr::Func(*fx, Box::new(lower_space_derivs(b, ctx, eval_stagger)?)),
         other => other.clone(),
     };
     Ok(simplify(&out))
@@ -278,10 +272,7 @@ fn sub_expr_parity(
     Ok(parity)
 }
 
-fn visit_accesses<E>(
-    e: &Expr,
-    f: &mut impl FnMut(&Access) -> Result<(), E>,
-) -> Result<(), E> {
+fn visit_accesses<E>(e: &Expr, f: &mut impl FnMut(&Access) -> Result<(), E>) -> Result<(), E> {
     match e {
         Expr::Acc(a) => f(a),
         Expr::Add(xs) | Expr::Mul(xs) => {
@@ -452,12 +443,7 @@ mod tests {
         let lowered = discretize(&eq, &ctx).unwrap();
         assert!(lowered.rhs.is_lowered());
         // All accesses of vx must land on half lattice relative to node eval.
-        validate_lattice(
-            &lowered.rhs,
-            &ctx,
-            &[Stagger::Node, Stagger::Node],
-        )
-        .unwrap();
+        validate_lattice(&lowered.rhs, &ctx, &[Stagger::Node, Stagger::Node]).unwrap();
     }
 
     #[test]
@@ -504,8 +490,7 @@ mod tests {
         let u = ctx.add_time_function("u", &g, 4, 2);
         let c = ctx.add_function("c", &g, 4);
         let inner = crate::context::deriv_of(c.center() * u.dx(0), 0, 1, 4);
-        let lowered =
-            lower_space_derivs(&inner, &ctx, &[Stagger::Node, Stagger::Node]).unwrap();
+        let lowered = lower_space_derivs(&inner, &ctx, &[Stagger::Node, Stagger::Node]).unwrap();
         assert!(lowered.is_lowered());
         // Must reach offset +2 full steps (nested so-4 first derivatives).
         let far = Access {

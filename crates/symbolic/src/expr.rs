@@ -314,9 +314,7 @@ impl Expr {
             (Expr::Const(a), Expr::Const(b)) => a.partial_cmp(b).unwrap_or(Ordering::Equal),
             (Expr::Sym(a), Expr::Sym(b)) => a.cmp(b),
             (Expr::Acc(a), Expr::Acc(b)) => a.cmp(b),
-            (Expr::Pow(a, ea), Expr::Pow(b, eb)) => {
-                a.canon_cmp(b).then_with(|| ea.cmp(eb))
-            }
+            (Expr::Pow(a, ea), Expr::Pow(b, eb)) => a.canon_cmp(b).then_with(|| ea.cmp(eb)),
             (Expr::Func(fa, a), Expr::Func(fb, b)) => fa.cmp(fb).then_with(|| a.canon_cmp(b)),
             (Expr::Add(xs), Expr::Add(ys)) | (Expr::Mul(xs), Expr::Mul(ys)) => {
                 for (x, y) in xs.iter().zip(ys.iter()) {

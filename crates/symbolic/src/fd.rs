@@ -18,7 +18,10 @@
 /// `nodes.len() - 1`.
 pub fn fd_weights(m: u32, x0: f64, nodes: &[f64]) -> Vec<f64> {
     let n = nodes.len();
-    assert!(n > m as usize, "need more than {m} nodes for order-{m} derivative");
+    assert!(
+        n > m as usize,
+        "need more than {m} nodes for order-{m} derivative"
+    );
     let m = m as usize;
     // delta[k][j] = weight of node j for the k-th derivative, updated
     // incrementally as nodes are introduced (Fornberg 1988, in-place form).

@@ -34,7 +34,10 @@ impl Grid {
             "grids must have 1..=3 dimensions"
         );
         assert_eq!(shape.len(), extent.len(), "shape/extent dimension mismatch");
-        assert!(shape.iter().all(|&s| s >= 2), "each dimension needs >= 2 points");
+        assert!(
+            shape.iter().all(|&s| s >= 2),
+            "each dimension needs >= 2 points"
+        );
         Grid {
             shape: shape.to_vec(),
             extent: extent.to_vec(),

@@ -58,8 +58,16 @@ pub fn collect_fields(e: &Expr) -> Vec<FieldId> {
 pub fn substitute_symbol(e: &Expr, name: &str, value: f64) -> Expr {
     let out = match e {
         Expr::Sym(s) if s.name() == name => Expr::Const(value),
-        Expr::Add(xs) => Expr::Add(xs.iter().map(|x| substitute_symbol(x, name, value)).collect()),
-        Expr::Mul(xs) => Expr::Mul(xs.iter().map(|x| substitute_symbol(x, name, value)).collect()),
+        Expr::Add(xs) => Expr::Add(
+            xs.iter()
+                .map(|x| substitute_symbol(x, name, value))
+                .collect(),
+        ),
+        Expr::Mul(xs) => Expr::Mul(
+            xs.iter()
+                .map(|x| substitute_symbol(x, name, value))
+                .collect(),
+        ),
         Expr::Pow(b, e2) => Expr::Pow(Box::new(substitute_symbol(b, name, value)), *e2),
         Expr::Func(fx, b) => Expr::Func(*fx, Box::new(substitute_symbol(b, name, value))),
         Expr::Deriv {
@@ -104,11 +112,7 @@ pub fn map_accesses(e: &Expr, f: &impl Fn(&Access) -> Access) -> Expr {
 /// Numerically evaluate a lowered expression. `sym` resolves symbols,
 /// `acc` resolves field accesses. Panics on `Deriv` nodes — evaluate only
 /// lowered expressions.
-pub fn eval_with(
-    e: &Expr,
-    sym: &impl Fn(&str) -> f64,
-    acc: &impl Fn(&Access) -> f64,
-) -> f64 {
+pub fn eval_with(e: &Expr, sym: &impl Fn(&str) -> f64, acc: &impl Fn(&Access) -> f64) -> f64 {
     match e {
         Expr::Const(c) => *c,
         Expr::Sym(s) => sym(s.name()),

@@ -22,11 +22,7 @@ fn expr_strategy() -> impl Strategy<Value = Expr> {
 }
 
 fn eval(e: &Expr, x: f64, y: f64) -> f64 {
-    mpix_symbolic::visit::eval_with(
-        e,
-        &|s| if s == "x" { x } else { y } as f32 as f64,
-        &|_| 0.0,
-    )
+    mpix_symbolic::visit::eval_with(e, &|s| if s == "x" { x } else { y } as f32 as f64, &|_| 0.0)
 }
 
 fn close(a: f64, b: f64) -> bool {

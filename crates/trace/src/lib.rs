@@ -1,0 +1,490 @@
+//! Per-rank performance instrumentation (the paper's §IV evaluation
+//! machinery, Devito-`perf`-style).
+//!
+//! Three layers, lowest to highest:
+//!
+//! 1. [`Tracer`] — a span clock with a fixed vocabulary of [`Section`]s
+//!    (`compute`, `halo.pack`, `halo.send`, `halo.wait`, `halo.unpack`,
+//!    `remainder`, `source`, `receiver`). Every runtime layer holds one
+//!    and brackets its hot regions with [`Tracer::begin`]/[`Tracer::end`].
+//!    When the level is [`TraceLevel::Off`] a span is two branch tests —
+//!    no clock reads, no allocation.
+//! 2. [`TraceReport`] — the per-rank result: per-section totals, optional
+//!    per-timestep section breakdowns and the per-peer message log
+//!    ([`MsgRecord`]: tag, bytes, enqueue→complete latency) at
+//!    [`TraceLevel::Full`]. JSON round-trips via `mpix-json`.
+//! 3. [`PerfSummary`] — the cross-rank aggregate built by
+//!    `core::Operator::run`: GPts/s, achieved GFlops/s vs. the roofline
+//!    ceiling, %time in halo wait, message-size histograms. Exportable as
+//!    JSON and as a human-readable table.
+
+use std::time::Instant;
+
+pub mod msg;
+pub mod summary;
+
+pub use msg::{MsgDir, MsgRecord};
+pub use summary::{MsgHistogram, PerfSummary, RankPerf};
+// The JSON value type the to_json/from_json surface speaks.
+pub use mpix_json::Value;
+
+use mpix_json::json;
+
+/// How much the runtime records. Parsed from `MPIX_TRACE`.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub enum TraceLevel {
+    /// Record nothing; spans cost a branch.
+    #[default]
+    Off,
+    /// Per-section totals per rank.
+    Summary,
+    /// Totals plus per-timestep breakdowns and the full message log.
+    Full,
+}
+
+impl TraceLevel {
+    /// Parse a user-facing spelling (`off`/`0`, `summary`/`1`, `full`/`2`).
+    pub fn parse(s: &str) -> Option<TraceLevel> {
+        match s.trim().to_ascii_lowercase().as_str() {
+            "off" | "0" | "none" | "" => Some(TraceLevel::Off),
+            "summary" | "1" | "on" => Some(TraceLevel::Summary),
+            "full" | "2" | "all" => Some(TraceLevel::Full),
+            _ => None,
+        }
+    }
+
+    /// Read `MPIX_TRACE`; unset means [`TraceLevel::Off`], a bad value
+    /// panics (silently ignoring a typo'd trace request is worse).
+    pub fn from_env() -> TraceLevel {
+        match std::env::var("MPIX_TRACE") {
+            Err(_) => TraceLevel::Off,
+            Ok(s) => TraceLevel::parse(&s)
+                .unwrap_or_else(|| panic!("MPIX_TRACE={s:?}: expected off|summary|full")),
+        }
+    }
+
+    pub fn enabled(self) -> bool {
+        self != TraceLevel::Off
+    }
+
+    pub fn name(self) -> &'static str {
+        match self {
+            TraceLevel::Off => "off",
+            TraceLevel::Summary => "summary",
+            TraceLevel::Full => "full",
+        }
+    }
+}
+
+/// The named sections of one timestep, in display order.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum Section {
+    /// DOMAIN/CORE space loops.
+    Compute,
+    /// Packing send buffers (all halo modes).
+    HaloPack,
+    /// Enqueueing sends.
+    HaloSend,
+    /// Blocking on not-yet-arrived halo messages.
+    HaloWait,
+    /// Writing received halos back into the padded array.
+    HaloUnpack,
+    /// REMAINDER space loops (full/overlap mode).
+    Remainder,
+    /// Sparse source injection.
+    Source,
+    /// Sparse receiver sampling (incl. cross-rank interpolation).
+    Receiver,
+}
+
+/// Number of [`Section`] variants.
+pub const NSECTIONS: usize = 8;
+
+impl Section {
+    pub const ALL: [Section; NSECTIONS] = [
+        Section::Compute,
+        Section::HaloPack,
+        Section::HaloSend,
+        Section::HaloWait,
+        Section::HaloUnpack,
+        Section::Remainder,
+        Section::Source,
+        Section::Receiver,
+    ];
+
+    pub fn name(self) -> &'static str {
+        match self {
+            Section::Compute => "compute",
+            Section::HaloPack => "halo.pack",
+            Section::HaloSend => "halo.send",
+            Section::HaloWait => "halo.wait",
+            Section::HaloUnpack => "halo.unpack",
+            Section::Remainder => "remainder",
+            Section::Source => "source",
+            Section::Receiver => "receiver",
+        }
+    }
+
+    pub fn from_name(name: &str) -> Option<Section> {
+        Section::ALL.into_iter().find(|s| s.name() == name)
+    }
+
+    #[inline]
+    pub fn index(self) -> usize {
+        self as usize
+    }
+}
+
+/// Accumulated time and span count for one section.
+#[derive(Clone, Copy, Debug, Default, PartialEq)]
+pub struct SectionAgg {
+    pub secs: f64,
+    pub count: u64,
+}
+
+/// One timestep's section breakdown ([`TraceLevel::Full`] only).
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct StepTrace {
+    /// The simulation time index.
+    pub t: i64,
+    pub secs: [f64; NSECTIONS],
+}
+
+/// An open span returned by [`Tracer::begin`]; pass back to
+/// [`Tracer::end`]. Not `Clone` — each span closes exactly once.
+#[must_use = "pass the span back to Tracer::end"]
+pub struct SpanToken {
+    section: Section,
+    start: Option<Instant>,
+}
+
+/// Per-rank span clock. Cheap to create; create one per `run`.
+#[derive(Clone, Debug)]
+pub struct Tracer {
+    level: TraceLevel,
+    totals: [SectionAgg; NSECTIONS],
+    steps: Vec<StepTrace>,
+}
+
+impl Tracer {
+    pub fn new(level: TraceLevel) -> Tracer {
+        Tracer {
+            level,
+            totals: Default::default(),
+            steps: Vec::new(),
+        }
+    }
+
+    /// A disabled tracer for code paths that need one unconditionally.
+    pub fn off() -> Tracer {
+        Tracer::new(TraceLevel::Off)
+    }
+
+    #[inline]
+    pub fn level(&self) -> TraceLevel {
+        self.level
+    }
+
+    #[inline]
+    pub fn enabled(&self) -> bool {
+        self.level.enabled()
+    }
+
+    /// Open a span. When tracing is off this is a branch and a `None`.
+    #[inline]
+    pub fn begin(&self, section: Section) -> SpanToken {
+        SpanToken {
+            section,
+            start: if self.level.enabled() {
+                Some(Instant::now())
+            } else {
+                None
+            },
+        }
+    }
+
+    /// Close a span, attributing its wall time to the section.
+    #[inline]
+    pub fn end(&mut self, span: SpanToken) {
+        if let Some(start) = span.start {
+            self.add_secs(span.section, start.elapsed().as_secs_f64());
+        }
+    }
+
+    /// Attribute an externally measured interval to a section.
+    pub fn add_secs(&mut self, section: Section, secs: f64) {
+        if !self.level.enabled() {
+            return;
+        }
+        let agg = &mut self.totals[section.index()];
+        agg.secs += secs;
+        agg.count += 1;
+        if self.level == TraceLevel::Full {
+            if let Some(step) = self.steps.last_mut() {
+                step.secs[section.index()] += secs;
+            }
+        }
+    }
+
+    /// Mark the start of timestep `t` (spans recorded after this land in
+    /// its breakdown at [`TraceLevel::Full`]).
+    pub fn begin_step(&mut self, t: i64) {
+        if self.level == TraceLevel::Full {
+            self.steps.push(StepTrace {
+                t,
+                ..Default::default()
+            });
+        }
+    }
+
+    pub fn section_secs(&self, section: Section) -> f64 {
+        self.totals[section.index()].secs
+    }
+
+    /// Seal into a report, attaching the rank id and its message log.
+    pub fn finish(self, rank: usize, messages: Vec<MsgRecord>) -> TraceReport {
+        TraceReport {
+            rank,
+            level: self.level,
+            sections: self.totals,
+            steps: self.steps,
+            messages,
+        }
+    }
+}
+
+/// The sealed per-rank trace.
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct TraceReport {
+    pub rank: usize,
+    pub level: TraceLevel,
+    pub sections: [SectionAgg; NSECTIONS],
+    /// Per-timestep breakdowns ([`TraceLevel::Full`] only).
+    pub steps: Vec<StepTrace>,
+    /// Per-peer message log ([`TraceLevel::Full`] only).
+    pub messages: Vec<MsgRecord>,
+}
+
+impl TraceReport {
+    pub fn section_secs(&self, section: Section) -> f64 {
+        self.sections[section.index()].secs
+    }
+
+    pub fn section_count(&self, section: Section) -> u64 {
+        self.sections[section.index()].count
+    }
+
+    /// Total time across all halo sections.
+    pub fn halo_secs(&self) -> f64 {
+        [
+            Section::HaloPack,
+            Section::HaloSend,
+            Section::HaloWait,
+            Section::HaloUnpack,
+        ]
+        .into_iter()
+        .map(|s| self.section_secs(s))
+        .sum()
+    }
+
+    /// Sent messages, filtered by a tag predicate (e.g. halo tags only).
+    pub fn sends_matching(&self, mut pred: impl FnMut(&MsgRecord) -> bool) -> Vec<&MsgRecord> {
+        self.messages
+            .iter()
+            .filter(|m| m.dir == MsgDir::Sent && pred(m))
+            .collect()
+    }
+
+    pub fn to_json(&self) -> Value {
+        let sections: Value = Section::ALL
+            .iter()
+            .filter(|s| self.sections[s.index()].count > 0)
+            .map(|s| {
+                let agg = self.sections[s.index()];
+                (s.name(), json!({ "secs": agg.secs, "count": agg.count }))
+            })
+            .collect();
+        let steps = Value::Arr(
+            self.steps
+                .iter()
+                .map(|st| {
+                    let mut fields = vec![("t".to_string(), Value::from(st.t))];
+                    for s in Section::ALL {
+                        if st.secs[s.index()] > 0.0 {
+                            fields.push((s.name().to_string(), Value::from(st.secs[s.index()])));
+                        }
+                    }
+                    Value::Obj(fields)
+                })
+                .collect(),
+        );
+        json!({
+            "rank": self.rank,
+            "level": self.level.name(),
+            "sections": sections,
+            "steps": steps,
+            "messages": Value::Arr(self.messages.iter().map(MsgRecord::to_json).collect()),
+        })
+    }
+
+    pub fn from_json(v: &Value) -> Result<TraceReport, String> {
+        let rank = v
+            .get("rank")
+            .and_then(Value::as_u64)
+            .ok_or("missing rank")? as usize;
+        let level = v
+            .get("level")
+            .and_then(Value::as_str)
+            .and_then(TraceLevel::parse)
+            .ok_or("missing/bad level")?;
+        let mut sections: [SectionAgg; NSECTIONS] = Default::default();
+        for (name, agg) in v
+            .get("sections")
+            .and_then(Value::as_object)
+            .ok_or("missing sections")?
+        {
+            let s = Section::from_name(name).ok_or_else(|| format!("unknown section {name:?}"))?;
+            sections[s.index()] = SectionAgg {
+                secs: agg
+                    .get("secs")
+                    .and_then(Value::as_f64)
+                    .ok_or("section missing secs")?,
+                count: agg
+                    .get("count")
+                    .and_then(Value::as_u64)
+                    .ok_or("section missing count")?,
+            };
+        }
+        let mut steps = Vec::new();
+        for st in v.get("steps").and_then(Value::as_array).unwrap_or(&[]) {
+            let mut step = StepTrace {
+                t: st
+                    .get("t")
+                    .and_then(Value::as_i64)
+                    .ok_or("step missing t")?,
+                ..Default::default()
+            };
+            for s in Section::ALL {
+                if let Some(secs) = st.get(s.name()).and_then(Value::as_f64) {
+                    step.secs[s.index()] = secs;
+                }
+            }
+            steps.push(step);
+        }
+        let mut messages = Vec::new();
+        for m in v.get("messages").and_then(Value::as_array).unwrap_or(&[]) {
+            messages.push(MsgRecord::from_json(m)?);
+        }
+        Ok(TraceReport {
+            rank,
+            level,
+            sections,
+            steps,
+            messages,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn disabled_tracer_records_nothing() {
+        let mut tr = Tracer::off();
+        tr.begin_step(0);
+        let sp = tr.begin(Section::Compute);
+        std::thread::sleep(std::time::Duration::from_millis(1));
+        tr.end(sp);
+        tr.add_secs(Section::HaloWait, 1.0);
+        let rep = tr.finish(0, Vec::new());
+        assert_eq!(rep.section_secs(Section::Compute), 0.0);
+        assert_eq!(rep.section_secs(Section::HaloWait), 0.0);
+        assert!(rep.steps.is_empty());
+    }
+
+    #[test]
+    fn summary_level_accumulates_totals_without_steps() {
+        let mut tr = Tracer::new(TraceLevel::Summary);
+        tr.begin_step(0);
+        tr.add_secs(Section::Compute, 0.25);
+        tr.add_secs(Section::Compute, 0.25);
+        tr.add_secs(Section::HaloWait, 0.1);
+        let rep = tr.finish(3, Vec::new());
+        assert_eq!(rep.rank, 3);
+        assert_eq!(rep.section_secs(Section::Compute), 0.5);
+        assert_eq!(rep.section_count(Section::Compute), 2);
+        assert!(rep.steps.is_empty(), "steps only at Full");
+    }
+
+    #[test]
+    fn full_level_attributes_spans_to_steps() {
+        let mut tr = Tracer::new(TraceLevel::Full);
+        tr.begin_step(10);
+        tr.add_secs(Section::Compute, 0.5);
+        tr.begin_step(11);
+        tr.add_secs(Section::Compute, 0.125);
+        tr.add_secs(Section::Remainder, 0.0625);
+        let rep = tr.finish(0, Vec::new());
+        assert_eq!(rep.steps.len(), 2);
+        assert_eq!(rep.steps[0].t, 10);
+        assert_eq!(rep.steps[0].secs[Section::Compute.index()], 0.5);
+        assert_eq!(rep.steps[1].secs[Section::Remainder.index()], 0.0625);
+        assert_eq!(rep.section_secs(Section::Compute), 0.625);
+    }
+
+    #[test]
+    fn real_spans_measure_time() {
+        let mut tr = Tracer::new(TraceLevel::Summary);
+        let sp = tr.begin(Section::HaloWait);
+        std::thread::sleep(std::time::Duration::from_millis(2));
+        tr.end(sp);
+        assert!(tr.section_secs(Section::HaloWait) >= 0.001);
+    }
+
+    #[test]
+    fn report_json_roundtrip() {
+        let mut tr = Tracer::new(TraceLevel::Full);
+        tr.begin_step(0);
+        tr.add_secs(Section::Compute, 0.5);
+        tr.add_secs(Section::HaloWait, 0.25);
+        let rep = tr.finish(
+            2,
+            vec![
+                MsgRecord {
+                    dir: MsgDir::Sent,
+                    peer: 1,
+                    tag: 64,
+                    bytes: 320,
+                    latency_secs: 0.0,
+                },
+                MsgRecord {
+                    dir: MsgDir::Received,
+                    peer: 0,
+                    tag: 64,
+                    bytes: 320,
+                    latency_secs: 1e-4,
+                },
+            ],
+        );
+        let text = rep.to_json().pretty();
+        let back = TraceReport::from_json(&Value::parse(&text).unwrap()).unwrap();
+        assert_eq!(back, rep);
+    }
+
+    #[test]
+    fn level_parsing() {
+        assert_eq!(TraceLevel::parse("full"), Some(TraceLevel::Full));
+        assert_eq!(TraceLevel::parse("SUMMARY"), Some(TraceLevel::Summary));
+        assert_eq!(TraceLevel::parse("0"), Some(TraceLevel::Off));
+        assert_eq!(TraceLevel::parse("banana"), None);
+    }
+
+    #[test]
+    fn section_names_roundtrip() {
+        for s in Section::ALL {
+            assert_eq!(Section::from_name(s.name()), Some(s));
+        }
+        assert_eq!(Section::ALL.len(), NSECTIONS);
+    }
+}

@@ -1,0 +1,96 @@
+//! The per-peer message log recorded by `comm::Comm` at
+//! [`TraceLevel::Full`](crate::TraceLevel::Full).
+
+use mpix_json::{json, Value};
+
+/// Direction of a logged message, from the recording rank's view.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum MsgDir {
+    Sent,
+    Received,
+}
+
+impl MsgDir {
+    pub fn name(self) -> &'static str {
+        match self {
+            MsgDir::Sent => "sent",
+            MsgDir::Received => "received",
+        }
+    }
+}
+
+/// One point-to-point message as seen by one rank.
+#[derive(Clone, Debug, PartialEq)]
+pub struct MsgRecord {
+    pub dir: MsgDir,
+    /// The other endpoint's rank.
+    pub peer: usize,
+    pub tag: u32,
+    /// Payload bytes.
+    pub bytes: usize,
+    /// Enqueue→complete latency: how long the message sat in the mailbox
+    /// before this rank matched it. Zero for sends (delivery is eager).
+    pub latency_secs: f64,
+}
+
+impl MsgRecord {
+    pub fn to_json(&self) -> Value {
+        json!({
+            "dir": self.dir.name(),
+            "peer": self.peer,
+            "tag": self.tag,
+            "bytes": self.bytes,
+            "latency_secs": self.latency_secs,
+        })
+    }
+
+    pub fn from_json(v: &Value) -> Result<MsgRecord, String> {
+        let dir = match v.get("dir").and_then(Value::as_str) {
+            Some("sent") => MsgDir::Sent,
+            Some("received") => MsgDir::Received,
+            other => return Err(format!("bad msg dir {other:?}")),
+        };
+        Ok(MsgRecord {
+            dir,
+            peer: v
+                .get("peer")
+                .and_then(Value::as_u64)
+                .ok_or("msg missing peer")? as usize,
+            tag: v
+                .get("tag")
+                .and_then(Value::as_u64)
+                .ok_or("msg missing tag")? as u32,
+            bytes: v
+                .get("bytes")
+                .and_then(Value::as_u64)
+                .ok_or("msg missing bytes")? as usize,
+            latency_secs: v.get("latency_secs").and_then(Value::as_f64).unwrap_or(0.0),
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn json_roundtrip() {
+        let m = MsgRecord {
+            dir: MsgDir::Received,
+            peer: 7,
+            tag: 129,
+            bytes: 4096,
+            latency_secs: 2.5e-5,
+        };
+        let back = MsgRecord::from_json(&Value::parse(&m.to_json().to_string()).unwrap()).unwrap();
+        assert_eq!(back, m);
+    }
+
+    #[test]
+    fn bad_dir_rejected() {
+        assert!(
+            MsgRecord::from_json(&json!({ "dir": "lost", "peer": 0, "tag": 0, "bytes": 0 }))
+                .is_err()
+        );
+    }
+}

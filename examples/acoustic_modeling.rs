@@ -44,14 +44,16 @@ fn main() {
 
     let mut results = Vec::new();
     for mode in [HaloMode::Basic, HaloMode::Diagonal, HaloMode::Full] {
-        let opts = prop.apply_options(nt).with_mode(mode);
+        let opts = prop
+            .apply_options(nt)
+            .with_mode(mode)
+            .with_ranks(8)
+            .with_trace(TraceLevel::Summary);
         let pref = &prop;
         let rc = rec_coords.clone();
         let sp = spacing.clone();
         let t0 = std::time::Instant::now();
-        let out = prop.op.apply_distributed(
-            8,
-            None,
+        let applied = prop.op.run(
             &opts,
             move |ws| {
                 pref.init(ws);
@@ -66,6 +68,7 @@ fn main() {
             },
         );
         let wall = t0.elapsed().as_secs_f64();
+        let out = applied.results;
         let (field, _, _, _) = &out[0];
         let energy: f64 = field.iter().map(|&v| (v as f64) * (v as f64)).sum();
         let msgs: u64 = out.iter().map(|(_, _, m, _)| m).sum();
@@ -90,6 +93,10 @@ fn main() {
             .flatten()
             .fold(0.0f32, |a, &b| a.max(b.abs()));
         println!("         receiver gather peak amplitude {peak:.4e}");
+        println!(
+            "         halo.wait {:.1}% of slowest rank's time",
+            applied.summary.halo_wait_fraction * 100.0
+        );
         results.push(field.clone());
     }
     // All three modes must produce the same physics.

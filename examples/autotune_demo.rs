@@ -16,9 +16,15 @@ fn main() {
 
     println!("## Automated MPI-pattern selection (paper §IV-F future work)");
     let pref = &prop;
-    let report = prop.op.autotune_mode(8, None, &base, 4, move |ws| pref.init(ws));
+    let report = prop
+        .op
+        .autotune_mode(8, None, &base, 4, move |ws| pref.init(ws));
     for (mode, secs) in &report.trials {
-        let marker = if *mode == report.best { "  <-- best" } else { "" };
+        let marker = if *mode == report.best {
+            "  <-- best"
+        } else {
+            ""
+        };
         println!("  {mode:?}: {secs:.3}s{marker}");
     }
 
@@ -32,7 +38,11 @@ fn main() {
         } else {
             format!("tile {block}")
         };
-        let marker = if *block == report.best { "  <-- best" } else { "" };
+        let marker = if *block == report.best {
+            "  <-- best"
+        } else {
+            ""
+        };
         println!("  {label}: {secs:.3}s{marker}");
     }
 
@@ -42,7 +52,11 @@ fn main() {
         .op
         .autotune_topology(8, &base_full, 3, move |ws| pref.init(ws));
     for (topo, secs) in &report.trials {
-        let marker = if *topo == report.best { "  <-- best" } else { "" };
+        let marker = if *topo == report.best {
+            "  <-- best"
+        } else {
+            ""
+        };
         println!("  topology {topo:?}: {secs:.3}s{marker}");
     }
     println!(

@@ -6,5 +6,8 @@ fn main() {
     let eq = Eq::new(u.dt(), u.laplace());
     let stencil = eq.solve_for(&u.forward(), &ctx).unwrap();
     let op = Operator::build(ctx, grid, vec![stencil]).unwrap();
-    print!("{}", op.c_code(HaloMode::Basic));
+    print!(
+        "{}",
+        op.c_code_for(&ApplyOptions::default().with_mode(HaloMode::Basic))
+    );
 }

@@ -33,10 +33,16 @@ fn main() {
     );
 
     println!("=== Schedule tree (Listing 4) ===\n{}", op.schedule_tree());
-    println!("=== IET with HaloSpots (Listing 5) ===\n{}", op.iet_string());
+    println!(
+        "=== IET with HaloSpots (Listing 5) ===\n{}",
+        op.iet_string()
+    );
 
     for mode in [HaloMode::Basic, HaloMode::Diagonal, HaloMode::Full] {
         println!("=== Generated C, {mode:?} mode (Listing 11) ===");
-        println!("{}", op.c_code(mode));
+        println!(
+            "{}",
+            op.c_code_for(&ApplyOptions::default().with_mode(mode))
+        );
     }
 }

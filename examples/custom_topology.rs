@@ -21,12 +21,13 @@ fn main() {
         println!("  rank (0,0,0) owns a {shard:?} shard");
         let out = Universe::run(16, |comm| {
             let cart = CartComm::new(comm, &topology);
-            (cart.coords().to_vec(), cart.face_neighbors().len(), cart.all_neighbors().len())
+            (
+                cart.coords().to_vec(),
+                cart.face_neighbors().len(),
+                cart.all_neighbors().len(),
+            )
         });
-        let (coords, faces, all) = out
-            .iter()
-            .max_by_key(|(_, _, all)| *all)
-            .unwrap();
+        let (coords, faces, all) = out.iter().max_by_key(|(_, _, all)| *all).unwrap();
         println!("  best-connected rank {coords:?}: {faces} face neighbours, {all} total");
     }
 

@@ -26,51 +26,75 @@ fn main() {
     let stencil = eq.solve_for(&u.forward(), &ctx).unwrap();
     let op = Operator::build(ctx, grid, vec![stencil]).unwrap();
 
-    println!("=== Schedule tree (paper Listing 4) ===\n{}", op.schedule_tree());
-    println!("=== IET with HaloSpots (paper Listing 5) ===\n{}", op.iet_string());
+    println!(
+        "=== Schedule tree (paper Listing 4) ===\n{}",
+        op.schedule_tree()
+    );
+    println!(
+        "=== IET with HaloSpots (paper Listing 5) ===\n{}",
+        op.iet_string()
+    );
 
     // --- Listing 2: distributed slice write ------------------------------
     // u.data[1:-1, 1:-1] = 1 across 4 ranks; each rank prints its local
-    // view, matching the paper's stdout exactly.
-    let opts = ApplyOptions::default().with_nt(0).with_dt(dt);
-    let views = op.apply_distributed(
-        4,
-        Some(vec![2, 2]),
-        &opts,
-        |ws| {
-            ws.field_data_mut("u", 0).fill_global_slice(&[1..3, 1..3], 1.0);
-        },
-        |ws| ws.field_data("u", 0).local_view_string(),
-    );
+    // view, matching the paper's stdout exactly. One ApplyOptions carries
+    // the whole runtime configuration: mode, ranks, topology, trace level.
+    let opts = ApplyOptions::default()
+        .with_nt(0)
+        .with_dt(dt)
+        .with_ranks(4)
+        .with_topology(&[2, 2])
+        .with_label("quickstart-diffusion");
+    let views = op
+        .run(
+            &opts,
+            |ws| {
+                ws.field_data_mut("u", 0)
+                    .fill_global_slice(&[1..3, 1..3], 1.0);
+            },
+            |ws| ws.field_data("u", 0).local_view_string(),
+        )
+        .results;
     println!("=== Listing 2: per-rank views after the slice write ===");
     for (r, v) in views.iter().enumerate() {
         println!("[stdout:{r}]\n{v}\n");
     }
 
     // --- Listing 3: one operator application -----------------------------
-    let opts = ApplyOptions::default().with_nt(1).with_dt(dt);
-    let after = op.apply_distributed(
-        4,
-        Some(vec![2, 2]),
+    let opts = opts.with_nt(1).with_trace(TraceLevel::Summary);
+    let applied = op.run(
         &opts,
         |ws| {
-            ws.field_data_mut("u", 0).fill_global_slice(&[1..3, 1..3], 1.0);
+            ws.field_data_mut("u", 0)
+                .fill_global_slice(&[1..3, 1..3], 1.0);
         },
         |ws| (ws.field_final("u").local_view_string(), ws.gather("u")),
     );
     println!("=== Listing 3: per-rank views after one operator step ===");
-    for (r, (v, _)) in after.iter().enumerate() {
+    for (r, (v, _)) in applied.results.iter().enumerate() {
         println!("[stdout:{r}]\n{v}\n");
     }
 
+    // The same run hands back a per-rank performance summary for free.
+    println!("=== Per-rank performance summary (MPIX_TRACE=summary) ===");
+    println!("{}", applied.summary.table());
+
     // Serial run must agree exactly with the distributed one.
-    let serial = op.apply_local(
-        &opts,
-        |ws| {
-            ws.field_data_mut("u", 0).fill_global_slice(&[1..3, 1..3], 1.0);
-        },
-        |ws| ws.gather("u"),
-    );
-    assert_eq!(after[0].1, serial, "distributed != serial");
+    let serial_opts = ApplyOptions::default()
+        .with_nt(1)
+        .with_dt(dt)
+        .with_label("quickstart-serial");
+    let serial = op
+        .run(
+            &serial_opts,
+            |ws| {
+                ws.field_data_mut("u", 0)
+                    .fill_global_slice(&[1..3, 1..3], 1.0);
+            },
+            |ws| ws.gather("u"),
+        )
+        .results
+        .remove(0);
+    assert_eq!(applied.results[0].1, serial, "distributed != serial");
     println!("serial and 4-rank runs agree bit-for-bit ✓");
 }

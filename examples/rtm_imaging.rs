@@ -86,37 +86,47 @@ fn receiver_coords() -> Vec<Vec<f64>> {
 /// Forward-model one shot; optionally save snapshots for imaging.
 fn forward(op: &Operator, nt: usize, dt: f64, layered: bool, save: bool) -> Shot {
     let wavelet = ricker_wavelet(12.0, dt, nt);
-    let out = op.apply_distributed(
-        4,
-        Some(vec![2, 2]),
-        &ApplyOptions::default().with_nt(0).with_dt(dt),
-        |_| {},
-        move |ws| {
-            fill_velocity(ws, layered);
-            fill_damp(ws, 10);
-            let spacing = vec![H, H];
-            let src = SparsePoints::new(vec![vec![2.0 * H, (NY / 2) as f64 * H]], spacing.clone());
-            let scale = (dt * dt * V_TOP * V_TOP) as f32;
-            ws.add_injection("u", src, wavelet.clone(), vec![scale]);
-            ws.add_receivers("u", SparsePoints::new(receiver_coords(), spacing));
-            // Step externally so snapshots can be captured.
-            let exec = op.executable(HaloMode::Diagonal);
-            let mut snaps = Vec::new();
-            for k in 0..nt {
-                let opts = ApplyOptions::default()
-                    .with_nt(1)
-                    .with_t0(k as i64)
-                    .with_dt(dt)
-                    .with_mode(HaloMode::Diagonal);
-                op.apply(ws, &exec, &opts);
-                if save {
-                    snaps.push(ws.field_data("u", (k + 1) as i64).gather_global(ws.cart.comm()));
+    let run_opts = ApplyOptions::default()
+        .with_nt(0)
+        .with_dt(dt)
+        .with_ranks(4)
+        .with_topology(&[2, 2]);
+    let out = op
+        .run(
+            &run_opts,
+            |_| {},
+            move |ws| {
+                fill_velocity(ws, layered);
+                fill_damp(ws, 10);
+                let spacing = vec![H, H];
+                let src =
+                    SparsePoints::new(vec![vec![2.0 * H, (NY / 2) as f64 * H]], spacing.clone());
+                let scale = (dt * dt * V_TOP * V_TOP) as f32;
+                ws.add_injection("u", src, wavelet.clone(), vec![scale]);
+                ws.add_receivers("u", SparsePoints::new(receiver_coords(), spacing));
+                // Step externally so snapshots can be captured.
+                let exec =
+                    op.executable_for(&ApplyOptions::default().with_mode(HaloMode::Diagonal));
+                let mut snaps = Vec::new();
+                for k in 0..nt {
+                    let opts = ApplyOptions::default()
+                        .with_nt(1)
+                        .with_t0(k as i64)
+                        .with_dt(dt)
+                        .with_mode(HaloMode::Diagonal);
+                    op.apply(ws, &exec, &opts);
+                    if save {
+                        snaps.push(
+                            ws.field_data("u", (k + 1) as i64)
+                                .gather_global(ws.cart.comm()),
+                        );
+                    }
                 }
-            }
-            let gather = ws.take_samples(1);
-            (gather, if save { Some(snaps) } else { None })
-        },
-    );
+                let gather = ws.take_samples(1);
+                (gather, if save { Some(snaps) } else { None })
+            },
+        )
+        .results;
     // Merge receiver rows across ranks (one non-NaN owner per point).
     let nrec = receiver_coords().len();
     let mut gather = vec![vec![0.0f32; nrec]; nt];
@@ -136,12 +146,21 @@ fn forward(op: &Operator, nt: usize, dt: f64, layered: bool, save: bool) -> Shot
 }
 
 /// Back-propagate the residual and apply the imaging condition.
-fn migrate(op: &Operator, nt: usize, dt: f64, residual: &[Vec<f32>], snaps: &[Vec<f32>]) -> Vec<f64> {
+fn migrate(
+    op: &Operator,
+    nt: usize,
+    dt: f64,
+    residual: &[Vec<f32>],
+    snaps: &[Vec<f32>],
+) -> Vec<f64> {
     let nrec = receiver_coords().len();
-    let out = op.apply_distributed(
-        4,
-        Some(vec![2, 2]),
-        &ApplyOptions::default().with_nt(0).with_dt(dt),
+    let run_opts = ApplyOptions::default()
+        .with_nt(0)
+        .with_dt(dt)
+        .with_ranks(4)
+        .with_topology(&[2, 2]);
+    let out = op.run(
+        &run_opts,
         |_| {},
         move |ws| {
             fill_velocity(ws, false);
@@ -160,7 +179,7 @@ fn migrate(op: &Operator, nt: usize, dt: f64, residual: &[Vec<f32>], snaps: &[Ve
                 traces,
                 vec![(dt * dt * V_TOP * V_TOP) as f32; nrec],
             );
-            let exec = op.executable(HaloMode::Diagonal);
+            let exec = op.executable_for(&ApplyOptions::default().with_mode(HaloMode::Diagonal));
             let mut image = vec![0.0f64; NX * NY];
             for s in 0..nt {
                 let opts = ApplyOptions::default()
@@ -169,7 +188,9 @@ fn migrate(op: &Operator, nt: usize, dt: f64, residual: &[Vec<f32>], snaps: &[Ve
                     .with_dt(dt)
                     .with_mode(HaloMode::Diagonal);
                 op.apply(ws, &exec, &opts);
-                let v = ws.field_data("u", (s + 1) as i64).gather_global(ws.cart.comm());
+                let v = ws
+                    .field_data("u", (s + 1) as i64)
+                    .gather_global(ws.cart.comm());
                 // Zero-lag cross-correlation: adjoint time s ~ forward
                 // time nt-1-s.
                 let fwd = &snaps[nt - 1 - s];
@@ -181,7 +202,7 @@ fn migrate(op: &Operator, nt: usize, dt: f64, residual: &[Vec<f32>], snaps: &[Ve
         },
     );
     let _ = nrec;
-    out.into_iter().next().unwrap()
+    out.results.into_iter().next().unwrap()
 }
 
 fn main() {
@@ -216,18 +237,29 @@ fn main() {
         .map(|(t, row)| (t, row.iter().fold(0.0f32, |a, &b| a.max(b.abs()))))
         .max_by(|a, b| a.1.partial_cmp(&b.1).unwrap())
         .unwrap();
-    println!("  residual peak at forward step {} (amp {:.2e})", rmax.0, rmax.1);
-    let dmax = observed.gather
+    println!(
+        "  residual peak at forward step {} (amp {:.2e})",
+        rmax.0, rmax.1
+    );
+    let dmax = observed
+        .gather
         .iter()
         .enumerate()
         .map(|(t, row)| (t, row.iter().fold(0.0f32, |a, &b| a.max(b.abs()))))
         .max_by(|a, b| a.1.partial_cmp(&b.1).unwrap())
         .unwrap();
-    println!("  direct-wave peak at forward step {} (amp {:.2e})", dmax.0, dmax.1);
+    println!(
+        "  direct-wave peak at forward step {} (amp {:.2e})",
+        dmax.0, dmax.1
+    );
     let snaps_ref = background.snaps.as_ref().unwrap();
     for t in (60..nt).step_by(60) {
-        let row48: f32 = (0..NY).map(|j| snaps_ref[t][REFLECTOR_DEPTH * NY + j].abs()).fold(0.0, f32::max);
-        let row20: f32 = (0..NY).map(|j| snaps_ref[t][20 * NY + j].abs()).fold(0.0, f32::max);
+        let row48: f32 = (0..NY)
+            .map(|j| snaps_ref[t][REFLECTOR_DEPTH * NY + j].abs())
+            .fold(0.0, f32::max);
+        let row20: f32 = (0..NY)
+            .map(|j| snaps_ref[t][20 * NY + j].abs())
+            .fold(0.0, f32::max);
         println!("  fwd snap t={t}: max|u| at depth 20 = {row20:.2e}, at depth 48 = {row48:.2e}");
     }
     assert!(res_energy > 0.0, "no reflection recorded");

@@ -21,15 +21,19 @@ fn main() {
     let pref = &prop;
     let mut base = None;
     for nranks in [1usize, 2, 4, 8] {
-        let opts = prop.apply_options(nt).with_mode(HaloMode::Diagonal);
+        let opts = prop
+            .apply_options(nt)
+            .with_mode(HaloMode::Diagonal)
+            .with_ranks(nranks);
         let t0 = std::time::Instant::now();
-        let stats = prop.op.apply_distributed(
-            nranks,
-            None,
-            &opts,
-            move |ws| pref.init(ws),
-            |ws| ws.last_stats.clone().unwrap(),
-        );
+        let stats = prop
+            .op
+            .run(
+                &opts,
+                move |ws| pref.init(ws),
+                |ws| ws.last_stats.clone().unwrap(),
+            )
+            .results;
         let wall = t0.elapsed().as_secs_f64();
         let halo: f64 = stats.iter().map(|s| s.halo_secs).sum::<f64>() / nranks as f64;
         let base_t = *base.get_or_insert(wall);

@@ -20,6 +20,7 @@
 //! | [`core`] | the user-facing `Operator` |
 //! | [`solvers`] | acoustic / TTI / elastic / viscoelastic propagators |
 //! | [`perf`] | machine + network model, strong/weak scaling generators |
+//! | [`trace`] | per-rank section timers, message logs, `PerfSummary` |
 //!
 //! Start with `examples/quickstart.rs` — the paper's Listing 1 end to end.
 
@@ -31,5 +32,11 @@ pub use mpix_ir as ir;
 pub use mpix_perf as perf;
 pub use mpix_solvers as solvers;
 pub use mpix_symbolic as symbolic;
+pub use mpix_trace as trace;
 
 pub use mpix_core::prelude;
+
+// The everyday vocabulary, importable straight off the facade:
+// `use mpix::{Operator, ApplyOptions, TraceLevel, ...}`.
+pub use mpix_core::{Applied, ApplyOptions, Operator, PerfSummary, TraceLevel, Workspace};
+pub use mpix_dmp::HaloMode;

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/codegen_golden-926b2255df3fa13b.d: tests/codegen_golden.rs
+
+/root/repo/target/debug/deps/codegen_golden-926b2255df3fa13b: tests/codegen_golden.rs
+
+tests/codegen_golden.rs:

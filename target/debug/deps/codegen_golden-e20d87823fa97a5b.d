@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/codegen_golden-e20d87823fa97a5b.d: tests/codegen_golden.rs
+
+/root/repo/target/debug/deps/codegen_golden-e20d87823fa97a5b: tests/codegen_golden.rs
+
+tests/codegen_golden.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/compiler_fuzz-3ce41075362fe536.d: tests/compiler_fuzz.rs
+
+/root/repo/target/debug/deps/compiler_fuzz-3ce41075362fe536: tests/compiler_fuzz.rs
+
+tests/compiler_fuzz.rs:

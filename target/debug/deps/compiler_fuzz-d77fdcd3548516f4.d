@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/compiler_fuzz-d77fdcd3548516f4.d: tests/compiler_fuzz.rs
+
+/root/repo/target/debug/deps/compiler_fuzz-d77fdcd3548516f4: tests/compiler_fuzz.rs
+
+tests/compiler_fuzz.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/convergence-217f1351f149a241.d: tests/convergence.rs
+
+/root/repo/target/debug/deps/convergence-217f1351f149a241: tests/convergence.rs
+
+tests/convergence.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/convergence-354134cc34e9fcc8.d: tests/convergence.rs
+
+/root/repo/target/debug/deps/convergence-354134cc34e9fcc8: tests/convergence.rs
+
+tests/convergence.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/distributed_data-2bc46e58f2b83dd2.d: tests/distributed_data.rs
+
+/root/repo/target/debug/deps/distributed_data-2bc46e58f2b83dd2: tests/distributed_data.rs
+
+tests/distributed_data.rs:

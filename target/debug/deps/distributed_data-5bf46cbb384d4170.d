@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/distributed_data-5bf46cbb384d4170.d: tests/distributed_data.rs
+
+/root/repo/target/debug/deps/distributed_data-5bf46cbb384d4170: tests/distributed_data.rs
+
+tests/distributed_data.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/equivalence_all_kernels-8537274ed9dfac99.d: tests/equivalence_all_kernels.rs
+
+/root/repo/target/debug/deps/equivalence_all_kernels-8537274ed9dfac99: tests/equivalence_all_kernels.rs
+
+tests/equivalence_all_kernels.rs:

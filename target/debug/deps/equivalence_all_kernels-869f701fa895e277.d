@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/equivalence_all_kernels-869f701fa895e277.d: tests/equivalence_all_kernels.rs
+
+/root/repo/target/debug/deps/equivalence_all_kernels-869f701fa895e277: tests/equivalence_all_kernels.rs
+
+tests/equivalence_all_kernels.rs:

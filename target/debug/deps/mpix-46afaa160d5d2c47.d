@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/mpix-46afaa160d5d2c47.d: src/lib.rs
+
+/root/repo/target/debug/deps/mpix-46afaa160d5d2c47: src/lib.rs
+
+src/lib.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/mpix-818f46400f1d5255.d: src/lib.rs
+
+/root/repo/target/debug/deps/mpix-818f46400f1d5255: src/lib.rs
+
+src/lib.rs:

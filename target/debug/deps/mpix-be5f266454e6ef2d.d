@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/mpix-be5f266454e6ef2d.d: src/lib.rs
+
+/root/repo/target/debug/deps/libmpix-be5f266454e6ef2d.rlib: src/lib.rs
+
+/root/repo/target/debug/deps/libmpix-be5f266454e6ef2d.rmeta: src/lib.rs
+
+src/lib.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/mpix-f6e001f4be9df9a1.d: src/lib.rs
+
+/root/repo/target/debug/deps/libmpix-f6e001f4be9df9a1.rlib: src/lib.rs
+
+/root/repo/target/debug/deps/libmpix-f6e001f4be9df9a1.rmeta: src/lib.rs
+
+src/lib.rs:

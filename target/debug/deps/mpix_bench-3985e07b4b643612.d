@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/mpix_bench-3985e07b4b643612.d: crates/bench/src/lib.rs crates/bench/src/paper.rs crates/bench/src/profiles.rs crates/bench/src/tables.rs
+
+/root/repo/target/debug/deps/libmpix_bench-3985e07b4b643612.rlib: crates/bench/src/lib.rs crates/bench/src/paper.rs crates/bench/src/profiles.rs crates/bench/src/tables.rs
+
+/root/repo/target/debug/deps/libmpix_bench-3985e07b4b643612.rmeta: crates/bench/src/lib.rs crates/bench/src/paper.rs crates/bench/src/profiles.rs crates/bench/src/tables.rs
+
+crates/bench/src/lib.rs:
+crates/bench/src/paper.rs:
+crates/bench/src/profiles.rs:
+crates/bench/src/tables.rs:

@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/mpix_bench-77010dbc7d3f8e6a.d: crates/bench/src/lib.rs crates/bench/src/paper.rs crates/bench/src/profiles.rs crates/bench/src/tables.rs
+
+/root/repo/target/debug/deps/libmpix_bench-77010dbc7d3f8e6a.rlib: crates/bench/src/lib.rs crates/bench/src/paper.rs crates/bench/src/profiles.rs crates/bench/src/tables.rs
+
+/root/repo/target/debug/deps/libmpix_bench-77010dbc7d3f8e6a.rmeta: crates/bench/src/lib.rs crates/bench/src/paper.rs crates/bench/src/profiles.rs crates/bench/src/tables.rs
+
+crates/bench/src/lib.rs:
+crates/bench/src/paper.rs:
+crates/bench/src/profiles.rs:
+crates/bench/src/tables.rs:

@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/mpix_codegen-410bc9b659c2e556.d: crates/codegen/src/lib.rs crates/codegen/src/bytecode.rs crates/codegen/src/cgen.rs crates/codegen/src/executor.rs
+
+/root/repo/target/debug/deps/libmpix_codegen-410bc9b659c2e556.rlib: crates/codegen/src/lib.rs crates/codegen/src/bytecode.rs crates/codegen/src/cgen.rs crates/codegen/src/executor.rs
+
+/root/repo/target/debug/deps/libmpix_codegen-410bc9b659c2e556.rmeta: crates/codegen/src/lib.rs crates/codegen/src/bytecode.rs crates/codegen/src/cgen.rs crates/codegen/src/executor.rs
+
+crates/codegen/src/lib.rs:
+crates/codegen/src/bytecode.rs:
+crates/codegen/src/cgen.rs:
+crates/codegen/src/executor.rs:

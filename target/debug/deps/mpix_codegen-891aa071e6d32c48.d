@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/mpix_codegen-891aa071e6d32c48.d: crates/codegen/src/lib.rs crates/codegen/src/bytecode.rs crates/codegen/src/cgen.rs crates/codegen/src/executor.rs
+
+/root/repo/target/debug/deps/libmpix_codegen-891aa071e6d32c48.rlib: crates/codegen/src/lib.rs crates/codegen/src/bytecode.rs crates/codegen/src/cgen.rs crates/codegen/src/executor.rs
+
+/root/repo/target/debug/deps/libmpix_codegen-891aa071e6d32c48.rmeta: crates/codegen/src/lib.rs crates/codegen/src/bytecode.rs crates/codegen/src/cgen.rs crates/codegen/src/executor.rs
+
+crates/codegen/src/lib.rs:
+crates/codegen/src/bytecode.rs:
+crates/codegen/src/cgen.rs:
+crates/codegen/src/executor.rs:

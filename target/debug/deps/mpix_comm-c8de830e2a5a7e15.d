@@ -1,0 +1,11 @@
+/root/repo/target/debug/deps/mpix_comm-c8de830e2a5a7e15.d: crates/comm/src/lib.rs crates/comm/src/cart.rs crates/comm/src/comm.rs crates/comm/src/stats.rs crates/comm/src/universe.rs
+
+/root/repo/target/debug/deps/libmpix_comm-c8de830e2a5a7e15.rlib: crates/comm/src/lib.rs crates/comm/src/cart.rs crates/comm/src/comm.rs crates/comm/src/stats.rs crates/comm/src/universe.rs
+
+/root/repo/target/debug/deps/libmpix_comm-c8de830e2a5a7e15.rmeta: crates/comm/src/lib.rs crates/comm/src/cart.rs crates/comm/src/comm.rs crates/comm/src/stats.rs crates/comm/src/universe.rs
+
+crates/comm/src/lib.rs:
+crates/comm/src/cart.rs:
+crates/comm/src/comm.rs:
+crates/comm/src/stats.rs:
+crates/comm/src/universe.rs:

@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/mpix_core-7681bc6f18e3444c.d: crates/core/src/lib.rs crates/core/src/autotune.rs crates/core/src/operator.rs crates/core/src/workspace.rs
+
+/root/repo/target/debug/deps/libmpix_core-7681bc6f18e3444c.rlib: crates/core/src/lib.rs crates/core/src/autotune.rs crates/core/src/operator.rs crates/core/src/workspace.rs
+
+/root/repo/target/debug/deps/libmpix_core-7681bc6f18e3444c.rmeta: crates/core/src/lib.rs crates/core/src/autotune.rs crates/core/src/operator.rs crates/core/src/workspace.rs
+
+crates/core/src/lib.rs:
+crates/core/src/autotune.rs:
+crates/core/src/operator.rs:
+crates/core/src/workspace.rs:

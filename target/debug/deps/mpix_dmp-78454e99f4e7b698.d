@@ -1,0 +1,12 @@
+/root/repo/target/debug/deps/mpix_dmp-78454e99f4e7b698.d: crates/dmp/src/lib.rs crates/dmp/src/array.rs crates/dmp/src/decomp.rs crates/dmp/src/halo.rs crates/dmp/src/regions.rs crates/dmp/src/sparse.rs
+
+/root/repo/target/debug/deps/libmpix_dmp-78454e99f4e7b698.rlib: crates/dmp/src/lib.rs crates/dmp/src/array.rs crates/dmp/src/decomp.rs crates/dmp/src/halo.rs crates/dmp/src/regions.rs crates/dmp/src/sparse.rs
+
+/root/repo/target/debug/deps/libmpix_dmp-78454e99f4e7b698.rmeta: crates/dmp/src/lib.rs crates/dmp/src/array.rs crates/dmp/src/decomp.rs crates/dmp/src/halo.rs crates/dmp/src/regions.rs crates/dmp/src/sparse.rs
+
+crates/dmp/src/lib.rs:
+crates/dmp/src/array.rs:
+crates/dmp/src/decomp.rs:
+crates/dmp/src/halo.rs:
+crates/dmp/src/regions.rs:
+crates/dmp/src/sparse.rs:

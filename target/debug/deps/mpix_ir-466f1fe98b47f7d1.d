@@ -1,0 +1,15 @@
+/root/repo/target/debug/deps/mpix_ir-466f1fe98b47f7d1.d: crates/ir/src/lib.rs crates/ir/src/cluster.rs crates/ir/src/halo.rs crates/ir/src/iet.rs crates/ir/src/iexpr.rs crates/ir/src/lowering.rs crates/ir/src/opcount.rs crates/ir/src/passes.rs crates/ir/src/schedule.rs
+
+/root/repo/target/debug/deps/libmpix_ir-466f1fe98b47f7d1.rlib: crates/ir/src/lib.rs crates/ir/src/cluster.rs crates/ir/src/halo.rs crates/ir/src/iet.rs crates/ir/src/iexpr.rs crates/ir/src/lowering.rs crates/ir/src/opcount.rs crates/ir/src/passes.rs crates/ir/src/schedule.rs
+
+/root/repo/target/debug/deps/libmpix_ir-466f1fe98b47f7d1.rmeta: crates/ir/src/lib.rs crates/ir/src/cluster.rs crates/ir/src/halo.rs crates/ir/src/iet.rs crates/ir/src/iexpr.rs crates/ir/src/lowering.rs crates/ir/src/opcount.rs crates/ir/src/passes.rs crates/ir/src/schedule.rs
+
+crates/ir/src/lib.rs:
+crates/ir/src/cluster.rs:
+crates/ir/src/halo.rs:
+crates/ir/src/iet.rs:
+crates/ir/src/iexpr.rs:
+crates/ir/src/lowering.rs:
+crates/ir/src/opcount.rs:
+crates/ir/src/passes.rs:
+crates/ir/src/schedule.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/mpix_json-a24be48dff9c1183.d: crates/json/src/lib.rs
+
+/root/repo/target/debug/deps/libmpix_json-a24be48dff9c1183.rlib: crates/json/src/lib.rs
+
+/root/repo/target/debug/deps/libmpix_json-a24be48dff9c1183.rmeta: crates/json/src/lib.rs
+
+crates/json/src/lib.rs:

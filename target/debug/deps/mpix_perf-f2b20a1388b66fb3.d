@@ -1,0 +1,12 @@
+/root/repo/target/debug/deps/mpix_perf-f2b20a1388b66fb3.d: crates/perf/src/lib.rs crates/perf/src/machine.rs crates/perf/src/network.rs crates/perf/src/profile.rs crates/perf/src/roofline.rs crates/perf/src/scaling.rs
+
+/root/repo/target/debug/deps/libmpix_perf-f2b20a1388b66fb3.rlib: crates/perf/src/lib.rs crates/perf/src/machine.rs crates/perf/src/network.rs crates/perf/src/profile.rs crates/perf/src/roofline.rs crates/perf/src/scaling.rs
+
+/root/repo/target/debug/deps/libmpix_perf-f2b20a1388b66fb3.rmeta: crates/perf/src/lib.rs crates/perf/src/machine.rs crates/perf/src/network.rs crates/perf/src/profile.rs crates/perf/src/roofline.rs crates/perf/src/scaling.rs
+
+crates/perf/src/lib.rs:
+crates/perf/src/machine.rs:
+crates/perf/src/network.rs:
+crates/perf/src/profile.rs:
+crates/perf/src/roofline.rs:
+crates/perf/src/scaling.rs:

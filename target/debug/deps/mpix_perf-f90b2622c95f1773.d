@@ -1,0 +1,12 @@
+/root/repo/target/debug/deps/mpix_perf-f90b2622c95f1773.d: crates/perf/src/lib.rs crates/perf/src/machine.rs crates/perf/src/network.rs crates/perf/src/profile.rs crates/perf/src/roofline.rs crates/perf/src/scaling.rs
+
+/root/repo/target/debug/deps/libmpix_perf-f90b2622c95f1773.rlib: crates/perf/src/lib.rs crates/perf/src/machine.rs crates/perf/src/network.rs crates/perf/src/profile.rs crates/perf/src/roofline.rs crates/perf/src/scaling.rs
+
+/root/repo/target/debug/deps/libmpix_perf-f90b2622c95f1773.rmeta: crates/perf/src/lib.rs crates/perf/src/machine.rs crates/perf/src/network.rs crates/perf/src/profile.rs crates/perf/src/roofline.rs crates/perf/src/scaling.rs
+
+crates/perf/src/lib.rs:
+crates/perf/src/machine.rs:
+crates/perf/src/network.rs:
+crates/perf/src/profile.rs:
+crates/perf/src/roofline.rs:
+crates/perf/src/scaling.rs:

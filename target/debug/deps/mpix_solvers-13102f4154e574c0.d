@@ -1,0 +1,15 @@
+/root/repo/target/debug/deps/mpix_solvers-13102f4154e574c0.d: crates/solvers/src/lib.rs crates/solvers/src/acoustic.rs crates/solvers/src/elastic.rs crates/solvers/src/model.rs crates/solvers/src/propagator.rs crates/solvers/src/ricker.rs crates/solvers/src/tti.rs crates/solvers/src/verification.rs crates/solvers/src/viscoelastic.rs
+
+/root/repo/target/debug/deps/libmpix_solvers-13102f4154e574c0.rlib: crates/solvers/src/lib.rs crates/solvers/src/acoustic.rs crates/solvers/src/elastic.rs crates/solvers/src/model.rs crates/solvers/src/propagator.rs crates/solvers/src/ricker.rs crates/solvers/src/tti.rs crates/solvers/src/verification.rs crates/solvers/src/viscoelastic.rs
+
+/root/repo/target/debug/deps/libmpix_solvers-13102f4154e574c0.rmeta: crates/solvers/src/lib.rs crates/solvers/src/acoustic.rs crates/solvers/src/elastic.rs crates/solvers/src/model.rs crates/solvers/src/propagator.rs crates/solvers/src/ricker.rs crates/solvers/src/tti.rs crates/solvers/src/verification.rs crates/solvers/src/viscoelastic.rs
+
+crates/solvers/src/lib.rs:
+crates/solvers/src/acoustic.rs:
+crates/solvers/src/elastic.rs:
+crates/solvers/src/model.rs:
+crates/solvers/src/propagator.rs:
+crates/solvers/src/ricker.rs:
+crates/solvers/src/tti.rs:
+crates/solvers/src/verification.rs:
+crates/solvers/src/viscoelastic.rs:

@@ -1,0 +1,15 @@
+/root/repo/target/debug/deps/mpix_solvers-ad3f350524d6aa2c.d: crates/solvers/src/lib.rs crates/solvers/src/acoustic.rs crates/solvers/src/elastic.rs crates/solvers/src/model.rs crates/solvers/src/propagator.rs crates/solvers/src/ricker.rs crates/solvers/src/tti.rs crates/solvers/src/verification.rs crates/solvers/src/viscoelastic.rs
+
+/root/repo/target/debug/deps/libmpix_solvers-ad3f350524d6aa2c.rlib: crates/solvers/src/lib.rs crates/solvers/src/acoustic.rs crates/solvers/src/elastic.rs crates/solvers/src/model.rs crates/solvers/src/propagator.rs crates/solvers/src/ricker.rs crates/solvers/src/tti.rs crates/solvers/src/verification.rs crates/solvers/src/viscoelastic.rs
+
+/root/repo/target/debug/deps/libmpix_solvers-ad3f350524d6aa2c.rmeta: crates/solvers/src/lib.rs crates/solvers/src/acoustic.rs crates/solvers/src/elastic.rs crates/solvers/src/model.rs crates/solvers/src/propagator.rs crates/solvers/src/ricker.rs crates/solvers/src/tti.rs crates/solvers/src/verification.rs crates/solvers/src/viscoelastic.rs
+
+crates/solvers/src/lib.rs:
+crates/solvers/src/acoustic.rs:
+crates/solvers/src/elastic.rs:
+crates/solvers/src/model.rs:
+crates/solvers/src/propagator.rs:
+crates/solvers/src/ricker.rs:
+crates/solvers/src/tti.rs:
+crates/solvers/src/verification.rs:
+crates/solvers/src/viscoelastic.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/mpix_trace-0d65eef1e98cde59.d: crates/trace/src/lib.rs crates/trace/src/msg.rs crates/trace/src/summary.rs
+
+/root/repo/target/debug/deps/libmpix_trace-0d65eef1e98cde59.rlib: crates/trace/src/lib.rs crates/trace/src/msg.rs crates/trace/src/summary.rs
+
+/root/repo/target/debug/deps/libmpix_trace-0d65eef1e98cde59.rmeta: crates/trace/src/lib.rs crates/trace/src/msg.rs crates/trace/src/summary.rs
+
+crates/trace/src/lib.rs:
+crates/trace/src/msg.rs:
+crates/trace/src/summary.rs:

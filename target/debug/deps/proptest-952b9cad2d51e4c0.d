@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/proptest-952b9cad2d51e4c0.d: crates/proptest/src/lib.rs
+
+/root/repo/target/debug/deps/libproptest-952b9cad2d51e4c0.rlib: crates/proptest/src/lib.rs
+
+/root/repo/target/debug/deps/libproptest-952b9cad2d51e4c0.rmeta: crates/proptest/src/lib.rs
+
+crates/proptest/src/lib.rs:

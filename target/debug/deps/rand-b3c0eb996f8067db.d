@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/rand-b3c0eb996f8067db.d: crates/rand/src/lib.rs
+
+/root/repo/target/debug/deps/librand-b3c0eb996f8067db.rlib: crates/rand/src/lib.rs
+
+/root/repo/target/debug/deps/librand-b3c0eb996f8067db.rmeta: crates/rand/src/lib.rs
+
+crates/rand/src/lib.rs:

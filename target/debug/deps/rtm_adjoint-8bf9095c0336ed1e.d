@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/rtm_adjoint-8bf9095c0336ed1e.d: tests/rtm_adjoint.rs
+
+/root/repo/target/debug/deps/rtm_adjoint-8bf9095c0336ed1e: tests/rtm_adjoint.rs
+
+tests/rtm_adjoint.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/rtm_adjoint-afb610e9520f220f.d: tests/rtm_adjoint.rs
+
+/root/repo/target/debug/deps/rtm_adjoint-afb610e9520f220f: tests/rtm_adjoint.rs
+
+tests/rtm_adjoint.rs:

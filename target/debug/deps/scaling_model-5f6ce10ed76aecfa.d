@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/scaling_model-5f6ce10ed76aecfa.d: tests/scaling_model.rs
+
+/root/repo/target/debug/deps/scaling_model-5f6ce10ed76aecfa: tests/scaling_model.rs
+
+tests/scaling_model.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/scaling_model-87000540a54934e2.d: tests/scaling_model.rs
+
+/root/repo/target/debug/deps/scaling_model-87000540a54934e2: tests/scaling_model.rs
+
+tests/scaling_model.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/sparse_points-4e89cbdf9414741e.d: tests/sparse_points.rs
+
+/root/repo/target/debug/deps/sparse_points-4e89cbdf9414741e: tests/sparse_points.rs
+
+tests/sparse_points.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/sparse_points-82be0d6e2693b92d.d: tests/sparse_points.rs
+
+/root/repo/target/debug/deps/sparse_points-82be0d6e2693b92d: tests/sparse_points.rs
+
+tests/sparse_points.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/trace_invariants-e100cfc33ee385dd.d: tests/trace_invariants.rs
+
+/root/repo/target/debug/deps/trace_invariants-e100cfc33ee385dd: tests/trace_invariants.rs
+
+tests/trace_invariants.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/acoustic_modeling-51b679d1bb53a60b.d: examples/acoustic_modeling.rs
+
+/root/repo/target/debug/examples/acoustic_modeling-51b679d1bb53a60b: examples/acoustic_modeling.rs
+
+examples/acoustic_modeling.rs:

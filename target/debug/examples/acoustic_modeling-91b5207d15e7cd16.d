@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/acoustic_modeling-91b5207d15e7cd16.d: examples/acoustic_modeling.rs
+
+/root/repo/target/debug/examples/acoustic_modeling-91b5207d15e7cd16: examples/acoustic_modeling.rs
+
+examples/acoustic_modeling.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/autotune_demo-005cb5ad2e58dba9.d: examples/autotune_demo.rs
+
+/root/repo/target/debug/examples/autotune_demo-005cb5ad2e58dba9: examples/autotune_demo.rs
+
+examples/autotune_demo.rs:

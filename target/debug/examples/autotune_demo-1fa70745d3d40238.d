@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/autotune_demo-1fa70745d3d40238.d: examples/autotune_demo.rs
+
+/root/repo/target/debug/examples/autotune_demo-1fa70745d3d40238: examples/autotune_demo.rs
+
+examples/autotune_demo.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/cdump-0d809ae31589334b.d: examples/cdump.rs
+
+/root/repo/target/debug/examples/cdump-0d809ae31589334b: examples/cdump.rs
+
+examples/cdump.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/cdump-5d9198e25d335a9d.d: examples/cdump.rs
+
+/root/repo/target/debug/examples/cdump-5d9198e25d335a9d: examples/cdump.rs
+
+examples/cdump.rs:

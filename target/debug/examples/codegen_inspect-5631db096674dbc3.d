@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/codegen_inspect-5631db096674dbc3.d: examples/codegen_inspect.rs
+
+/root/repo/target/debug/examples/codegen_inspect-5631db096674dbc3: examples/codegen_inspect.rs
+
+examples/codegen_inspect.rs:

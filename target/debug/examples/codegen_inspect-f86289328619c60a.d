@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/codegen_inspect-f86289328619c60a.d: examples/codegen_inspect.rs
+
+/root/repo/target/debug/examples/codegen_inspect-f86289328619c60a: examples/codegen_inspect.rs
+
+examples/codegen_inspect.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/custom_topology-77ce6ed707e1dc90.d: examples/custom_topology.rs
+
+/root/repo/target/debug/examples/custom_topology-77ce6ed707e1dc90: examples/custom_topology.rs
+
+examples/custom_topology.rs:

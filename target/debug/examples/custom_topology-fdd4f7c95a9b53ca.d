@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/custom_topology-fdd4f7c95a9b53ca.d: examples/custom_topology.rs
+
+/root/repo/target/debug/examples/custom_topology-fdd4f7c95a9b53ca: examples/custom_topology.rs
+
+examples/custom_topology.rs:

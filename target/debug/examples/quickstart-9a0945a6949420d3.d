@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/quickstart-9a0945a6949420d3.d: examples/quickstart.rs
+
+/root/repo/target/debug/examples/quickstart-9a0945a6949420d3: examples/quickstart.rs
+
+examples/quickstart.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/quickstart-cfa93753e50d1098.d: examples/quickstart.rs
+
+/root/repo/target/debug/examples/quickstart-cfa93753e50d1098: examples/quickstart.rs
+
+examples/quickstart.rs:

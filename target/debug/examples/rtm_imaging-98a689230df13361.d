@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/rtm_imaging-98a689230df13361.d: examples/rtm_imaging.rs
+
+/root/repo/target/debug/examples/rtm_imaging-98a689230df13361: examples/rtm_imaging.rs
+
+examples/rtm_imaging.rs:

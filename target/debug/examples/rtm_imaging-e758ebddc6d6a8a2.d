@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/rtm_imaging-e758ebddc6d6a8a2.d: examples/rtm_imaging.rs
+
+/root/repo/target/debug/examples/rtm_imaging-e758ebddc6d6a8a2: examples/rtm_imaging.rs
+
+examples/rtm_imaging.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/scaling_experiment-0a0de35f98882cba.d: examples/scaling_experiment.rs
+
+/root/repo/target/debug/examples/scaling_experiment-0a0de35f98882cba: examples/scaling_experiment.rs
+
+examples/scaling_experiment.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/scaling_experiment-e0958c3810512491.d: examples/scaling_experiment.rs
+
+/root/repo/target/debug/examples/scaling_experiment-e0958c3810512491: examples/scaling_experiment.rs
+
+examples/scaling_experiment.rs:

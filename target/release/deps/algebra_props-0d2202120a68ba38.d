@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/algebra_props-0d2202120a68ba38.d: crates/symbolic/tests/algebra_props.rs
+
+/root/repo/target/release/deps/algebra_props-0d2202120a68ba38: crates/symbolic/tests/algebra_props.rs
+
+crates/symbolic/tests/algebra_props.rs:

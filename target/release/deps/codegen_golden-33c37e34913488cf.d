@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/codegen_golden-33c37e34913488cf.d: tests/codegen_golden.rs
+
+/root/repo/target/release/deps/codegen_golden-33c37e34913488cf: tests/codegen_golden.rs
+
+tests/codegen_golden.rs:

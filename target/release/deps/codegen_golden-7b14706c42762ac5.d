@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/codegen_golden-7b14706c42762ac5.d: tests/codegen_golden.rs Cargo.toml
+
+/root/repo/target/release/deps/libcodegen_golden-7b14706c42762ac5.rmeta: tests/codegen_golden.rs Cargo.toml
+
+tests/codegen_golden.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/codegen_golden-e5d581c798069290.d: tests/codegen_golden.rs
+
+/root/repo/target/release/deps/codegen_golden-e5d581c798069290: tests/codegen_golden.rs
+
+tests/codegen_golden.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/compiler-37b1c12f74d3892b.d: crates/bench/benches/compiler.rs
+
+/root/repo/target/release/deps/compiler-37b1c12f74d3892b: crates/bench/benches/compiler.rs
+
+crates/bench/benches/compiler.rs:

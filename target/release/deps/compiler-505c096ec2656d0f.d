@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/compiler-505c096ec2656d0f.d: crates/bench/benches/compiler.rs Cargo.toml
+
+/root/repo/target/release/deps/libcompiler-505c096ec2656d0f.rmeta: crates/bench/benches/compiler.rs Cargo.toml
+
+crates/bench/benches/compiler.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

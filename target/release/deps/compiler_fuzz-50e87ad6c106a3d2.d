@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/compiler_fuzz-50e87ad6c106a3d2.d: tests/compiler_fuzz.rs Cargo.toml
+
+/root/repo/target/release/deps/libcompiler_fuzz-50e87ad6c106a3d2.rmeta: tests/compiler_fuzz.rs Cargo.toml
+
+tests/compiler_fuzz.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/compiler_fuzz-86ea7cc8c87a883f.d: tests/compiler_fuzz.rs
+
+/root/repo/target/release/deps/compiler_fuzz-86ea7cc8c87a883f: tests/compiler_fuzz.rs
+
+tests/compiler_fuzz.rs:

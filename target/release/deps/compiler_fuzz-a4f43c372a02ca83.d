@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/compiler_fuzz-a4f43c372a02ca83.d: tests/compiler_fuzz.rs
+
+/root/repo/target/release/deps/compiler_fuzz-a4f43c372a02ca83: tests/compiler_fuzz.rs
+
+tests/compiler_fuzz.rs:

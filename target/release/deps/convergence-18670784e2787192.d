@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/convergence-18670784e2787192.d: tests/convergence.rs
+
+/root/repo/target/release/deps/convergence-18670784e2787192: tests/convergence.rs
+
+tests/convergence.rs:

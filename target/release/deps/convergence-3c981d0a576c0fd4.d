@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/convergence-3c981d0a576c0fd4.d: tests/convergence.rs Cargo.toml
+
+/root/repo/target/release/deps/libconvergence-3c981d0a576c0fd4.rmeta: tests/convergence.rs Cargo.toml
+
+tests/convergence.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/convergence-c23f1719c0f8ed59.d: tests/convergence.rs
+
+/root/repo/target/release/deps/convergence-c23f1719c0f8ed59: tests/convergence.rs
+
+tests/convergence.rs:

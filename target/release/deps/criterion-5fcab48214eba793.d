@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/criterion-5fcab48214eba793.d: crates/criterion/src/lib.rs Cargo.toml
+
+/root/repo/target/release/deps/libcriterion-5fcab48214eba793.rmeta: crates/criterion/src/lib.rs Cargo.toml
+
+crates/criterion/src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

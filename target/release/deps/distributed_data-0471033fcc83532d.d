@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/distributed_data-0471033fcc83532d.d: tests/distributed_data.rs
+
+/root/repo/target/release/deps/distributed_data-0471033fcc83532d: tests/distributed_data.rs
+
+tests/distributed_data.rs:

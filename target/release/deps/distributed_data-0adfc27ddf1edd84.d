@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/distributed_data-0adfc27ddf1edd84.d: tests/distributed_data.rs Cargo.toml
+
+/root/repo/target/release/deps/libdistributed_data-0adfc27ddf1edd84.rmeta: tests/distributed_data.rs Cargo.toml
+
+tests/distributed_data.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/distributed_data-e5390ebcc3f3d696.d: tests/distributed_data.rs
+
+/root/repo/target/release/deps/distributed_data-e5390ebcc3f3d696: tests/distributed_data.rs
+
+tests/distributed_data.rs:

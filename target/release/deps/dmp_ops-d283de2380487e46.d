@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/dmp_ops-d283de2380487e46.d: crates/bench/benches/dmp_ops.rs
+
+/root/repo/target/release/deps/dmp_ops-d283de2380487e46: crates/bench/benches/dmp_ops.rs
+
+crates/bench/benches/dmp_ops.rs:

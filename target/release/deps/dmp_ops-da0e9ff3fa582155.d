@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/dmp_ops-da0e9ff3fa582155.d: crates/bench/benches/dmp_ops.rs Cargo.toml
+
+/root/repo/target/release/deps/libdmp_ops-da0e9ff3fa582155.rmeta: crates/bench/benches/dmp_ops.rs Cargo.toml
+
+crates/bench/benches/dmp_ops.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/equivalence_all_kernels-6699094f1dab4bd6.d: tests/equivalence_all_kernels.rs
+
+/root/repo/target/release/deps/equivalence_all_kernels-6699094f1dab4bd6: tests/equivalence_all_kernels.rs
+
+tests/equivalence_all_kernels.rs:

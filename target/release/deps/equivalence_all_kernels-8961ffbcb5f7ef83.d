@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/equivalence_all_kernels-8961ffbcb5f7ef83.d: tests/equivalence_all_kernels.rs
+
+/root/repo/target/release/deps/equivalence_all_kernels-8961ffbcb5f7ef83: tests/equivalence_all_kernels.rs
+
+tests/equivalence_all_kernels.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/equivalence_all_kernels-b2cae498b95cbede.d: tests/equivalence_all_kernels.rs Cargo.toml
+
+/root/repo/target/release/deps/libequivalence_all_kernels-b2cae498b95cbede.rmeta: tests/equivalence_all_kernels.rs Cargo.toml
+
+tests/equivalence_all_kernels.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

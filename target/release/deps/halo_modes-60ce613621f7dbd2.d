@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/halo_modes-60ce613621f7dbd2.d: crates/bench/benches/halo_modes.rs Cargo.toml
+
+/root/repo/target/release/deps/libhalo_modes-60ce613621f7dbd2.rmeta: crates/bench/benches/halo_modes.rs Cargo.toml
+
+crates/bench/benches/halo_modes.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/halo_modes-e328d536219296e1.d: crates/bench/benches/halo_modes.rs
+
+/root/repo/target/release/deps/halo_modes-e328d536219296e1: crates/bench/benches/halo_modes.rs
+
+crates/bench/benches/halo_modes.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/halo_props-3391fb682eddee56.d: crates/dmp/tests/halo_props.rs Cargo.toml
+
+/root/repo/target/release/deps/libhalo_props-3391fb682eddee56.rmeta: crates/dmp/tests/halo_props.rs Cargo.toml
+
+crates/dmp/tests/halo_props.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

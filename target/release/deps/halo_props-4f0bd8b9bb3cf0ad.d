@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/halo_props-4f0bd8b9bb3cf0ad.d: crates/dmp/tests/halo_props.rs
+
+/root/repo/target/release/deps/halo_props-4f0bd8b9bb3cf0ad: crates/dmp/tests/halo_props.rs
+
+crates/dmp/tests/halo_props.rs:

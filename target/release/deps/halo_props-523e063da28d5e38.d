@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/halo_props-523e063da28d5e38.d: crates/dmp/tests/halo_props.rs
+
+/root/repo/target/release/deps/halo_props-523e063da28d5e38: crates/dmp/tests/halo_props.rs
+
+crates/dmp/tests/halo_props.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/kernels-34f9d47399b9249d.d: crates/bench/benches/kernels.rs
+
+/root/repo/target/release/deps/kernels-34f9d47399b9249d: crates/bench/benches/kernels.rs
+
+crates/bench/benches/kernels.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/kernels-675e9e837f1237eb.d: crates/bench/benches/kernels.rs Cargo.toml
+
+/root/repo/target/release/deps/libkernels-675e9e837f1237eb.rmeta: crates/bench/benches/kernels.rs Cargo.toml
+
+crates/bench/benches/kernels.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/mpix-20543c79ed11b55c.d: src/lib.rs
+
+/root/repo/target/release/deps/libmpix-20543c79ed11b55c.rlib: src/lib.rs
+
+/root/repo/target/release/deps/libmpix-20543c79ed11b55c.rmeta: src/lib.rs
+
+src/lib.rs:

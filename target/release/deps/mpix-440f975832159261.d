@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/mpix-440f975832159261.d: src/lib.rs
+
+/root/repo/target/release/deps/mpix-440f975832159261: src/lib.rs
+
+src/lib.rs:

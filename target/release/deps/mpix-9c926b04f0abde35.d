@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/mpix-9c926b04f0abde35.d: src/lib.rs
+
+/root/repo/target/release/deps/libmpix-9c926b04f0abde35.rlib: src/lib.rs
+
+/root/repo/target/release/deps/libmpix-9c926b04f0abde35.rmeta: src/lib.rs
+
+src/lib.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/mpix-9fdb935a3792ba82.d: src/lib.rs
+
+/root/repo/target/release/deps/mpix-9fdb935a3792ba82: src/lib.rs
+
+src/lib.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/mpix-fbbc4a169e6bc287.d: src/lib.rs
+
+/root/repo/target/release/deps/libmpix-fbbc4a169e6bc287.rlib: src/lib.rs
+
+/root/repo/target/release/deps/libmpix-fbbc4a169e6bc287.rmeta: src/lib.rs
+
+src/lib.rs:

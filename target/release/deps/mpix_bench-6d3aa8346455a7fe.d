@@ -1,0 +1,12 @@
+/root/repo/target/release/deps/mpix_bench-6d3aa8346455a7fe.d: crates/bench/src/lib.rs crates/bench/src/paper.rs crates/bench/src/profiles.rs crates/bench/src/tables.rs Cargo.toml
+
+/root/repo/target/release/deps/libmpix_bench-6d3aa8346455a7fe.rmeta: crates/bench/src/lib.rs crates/bench/src/paper.rs crates/bench/src/profiles.rs crates/bench/src/tables.rs Cargo.toml
+
+crates/bench/src/lib.rs:
+crates/bench/src/paper.rs:
+crates/bench/src/profiles.rs:
+crates/bench/src/tables.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,10 @@
+/root/repo/target/release/deps/mpix_bench-db033c8cd5eca573.d: crates/bench/src/lib.rs crates/bench/src/paper.rs crates/bench/src/profiles.rs crates/bench/src/tables.rs
+
+/root/repo/target/release/deps/libmpix_bench-db033c8cd5eca573.rlib: crates/bench/src/lib.rs crates/bench/src/paper.rs crates/bench/src/profiles.rs crates/bench/src/tables.rs
+
+/root/repo/target/release/deps/libmpix_bench-db033c8cd5eca573.rmeta: crates/bench/src/lib.rs crates/bench/src/paper.rs crates/bench/src/profiles.rs crates/bench/src/tables.rs
+
+crates/bench/src/lib.rs:
+crates/bench/src/paper.rs:
+crates/bench/src/profiles.rs:
+crates/bench/src/tables.rs:

@@ -1,0 +1,8 @@
+/root/repo/target/release/deps/mpix_bench-f4c955ed4e1a2c7b.d: crates/bench/src/lib.rs crates/bench/src/paper.rs crates/bench/src/profiles.rs crates/bench/src/tables.rs
+
+/root/repo/target/release/deps/mpix_bench-f4c955ed4e1a2c7b: crates/bench/src/lib.rs crates/bench/src/paper.rs crates/bench/src/profiles.rs crates/bench/src/tables.rs
+
+crates/bench/src/lib.rs:
+crates/bench/src/paper.rs:
+crates/bench/src/profiles.rs:
+crates/bench/src/tables.rs:

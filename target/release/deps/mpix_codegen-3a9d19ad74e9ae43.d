@@ -1,0 +1,8 @@
+/root/repo/target/release/deps/mpix_codegen-3a9d19ad74e9ae43.d: crates/codegen/src/lib.rs crates/codegen/src/bytecode.rs crates/codegen/src/cgen.rs crates/codegen/src/executor.rs
+
+/root/repo/target/release/deps/mpix_codegen-3a9d19ad74e9ae43: crates/codegen/src/lib.rs crates/codegen/src/bytecode.rs crates/codegen/src/cgen.rs crates/codegen/src/executor.rs
+
+crates/codegen/src/lib.rs:
+crates/codegen/src/bytecode.rs:
+crates/codegen/src/cgen.rs:
+crates/codegen/src/executor.rs:

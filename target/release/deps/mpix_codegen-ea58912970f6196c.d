@@ -1,0 +1,12 @@
+/root/repo/target/release/deps/mpix_codegen-ea58912970f6196c.d: crates/codegen/src/lib.rs crates/codegen/src/bytecode.rs crates/codegen/src/cgen.rs crates/codegen/src/executor.rs Cargo.toml
+
+/root/repo/target/release/deps/libmpix_codegen-ea58912970f6196c.rmeta: crates/codegen/src/lib.rs crates/codegen/src/bytecode.rs crates/codegen/src/cgen.rs crates/codegen/src/executor.rs Cargo.toml
+
+crates/codegen/src/lib.rs:
+crates/codegen/src/bytecode.rs:
+crates/codegen/src/cgen.rs:
+crates/codegen/src/executor.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

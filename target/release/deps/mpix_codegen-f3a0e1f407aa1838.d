@@ -1,0 +1,10 @@
+/root/repo/target/release/deps/mpix_codegen-f3a0e1f407aa1838.d: crates/codegen/src/lib.rs crates/codegen/src/bytecode.rs crates/codegen/src/cgen.rs crates/codegen/src/executor.rs
+
+/root/repo/target/release/deps/libmpix_codegen-f3a0e1f407aa1838.rlib: crates/codegen/src/lib.rs crates/codegen/src/bytecode.rs crates/codegen/src/cgen.rs crates/codegen/src/executor.rs
+
+/root/repo/target/release/deps/libmpix_codegen-f3a0e1f407aa1838.rmeta: crates/codegen/src/lib.rs crates/codegen/src/bytecode.rs crates/codegen/src/cgen.rs crates/codegen/src/executor.rs
+
+crates/codegen/src/lib.rs:
+crates/codegen/src/bytecode.rs:
+crates/codegen/src/cgen.rs:
+crates/codegen/src/executor.rs:

@@ -1,0 +1,11 @@
+/root/repo/target/release/deps/mpix_comm-6c0a3f26527622fe.d: crates/comm/src/lib.rs crates/comm/src/cart.rs crates/comm/src/comm.rs crates/comm/src/stats.rs crates/comm/src/universe.rs
+
+/root/repo/target/release/deps/libmpix_comm-6c0a3f26527622fe.rlib: crates/comm/src/lib.rs crates/comm/src/cart.rs crates/comm/src/comm.rs crates/comm/src/stats.rs crates/comm/src/universe.rs
+
+/root/repo/target/release/deps/libmpix_comm-6c0a3f26527622fe.rmeta: crates/comm/src/lib.rs crates/comm/src/cart.rs crates/comm/src/comm.rs crates/comm/src/stats.rs crates/comm/src/universe.rs
+
+crates/comm/src/lib.rs:
+crates/comm/src/cart.rs:
+crates/comm/src/comm.rs:
+crates/comm/src/stats.rs:
+crates/comm/src/universe.rs:

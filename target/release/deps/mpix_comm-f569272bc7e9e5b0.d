@@ -1,0 +1,13 @@
+/root/repo/target/release/deps/mpix_comm-f569272bc7e9e5b0.d: crates/comm/src/lib.rs crates/comm/src/cart.rs crates/comm/src/comm.rs crates/comm/src/stats.rs crates/comm/src/universe.rs Cargo.toml
+
+/root/repo/target/release/deps/libmpix_comm-f569272bc7e9e5b0.rmeta: crates/comm/src/lib.rs crates/comm/src/cart.rs crates/comm/src/comm.rs crates/comm/src/stats.rs crates/comm/src/universe.rs Cargo.toml
+
+crates/comm/src/lib.rs:
+crates/comm/src/cart.rs:
+crates/comm/src/comm.rs:
+crates/comm/src/stats.rs:
+crates/comm/src/universe.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,8 @@
+/root/repo/target/release/deps/mpix_core-00ae549f84648dc6.d: crates/core/src/lib.rs crates/core/src/autotune.rs crates/core/src/operator.rs crates/core/src/workspace.rs
+
+/root/repo/target/release/deps/mpix_core-00ae549f84648dc6: crates/core/src/lib.rs crates/core/src/autotune.rs crates/core/src/operator.rs crates/core/src/workspace.rs
+
+crates/core/src/lib.rs:
+crates/core/src/autotune.rs:
+crates/core/src/operator.rs:
+crates/core/src/workspace.rs:

@@ -1,0 +1,12 @@
+/root/repo/target/release/deps/mpix_core-0e2844eb88848ef8.d: crates/core/src/lib.rs crates/core/src/autotune.rs crates/core/src/operator.rs crates/core/src/workspace.rs Cargo.toml
+
+/root/repo/target/release/deps/libmpix_core-0e2844eb88848ef8.rmeta: crates/core/src/lib.rs crates/core/src/autotune.rs crates/core/src/operator.rs crates/core/src/workspace.rs Cargo.toml
+
+crates/core/src/lib.rs:
+crates/core/src/autotune.rs:
+crates/core/src/operator.rs:
+crates/core/src/workspace.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,10 @@
+/root/repo/target/release/deps/mpix_core-1f2ab2ab4fa1137b.d: crates/core/src/lib.rs crates/core/src/autotune.rs crates/core/src/operator.rs crates/core/src/workspace.rs
+
+/root/repo/target/release/deps/libmpix_core-1f2ab2ab4fa1137b.rlib: crates/core/src/lib.rs crates/core/src/autotune.rs crates/core/src/operator.rs crates/core/src/workspace.rs
+
+/root/repo/target/release/deps/libmpix_core-1f2ab2ab4fa1137b.rmeta: crates/core/src/lib.rs crates/core/src/autotune.rs crates/core/src/operator.rs crates/core/src/workspace.rs
+
+crates/core/src/lib.rs:
+crates/core/src/autotune.rs:
+crates/core/src/operator.rs:
+crates/core/src/workspace.rs:

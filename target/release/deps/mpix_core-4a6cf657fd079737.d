@@ -1,0 +1,8 @@
+/root/repo/target/release/deps/mpix_core-4a6cf657fd079737.d: crates/core/src/lib.rs crates/core/src/autotune.rs crates/core/src/operator.rs crates/core/src/workspace.rs
+
+/root/repo/target/release/deps/mpix_core-4a6cf657fd079737: crates/core/src/lib.rs crates/core/src/autotune.rs crates/core/src/operator.rs crates/core/src/workspace.rs
+
+crates/core/src/lib.rs:
+crates/core/src/autotune.rs:
+crates/core/src/operator.rs:
+crates/core/src/workspace.rs:

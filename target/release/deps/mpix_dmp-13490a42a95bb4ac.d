@@ -1,0 +1,12 @@
+/root/repo/target/release/deps/mpix_dmp-13490a42a95bb4ac.d: crates/dmp/src/lib.rs crates/dmp/src/array.rs crates/dmp/src/decomp.rs crates/dmp/src/halo.rs crates/dmp/src/regions.rs crates/dmp/src/sparse.rs
+
+/root/repo/target/release/deps/libmpix_dmp-13490a42a95bb4ac.rlib: crates/dmp/src/lib.rs crates/dmp/src/array.rs crates/dmp/src/decomp.rs crates/dmp/src/halo.rs crates/dmp/src/regions.rs crates/dmp/src/sparse.rs
+
+/root/repo/target/release/deps/libmpix_dmp-13490a42a95bb4ac.rmeta: crates/dmp/src/lib.rs crates/dmp/src/array.rs crates/dmp/src/decomp.rs crates/dmp/src/halo.rs crates/dmp/src/regions.rs crates/dmp/src/sparse.rs
+
+crates/dmp/src/lib.rs:
+crates/dmp/src/array.rs:
+crates/dmp/src/decomp.rs:
+crates/dmp/src/halo.rs:
+crates/dmp/src/regions.rs:
+crates/dmp/src/sparse.rs:

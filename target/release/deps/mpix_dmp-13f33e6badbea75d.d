@@ -1,0 +1,12 @@
+/root/repo/target/release/deps/mpix_dmp-13f33e6badbea75d.d: crates/dmp/src/lib.rs crates/dmp/src/array.rs crates/dmp/src/decomp.rs crates/dmp/src/halo.rs crates/dmp/src/regions.rs crates/dmp/src/sparse.rs
+
+/root/repo/target/release/deps/libmpix_dmp-13f33e6badbea75d.rlib: crates/dmp/src/lib.rs crates/dmp/src/array.rs crates/dmp/src/decomp.rs crates/dmp/src/halo.rs crates/dmp/src/regions.rs crates/dmp/src/sparse.rs
+
+/root/repo/target/release/deps/libmpix_dmp-13f33e6badbea75d.rmeta: crates/dmp/src/lib.rs crates/dmp/src/array.rs crates/dmp/src/decomp.rs crates/dmp/src/halo.rs crates/dmp/src/regions.rs crates/dmp/src/sparse.rs
+
+crates/dmp/src/lib.rs:
+crates/dmp/src/array.rs:
+crates/dmp/src/decomp.rs:
+crates/dmp/src/halo.rs:
+crates/dmp/src/regions.rs:
+crates/dmp/src/sparse.rs:

@@ -1,0 +1,10 @@
+/root/repo/target/release/deps/mpix_dmp-87280be242406a9c.d: crates/dmp/src/lib.rs crates/dmp/src/array.rs crates/dmp/src/decomp.rs crates/dmp/src/halo.rs crates/dmp/src/regions.rs crates/dmp/src/sparse.rs
+
+/root/repo/target/release/deps/mpix_dmp-87280be242406a9c: crates/dmp/src/lib.rs crates/dmp/src/array.rs crates/dmp/src/decomp.rs crates/dmp/src/halo.rs crates/dmp/src/regions.rs crates/dmp/src/sparse.rs
+
+crates/dmp/src/lib.rs:
+crates/dmp/src/array.rs:
+crates/dmp/src/decomp.rs:
+crates/dmp/src/halo.rs:
+crates/dmp/src/regions.rs:
+crates/dmp/src/sparse.rs:

@@ -1,0 +1,15 @@
+/root/repo/target/release/deps/mpix_ir-2cd1ede3ef62945b.d: crates/ir/src/lib.rs crates/ir/src/cluster.rs crates/ir/src/halo.rs crates/ir/src/iet.rs crates/ir/src/iexpr.rs crates/ir/src/lowering.rs crates/ir/src/opcount.rs crates/ir/src/passes.rs crates/ir/src/schedule.rs
+
+/root/repo/target/release/deps/libmpix_ir-2cd1ede3ef62945b.rlib: crates/ir/src/lib.rs crates/ir/src/cluster.rs crates/ir/src/halo.rs crates/ir/src/iet.rs crates/ir/src/iexpr.rs crates/ir/src/lowering.rs crates/ir/src/opcount.rs crates/ir/src/passes.rs crates/ir/src/schedule.rs
+
+/root/repo/target/release/deps/libmpix_ir-2cd1ede3ef62945b.rmeta: crates/ir/src/lib.rs crates/ir/src/cluster.rs crates/ir/src/halo.rs crates/ir/src/iet.rs crates/ir/src/iexpr.rs crates/ir/src/lowering.rs crates/ir/src/opcount.rs crates/ir/src/passes.rs crates/ir/src/schedule.rs
+
+crates/ir/src/lib.rs:
+crates/ir/src/cluster.rs:
+crates/ir/src/halo.rs:
+crates/ir/src/iet.rs:
+crates/ir/src/iexpr.rs:
+crates/ir/src/lowering.rs:
+crates/ir/src/opcount.rs:
+crates/ir/src/passes.rs:
+crates/ir/src/schedule.rs:

@@ -1,0 +1,17 @@
+/root/repo/target/release/deps/mpix_ir-7e5a1f1207ab78df.d: crates/ir/src/lib.rs crates/ir/src/cluster.rs crates/ir/src/halo.rs crates/ir/src/iet.rs crates/ir/src/iexpr.rs crates/ir/src/lowering.rs crates/ir/src/opcount.rs crates/ir/src/passes.rs crates/ir/src/schedule.rs Cargo.toml
+
+/root/repo/target/release/deps/libmpix_ir-7e5a1f1207ab78df.rmeta: crates/ir/src/lib.rs crates/ir/src/cluster.rs crates/ir/src/halo.rs crates/ir/src/iet.rs crates/ir/src/iexpr.rs crates/ir/src/lowering.rs crates/ir/src/opcount.rs crates/ir/src/passes.rs crates/ir/src/schedule.rs Cargo.toml
+
+crates/ir/src/lib.rs:
+crates/ir/src/cluster.rs:
+crates/ir/src/halo.rs:
+crates/ir/src/iet.rs:
+crates/ir/src/iexpr.rs:
+crates/ir/src/lowering.rs:
+crates/ir/src/opcount.rs:
+crates/ir/src/passes.rs:
+crates/ir/src/schedule.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

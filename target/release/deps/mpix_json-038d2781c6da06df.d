@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/mpix_json-038d2781c6da06df.d: crates/json/src/lib.rs
+
+/root/repo/target/release/deps/libmpix_json-038d2781c6da06df.rlib: crates/json/src/lib.rs
+
+/root/repo/target/release/deps/libmpix_json-038d2781c6da06df.rmeta: crates/json/src/lib.rs
+
+crates/json/src/lib.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/mpix_json-bff852b4d21749b5.d: crates/json/src/lib.rs
+
+/root/repo/target/release/deps/mpix_json-bff852b4d21749b5: crates/json/src/lib.rs
+
+crates/json/src/lib.rs:

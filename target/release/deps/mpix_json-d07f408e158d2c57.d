@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/mpix_json-d07f408e158d2c57.d: crates/json/src/lib.rs Cargo.toml
+
+/root/repo/target/release/deps/libmpix_json-d07f408e158d2c57.rmeta: crates/json/src/lib.rs Cargo.toml
+
+crates/json/src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,10 @@
+/root/repo/target/release/deps/mpix_perf-67fe99d6703b531d.d: crates/perf/src/lib.rs crates/perf/src/machine.rs crates/perf/src/network.rs crates/perf/src/profile.rs crates/perf/src/roofline.rs crates/perf/src/scaling.rs
+
+/root/repo/target/release/deps/mpix_perf-67fe99d6703b531d: crates/perf/src/lib.rs crates/perf/src/machine.rs crates/perf/src/network.rs crates/perf/src/profile.rs crates/perf/src/roofline.rs crates/perf/src/scaling.rs
+
+crates/perf/src/lib.rs:
+crates/perf/src/machine.rs:
+crates/perf/src/network.rs:
+crates/perf/src/profile.rs:
+crates/perf/src/roofline.rs:
+crates/perf/src/scaling.rs:

@@ -1,0 +1,12 @@
+/root/repo/target/release/deps/mpix_perf-ac40606f5df0429b.d: crates/perf/src/lib.rs crates/perf/src/machine.rs crates/perf/src/network.rs crates/perf/src/profile.rs crates/perf/src/roofline.rs crates/perf/src/scaling.rs
+
+/root/repo/target/release/deps/libmpix_perf-ac40606f5df0429b.rlib: crates/perf/src/lib.rs crates/perf/src/machine.rs crates/perf/src/network.rs crates/perf/src/profile.rs crates/perf/src/roofline.rs crates/perf/src/scaling.rs
+
+/root/repo/target/release/deps/libmpix_perf-ac40606f5df0429b.rmeta: crates/perf/src/lib.rs crates/perf/src/machine.rs crates/perf/src/network.rs crates/perf/src/profile.rs crates/perf/src/roofline.rs crates/perf/src/scaling.rs
+
+crates/perf/src/lib.rs:
+crates/perf/src/machine.rs:
+crates/perf/src/network.rs:
+crates/perf/src/profile.rs:
+crates/perf/src/roofline.rs:
+crates/perf/src/scaling.rs:

@@ -1,0 +1,17 @@
+/root/repo/target/release/deps/mpix_solvers-d497e08a38b6f5b0.d: crates/solvers/src/lib.rs crates/solvers/src/acoustic.rs crates/solvers/src/elastic.rs crates/solvers/src/model.rs crates/solvers/src/propagator.rs crates/solvers/src/ricker.rs crates/solvers/src/tti.rs crates/solvers/src/verification.rs crates/solvers/src/viscoelastic.rs Cargo.toml
+
+/root/repo/target/release/deps/libmpix_solvers-d497e08a38b6f5b0.rmeta: crates/solvers/src/lib.rs crates/solvers/src/acoustic.rs crates/solvers/src/elastic.rs crates/solvers/src/model.rs crates/solvers/src/propagator.rs crates/solvers/src/ricker.rs crates/solvers/src/tti.rs crates/solvers/src/verification.rs crates/solvers/src/viscoelastic.rs Cargo.toml
+
+crates/solvers/src/lib.rs:
+crates/solvers/src/acoustic.rs:
+crates/solvers/src/elastic.rs:
+crates/solvers/src/model.rs:
+crates/solvers/src/propagator.rs:
+crates/solvers/src/ricker.rs:
+crates/solvers/src/tti.rs:
+crates/solvers/src/verification.rs:
+crates/solvers/src/viscoelastic.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

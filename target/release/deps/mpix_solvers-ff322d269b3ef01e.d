@@ -1,0 +1,13 @@
+/root/repo/target/release/deps/mpix_solvers-ff322d269b3ef01e.d: crates/solvers/src/lib.rs crates/solvers/src/acoustic.rs crates/solvers/src/elastic.rs crates/solvers/src/model.rs crates/solvers/src/propagator.rs crates/solvers/src/ricker.rs crates/solvers/src/tti.rs crates/solvers/src/verification.rs crates/solvers/src/viscoelastic.rs
+
+/root/repo/target/release/deps/mpix_solvers-ff322d269b3ef01e: crates/solvers/src/lib.rs crates/solvers/src/acoustic.rs crates/solvers/src/elastic.rs crates/solvers/src/model.rs crates/solvers/src/propagator.rs crates/solvers/src/ricker.rs crates/solvers/src/tti.rs crates/solvers/src/verification.rs crates/solvers/src/viscoelastic.rs
+
+crates/solvers/src/lib.rs:
+crates/solvers/src/acoustic.rs:
+crates/solvers/src/elastic.rs:
+crates/solvers/src/model.rs:
+crates/solvers/src/propagator.rs:
+crates/solvers/src/ricker.rs:
+crates/solvers/src/tti.rs:
+crates/solvers/src/verification.rs:
+crates/solvers/src/viscoelastic.rs:

@@ -1,0 +1,12 @@
+/root/repo/target/release/deps/mpix_symbolic-1ce0c4fc16e57645.d: crates/symbolic/src/lib.rs crates/symbolic/src/context.rs crates/symbolic/src/eq.rs crates/symbolic/src/expr.rs crates/symbolic/src/fd.rs crates/symbolic/src/grid.rs crates/symbolic/src/simplify.rs crates/symbolic/src/visit.rs
+
+/root/repo/target/release/deps/mpix_symbolic-1ce0c4fc16e57645: crates/symbolic/src/lib.rs crates/symbolic/src/context.rs crates/symbolic/src/eq.rs crates/symbolic/src/expr.rs crates/symbolic/src/fd.rs crates/symbolic/src/grid.rs crates/symbolic/src/simplify.rs crates/symbolic/src/visit.rs
+
+crates/symbolic/src/lib.rs:
+crates/symbolic/src/context.rs:
+crates/symbolic/src/eq.rs:
+crates/symbolic/src/expr.rs:
+crates/symbolic/src/fd.rs:
+crates/symbolic/src/grid.rs:
+crates/symbolic/src/simplify.rs:
+crates/symbolic/src/visit.rs:

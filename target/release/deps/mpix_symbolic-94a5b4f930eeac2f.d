@@ -1,0 +1,16 @@
+/root/repo/target/release/deps/mpix_symbolic-94a5b4f930eeac2f.d: crates/symbolic/src/lib.rs crates/symbolic/src/context.rs crates/symbolic/src/eq.rs crates/symbolic/src/expr.rs crates/symbolic/src/fd.rs crates/symbolic/src/grid.rs crates/symbolic/src/simplify.rs crates/symbolic/src/visit.rs Cargo.toml
+
+/root/repo/target/release/deps/libmpix_symbolic-94a5b4f930eeac2f.rmeta: crates/symbolic/src/lib.rs crates/symbolic/src/context.rs crates/symbolic/src/eq.rs crates/symbolic/src/expr.rs crates/symbolic/src/fd.rs crates/symbolic/src/grid.rs crates/symbolic/src/simplify.rs crates/symbolic/src/visit.rs Cargo.toml
+
+crates/symbolic/src/lib.rs:
+crates/symbolic/src/context.rs:
+crates/symbolic/src/eq.rs:
+crates/symbolic/src/expr.rs:
+crates/symbolic/src/fd.rs:
+crates/symbolic/src/grid.rs:
+crates/symbolic/src/simplify.rs:
+crates/symbolic/src/visit.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

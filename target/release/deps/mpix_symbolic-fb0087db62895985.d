@@ -1,0 +1,14 @@
+/root/repo/target/release/deps/mpix_symbolic-fb0087db62895985.d: crates/symbolic/src/lib.rs crates/symbolic/src/context.rs crates/symbolic/src/eq.rs crates/symbolic/src/expr.rs crates/symbolic/src/fd.rs crates/symbolic/src/grid.rs crates/symbolic/src/simplify.rs crates/symbolic/src/visit.rs
+
+/root/repo/target/release/deps/libmpix_symbolic-fb0087db62895985.rlib: crates/symbolic/src/lib.rs crates/symbolic/src/context.rs crates/symbolic/src/eq.rs crates/symbolic/src/expr.rs crates/symbolic/src/fd.rs crates/symbolic/src/grid.rs crates/symbolic/src/simplify.rs crates/symbolic/src/visit.rs
+
+/root/repo/target/release/deps/libmpix_symbolic-fb0087db62895985.rmeta: crates/symbolic/src/lib.rs crates/symbolic/src/context.rs crates/symbolic/src/eq.rs crates/symbolic/src/expr.rs crates/symbolic/src/fd.rs crates/symbolic/src/grid.rs crates/symbolic/src/simplify.rs crates/symbolic/src/visit.rs
+
+crates/symbolic/src/lib.rs:
+crates/symbolic/src/context.rs:
+crates/symbolic/src/eq.rs:
+crates/symbolic/src/expr.rs:
+crates/symbolic/src/fd.rs:
+crates/symbolic/src/grid.rs:
+crates/symbolic/src/simplify.rs:
+crates/symbolic/src/visit.rs:

@@ -1,0 +1,11 @@
+/root/repo/target/release/deps/mpix_trace-0efd12fb58b92052.d: crates/trace/src/lib.rs crates/trace/src/msg.rs crates/trace/src/summary.rs Cargo.toml
+
+/root/repo/target/release/deps/libmpix_trace-0efd12fb58b92052.rmeta: crates/trace/src/lib.rs crates/trace/src/msg.rs crates/trace/src/summary.rs Cargo.toml
+
+crates/trace/src/lib.rs:
+crates/trace/src/msg.rs:
+crates/trace/src/summary.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/mpix_trace-133a1a5e7e3f1625.d: crates/trace/src/lib.rs crates/trace/src/msg.rs crates/trace/src/summary.rs
+
+/root/repo/target/release/deps/mpix_trace-133a1a5e7e3f1625: crates/trace/src/lib.rs crates/trace/src/msg.rs crates/trace/src/summary.rs
+
+crates/trace/src/lib.rs:
+crates/trace/src/msg.rs:
+crates/trace/src/summary.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/mpix_trace-2d0ab0100e3796d3.d: crates/trace/src/lib.rs crates/trace/src/msg.rs crates/trace/src/summary.rs
+
+/root/repo/target/release/deps/libmpix_trace-2d0ab0100e3796d3.rlib: crates/trace/src/lib.rs crates/trace/src/msg.rs crates/trace/src/summary.rs
+
+/root/repo/target/release/deps/libmpix_trace-2d0ab0100e3796d3.rmeta: crates/trace/src/lib.rs crates/trace/src/msg.rs crates/trace/src/summary.rs
+
+crates/trace/src/lib.rs:
+crates/trace/src/msg.rs:
+crates/trace/src/summary.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/operator_e2e-a4d8a1f1cf8aea12.d: crates/core/tests/operator_e2e.rs
+
+/root/repo/target/release/deps/operator_e2e-a4d8a1f1cf8aea12: crates/core/tests/operator_e2e.rs
+
+crates/core/tests/operator_e2e.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/operator_e2e-b250c061b9f87163.d: crates/core/tests/operator_e2e.rs
+
+/root/repo/target/release/deps/operator_e2e-b250c061b9f87163: crates/core/tests/operator_e2e.rs
+
+crates/core/tests/operator_e2e.rs:

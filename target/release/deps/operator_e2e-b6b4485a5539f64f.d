@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/operator_e2e-b6b4485a5539f64f.d: crates/core/tests/operator_e2e.rs Cargo.toml
+
+/root/repo/target/release/deps/liboperator_e2e-b6b4485a5539f64f.rmeta: crates/core/tests/operator_e2e.rs Cargo.toml
+
+crates/core/tests/operator_e2e.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/proptest-59ac2526d9328372.d: crates/proptest/src/lib.rs Cargo.toml
+
+/root/repo/target/release/deps/libproptest-59ac2526d9328372.rmeta: crates/proptest/src/lib.rs Cargo.toml
+
+crates/proptest/src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

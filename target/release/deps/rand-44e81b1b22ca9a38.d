@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/rand-44e81b1b22ca9a38.d: crates/rand/src/lib.rs Cargo.toml
+
+/root/repo/target/release/deps/librand-44e81b1b22ca9a38.rmeta: crates/rand/src/lib.rs Cargo.toml
+
+crates/rand/src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/rand-a2d9b8e60c5cf2ef.d: crates/rand/src/lib.rs
+
+/root/repo/target/release/deps/librand-a2d9b8e60c5cf2ef.rlib: crates/rand/src/lib.rs
+
+/root/repo/target/release/deps/librand-a2d9b8e60c5cf2ef.rmeta: crates/rand/src/lib.rs
+
+crates/rand/src/lib.rs:

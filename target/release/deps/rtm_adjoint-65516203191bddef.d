@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/rtm_adjoint-65516203191bddef.d: tests/rtm_adjoint.rs
+
+/root/repo/target/release/deps/rtm_adjoint-65516203191bddef: tests/rtm_adjoint.rs
+
+tests/rtm_adjoint.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/rtm_adjoint-8e345a900de257a1.d: tests/rtm_adjoint.rs
+
+/root/repo/target/release/deps/rtm_adjoint-8e345a900de257a1: tests/rtm_adjoint.rs
+
+tests/rtm_adjoint.rs:

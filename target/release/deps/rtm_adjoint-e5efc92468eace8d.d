@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/rtm_adjoint-e5efc92468eace8d.d: tests/rtm_adjoint.rs Cargo.toml
+
+/root/repo/target/release/deps/librtm_adjoint-e5efc92468eace8d.rmeta: tests/rtm_adjoint.rs Cargo.toml
+
+tests/rtm_adjoint.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/scaling_model-427ac2efc4fa2d99.d: tests/scaling_model.rs
+
+/root/repo/target/release/deps/scaling_model-427ac2efc4fa2d99: tests/scaling_model.rs
+
+tests/scaling_model.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/scaling_model-6922dbd8dd9004c2.d: tests/scaling_model.rs
+
+/root/repo/target/release/deps/scaling_model-6922dbd8dd9004c2: tests/scaling_model.rs
+
+tests/scaling_model.rs:

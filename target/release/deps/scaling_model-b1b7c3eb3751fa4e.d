@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/scaling_model-b1b7c3eb3751fa4e.d: tests/scaling_model.rs Cargo.toml
+
+/root/repo/target/release/deps/libscaling_model-b1b7c3eb3751fa4e.rmeta: tests/scaling_model.rs Cargo.toml
+
+tests/scaling_model.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/sparse_points-205a59c339a61eeb.d: tests/sparse_points.rs Cargo.toml
+
+/root/repo/target/release/deps/libsparse_points-205a59c339a61eeb.rmeta: tests/sparse_points.rs Cargo.toml
+
+tests/sparse_points.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

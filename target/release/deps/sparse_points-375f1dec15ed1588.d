@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/sparse_points-375f1dec15ed1588.d: tests/sparse_points.rs
+
+/root/repo/target/release/deps/sparse_points-375f1dec15ed1588: tests/sparse_points.rs
+
+tests/sparse_points.rs:

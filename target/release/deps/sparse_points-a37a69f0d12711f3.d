@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/sparse_points-a37a69f0d12711f3.d: tests/sparse_points.rs
+
+/root/repo/target/release/deps/sparse_points-a37a69f0d12711f3: tests/sparse_points.rs
+
+tests/sparse_points.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/stress-948e01cdc9c9d378.d: crates/comm/tests/stress.rs Cargo.toml
+
+/root/repo/target/release/deps/libstress-948e01cdc9c9d378.rmeta: crates/comm/tests/stress.rs Cargo.toml
+
+crates/comm/tests/stress.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

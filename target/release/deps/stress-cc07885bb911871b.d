@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/stress-cc07885bb911871b.d: crates/comm/tests/stress.rs
+
+/root/repo/target/release/deps/stress-cc07885bb911871b: crates/comm/tests/stress.rs
+
+crates/comm/tests/stress.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/tables-1b113655d690562c.d: crates/bench/src/bin/tables.rs
+
+/root/repo/target/release/deps/tables-1b113655d690562c: crates/bench/src/bin/tables.rs
+
+crates/bench/src/bin/tables.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/tables-6d397d2527c9f915.d: crates/bench/src/bin/tables.rs
+
+/root/repo/target/release/deps/tables-6d397d2527c9f915: crates/bench/src/bin/tables.rs
+
+crates/bench/src/bin/tables.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/tables-8069bd7f97fd2b34.d: crates/bench/src/bin/tables.rs
+
+/root/repo/target/release/deps/tables-8069bd7f97fd2b34: crates/bench/src/bin/tables.rs
+
+crates/bench/src/bin/tables.rs:

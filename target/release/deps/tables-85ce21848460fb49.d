@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/tables-85ce21848460fb49.d: crates/bench/src/bin/tables.rs Cargo.toml
+
+/root/repo/target/release/deps/libtables-85ce21848460fb49.rmeta: crates/bench/src/bin/tables.rs Cargo.toml
+
+crates/bench/src/bin/tables.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/tables-ff4aaf7b7ed60019.d: crates/bench/src/bin/tables.rs
+
+/root/repo/target/release/deps/tables-ff4aaf7b7ed60019: crates/bench/src/bin/tables.rs
+
+crates/bench/src/bin/tables.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/trace_invariants-1f605b067e96eb96.d: tests/trace_invariants.rs
+
+/root/repo/target/release/deps/trace_invariants-1f605b067e96eb96: tests/trace_invariants.rs
+
+tests/trace_invariants.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/trace_invariants-b262be2544d41a11.d: tests/trace_invariants.rs Cargo.toml
+
+/root/repo/target/release/deps/libtrace_invariants-b262be2544d41a11.rmeta: tests/trace_invariants.rs Cargo.toml
+
+tests/trace_invariants.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

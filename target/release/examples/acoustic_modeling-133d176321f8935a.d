@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/acoustic_modeling-133d176321f8935a.d: examples/acoustic_modeling.rs
+
+/root/repo/target/release/examples/acoustic_modeling-133d176321f8935a: examples/acoustic_modeling.rs
+
+examples/acoustic_modeling.rs:

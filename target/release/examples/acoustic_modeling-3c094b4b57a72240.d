@@ -1,0 +1,9 @@
+/root/repo/target/release/examples/acoustic_modeling-3c094b4b57a72240.d: examples/acoustic_modeling.rs Cargo.toml
+
+/root/repo/target/release/examples/libacoustic_modeling-3c094b4b57a72240.rmeta: examples/acoustic_modeling.rs Cargo.toml
+
+examples/acoustic_modeling.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/acoustic_modeling-bc897e05435e8818.d: examples/acoustic_modeling.rs
+
+/root/repo/target/release/examples/acoustic_modeling-bc897e05435e8818: examples/acoustic_modeling.rs
+
+examples/acoustic_modeling.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/release/examples/autotune_demo-4a30bf9772e9abfd.d: examples/autotune_demo.rs Cargo.toml
+
+/root/repo/target/release/examples/libautotune_demo-4a30bf9772e9abfd.rmeta: examples/autotune_demo.rs Cargo.toml
+
+examples/autotune_demo.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

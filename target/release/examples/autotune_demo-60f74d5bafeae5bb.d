@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/autotune_demo-60f74d5bafeae5bb.d: examples/autotune_demo.rs
+
+/root/repo/target/release/examples/autotune_demo-60f74d5bafeae5bb: examples/autotune_demo.rs
+
+examples/autotune_demo.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/autotune_demo-d123bb8d995795f1.d: examples/autotune_demo.rs
+
+/root/repo/target/release/examples/autotune_demo-d123bb8d995795f1: examples/autotune_demo.rs
+
+examples/autotune_demo.rs:

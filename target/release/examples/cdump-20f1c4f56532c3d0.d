@@ -1,0 +1,9 @@
+/root/repo/target/release/examples/cdump-20f1c4f56532c3d0.d: examples/cdump.rs Cargo.toml
+
+/root/repo/target/release/examples/libcdump-20f1c4f56532c3d0.rmeta: examples/cdump.rs Cargo.toml
+
+examples/cdump.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/cdump-230bde13ca59f315.d: examples/cdump.rs
+
+/root/repo/target/release/examples/cdump-230bde13ca59f315: examples/cdump.rs
+
+examples/cdump.rs:

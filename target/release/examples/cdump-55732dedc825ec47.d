@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/cdump-55732dedc825ec47.d: examples/cdump.rs
+
+/root/repo/target/release/examples/cdump-55732dedc825ec47: examples/cdump.rs
+
+examples/cdump.rs:

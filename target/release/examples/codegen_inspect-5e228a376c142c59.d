@@ -1,0 +1,9 @@
+/root/repo/target/release/examples/codegen_inspect-5e228a376c142c59.d: examples/codegen_inspect.rs Cargo.toml
+
+/root/repo/target/release/examples/libcodegen_inspect-5e228a376c142c59.rmeta: examples/codegen_inspect.rs Cargo.toml
+
+examples/codegen_inspect.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/codegen_inspect-67d82182878d090c.d: examples/codegen_inspect.rs
+
+/root/repo/target/release/examples/codegen_inspect-67d82182878d090c: examples/codegen_inspect.rs
+
+examples/codegen_inspect.rs:

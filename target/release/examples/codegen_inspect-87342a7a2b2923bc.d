@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/codegen_inspect-87342a7a2b2923bc.d: examples/codegen_inspect.rs
+
+/root/repo/target/release/examples/codegen_inspect-87342a7a2b2923bc: examples/codegen_inspect.rs
+
+examples/codegen_inspect.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/custom_topology-a668de6ead5fd542.d: examples/custom_topology.rs
+
+/root/repo/target/release/examples/custom_topology-a668de6ead5fd542: examples/custom_topology.rs
+
+examples/custom_topology.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/custom_topology-b3f1e696e6aa1529.d: examples/custom_topology.rs
+
+/root/repo/target/release/examples/custom_topology-b3f1e696e6aa1529: examples/custom_topology.rs
+
+examples/custom_topology.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/release/examples/custom_topology-f5114ecd9572f1e2.d: examples/custom_topology.rs Cargo.toml
+
+/root/repo/target/release/examples/libcustom_topology-f5114ecd9572f1e2.rmeta: examples/custom_topology.rs Cargo.toml
+
+examples/custom_topology.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

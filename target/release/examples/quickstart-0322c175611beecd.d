@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/quickstart-0322c175611beecd.d: examples/quickstart.rs
+
+/root/repo/target/release/examples/quickstart-0322c175611beecd: examples/quickstart.rs
+
+examples/quickstart.rs:

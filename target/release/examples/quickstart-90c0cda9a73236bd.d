@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/quickstart-90c0cda9a73236bd.d: examples/quickstart.rs
+
+/root/repo/target/release/examples/quickstart-90c0cda9a73236bd: examples/quickstart.rs
+
+examples/quickstart.rs:

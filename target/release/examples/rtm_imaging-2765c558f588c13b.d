@@ -1,0 +1,9 @@
+/root/repo/target/release/examples/rtm_imaging-2765c558f588c13b.d: examples/rtm_imaging.rs Cargo.toml
+
+/root/repo/target/release/examples/librtm_imaging-2765c558f588c13b.rmeta: examples/rtm_imaging.rs Cargo.toml
+
+examples/rtm_imaging.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

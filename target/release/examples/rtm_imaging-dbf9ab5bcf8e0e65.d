@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/rtm_imaging-dbf9ab5bcf8e0e65.d: examples/rtm_imaging.rs
+
+/root/repo/target/release/examples/rtm_imaging-dbf9ab5bcf8e0e65: examples/rtm_imaging.rs
+
+examples/rtm_imaging.rs:

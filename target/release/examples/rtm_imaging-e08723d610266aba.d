@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/rtm_imaging-e08723d610266aba.d: examples/rtm_imaging.rs
+
+/root/repo/target/release/examples/rtm_imaging-e08723d610266aba: examples/rtm_imaging.rs
+
+examples/rtm_imaging.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/scaling_experiment-3e0fe7e014528421.d: examples/scaling_experiment.rs
+
+/root/repo/target/release/examples/scaling_experiment-3e0fe7e014528421: examples/scaling_experiment.rs
+
+examples/scaling_experiment.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/scaling_experiment-5ccd8433fcf6691a.d: examples/scaling_experiment.rs
+
+/root/repo/target/release/examples/scaling_experiment-5ccd8433fcf6691a: examples/scaling_experiment.rs
+
+examples/scaling_experiment.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/release/examples/scaling_experiment-fa8ed9c00c1e6b3c.d: examples/scaling_experiment.rs Cargo.toml
+
+/root/repo/target/release/examples/libscaling_experiment-fa8ed9c00c1e6b3c.rmeta: examples/scaling_experiment.rs Cargo.toml
+
+examples/scaling_experiment.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -6,6 +6,12 @@
 //! Any disagreement is a compiler bug: wrong index arithmetic, wrong CSE,
 //! wrong halo width, wrong unpacking — this test catches them all.
 
+// Pre-dates the unified Operator::run API; deliberately left on the
+// deprecated apply_*/executable/c_code shims so they stay covered.
+#![allow(deprecated)]
+// Linear indices are decoded into multi-dim points in place, so the
+// index-based loops are the natural shape here.
+#![allow(clippy::needless_range_loop)]
 use mpix::prelude::*;
 use proptest::prelude::*;
 
@@ -110,9 +116,7 @@ fn naive_run(spec: &StencilSpec, init: &[Vec<f32>], nt: usize) -> Vec<Vec<f32>> 
             for (wi, terms) in spec.eqs.iter().enumerate() {
                 let mut acc = 0.0f32;
                 for t in terms {
-                    let sh: Vec<i64> = (0..nd)
-                        .map(|d| point[d] + t.offsets[d] as i64)
-                        .collect();
+                    let sh: Vec<i64> = (0..nd).map(|d| point[d] + t.offsets[d] as i64).collect();
                     let v = idx_of(&sh).map(|k| cur[t.field][k]).unwrap_or(0.0);
                     acc += t.coeff as f32 * v;
                 }
@@ -151,7 +155,8 @@ fn check_spec(spec: &StencilSpec, nt: usize, nranks: usize) -> Result<(), TestCa
                     point[d] = rem % shape[d];
                     rem /= shape[d];
                 }
-                ws.field_data_mut(&format!("f{f}"), 0).set_global(&point, init2[f][lin]);
+                ws.field_data_mut(&format!("f{f}"), 0)
+                    .set_global(&point, init2[f][lin]);
             }
         }
     };
@@ -195,16 +200,40 @@ fn regression_wide_offsets_cross_ranks() {
         space_order: 4,
         eqs: vec![
             vec![
-                Term { field: 1, offsets: vec![2, -2, 1], coeff: 0.5 },
-                Term { field: 2, offsets: vec![-2, 2, -2], coeff: -0.75 },
+                Term {
+                    field: 1,
+                    offsets: vec![2, -2, 1],
+                    coeff: 0.5,
+                },
+                Term {
+                    field: 2,
+                    offsets: vec![-2, 2, -2],
+                    coeff: -0.75,
+                },
             ],
             vec![
-                Term { field: 0, offsets: vec![0, 0, 2], coeff: 1.25 },
-                Term { field: 1, offsets: vec![-1, 0, 0], coeff: -0.25 },
+                Term {
+                    field: 0,
+                    offsets: vec![0, 0, 2],
+                    coeff: 1.25,
+                },
+                Term {
+                    field: 1,
+                    offsets: vec![-1, 0, 0],
+                    coeff: -0.25,
+                },
             ],
             vec![
-                Term { field: 2, offsets: vec![1, 1, 1], coeff: 0.5 },
-                Term { field: 0, offsets: vec![-2, -2, -2], coeff: 0.25 },
+                Term {
+                    field: 2,
+                    offsets: vec![1, 1, 1],
+                    coeff: 0.5,
+                },
+                Term {
+                    field: 0,
+                    offsets: vec![-2, -2, -2],
+                    coeff: 0.25,
+                },
             ],
         ],
     };
@@ -219,8 +248,7 @@ fn elementary_functions_execute_end_to_end() {
     let mut ctx = Context::new();
     let grid = Grid::new(&[10, 9], &[1.0, 1.0]);
     let u = ctx.add_time_function("u", &grid, 2, 1);
-    let rhs = (Expr::Const(-1.0) * u.center() * u.center()).exp()
-        + 0.5 * u.at(0, &[1, 0]).sin();
+    let rhs = (Expr::Const(-1.0) * u.center() * u.center()).exp() + 0.5 * u.at(0, &[1, 0]).sin();
     let eq = Eq::new(u.forward(), rhs);
     let op = Operator::build(ctx, grid, vec![eq]).unwrap();
 

@@ -1,6 +1,9 @@
 //! Integration: the "logically centralized, physically distributed"
 //! array contract (paper §III b, Listings 2–3) through the public facade.
 
+// Pre-dates the unified Operator::run API; deliberately left on the
+// deprecated apply_*/executable/c_code shims so they stay covered.
+#![allow(deprecated)]
 use mpix::prelude::*;
 use proptest::prelude::*;
 
@@ -20,7 +23,10 @@ fn listing2_exact_reproduction() {
         4,
         Some(vec![2, 2]),
         &ApplyOptions::default().with_nt(0),
-        |ws| ws.field_data_mut("u", 0).fill_global_slice(&[1..3, 1..3], 1.0),
+        |ws| {
+            ws.field_data_mut("u", 0)
+                .fill_global_slice(&[1..3, 1..3], 1.0)
+        },
         |ws| ws.field_data("u", 0).local_view_string(),
     );
     assert_eq!(
@@ -71,14 +77,12 @@ fn gather_is_identical_on_every_rank_and_to_serial() {
             }
         }
     };
-    let serial = op.apply_local(&ApplyOptions::default().with_nt(0), init, |ws| ws.gather("u"));
-    let all = op.apply_distributed(
-        6,
-        None,
-        &ApplyOptions::default().with_nt(0),
-        init,
-        |ws| ws.gather("u"),
-    );
+    let serial = op.apply_local(&ApplyOptions::default().with_nt(0), init, |ws| {
+        ws.gather("u")
+    });
+    let all = op.apply_distributed(6, None, &ApplyOptions::default().with_nt(0), init, |ws| {
+        ws.gather("u")
+    });
     for g in &all {
         assert_eq!(g, &serial);
     }
@@ -92,13 +96,11 @@ fn slices_crossing_rank_boundaries_cover_exactly_once() {
             4,
             Some(vec![2, 2]),
             &ApplyOptions::default().with_nt(0),
-            |ws| ws.field_data_mut("u", 0).fill_global_slice(&[5..13, 3..11], 1.0),
             |ws| {
-                ws.field_data("u", 0)
-                    .raw()
-                    .iter()
-                    .sum::<f32>()
+                ws.field_data_mut("u", 0)
+                    .fill_global_slice(&[5..13, 3..11], 1.0)
             },
+            |ws| ws.field_data("u", 0).raw().iter().sum::<f32>(),
         )
         .iter()
         .sum();

@@ -3,6 +3,9 @@
 //! per-receiver traces, zero-lag imaging — must localize a reflector.
 //! (The full-size version lives in `examples/rtm_imaging.rs`.)
 
+// Pre-dates the unified Operator::run API; deliberately left on the
+// deprecated apply_*/executable/c_code shims so they stay covered.
+#![allow(deprecated)]
 use mpix::prelude::*;
 use mpix::solvers::ricker_wavelet;
 
@@ -29,7 +32,8 @@ fn setup(ws: &mut Workspace, layered: bool) {
     for i in 0..N {
         for j in 0..N {
             let v = if layered && i >= REFL { V_BOT } else { V_TOP };
-            ws.field_data_mut("m", 0).set_global(&[i, j], (1.0 / (v * v)) as f32);
+            ws.field_data_mut("m", 0)
+                .set_global(&[i, j], (1.0 / (v * v)) as f32);
             let d_edge = (N - 1 - i).min(j).min(N - 1 - j);
             let dval = if d_edge < nbl {
                 let r = (nbl - d_edge) as f64 / nbl as f64;
@@ -37,16 +41,25 @@ fn setup(ws: &mut Workspace, layered: bool) {
             } else {
                 0.0
             };
-            ws.field_data_mut("damp", 0).set_global(&[i, j], dval as f32);
+            ws.field_data_mut("damp", 0)
+                .set_global(&[i, j], dval as f32);
         }
     }
 }
 
 fn receivers() -> Vec<Vec<f64>> {
-    (0..8).map(|r| vec![2.0 * H, (8 + r * 4) as f64 * H]).collect()
+    (0..8)
+        .map(|r| vec![2.0 * H, (8 + r * 4) as f64 * H])
+        .collect()
 }
 
-fn forward(op: &Operator, nt: usize, dt: f64, layered: bool, save: bool) -> (Vec<Vec<f32>>, Vec<Vec<f32>>) {
+fn forward(
+    op: &Operator,
+    nt: usize,
+    dt: f64,
+    layered: bool,
+    save: bool,
+) -> (Vec<Vec<f32>>, Vec<Vec<f32>>) {
     let wavelet = ricker_wavelet(16.0, dt, nt);
     let out = op.apply_distributed(
         4,
@@ -57,7 +70,12 @@ fn forward(op: &Operator, nt: usize, dt: f64, layered: bool, save: bool) -> (Vec
             setup(ws, layered);
             let spacing = vec![H, H];
             let src = SparsePoints::new(vec![vec![2.0 * H, (N / 2) as f64 * H]], spacing.clone());
-            ws.add_injection("u", src, wavelet.clone(), vec![(dt * dt * V_TOP * V_TOP) as f32]);
+            ws.add_injection(
+                "u",
+                src,
+                wavelet.clone(),
+                vec![(dt * dt * V_TOP * V_TOP) as f32],
+            );
             ws.add_receivers("u", SparsePoints::new(receivers(), spacing));
             let exec = op.executable(HaloMode::Basic);
             let mut snaps = Vec::new();
@@ -68,7 +86,10 @@ fn forward(op: &Operator, nt: usize, dt: f64, layered: bool, save: bool) -> (Vec
                     .with_dt(dt);
                 op.apply(ws, &exec, &opts);
                 if save {
-                    snaps.push(ws.field_data("u", (k + 1) as i64).gather_global(ws.cart.comm()));
+                    snaps.push(
+                        ws.field_data("u", (k + 1) as i64)
+                            .gather_global(ws.cart.comm()),
+                    );
                 }
             }
             (ws.take_samples(1), snaps)
@@ -106,44 +127,47 @@ fn rtm_localizes_reflector() {
 
     // Adjoint with per-receiver traces + imaging.
     let op_ref = &op;
-    let image = op.apply_distributed(
-        4,
-        None,
-        &ApplyOptions::default().with_nt(0).with_dt(dt),
-        |_| {},
-        move |ws| {
-            setup(ws, false);
-            let coords = receivers();
-            let nrec = coords.len();
-            let traces: Vec<Vec<f32>> = (0..nrec)
-                .map(|r| (0..nt).map(|t| residual[nt - 1 - t][r]).collect())
-                .collect();
-            ws.add_injection_traces(
-                "u",
-                SparsePoints::new(coords, vec![H, H]),
-                traces,
-                vec![(dt * dt * V_TOP * V_TOP) as f32; nrec],
-            );
-            let exec = op_ref.executable(HaloMode::Basic);
-            let mut image = vec![0.0f64; N * N];
-            for s in 0..nt {
-                let opts = ApplyOptions::default()
-                    .with_nt(1)
-                    .with_t0(s as i64)
-                    .with_dt(dt);
-                op_ref.apply(ws, &exec, &opts);
-                let v = ws.field_data("u", (s + 1) as i64).gather_global(ws.cart.comm());
-                let fwd = &snaps[nt - 1 - s];
-                for (px, (&a, &b)) in image.iter_mut().zip(fwd.iter().zip(&v)) {
-                    *px += (a as f64) * (b as f64);
+    let image = op
+        .apply_distributed(
+            4,
+            None,
+            &ApplyOptions::default().with_nt(0).with_dt(dt),
+            |_| {},
+            move |ws| {
+                setup(ws, false);
+                let coords = receivers();
+                let nrec = coords.len();
+                let traces: Vec<Vec<f32>> = (0..nrec)
+                    .map(|r| (0..nt).map(|t| residual[nt - 1 - t][r]).collect())
+                    .collect();
+                ws.add_injection_traces(
+                    "u",
+                    SparsePoints::new(coords, vec![H, H]),
+                    traces,
+                    vec![(dt * dt * V_TOP * V_TOP) as f32; nrec],
+                );
+                let exec = op_ref.executable(HaloMode::Basic);
+                let mut image = vec![0.0f64; N * N];
+                for s in 0..nt {
+                    let opts = ApplyOptions::default()
+                        .with_nt(1)
+                        .with_t0(s as i64)
+                        .with_dt(dt);
+                    op_ref.apply(ws, &exec, &opts);
+                    let v = ws
+                        .field_data("u", (s + 1) as i64)
+                        .gather_global(ws.cart.comm());
+                    let fwd = &snaps[nt - 1 - s];
+                    for (px, (&a, &b)) in image.iter_mut().zip(fwd.iter().zip(&v)) {
+                        *px += (a as f64) * (b as f64);
+                    }
                 }
-            }
-            image
-        },
-    )
-    .into_iter()
-    .next()
-    .unwrap();
+                image
+            },
+        )
+        .into_iter()
+        .next()
+        .unwrap();
 
     // Laplacian-filtered depth profile must peak near the reflector.
     let mut filt = vec![0.0f64; N * N];

@@ -4,16 +4,19 @@
 
 use mpix::perf::machine::{archer2_node, tursa_a100};
 use mpix::perf::scaling::{efficiency, strong_scaling, weak_scaling, Mode};
+use mpix::solvers::KernelKind;
+use mpix_bench::paper;
 use mpix_bench::profiles::{cpu_domain, gpu_domain, profile_for, timesteps};
 use mpix_bench::tables::{accuracy_report, model_cpu_rows, model_gpu_row, trend_report};
-use mpix_bench::paper;
-use mpix::solvers::KernelKind;
 
 #[test]
 fn best_mode_agreement_stays_high() {
     let (agree, total) = trend_report();
     let rate = agree as f64 / total as f64;
-    assert!(rate >= 0.85, "best-mode agreement regressed: {agree}/{total}");
+    assert!(
+        rate >= 0.85,
+        "best-mode agreement regressed: {agree}/{total}"
+    );
 }
 
 #[test]
@@ -95,10 +98,10 @@ fn full_mode_never_wins_for_tti() {
     // Paper: "there are better candidates than full mode for TTI".
     for sdo in [4u32, 8, 12, 16] {
         let rows = model_cpu_rows(KernelKind::Tti, sdo);
-        for ui in 0..8 {
+        for (ui, &full) in rows[2].iter().enumerate() {
             let best_other = rows[0][ui].max(rows[1][ui]);
             assert!(
-                rows[2][ui] <= best_other * 1.02,
+                full <= best_other * 1.02,
                 "full wins TTI so-{sdo} at unit idx {ui}"
             );
         }
@@ -124,7 +127,10 @@ fn gpu_faster_but_less_efficient_than_cpu() {
         let prof = profile_for(kind, 8);
         let gpu1 = strong_scaling(&prof, &tursa_a100(), Mode::Basic, 1, &gpu_domain(kind));
         let cpu1 = strong_scaling(&prof, &archer2_node(), Mode::Basic, 1, &cpu_domain(kind));
-        assert!(gpu1.gpts > cpu1.gpts, "{kind:?}: single GPU must beat a node");
+        assert!(
+            gpu1.gpts > cpu1.gpts,
+            "{kind:?}: single GPU must beat a node"
+        );
         let eff = |m: &mpix::perf::MachineSpec, dom: &[usize]| {
             let pts: Vec<_> = [1usize, 128]
                 .iter()
@@ -163,15 +169,20 @@ fn weak_scaling_is_nearly_flat_and_gpu_wins() {
         let prof = profile_for(kind, 8);
         let nt = timesteps(kind);
         let (_, c1) = weak_scaling(&prof, &archer2_node(), Mode::Basic, 1, &[256, 256, 256], nt);
-        let (_, c128) =
-            weak_scaling(&prof, &archer2_node(), Mode::Basic, 128, &[256, 256, 256], nt);
+        let (_, c128) = weak_scaling(
+            &prof,
+            &archer2_node(),
+            Mode::Basic,
+            128,
+            &[256, 256, 256],
+            nt,
+        );
         let ratio = c128 / c1;
         assert!(
             (0.8..1.8).contains(&ratio),
             "{kind:?}: weak scaling not flat: {ratio}"
         );
-        let (_, g128) =
-            weak_scaling(&prof, &tursa_a100(), Mode::Basic, 128, &[256, 256, 256], nt);
+        let (_, g128) = weak_scaling(&prof, &tursa_a100(), Mode::Basic, 128, &[256, 256, 256], nt);
         assert!(
             c128 / g128 > 1.5,
             "{kind:?}: GPUs must be markedly faster in weak scaling ({})",
@@ -188,13 +199,12 @@ fn gpu_model_tracks_paper_within_2x() {
             let Some(rt) = paper::gpu_table(kind, sdo) else {
                 continue;
             };
-            for ui in 0..8 {
+            for (ui, &v) in ours.iter().enumerate() {
                 if let Some(p) = rt.row[ui] {
-                    let ratio = ours[ui] / p;
+                    let ratio = v / p;
                     assert!(
                         (0.33..3.0).contains(&ratio),
-                        "{kind:?} so-{sdo} gpu unit idx {ui}: model {} vs paper {p}",
-                        ours[ui]
+                        "{kind:?} so-{sdo} gpu unit idx {ui}: model {v} vs paper {p}"
                     );
                 }
             }

@@ -2,6 +2,9 @@
 //! replication (Fig. 3), injection conservation, receiver gathers across
 //! topologies.
 
+// Pre-dates the unified Operator::run API; deliberately left on the
+// deprecated apply_*/executable/c_code shims so they stay covered.
+#![allow(deprecated)]
 use std::sync::Arc;
 
 use mpix::prelude::*;
@@ -80,7 +83,11 @@ fn source_injection_is_topology_invariant() {
     // Off-grid source near the center (straddling ranks in some topologies).
     let src = vec![0.0755, 0.0755, 0.0755];
     let mut fields = Vec::new();
-    for ranks_topo in [(1usize, None), (4, Some(vec![2, 2, 1])), (8, Some(vec![2, 2, 2]))] {
+    for ranks_topo in [
+        (1usize, None),
+        (4, Some(vec![2, 2, 1])),
+        (8, Some(vec![2, 2, 2])),
+    ] {
         let s2 = spec.clone();
         let sc = src.clone();
         let sp = spacing.clone();
