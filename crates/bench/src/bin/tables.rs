@@ -10,6 +10,8 @@
 //! cargo run -p mpix-bench --release --bin tables -- trends
 //! cargo run -p mpix-bench --release --bin tables -- validate   # real multi-rank runs
 //! cargo run -p mpix-bench --release --bin tables -- perf       # per-rank PerfSummary
+//! cargo run -p mpix-bench --release --bin tables -- bench-kernels [--quick]
+//! #   scalar vs vectorized interpreter GPts/s -> BENCH_kernels.json
 //! ```
 
 use mpix_bench::tables;
@@ -40,6 +42,7 @@ fn main() {
         }
         "validate" => validate(),
         "perf" => tables::print_perf(),
+        "bench-kernels" => bench_kernels(&args),
         "json" => println!("{}", tables::json_dump()),
         "crossovers" => tables::print_crossovers(),
         "all" => {
@@ -61,6 +64,16 @@ fn main() {
             std::process::exit(1);
         }
     }
+}
+
+/// Measure scalar-vs-vector interpreter throughput and write the JSON
+/// record to `BENCH_kernels.json` (`--quick` = CI smoke size).
+fn bench_kernels(args: &[String]) {
+    let quick = args.iter().any(|a| a == "--quick");
+    let json = tables::bench_kernels_json(quick);
+    let path = "BENCH_kernels.json";
+    std::fs::write(path, &json).expect("write BENCH_kernels.json");
+    println!("\nwrote {path}");
 }
 
 fn sdo_filter(args: &[String]) -> Vec<u32> {

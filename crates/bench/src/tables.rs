@@ -439,6 +439,82 @@ pub fn print_perf() {
     }
 }
 
+/// Measured interpreter throughput, scalar vs lane-vectorized: run each
+/// kernel for real on one rank at SDO 4/8/12/16, once with the scalar
+/// interpreter (`vector_width = 0`) and once with the strip engine at
+/// `vector_width = 16`, and return the per-kernel GPts/s comparison as
+/// pretty JSON. The `tables bench-kernels` subcommand writes this to
+/// `BENCH_kernels.json`, the perf-trajectory record for the repo.
+///
+/// `quick` shrinks the grid and step count to a CI smoke size (schema
+/// identical; numbers not meaningful for trend tracking).
+pub fn bench_kernels_json(quick: bool) -> String {
+    use mpix_json::json;
+    use mpix_solvers::{ModelSpec, Propagator};
+    use std::time::Instant;
+
+    const VW: usize = 16;
+    let (edge, nbl, nt) = if quick {
+        (12usize, 2usize, 2i64)
+    } else {
+        (32, 4, 8)
+    };
+
+    let mut rows = Vec::new();
+    println!("\n## Interpreter throughput: scalar vs vector_width={VW}, {edge}\u{b3}+{nbl} ABC, nt={nt}, 1 rank");
+    println!(
+        "{:<14} {:>4} {:>14} {:>14} {:>9}",
+        "kernel", "sdo", "scalar GPts/s", "vector GPts/s", "speedup"
+    );
+    for kind in KernelKind::all() {
+        for sdo in [4u32, 8, 12, 16] {
+            let spec = ModelSpec::new(&[edge, edge, edge]).with_nbl(nbl);
+            let p = Propagator::build(kind, spec, sdo);
+            let pref = &p;
+            let init = move |ws: &mut mpix_core::Workspace| {
+                pref.init(ws);
+                pref.add_ricker_source(ws, 18.0, nt as usize);
+            };
+            let time_run = |vw: usize| -> f64 {
+                let opts = p.apply_options(nt).with_vector_width(vw).with_ranks(1);
+                // Untimed warm-up amortizes first-touch and compilation.
+                p.op.run(&opts, init, |_| ());
+                let t0 = Instant::now();
+                p.op.run(&opts, init, |_| ());
+                t0.elapsed().as_secs_f64()
+            };
+            let pts = p.points_per_step() as f64 * nt as f64;
+            let scalar = pts / time_run(0) / 1e9;
+            let vector = pts / time_run(VW) / 1e9;
+            let speedup = vector / scalar;
+            println!(
+                "{:<14} {:>4} {:>14.4} {:>14.4} {:>8.2}x",
+                kind.name(),
+                sdo,
+                scalar,
+                vector,
+                speedup
+            );
+            rows.push(json!({
+                "kernel": kind.name(),
+                "sdo": sdo,
+                "scalar_gpts": scalar,
+                "vector_gpts": vector,
+                "speedup": speedup,
+            }));
+        }
+    }
+    json!({
+        "grid": vec![edge, edge, edge],
+        "nbl": nbl,
+        "nt": nt,
+        "vector_width": VW,
+        "quick": quick,
+        "kernels": rows,
+    })
+    .pretty()
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -11,8 +11,40 @@ use mpix_symbolic::{FieldId, UnaryFn};
 use mpix_ir::cluster::{Cluster, Stmt};
 use mpix_ir::iexpr::IExpr;
 
+/// Source of a fused multiplier coefficient: any point-invariant (and
+/// therefore lane-invariant) push. Per-point temporaries never appear
+/// here — they vary across a vector strip.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub enum CoeffSrc {
+    /// Constant-pool slot.
+    Const(u32),
+    /// Runtime-scalar slot.
+    Scalar(u32),
+    /// Precomputed-parameter slot.
+    Param(u32),
+}
+
+impl CoeffSrc {
+    /// Resolve the coefficient value.
+    #[inline]
+    pub fn value(self, consts: &[f32], scalars: &[f32], params: &[f32]) -> f32 {
+        match self {
+            CoeffSrc::Const(i) => consts[i as usize],
+            CoeffSrc::Scalar(i) => scalars[i as usize],
+            CoeffSrc::Param(i) => params[i as usize],
+        }
+    }
+}
+
 /// One bytecode instruction. The machine is a straightforward f32 stack
 /// machine; temporaries and parameters live in side tables.
+///
+/// The last three opcodes are *superinstructions* introduced by
+/// [`fuse_cluster`]: they never come out of [`compile_cluster`] directly
+/// but collapse the dominant `Load/Mul/Add` chains of star stencils into
+/// single dispatches. All fused arithmetic is evaluated mul-then-add
+/// with two roundings (no FMA contraction), so a fused program is
+/// bitwise-identical to its unfused original on every execution path.
 #[derive(Clone, Copy, Debug, PartialEq)]
 pub enum Op {
     /// Push a constant from the pool.
@@ -37,6 +69,57 @@ pub enum Op {
     Pow(i32),
     /// Pop 1, push `f(x)` for an elementary function.
     Call(UnaryFn),
+    /// Fused `Mul` + `Add`: pop `y`, `x`; `top += x * y`.
+    MulAdd,
+    /// Fused stencil-tap read: push `coeff * stream[base + off]`.
+    LoadMul {
+        coeff: CoeffSrc,
+        stream: u32,
+        off: u32,
+    },
+    /// Fused stencil-tap accumulate: `top += coeff * stream[base + off]`.
+    LoadMulAdd {
+        coeff: CoeffSrc,
+        stream: u32,
+        off: u32,
+    },
+}
+
+impl Op {
+    /// Net stack effect of executing this op.
+    pub fn stack_effect(self) -> i32 {
+        match self {
+            Op::Const(_)
+            | Op::Scalar(_)
+            | Op::Param(_)
+            | Op::Temp(_)
+            | Op::Load { .. }
+            | Op::LoadMul { .. } => 1,
+            Op::SetTemp(_) | Op::Store { .. } | Op::Add | Op::Mul => -1,
+            Op::Pow(_) | Op::Call(_) | Op::LoadMulAdd { .. } => 0,
+            Op::MulAdd => -2,
+        }
+    }
+
+    /// Floating-point operations this op performs per point (`Pow` is
+    /// costed like the `powi` lowering: one op for the fast cases).
+    pub fn flops(self) -> usize {
+        match self {
+            Op::Add | Op::Mul | Op::LoadMul { .. } | Op::Pow(_) | Op::Call(_) => 1,
+            Op::MulAdd | Op::LoadMulAdd { .. } => 2,
+            _ => 0,
+        }
+    }
+
+    /// The coefficient source when this op is a point-invariant push.
+    fn as_coeff(self) -> Option<CoeffSrc> {
+        match self {
+            Op::Const(i) => Some(CoeffSrc::Const(i)),
+            Op::Scalar(i) => Some(CoeffSrc::Scalar(i)),
+            Op::Param(i) => Some(CoeffSrc::Param(i)),
+            _ => None,
+        }
+    }
 }
 
 /// A compiled cluster body.
@@ -63,6 +146,140 @@ impl CompiledCluster {
             .iter()
             .position(|&(f, t)| (f, t) == (field, toff))
     }
+
+    /// Floating-point operations per evaluated point (counting fused ops
+    /// at their full arithmetic weight, so fusion never changes it).
+    pub fn flop_count(&self) -> usize {
+        self.ops.iter().map(|op| op.flops()).sum()
+    }
+
+    /// Walk the program with the static stack-effect table: returns the
+    /// maximum depth reached and asserts the program is balanced and
+    /// never pops an empty stack.
+    pub fn check_stack(&self) -> usize {
+        let mut depth = 0i32;
+        let mut max = 0i32;
+        for op in &self.ops {
+            // Fused/binary ops read operands below the net effect.
+            let reads = match op {
+                Op::MulAdd => 3,
+                Op::Add | Op::Mul => 2,
+                Op::SetTemp(_) | Op::Store { .. } | Op::Pow(_) | Op::Call(_) => 1,
+                Op::LoadMulAdd { .. } => 1,
+                _ => 0,
+            };
+            assert!(depth >= reads, "stack underflow at {op:?}");
+            depth += op.stack_effect();
+            max = max.max(depth);
+        }
+        assert_eq!(depth, 0, "unbalanced stack");
+        max as usize
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Superinstruction fusion (peephole, post-compilation)
+// ---------------------------------------------------------------------------
+
+/// Peephole-fuse a compiled program: constant folding, then collapsing
+/// `coeff/Load/Mul[/Add]` stencil-tap chains and `Mul/Add` pairs into
+/// the fused opcodes. Streams, offsets, `written`, temps and scalars are
+/// untouched; `max_stack` is recomputed (it can only shrink). The fused
+/// program computes bit-for-bit the same values as the original: fused
+/// ops still round the multiply and the add separately.
+pub fn fuse_cluster(mut cc: CompiledCluster) -> CompiledCluster {
+    fold_constants(&mut cc);
+    let mut out: Vec<Op> = Vec::with_capacity(cc.ops.len());
+    let ops = &cc.ops;
+    // Running stack depth at the current peephole position: a trailing
+    // `Add` may only be folded into the superinstruction when an
+    // accumulator value is already on the stack beneath the tap.
+    let mut depth = 0i32;
+    let mut i = 0;
+    while i < ops.len() {
+        // coeff, Load, Mul [, Add]  — and the commuted Load, coeff, Mul.
+        let tap = match (ops.get(i), ops.get(i + 1), ops.get(i + 2)) {
+            (Some(&c), Some(&Op::Load { stream, off }), Some(Op::Mul)) => {
+                c.as_coeff().map(|coeff| (coeff, stream, off))
+            }
+            (Some(&Op::Load { stream, off }), Some(&c), Some(Op::Mul)) => {
+                c.as_coeff().map(|coeff| (coeff, stream, off))
+            }
+            _ => None,
+        };
+        if let Some((coeff, stream, off)) = tap {
+            let op = if ops.get(i + 3) == Some(&Op::Add) && depth >= 1 {
+                i += 4;
+                Op::LoadMulAdd { coeff, stream, off }
+            } else {
+                i += 3;
+                Op::LoadMul { coeff, stream, off }
+            };
+            depth += op.stack_effect();
+            out.push(op);
+            continue;
+        }
+        if ops[i] == Op::Mul && ops.get(i + 1) == Some(&Op::Add) && depth >= 3 {
+            depth += Op::MulAdd.stack_effect();
+            out.push(Op::MulAdd);
+            i += 2;
+            continue;
+        }
+        depth += ops[i].stack_effect();
+        out.push(ops[i]);
+        i += 1;
+    }
+    cc.ops = out;
+    cc.max_stack = cc.check_stack().max(1);
+    cc
+}
+
+/// Fold constant subexpressions in the flat program: any `Const Const
+/// Add/Mul`, `Const Pow`, or `Const Call` collapses to one `Const`.
+/// Iterates to a fixpoint so nested constant chains fold completely.
+fn fold_constants(cc: &mut CompiledCluster) {
+    loop {
+        let mut changed = false;
+        let mut out: Vec<Op> = Vec::with_capacity(cc.ops.len());
+        let mut i = 0;
+        while i < cc.ops.len() {
+            let folded = match (cc.ops.get(i), cc.ops.get(i + 1), cc.ops.get(i + 2)) {
+                (Some(&Op::Const(a)), Some(&Op::Const(b)), Some(Op::Add)) => {
+                    Some((cc.consts[a as usize] + cc.consts[b as usize], 3))
+                }
+                (Some(&Op::Const(a)), Some(&Op::Const(b)), Some(Op::Mul)) => {
+                    Some((cc.consts[a as usize] * cc.consts[b as usize], 3))
+                }
+                (Some(&Op::Const(a)), Some(&Op::Pow(n)), _) => {
+                    Some((powi(cc.consts[a as usize], n), 2))
+                }
+                (Some(&Op::Const(a)), Some(&Op::Call(fx)), _) => {
+                    Some((fx.apply_f32(cc.consts[a as usize]), 2))
+                }
+                _ => None,
+            };
+            if let Some((v, w)) = folded {
+                out.push(Op::Const(intern_const(&mut cc.consts, v)));
+                i += w;
+                changed = true;
+            } else {
+                out.push(cc.ops[i]);
+                i += 1;
+            }
+        }
+        cc.ops = out;
+        if !changed {
+            return;
+        }
+    }
+}
+
+fn intern_const(consts: &mut Vec<f32>, v: f32) -> u32 {
+    if let Some(i) = consts.iter().position(|c| c.to_bits() == v.to_bits()) {
+        return i as u32;
+    }
+    consts.push(v);
+    (consts.len() - 1) as u32
 }
 
 struct Compiler {
@@ -293,6 +510,21 @@ pub fn eval_point(
             Op::Call(fx) => {
                 stack[sp - 1] = fx.apply_f32(stack[sp - 1]);
             }
+            Op::MulAdd => {
+                sp -= 2;
+                stack[sp - 1] += stack[sp] * stack[sp + 1];
+            }
+            Op::LoadMul { coeff, stream, off } => {
+                let c = coeff.value(&cc.consts, scalar_values, param_values);
+                let idx = bases[stream as usize] as isize + resolved_offsets[off as usize];
+                stack[sp] = c * buffers[stream as usize][idx as usize];
+                sp += 1;
+            }
+            Op::LoadMulAdd { coeff, stream, off } => {
+                let c = coeff.value(&cc.consts, scalar_values, param_values);
+                let idx = bases[stream as usize] as isize + resolved_offsets[off as usize];
+                stack[sp - 1] += c * buffers[stream as usize][idx as usize];
+            }
         }
     }
 }
@@ -450,6 +682,178 @@ mod tests {
         let cc = compile_cluster(&cl);
         assert_eq!(cc.scalars, vec!["dt".to_string()]);
         assert_eq!(cc.consts, vec![2.0]);
+    }
+
+    /// A 1-D SDO-2 star stencil: u[t+1] = c0*u[t,x-1] + c1*u[t,x] + c0*u[t,x+1].
+    fn star_cluster() -> Cluster {
+        Cluster {
+            stmts: vec![store(
+                0,
+                IExpr::Add(vec![
+                    IExpr::Mul(vec![IExpr::Const(0.25), load(0, 0, -1)]),
+                    IExpr::Mul(vec![IExpr::Const(0.5), load(0, 0, 0)]),
+                    IExpr::Mul(vec![IExpr::Const(0.25), load(0, 0, 1)]),
+                ]),
+            )],
+            params: vec![],
+            num_temps: 0,
+        }
+    }
+
+    fn eval_1d(cc: &CompiledCluster, src: &[f32], at: usize) -> f32 {
+        let mut read = src.to_vec();
+        let mut write = vec![0.0f32; src.len()];
+        let rs = cc.stream_slot(FieldId(0), 0).unwrap();
+        let resolved: Vec<isize> = cc.offsets.iter().map(|(_, d)| d[0] as isize).collect();
+        let mut temps = vec![0.0f32; cc.num_temps];
+        let mut stack = vec![0.0f32; cc.max_stack.max(4)];
+        let mut bufs: Vec<&mut [f32]> = if rs == 0 {
+            vec![&mut read, &mut write]
+        } else {
+            vec![&mut write, &mut read]
+        };
+        eval_point(
+            cc,
+            &mut bufs,
+            &[at, at],
+            &resolved,
+            &[],
+            &[],
+            &mut temps,
+            &mut stack,
+        );
+        write[at]
+    }
+
+    #[test]
+    fn fusion_collapses_star_stencil_to_superinstructions() {
+        let cc = compile_cluster(&star_cluster());
+        let fused = fuse_cluster(cc.clone());
+        // First tap becomes LoadMul, the remaining two LoadMulAdd, plus
+        // the final Store: four dispatches instead of eleven.
+        assert!(
+            fused.ops.len() < cc.ops.len(),
+            "no fusion happened: {:?}",
+            fused.ops
+        );
+        assert_eq!(
+            fused.ops.len(),
+            4,
+            "expected LoadMul + 2×LoadMulAdd + Store, got {:?}",
+            fused.ops
+        );
+        assert!(matches!(fused.ops[0], Op::LoadMul { .. }));
+        assert!(matches!(fused.ops[1], Op::LoadMulAdd { .. }));
+        assert!(matches!(fused.ops[2], Op::LoadMulAdd { .. }));
+        assert!(matches!(fused.ops[3], Op::Store { .. }));
+    }
+
+    #[test]
+    fn fusion_preserves_metadata_and_stack_accounting() {
+        let cc = compile_cluster(&star_cluster());
+        let fused = fuse_cluster(cc.clone());
+        assert_eq!(fused.streams, cc.streams);
+        assert_eq!(fused.written, cc.written);
+        assert_eq!(fused.offsets, cc.offsets);
+        assert_eq!(fused.scalars, cc.scalars);
+        assert_eq!(fused.num_temps, cc.num_temps);
+        // Stack accounting: the static walk agrees with the recorded
+        // max_stack and fusion only shrinks the peak.
+        assert_eq!(fused.check_stack().max(1), fused.max_stack);
+        assert!(fused.max_stack <= cc.max_stack);
+        // Flop accounting: fused ops are costed at full weight, so the
+        // GFLOP/s numerator is unchanged by fusion.
+        assert_eq!(fused.flop_count(), cc.flop_count());
+    }
+
+    #[test]
+    fn fused_program_is_bitwise_equal_to_unfused() {
+        let cc = compile_cluster(&star_cluster());
+        let fused = fuse_cluster(cc.clone());
+        let src: Vec<f32> = (0..16).map(|i| (i as f32 * 0.37).sin()).collect();
+        for at in 1..15 {
+            let a = eval_1d(&cc, &src, at);
+            let b = eval_1d(&fused, &src, at);
+            assert_eq!(a.to_bits(), b.to_bits(), "point {at}: {a} vs {b}");
+        }
+    }
+
+    #[test]
+    fn muladd_fuses_temp_products() {
+        // tmp0 = u[t]; u[t+1] = u[t,x+1] + tmp0*tmp0 (Mul of two temps
+        // cannot become a LoadMul — it must fuse to MulAdd).
+        let cl = Cluster {
+            stmts: vec![
+                Stmt::Let {
+                    temp: 0,
+                    value: load(0, 0, 0),
+                },
+                store(
+                    0,
+                    IExpr::Add(vec![
+                        load(0, 0, 1),
+                        IExpr::Mul(vec![IExpr::Temp(0), IExpr::Temp(0)]),
+                    ]),
+                ),
+            ],
+            params: vec![],
+            num_temps: 1,
+        };
+        let fused = fuse_cluster(compile_cluster(&cl));
+        assert!(
+            fused.ops.contains(&Op::MulAdd),
+            "expected MulAdd in {:?}",
+            fused.ops
+        );
+        let src: Vec<f32> = (0..8).map(|i| i as f32 + 0.5).collect();
+        assert_eq!(eval_1d(&fused, &src, 3), src[4] + src[3] * src[3]);
+    }
+
+    #[test]
+    fn constant_folding_collapses_const_chains() {
+        // u[t+1] = (2*3) * u[t] — simplify would normally fold this, but
+        // the bytecode pass must handle it anyway.
+        let cl = Cluster {
+            stmts: vec![store(
+                0,
+                IExpr::Mul(vec![IExpr::Const(2.0), IExpr::Const(3.0), load(0, 0, 0)]),
+            )],
+            params: vec![],
+            num_temps: 0,
+        };
+        let fused = fuse_cluster(compile_cluster(&cl));
+        // [Const 2, Const 3, Mul, Load, Mul, Store] folds to a single
+        // LoadMul(6.0) + Store.
+        assert_eq!(fused.ops.len(), 2, "{:?}", fused.ops);
+        let src = vec![1.5f32; 4];
+        assert_eq!(eval_1d(&fused, &src, 1), 9.0);
+    }
+
+    #[test]
+    fn loadmuladd_not_fused_on_empty_stack() {
+        // u[t+1] = c*u[t] (no accumulator beneath): the trailing Add in
+        // a sibling expression must not be swallowed when depth is 0.
+        let cl = Cluster {
+            stmts: vec![store(
+                0,
+                IExpr::Add(vec![
+                    IExpr::Mul(vec![IExpr::Const(0.5), load(0, 0, -1)]),
+                    load(0, 0, 1),
+                ]),
+            )],
+            params: vec![],
+            num_temps: 0,
+        };
+        let cc = compile_cluster(&cl);
+        let fused = fuse_cluster(cc.clone());
+        fused.check_stack();
+        let src: Vec<f32> = (0..8).map(|i| i as f32).collect();
+        for at in 1..7 {
+            assert_eq!(
+                eval_1d(&cc, &src, at).to_bits(),
+                eval_1d(&fused, &src, at).to_bits()
+            );
+        }
     }
 
     #[test]

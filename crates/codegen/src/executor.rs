@@ -19,7 +19,22 @@ use mpix_ir::passes::MpiMode;
 use mpix_symbolic::{Context, FieldId};
 use mpix_trace::{Section, TraceLevel, TraceReport, Tracer};
 
-use crate::bytecode::{compile_cluster, powi, CompiledCluster, Op};
+use crate::bytecode::{compile_cluster, fuse_cluster, powi, CompiledCluster, Op};
+
+/// Strip widths the lane-vectorized engine is monomorphized for.
+pub const SUPPORTED_VECTOR_WIDTHS: [usize; 3] = [8, 16, 32];
+
+/// Validate a `vector_width` knob: `0`/`1` select the scalar
+/// interpreter, the widths in [`SUPPORTED_VECTOR_WIDTHS`] the strip
+/// engine. Anything else panics — silently degrading a job script's
+/// requested width to scalar would be worse.
+pub fn validate_vector_width(vw: usize) -> usize {
+    assert!(
+        vw <= 1 || SUPPORTED_VECTOR_WIDTHS.contains(&vw),
+        "vector_width={vw}: expected 0/1 (scalar) or one of {SUPPORTED_VECTOR_WIDTHS:?}"
+    );
+    vw
+}
 
 /// Per-field runtime state: one [`DistArray`] per time buffer.
 pub struct FieldState {
@@ -92,6 +107,14 @@ pub struct ExecOptions {
     pub block: usize,
     /// Shared-memory worker threads per rank (the OpenMP analogue).
     pub threads: usize,
+    /// Lane count of the strip-vectorized interpreter (the runtime
+    /// analogue of the generated C's `#pragma omp simd`): each compiled
+    /// op executes over `vector_width` contiguous innermost-loop points
+    /// at once. `0`/`1` = scalar; supported widths are
+    /// [`SUPPORTED_VECTOR_WIDTHS`]. Remainder points (inner extent not
+    /// a multiple of the width) fall back to the scalar path, bitwise
+    /// identically.
+    pub vector_width: usize,
     /// Instrumentation level; at [`TraceLevel::Off`] (the default) the
     /// hooks cost one branch per span.
     pub trace: TraceLevel,
@@ -103,6 +126,7 @@ impl Default for ExecOptions {
             mode: HaloMode::Basic,
             block: 0,
             threads: 1,
+            vector_width: 0,
             trace: TraceLevel::Off,
         }
     }
@@ -506,6 +530,7 @@ impl OperatorExec {
             .collect();
 
         let nthreads = st.opts.threads.max(1);
+        let vw = validate_vector_width(st.opts.vector_width);
         let mut points = 0u64;
         for b in &boxes {
             if b.iter().any(|r| r.is_empty()) {
@@ -525,6 +550,7 @@ impl OperatorExec {
                     &scalar_vals,
                     &st.params,
                     st.opts.block,
+                    vw,
                 );
             } else {
                 exec_box_threaded(
@@ -538,6 +564,7 @@ impl OperatorExec {
                     &st.params,
                     st.opts.block,
                     nthreads,
+                    vw,
                 );
             }
         }
@@ -552,7 +579,10 @@ impl OperatorExec {
 
 fn collect_compiled(n: &Node, out: &mut Vec<CompiledCluster>) {
     match n {
-        Node::SpaceLoop { cluster, .. } => out.push(compile_cluster(cluster)),
+        // Every compiled body runs through the superinstruction fusion
+        // pass — fusion is bitwise-neutral, so there is no scalar/fused
+        // configuration axis to test against.
+        Node::SpaceLoop { cluster, .. } => out.push(fuse_cluster(compile_cluster(cluster))),
         Node::Callable { body, .. }
         | Node::TimeLoop { body }
         | Node::HaloSpot { body, .. }
@@ -598,6 +628,7 @@ fn exec_box(
     scalars: &[f32],
     params: &[f32],
     block: usize,
+    vw: usize,
 ) {
     let nd = bx.len();
     if block > 0 && nd >= 2 {
@@ -614,19 +645,22 @@ fn exec_box(
                 tile[0] = x0..x1;
                 tile[1] = y0..y1;
                 exec_box_flat(
-                    cc, &tile, buffers, strides, halos, resolved, scalars, params,
+                    cc, &tile, buffers, strides, halos, resolved, scalars, params, vw,
                 );
                 y0 = y1;
             }
             x0 = x1;
         }
     } else {
-        exec_box_flat(cc, bx, buffers, strides, halos, resolved, scalars, params);
+        exec_box_flat(
+            cc, bx, buffers, strides, halos, resolved, scalars, params, vw,
+        );
     }
 }
 
 /// Unblocked execution: iterate outer dims with an odometer, run the
-/// contiguous innermost dimension with incrementing bases.
+/// contiguous innermost dimension with incrementing bases — in strips of
+/// `vw` lanes when a vector width is selected, point-by-point otherwise.
 #[allow(clippy::too_many_arguments)]
 fn exec_box_flat(
     cc: &CompiledCluster,
@@ -637,7 +671,15 @@ fn exec_box_flat(
     resolved: &[isize],
     scalars: &[f32],
     params: &[f32],
+    vw: usize,
 ) {
+    if vw > 1 {
+        let mut acc = FlatAccess(buffers);
+        exec_strips_box(
+            vw, cc, bx, &mut acc, strides, halos, resolved, scalars, params,
+        );
+        return;
+    }
     let nd = bx.len();
     let nstreams = cc.streams.len();
     let inner = bx[nd - 1].clone();
@@ -707,6 +749,7 @@ fn exec_box_threaded(
     params: &[f32],
     block: usize,
     nthreads: usize,
+    vw: usize,
 ) {
     let nd = bx.len();
     let r0 = bx[0].clone();
@@ -803,6 +846,7 @@ fn exec_box_threaded(
                     scalars,
                     params,
                     block,
+                    vw,
                 );
             });
         }
@@ -824,6 +868,7 @@ fn exec_box_mixed(
     scalars: &[f32],
     params: &[f32],
     block: usize,
+    vw: usize,
 ) {
     // Reuse the tiling driver by flattening through a closure-free copy
     // of exec_box_flat with binding-aware loads/stores.
@@ -856,6 +901,16 @@ fn exec_box_mixed(
     let mut bases = vec![0usize; nstreams];
     for tile in tiles {
         if tile.iter().any(|r| r.is_empty()) {
+            continue;
+        }
+        if vw > 1 {
+            let mut acc = MixedAccess {
+                reads: &*reads,
+                writes: &mut *writes,
+            };
+            exec_strips_box(
+                vw, cc, &tile, &mut acc, strides, halos, resolved, scalars, params,
+            );
             continue;
         }
         let inner = tile[nd - 1].clone();
@@ -959,6 +1014,21 @@ fn eval_point_fast(
             Op::Call(fx) => {
                 stack[sp - 1] = fx.apply_f32(stack[sp - 1]);
             }
+            Op::MulAdd => {
+                sp -= 2;
+                stack[sp - 1] += stack[sp] * stack[sp + 1];
+            }
+            Op::LoadMul { coeff, stream, off } => {
+                let c = coeff.value(&cc.consts, scalars, params);
+                let idx = bases[stream as usize] as isize + resolved[off as usize];
+                stack[sp] = c * buffers[stream as usize][idx as usize];
+                sp += 1;
+            }
+            Op::LoadMulAdd { coeff, stream, off } => {
+                let c = coeff.value(&cc.consts, scalars, params);
+                let idx = bases[stream as usize] as isize + resolved[off as usize];
+                stack[sp - 1] += c * buffers[stream as usize][idx as usize];
+            }
         }
     }
 }
@@ -1029,7 +1099,385 @@ fn eval_point_mixed(
             Op::Call(fx) => {
                 stack[sp - 1] = fx.apply_f32(stack[sp - 1]);
             }
+            Op::MulAdd => {
+                sp -= 2;
+                stack[sp - 1] += stack[sp] * stack[sp + 1];
+            }
+            Op::LoadMul { coeff, stream, off } => {
+                let c = coeff.value(&cc.consts, scalars, params);
+                let s = stream as usize;
+                let idx = (bases[s] as isize + resolved[off as usize]) as usize;
+                stack[sp] = c * match (&reads[s], &writes[s]) {
+                    (Some(r), _) => r[idx],
+                    (None, Some((w, base_off))) => w[idx - *base_off],
+                    (None, None) => unreachable!("unbound stream"),
+                };
+                sp += 1;
+            }
+            Op::LoadMulAdd { coeff, stream, off } => {
+                let c = coeff.value(&cc.consts, scalars, params);
+                let s = stream as usize;
+                let idx = (bases[s] as isize + resolved[off as usize]) as usize;
+                stack[sp - 1] += c * match (&reads[s], &writes[s]) {
+                    (Some(r), _) => r[idx],
+                    (None, Some((w, base_off))) => w[idx - *base_off],
+                    (None, None) => unreachable!("unbound stream"),
+                };
+            }
         }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Lane-vectorized strip engine
+// ---------------------------------------------------------------------------
+//
+// The runtime analogue of the generated C's `#pragma omp simd`: each
+// compiled op executes over a strip of `W` contiguous innermost-loop
+// points at once. Dispatch cost is amortized `W`-fold and every per-op
+// inner loop is a fixed-trip-count `f32` loop over `[f32; W]` lane
+// registers that LLVM autovectorizes. Lane arithmetic is performed in
+// the identical order and rounding as the scalar interpreter (no FMA
+// contraction, no reassociation), so strip results are bitwise equal to
+// scalar results on every operator.
+
+/// Uniform view over the executor's two buffer-binding styles: the
+/// single-threaded path binds whole buffers per stream, the threaded
+/// path binds shared read slices plus per-worker write slabs.
+trait StreamAccess {
+    /// `w` contiguous values of stream `s` starting at linear `idx`.
+    fn load_run(&self, s: usize, idx: usize, w: usize) -> &[f32];
+    /// Mutable run of stream `s` starting at linear `idx` (stores only
+    /// target written streams).
+    fn store_run(&mut self, s: usize, idx: usize, w: usize) -> &mut [f32];
+}
+
+/// Whole-buffer bindings (single-threaded path).
+struct FlatAccess<'a, 'b>(&'b mut [&'a mut [f32]]);
+
+impl StreamAccess for FlatAccess<'_, '_> {
+    #[inline]
+    fn load_run(&self, s: usize, idx: usize, w: usize) -> &[f32] {
+        &self.0[s][idx..idx + w]
+    }
+    #[inline]
+    fn store_run(&mut self, s: usize, idx: usize, w: usize) -> &mut [f32] {
+        &mut self.0[s][idx..idx + w]
+    }
+}
+
+/// Read-slice / write-slab bindings (threaded path). Written streams
+/// index relative to their slab offset, as in [`eval_point_mixed`].
+struct MixedAccess<'r, 'w, 'b> {
+    reads: &'b [Option<&'r [f32]>],
+    writes: &'b mut [Option<(&'w mut [f32], usize)>],
+}
+
+impl StreamAccess for MixedAccess<'_, '_, '_> {
+    #[inline]
+    fn load_run(&self, s: usize, idx: usize, w: usize) -> &[f32] {
+        match (&self.reads[s], &self.writes[s]) {
+            (Some(r), _) => &r[idx..idx + w],
+            (None, Some((wb, off))) => &wb[idx - *off..idx - *off + w],
+            (None, None) => unreachable!("unbound stream"),
+        }
+    }
+    #[inline]
+    fn store_run(&mut self, s: usize, idx: usize, w: usize) -> &mut [f32] {
+        let (wb, off) = self.writes[s].as_mut().expect("store to unbound stream");
+        &mut wb[idx - *off..idx - *off + w]
+    }
+}
+
+/// Execute the compiled body once over `W` contiguous innermost points.
+/// `bases[s]` is the linear index of lane 0 in stream `s`; lanes `l`
+/// live at `bases[s] + l` (innermost stride is 1 for every stream).
+#[allow(clippy::needless_range_loop, clippy::too_many_arguments)]
+#[inline]
+fn eval_strip<const W: usize>(
+    cc: &CompiledCluster,
+    acc: &mut impl StreamAccess,
+    bases: &[usize],
+    resolved: &[isize],
+    scalars: &[f32],
+    params: &[f32],
+    temps: &mut [[f32; W]],
+    stack: &mut [[f32; W]],
+) {
+    let mut sp = 0usize;
+    for op in &cc.ops {
+        match *op {
+            Op::Const(i) => {
+                stack[sp] = [cc.consts[i as usize]; W];
+                sp += 1;
+            }
+            Op::Scalar(i) => {
+                stack[sp] = [scalars[i as usize]; W];
+                sp += 1;
+            }
+            Op::Param(i) => {
+                stack[sp] = [params[i as usize]; W];
+                sp += 1;
+            }
+            Op::Temp(i) => {
+                stack[sp] = temps[i as usize];
+                sp += 1;
+            }
+            Op::SetTemp(i) => {
+                sp -= 1;
+                temps[i as usize] = stack[sp];
+            }
+            Op::Load { stream, off } => {
+                let s = stream as usize;
+                let idx = (bases[s] as isize + resolved[off as usize]) as usize;
+                stack[sp].copy_from_slice(acc.load_run(s, idx, W));
+                sp += 1;
+            }
+            Op::Store { stream } => {
+                sp -= 1;
+                let s = stream as usize;
+                acc.store_run(s, bases[s], W).copy_from_slice(&stack[sp]);
+            }
+            Op::Add => {
+                sp -= 1;
+                let (lo, hi) = stack.split_at_mut(sp);
+                for l in 0..W {
+                    lo[sp - 1][l] += hi[0][l];
+                }
+            }
+            Op::Mul => {
+                sp -= 1;
+                let (lo, hi) = stack.split_at_mut(sp);
+                for l in 0..W {
+                    lo[sp - 1][l] *= hi[0][l];
+                }
+            }
+            Op::Pow(n) => {
+                for v in stack[sp - 1].iter_mut() {
+                    *v = powi(*v, n);
+                }
+            }
+            Op::Call(fx) => {
+                for v in stack[sp - 1].iter_mut() {
+                    *v = fx.apply_f32(*v);
+                }
+            }
+            Op::MulAdd => {
+                sp -= 2;
+                let (lo, hi) = stack.split_at_mut(sp);
+                for l in 0..W {
+                    lo[sp - 1][l] += hi[0][l] * hi[1][l];
+                }
+            }
+            Op::LoadMul { coeff, stream, off } => {
+                let c = coeff.value(&cc.consts, scalars, params);
+                let s = stream as usize;
+                let idx = (bases[s] as isize + resolved[off as usize]) as usize;
+                let src = acc.load_run(s, idx, W);
+                for l in 0..W {
+                    stack[sp][l] = c * src[l];
+                }
+                sp += 1;
+            }
+            Op::LoadMulAdd { coeff, stream, off } => {
+                let c = coeff.value(&cc.consts, scalars, params);
+                let s = stream as usize;
+                let idx = (bases[s] as isize + resolved[off as usize]) as usize;
+                let src = acc.load_run(s, idx, W);
+                for l in 0..W {
+                    stack[sp - 1][l] += c * src[l];
+                }
+            }
+        }
+    }
+}
+
+/// Scalar single-point evaluation through a [`StreamAccess`] — the
+/// remainder path when the inner extent is not a multiple of the strip
+/// width. Identical arithmetic to [`eval_point_fast`].
+#[allow(clippy::too_many_arguments)]
+#[inline]
+fn eval_point_access(
+    cc: &CompiledCluster,
+    acc: &mut impl StreamAccess,
+    bases: &[usize],
+    resolved: &[isize],
+    scalars: &[f32],
+    params: &[f32],
+    temps: &mut [f32],
+    stack: &mut [f32],
+) {
+    let mut sp = 0usize;
+    for op in &cc.ops {
+        match *op {
+            Op::Const(i) => {
+                stack[sp] = cc.consts[i as usize];
+                sp += 1;
+            }
+            Op::Scalar(i) => {
+                stack[sp] = scalars[i as usize];
+                sp += 1;
+            }
+            Op::Param(i) => {
+                stack[sp] = params[i as usize];
+                sp += 1;
+            }
+            Op::Temp(i) => {
+                stack[sp] = temps[i as usize];
+                sp += 1;
+            }
+            Op::SetTemp(i) => {
+                sp -= 1;
+                temps[i as usize] = stack[sp];
+            }
+            Op::Load { stream, off } => {
+                let s = stream as usize;
+                let idx = (bases[s] as isize + resolved[off as usize]) as usize;
+                stack[sp] = acc.load_run(s, idx, 1)[0];
+                sp += 1;
+            }
+            Op::Store { stream } => {
+                sp -= 1;
+                let s = stream as usize;
+                acc.store_run(s, bases[s], 1)[0] = stack[sp];
+            }
+            Op::Add => {
+                sp -= 1;
+                stack[sp - 1] += stack[sp];
+            }
+            Op::Mul => {
+                sp -= 1;
+                stack[sp - 1] *= stack[sp];
+            }
+            Op::Pow(n) => {
+                stack[sp - 1] = powi(stack[sp - 1], n);
+            }
+            Op::Call(fx) => {
+                stack[sp - 1] = fx.apply_f32(stack[sp - 1]);
+            }
+            Op::MulAdd => {
+                sp -= 2;
+                stack[sp - 1] += stack[sp] * stack[sp + 1];
+            }
+            Op::LoadMul { coeff, stream, off } => {
+                let c = coeff.value(&cc.consts, scalars, params);
+                let s = stream as usize;
+                let idx = (bases[s] as isize + resolved[off as usize]) as usize;
+                stack[sp] = c * acc.load_run(s, idx, 1)[0];
+                sp += 1;
+            }
+            Op::LoadMulAdd { coeff, stream, off } => {
+                let c = coeff.value(&cc.consts, scalars, params);
+                let s = stream as usize;
+                let idx = (bases[s] as isize + resolved[off as usize]) as usize;
+                stack[sp - 1] += c * acc.load_run(s, idx, 1)[0];
+            }
+        }
+    }
+}
+
+/// Strip-execute a whole box: odometer over the outer dims, strips of
+/// `W` along the contiguous innermost dim, scalar remainder at each
+/// row's tail. Monomorphized per supported width by
+/// [`exec_strips_box`]'s dispatch.
+#[allow(clippy::too_many_arguments)]
+fn exec_strips_box_w<const W: usize>(
+    cc: &CompiledCluster,
+    bx: &BoxNd,
+    acc: &mut impl StreamAccess,
+    strides: &[Vec<usize>],
+    halos: &[usize],
+    resolved: &[isize],
+    scalars: &[f32],
+    params: &[f32],
+) {
+    let nd = bx.len();
+    if bx.iter().any(|r| r.is_empty()) {
+        return;
+    }
+    let nstreams = cc.streams.len();
+    let inner = bx[nd - 1].clone();
+    let mut outer: Vec<usize> = bx[..nd - 1].iter().map(|r| r.start).collect();
+    let mut bases = vec![0usize; nstreams];
+    // Lane registers (SoA: one [f32; W] per stack slot / temp), plus the
+    // scalar registers for the per-row remainder points.
+    let mut temps = vec![[0.0f32; W]; cc.num_temps];
+    let mut stack = vec![[0.0f32; W]; cc.max_stack.max(4)];
+    let mut stemps = vec![0.0f32; cc.num_temps];
+    let mut sstack = vec![0.0f32; cc.max_stack.max(4)];
+    loop {
+        for s in 0..nstreams {
+            let mut base = 0usize;
+            for d in 0..nd - 1 {
+                base += (outer[d] + halos[s]) * strides[s][d];
+            }
+            base += (inner.start + halos[s]) * strides[s][nd - 1];
+            bases[s] = base;
+        }
+        let n = inner.len();
+        let mut i = 0;
+        while i + W <= n {
+            eval_strip::<W>(
+                cc, acc, &bases, resolved, scalars, params, &mut temps, &mut stack,
+            );
+            for b in bases.iter_mut() {
+                *b += W;
+            }
+            i += W;
+        }
+        while i < n {
+            eval_point_access(
+                cc,
+                acc,
+                &bases,
+                resolved,
+                scalars,
+                params,
+                &mut stemps,
+                &mut sstack,
+            );
+            for b in bases.iter_mut() {
+                *b += 1;
+            }
+            i += 1;
+        }
+        // Odometer over outer dims.
+        if nd == 1 {
+            return;
+        }
+        let mut d = nd - 1;
+        loop {
+            if d == 0 {
+                return;
+            }
+            d -= 1;
+            outer[d] += 1;
+            if outer[d] < bx[d].end {
+                break;
+            }
+            outer[d] = bx[d].start;
+        }
+    }
+}
+
+/// Runtime-width dispatch into the monomorphized strip engines.
+#[allow(clippy::too_many_arguments)]
+fn exec_strips_box(
+    vw: usize,
+    cc: &CompiledCluster,
+    bx: &BoxNd,
+    acc: &mut impl StreamAccess,
+    strides: &[Vec<usize>],
+    halos: &[usize],
+    resolved: &[isize],
+    scalars: &[f32],
+    params: &[f32],
+) {
+    match vw {
+        8 => exec_strips_box_w::<8>(cc, bx, acc, strides, halos, resolved, scalars, params),
+        16 => exec_strips_box_w::<16>(cc, bx, acc, strides, halos, resolved, scalars, params),
+        32 => exec_strips_box_w::<32>(cc, bx, acc, strides, halos, resolved, scalars, params),
+        other => unreachable!("unsupported vector width {other} (validated earlier)"),
     }
 }
 
@@ -1242,7 +1690,7 @@ mod tests {
         let iet = lower_halo_spots(iet, MpiMode::Basic);
         let exec = &OperatorExec::new(iet, &ctx);
 
-        let run = |threads: usize, block: usize| -> Vec<f32> {
+        let run = |threads: usize, block: usize, vw: usize| -> Vec<f32> {
             Universe::run(1, |comm| {
                 let cart = mpix_comm::CartComm::new(comm, &[1, 1, 1]);
                 let dc = Arc::new(Decomposition::new(&[12, 10, 8], &[1, 1, 1]));
@@ -1271,6 +1719,7 @@ mod tests {
                         mode: HaloMode::Basic,
                         block,
                         threads,
+                        vector_width: vw,
                         ..ExecOptions::default()
                     },
                 );
@@ -1281,10 +1730,26 @@ mod tests {
             .pop()
             .unwrap()
         };
-        let base = run(1, 0);
-        assert_eq!(base, run(3, 0), "threads=3 differs");
-        assert_eq!(base, run(1, 4), "block=4 differs");
-        assert_eq!(base, run(2, 4), "threads=2+block=4 differs");
-        assert_eq!(base, run(4, 8), "threads=4+block=8 differs");
+        let base = run(1, 0, 0);
+        assert_eq!(base, run(3, 0, 0), "threads=3 differs");
+        assert_eq!(base, run(1, 4, 0), "block=4 differs");
+        assert_eq!(base, run(2, 4, 0), "threads=2+block=4 differs");
+        assert_eq!(base, run(4, 8, 0), "threads=4+block=8 differs");
+        // Lane-vectorized strips: inner extent 8, so vw=8 is exact
+        // strips and vw=16/32 degenerate to the scalar remainder path;
+        // all must be bitwise identical, alone and composed with
+        // blocking and threading.
+        for vw in [8usize, 16, 32] {
+            assert_eq!(base, run(1, 0, vw), "vw={vw} differs");
+            assert_eq!(base, run(1, 4, vw), "vw={vw}+block=4 differs");
+            assert_eq!(base, run(3, 0, vw), "vw={vw}+threads=3 differs");
+            assert_eq!(base, run(2, 8, vw), "vw={vw}+threads=2+block=8 differs");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "vector_width=5")]
+    fn unsupported_vector_width_rejected() {
+        validate_vector_width(5);
     }
 }

@@ -26,6 +26,20 @@ pub struct TuneReport<C> {
 }
 
 impl Operator {
+    /// One candidate measurement: an untimed warm-up run amortizes
+    /// first-touch allocation, lazy compilation, and thread-pool spin-up
+    /// effects, then an identical run is timed. Every tuner goes through
+    /// this helper so no sweep accidentally times its cold run.
+    fn timed_trial<FI>(&self, opts: &ApplyOptions, init: &FI) -> f64
+    where
+        FI: Fn(&mut Workspace) + Send + Sync,
+    {
+        self.run(opts, init, |_| ());
+        let t0 = Instant::now();
+        self.run(opts, init, |_| ());
+        t0.elapsed().as_secs_f64()
+    }
+
     /// Select the fastest halo-exchange pattern for this operator at the
     /// given rank count by running `trial_nt` timed steps per mode on
     /// scratch data (model parameters seeded by `init`).
@@ -48,10 +62,7 @@ impl Operator {
                 .with_nt(trial_nt)
                 .with_ranks(nranks);
             opts.topology = topology.clone();
-            // Warm-up step amortizes first-touch allocation effects.
-            let t0 = Instant::now();
-            self.run(&opts, &init, |_| ());
-            trials.push((mode, t0.elapsed().as_secs_f64()));
+            trials.push((mode, self.timed_trial(&opts, &init)));
         }
         let best = trials
             .iter()
@@ -62,7 +73,9 @@ impl Operator {
     }
 
     /// Select the fastest cache-blocking tile from `candidates` with
-    /// single-rank trials (blocking is a per-rank concern).
+    /// single-rank trials (blocking is a per-rank concern). Thin wrapper
+    /// over [`autotune_exec`](Self::autotune_exec) with the vector width
+    /// pinned to the base option's value.
     pub fn autotune_block<FI>(
         &self,
         base: &ApplyOptions,
@@ -73,18 +86,46 @@ impl Operator {
     where
         FI: Fn(&mut Workspace) + Send + Sync,
     {
-        assert!(!candidates.is_empty());
+        let report = self.autotune_exec(base, trial_nt, candidates, &[base.vector_width], init);
+        TuneReport {
+            best: report.best.0,
+            trials: report
+                .trials
+                .into_iter()
+                .map(|((b, _), t)| (b, t))
+                .collect(),
+        }
+    }
+
+    /// Sweep the per-rank execution-engine knobs jointly: cache-blocking
+    /// tile × interpreter lane width (`(block, vector_width)` pairs).
+    /// The two interact — a tile must hold several full strips to keep
+    /// the vector path off the scalar remainder — so a joint sweep beats
+    /// tuning each axis in isolation.
+    pub fn autotune_exec<FI>(
+        &self,
+        base: &ApplyOptions,
+        trial_nt: i64,
+        blocks: &[usize],
+        widths: &[usize],
+        init: FI,
+    ) -> TuneReport<(usize, usize)>
+    where
+        FI: Fn(&mut Workspace) + Send + Sync,
+    {
+        assert!(!blocks.is_empty() && !widths.is_empty());
         let mut trials = Vec::new();
-        for &block in candidates {
-            let mut opts = base
-                .clone()
-                .with_block(block)
-                .with_nt(trial_nt)
-                .with_ranks(1);
-            opts.topology = None;
-            let t0 = Instant::now();
-            self.run(&opts, &init, |_| ());
-            trials.push((block, t0.elapsed().as_secs_f64()));
+        for &block in blocks {
+            for &vw in widths {
+                let mut opts = base
+                    .clone()
+                    .with_block(block)
+                    .with_vector_width(vw)
+                    .with_nt(trial_nt)
+                    .with_ranks(1);
+                opts.topology = None;
+                trials.push(((block, vw), self.timed_trial(&opts, &init)));
+            }
         }
         let best = trials
             .iter()
@@ -134,9 +175,8 @@ impl Operator {
                 .with_nt(trial_nt)
                 .with_ranks(nranks)
                 .with_topology(&topo);
-            let t0 = Instant::now();
-            self.run(&opts, &init, |_| ());
-            trials.push((topo, t0.elapsed().as_secs_f64()));
+            let secs = self.timed_trial(&opts, &init);
+            trials.push((topo, secs));
         }
         let best = trials
             .iter()
@@ -182,6 +222,18 @@ mod tests {
         let report = op.autotune_block(&base, 2, &[0, 4, 8], |_| ());
         assert!([0, 4, 8].contains(&report.best));
         assert_eq!(report.trials.len(), 3);
+    }
+
+    #[test]
+    fn exec_tuner_sweeps_block_width_cross_product() {
+        let op = op();
+        let base = ApplyOptions::default().with_dt(0.001);
+        let report = op.autotune_exec(&base, 2, &[0, 8], &[0, 8, 16], |_| ());
+        assert_eq!(report.trials.len(), 6);
+        assert!(report.trials.iter().any(|(c, _)| *c == report.best));
+        assert!([0usize, 8].contains(&report.best.0));
+        assert!([0usize, 8, 16].contains(&report.best.1));
+        assert!(report.trials.iter().all(|(_, t)| *t > 0.0));
     }
 
     #[test]

@@ -49,11 +49,15 @@ impl From<LoweringError> for BuildError {
 /// | `MPIX_THREADS` | `threads` | like `OMP_NUM_THREADS`                 |
 /// | `MPIX_RANKS`   | `ranks`   | simulated MPI ranks                    |
 /// | `MPIX_TRACE`   | `trace`   | `off`, `summary`, `full`               |
+/// | `MPIX_VW`      | `vector_width` | `0`/`1` (scalar), `8`, `16`, `32` |
 #[derive(Clone, Debug)]
 pub struct ApplyOptions {
     pub mode: HaloMode,
     pub block: usize,
     pub threads: usize,
+    /// Lane width for the strip-vectorized interpreter (the runtime
+    /// analogue of the paper's `#pragma omp simd`); `0`/`1` = scalar.
+    pub vector_width: usize,
     /// Number of time steps.
     pub nt: i64,
     /// First time index (enables external stepping: run `nt` steps from
@@ -79,6 +83,7 @@ impl Default for ApplyOptions {
             mode: HaloMode::Basic,
             block: 0,
             threads: 1,
+            vector_width: 0,
             nt: 1,
             t0: 0,
             dt: None,
@@ -114,6 +119,10 @@ impl ApplyOptions {
     }
     pub fn with_threads(mut self, threads: usize) -> Self {
         self.threads = threads;
+        self
+    }
+    pub fn with_vector_width(mut self, vw: usize) -> Self {
+        self.vector_width = mpix_codegen::executor::validate_vector_width(vw);
         self
     }
     pub fn with_scalar(mut self, name: &str, v: f32) -> Self {
@@ -166,6 +175,12 @@ impl ApplyOptions {
         }
         if std::env::var("MPIX_TRACE").is_ok() {
             self.trace = TraceLevel::from_env();
+        }
+        if let Ok(v) = std::env::var("MPIX_VW") {
+            let vw: usize = v
+                .parse()
+                .unwrap_or_else(|_| panic!("MPIX_VW={v:?}: expected a lane width (0|1|8|16|32)"));
+            self.vector_width = mpix_codegen::executor::validate_vector_width(vw);
         }
         self
     }
@@ -326,6 +341,7 @@ impl Operator {
                 mode: opts.mode,
                 block: opts.block,
                 threads: opts.threads,
+                vector_width: opts.vector_width,
                 trace: opts.trace,
             },
         )
@@ -442,12 +458,14 @@ mod tests {
         std::env::set_var("MPIX_THREADS", "4");
         std::env::set_var("MPIX_RANKS", "8");
         std::env::set_var("MPIX_TRACE", "summary");
+        std::env::set_var("MPIX_VW", "16");
         let o = ApplyOptions::from_env();
         assert_eq!(o.mode, HaloMode::Diagonal);
         assert_eq!(o.block, 16);
         assert_eq!(o.threads, 4);
         assert_eq!(o.ranks, 8);
         assert_eq!(o.trace, TraceLevel::Summary);
+        assert_eq!(o.vector_width, 16);
 
         // Precedence: environment beats builder.
         let o = ApplyOptions::default()
@@ -464,10 +482,12 @@ mod tests {
         std::env::remove_var("MPIX_THREADS");
         std::env::remove_var("MPIX_RANKS");
         std::env::remove_var("MPIX_TRACE");
+        std::env::remove_var("MPIX_VW");
         let o = ApplyOptions::from_env();
         assert_eq!(o.mode, HaloMode::Basic);
         assert_eq!(o.block, 0);
         assert_eq!(o.trace, TraceLevel::Off);
+        assert_eq!(o.vector_width, 0);
 
         // Unset env leaves builder values untouched.
         let o = ApplyOptions::default()

@@ -332,25 +332,66 @@ impl DistArray {
     }
 
     /// Copy a padded-coordinate box into a flat buffer (message packing).
+    /// The innermost padded stride is 1, so each innermost row of the box
+    /// is one contiguous slice — packing is a sequence of `memcpy`s, not
+    /// per-element gathers. This runs in every halo exchange of all three
+    /// DMP modes.
     pub fn pack_box(&self, b: &BoxNd, out: &mut Vec<f32>) {
         out.clear();
         out.reserve(box_len(b));
-        for_each_index(b, |idx| out.push(self.get_padded(idx)));
+        for_each_row(b, &self.strides, |start, len| {
+            out.extend_from_slice(&self.data[start..start + len]);
+        });
     }
 
-    /// Scatter a flat buffer into a padded-coordinate box (unpacking).
+    /// Scatter a flat buffer into a padded-coordinate box (unpacking),
+    /// one contiguous innermost row per `copy_from_slice`.
     pub fn unpack_box(&mut self, b: &BoxNd, data: &[f32]) {
         assert_eq!(data.len(), box_len(b), "message size mismatch");
-        let mut offsets = Vec::with_capacity(data.len());
-        for_each_index(b, |idx| offsets.push(self.lin(idx)));
-        for (off, &v) in offsets.iter().zip(data) {
-            self.data[*off] = v;
-        }
+        let dst = &mut self.data;
+        let mut cursor = 0;
+        for_each_row(b, &self.strides, |start, len| {
+            dst[start..start + len].copy_from_slice(&data[cursor..cursor + len]);
+            cursor += len;
+        });
     }
 
     /// The box of a named region for a given stencil radius.
     pub fn region(&self, region: Region, radius: usize) -> BoxNd {
         region_box(region, &self.local_shape, self.halo, radius)
+    }
+}
+
+/// Visit each contiguous innermost row of box `b` as
+/// `(linear_start, row_len)` in `for_each_index` order. Relies on the
+/// row-major layout invariant that the innermost stride is 1.
+fn for_each_row(b: &BoxNd, strides: &[usize], mut f: impl FnMut(usize, usize)) {
+    let nd = b.len();
+    if b.iter().any(|r| r.is_empty()) {
+        return;
+    }
+    debug_assert_eq!(strides[nd - 1], 1);
+    let row_len = b[nd - 1].len();
+    let mut idx: Vec<usize> = b[..nd - 1].iter().map(|r| r.start).collect();
+    loop {
+        let mut lin = b[nd - 1].start;
+        for (d, &i) in idx.iter().enumerate() {
+            lin += i * strides[d];
+        }
+        f(lin, row_len);
+        // Odometer over the outer dimensions.
+        let mut d = idx.len();
+        loop {
+            if d == 0 {
+                return;
+            }
+            d -= 1;
+            idx[d] += 1;
+            if idx[d] < b[d].end {
+                break;
+            }
+            idx[d] = b[d].start;
+        }
     }
 }
 

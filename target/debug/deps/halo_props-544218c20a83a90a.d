@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/halo_props-544218c20a83a90a.d: crates/dmp/tests/halo_props.rs
+
+/root/repo/target/debug/deps/halo_props-544218c20a83a90a: crates/dmp/tests/halo_props.rs
+
+crates/dmp/tests/halo_props.rs:

@@ -1,0 +1,8 @@
+/root/repo/target/debug/deps/mpix_codegen-ab159ce5ba049c73.d: crates/codegen/src/lib.rs crates/codegen/src/bytecode.rs crates/codegen/src/cgen.rs crates/codegen/src/executor.rs
+
+/root/repo/target/debug/deps/mpix_codegen-ab159ce5ba049c73: crates/codegen/src/lib.rs crates/codegen/src/bytecode.rs crates/codegen/src/cgen.rs crates/codegen/src/executor.rs
+
+crates/codegen/src/lib.rs:
+crates/codegen/src/bytecode.rs:
+crates/codegen/src/cgen.rs:
+crates/codegen/src/executor.rs:

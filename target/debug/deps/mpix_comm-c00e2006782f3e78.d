@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/mpix_comm-c00e2006782f3e78.d: crates/comm/src/lib.rs crates/comm/src/cart.rs crates/comm/src/comm.rs crates/comm/src/stats.rs crates/comm/src/universe.rs
+
+/root/repo/target/debug/deps/libmpix_comm-c00e2006782f3e78.rmeta: crates/comm/src/lib.rs crates/comm/src/cart.rs crates/comm/src/comm.rs crates/comm/src/stats.rs crates/comm/src/universe.rs
+
+crates/comm/src/lib.rs:
+crates/comm/src/cart.rs:
+crates/comm/src/comm.rs:
+crates/comm/src/stats.rs:
+crates/comm/src/universe.rs:

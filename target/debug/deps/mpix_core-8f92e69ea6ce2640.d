@@ -1,0 +1,8 @@
+/root/repo/target/debug/deps/mpix_core-8f92e69ea6ce2640.d: crates/core/src/lib.rs crates/core/src/autotune.rs crates/core/src/operator.rs crates/core/src/workspace.rs
+
+/root/repo/target/debug/deps/mpix_core-8f92e69ea6ce2640: crates/core/src/lib.rs crates/core/src/autotune.rs crates/core/src/operator.rs crates/core/src/workspace.rs
+
+crates/core/src/lib.rs:
+crates/core/src/autotune.rs:
+crates/core/src/operator.rs:
+crates/core/src/workspace.rs:

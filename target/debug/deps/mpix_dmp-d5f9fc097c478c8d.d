@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/mpix_dmp-d5f9fc097c478c8d.d: crates/dmp/src/lib.rs crates/dmp/src/array.rs crates/dmp/src/decomp.rs crates/dmp/src/halo.rs crates/dmp/src/regions.rs crates/dmp/src/sparse.rs
+
+/root/repo/target/debug/deps/libmpix_dmp-d5f9fc097c478c8d.rmeta: crates/dmp/src/lib.rs crates/dmp/src/array.rs crates/dmp/src/decomp.rs crates/dmp/src/halo.rs crates/dmp/src/regions.rs crates/dmp/src/sparse.rs
+
+crates/dmp/src/lib.rs:
+crates/dmp/src/array.rs:
+crates/dmp/src/decomp.rs:
+crates/dmp/src/halo.rs:
+crates/dmp/src/regions.rs:
+crates/dmp/src/sparse.rs:

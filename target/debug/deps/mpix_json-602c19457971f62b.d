@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/mpix_json-602c19457971f62b.d: crates/json/src/lib.rs
+
+/root/repo/target/debug/deps/libmpix_json-602c19457971f62b.rmeta: crates/json/src/lib.rs
+
+crates/json/src/lib.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/mpix_trace-5ae90e71b8570307.d: crates/trace/src/lib.rs crates/trace/src/msg.rs crates/trace/src/summary.rs
+
+/root/repo/target/debug/deps/libmpix_trace-5ae90e71b8570307.rmeta: crates/trace/src/lib.rs crates/trace/src/msg.rs crates/trace/src/summary.rs
+
+crates/trace/src/lib.rs:
+crates/trace/src/msg.rs:
+crates/trace/src/summary.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/operator_e2e-b8db98da8bf4b392.d: crates/core/tests/operator_e2e.rs
+
+/root/repo/target/debug/deps/operator_e2e-b8db98da8bf4b392: crates/core/tests/operator_e2e.rs
+
+crates/core/tests/operator_e2e.rs:

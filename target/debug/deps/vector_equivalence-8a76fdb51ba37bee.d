@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/vector_equivalence-8a76fdb51ba37bee.d: tests/vector_equivalence.rs
+
+/root/repo/target/debug/deps/vector_equivalence-8a76fdb51ba37bee: tests/vector_equivalence.rs
+
+tests/vector_equivalence.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/vector_equivalence-c165bc70a265baff.d: tests/vector_equivalence.rs
+
+/root/repo/target/release/deps/vector_equivalence-c165bc70a265baff: tests/vector_equivalence.rs
+
+tests/vector_equivalence.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/vector_equivalence-d805dd95014411bb.d: tests/vector_equivalence.rs Cargo.toml
+
+/root/repo/target/release/deps/libvector_equivalence-d805dd95014411bb.rmeta: tests/vector_equivalence.rs Cargo.toml
+
+tests/vector_equivalence.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR
