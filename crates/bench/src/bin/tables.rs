@@ -12,6 +12,8 @@
 //! cargo run -p mpix-bench --release --bin tables -- perf       # per-rank PerfSummary
 //! cargo run -p mpix-bench --release --bin tables -- bench-kernels [--quick]
 //! #   scalar vs vectorized interpreter GPts/s -> BENCH_kernels.json
+//! cargo run -p mpix-bench --release --bin tables -- bench-halo [--quick]
+//! #   persistent-plan vs legacy halo exchange latency -> BENCH_comm.json
 //! ```
 
 use mpix_bench::tables;
@@ -43,6 +45,7 @@ fn main() {
         "validate" => validate(),
         "perf" => tables::print_perf(),
         "bench-kernels" => bench_kernels(&args),
+        "bench-halo" => bench_halo(&args),
         "json" => println!("{}", tables::json_dump()),
         "crossovers" => tables::print_crossovers(),
         "all" => {
@@ -73,6 +76,17 @@ fn bench_kernels(args: &[String]) {
     let json = tables::bench_kernels_json(quick);
     let path = "BENCH_kernels.json";
     std::fs::write(path, &json).expect("write BENCH_kernels.json");
+    println!("\nwrote {path}");
+}
+
+/// Measure persistent-plan vs legacy halo-exchange latency per mode and
+/// radius and write the record to `BENCH_comm.json` (`--quick` = CI
+/// smoke size).
+fn bench_halo(args: &[String]) {
+    let quick = args.iter().any(|a| a == "--quick");
+    let json = tables::bench_halo_json(quick);
+    let path = "BENCH_comm.json";
+    std::fs::write(path, &json).expect("write BENCH_comm.json");
     println!("\nwrote {path}");
 }
 

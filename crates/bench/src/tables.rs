@@ -515,6 +515,171 @@ pub fn bench_kernels_json(quick: bool) -> String {
     .pretty()
 }
 
+/// Measure per-exchange halo latency on a 2×2×2 rank grid for every
+/// mode and radius, comparing the persistent-plan path against a
+/// faithful reproduction of the pre-plan cost model (per-call box
+/// computation, fresh pack vector, `f32`→bytes conversion, byte-envelope
+/// send, bytes→`f32` conversion on receive — four copies and three
+/// allocations per message). Returns the `BENCH_comm.json` payload.
+pub fn bench_halo_json(quick: bool) -> String {
+    use mpix_comm::comm::{bytes_to_f32, f32_to_bytes};
+    use mpix_comm::{CartComm, RecvRequest, Universe};
+    use mpix_dmp::halo::make_exchange;
+    use mpix_dmp::{BoxNd, Decomposition, DistArray, HaloMode, HaloPlan};
+    use mpix_json::json;
+    use std::sync::Arc;
+    use std::time::Instant;
+
+    let dims = vec![2usize, 2, 2];
+    let nranks: usize = dims.iter().product();
+    let edge = 16usize; // 8³ points per rank: small, alloc-dominated messages
+    let radii: Vec<usize> = if quick { vec![1, 4] } else { vec![1, 2, 3, 4] };
+    let (warmup, iters) = if quick {
+        (3u32, 25u32)
+    } else {
+        (20u32, 250u32)
+    };
+    // Each timed block repeats `reps` times; the fastest repetition is
+    // reported. OS scheduling noise only ever adds time, so the minimum
+    // is the least-noise estimate of the true exchange cost. Both arms
+    // get identical treatment.
+    let reps = if quick { 1u32 } else { 7u32 };
+
+    // One exchange the way the pre-plan path did it: geometry re-derived
+    // per call, byte-typed envelopes, fresh buffers everywhere.
+    fn legacy_exchange(cart: &CartComm, arr: &mut DistArray, plan: &HaloPlan) {
+        for step in 0..plan.num_steps() {
+            let rows = plan.step_view(step);
+            let mut reqs: Vec<(RecvRequest, BoxNd)> = Vec::with_capacity(rows.len());
+            for (peer, _, recv_tag, _, recv_box) in &rows {
+                reqs.push((cart.comm().irecv(*peer, *recv_tag), recv_box.clone()));
+            }
+            for (peer, send_tag, _, send_box, _) in &rows {
+                let mut buf = Vec::new();
+                arr.pack_box(send_box, &mut buf);
+                cart.comm().isend(*peer, *send_tag, &f32_to_bytes(&buf));
+            }
+            for (req, recv_box) in reqs {
+                let data = req.wait();
+                arr.unpack_box(&recv_box, &bytes_to_f32(&data));
+            }
+        }
+    }
+
+    let mut rows = Vec::new();
+    println!(
+        "\n## Halo exchange latency: persistent plan vs pre-plan path, \
+         {nranks} ranks (2×2×2), {edge}³ global, {iters} iters"
+    );
+    println!(
+        "{:<10} {:>6} {:>12} {:>12} {:>9} {:>6} {:>10} {:>11}",
+        "mode",
+        "radius",
+        "plan µs/ex",
+        "legacy µs/ex",
+        "speedup",
+        "msgs",
+        "bytes/ex",
+        "steady-alloc"
+    );
+    for mode in [HaloMode::Basic, HaloMode::Diagonal, HaloMode::Full] {
+        for &radius in &radii {
+            let dims_c = dims.clone();
+            let out = Universe::run(nranks, move |comm| {
+                let cart = CartComm::new(comm, &dims_c);
+                let dc = Arc::new(Decomposition::new(&[edge, edge, edge], &dims_c));
+                let coords = cart.coords().to_vec();
+                let mut arr = DistArray::new(dc, &coords, radius.max(2));
+                arr.fill_global_slice(&[0..edge, 0..edge, 0..edge], 1.0);
+
+                // Plan arm: build + prime during warm-up, then time.
+                let mut ex = make_exchange(mode);
+                for _ in 0..warmup {
+                    ex.exchange(&cart, &mut arr, radius, 0);
+                }
+                cart.comm().barrier();
+                cart.comm().reset_stats();
+                let mut plan_secs = f64::INFINITY;
+                for _ in 0..reps {
+                    cart.comm().barrier();
+                    let t0 = Instant::now();
+                    for _ in 0..iters {
+                        ex.exchange(&cart, &mut arr, radius, 0);
+                    }
+                    cart.comm().barrier();
+                    plan_secs = plan_secs.min(t0.elapsed().as_secs_f64());
+                }
+                let stats = cart.comm().stats();
+
+                // Legacy arm: same geometry (taken from a plan), pre-plan
+                // cost model. Distinct tag base so arms can't cross-match.
+                let geo = HaloPlan::build(&cart, &arr, mode, radius, 4096);
+                for _ in 0..warmup {
+                    legacy_exchange(&cart, &mut arr, &geo);
+                }
+                let mut legacy_secs = f64::INFINITY;
+                for _ in 0..reps {
+                    cart.comm().barrier();
+                    let t0 = Instant::now();
+                    for _ in 0..iters {
+                        legacy_exchange(&cart, &mut arr, &geo);
+                    }
+                    cart.comm().barrier();
+                    legacy_secs = legacy_secs.min(t0.elapsed().as_secs_f64());
+                }
+                (
+                    plan_secs,
+                    legacy_secs,
+                    stats.msgs_sent,
+                    stats.bytes_sent,
+                    stats.bufs_allocated,
+                )
+            });
+            // Slowest rank defines the exchange latency; allocations are
+            // summed (the steady-state contract is zero everywhere).
+            let plan_secs = out.iter().map(|r| r.0).fold(0.0, f64::max);
+            let legacy_secs = out.iter().map(|r| r.1).fold(0.0, f64::max);
+            let timed_exchanges = (iters * reps) as u64;
+            let msgs_per_ex: u64 = out.iter().map(|r| r.2).sum::<u64>() / timed_exchanges;
+            let bytes_per_ex: u64 = out.iter().map(|r| r.3).sum::<u64>() / timed_exchanges;
+            let steady_allocs: u64 = out.iter().map(|r| r.4).sum();
+            let plan_us = plan_secs / iters as f64 * 1e6;
+            let legacy_us = legacy_secs / iters as f64 * 1e6;
+            let speedup = legacy_us / plan_us;
+            println!(
+                "{:<10} {:>6} {:>12.2} {:>12.2} {:>8.2}x {:>6} {:>10} {:>11}",
+                format!("{mode:?}").to_lowercase(),
+                radius,
+                plan_us,
+                legacy_us,
+                speedup,
+                msgs_per_ex,
+                bytes_per_ex,
+                steady_allocs,
+            );
+            rows.push(json!({
+                "mode": format!("{mode:?}").to_lowercase(),
+                "radius": radius,
+                "plan_us_per_exchange": plan_us,
+                "legacy_us_per_exchange": legacy_us,
+                "speedup": speedup,
+                "msgs_per_exchange": msgs_per_ex,
+                "bytes_per_exchange": bytes_per_ex,
+                "steady_state_bufs_allocated": steady_allocs,
+            }));
+        }
+    }
+    json!({
+        "grid": vec![edge, edge, edge],
+        "rank_dims": dims,
+        "ranks": nranks,
+        "iters": iters,
+        "quick": quick,
+        "exchanges": rows,
+    })
+    .pretty()
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -249,6 +249,11 @@ impl OperatorExec {
         if opts.trace == TraceLevel::Full {
             cart.comm().set_msg_log(true);
         }
+        let comm_before = if opts.trace.enabled() {
+            Some(cart.comm().stats())
+        } else {
+            None
+        };
         let mut st = ExecState {
             cart,
             fields,
@@ -258,7 +263,7 @@ impl OperatorExec {
             t: t0,
             loop_idx: 0,
             pending: HashMap::new(),
-            full_ex: FullExchange::new(),
+            full_ex: HashMap::new(),
             exchangers: HashMap::new(),
             stats: ExecStats::default(),
             tracer: Tracer::new(opts.trace),
@@ -280,7 +285,18 @@ impl OperatorExec {
             } else {
                 Vec::new()
             };
-            stats.trace = Some(tracer.finish(cart.comm().rank(), messages));
+            // Allocation/copy deltas over this run, so the report can
+            // verify the persistent-plan zero-allocation contract.
+            let before = comm_before.unwrap();
+            let after = cart.comm().stats();
+            stats.trace = Some(
+                tracer
+                    .finish(cart.comm().rank(), messages)
+                    .with_comm_counters(
+                        after.bufs_allocated - before.bufs_allocated,
+                        after.bytes_copied - before.bytes_copied,
+                    ),
+            );
         }
         stats
     }
@@ -1496,9 +1512,12 @@ struct ExecState<'a> {
     loop_idx: usize,
     /// In-flight async exchanges keyed by (field, time_offset).
     pending: HashMap<(u32, i32), mpix_dmp::FullToken>,
-    full_ex: FullExchange,
-    /// Persistent per-(field,toff) synchronous exchangers (so diagonal
-    /// mode keeps its preallocated buffers across steps).
+    /// Persistent per-(field,toff) overlap exchangers. One per key, not
+    /// one shared: each owns a `HaloPlan` (peers, tags, boxes, buffers)
+    /// keyed to that field's geometry and tag base.
+    full_ex: HashMap<(u32, i32), FullExchange>,
+    /// Persistent per-(field,toff) synchronous exchangers, so every mode
+    /// reuses its `HaloPlan` (and preallocated buffers) across steps.
     exchangers: HashMap<(u32, i32), Box<dyn HaloExchange + Send>>,
     stats: ExecStats,
     tracer: Tracer,
@@ -1536,23 +1555,27 @@ impl ExecState<'_> {
         if radius == 0 {
             return;
         }
+        let key = (x.field.0, x.time_offset);
         let fs = &self.fields[x.field.0 as usize];
         let b = fs.buffer_index(self.t, x.time_offset);
-        let token = self.full_ex.begin_traced(
+        let token = self.full_ex.entry(key).or_default().begin_traced(
             self.cart,
             &fs.buffers[b],
             radius,
             Self::tag_base(x.field.0, x.time_offset),
             &mut self.tracer,
         );
-        self.pending.insert((x.field.0, x.time_offset), token);
+        self.pending.insert(key, token);
     }
 
     fn finish_async(&mut self, x: &mpix_ir::halo::HaloXchg) {
-        if let Some(token) = self.pending.remove(&(x.field.0, x.time_offset)) {
+        let key = (x.field.0, x.time_offset);
+        if let Some(token) = self.pending.remove(&key) {
             let fs = &mut self.fields[x.field.0 as usize];
             let b = fs.buffer_index(self.t, x.time_offset);
             self.full_ex
+                .get_mut(&key)
+                .expect("finish_async without begin_async")
                 .finish_traced(token, &mut fs.buffers[b], &mut self.tracer);
         }
     }

@@ -1,5 +1,36 @@
 //! The communicator: point-to-point messaging, requests, collectives.
+//!
+//! ## Zero-copy typed payloads and the buffer pool
+//!
+//! `f32` traffic — the halo-exchange hot path — travels natively: an
+//! [`Comm::isend_f32`] copies the payload once into a pooled `Vec<f32>`
+//! envelope (the "wire" copy), and a typed receive either moves that
+//! vector out wholesale ([`RecvRequest::wait_f32`]) or copies it into a
+//! caller-owned preallocated buffer and recycles the envelope
+//! ([`PersistentRecv::wait_into`], the `MPI_Recv_init` analogue). In
+//! steady state the pool serves every envelope, so a halo exchange
+//! performs **zero heap allocations**; [`CommStats::bufs_allocated`]
+//! counts the misses so the contract is testable.
+//!
+//! ## Bucketed matching
+//!
+//! Each rank's mailbox is a map of per-`(source, tag)` FIFO queues
+//! (`VecDeque`), so matching is an O(1) front pop instead of the former
+//! O(n) scan + O(n) `Vec::remove` under one hot mutex. Arrival order is
+//! preserved per `(source, tag)` pair, exactly MPI's non-overtaking
+//! guarantee.
+//!
+//! ## Fail-fast poison semantics
+//!
+//! When a rank's closure panics, [`crate::Universe`] poisons the world:
+//! every blocked receive and barrier wait wakes up and unwinds promptly
+//! instead of hitting the 60 s deadlock timeout, and the *original*
+//! panic payload is re-raised to the `Universe::run` caller.
 
+use std::any::Any;
+use std::collections::{BTreeMap, HashMap, VecDeque};
+use std::fmt::Write as _;
+use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::{Arc, Condvar, Mutex};
 use std::time::{Duration, Instant};
 
@@ -17,19 +48,133 @@ pub const RESERVED_TAG_BASE: Tag = 1 << 30;
 /// for slow CI machines while still failing fast on real bugs.
 const RECV_TIMEOUT: Duration = Duration::from_secs(60);
 
+/// Panic message used when a wait unwinds because a *peer* rank panicked
+/// (the world was poisoned). `Universe::run` swallows these secondary
+/// panics and re-raises the original payload instead.
+pub const POISONED_MSG: &str = "world poisoned: a peer rank panicked";
+
+/// Upper bound on pooled envelope buffers kept alive per world. Sized so
+/// a 3-D diagonal exchange on a few dozen ranks (26 messages each) stays
+/// fully pooled; beyond that the pool degrades gracefully to occasional
+/// allocation rather than unbounded memory.
+const POOL_MAX: usize = 1024;
+
+/// A message payload. `f32` traffic (the halo hot path) is carried
+/// natively so typed receives never round-trip through bytes; the byte
+/// representation survives for small control traffic (`f64` reductions).
+#[derive(Debug)]
+enum Payload {
+    Bytes(Vec<u8>),
+    F32(Vec<f32>),
+}
+
+impl Payload {
+    fn len_bytes(&self) -> usize {
+        match self {
+            Payload::Bytes(b) => b.len(),
+            Payload::F32(v) => v.len() * 4,
+        }
+    }
+}
+
 #[derive(Debug)]
 struct Envelope {
-    src: usize,
-    tag: Tag,
-    data: Vec<u8>,
+    payload: Payload,
     /// When the sender enqueued this message; receivers derive the
-    /// enqueue→match latency logged at `TraceLevel::Full`.
-    sent_at: Instant,
+    /// enqueue→match latency logged at `TraceLevel::Full`. Only stamped
+    /// while some rank has message logging on — a clock read per message
+    /// is measurable on the halo hot path.
+    sent_at: Option<Instant>,
 }
+
+/// How many times a blocked receive yields the core before parking on
+/// the condvar. On oversubscribed hosts the matching send is usually one
+/// scheduler handoff away, and a yield is far cheaper than a futex
+/// park/wake round-trip; on idle hosts the fall-through to a real park
+/// keeps long waits free.
+const YIELD_ROUNDS: usize = 32;
 
 #[derive(Default)]
 struct MailboxInner {
-    queue: Vec<Envelope>,
+    /// Per-(source, tag) FIFO queues. A slot, once created for a stream,
+    /// lives for the world's lifetime, so persistent requests resolve
+    /// their slot index at init time and skip the hash lookup on every
+    /// message; a pop is an O(1) front pop.
+    slots: Vec<VecDeque<Envelope>>,
+    /// `(source, tag)` → slot index, consulted once per persistent
+    /// request (at init) and once per non-persistent message.
+    index: HashMap<(usize, Tag), usize>,
+    queued: usize,
+    /// Threads currently parked on the `arrived` condvar. Senders skip
+    /// the (syscall-priced) wake entirely when nobody is parked — in a
+    /// healthy exchange most messages land before the receiver blocks.
+    waiters: usize,
+    /// Monotone push counter; `MPI_Waitany`-style completion parks until
+    /// this moves instead of until one specific message matches.
+    pushes: u64,
+}
+
+impl MailboxInner {
+    /// Slot index of the `(src, tag)` stream, creating it on first use.
+    fn slot_of(&mut self, src: usize, tag: Tag) -> usize {
+        if let Some(&s) = self.index.get(&(src, tag)) {
+            return s;
+        }
+        self.slots.push(VecDeque::new());
+        let s = self.slots.len() - 1;
+        self.index.insert((src, tag), s);
+        s
+    }
+
+    fn push_slot(&mut self, slot: usize, env: Envelope) {
+        self.slots[slot].push_back(env);
+        self.queued += 1;
+        self.pushes += 1;
+    }
+
+    fn pop_slot(&mut self, slot: usize) -> Option<Envelope> {
+        let env = self.slots[slot].pop_front()?;
+        self.queued -= 1;
+        Some(env)
+    }
+
+    fn push(&mut self, src: usize, tag: Tag, env: Envelope) {
+        let s = self.slot_of(src, tag);
+        self.push_slot(s, env);
+    }
+
+    fn pop(&mut self, src: usize, tag: Tag) -> Option<Envelope> {
+        let &s = self.index.get(&(src, tag))?;
+        self.pop_slot(s)
+    }
+
+    /// Human-readable digest of queued-but-unmatched envelopes, so a
+    /// receive timeout reads as the tag-mismatch it usually is rather
+    /// than a lost message.
+    fn queued_summary(&self) -> String {
+        if self.queued == 0 {
+            return "mailbox is empty".to_string();
+        }
+        let mut out = format!("mailbox holds {} unmatched message(s):", self.queued);
+        let mut streams: Vec<(&(usize, Tag), &usize)> = self.index.iter().collect();
+        streams.sort();
+        let mut listed = 0;
+        for (&(src, tag), &slot) in streams {
+            for env in &self.slots[slot] {
+                if listed == 16 {
+                    let _ = write!(out, " …");
+                    return out;
+                }
+                let _ = write!(
+                    out,
+                    " (src={src}, tag={tag}, {} bytes)",
+                    env.payload.len_bytes()
+                );
+                listed += 1;
+            }
+        }
+        out
+    }
 }
 
 /// One mailbox per rank; senders push, the owner matches and pops.
@@ -47,19 +192,322 @@ impl Mailbox {
     }
 }
 
+/// Recycles envelope buffers between sends and typed receives so the
+/// steady-state message path allocates nothing. `acquire` is best-fit:
+/// it picks the smallest pooled buffer whose capacity covers the
+/// request, so mixed message sizes stabilize after warm-up.
+struct BufferPool {
+    inner: Mutex<PoolInner>,
+}
+
+/// Free buffers keyed by capacity so `acquire` is an `O(log n)` best-fit
+/// lookup instead of a linear scan — the hot send path hits this once per
+/// message.
+#[derive(Default)]
+struct PoolInner {
+    by_cap: BTreeMap<usize, Vec<Vec<f32>>>,
+    total: usize,
+}
+
+impl BufferPool {
+    fn new() -> BufferPool {
+        BufferPool {
+            inner: Mutex::new(PoolInner::default()),
+        }
+    }
+
+    /// Returns `(buffer, allocated)` where `allocated` reports whether a
+    /// heap allocation (fresh buffer or capacity growth) was needed.
+    fn acquire(&self, len: usize) -> (Vec<f32>, bool) {
+        let mut pool = self.inner.lock().unwrap();
+        // Best fit: the smallest pooled capacity that covers the request.
+        let fit = pool
+            .by_cap
+            .range(len..)
+            .find(|(_, q)| !q.is_empty())
+            .map(|(&cap, _)| cap);
+        if let Some(cap) = fit {
+            let buf = pool.by_cap.get_mut(&cap).unwrap().pop().unwrap();
+            pool.total -= 1;
+            return (buf, false);
+        }
+        // No adequate buffer: grow the largest undersized one (keeps the
+        // pool population stable) or allocate fresh if the pool is empty.
+        let biggest = pool
+            .by_cap
+            .iter()
+            .rev()
+            .find(|(_, q)| !q.is_empty())
+            .map(|(&cap, _)| cap);
+        if let Some(cap) = biggest {
+            let mut buf = pool.by_cap.get_mut(&cap).unwrap().pop().unwrap();
+            pool.total -= 1;
+            buf.reserve(len);
+            (buf, true)
+        } else {
+            (Vec::with_capacity(len), true)
+        }
+    }
+
+    fn release(&self, mut buf: Vec<f32>) {
+        buf.clear();
+        let mut pool = self.inner.lock().unwrap();
+        if pool.total < POOL_MAX {
+            pool.total += 1;
+            pool.by_cap.entry(buf.capacity()).or_default().push(buf);
+        }
+    }
+
+    /// Pre-populate the pool with `count` buffers of `len` elements each
+    /// (up to the pool cap). The halo plans call this at build time so
+    /// steady-state exchanges are deterministically allocation-free: the
+    /// warm-up cost is paid once, under the caller's control.
+    fn reserve(&self, count: usize, len: usize) {
+        let mut pool = self.inner.lock().unwrap();
+        for _ in 0..count {
+            if pool.total >= POOL_MAX {
+                break;
+            }
+            let buf = Vec::with_capacity(len);
+            pool.total += 1;
+            pool.by_cap.entry(buf.capacity()).or_default().push(buf);
+        }
+    }
+}
+
+/// Condvar-based, poison-aware barrier. Unlike `std::sync::Barrier`,
+/// waiters wake up and unwind when the world is poisoned instead of
+/// blocking forever on a rank that will never arrive.
+pub(crate) struct PoisonBarrier {
+    n: usize,
+    inner: Mutex<BarrierInner>,
+    cv: Condvar,
+}
+
+#[derive(Default)]
+struct BarrierInner {
+    arrived: usize,
+    generation: u64,
+}
+
+impl PoisonBarrier {
+    fn new(n: usize) -> PoisonBarrier {
+        PoisonBarrier {
+            n,
+            inner: Mutex::new(BarrierInner::default()),
+            cv: Condvar::new(),
+        }
+    }
+
+    fn wait(&self, poisoned: &AtomicBool) {
+        let mut g = self.inner.lock().unwrap();
+        if poisoned.load(Ordering::SeqCst) {
+            drop(g);
+            panic!("{POISONED_MSG}");
+        }
+        g.arrived += 1;
+        if g.arrived == self.n {
+            g.arrived = 0;
+            g.generation += 1;
+            self.cv.notify_all();
+            return;
+        }
+        let gen = g.generation;
+        while g.generation == gen {
+            g = self.cv.wait(g).unwrap();
+            if poisoned.load(Ordering::SeqCst) {
+                drop(g);
+                panic!("{POISONED_MSG}");
+            }
+        }
+    }
+
+    fn poison_notify(&self) {
+        let _g = self.inner.lock().unwrap();
+        self.cv.notify_all();
+    }
+}
+
 /// Shared state for a set of ranks (the "world").
 pub(crate) struct World {
     pub(crate) mailboxes: Vec<Mailbox>,
-    pub(crate) barrier: std::sync::Barrier,
+    pub(crate) barrier: PoisonBarrier,
     pub(crate) stats: Vec<Mutex<StatsInner>>,
+    pool: BufferPool,
+    poisoned: AtomicBool,
+    /// True once any rank enables message logging; senders stamp
+    /// envelopes with `sent_at` only while set.
+    log_any: AtomicBool,
+    panic_payload: Mutex<Option<Box<dyn Any + Send>>>,
 }
 
 impl World {
     pub(crate) fn new(n: usize) -> World {
         World {
             mailboxes: (0..n).map(|_| Mailbox::new()).collect(),
-            barrier: std::sync::Barrier::new(n),
+            barrier: PoisonBarrier::new(n),
             stats: (0..n).map(|_| Mutex::new(StatsInner::default())).collect(),
+            pool: BufferPool::new(),
+            poisoned: AtomicBool::new(false),
+            log_any: AtomicBool::new(false),
+            panic_payload: Mutex::new(None),
+        }
+    }
+
+    fn is_poisoned(&self) -> bool {
+        self.poisoned.load(Ordering::SeqCst)
+    }
+
+    /// Mark the world dead after a rank panic: store the first (original)
+    /// panic payload and wake every blocked waiter so peers unwind
+    /// promptly instead of deadlocking.
+    pub(crate) fn poison(&self, payload: Box<dyn Any + Send>) {
+        {
+            let mut slot = self.panic_payload.lock().unwrap();
+            if slot.is_none() {
+                *slot = Some(payload);
+            }
+        }
+        self.poisoned.store(true, Ordering::SeqCst);
+        for mb in &self.mailboxes {
+            let _g = mb.inner.lock().unwrap();
+            mb.arrived.notify_all();
+        }
+        self.barrier.poison_notify();
+    }
+
+    /// The original panic payload, if any rank panicked.
+    pub(crate) fn take_panic_payload(&self) -> Option<Box<dyn Any + Send>> {
+        self.panic_payload.lock().unwrap().take()
+    }
+}
+
+/// Block until a `(src, tag)` message arrives in `rank`'s mailbox.
+/// Unwinds with [`POISONED_MSG`] if a peer rank panics while we wait, and
+/// with a queued-envelope digest if `timeout` expires (tag-mismatch
+/// diagnosis instead of a bare "deadlock").
+fn wait_envelope(world: &World, rank: usize, src: usize, tag: Tag, timeout: Duration) -> Envelope {
+    let mailbox = &world.mailboxes[rank];
+    // Cooperative phase: donate the timeslice to whichever peer owes us
+    // the message before paying for a futex park.
+    for _ in 0..YIELD_ROUNDS {
+        if let Some(env) = mailbox.inner.lock().unwrap().pop(src, tag) {
+            return env;
+        }
+        if world.is_poisoned() {
+            panic!("{POISONED_MSG}");
+        }
+        std::thread::yield_now();
+    }
+    let deadline = Instant::now() + timeout;
+    let mut inner = mailbox.inner.lock().unwrap();
+    loop {
+        if let Some(env) = inner.pop(src, tag) {
+            return env;
+        }
+        if world.is_poisoned() {
+            drop(inner);
+            panic!("{POISONED_MSG}");
+        }
+        let now = Instant::now();
+        if now >= deadline {
+            let queued = inner.queued_summary();
+            drop(inner);
+            panic!("rank {rank} deadlocked waiting for (src={src}, tag={tag}); {queued}");
+        }
+        inner.waiters += 1;
+        let (mut g, _) = mailbox.arrived.wait_timeout(inner, deadline - now).unwrap();
+        g.waiters -= 1;
+        inner = g;
+    }
+}
+
+/// Non-blocking variant of [`wait_envelope`].
+fn try_envelope(world: &World, rank: usize, src: usize, tag: Tag) -> Option<Envelope> {
+    world.mailboxes[rank].inner.lock().unwrap().pop(src, tag)
+}
+
+/// Current value of `rank`'s mailbox push counter (see
+/// [`wait_arrival_beyond`]).
+fn arrival_seq(world: &World, rank: usize) -> u64 {
+    world.mailboxes[rank].inner.lock().unwrap().pushes
+}
+
+/// Park until `rank`'s mailbox has seen a push beyond `seq` — the
+/// `MPI_Waitany` building block: snapshot the counter, try every pending
+/// request, and park here only if none completed. Returns immediately if
+/// the counter already moved, so no arrival between snapshot and park can
+/// be lost. Poison-aware and deadline-guarded like [`wait_envelope`].
+fn wait_arrival_beyond(world: &World, rank: usize, seq: u64) {
+    let mailbox = &world.mailboxes[rank];
+    // Cooperative phase, as in `wait_envelope`.
+    for _ in 0..YIELD_ROUNDS {
+        if mailbox.inner.lock().unwrap().pushes != seq {
+            return;
+        }
+        if world.is_poisoned() {
+            panic!("{POISONED_MSG}");
+        }
+        std::thread::yield_now();
+    }
+    let deadline = Instant::now() + RECV_TIMEOUT;
+    let mut inner = mailbox.inner.lock().unwrap();
+    loop {
+        if inner.pushes != seq {
+            return;
+        }
+        if world.is_poisoned() {
+            drop(inner);
+            panic!("{POISONED_MSG}");
+        }
+        let now = Instant::now();
+        if now >= deadline {
+            let queued = inner.queued_summary();
+            drop(inner);
+            panic!("rank {rank} deadlocked waiting for any arrival; {queued}");
+        }
+        inner.waiters += 1;
+        let (mut g, _) = mailbox.arrived.wait_timeout(inner, deadline - now).unwrap();
+        g.waiters -= 1;
+        inner = g;
+    }
+}
+
+/// Book a completed receive into `rank`'s stats. `copied` is the number
+/// of payload bytes physically copied on completion (0 for moves).
+fn record_recv(world: &World, rank: usize, src: usize, tag: Tag, env: &Envelope, copied: usize) {
+    let bytes = env.payload.len_bytes();
+    let mut s = world.stats[rank].lock().unwrap();
+    s.msgs_received += 1;
+    s.bytes_received += bytes as u64;
+    s.bytes_copied += copied as u64;
+    if s.log_messages {
+        s.msg_log.push(MsgRecord {
+            dir: MsgDir::Received,
+            peer: src,
+            tag,
+            bytes,
+            latency_secs: env.sent_at.map_or(0.0, |t| t.elapsed().as_secs_f64()),
+        });
+    }
+}
+
+/// Complete a received envelope into a caller-owned buffer, recycling
+/// the envelope's storage through the pool. Zero allocations when `out`
+/// has sufficient capacity.
+fn complete_into(world: &World, payload: Payload, out: &mut Vec<f32>) {
+    out.clear();
+    match payload {
+        Payload::F32(v) => {
+            out.extend_from_slice(&v);
+            world.pool.release(v);
+        }
+        Payload::Bytes(b) => {
+            assert_eq!(b.len() % 4, 0, "payload not a whole number of f32s");
+            out.extend(
+                b.chunks_exact(4)
+                    .map(|c| f32::from_le_bytes(c.try_into().unwrap())),
+            );
         }
     }
 }
@@ -99,7 +547,7 @@ pub struct RecvRequest {
     tag: Tag,
     world: Arc<World>,
     rank: usize,
-    done: Option<Vec<u8>>,
+    done: Option<Payload>,
 }
 
 impl RecvRequest {
@@ -109,17 +557,9 @@ impl RecvRequest {
         if self.done.is_some() {
             return true;
         }
-        let mailbox = &self.world.mailboxes[self.rank];
-        let mut inner = mailbox.inner.lock().unwrap();
-        if let Some(pos) = inner
-            .queue
-            .iter()
-            .position(|e| e.src == self.src && e.tag == self.tag)
-        {
-            let env = inner.queue.remove(pos);
-            drop(inner);
-            self.record_recv(&env);
-            self.done = Some(env.data);
+        if let Some(env) = try_envelope(&self.world, self.rank, self.src, self.tag) {
+            record_recv(&self.world, self.rank, self.src, self.tag, &env, 0);
+            self.done = Some(env.payload);
             true
         } else {
             false
@@ -127,65 +567,358 @@ impl RecvRequest {
     }
 
     /// Non-blocking: if the message has arrived (or was already matched
-    /// by a previous [`test`](Self::test)), take its payload. The request
-    /// must not be used again after this returns `Some`.
+    /// by a previous [`test`](Self::test)), take its payload as bytes.
+    /// The request must not be used again after this returns `Some`.
     pub fn try_take(&mut self) -> Option<Vec<u8>> {
         if self.test() {
-            self.done.take()
+            Some(self.take_bytes())
+        } else {
+            None
+        }
+    }
+
+    /// Typed variant of [`try_take`](Self::try_take): the payload as
+    /// `f32`s (a move, not a copy, for natively-typed messages).
+    pub fn try_take_f32(&mut self) -> Option<Vec<f32>> {
+        if self.test() {
+            Some(self.take_f32())
         } else {
             None
         }
     }
 
     /// Block until the message arrives and return its payload.
-    pub fn wait(mut self) -> Vec<u8> {
-        if let Some(d) = self.done.take() {
-            return d;
-        }
-        let mailbox = &self.world.mailboxes[self.rank];
-        let mut inner = mailbox.inner.lock().unwrap();
-        loop {
-            if let Some(pos) = inner
-                .queue
-                .iter()
-                .position(|e| e.src == self.src && e.tag == self.tag)
-            {
-                let env = inner.queue.remove(pos);
-                drop(inner);
-                self.record_recv(&env);
-                return env.data;
-            }
-            let (guard, timeout) = mailbox.arrived.wait_timeout(inner, RECV_TIMEOUT).unwrap();
-            assert!(
-                !timeout.timed_out(),
-                "rank {} deadlocked waiting for (src={}, tag={})",
-                self.rank,
-                self.src,
-                self.tag
-            );
-            inner = guard;
-        }
+    pub fn wait(self) -> Vec<u8> {
+        self.wait_timeout(RECV_TIMEOUT)
+    }
+
+    /// [`wait`](Self::wait) with an explicit deadlock timeout; on expiry
+    /// the panic lists the mailbox's queued-but-unmatched envelopes.
+    pub fn wait_timeout(mut self, timeout: Duration) -> Vec<u8> {
+        self.fill(timeout);
+        self.take_bytes()
     }
 
     /// Like [`wait`](Self::wait) but interpreting the payload as `f32`s.
-    pub fn wait_f32(self) -> Vec<f32> {
-        bytes_to_f32(&self.wait())
+    /// Natively-typed messages are moved out without conversion.
+    pub fn wait_f32(mut self) -> Vec<f32> {
+        self.fill(RECV_TIMEOUT);
+        self.take_f32()
     }
 
-    fn record_recv(&self, env: &Envelope) {
-        let mut s = self.world.stats[self.rank].lock().unwrap();
-        s.msgs_received += 1;
-        s.bytes_received += env.data.len() as u64;
+    /// Complete into a caller-owned preallocated buffer (cleared first).
+    /// Allocation-free when `out` has capacity; the envelope's storage
+    /// returns to the world's pool.
+    pub fn wait_into_f32(mut self, out: &mut Vec<f32>) {
+        self.fill(RECV_TIMEOUT);
+        let payload = self.done.take().unwrap();
+        let copied = payload.len_bytes();
+        {
+            let mut s = self.world.stats[self.rank].lock().unwrap();
+            s.bytes_copied += copied as u64;
+        }
+        complete_into(&self.world, payload, out);
+    }
+
+    fn fill(&mut self, timeout: Duration) {
+        if self.done.is_none() {
+            let env = wait_envelope(&self.world, self.rank, self.src, self.tag, timeout);
+            record_recv(&self.world, self.rank, self.src, self.tag, &env, 0);
+            self.done = Some(env.payload);
+        }
+    }
+
+    fn take_bytes(&mut self) -> Vec<u8> {
+        match self.done.take().unwrap() {
+            Payload::Bytes(b) => b,
+            Payload::F32(v) => {
+                // Conversion allocates; count it so the zero-copy path's
+                // advantage stays visible in the stats.
+                self.world.stats[self.rank].lock().unwrap().bufs_allocated += 1;
+                f32_to_bytes(&v)
+            }
+        }
+    }
+
+    fn take_f32(&mut self) -> Vec<f32> {
+        match self.done.take().unwrap() {
+            Payload::F32(v) => v,
+            Payload::Bytes(b) => {
+                self.world.stats[self.rank].lock().unwrap().bufs_allocated += 1;
+                bytes_to_f32(&b)
+            }
+        }
+    }
+}
+
+/// A persistent receive request — the `MPI_Recv_init` analogue. Built
+/// once per (peer, tag) by [`Comm::recv_init`]; each call to
+/// [`wait_into`](Self::wait_into) completes one matching message into a
+/// caller-owned preallocated buffer with zero allocations.
+pub struct PersistentRecv {
+    src: usize,
+    tag: Tag,
+    /// Mailbox slot resolved at init, skipping the per-message hash
+    /// lookup on every completion (and every failed poll).
+    slot: usize,
+    rank: usize,
+    world: Arc<World>,
+}
+
+impl PersistentRecv {
+    /// The matched source rank.
+    pub fn source(&self) -> usize {
+        self.src
+    }
+
+    /// Block for the next matching message and complete it into `out`
+    /// (cleared first). The envelope's storage returns to the pool.
+    pub fn wait_into(&self, out: &mut Vec<f32>) {
+        let env = self.wait_slot();
+        let copied = env.payload.len_bytes();
+        record_recv(&self.world, self.rank, self.src, self.tag, &env, copied);
+        complete_into(&self.world, env.payload, out);
+    }
+
+    /// Non-blocking [`wait_into`](Self::wait_into): returns `false` when
+    /// no matching message has arrived yet.
+    pub fn try_into_buf(&self, out: &mut Vec<f32>) -> bool {
+        match self.try_slot() {
+            Some(env) => {
+                let copied = env.payload.len_bytes();
+                record_recv(&self.world, self.rank, self.src, self.tag, &env, copied);
+                complete_into(&self.world, env.payload, out);
+                true
+            }
+            None => false,
+        }
+    }
+
+    /// Block for the next matching message and hand the payload slice to
+    /// `f` in place — no intermediate staging buffer, so completion costs
+    /// a single copy (whatever `f` itself writes). The envelope's storage
+    /// returns to the pool afterwards.
+    pub fn wait_with<R>(&self, f: impl FnOnce(&[f32]) -> R) -> R {
+        let env = self.wait_slot();
+        let copied = env.payload.len_bytes();
+        record_recv(&self.world, self.rank, self.src, self.tag, &env, copied);
+        complete_with(&self.world, self.rank, env.payload, f)
+    }
+
+    /// Non-blocking [`wait_with`](Self::wait_with): returns `None` when
+    /// no matching message has arrived yet.
+    pub fn try_with<R>(&self, f: impl FnOnce(&[f32]) -> R) -> Option<R> {
+        let env = self.try_slot()?;
+        let copied = env.payload.len_bytes();
+        record_recv(&self.world, self.rank, self.src, self.tag, &env, copied);
+        Some(complete_with(&self.world, self.rank, env.payload, f))
+    }
+
+    /// Blocking matched-envelope fetch through the cached slot index
+    /// (no per-message hash), sharing the poison/timeout semantics of
+    /// [`wait_envelope`].
+    fn wait_slot(&self) -> Envelope {
+        let mailbox = &self.world.mailboxes[self.rank];
+        // Cooperative phase: donate the timeslice to whichever peer owes
+        // us the message before paying for a futex park.
+        for _ in 0..YIELD_ROUNDS {
+            if let Some(env) = mailbox.inner.lock().unwrap().pop_slot(self.slot) {
+                return env;
+            }
+            if self.world.is_poisoned() {
+                panic!("{POISONED_MSG}");
+            }
+            std::thread::yield_now();
+        }
+        let deadline = Instant::now() + RECV_TIMEOUT;
+        let mut inner = mailbox.inner.lock().unwrap();
+        loop {
+            if let Some(env) = inner.pop_slot(self.slot) {
+                return env;
+            }
+            if self.world.is_poisoned() {
+                drop(inner);
+                panic!("{POISONED_MSG}");
+            }
+            let now = Instant::now();
+            if now >= deadline {
+                let queued = inner.queued_summary();
+                drop(inner);
+                panic!(
+                    "rank {} deadlocked waiting for (src={}, tag={}); {queued}",
+                    self.rank, self.src, self.tag
+                );
+            }
+            inner.waiters += 1;
+            let (mut g, _) = mailbox.arrived.wait_timeout(inner, deadline - now).unwrap();
+            g.waiters -= 1;
+            inner = g;
+        }
+    }
+
+    /// Non-blocking variant of [`wait_slot`](Self::wait_slot).
+    fn try_slot(&self) -> Option<Envelope> {
+        self.world.mailboxes[self.rank]
+            .inner
+            .lock()
+            .unwrap()
+            .pop_slot(self.slot)
+    }
+
+    /// Snapshot of the owning rank's mailbox arrival counter, paired with
+    /// [`wait_any_arrival`](Self::wait_any_arrival) for `MPI_Waitany`-style
+    /// completion loops: snapshot, [`try_with`](Self::try_with) every
+    /// pending request, then park only if none completed.
+    pub fn arrival_seq(&self) -> u64 {
+        arrival_seq(&self.world, self.rank)
+    }
+
+    /// Park until any message (for any request) lands in the owning
+    /// rank's mailbox after the [`arrival_seq`](Self::arrival_seq)
+    /// snapshot `seq`. Returns immediately if one already has.
+    pub fn wait_any_arrival(&self, seq: u64) {
+        wait_arrival_beyond(&self.world, self.rank, seq);
+    }
+}
+
+/// Complete a received envelope by lending its payload slice to `f`,
+/// recycling the envelope's storage through the pool. Zero allocations
+/// for typed payloads.
+fn complete_with<R>(
+    world: &World,
+    rank: usize,
+    payload: Payload,
+    f: impl FnOnce(&[f32]) -> R,
+) -> R {
+    match payload {
+        Payload::F32(v) => {
+            let r = f(&v);
+            world.pool.release(v);
+            r
+        }
+        Payload::Bytes(b) => {
+            assert_eq!(b.len() % 4, 0, "payload not a whole number of f32s");
+            world.stats[rank].lock().unwrap().bufs_allocated += 1;
+            f(&bytes_to_f32(&b))
+        }
+    }
+}
+
+/// A persistent send request — the `MPI_Send_init` analogue. Each
+/// [`start`](Self::start) ships the caller's buffer through a pooled
+/// envelope (one wire copy, zero allocations in steady state).
+pub struct PersistentSend {
+    dest: usize,
+    tag: Tag,
+    /// Destination-mailbox slot resolved at init, skipping the
+    /// per-message hash lookup.
+    slot: usize,
+    rank: usize,
+    world: Arc<World>,
+}
+
+impl PersistentSend {
+    pub fn dest(&self) -> usize {
+        self.dest
+    }
+
+    /// Send `data` to the bound (dest, tag); completes eagerly.
+    pub fn start(&self, data: &[f32]) -> SendRequest {
+        send_pooled_with(
+            &self.world,
+            self.rank,
+            self.dest,
+            self.tag,
+            Some(self.slot),
+            data.len(),
+            |buf| buf.extend_from_slice(data),
+        )
+    }
+
+    /// Send by letting `fill` pack up to `len` floats straight into the
+    /// pooled wire buffer — the analogue of packing into a persistent
+    /// request's registered buffer. Saves the staging copy that
+    /// [`start`](Self::start) pays.
+    pub fn start_with(&self, len: usize, fill: impl FnOnce(&mut Vec<f32>)) -> SendRequest {
+        send_pooled_with(
+            &self.world,
+            self.rank,
+            self.dest,
+            self.tag,
+            Some(self.slot),
+            len,
+            fill,
+        )
+    }
+}
+
+/// The shared typed-send path: acquire a pooled envelope buffer, copy
+/// the payload in (the single wire copy), enqueue, notify.
+fn send_f32_pooled(world: &World, rank: usize, dest: usize, tag: Tag, data: &[f32]) -> SendRequest {
+    send_pooled_with(world, rank, dest, tag, None, data.len(), |buf| {
+        buf.extend_from_slice(data)
+    })
+}
+
+/// Typed-send core: acquire a pooled buffer sized for `len` floats, let
+/// `fill` write the payload (the single wire copy), enqueue, notify.
+/// `slot` is the destination-mailbox slot when the caller resolved it at
+/// init time (persistent sends); `None` falls back to the hash lookup.
+fn send_pooled_with(
+    world: &World,
+    rank: usize,
+    dest: usize,
+    tag: Tag,
+    slot: Option<usize>,
+    len: usize,
+    fill: impl FnOnce(&mut Vec<f32>),
+) -> SendRequest {
+    assert!(
+        dest != rank,
+        "self-send unsupported (as in the generated code)"
+    );
+    if world.is_poisoned() {
+        panic!("{POISONED_MSG}");
+    }
+    let (mut buf, allocated) = world.pool.acquire(len);
+    fill(&mut buf);
+    let bytes = buf.len() * 4;
+    {
+        let mut s = world.stats[rank].lock().unwrap();
+        s.msgs_sent += 1;
+        s.bytes_sent += bytes as u64;
+        s.bytes_copied += bytes as u64;
+        if allocated {
+            s.bufs_allocated += 1;
+        }
+        s.bump_peer(dest);
         if s.log_messages {
             s.msg_log.push(MsgRecord {
-                dir: MsgDir::Received,
-                peer: env.src,
-                tag: env.tag,
-                bytes: env.data.len(),
-                latency_secs: env.sent_at.elapsed().as_secs_f64(),
+                dir: MsgDir::Sent,
+                peer: dest,
+                tag,
+                bytes,
+                latency_secs: 0.0,
             });
         }
     }
+    let mailbox = &world.mailboxes[dest];
+    let wake = {
+        let mut inner = mailbox.inner.lock().unwrap();
+        let env = Envelope {
+            payload: Payload::F32(buf),
+            sent_at: world.log_any.load(Ordering::Relaxed).then(Instant::now),
+        };
+        match slot {
+            Some(s) => inner.push_slot(s, env),
+            None => inner.push(rank, tag, env),
+        }
+        inner.waiters > 0
+    };
+    if wake {
+        mailbox.arrived.notify_all();
+    }
+    SendRequest { bytes }
 }
 
 impl Comm {
@@ -210,18 +943,25 @@ impl Comm {
         self.isend(dest, tag, data).wait();
     }
 
-    /// Non-blocking send; completes eagerly.
+    /// Non-blocking send of raw bytes; completes eagerly. The byte path
+    /// always allocates its envelope — typed `f32` traffic should use
+    /// [`isend_f32`](Self::isend_f32), which is pooled.
     pub fn isend(&self, dest: usize, tag: Tag, data: &[u8]) -> SendRequest {
         assert!(dest < self.size, "send to out-of-range rank {dest}");
         assert!(
             dest != self.rank,
             "self-send unsupported (as in the generated code)"
         );
+        if self.world.is_poisoned() {
+            panic!("{POISONED_MSG}");
+        }
         {
             let mut s = self.world.stats[self.rank].lock().unwrap();
             s.msgs_sent += 1;
             s.bytes_sent += data.len() as u64;
-            *s.per_peer_msgs.entry(dest).or_insert(0) += 1;
+            s.bytes_copied += data.len() as u64;
+            s.bufs_allocated += 1;
+            s.bump_peer(dest);
             if s.log_messages {
                 s.msg_log.push(MsgRecord {
                     dir: MsgDir::Sent,
@@ -233,16 +973,25 @@ impl Comm {
             }
         }
         let mailbox = &self.world.mailboxes[dest];
-        {
+        let wake = {
             let mut inner = mailbox.inner.lock().unwrap();
-            inner.queue.push(Envelope {
-                src: self.rank,
+            inner.push(
+                self.rank,
                 tag,
-                data: data.to_vec(),
-                sent_at: Instant::now(),
-            });
+                Envelope {
+                    payload: Payload::Bytes(data.to_vec()),
+                    sent_at: self
+                        .world
+                        .log_any
+                        .load(Ordering::Relaxed)
+                        .then(Instant::now),
+                },
+            );
+            inner.waiters > 0
+        };
+        if wake {
+            mailbox.arrived.notify_all();
         }
-        mailbox.arrived.notify_all();
         SendRequest { bytes: data.len() }
     }
 
@@ -263,81 +1012,208 @@ impl Comm {
         }
     }
 
-    /// Typed convenience: send a slice of `f32`.
+    /// Typed convenience: send a slice of `f32` (natively, no byte
+    /// round-trip, pooled envelope).
     pub fn send_f32(&self, dest: usize, tag: Tag, data: &[f32]) {
-        self.send(dest, tag, &f32_to_bytes(data));
+        self.isend_f32(dest, tag, data).wait();
     }
 
-    /// Typed convenience: non-blocking `f32` send.
+    /// Typed convenience: non-blocking `f32` send through the pool.
     pub fn isend_f32(&self, dest: usize, tag: Tag, data: &[f32]) -> SendRequest {
-        self.isend(dest, tag, &f32_to_bytes(data))
+        assert!(dest < self.size, "send to out-of-range rank {dest}");
+        send_f32_pooled(&self.world, self.rank, dest, tag, data)
     }
 
     /// Typed convenience: blocking `f32` receive.
     pub fn recv_f32(&self, src: usize, tag: Tag) -> Vec<f32> {
-        bytes_to_f32(&self.recv(src, tag))
+        self.irecv(src, tag).wait_f32()
+    }
+
+    /// Blocking receive completed into a caller-owned preallocated
+    /// buffer; allocation-free when `out` has capacity.
+    pub fn recv_into_f32(&self, src: usize, tag: Tag, out: &mut Vec<f32>) {
+        self.irecv(src, tag).wait_into_f32(out);
+    }
+
+    /// Build a persistent receive request bound to `(src, tag)` — the
+    /// `MPI_Recv_init` analogue used by the halo plans.
+    pub fn recv_init(&self, src: usize, tag: Tag) -> PersistentRecv {
+        assert!(src < self.size, "recv from out-of-range rank {src}");
+        let slot = self.world.mailboxes[self.rank]
+            .inner
+            .lock()
+            .unwrap()
+            .slot_of(src, tag);
+        PersistentRecv {
+            src,
+            tag,
+            slot,
+            rank: self.rank,
+            world: Arc::clone(&self.world),
+        }
+    }
+
+    /// Pre-populate the world's shared buffer pool with `count` message
+    /// buffers of `len` `f32`s each (the `MPI_Buffer_attach` analogue).
+    /// Halo plans call this once at build time so every steady-state
+    /// send finds a pooled buffer and [`CommStats::bufs_allocated`]
+    /// stays flat.
+    pub fn reserve_msg_buffers(&self, count: usize, len: usize) {
+        self.world.pool.reserve(count, len);
+    }
+
+    /// Build a persistent send request bound to `(dest, tag)` — the
+    /// `MPI_Send_init` analogue used by the halo plans.
+    pub fn send_init(&self, dest: usize, tag: Tag) -> PersistentSend {
+        assert!(dest < self.size, "send to out-of-range rank {dest}");
+        assert!(
+            dest != self.rank,
+            "self-send unsupported (as in the generated code)"
+        );
+        let slot = self.world.mailboxes[dest]
+            .inner
+            .lock()
+            .unwrap()
+            .slot_of(self.rank, tag);
+        PersistentSend {
+            dest,
+            tag,
+            slot,
+            rank: self.rank,
+            world: Arc::clone(&self.world),
+        }
     }
 
     // ---------------------------------------------------------- collectives
 
-    /// Synchronize all ranks.
+    /// Synchronize all ranks. Poison-aware: unwinds promptly if a peer
+    /// rank panics while we wait.
     pub fn barrier(&self) {
-        self.world.barrier.wait();
+        self.world.barrier.wait(&self.world.poisoned);
     }
 
-    /// All-reduce a single `f64` with the given associative op.
+    /// All-reduce a single `f64` with the given associative op, over a
+    /// binomial tree (O(log P) rounds: reduce to rank 0, broadcast back).
     pub fn allreduce_f64(&self, value: f64, op: ReduceOp) -> f64 {
         const TAG_UP: Tag = RESERVED_TAG_BASE + 1;
         const TAG_DOWN: Tag = RESERVED_TAG_BASE + 2;
-        if self.rank == 0 {
-            let mut acc = value;
-            for src in 1..self.size {
-                let v = f64::from_le_bytes(self.recv(src, TAG_UP).try_into().unwrap());
+        let size = self.size;
+        let vr = self.rank; // tree rooted at rank 0
+        let mut acc = value;
+        // Reduce up the tree: each node absorbs its children (vr + mask
+        // for every mask below its lowest set bit), then reports to its
+        // parent (vr - lowest set bit).
+        let mut mask = 1usize;
+        while mask < size {
+            if vr & mask != 0 {
+                self.send(vr - mask, TAG_UP, &acc.to_le_bytes());
+                break;
+            }
+            let child = vr + mask;
+            if child < size {
+                let v = f64::from_le_bytes(self.recv(child, TAG_UP).try_into().unwrap());
                 acc = op.apply(acc, v);
             }
-            for dest in 1..self.size {
-                self.send(dest, TAG_DOWN, &acc.to_le_bytes());
-            }
-            acc
-        } else {
-            self.send(0, TAG_UP, &value.to_le_bytes());
-            f64::from_le_bytes(self.recv(0, TAG_DOWN).try_into().unwrap())
+            mask <<= 1;
         }
+        // Broadcast the result down the same tree.
+        if vr != 0 {
+            acc = f64::from_le_bytes(self.recv(vr - mask, TAG_DOWN).try_into().unwrap());
+        } else {
+            while mask < size {
+                mask <<= 1;
+            }
+        }
+        let mut m = mask >> 1;
+        while m > 0 {
+            if vr + m < size {
+                self.send(vr + m, TAG_DOWN, &acc.to_le_bytes());
+            }
+            m >>= 1;
+        }
+        acc
     }
 
-    /// Gather variable-length `f32` buffers on `root`; other ranks get
-    /// `None`.
+    /// Gather variable-length `f32` buffers on `root` over a binomial
+    /// tree; other ranks get `None`. Subtree contributions travel as one
+    /// merged message per tree edge (O(log P) rounds).
     pub fn gather_f32(&self, root: usize, data: &[f32]) -> Option<Vec<Vec<f32>>> {
         const TAG: Tag = RESERVED_TAG_BASE + 3;
-        if self.rank == root {
-            let mut out = vec![Vec::new(); self.size];
-            out[root] = data.to_vec();
-            for src in 0..self.size {
-                if src != root {
-                    out[src] = self.recv_f32(src, TAG);
+        let size = self.size;
+        let vr = (self.rank + size - root) % size;
+        // (original rank, values) contributions accumulated from our
+        // subtree; serialized as [count, (rank, len, values…)…].
+        let mut parts: Vec<(usize, Vec<f32>)> = vec![(self.rank, data.to_vec())];
+        let mut mask = 1usize;
+        while mask < size {
+            if vr & mask != 0 {
+                let parent = (vr - mask + root) % size;
+                let payload_len: usize = 1 + parts.iter().map(|(_, v)| 2 + v.len()).sum::<usize>();
+                let mut buf = Vec::with_capacity(payload_len);
+                buf.push(parts.len() as f32);
+                for (r, vals) in &parts {
+                    buf.push(*r as f32);
+                    buf.push(vals.len() as f32);
+                    buf.extend_from_slice(vals);
                 }
+                self.send_f32(parent, TAG, &buf);
+                break;
+            }
+            let child = vr + mask;
+            if child < size {
+                let buf = self.recv_f32((child + root) % size, TAG);
+                let n = buf[0] as usize;
+                let mut i = 1;
+                for _ in 0..n {
+                    let r = buf[i] as usize;
+                    let len = buf[i + 1] as usize;
+                    i += 2;
+                    parts.push((r, buf[i..i + len].to_vec()));
+                    i += len;
+                }
+            }
+            mask <<= 1;
+        }
+        if self.rank == root {
+            let mut out = vec![Vec::new(); size];
+            for (r, vals) in parts {
+                out[r] = vals;
             }
             Some(out)
         } else {
-            self.send_f32(root, TAG, data);
             None
         }
     }
 
-    /// Broadcast a `f32` buffer from `root` to everyone; returns the data
-    /// on all ranks.
+    /// Broadcast a `f32` buffer from `root` to everyone over a binomial
+    /// tree (O(log P) rounds); returns the data on all ranks.
     pub fn bcast_f32(&self, root: usize, data: &[f32]) -> Vec<f32> {
         const TAG: Tag = RESERVED_TAG_BASE + 4;
-        if self.rank == root {
-            for dest in 0..self.size {
-                if dest != root {
-                    self.send_f32(dest, TAG, data);
-                }
+        let size = self.size;
+        let vr = (self.rank + size - root) % size;
+        let buf: Vec<f32>;
+        let mut mask = 1usize;
+        if vr == 0 {
+            buf = data.to_vec();
+            while mask < size {
+                mask <<= 1;
             }
-            data.to_vec()
         } else {
-            self.recv_f32(root, TAG)
+            // Receive from the parent (clear our lowest set bit).
+            while vr & mask == 0 {
+                mask <<= 1;
+            }
+            let parent = (vr - mask + root) % size;
+            buf = self.recv_f32(parent, TAG);
         }
+        let mut m = mask >> 1;
+        while m > 0 {
+            if vr + m < size {
+                self.send_f32((vr + m + root) % size, TAG, &buf);
+            }
+            m >>= 1;
+        }
+        buf
     }
 
     // --------------------------------------------------------------- stats
@@ -367,6 +1243,12 @@ impl Comm {
     /// the executor switches it on at `TraceLevel::Full`.
     pub fn set_msg_log(&self, on: bool) {
         self.world.stats[self.rank].lock().unwrap().log_messages = on;
+        if on {
+            // Sticky: senders on other ranks must start stamping
+            // envelopes; clearing would need a world-wide census and the
+            // stamp is cheap relative to logging itself.
+            self.world.log_any.store(true, Ordering::Relaxed);
+        }
     }
 
     /// Drain this rank's message log (records accumulated since the log
@@ -486,6 +1368,88 @@ mod tests {
     }
 
     #[test]
+    fn recv_into_reuses_caller_buffer() {
+        Universe::run(2, |c| {
+            if c.rank() == 0 {
+                c.send_f32(1, 4, &[1.0, 2.0, 3.0]);
+                c.send_f32(1, 4, &[4.0, 5.0]);
+            } else {
+                let mut buf = Vec::with_capacity(8);
+                c.recv_into_f32(0, 4, &mut buf);
+                assert_eq!(buf, vec![1.0, 2.0, 3.0]);
+                let ptr = buf.as_ptr();
+                c.recv_into_f32(0, 4, &mut buf);
+                assert_eq!(buf, vec![4.0, 5.0]);
+                assert_eq!(ptr, buf.as_ptr(), "buffer must be reused in place");
+            }
+        });
+    }
+
+    #[test]
+    fn persistent_requests_cycle_through_pool_without_allocating() {
+        Universe::run(2, |c| {
+            if c.rank() == 0 {
+                let send = c.send_init(1, 12);
+                let data = vec![3.5f32; 64];
+                for _ in 0..10 {
+                    send.start(&data);
+                }
+                c.barrier();
+                // Warm-up allocates; after the pool is primed the sends
+                // must be allocation-free.
+                c.reset_stats();
+                for _ in 0..10 {
+                    send.start(&data);
+                }
+                c.barrier();
+                c.barrier();
+                assert_eq!(c.stats().bufs_allocated, 0, "steady-state send allocated");
+            } else {
+                let recv = c.recv_init(0, 12);
+                let mut buf = Vec::with_capacity(64);
+                for _ in 0..10 {
+                    recv.wait_into(&mut buf);
+                    assert_eq!(buf, vec![3.5f32; 64]);
+                }
+                c.barrier();
+                c.reset_stats();
+                for _ in 0..10 {
+                    recv.wait_into(&mut buf);
+                }
+                c.barrier();
+                assert_eq!(c.stats().bufs_allocated, 0, "steady-state recv allocated");
+                c.barrier();
+            }
+        });
+    }
+
+    #[test]
+    fn recv_timeout_panic_lists_unmatched_envelopes() {
+        let result = std::panic::catch_unwind(|| {
+            Universe::run(2, |c| {
+                if c.rank() == 0 {
+                    // Wrong tag: receiver waits on 8, we send 7.
+                    c.send_f32(1, 7, &[1.0, 2.0]);
+                    // Keep rank 0 parked so the timeout fires first on 1.
+                    c.barrier();
+                } else {
+                    c.irecv(0, 8).wait_timeout(Duration::from_millis(200));
+                }
+            });
+        });
+        let err = result.expect_err("receive must time out");
+        let msg = err
+            .downcast_ref::<String>()
+            .cloned()
+            .unwrap_or_else(|| err.downcast_ref::<&str>().unwrap().to_string());
+        assert!(msg.contains("(src=0, tag=8)"), "wanted target in {msg:?}");
+        assert!(
+            msg.contains("src=0, tag=7, 8 bytes"),
+            "wanted queued envelope digest in {msg:?}"
+        );
+    }
+
+    #[test]
     fn allreduce_sum_min_max() {
         let out = Universe::run(5, |c| {
             let v = c.rank() as f64 + 1.0;
@@ -509,6 +1473,25 @@ mod tests {
         let g = out[0].as_ref().unwrap();
         for (r, buf) in g.iter().enumerate() {
             assert_eq!(buf, &vec![r as f32; 2]);
+        }
+    }
+
+    #[test]
+    fn gather_supports_nonzero_root_and_uneven_lengths() {
+        let out = Universe::run(5, |c| {
+            let data: Vec<f32> = (0..c.rank()).map(|i| i as f32).collect();
+            c.gather_f32(3, &data)
+        });
+        for (r, o) in out.iter().enumerate() {
+            if r == 3 {
+                let g = o.as_ref().unwrap();
+                for (src, buf) in g.iter().enumerate() {
+                    let want: Vec<f32> = (0..src).map(|i| i as f32).collect();
+                    assert_eq!(buf, &want, "root view of rank {src}");
+                }
+            } else {
+                assert!(o.is_none());
+            }
         }
     }
 

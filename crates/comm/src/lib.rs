@@ -22,7 +22,20 @@
 //!
 //! Message delivery is *eager*: `send`/`isend` copy into the destination
 //! mailbox immediately and complete. Receives match `(source, tag)` pairs
-//! in arrival order, as MPI does for a fixed source/tag.
+//! in arrival order, as MPI does for a fixed source/tag. Matching is
+//! O(1): each mailbox keeps one FIFO queue per `(source, tag)` pair.
+//!
+//! Two additions serve the zero-copy halo plans (`mpix-dmp`):
+//!
+//! * typed `f32` payloads travel natively (no byte round-trip) through a
+//!   shared buffer pool, and
+//! * persistent requests ([`Comm::recv_init`] / [`Comm::send_init`], the
+//!   `MPI_Recv_init`/`MPI_Send_init` analogue) complete into caller-owned
+//!   preallocated buffers, so steady-state exchanges allocate nothing —
+//!   a contract the [`CommStats::bufs_allocated`] counter makes testable.
+//!
+//! A rank panic *poisons* the world: peers blocked in `barrier`/`recv`
+//! unwind promptly and [`Universe::run`] re-raises the original payload.
 //!
 //! ## Example
 //!
@@ -51,6 +64,6 @@ pub mod stats;
 pub mod universe;
 
 pub use cart::{dims_create, CartComm};
-pub use comm::{Comm, RecvRequest, SendRequest, Tag};
+pub use comm::{Comm, PersistentRecv, PersistentSend, RecvRequest, ReduceOp, SendRequest, Tag};
 pub use stats::CommStats;
 pub use universe::Universe;

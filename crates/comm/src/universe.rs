@@ -1,5 +1,6 @@
 //! Rank spawning: the analogue of `mpirun -np N`.
 
+use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
 use std::sync::Arc;
 
 use crate::comm::{Comm, World};
@@ -9,7 +10,16 @@ use crate::comm::{Comm, World};
 /// `Universe::run(n, f)` plays the role of
 /// `mpirun -np <n> <executable>` in the paper: it spawns `n` rank threads,
 /// hands each a [`Comm`], and joins them, returning the per-rank results
-/// in rank order. Panics in any rank are propagated to the caller.
+/// in rank order.
+///
+/// ## Fail-fast panic propagation
+///
+/// When any rank's closure panics, the world is *poisoned*: peers blocked
+/// in `barrier` or a receive wake up and unwind promptly (no 60 s
+/// deadlock timeout, no forever-blocked `Barrier::wait`), and the
+/// **original** panic payload is re-raised to the caller. The secondary
+/// "world poisoned" unwinds of the peers are absorbed — mirroring
+/// `mpirun`, which kills the job and reports the first failing rank.
 pub struct Universe;
 
 impl Universe {
@@ -23,26 +33,43 @@ impl Universe {
         assert!(n >= 1, "need at least one rank");
         let world = Arc::new(World::new(n));
         let f = &f;
-        std::thread::scope(|scope| {
+        let results: Vec<Option<R>> = std::thread::scope(|scope| {
             let mut handles = Vec::with_capacity(n);
             for rank in 0..n {
                 let world = Arc::clone(&world);
-                handles.push(scope.spawn(move || f(Comm::new(rank, n, world))));
+                handles.push(scope.spawn(move || {
+                    let comm = Comm::new(rank, n, Arc::clone(&world));
+                    match catch_unwind(AssertUnwindSafe(|| f(comm))) {
+                        Ok(r) => Some(r),
+                        Err(payload) => {
+                            // First panic stores its payload; later
+                            // (secondary) poison unwinds are dropped.
+                            world.poison(payload);
+                            None
+                        }
+                    }
+                }));
             }
             handles
                 .into_iter()
-                .map(|h| match h.join() {
-                    Ok(r) => r,
-                    Err(payload) => std::panic::resume_unwind(payload),
-                })
+                .map(|h| h.join().expect("rank thread itself must not die"))
                 .collect()
-        })
+        });
+        if let Some(payload) = world.take_panic_payload() {
+            resume_unwind(payload);
+        }
+        results
+            .into_iter()
+            .map(|r| r.expect("no panic recorded but a rank produced no result"))
+            .collect()
     }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::comm::POISONED_MSG;
+    use std::time::{Duration, Instant};
 
     #[test]
     fn results_are_in_rank_order() {
@@ -75,5 +102,79 @@ mod tests {
                 panic!("boom");
             }
         });
+    }
+
+    /// The original ISSUE bug: a rank panics while its peers sit in
+    /// `barrier()`. Before the poison protocol this deadlocked forever
+    /// (std Barrier waits for a rank that will never arrive).
+    #[test]
+    fn panic_unblocks_peers_stuck_in_barrier() {
+        let start = Instant::now();
+        let result = std::panic::catch_unwind(|| {
+            Universe::run(4, |c| {
+                if c.rank() == 2 {
+                    panic!("boom");
+                }
+                c.barrier();
+            });
+        });
+        let err = result.expect_err("panic must propagate");
+        let msg = err.downcast_ref::<&str>().copied().unwrap_or("");
+        assert_eq!(msg, "boom", "original payload must survive, not {msg:?}");
+        assert!(
+            start.elapsed() < Duration::from_secs(5),
+            "propagation took {:?}",
+            start.elapsed()
+        );
+    }
+
+    /// Same, but peers block in a receive that will never be satisfied.
+    /// Before the poison protocol this took the full 60 s RECV_TIMEOUT.
+    #[test]
+    fn panic_unblocks_peers_stuck_in_recv() {
+        let start = Instant::now();
+        let result = std::panic::catch_unwind(|| {
+            Universe::run(3, |c| {
+                if c.rank() == 0 {
+                    // Let peers get parked in recv first.
+                    std::thread::sleep(Duration::from_millis(50));
+                    panic!("boom");
+                }
+                // Rank 0 never sends: blocks until poisoned.
+                c.recv_f32(0, 42);
+            });
+        });
+        let err = result.expect_err("panic must propagate");
+        let msg = err.downcast_ref::<&str>().copied().unwrap_or("");
+        assert_eq!(msg, "boom", "original payload must survive, not {msg:?}");
+        assert!(
+            start.elapsed() < Duration::from_secs(5),
+            "propagation took {:?}",
+            start.elapsed()
+        );
+    }
+
+    /// Sends into a poisoned world unwind too (a panicking peer means the
+    /// job is dead); the secondary message is the poison marker, and the
+    /// caller still sees only the original payload.
+    #[test]
+    fn poisoned_sends_unwind_with_marker() {
+        let result = std::panic::catch_unwind(|| {
+            Universe::run(2, |c| {
+                if c.rank() == 1 {
+                    panic!("first failure");
+                }
+                std::thread::sleep(Duration::from_millis(50));
+                loop {
+                    c.send_f32(1, 0, &[1.0]);
+                }
+            });
+        });
+        let err = result.expect_err("panic must propagate");
+        let msg = err.downcast_ref::<&str>().copied().unwrap_or("");
+        assert_eq!(msg, "first failure");
+        // The marker itself must exist as a distinct message so tooling
+        // can tell primary from secondary failures.
+        assert!(POISONED_MSG.contains("poisoned"));
     }
 }

@@ -142,6 +142,80 @@ proptest! {
 }
 
 #[test]
+fn many_small_messages_keep_fifo_order_per_src_tag() {
+    // The bucketed mailbox must preserve MPI's non-overtaking guarantee:
+    // for a fixed (source, tag), messages arrive in send order — even
+    // under a storm of tiny messages from many sources on many tags.
+    let n = 5;
+    let tags = 7u32;
+    let per_stream = 200;
+    Universe::run(n, |c| {
+        let me = c.rank();
+        for seq in 0..per_stream {
+            for dst in 0..n {
+                if dst == me {
+                    continue;
+                }
+                for t in 0..tags {
+                    c.isend_f32(dst, t, &[me as f32, t as f32, seq as f32]);
+                }
+            }
+        }
+        // Drain streams in a scrambled (src, tag) order; each stream must
+        // still be internally FIFO.
+        for t in (0..tags).rev() {
+            for src in 0..n {
+                if src == me {
+                    continue;
+                }
+                for seq in 0..per_stream {
+                    let v = c.recv_f32(src, t);
+                    assert_eq!(v, vec![src as f32, t as f32, seq as f32]);
+                }
+            }
+        }
+    });
+}
+
+/// Tree collectives must match the old serial-through-rank-0 results.
+/// Integer-valued payloads make the sum exact regardless of the
+/// reduction tree's association order.
+#[test]
+fn tree_collectives_match_serial_reference() {
+    for p in [2usize, 3, 5, 8] {
+        let out = Universe::run(p, |c| {
+            let me = c.rank();
+            let v = (me * 3 + 1) as f64;
+            let sum = c.allreduce_f64(v, ReduceOp::Sum);
+            let min = c.allreduce_f64(v, ReduceOp::Min);
+            let max = c.allreduce_f64(v, ReduceOp::Max);
+            let bc = c.bcast_f32(p - 1, &[me as f32 + 0.5]);
+            let data: Vec<f32> = (0..me + 1).map(|i| (me * 10 + i) as f32).collect();
+            let gathered = c.gather_f32(0, &data);
+            (sum, min, max, bc, gathered)
+        });
+        // Serial references.
+        let want_sum: f64 = (0..p).map(|r| (r * 3 + 1) as f64).sum();
+        for (r, (sum, min, max, bc, gathered)) in out.iter().enumerate() {
+            assert_eq!(*sum, want_sum, "P={p} rank {r} sum");
+            assert_eq!(*min, 1.0, "P={p} rank {r} min");
+            assert_eq!(*max, ((p - 1) * 3 + 1) as f64, "P={p} rank {r} max");
+            assert_eq!(bc, &vec![(p - 1) as f32 + 0.5], "P={p} rank {r} bcast");
+            if r == 0 {
+                let g = gathered.as_ref().expect("root gets gather result");
+                assert_eq!(g.len(), p);
+                for (src, buf) in g.iter().enumerate() {
+                    let want: Vec<f32> = (0..src + 1).map(|i| (src * 10 + i) as f32).collect();
+                    assert_eq!(buf, &want, "P={p} gather from {src}");
+                }
+            } else {
+                assert!(gathered.is_none(), "P={p} rank {r} must not get gather");
+            }
+        }
+    }
+}
+
+#[test]
 fn cart_comm_survives_repeated_exchanges() {
     // Long-running loop mixing face and diagonal neighbours.
     Universe::run(8, |c| {

@@ -362,25 +362,35 @@ impl DistArray {
     }
 }
 
+/// Most dimensions a box can have. Generous: the paper's grids are ≤ 3-D.
+const MAX_ND: usize = 8;
+
 /// Visit each contiguous innermost row of box `b` as
 /// `(linear_start, row_len)` in `for_each_index` order. Relies on the
-/// row-major layout invariant that the innermost stride is 1.
+/// row-major layout invariant that the innermost stride is 1. Runs on
+/// every pack/unpack of the halo hot path, so the odometer index lives
+/// on the stack — this function performs no heap allocation.
 fn for_each_row(b: &BoxNd, strides: &[usize], mut f: impl FnMut(usize, usize)) {
     let nd = b.len();
+    assert!(nd <= MAX_ND, "box has more than {MAX_ND} dimensions");
     if b.iter().any(|r| r.is_empty()) {
         return;
     }
     debug_assert_eq!(strides[nd - 1], 1);
     let row_len = b[nd - 1].len();
-    let mut idx: Vec<usize> = b[..nd - 1].iter().map(|r| r.start).collect();
+    let outer = nd - 1;
+    let mut idx = [0usize; MAX_ND];
+    for d in 0..outer {
+        idx[d] = b[d].start;
+    }
     loop {
         let mut lin = b[nd - 1].start;
-        for (d, &i) in idx.iter().enumerate() {
-            lin += i * strides[d];
+        for d in 0..outer {
+            lin += idx[d] * strides[d];
         }
         f(lin, row_len);
         // Odometer over the outer dimensions.
-        let mut d = idx.len();
+        let mut d = outer;
         loop {
             if d == 0 {
                 return;

@@ -16,10 +16,12 @@
 //!   rank-local storage with allocated halo, global slicing reads/writes
 //!   (Listings 2–3), and gather for user inspection.
 //! * [`halo`] — the three computation/communication patterns of Table I:
-//!   **basic** (multi-step synchronous face exchanges, buffers allocated
-//!   per call), **diagonal** (single-step, 26 messages in 3-D,
-//!   preallocated buffers) and **full** (asynchronous single-step with
-//!   computation/communication overlap and `MPI_Test`-style progress).
+//!   **basic** (multi-step synchronous face exchanges), **diagonal**
+//!   (single-step, 26 messages in 3-D) and **full** (asynchronous
+//!   single-step with computation/communication overlap and
+//!   `MPI_Test`-style progress). All three run on a persistent
+//!   [`HaloPlan`] — peers, tags, boxes and buffers precomputed once per
+//!   (field, mode, radius) — so steady-state exchanges allocate nothing.
 //! * [`sparse`] — off-the-grid sparse points (sources/receivers):
 //!   ownership assignment with replication at shared boundaries (Fig. 3),
 //!   multilinear injection and interpolation.
@@ -37,6 +39,8 @@ pub mod sparse;
 
 pub use array::DistArray;
 pub use decomp::Decomposition;
-pub use halo::{BasicExchange, DiagonalExchange, FullExchange, FullToken, HaloExchange, HaloMode};
+pub use halo::{
+    BasicExchange, DiagonalExchange, FullExchange, FullToken, HaloExchange, HaloMode, HaloPlan,
+};
 pub use regions::{remainder_boxes, BoxNd, Region};
 pub use sparse::SparsePoints;

@@ -2,12 +2,13 @@
 //! modes must reconstruct every interior FULL-region value, and all three
 //! modes must agree bit-for-bit.
 
+use std::ops::Range;
 use std::sync::Arc;
 
-use mpix_comm::{CartComm, Universe};
-use mpix_dmp::halo::make_exchange;
+use mpix_comm::{CartComm, Tag, Universe};
+use mpix_dmp::halo::{make_exchange, HaloPlan};
 use mpix_dmp::regions::for_each_index;
-use mpix_dmp::{Decomposition, DistArray, HaloMode, Region};
+use mpix_dmp::{BoxNd, Decomposition, DistArray, HaloMode, Region};
 use proptest::prelude::*;
 
 /// Run one exchange and return every rank's FULL-region contents in a
@@ -97,6 +98,171 @@ fn expected_snapshot(global: &[usize], dims: &[usize], radius: usize) -> Vec<Vec
             vals
         })
         .collect()
+}
+
+// ---------------------------------------------------------------------------
+// HaloPlan vs. the legacy per-call geometry
+// ---------------------------------------------------------------------------
+
+/// Independent reimplementation of the pre-plan per-call geometry: for
+/// each message the legacy `BasicExchange`/`DiagonalExchange` would have
+/// sent, the `(peer, send_tag, recv_tag, send_box, recv_box)` tuple it
+/// would have computed, grouped by step.
+#[allow(clippy::type_complexity)]
+fn legacy_rows(
+    cart: &CartComm,
+    arr: &DistArray,
+    mode: HaloMode,
+    radius: usize,
+    tag_base: Tag,
+) -> Vec<Vec<(usize, Tag, Tag, BoxNd, BoxNd)>> {
+    let nd = arr.local_shape().len();
+    let halo = arr.halo();
+    let mut steps = Vec::new();
+    match mode {
+        HaloMode::Basic => {
+            for d in 0..nd {
+                let extent = |e: usize| -> Range<usize> {
+                    let n = arr.local_shape()[e];
+                    if e < d {
+                        halo - radius..halo + n + radius
+                    } else {
+                        halo..halo + n
+                    }
+                };
+                let n_d = arr.local_shape()[d];
+                let mut rows = Vec::new();
+                for side in [-1i32, 1] {
+                    let mut dvec = vec![0i32; nd];
+                    dvec[d] = side;
+                    if let Some(peer) = cart.neighbor(&dvec) {
+                        let recv_tag = tag_base + (d as Tag) * 2 + u32::from(side > 0);
+                        let send_tag = tag_base + (d as Tag) * 2 + u32::from(side < 0);
+                        let send_box: BoxNd = (0..nd)
+                            .map(|e| {
+                                if e == d {
+                                    if side < 0 {
+                                        halo..halo + radius
+                                    } else {
+                                        halo + n_d - radius..halo + n_d
+                                    }
+                                } else {
+                                    extent(e)
+                                }
+                            })
+                            .collect();
+                        let recv_box: BoxNd = (0..nd)
+                            .map(|e| {
+                                if e == d {
+                                    if side < 0 {
+                                        halo - radius..halo
+                                    } else {
+                                        halo + n_d..halo + n_d + radius
+                                    }
+                                } else {
+                                    extent(e)
+                                }
+                            })
+                            .collect();
+                        rows.push((peer, send_tag, recv_tag, send_box, recv_box));
+                    }
+                }
+                steps.push(rows);
+            }
+        }
+        HaloMode::Diagonal | HaloMode::Full => {
+            let code_of = |disp: &[i32]| -> usize {
+                disp.iter()
+                    .fold(0usize, |acc, &d| acc * 3 + (d + 1) as usize)
+            };
+            let strip = |s: i32, d: usize, own: bool| -> Range<usize> {
+                let n = arr.local_shape()[d];
+                match (s, own) {
+                    (-1, true) => halo..halo + radius,
+                    (1, true) => halo + n - radius..halo + n,
+                    (-1, false) => halo - radius..halo,
+                    (1, false) => halo + n..halo + n + radius,
+                    _ => halo..halo + n,
+                }
+            };
+            let mut rows = Vec::new();
+            for (disp, peer) in cart.all_neighbors() {
+                let inv: Vec<i32> = disp.iter().map(|x| -x).collect();
+                let send_box: BoxNd = disp
+                    .iter()
+                    .enumerate()
+                    .map(|(d, &s)| strip(s, d, true))
+                    .collect();
+                let recv_box: BoxNd = disp
+                    .iter()
+                    .enumerate()
+                    .map(|(d, &s)| strip(s, d, false))
+                    .collect();
+                rows.push((
+                    peer,
+                    tag_base + code_of(&inv) as Tag,
+                    tag_base + code_of(&disp) as Tag,
+                    send_box,
+                    recv_box,
+                ));
+            }
+            steps.push(rows);
+        }
+    }
+    steps
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+    /// The persistent plan must precompute exactly the geometry the
+    /// legacy path derived per call: same peers, same tags, same
+    /// send/recv boxes — across nd ∈ {1,2,3}, uneven decompositions and
+    /// radii 1..4, for every mode and every rank.
+    #[test]
+    fn prop_plan_matches_legacy_per_call_geometry(
+        nd in 1usize..4,
+        p0 in 1usize..4, p1 in 1usize..3, p2 in 1usize..3,
+        extra in 0usize..3,
+        radius in 1usize..5,
+        mode_idx in 0usize..3,
+    ) {
+        let dims: Vec<usize> = [p0, p1, p2][..nd].to_vec();
+        prop_assume!(dims.iter().product::<usize>() > 1);
+        // Uneven: global extent not divisible by the rank count.
+        let global: Vec<usize> = dims
+            .iter()
+            .map(|&p| p * (radius.max(2) * 2 + 1) + extra)
+            .collect();
+        let mode = [HaloMode::Basic, HaloMode::Diagonal, HaloMode::Full][mode_idx];
+        let nranks: usize = dims.iter().product();
+        let tag_base = 640;
+        let dims_c = dims.clone();
+        let global_c = global.clone();
+        let ok = Universe::run(nranks, move |comm| {
+            let cart = CartComm::new(comm, &dims_c);
+            let dc = Arc::new(Decomposition::new(&global_c, &dims_c));
+            let coords = cart.coords().to_vec();
+            let arr = DistArray::new(dc, &coords, radius.max(2));
+            let plan = HaloPlan::build(&cart, &arr, mode, radius, tag_base);
+            let want = legacy_rows(&cart, &arr, mode, radius, tag_base);
+            if plan.num_steps() != want.len() {
+                return Err(format!(
+                    "steps: plan {} vs legacy {}", plan.num_steps(), want.len()
+                ));
+            }
+            for (s, rows) in want.iter().enumerate() {
+                let got = plan.step_view(s);
+                if &got != rows {
+                    return Err(format!("step {s}: plan {got:?} vs legacy {rows:?}"));
+                }
+            }
+            Ok(())
+        });
+        for (rank, r) in ok.into_iter().enumerate() {
+            prop_assert!(r.is_ok(), "mode {:?} dims {:?} radius {} rank {}: {}",
+                mode, dims, radius, rank, r.unwrap_err());
+        }
+    }
 }
 
 proptest! {

@@ -249,6 +249,8 @@ impl Tracer {
             sections: self.totals,
             steps: self.steps,
             messages,
+            bufs_allocated: 0,
+            bytes_copied: 0,
         }
     }
 }
@@ -263,9 +265,22 @@ pub struct TraceReport {
     pub steps: Vec<StepTrace>,
     /// Per-peer message log ([`TraceLevel::Full`] only).
     pub messages: Vec<MsgRecord>,
+    /// Comm-layer heap buffer allocations during the run (pool misses).
+    /// Zero in steady state is the persistent halo-plan contract.
+    pub bufs_allocated: u64,
+    /// Payload bytes the comm layer physically copied during the run
+    /// (wire copy on send + completion copy on typed receive).
+    pub bytes_copied: u64,
 }
 
 impl TraceReport {
+    /// Attach the communicator's allocation/copy counters (deltas over
+    /// the run) to the report.
+    pub fn with_comm_counters(mut self, bufs_allocated: u64, bytes_copied: u64) -> TraceReport {
+        self.bufs_allocated = bufs_allocated;
+        self.bytes_copied = bytes_copied;
+        self
+    }
     pub fn section_secs(&self, section: Section) -> f64 {
         self.sections[section.index()].secs
     }
@@ -324,6 +339,8 @@ impl TraceReport {
             "sections": sections,
             "steps": steps,
             "messages": Value::Arr(self.messages.iter().map(MsgRecord::to_json).collect()),
+            "bufs_allocated": self.bufs_allocated,
+            "bytes_copied": self.bytes_copied,
         })
     }
 
@@ -381,6 +398,9 @@ impl TraceReport {
             sections,
             steps,
             messages,
+            // Absent in pre-counter reports; default to zero.
+            bufs_allocated: v.get("bufs_allocated").and_then(Value::as_u64).unwrap_or(0),
+            bytes_copied: v.get("bytes_copied").and_then(Value::as_u64).unwrap_or(0),
         })
     }
 }

@@ -87,6 +87,11 @@ pub struct RankPerf {
     pub sections: [f64; crate::NSECTIONS],
     pub msgs_sent: u64,
     pub bytes_sent: u64,
+    /// Comm-layer buffer allocations during the run (pool misses). Zero
+    /// in steady state is the persistent halo-plan contract.
+    pub bufs_allocated: u64,
+    /// Payload bytes the comm layer physically copied during the run.
+    pub bytes_copied: u64,
 }
 
 impl RankPerf {
@@ -107,6 +112,8 @@ impl RankPerf {
             "sections": sections,
             "msgs_sent": self.msgs_sent,
             "bytes_sent": self.bytes_sent,
+            "bufs_allocated": self.bufs_allocated,
+            "bytes_copied": self.bytes_copied,
         })
     }
 
@@ -130,6 +137,8 @@ impl RankPerf {
             sections,
             msgs_sent: v.get("msgs_sent").and_then(Value::as_u64).unwrap_or(0),
             bytes_sent: v.get("bytes_sent").and_then(Value::as_u64).unwrap_or(0),
+            bufs_allocated: v.get("bufs_allocated").and_then(Value::as_u64).unwrap_or(0),
+            bytes_copied: v.get("bytes_copied").and_then(Value::as_u64).unwrap_or(0),
         })
     }
 }
@@ -208,6 +217,8 @@ impl PerfSummary {
                 for s in Section::ALL {
                     rp.sections[s.index()] = r.section_secs(s);
                 }
+                rp.bufs_allocated = r.bufs_allocated;
+                rp.bytes_copied = r.bytes_copied;
                 for m in &r.messages {
                     if m.dir == MsgDir::Sent {
                         rp.msgs_sent += 1;

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/algebra_props-bff59ec43d44297b.d: crates/symbolic/tests/algebra_props.rs
+
+/root/repo/target/debug/deps/algebra_props-bff59ec43d44297b: crates/symbolic/tests/algebra_props.rs
+
+crates/symbolic/tests/algebra_props.rs:

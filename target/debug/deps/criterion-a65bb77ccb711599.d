@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/criterion-a65bb77ccb711599.d: crates/criterion/src/lib.rs
+
+/root/repo/target/debug/deps/libcriterion-a65bb77ccb711599.rlib: crates/criterion/src/lib.rs
+
+/root/repo/target/debug/deps/libcriterion-a65bb77ccb711599.rmeta: crates/criterion/src/lib.rs
+
+crates/criterion/src/lib.rs:

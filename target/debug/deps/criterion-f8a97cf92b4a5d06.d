@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/criterion-f8a97cf92b4a5d06.d: crates/criterion/src/lib.rs
+
+/root/repo/target/debug/deps/criterion-f8a97cf92b4a5d06: crates/criterion/src/lib.rs
+
+crates/criterion/src/lib.rs:

@@ -1,0 +1,8 @@
+/root/repo/target/debug/deps/mpix_bench-659736bdebb72124.d: crates/bench/src/lib.rs crates/bench/src/paper.rs crates/bench/src/profiles.rs crates/bench/src/tables.rs
+
+/root/repo/target/debug/deps/mpix_bench-659736bdebb72124: crates/bench/src/lib.rs crates/bench/src/paper.rs crates/bench/src/profiles.rs crates/bench/src/tables.rs
+
+crates/bench/src/lib.rs:
+crates/bench/src/paper.rs:
+crates/bench/src/profiles.rs:
+crates/bench/src/tables.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/mpix_comm-976bc030fb005ec4.d: crates/comm/src/lib.rs crates/comm/src/cart.rs crates/comm/src/comm.rs crates/comm/src/stats.rs crates/comm/src/universe.rs
+
+/root/repo/target/debug/deps/mpix_comm-976bc030fb005ec4: crates/comm/src/lib.rs crates/comm/src/cart.rs crates/comm/src/comm.rs crates/comm/src/stats.rs crates/comm/src/universe.rs
+
+crates/comm/src/lib.rs:
+crates/comm/src/cart.rs:
+crates/comm/src/comm.rs:
+crates/comm/src/stats.rs:
+crates/comm/src/universe.rs:

@@ -1,0 +1,13 @@
+/root/repo/target/debug/deps/mpix_ir-507713d8e24cd220.d: crates/ir/src/lib.rs crates/ir/src/cluster.rs crates/ir/src/halo.rs crates/ir/src/iet.rs crates/ir/src/iexpr.rs crates/ir/src/lowering.rs crates/ir/src/opcount.rs crates/ir/src/passes.rs crates/ir/src/schedule.rs
+
+/root/repo/target/debug/deps/mpix_ir-507713d8e24cd220: crates/ir/src/lib.rs crates/ir/src/cluster.rs crates/ir/src/halo.rs crates/ir/src/iet.rs crates/ir/src/iexpr.rs crates/ir/src/lowering.rs crates/ir/src/opcount.rs crates/ir/src/passes.rs crates/ir/src/schedule.rs
+
+crates/ir/src/lib.rs:
+crates/ir/src/cluster.rs:
+crates/ir/src/halo.rs:
+crates/ir/src/iet.rs:
+crates/ir/src/iexpr.rs:
+crates/ir/src/lowering.rs:
+crates/ir/src/opcount.rs:
+crates/ir/src/passes.rs:
+crates/ir/src/schedule.rs:

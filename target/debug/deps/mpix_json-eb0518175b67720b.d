@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/mpix_json-eb0518175b67720b.d: crates/json/src/lib.rs
+
+/root/repo/target/debug/deps/mpix_json-eb0518175b67720b: crates/json/src/lib.rs
+
+crates/json/src/lib.rs:

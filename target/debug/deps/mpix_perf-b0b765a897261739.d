@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/mpix_perf-b0b765a897261739.d: crates/perf/src/lib.rs crates/perf/src/machine.rs crates/perf/src/network.rs crates/perf/src/profile.rs crates/perf/src/roofline.rs crates/perf/src/scaling.rs
+
+/root/repo/target/debug/deps/mpix_perf-b0b765a897261739: crates/perf/src/lib.rs crates/perf/src/machine.rs crates/perf/src/network.rs crates/perf/src/profile.rs crates/perf/src/roofline.rs crates/perf/src/scaling.rs
+
+crates/perf/src/lib.rs:
+crates/perf/src/machine.rs:
+crates/perf/src/network.rs:
+crates/perf/src/profile.rs:
+crates/perf/src/roofline.rs:
+crates/perf/src/scaling.rs:

@@ -1,0 +1,13 @@
+/root/repo/target/debug/deps/mpix_solvers-a28a2d7f4cbff226.d: crates/solvers/src/lib.rs crates/solvers/src/acoustic.rs crates/solvers/src/elastic.rs crates/solvers/src/model.rs crates/solvers/src/propagator.rs crates/solvers/src/ricker.rs crates/solvers/src/tti.rs crates/solvers/src/verification.rs crates/solvers/src/viscoelastic.rs
+
+/root/repo/target/debug/deps/mpix_solvers-a28a2d7f4cbff226: crates/solvers/src/lib.rs crates/solvers/src/acoustic.rs crates/solvers/src/elastic.rs crates/solvers/src/model.rs crates/solvers/src/propagator.rs crates/solvers/src/ricker.rs crates/solvers/src/tti.rs crates/solvers/src/verification.rs crates/solvers/src/viscoelastic.rs
+
+crates/solvers/src/lib.rs:
+crates/solvers/src/acoustic.rs:
+crates/solvers/src/elastic.rs:
+crates/solvers/src/model.rs:
+crates/solvers/src/propagator.rs:
+crates/solvers/src/ricker.rs:
+crates/solvers/src/tti.rs:
+crates/solvers/src/verification.rs:
+crates/solvers/src/viscoelastic.rs:

@@ -1,0 +1,12 @@
+/root/repo/target/debug/deps/mpix_symbolic-c2b33c191467afe9.d: crates/symbolic/src/lib.rs crates/symbolic/src/context.rs crates/symbolic/src/eq.rs crates/symbolic/src/expr.rs crates/symbolic/src/fd.rs crates/symbolic/src/grid.rs crates/symbolic/src/simplify.rs crates/symbolic/src/visit.rs
+
+/root/repo/target/debug/deps/mpix_symbolic-c2b33c191467afe9: crates/symbolic/src/lib.rs crates/symbolic/src/context.rs crates/symbolic/src/eq.rs crates/symbolic/src/expr.rs crates/symbolic/src/fd.rs crates/symbolic/src/grid.rs crates/symbolic/src/simplify.rs crates/symbolic/src/visit.rs
+
+crates/symbolic/src/lib.rs:
+crates/symbolic/src/context.rs:
+crates/symbolic/src/eq.rs:
+crates/symbolic/src/expr.rs:
+crates/symbolic/src/fd.rs:
+crates/symbolic/src/grid.rs:
+crates/symbolic/src/simplify.rs:
+crates/symbolic/src/visit.rs:

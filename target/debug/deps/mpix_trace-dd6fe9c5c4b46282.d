@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/mpix_trace-dd6fe9c5c4b46282.d: crates/trace/src/lib.rs crates/trace/src/msg.rs crates/trace/src/summary.rs
+
+/root/repo/target/debug/deps/mpix_trace-dd6fe9c5c4b46282: crates/trace/src/lib.rs crates/trace/src/msg.rs crates/trace/src/summary.rs
+
+crates/trace/src/lib.rs:
+crates/trace/src/msg.rs:
+crates/trace/src/summary.rs:

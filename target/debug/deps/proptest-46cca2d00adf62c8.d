@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/proptest-46cca2d00adf62c8.d: crates/proptest/src/lib.rs
+
+/root/repo/target/debug/deps/proptest-46cca2d00adf62c8: crates/proptest/src/lib.rs
+
+crates/proptest/src/lib.rs:

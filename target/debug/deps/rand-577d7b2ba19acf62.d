@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/rand-577d7b2ba19acf62.d: crates/rand/src/lib.rs
+
+/root/repo/target/debug/deps/rand-577d7b2ba19acf62: crates/rand/src/lib.rs
+
+crates/rand/src/lib.rs:

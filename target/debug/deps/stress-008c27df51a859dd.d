@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/stress-008c27df51a859dd.d: crates/comm/tests/stress.rs
+
+/root/repo/target/debug/deps/stress-008c27df51a859dd: crates/comm/tests/stress.rs
+
+crates/comm/tests/stress.rs:

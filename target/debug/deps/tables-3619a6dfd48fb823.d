@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/tables-3619a6dfd48fb823.d: crates/bench/src/bin/tables.rs
+
+/root/repo/target/debug/deps/tables-3619a6dfd48fb823: crates/bench/src/bin/tables.rs
+
+crates/bench/src/bin/tables.rs:

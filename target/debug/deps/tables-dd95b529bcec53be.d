@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/tables-dd95b529bcec53be.d: crates/bench/src/bin/tables.rs
+
+/root/repo/target/debug/deps/tables-dd95b529bcec53be: crates/bench/src/bin/tables.rs
+
+crates/bench/src/bin/tables.rs:

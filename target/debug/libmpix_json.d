@@ -1,0 +1,1 @@
+/root/repo/target/debug/libmpix_json.rlib: /root/repo/crates/json/src/lib.rs

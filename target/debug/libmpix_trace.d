@@ -1,0 +1,1 @@
+/root/repo/target/debug/libmpix_trace.rlib: /root/repo/crates/json/src/lib.rs /root/repo/crates/trace/src/lib.rs /root/repo/crates/trace/src/msg.rs /root/repo/crates/trace/src/summary.rs
