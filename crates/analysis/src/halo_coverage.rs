@@ -1,0 +1,410 @@
+//! Pass 1: halo-coverage proofs.
+//!
+//! Re-derives the halo each cluster's stencil reads actually require —
+//! from [`Cluster::reads`] offsets and program order — and checks the
+//! compiler's [`HaloPlan`] against it in both directions:
+//!
+//! * **under-coverage** (Error): a nonzero-radius read of a buffer whose
+//!   halo the plan never exchanges (or exchanges too narrowly) before
+//!   the read, accounting for writes dirtying buffers between clusters.
+//!   A missed exchange silently produces wrong numerics at rank
+//!   boundaries — the exact failure mode the paper's drop/merge passes
+//!   (§III g) risk introducing.
+//! * **over-coverage** (Warning): an exchange the reference detector
+//!   would drop, merge away, or emit narrower — wasteful bandwidth, not
+//!   incorrectness.
+//!
+//! Soundness caveat: the under-coverage simulation trusts
+//! [`Cluster::reads`] to enumerate every load; it shares that enumeration
+//! with the compiler's own detector, so a bug in `visit_loads` itself is
+//! out of scope (caught instead by the executor's numerics tests).
+
+use std::collections::BTreeMap;
+
+use mpix_ir::cluster::Cluster;
+use mpix_ir::halo::{detect_halo_exchanges, HaloPlan, HaloXchg};
+use mpix_symbolic::{Context, FieldId, FieldKind};
+use mpix_trace::Diagnostic;
+
+use crate::buf_name;
+
+const PASS: &str = "halo-coverage";
+
+/// Check `plan` against the halo requirements of `clusters`.
+pub fn check_halo_coverage(
+    ctx: &Context,
+    clusters: &[Cluster],
+    plan: &HaloPlan,
+) -> Vec<Diagnostic> {
+    let mut diags = Vec::new();
+
+    if plan.per_cluster.len() != clusters.len() {
+        diags.push(Diagnostic::error(
+            PASS,
+            "plan",
+            format!(
+                "plan has {} per-cluster exchange sets for {} clusters; \
+                 every cluster needs a (possibly empty) set",
+                plan.per_cluster.len(),
+                clusters.len()
+            ),
+        ));
+        return diags;
+    }
+
+    // Structural validity of every exchange in the plan.
+    for (loc, x) in plan_entries(plan) {
+        validate_xchg(ctx, &loc, x, &mut diags);
+    }
+
+    // Which fields any cluster writes. Buffer rotation cycles a
+    // TimeFunction's buffers through the written slot, so a write at
+    // *any* time offset stales a hoisted exchange of *every* buffer of
+    // that field after the first step.
+    let written: Vec<FieldId> = clusters
+        .iter()
+        .flat_map(|c| c.writes())
+        .map(|(f, _)| f)
+        .collect();
+
+    // Coverage state. `clean` holds time-varying buffers whose halo is
+    // valid at the current program point (exchanged, not rewritten
+    // since); `invariant` holds time-invariant coverage that never
+    // expires (hoisted Functions, plus hoisted TimeFunctions that are
+    // never written).
+    let mut clean: BTreeMap<(FieldId, i32), Vec<usize>> = BTreeMap::new();
+    let mut invariant: BTreeMap<(FieldId, i32), Vec<usize>> = BTreeMap::new();
+
+    // A radius of the wrong rank was already flagged by `validate_xchg`;
+    // merging it would index past the short vec, so drop it from coverage.
+    let well_formed =
+        |x: &mpix_ir::halo::HaloXchg| x.radius.len() == ctx.field(x.field).shape.len();
+
+    for x in &plan.hoisted {
+        if !well_formed(x) {
+            continue;
+        }
+        let key = (x.field, x.time_offset);
+        match ctx.field(x.field).kind {
+            FieldKind::Function => merge_cov(&mut invariant, key, &x.radius),
+            FieldKind::TimeFunction => {
+                if written.contains(&x.field) {
+                    diags.push(Diagnostic::error(
+                        PASS,
+                        format!("hoisted / {}", buf_name(ctx, x.field, x.time_offset)),
+                        "time-varying buffer is exchanged before the time loop but rewritten \
+                         inside it: the hoisted halo goes stale after the first step"
+                            .to_string(),
+                    ));
+                } else {
+                    merge_cov(&mut invariant, key, &x.radius);
+                }
+            }
+        }
+    }
+
+    for (ci, cl) in clusters.iter().enumerate() {
+        // Exchanges scheduled immediately before this cluster.
+        for x in &plan.per_cluster[ci] {
+            if !well_formed(x) {
+                continue;
+            }
+            let key = (x.field, x.time_offset);
+            match ctx.field(x.field).kind {
+                // A Function is never written inside the loop, so a
+                // per-cluster exchange does cover it — permanently — but
+                // repeats every time step for nothing.
+                FieldKind::Function => {
+                    merge_cov(&mut invariant, key, &x.radius);
+                    diags.push(Diagnostic::warning(
+                        PASS,
+                        format!("cluster {ci} / {}", buf_name(ctx, x.field, x.time_offset)),
+                        "time-invariant field exchanged every step; the hoisting pass \
+                         should move this before the time loop"
+                            .to_string(),
+                    ));
+                }
+                FieldKind::TimeFunction => merge_cov(&mut clean, key, &x.radius),
+            }
+        }
+
+        // Every nonzero-radius read must now be covered.
+        for (f, toff, radius) in cl.reads() {
+            if radius.iter().all(|&r| r == 0) {
+                continue;
+            }
+            let key = (f, toff);
+            let cov_inv = invariant.get(&key);
+            let cov_clean = clean.get(&key);
+            let covered = (0..radius.len()).all(|d| {
+                let have = cov_inv
+                    .map(|c| c[d])
+                    .unwrap_or(0)
+                    .max(cov_clean.map(|c| c[d]).unwrap_or(0));
+                radius[d] <= have
+            });
+            if !covered {
+                let have: Vec<usize> = (0..radius.len())
+                    .map(|d| {
+                        cov_inv
+                            .map(|c| c[d])
+                            .unwrap_or(0)
+                            .max(cov_clean.map(|c| c[d]).unwrap_or(0))
+                    })
+                    .collect();
+                diags.push(Diagnostic::error(
+                    PASS,
+                    format!("cluster {ci} / {}", buf_name(ctx, f, toff)),
+                    format!(
+                        "under-coverage: stencil reads radius {radius:?} but the plan \
+                         provides only {have:?} at this point — off-rank points would be \
+                         read from a stale or never-exchanged halo"
+                    ),
+                ));
+            }
+        }
+
+        // Writes dirty their buffer's halo.
+        for key in cl.writes() {
+            clean.remove(&key);
+        }
+    }
+
+    // Over-coverage: diff against the independently recomputed reference
+    // plan. The simulation above is the ground truth for correctness;
+    // the reference diff only reports waste.
+    let reference = detect_halo_exchanges(clusters, ctx);
+    diff_over_coverage(
+        ctx,
+        "hoisted",
+        &plan.hoisted,
+        &reference.hoisted,
+        &mut diags,
+    );
+    for (ci, (given, want)) in plan
+        .per_cluster
+        .iter()
+        .zip(&reference.per_cluster)
+        .enumerate()
+    {
+        diff_over_coverage(ctx, &format!("cluster {ci}"), given, want, &mut diags);
+    }
+
+    diags
+}
+
+fn plan_entries(plan: &HaloPlan) -> impl Iterator<Item = (String, &HaloXchg)> {
+    plan.hoisted
+        .iter()
+        .map(|x| ("hoisted".to_string(), x))
+        .chain(
+            plan.per_cluster
+                .iter()
+                .enumerate()
+                .flat_map(|(ci, xs)| xs.iter().map(move |x| (format!("cluster {ci}"), x))),
+        )
+}
+
+fn validate_xchg(ctx: &Context, loc: &str, x: &HaloXchg, diags: &mut Vec<Diagnostic>) {
+    let field = ctx.field(x.field);
+    let nd = field.shape.len();
+    let location = format!("{loc} / {}", buf_name(ctx, x.field, x.time_offset));
+    if x.radius.len() != nd {
+        diags.push(Diagnostic::error(
+            PASS,
+            location,
+            format!(
+                "exchange radius has {} entries for a {nd}-dimensional field",
+                x.radius.len()
+            ),
+        ));
+        return;
+    }
+    let halo = field.halo() as usize;
+    for (d, &r) in x.radius.iter().enumerate() {
+        if r > halo {
+            diags.push(Diagnostic::error(
+                PASS,
+                location.clone(),
+                format!(
+                    "exchange radius {r} in dimension {d} exceeds the field's allocated \
+                     halo width {halo}: the runtime plan would read/write out of bounds"
+                ),
+            ));
+        }
+    }
+}
+
+fn merge_cov(
+    map: &mut BTreeMap<(FieldId, i32), Vec<usize>>,
+    key: (FieldId, i32),
+    radius: &[usize],
+) {
+    let entry = map.entry(key).or_insert_with(|| vec![0; radius.len()]);
+    for d in 0..radius.len().min(entry.len()) {
+        entry[d] = entry[d].max(radius[d]);
+    }
+}
+
+fn diff_over_coverage(
+    ctx: &Context,
+    loc: &str,
+    given: &[HaloXchg],
+    want: &[HaloXchg],
+    diags: &mut Vec<Diagnostic>,
+) {
+    for g in given {
+        let location = format!("{loc} / {}", buf_name(ctx, g.field, g.time_offset));
+        match want
+            .iter()
+            .find(|w| w.field == g.field && w.time_offset == g.time_offset)
+        {
+            None => diags.push(Diagnostic::warning(
+                PASS,
+                location,
+                "over-coverage: redundant exchange — the reference detector drops it \
+                 (halo already clean or read only at the center)"
+                    .to_string(),
+            )),
+            Some(w) => {
+                if g.radius.len() == w.radius.len()
+                    && g.radius.iter().zip(&w.radius).any(|(gr, wr)| gr > wr)
+                {
+                    diags.push(Diagnostic::warning(
+                        PASS,
+                        location,
+                        format!(
+                            "over-coverage: exchange radius {:?} is wider than the \
+                             required {:?}",
+                            g.radius, w.radius
+                        ),
+                    ));
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mpix_ir::cluster::clusterize;
+    use mpix_ir::lowering::lower_equations;
+    use mpix_symbolic::Grid;
+
+    fn artifacts() -> (Context, Vec<Cluster>, HaloPlan) {
+        let mut ctx = Context::new();
+        let g = Grid::new(&[32, 32], &[1.0, 1.0]);
+        let u = ctx.add_time_function("u", &g, 4, 2);
+        let m = ctx.add_function("m", &g, 4);
+        let pde = m.center() * u.dt2() - u.laplace();
+        let st = mpix_symbolic::solve(&pde, &u.forward(), &ctx).unwrap();
+        let cl = clusterize(&lower_equations(&[st], &ctx).unwrap());
+        let plan = detect_halo_exchanges(&cl, &ctx);
+        (ctx, cl, plan)
+    }
+
+    #[test]
+    fn clean_plan_has_no_diagnostics() {
+        let (ctx, cl, plan) = artifacts();
+        assert!(check_halo_coverage(&ctx, &cl, &plan).is_empty());
+    }
+
+    #[test]
+    fn deleted_exchange_is_under_coverage_error() {
+        let (ctx, cl, mut plan) = artifacts();
+        plan.per_cluster[0].clear();
+        let diags = check_halo_coverage(&ctx, &cl, &plan);
+        assert!(
+            diags.iter().any(|d| d.pass == PASS
+                && d.severity == mpix_trace::Severity::Error
+                && d.explanation.contains("under-coverage")),
+            "{diags:?}"
+        );
+    }
+
+    #[test]
+    fn shrunk_radius_is_under_coverage_error() {
+        let (ctx, cl, mut plan) = artifacts();
+        plan.per_cluster[0][0].radius = vec![2, 1];
+        let diags = check_halo_coverage(&ctx, &cl, &plan);
+        assert!(diags
+            .iter()
+            .any(|d| d.explanation.contains("under-coverage")));
+    }
+
+    #[test]
+    fn widened_radius_is_over_coverage_warning() {
+        // Legal widening (within the allocated halo of 4, wider than the
+        // required stencil radius of 2) is a bandwidth warning.
+        let (ctx, cl, mut plan) = artifacts();
+        plan.per_cluster[0][0].radius = vec![3, 3];
+        let diags = check_halo_coverage(&ctx, &cl, &plan);
+        assert!(
+            diags
+                .iter()
+                .any(|d| d.severity == mpix_trace::Severity::Warning
+                    && d.explanation.contains("wider than the required")),
+            "{diags:?}"
+        );
+    }
+
+    #[test]
+    fn radius_beyond_allocated_halo_is_error() {
+        let (ctx, cl, mut plan) = artifacts();
+        plan.per_cluster[0][0].radius = vec![5, 5]; // allocated halo is 4
+        let diags = check_halo_coverage(&ctx, &cl, &plan);
+        assert!(
+            diags.iter().any(|d| d.explanation.contains("exceeds")),
+            "{diags:?}"
+        );
+    }
+
+    #[test]
+    fn hoisting_a_rewritten_time_buffer_is_error() {
+        let (ctx, cl, mut plan) = artifacts();
+        let x = plan.per_cluster[0][0].clone();
+        plan.hoisted.push(HaloXchg {
+            field: x.field,
+            time_offset: x.time_offset,
+            radius: x.radius,
+        });
+        let diags = check_halo_coverage(&ctx, &cl, &plan);
+        assert!(
+            diags
+                .iter()
+                .any(|d| d.severity == mpix_trace::Severity::Error
+                    && d.explanation.contains("stale after the first step")),
+            "{diags:?}"
+        );
+    }
+
+    #[test]
+    fn redundant_exchange_is_warning() {
+        let (ctx, cl, mut plan) = artifacts();
+        // Exchange a buffer nobody reads at a radius: u[t-1] is read at
+        // the center only in the acoustic update.
+        let f = plan.per_cluster[0][0].field;
+        plan.per_cluster[0].push(HaloXchg {
+            field: f,
+            time_offset: -1,
+            radius: vec![1, 1],
+        });
+        let diags = check_halo_coverage(&ctx, &cl, &plan);
+        assert!(
+            diags
+                .iter()
+                .any(|d| d.severity == mpix_trace::Severity::Warning
+                    && d.explanation.contains("redundant")),
+            "{diags:?}"
+        );
+    }
+
+    #[test]
+    fn plan_length_mismatch_is_error() {
+        let (ctx, cl, mut plan) = artifacts();
+        plan.per_cluster.push(Vec::new());
+        let diags = check_halo_coverage(&ctx, &cl, &plan);
+        assert!(diags.iter().any(|d| d.explanation.contains("sets for")));
+    }
+}

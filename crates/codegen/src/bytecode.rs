@@ -237,7 +237,11 @@ pub fn fuse_cluster(mut cc: CompiledCluster) -> CompiledCluster {
 /// Fold constant subexpressions in the flat program: any `Const Const
 /// Add/Mul`, `Const Pow`, or `Const Call` collapses to one `Const`.
 /// Iterates to a fixpoint so nested constant chains fold completely.
-fn fold_constants(cc: &mut CompiledCluster) {
+///
+/// Public so the verification passes (`mpix-analysis`) can establish the
+/// post-folding baseline that `fuse_cluster` must preserve: folding may
+/// legitimately drop flops, but fusion on top of it must not.
+pub fn fold_constants(cc: &mut CompiledCluster) {
     loop {
         let mut changed = false;
         let mut out: Vec<Op> = Vec::with_capacity(cc.ops.len());

@@ -1523,9 +1523,18 @@ struct ExecState<'a> {
     tracer: Tracer,
 }
 
+/// Message-tag namespace base for one `(field, time offset)` exchange
+/// key: a disjoint 64-tag window per key, so concurrent exchanges of
+/// different buffers can never cross-match. Public so the verification
+/// passes (`mpix-analysis`) can prove window disjointness against the
+/// same formula the executor uses.
+pub fn halo_tag_base(field: u32, toff: i32) -> u32 {
+    (field * 8 + toff.rem_euclid(8) as u32) * 64
+}
+
 impl ExecState<'_> {
     fn tag_base(field: u32, toff: i32) -> u32 {
-        (field * 8 + toff.rem_euclid(8) as u32) * 64
+        halo_tag_base(field, toff)
     }
 
     fn sync_exchange(&mut self, x: &mpix_ir::halo::HaloXchg) {

@@ -25,6 +25,6 @@ pub mod bytecode;
 pub mod cgen;
 pub mod executor;
 
-pub use bytecode::{compile_cluster, CompiledCluster, Op};
+pub use bytecode::{compile_cluster, fold_constants, fuse_cluster, CompiledCluster, Op};
 pub use cgen::emit_c;
-pub use executor::{ExecOptions, FieldState, OperatorExec, SparseOp};
+pub use executor::{halo_tag_base, ExecOptions, FieldState, OperatorExec, SparseOp};

@@ -42,7 +42,8 @@ pub use autotune::TuneReport;
 pub use operator::{Applied, ApplyOptions, BuildError, Operator};
 pub use workspace::Workspace;
 // The observability vocabulary, so downstream code needs only mpix-core.
-pub use mpix_trace::{PerfSummary, Section, TraceLevel, TraceReport};
+pub use mpix_analysis::{AnalysisConfig, AnalysisReport};
+pub use mpix_trace::{Diagnostic, PerfSummary, Section, Severity, TraceLevel, TraceReport};
 
 /// Convenient glob imports for examples and downstream crates.
 pub mod prelude {

@@ -50,6 +50,7 @@ impl From<LoweringError> for BuildError {
 /// | `MPIX_RANKS`   | `ranks`   | simulated MPI ranks                    |
 /// | `MPIX_TRACE`   | `trace`   | `off`, `summary`, `full`               |
 /// | `MPIX_VW`      | `vector_width` | `0`/`1` (scalar), `8`, `16`, `32` |
+/// | `MPIX_VERIFY`  | `verify`  | `0`/`off`/`false`, `1`/`on`/`true`     |
 #[derive(Clone, Debug)]
 pub struct ApplyOptions {
     pub mode: HaloMode,
@@ -75,6 +76,13 @@ pub struct ApplyOptions {
     pub trace: TraceLevel,
     /// Label stamped into the [`PerfSummary`] (e.g. `acoustic-so4`).
     pub label: String,
+    /// Run the `mpix-analysis` self-verification passes over the
+    /// operator's artifacts before executing (the run configuration
+    /// only; the `mpix-verify` binary sweeps the full matrix). Errors
+    /// panic — executing a provably broken schedule would produce wrong
+    /// numerics or deadlock; warnings ride along on the
+    /// [`PerfSummary::diagnostics`]. Defaults to on in debug builds.
+    pub verify: bool,
 }
 
 impl Default for ApplyOptions {
@@ -92,6 +100,7 @@ impl Default for ApplyOptions {
             topology: None,
             trace: TraceLevel::Off,
             label: "operator".to_string(),
+            verify: cfg!(debug_assertions),
         }
     }
 }
@@ -145,6 +154,10 @@ impl ApplyOptions {
         self.label = label.to_string();
         self
     }
+    pub fn with_verify(mut self, verify: bool) -> Self {
+        self.verify = verify;
+        self
+    }
 
     /// Apply environment overrides on top of the builder values (env
     /// wins — see the table on [`ApplyOptions`]). Unset variables leave
@@ -181,6 +194,13 @@ impl ApplyOptions {
                 .parse()
                 .unwrap_or_else(|_| panic!("MPIX_VW={v:?}: expected a lane width (0|1|8|16|32)"));
             self.vector_width = mpix_codegen::executor::validate_vector_width(vw);
+        }
+        if let Ok(v) = std::env::var("MPIX_VERIFY") {
+            self.verify = match v.to_ascii_lowercase().as_str() {
+                "1" | "on" | "true" => true,
+                "0" | "off" | "false" => false,
+                _ => panic!("MPIX_VERIFY={v:?}: expected 0|1|on|off|true|false"),
+            };
         }
         self
     }
@@ -320,6 +340,15 @@ impl Operator {
         m
     }
 
+    /// Run the `mpix-analysis` self-verification passes over this
+    /// operator's artifacts for an explicit configuration sweep. This is
+    /// the programmatic face of the `mpix-verify` binary; [`run`](Self::run)
+    /// calls it implicitly (for the run configuration only) when
+    /// `opts.verify` is set.
+    pub fn verify(&self, cfg: &mpix_analysis::AnalysisConfig) -> mpix_analysis::AnalysisReport {
+        mpix_analysis::verify_operator(&self.ctx, &self.grid, &self.clusters, &self.plan, cfg)
+    }
+
     /// Run on an existing per-rank workspace (the low-level entry point;
     /// `apply_distributed` wraps it).
     pub fn apply(&self, ws: &mut Workspace, exec: &OperatorExec, opts: &ApplyOptions) -> ExecStats {
@@ -365,6 +394,28 @@ impl Operator {
             .topology
             .clone()
             .unwrap_or_else(|| dims_create(nranks, self.grid.ndim()));
+
+        // Self-verification gate: prove the artifacts sound for this run
+        // configuration before executing them. Errors abort — running a
+        // provably broken plan deadlocks or silently corrupts numerics.
+        let diagnostics = if opts.verify {
+            let cfg = mpix_analysis::AnalysisConfig::for_run(
+                opts.mode,
+                nranks,
+                opts.threads,
+                opts.vector_width,
+            );
+            let report = self.verify(&cfg);
+            assert!(
+                !report.has_errors(),
+                "operator '{}' failed self-verification:\n{report}",
+                opts.label
+            );
+            report.diagnostics
+        } else {
+            Vec::new()
+        };
+
         let exec = self.executable_for(opts);
         let per_rank = Universe::run(nranks, |comm| {
             let cart = CartComm::new(comm, &dims);
@@ -399,7 +450,8 @@ impl Operator {
             &rank_totals,
             &reports,
         )
-        .with_roofline(format!("{} (reference)", machine.name), ceiling);
+        .with_roofline(format!("{} (reference)", machine.name), ceiling)
+        .with_diagnostics(diagnostics);
 
         Applied { results, summary }
     }
@@ -459,6 +511,7 @@ mod tests {
         std::env::set_var("MPIX_RANKS", "8");
         std::env::set_var("MPIX_TRACE", "summary");
         std::env::set_var("MPIX_VW", "16");
+        std::env::set_var("MPIX_VERIFY", "on");
         let o = ApplyOptions::from_env();
         assert_eq!(o.mode, HaloMode::Diagonal);
         assert_eq!(o.block, 16);
@@ -466,6 +519,9 @@ mod tests {
         assert_eq!(o.ranks, 8);
         assert_eq!(o.trace, TraceLevel::Summary);
         assert_eq!(o.vector_width, 16);
+        assert!(o.verify);
+        std::env::set_var("MPIX_VERIFY", "0");
+        assert!(!ApplyOptions::from_env().verify);
 
         // Precedence: environment beats builder.
         let o = ApplyOptions::default()
@@ -483,6 +539,7 @@ mod tests {
         std::env::remove_var("MPIX_RANKS");
         std::env::remove_var("MPIX_TRACE");
         std::env::remove_var("MPIX_VW");
+        std::env::remove_var("MPIX_VERIFY");
         let o = ApplyOptions::from_env();
         assert_eq!(o.mode, HaloMode::Basic);
         assert_eq!(o.block, 0);

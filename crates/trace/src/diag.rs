@@ -1,0 +1,173 @@
+//! Structured diagnostics emitted by the compiler self-verification
+//! passes (`mpix-analysis`) and surfaced through the trace layer.
+//!
+//! A [`Diagnostic`] is one checkable claim that failed (or merits a
+//! warning): which pass produced it, how severe it is, where in the IR it
+//! points (a human-readable location like `cluster 2 / stream u[t+1]`),
+//! and an explanation of the proof obligation that was violated. The type
+//! lives here — not in the analysis crate — so `PerfSummary` can carry
+//! verification results next to the performance readout, as text and as
+//! JSON, without a dependency cycle.
+
+use std::fmt;
+
+use mpix_json::{json, Value};
+
+/// How bad a finding is. Ordering is by severity, so `max()` over a
+/// report gives the overall verdict.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum Severity {
+    /// Informational: a proof was discharged with a caveat.
+    Info,
+    /// Suspicious but not provably wrong (e.g. a redundant exchange the
+    /// drop/merge pass should have removed — wasteful, not incorrect).
+    Warning,
+    /// A violated proof obligation: the artifact can produce wrong
+    /// numerics, deadlock, or out-of-bounds access.
+    Error,
+}
+
+impl Severity {
+    pub fn name(self) -> &'static str {
+        match self {
+            Severity::Info => "info",
+            Severity::Warning => "warning",
+            Severity::Error => "error",
+        }
+    }
+
+    pub fn parse(s: &str) -> Option<Severity> {
+        match s {
+            "info" => Some(Severity::Info),
+            "warning" => Some(Severity::Warning),
+            "error" => Some(Severity::Error),
+            _ => None,
+        }
+    }
+}
+
+impl fmt::Display for Severity {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// One finding from a verification pass.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Diagnostic {
+    pub severity: Severity,
+    /// Short pass name (`halo-coverage`, `comm-schedule`, `bytecode`,
+    /// `thread-safety`).
+    pub pass: String,
+    /// IR location the finding anchors to, e.g. `cluster 1 / u[t+0]`.
+    pub location: String,
+    /// What proof obligation failed and why it matters.
+    pub explanation: String,
+}
+
+impl Diagnostic {
+    pub fn new(
+        severity: Severity,
+        pass: impl Into<String>,
+        location: impl Into<String>,
+        explanation: impl Into<String>,
+    ) -> Diagnostic {
+        Diagnostic {
+            severity,
+            pass: pass.into(),
+            location: location.into(),
+            explanation: explanation.into(),
+        }
+    }
+
+    pub fn error(
+        pass: impl Into<String>,
+        location: impl Into<String>,
+        explanation: impl Into<String>,
+    ) -> Diagnostic {
+        Diagnostic::new(Severity::Error, pass, location, explanation)
+    }
+
+    pub fn warning(
+        pass: impl Into<String>,
+        location: impl Into<String>,
+        explanation: impl Into<String>,
+    ) -> Diagnostic {
+        Diagnostic::new(Severity::Warning, pass, location, explanation)
+    }
+
+    pub fn to_json(&self) -> Value {
+        json!({
+            "severity": self.severity.name(),
+            "pass": &self.pass,
+            "location": &self.location,
+            "explanation": &self.explanation,
+        })
+    }
+
+    pub fn from_json(v: &Value) -> Result<Diagnostic, String> {
+        let sev = v
+            .get("severity")
+            .and_then(Value::as_str)
+            .ok_or("diagnostic missing severity")?;
+        Ok(Diagnostic {
+            severity: Severity::parse(sev).ok_or_else(|| format!("unknown severity {sev:?}"))?,
+            pass: v
+                .get("pass")
+                .and_then(Value::as_str)
+                .ok_or("diagnostic missing pass")?
+                .to_string(),
+            location: v
+                .get("location")
+                .and_then(Value::as_str)
+                .unwrap_or("")
+                .to_string(),
+            explanation: v
+                .get("explanation")
+                .and_then(Value::as_str)
+                .unwrap_or("")
+                .to_string(),
+        })
+    }
+}
+
+impl fmt::Display for Diagnostic {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "[{}] {}: {} — {}",
+            self.severity, self.pass, self.location, self.explanation
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn severity_orders_by_badness() {
+        assert!(Severity::Error > Severity::Warning);
+        assert!(Severity::Warning > Severity::Info);
+        assert_eq!(Severity::parse("error"), Some(Severity::Error));
+        assert_eq!(Severity::parse("nope"), None);
+    }
+
+    #[test]
+    fn json_roundtrip() {
+        let d = Diagnostic::error(
+            "halo-coverage",
+            "cluster 0 / u[t+0]",
+            "read radius [2, 2] exceeds exchanged radius [1, 2]",
+        );
+        let back = Diagnostic::from_json(&Value::parse(&d.to_json().pretty()).unwrap()).unwrap();
+        assert_eq!(back, d);
+    }
+
+    #[test]
+    fn display_mentions_pass_and_location() {
+        let d = Diagnostic::warning("comm-schedule", "step 1", "redundant exchange");
+        let s = format!("{d}");
+        assert!(s.contains("comm-schedule") && s.contains("step 1"), "{s}");
+    }
+}

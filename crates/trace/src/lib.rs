@@ -20,9 +20,11 @@
 
 use std::time::Instant;
 
+pub mod diag;
 pub mod msg;
 pub mod summary;
 
+pub use diag::{Diagnostic, Severity};
 pub use msg::{MsgDir, MsgRecord};
 pub use summary::{MsgHistogram, PerfSummary, RankPerf};
 // The JSON value type the to_json/from_json surface speaks.

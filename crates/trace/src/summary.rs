@@ -4,7 +4,7 @@
 
 use mpix_json::{json, Value};
 
-use crate::{MsgDir, MsgRecord, Section, TraceReport};
+use crate::{Diagnostic, MsgDir, MsgRecord, Section, TraceReport};
 
 /// Message-size histogram with power-of-two byte buckets.
 #[derive(Clone, Debug, Default, PartialEq)]
@@ -174,6 +174,9 @@ pub struct PerfSummary {
     /// Sent-message size histogram aggregated over ranks (this mode).
     pub histogram: MsgHistogram,
     pub per_rank: Vec<RankPerf>,
+    /// Findings from the verification passes (`mpix-analysis`), when the
+    /// run was gated by `ApplyOptions::verify`; empty otherwise.
+    pub diagnostics: Vec<Diagnostic>,
 }
 
 impl PerfSummary {
@@ -263,6 +266,7 @@ impl PerfSummary {
             halo_wait_fraction,
             histogram,
             per_rank,
+            diagnostics: Vec::new(),
         }
     }
 
@@ -270,6 +274,12 @@ impl PerfSummary {
     pub fn with_roofline(mut self, machine: impl Into<String>, ceiling_gflops: f64) -> PerfSummary {
         self.roofline_machine = Some(machine.into());
         self.roofline_gflops = Some(ceiling_gflops);
+        self
+    }
+
+    /// Attach verification findings (the `mpix-analysis` pass output).
+    pub fn with_diagnostics(mut self, diagnostics: Vec<Diagnostic>) -> PerfSummary {
+        self.diagnostics = diagnostics;
         self
     }
 
@@ -290,6 +300,7 @@ impl PerfSummary {
             "halo_wait_fraction": self.halo_wait_fraction,
             "histogram": self.histogram.to_json(),
             "per_rank": Value::Arr(self.per_rank.iter().map(RankPerf::to_json).collect()),
+            "diagnostics": Value::Arr(self.diagnostics.iter().map(Diagnostic::to_json).collect()),
         })
     }
 
@@ -341,6 +352,13 @@ impl PerfSummary {
                 .transpose()?
                 .unwrap_or_default(),
             per_rank,
+            diagnostics: v
+                .get("diagnostics")
+                .and_then(Value::as_array)
+                .unwrap_or(&[])
+                .iter()
+                .map(Diagnostic::from_json)
+                .collect::<Result<_, _>>()?,
         })
     }
 

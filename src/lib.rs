@@ -21,9 +21,11 @@
 //! | [`solvers`] | acoustic / TTI / elastic / viscoelastic propagators |
 //! | [`perf`] | machine + network model, strong/weak scaling generators |
 //! | [`trace`] | per-rank section timers, message logs, `PerfSummary` |
+//! | [`analysis`] | compiler self-verification passes (`mpix-verify`) |
 //!
 //! Start with `examples/quickstart.rs` — the paper's Listing 1 end to end.
 
+pub use mpix_analysis as analysis;
 pub use mpix_codegen as codegen;
 pub use mpix_comm as comm;
 pub use mpix_core as core;

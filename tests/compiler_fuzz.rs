@@ -283,3 +283,460 @@ fn elementary_functions_execute_end_to_end() {
     let got = one[4 * 9 + 4];
     assert!((got - want).abs() < 1e-6, "{got} vs {want}");
 }
+
+// ===========================================================================
+// Mutation testing of the self-verification passes (`mpix-analysis`):
+// seed ≥30 deterministic mutants into compiler artifacts — deleted or
+// shrunk halo exchanges, corrupted bytecode ops, broken comm schedules,
+// racy slab tables — and assert every single one is caught by the pass
+// that owns that obligation, while the unmutated artifacts verify clean.
+// ===========================================================================
+
+mod verification_oracle {
+    use mpix::analysis::comm_schedule::{
+        check_tag_windows, collect_schedules, match_schedule, RankPlan, ScheduleCtx,
+    };
+    use mpix::analysis::{
+        bytecode_check, halo_coverage::check_halo_coverage, thread_safety, AnalysisConfig,
+    };
+    use mpix::codegen::bytecode::CoeffSrc;
+    use mpix::codegen::{compile_cluster, fold_constants, fuse_cluster, CompiledCluster, Op};
+    use mpix::ir::cluster::{clusterize, Cluster};
+    use mpix::ir::halo::{detect_halo_exchanges, HaloPlan, HaloXchg};
+    use mpix::ir::lowering::lower_equations;
+    use mpix::solvers::{KernelKind, ModelSpec, Propagator};
+    use mpix::symbolic::{Context, Grid};
+    use mpix::trace::{Diagnostic, Severity};
+    use mpix::HaloMode;
+
+    /// The acoustic artifacts every mutant corrupts a copy of.
+    fn artifacts() -> (Context, Vec<Cluster>, HaloPlan) {
+        let mut ctx = Context::new();
+        let g = Grid::new(&[32, 32], &[1.0, 1.0]);
+        let u = ctx.add_time_function("u", &g, 4, 2);
+        let m = ctx.add_function("m", &g, 4);
+        let pde = m.center() * u.dt2() - u.laplace();
+        let st = mpix::symbolic::solve(&pde, &u.forward(), &ctx).unwrap();
+        let cl = clusterize(&lower_equations(&[st], &ctx).unwrap());
+        let plan = detect_halo_exchanges(&cl, &ctx);
+        (ctx, cl, plan)
+    }
+
+    fn fused() -> (Context, CompiledCluster) {
+        let (ctx, cl, _) = artifacts();
+        (ctx, fuse_cluster(compile_cluster(&cl[0])))
+    }
+
+    fn folded_and_fused() -> (CompiledCluster, CompiledCluster) {
+        let (_, cl, _) = artifacts();
+        let unfused = compile_cluster(&cl[0]);
+        let mut folded = unfused.clone();
+        fold_constants(&mut folded);
+        (folded, fuse_cluster(unfused))
+    }
+
+    fn first_load(cc: &mut CompiledCluster) -> (&mut u32, &mut u32) {
+        cc.ops
+            .iter_mut()
+            .find_map(|op| match op {
+                Op::Load { stream, off }
+                | Op::LoadMul { stream, off, .. }
+                | Op::LoadMulAdd { stream, off, .. } => Some((stream, off)),
+                _ => None,
+            })
+            .expect("cluster has at least one load")
+    }
+
+    #[test]
+    fn analyzer_catches_every_seeded_mutant() {
+        // (mutant name, pass expected to catch it, diagnostics produced)
+        let mut cases: Vec<(&str, &str, Vec<Diagnostic>)> = Vec::new();
+
+        // --- halo-coverage mutants (corrupt the compiler HaloPlan) ----
+        {
+            let (ctx, cl, mut plan) = artifacts();
+            plan.per_cluster[0].clear();
+            cases.push((
+                "delete-cluster-exchanges",
+                "halo-coverage",
+                check_halo_coverage(&ctx, &cl, &plan),
+            ));
+        }
+        for (name, radius) in [
+            ("shrink-radius-dim0", vec![1usize, 2]),
+            ("shrink-radius-dim1", vec![2, 1]),
+            ("zero-radius", vec![0, 0]),
+            ("radius-exceeds-halo", vec![5, 5]),
+            ("radius-rank-mismatch", vec![2]),
+            ("widen-radius", vec![3, 3]),
+        ] {
+            let (ctx, cl, mut plan) = artifacts();
+            plan.per_cluster[0][0].radius = radius;
+            cases.push((name, "halo-coverage", check_halo_coverage(&ctx, &cl, &plan)));
+        }
+        {
+            let (ctx, cl, mut plan) = artifacts();
+            let f = plan.per_cluster[0][0].field;
+            plan.per_cluster[0].push(HaloXchg {
+                field: f,
+                time_offset: -1,
+                radius: vec![1, 1],
+            });
+            cases.push((
+                "redundant-exchange",
+                "halo-coverage",
+                check_halo_coverage(&ctx, &cl, &plan),
+            ));
+        }
+        {
+            let (ctx, cl, mut plan) = artifacts();
+            let x = plan.per_cluster[0][0].clone();
+            plan.hoisted.push(x);
+            cases.push((
+                "hoist-rewritten-buffer",
+                "halo-coverage",
+                check_halo_coverage(&ctx, &cl, &plan),
+            ));
+        }
+        {
+            let (ctx, cl, mut plan) = artifacts();
+            plan.per_cluster.push(Vec::new());
+            cases.push((
+                "plan-length-mismatch",
+                "halo-coverage",
+                check_halo_coverage(&ctx, &cl, &plan),
+            ));
+        }
+
+        // --- bytecode mutants (corrupt the compiled stack program) ----
+        let structural = |name: &'static str, mutate: &dyn Fn(&mut CompiledCluster)| {
+            let (ctx, mut cc) = fused();
+            mutate(&mut cc);
+            (
+                name,
+                "bytecode",
+                bytecode_check::check_compiled(&ctx, 0, &cc, 8),
+            )
+        };
+        cases.push(structural("load-stream-oob", &|cc| {
+            *first_load(cc).0 = 99;
+        }));
+        cases.push(structural("load-offset-oob", &|cc| {
+            *first_load(cc).1 = cc.offsets.len() as u32 + 7;
+        }));
+        cases.push(structural("cross-stream-offset", &|cc| {
+            let (s, off) = {
+                let (s, off) = first_load(cc);
+                (*s, *off)
+            };
+            cc.offsets[off as usize].0 = (s + 1) % cc.streams.len() as u32;
+        }));
+        cases.push(structural("const-slot-oob", &|cc| {
+            let n = cc.consts.len() as u32;
+            for op in &mut cc.ops {
+                if let Op::Const(k) = op {
+                    *k = n + 3;
+                    break;
+                }
+            }
+            // No Const op? Insert an unbalanced OOB one — still bytecode.
+            if !cc.ops.iter().any(|o| matches!(o, Op::Const(k) if *k > n)) {
+                cc.ops.insert(0, Op::Const(n + 3));
+            }
+        }));
+        cases.push(structural("scalar-slot-oob", &|cc| {
+            let n = cc.scalars.len() as u32;
+            cc.ops.insert(0, Op::Scalar(n + 2)); // also unbalances the stack
+        }));
+        cases.push(structural("temp-read-before-assign", &|cc| {
+            let t = cc.num_temps as u32;
+            cc.num_temps += 1;
+            cc.ops.insert(0, Op::SetTemp(t));
+            cc.ops.insert(0, Op::Temp(t));
+        }));
+        cases.push(structural("delete-trailing-op", &|cc| {
+            cc.ops.pop();
+        }));
+        cases.push(structural("insert-add-underflow", &|cc| {
+            cc.ops.insert(0, Op::Add);
+        }));
+        cases.push(structural("understate-max-stack", &|cc| {
+            cc.max_stack = 0;
+        }));
+        cases.push(structural("store-unmarked-written", &|cc| {
+            let s = cc.written.iter().position(|&w| w).unwrap();
+            cc.written[s] = false;
+        }));
+        cases.push(structural("written-never-stored", &|cc| {
+            let s = cc.written.iter().position(|&w| !w).unwrap();
+            cc.written[s] = true;
+        }));
+
+        // Bounds mutants: stencil offsets escaping the allocated halo.
+        for (name, mutate) in [
+            ("delta-beyond-halo-positive", 7i32),
+            ("delta-beyond-halo-negative", -7),
+        ] {
+            let (ctx, mut cc) = fused();
+            cc.offsets[0].1[0] = mutate;
+            cases.push((
+                name,
+                "bytecode",
+                bytecode_check::check_bounds(&ctx, 0, &cc, &[12, 12], 2, &[8, 16, 32]),
+            ));
+        }
+        {
+            let (ctx, mut cc) = fused();
+            let last = cc.offsets[0].1.len() - 1;
+            cc.offsets[0].1[last] = 9; // inner (vectorized) dimension
+            cases.push((
+                "inner-delta-beyond-halo",
+                "bytecode",
+                bytecode_check::check_bounds(&ctx, 0, &cc, &[12, 12], 2, &[8, 16, 32]),
+            ));
+        }
+
+        // Fusion-invariance mutants.
+        {
+            let (folded, mut fused) = folded_and_fused();
+            fused.ops.push(Op::Const(0));
+            fused.ops.push(Op::Pow(2)); // extra flop, unbalanced exit
+            cases.push((
+                "fusion-extra-flop",
+                "bytecode",
+                bytecode_check::check_fusion_invariance(0, &folded, &fused, true),
+            ));
+        }
+        {
+            let (folded, mut fused) = folded_and_fused();
+            let swapped = fused.ops.iter_mut().any(|op| {
+                if matches!(op, Op::Mul) {
+                    *op = Op::Add;
+                    true
+                } else {
+                    false
+                }
+            });
+            assert!(swapped, "acoustic kernel has a Mul to corrupt");
+            cases.push((
+                "fusion-mul-to-add",
+                "bytecode",
+                bytecode_check::check_fusion_invariance(0, &folded, &fused, true),
+            ));
+        }
+        {
+            let (folded, mut fused) = folded_and_fused();
+            let mut rotated = false;
+            for op in &mut fused.ops {
+                if let Op::LoadMul {
+                    coeff: CoeffSrc::Const(k),
+                    ..
+                }
+                | Op::LoadMulAdd {
+                    coeff: CoeffSrc::Const(k),
+                    ..
+                } = op
+                {
+                    *k = (*k + 1) % folded.consts.len() as u32;
+                    rotated = true;
+                    break;
+                }
+            }
+            assert!(rotated, "acoustic kernel fuses a const coefficient");
+            cases.push((
+                "fusion-wrong-coefficient",
+                "bytecode",
+                bytecode_check::check_fusion_invariance(0, &folded, &fused, true),
+            ));
+        }
+        {
+            let (folded, mut fused) = folded_and_fused();
+            fused.num_temps += 1;
+            cases.push((
+                "fusion-metadata-drift",
+                "bytecode",
+                bytecode_check::check_fusion_invariance(0, &folded, &fused, true),
+            ));
+        }
+
+        // --- thread-safety mutants ------------------------------------
+        for (name, deltas) in [
+            ("written-load-outer-dim", vec![1i32, 0]),
+            ("written-load-inner-dim", vec![0, 1]),
+        ] {
+            let (ctx, mut cc) = fused();
+            let ws = cc.written.iter().position(|&w| w).unwrap() as u32;
+            let off = {
+                let (s, off) = first_load(&mut cc);
+                *s = ws;
+                *off
+            };
+            cc.offsets[off as usize] = (ws, deltas);
+            cases.push((
+                name,
+                "thread-safety",
+                thread_safety::check_written_offsets(&ctx, 0, &cc),
+            ));
+        }
+        {
+            let r = 0..16;
+            let mut slabs = thread_safety::compute_slabs(&r, 4, 2, 20);
+            slabs[1].0 = slabs[1].0.start - 1..slabs[1].0.end; // overlap
+            slabs[1].1 = (slabs[1].0.start + 2) * 20..(slabs[1].0.end + 2) * 20;
+            cases.push((
+                "slab-overlap",
+                "thread-safety",
+                thread_safety::check_slabs(&slabs, &r, 2, 20, "mutant"),
+            ));
+        }
+        {
+            let r = 0..16;
+            let mut slabs = thread_safety::compute_slabs(&r, 4, 2, 20);
+            slabs[2].0 = slabs[2].0.end..slabs[2].0.end; // gap
+            slabs[2].1 = (slabs[2].0.start + 2) * 20..(slabs[2].0.end + 2) * 20;
+            cases.push((
+                "slab-gap",
+                "thread-safety",
+                thread_safety::check_slabs(&slabs, &r, 2, 20, "mutant"),
+            ));
+        }
+        {
+            let r = 0..16;
+            let mut slabs = thread_safety::compute_slabs(&r, 4, 2, 20);
+            slabs[0].1 = slabs[0].1.start..slabs[0].1.end + 20; // stray linear slab
+            cases.push((
+                "slab-linear-mismatch",
+                "thread-safety",
+                thread_safety::check_slabs(&slabs, &r, 2, 20, "mutant"),
+            ));
+        }
+
+        // --- comm-schedule mutants (corrupt collected real schedules) -
+        let sctx = ScheduleCtx {
+            global: vec![16, 16],
+            dims: vec![2, 2],
+            halo: 2,
+            radius: 2,
+        };
+        let diag = collect_schedules(&sctx.global, &sctx.dims, 2, HaloMode::Diagonal, 2);
+        let basic = collect_schedules(&sctx.global, &sctx.dims, 2, HaloMode::Basic, 2);
+        assert!(match_schedule(&diag, &sctx, "clean").is_empty());
+        assert!(match_schedule(&basic, &sctx, "clean").is_empty());
+        let comm = |name: &'static str, base: &[RankPlan], mutate: &dyn Fn(&mut Vec<RankPlan>)| {
+            let mut plans = base.to_vec();
+            mutate(&mut plans);
+            (name, "comm-schedule", match_schedule(&plans, &sctx, name))
+        };
+        cases.push(comm("drop-message", &diag, &|p| {
+            p[0].steps[0].pop();
+        }));
+        cases.push(comm("corrupt-recv-tag", &diag, &|p| {
+            p[1].steps[0][0].recv_tag += 1000;
+        }));
+        cases.push(comm("corrupt-send-tag", &diag, &|p| {
+            p[2].steps[0][0].send_tag += 1000;
+        }));
+        cases.push(comm("wrong-peer", &diag, &|p| {
+            let r = &mut p[0].steps[0][0];
+            r.peer = (r.peer + 1) % 4;
+        }));
+        cases.push(comm("shrink-recv-box", &diag, &|p| {
+            let b = &mut p[0].steps[0][0].recv_box[1];
+            *b = b.start..b.end - 1;
+        }));
+        cases.push(comm("shrink-send-box", &diag, &|p| {
+            let b = &mut p[3].steps[0][0].send_box[0];
+            *b = b.start..b.end - 1;
+        }));
+        cases.push(comm("recv-into-owned", &diag, &|p| {
+            p[0].steps[0][0].recv_box = vec![4..6, 4..6];
+        }));
+        cases.push(comm("duplicate-message", &diag, &|p| {
+            let row = p[0].steps[0][0].clone();
+            p[0].steps[0].push(row);
+        }));
+        cases.push(comm("drop-basic-step", &basic, &|p| {
+            p[0].steps.pop();
+        }));
+        cases.push(comm("basic-corner-skew", &basic, &|p| {
+            // Narrow the second-step send so the corner columns it is
+            // supposed to forward (received in step one) are dropped.
+            let b = &mut p[0].steps[1][0].send_box[0];
+            *b = b.start + 2..b.end;
+        }));
+        {
+            // Two buffers of one field, 8 time offsets apart: the tag
+            // formula folds them onto the same window.
+            let mut ctx = Context::new();
+            let g = Grid::new(&[16, 16], &[1.0, 1.0]);
+            let u = ctx.add_time_function("u", &g, 4, 2);
+            let keys = vec![(u.id(), 0i32, 2usize), (u.id(), 8, 2)];
+            cases.push((
+                "tag-window-collision",
+                "comm-schedule",
+                check_tag_windows(&ctx, &keys, 2),
+            ));
+        }
+
+        // --- the oracle: every mutant caught, by the right pass -------
+        assert!(cases.len() >= 30, "corpus has {} mutants", cases.len());
+        for (name, pass, diags) in &cases {
+            assert!(
+                !diags.is_empty(),
+                "mutant {name:?} escaped every verification pass"
+            );
+            assert!(
+                diags.iter().any(|d| d.pass == *pass),
+                "mutant {name:?} was not caught by the {pass} pass: {diags:?}"
+            );
+        }
+        // Spot-check severities: correctness mutants are Errors, waste
+        // mutants are Warnings.
+        let sev = |n: &str| {
+            cases
+                .iter()
+                .find(|(name, _, _)| *name == n)
+                .unwrap()
+                .2
+                .iter()
+                .map(|d| d.severity)
+                .max()
+                .unwrap()
+        };
+        assert_eq!(sev("delete-cluster-exchanges"), Severity::Error);
+        assert_eq!(sev("drop-message"), Severity::Error);
+        assert_eq!(sev("widen-radius"), Severity::Warning);
+        assert_eq!(sev("written-load-inner-dim"), Severity::Warning);
+    }
+
+    #[test]
+    fn unmutated_artifacts_verify_clean() {
+        let (ctx, cl, plan) = artifacts();
+        assert!(check_halo_coverage(&ctx, &cl, &plan).is_empty());
+        let cc = fuse_cluster(compile_cluster(&cl[0]));
+        assert!(bytecode_check::check_compiled(&ctx, 0, &cc, 8).is_empty());
+        assert!(bytecode_check::check_bounds(&ctx, 0, &cc, &[12, 12], 2, &[8, 16, 32]).is_empty());
+        assert!(thread_safety::check_written_offsets(&ctx, 0, &cc).is_empty());
+    }
+
+    #[test]
+    fn shipped_operators_verify_clean() {
+        // The analyzer must not cry wolf: every shipped solver at two
+        // representative space orders is clean under the default sweep.
+        for kind in KernelKind::all() {
+            for so in [4u32, 8] {
+                let shape: &[usize] = match kind {
+                    KernelKind::Acoustic => &[24, 24],
+                    _ => &[12, 12, 12],
+                };
+                let prop = Propagator::build(kind, ModelSpec::new(shape).with_nbl(2), so);
+                let report = prop.op.verify(&AnalysisConfig::default());
+                assert!(
+                    report.is_clean(),
+                    "{} so={so} is not clean:\n{report}",
+                    kind.name()
+                );
+            }
+        }
+    }
+}
