@@ -5,6 +5,7 @@
 //! cargo run -p mpix-bench --bin mpix-verify                 # full matrix
 //! cargo run -p mpix-bench --bin mpix-verify -- --json       # JSON report
 //! cargo run -p mpix-bench --bin mpix-verify -- acoustic 8   # one kernel/SDO
+//! cargo run -p mpix-bench --bin mpix-verify -- --san        # runtime sweep
 //! ```
 //!
 //! Sweeps every shipped solver × space discretization order {4, 8, 12,
@@ -13,16 +14,116 @@
 //! proofs. Exits nonzero if any pass reports a diagnostic of severity
 //! Error or worse — the CI gate that generated artifacts stay provably
 //! sound.
+//!
+//! `--san` switches from the static passes to the `mpix-san` dynamic
+//! sweep: *execute* each configuration for a few time steps under the
+//! happens-before sanitizer and require zero findings — the
+//! false-positive gate for shipped solvers. Tiny domains keep the full
+//! matrix under a few minutes.
 
 use mpix_analysis::AnalysisConfig;
+use mpix_core::Workspace;
 use mpix_dmp::HaloMode;
 use mpix_json::Value;
 use mpix_solvers::{KernelKind, ModelSpec, Propagator};
 use mpix_trace::Severity;
 
+/// Solver shape for one kernel: large enough that every swept topology
+/// keeps a stencil radius's worth of points per rank per dimension.
+fn sweep_shape(kind: KernelKind) -> &'static [usize] {
+    match kind {
+        KernelKind::Acoustic => &[40, 40],
+        _ => &[16, 16, 16],
+    }
+}
+
+/// The `--san` sweep: run every kernel × SDO × mode × rank count for
+/// real under the sanitizer and count findings. Any `mpix-san/*`
+/// diagnostic on a shipped configuration is a false positive (the
+/// mutant corpus in `tests/sanitizer.rs` proves the detectors *can*
+/// fire), so the exit status is nonzero iff any report appears.
+fn san_sweep(kernels: &[KernelKind], orders: &[u32], json: bool) {
+    let nt = 4i64;
+    let mut entries: Vec<Value> = Vec::new();
+    let mut total_reports = 0usize;
+    let mut configs = 0usize;
+    for &kind in kernels {
+        for &so in orders {
+            let spec = ModelSpec::new(sweep_shape(kind)).with_nbl(4);
+            let prop = Propagator::build(kind, spec, so);
+            for mode in [HaloMode::Basic, HaloMode::Diagonal, HaloMode::Full] {
+                for ranks in [1usize, 2, 4] {
+                    let pref = &prop;
+                    let init = move |ws: &mut Workspace| {
+                        pref.init(ws);
+                        pref.add_ricker_source(ws, 18.0, nt as usize);
+                    };
+                    let opts = prop
+                        .apply_options(nt)
+                        .with_mode(mode)
+                        .with_ranks(ranks)
+                        .with_threads(2)
+                        .with_verify(false)
+                        .with_sanitize(true);
+                    let summary = prop.op.run(&opts, init, |_| ()).summary;
+                    let findings: Vec<&mpix_trace::Diagnostic> = summary
+                        .diagnostics
+                        .iter()
+                        .filter(|d| d.pass.starts_with("mpix-san/"))
+                        .collect();
+                    configs += 1;
+                    total_reports += findings.len();
+                    if json {
+                        entries.push(Value::Obj(vec![
+                            ("kernel".to_string(), Value::Str(kind.name().to_string())),
+                            ("so".to_string(), Value::Num(so as f64)),
+                            (
+                                "mode".to_string(),
+                                Value::Str(format!("{mode:?}").to_lowercase()),
+                            ),
+                            ("ranks".to_string(), Value::Num(ranks as f64)),
+                            ("reports".to_string(), Value::Num(findings.len() as f64)),
+                        ]));
+                    } else {
+                        let status = if findings.is_empty() {
+                            "clean".to_string()
+                        } else {
+                            format!("{} report(s)", findings.len())
+                        };
+                        println!(
+                            "{:<14} so={:<3} mode={:<6} ranks={} {status}",
+                            kind.name(),
+                            so,
+                            format!("{mode:?}").to_lowercase(),
+                            ranks
+                        );
+                        for d in &findings {
+                            println!("    {d}");
+                        }
+                    }
+                }
+            }
+        }
+    }
+    if json {
+        let out = Value::Obj(vec![
+            ("results".to_string(), Value::Arr(entries)),
+            ("configs".to_string(), Value::Num(configs as f64)),
+            ("reports".to_string(), Value::Num(total_reports as f64)),
+        ]);
+        println!("{}", out.pretty());
+    } else {
+        println!("\nmpix-verify --san: {configs} configuration(s), {total_reports} finding(s)");
+    }
+    if total_reports > 0 {
+        std::process::exit(1);
+    }
+}
+
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let json = args.iter().any(|a| a == "--json");
+    let san = args.iter().any(|a| a == "--san");
     let pos: Vec<&String> = args.iter().filter(|a| !a.starts_with("--")).collect();
     let kernels: Vec<KernelKind> = match pos.first() {
         Some(name) => vec![*KernelKind::all()
@@ -35,6 +136,11 @@ fn main() {
         Some(so) => vec![so.parse().expect("space order")],
         None => vec![4, 8, 12, 16],
     };
+
+    if san {
+        san_sweep(&kernels, &orders, json);
+        return;
+    }
 
     let cfg = AnalysisConfig {
         modes: vec![HaloMode::Basic, HaloMode::Diagonal, HaloMode::Full],
@@ -55,11 +161,7 @@ fn main() {
             // (so=16 -> radius 8; 4 ranks on 24³ leave 12 a side). The
             // acoustic kernel is dimension-agnostic, so it covers the
             // 2-D path; the other three are 3-D by construction.
-            let shape: &[usize] = match kind {
-                KernelKind::Acoustic => &[40, 40],
-                _ => &[16, 16, 16],
-            };
-            let spec = ModelSpec::new(shape).with_nbl(4);
+            let spec = ModelSpec::new(sweep_shape(kind)).with_nbl(4);
             let prop = Propagator::build(kind, spec, so);
             let report = prop.op.verify(&cfg);
             worst = worst.max(report.max_severity());

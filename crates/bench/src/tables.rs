@@ -669,6 +669,58 @@ pub fn bench_halo_json(quick: bool) -> String {
             }));
         }
     }
+    // Sanitizer-overhead smoke. `mpix-san` is always compiled in, so the
+    // claim to defend is that the *disabled* path costs nothing: every
+    // hook site reduces to one `Option` branch. Measure the plan-arm
+    // exchange loop with the sanitizer disabled, then enabled, then
+    // disabled again (min over reps, slowest rank); the second disabled
+    // arm must stay within 2% (plus a 1µs noise floor) of the first —
+    // arming the sanitizer may leave no residual cost, and any
+    // unconditional work added to the hot hook sites shows up here. The
+    // enabled figure rides along as a trend record, not a gate.
+    let san_radius = 2usize;
+    let (san_reps, san_iters) = if quick { (3u32, 50u32) } else { (5, 200) };
+    let measure = |san: Option<Arc<mpix_san::San>>| -> f64 {
+        let dims_c = dims.clone();
+        let out = Universe::run_with_san(nranks, san, move |comm| {
+            let cart = CartComm::new(comm, &dims_c);
+            let dc = Arc::new(Decomposition::new(&[edge, edge, edge], &dims_c));
+            let coords = cart.coords().to_vec();
+            let mut arr = DistArray::new(dc, &coords, san_radius);
+            arr.fill_global_slice(&[0..edge, 0..edge, 0..edge], 1.0);
+            let mut ex = make_exchange(HaloMode::Basic);
+            for _ in 0..3 {
+                ex.exchange(&cart, &mut arr, san_radius, 0);
+            }
+            let mut best = f64::INFINITY;
+            for _ in 0..san_reps {
+                cart.comm().barrier();
+                let t0 = Instant::now();
+                for _ in 0..san_iters {
+                    ex.exchange(&cart, &mut arr, san_radius, 0);
+                }
+                cart.comm().barrier();
+                best = best.min(t0.elapsed().as_secs_f64());
+            }
+            best
+        });
+        out.into_iter().fold(0.0, f64::max) / san_iters as f64 * 1e6
+    };
+    let disabled_before_us = measure(None);
+    let enabled_us = measure(Some(Arc::new(mpix_san::San::new(nranks))));
+    let disabled_after_us = measure(None);
+    let overhead_pct = (disabled_after_us / disabled_before_us - 1.0) * 100.0;
+    println!(
+        "\n## mpix-san overhead (basic, radius {san_radius}): disabled {disabled_before_us:.2} \
+         µs/ex, enabled {enabled_us:.2} µs/ex, disabled-again {disabled_after_us:.2} µs/ex \
+         ({overhead_pct:+.2}%)"
+    );
+    assert!(
+        disabled_after_us <= disabled_before_us * 1.02 + 1.0,
+        "sanitizer-disabled exchange cost regressed beyond 2%: \
+         {disabled_before_us:.2}µs -> {disabled_after_us:.2}µs"
+    );
+
     json!({
         "grid": vec![edge, edge, edge],
         "rank_dims": dims,
@@ -676,6 +728,12 @@ pub fn bench_halo_json(quick: bool) -> String {
         "iters": iters,
         "quick": quick,
         "exchanges": rows,
+        "sanitizer": json!({
+            "disabled_us_per_exchange": disabled_before_us,
+            "enabled_us_per_exchange": enabled_us,
+            "disabled_after_us_per_exchange": disabled_after_us,
+            "disabled_overhead_pct": overhead_pct,
+        }),
     })
     .pretty()
 }

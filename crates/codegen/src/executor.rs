@@ -16,6 +16,7 @@ use mpix_dmp::{DistArray, FullExchange, HaloExchange, HaloMode, SparsePoints};
 use mpix_ir::iet::{Node, RegionKind};
 use mpix_ir::iexpr::IExpr;
 use mpix_ir::passes::MpiMode;
+use mpix_san::San;
 use mpix_symbolic::{Context, FieldId};
 use mpix_trace::{Section, TraceLevel, TraceReport, Tracer};
 
@@ -118,6 +119,10 @@ pub struct ExecOptions {
     /// Instrumentation level; at [`TraceLevel::Off`] (the default) the
     /// hooks cost one branch per span.
     pub trace: TraceLevel,
+    /// Injected runtime bug for the sanitizer's mutant corpus
+    /// (`tests/sanitizer.rs`). Shipped paths never set this.
+    #[doc(hidden)]
+    pub fault: Option<Fault>,
 }
 
 impl Default for ExecOptions {
@@ -128,8 +133,33 @@ impl Default for ExecOptions {
             threads: 1,
             vector_width: 0,
             trace: TraceLevel::Off,
+            fault: None,
         }
     }
+}
+
+/// Fault injection for the sanitizer's runtime-mutant corpus: each
+/// variant plants one concrete bug class into an otherwise-correct
+/// execution, so `mpix-san` can be tested against real executor runs
+/// rather than synthetic event streams. Hidden because it exists only
+/// for the test suite; nothing in the shipped pipeline sets it.
+#[doc(hidden)]
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Fault {
+    /// Skip every halo exchange after the first timestep — the runtime
+    /// face of a wrongly dropped/hoisted exchange decision.
+    DropExchange,
+    /// Skip the `HaloWait` drain after the first timestep (full mode):
+    /// remainder regions then read halo boxes whose receives never
+    /// completed.
+    SkipHaloWait,
+    /// Declare overlapping per-worker write slabs to the sanitizer (the
+    /// partition a buggy chunking computation would produce — safe Rust
+    /// makes the *actual* overlapping writes impossible here, so the
+    /// declaration is what carries the bug).
+    OverlapSlabs,
+    /// Declare per-worker write slabs with a coverage gap.
+    GapSlabs,
 }
 
 /// Map the compiler's mode enum onto the runtime's.
@@ -326,6 +356,12 @@ impl OperatorExec {
                 exchanges,
                 is_async,
             } => {
+                // Injected mutant (tests only): drop every exchange after
+                // the first step — the runtime face of a bad drop/hoist
+                // decision, which `mpix-san`'s stale-halo detector owns.
+                if st.opts.fault == Some(Fault::DropExchange) && st.t > t0 {
+                    return;
+                }
                 let start = Instant::now();
                 if *is_async {
                     for x in exchanges {
@@ -339,6 +375,12 @@ impl OperatorExec {
                 st.stats.halo_secs += start.elapsed().as_secs_f64();
             }
             Node::HaloWait { exchanges } => {
+                // Injected mutant (tests only): skip the drain, so
+                // remainder regions read halo boxes whose receives never
+                // completed.
+                if st.opts.fault == Some(Fault::SkipHaloWait) && st.t > t0 {
+                    return;
+                }
                 let start = Instant::now();
                 for x in exchanges {
                     st.finish_async(x);
@@ -516,6 +558,31 @@ impl OperatorExec {
                 );
             }
         }
+        // Shadow-state hooks: written streams dirty their owned region;
+        // read streams with a nonzero stencil radius touch halo points in
+        // every region except the core (which is halo-free by
+        // construction), so those reads must observe a fresh exchange.
+        if let Some(san) = st.cart.comm().san() {
+            let rank = st.cart.rank();
+            for (slot, key) in keys.iter().enumerate() {
+                let arr_id = st.fields[key.0].buffers[key.1].shadow_id();
+                if cc.written[slot] {
+                    san.owned_write(rank, arr_id);
+                } else {
+                    let slot_radius = cc
+                        .offsets
+                        .iter()
+                        .filter(|(s, _)| *s as usize == slot)
+                        .flat_map(|(_, deltas)| deltas.iter().map(|d| d.unsigned_abs() as usize))
+                        .max()
+                        .unwrap_or(0);
+                    if slot_radius > 0 && region != RegionKind::Core {
+                        san.halo_read(rank, arr_id, st.t);
+                    }
+                }
+            }
+        }
+
         // Resolve offsets to linear deltas.
         let resolved: Vec<isize> = cc
             .offsets
@@ -581,6 +648,9 @@ impl OperatorExec {
                     st.opts.block,
                     nthreads,
                     vw,
+                    st.cart.comm().san().map(|a| a.as_ref()),
+                    st.cart.rank(),
+                    st.opts.fault,
                 );
             }
         }
@@ -766,6 +836,9 @@ fn exec_box_threaded(
     block: usize,
     nthreads: usize,
     vw: usize,
+    san: Option<&San>,
+    rank: usize,
+    fault: Option<Fault>,
 ) {
     let nd = bx.len();
     let r0 = bx[0].clone();
@@ -842,6 +915,32 @@ fn exec_box_threaded(
                 }
             }
         }
+    }
+
+    // Declare the dim-0 slab partition to the sanitizer before spawning:
+    // overlapping or gapped declarations are exactly the write-conflict /
+    // missed-coverage bugs the slab detector owns. The injected fault
+    // mutates only the *declared* ranges, never the real split, so the
+    // numerics stay correct while the detector must still fire.
+    if let Some(san) = san {
+        let mut declared: Vec<(usize, usize)> = workers
+            .iter()
+            .map(|wk| (wk.range0.start, wk.range0.end))
+            .collect();
+        match fault {
+            Some(Fault::OverlapSlabs) => {
+                for i in 0..declared.len().saturating_sub(1) {
+                    declared[i].1 += 1;
+                }
+            }
+            Some(Fault::GapSlabs) => {
+                for d in declared.iter_mut().skip(1) {
+                    d.0 += 1;
+                }
+            }
+            _ => {}
+        }
+        san.slab_partition(rank, (r0.start, r0.end), &declared);
     }
 
     std::thread::scope(|scope| {

@@ -34,6 +34,7 @@ use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::{Arc, Condvar, Mutex};
 use std::time::{Duration, Instant};
 
+use mpix_san::{San, SendKind};
 use mpix_trace::{MsgDir, MsgRecord};
 
 use crate::stats::{CommStats, StatsInner};
@@ -339,10 +340,14 @@ pub(crate) struct World {
     /// envelopes with `sent_at` only while set.
     log_any: AtomicBool,
     panic_payload: Mutex<Option<Box<dyn Any + Send>>>,
+    /// Happens-before sanitizer, when enabled for this world
+    /// (`MPIX_SAN` / `ApplyOptions::sanitize`). `None` — the default —
+    /// costs exactly one branch per hooked operation.
+    pub(crate) san: Option<Arc<San>>,
 }
 
 impl World {
-    pub(crate) fn new(n: usize) -> World {
+    pub(crate) fn new(n: usize, san: Option<Arc<San>>) -> World {
         World {
             mailboxes: (0..n).map(|_| Mailbox::new()).collect(),
             barrier: PoisonBarrier::new(n),
@@ -351,6 +356,7 @@ impl World {
             poisoned: AtomicBool::new(false),
             log_any: AtomicBool::new(false),
             panic_payload: Mutex::new(None),
+            san,
         }
     }
 
@@ -367,6 +373,12 @@ impl World {
             if slot.is_none() {
                 *slot = Some(payload);
             }
+        }
+        // Tell the sanitizer the run is unwinding: peers legitimately
+        // abandon in-flight traffic now, so the finalize-time leak check
+        // must not fire, but reports already collected stay flushable.
+        if let Some(san) = &self.san {
+            san.set_poisoned();
         }
         self.poisoned.store(true, Ordering::SeqCst);
         for mb in &self.mailboxes {
@@ -475,7 +487,27 @@ fn wait_arrival_beyond(world: &World, rank: usize, seq: u64) {
 
 /// Book a completed receive into `rank`'s stats. `copied` is the number
 /// of payload bytes physically copied on completion (0 for moves).
-fn record_recv(world: &World, rank: usize, src: usize, tag: Tag, env: &Envelope, copied: usize) {
+/// `persistent` says which matching discipline completed the message
+/// (persistent-plan slot vs ad-hoc request) — every successful match in
+/// the crate funnels through here, which makes this the sanitizer's one
+/// receive hook.
+fn record_recv(
+    world: &World,
+    rank: usize,
+    src: usize,
+    tag: Tag,
+    env: &Envelope,
+    copied: usize,
+    persistent: bool,
+) {
+    if let Some(san) = &world.san {
+        let kind = if persistent {
+            SendKind::Persistent
+        } else {
+            SendKind::Adhoc
+        };
+        san.on_recv(rank, src, tag, kind);
+    }
     let bytes = env.payload.len_bytes();
     let mut s = world.stats[rank].lock().unwrap();
     s.msgs_received += 1;
@@ -558,7 +590,7 @@ impl RecvRequest {
             return true;
         }
         if let Some(env) = try_envelope(&self.world, self.rank, self.src, self.tag) {
-            record_recv(&self.world, self.rank, self.src, self.tag, &env, 0);
+            record_recv(&self.world, self.rank, self.src, self.tag, &env, 0, false);
             self.done = Some(env.payload);
             true
         } else {
@@ -623,7 +655,7 @@ impl RecvRequest {
     fn fill(&mut self, timeout: Duration) {
         if self.done.is_none() {
             let env = wait_envelope(&self.world, self.rank, self.src, self.tag, timeout);
-            record_recv(&self.world, self.rank, self.src, self.tag, &env, 0);
+            record_recv(&self.world, self.rank, self.src, self.tag, &env, 0, false);
             self.done = Some(env.payload);
         }
     }
@@ -676,7 +708,15 @@ impl PersistentRecv {
     pub fn wait_into(&self, out: &mut Vec<f32>) {
         let env = self.wait_slot();
         let copied = env.payload.len_bytes();
-        record_recv(&self.world, self.rank, self.src, self.tag, &env, copied);
+        record_recv(
+            &self.world,
+            self.rank,
+            self.src,
+            self.tag,
+            &env,
+            copied,
+            true,
+        );
         complete_into(&self.world, env.payload, out);
     }
 
@@ -686,7 +726,15 @@ impl PersistentRecv {
         match self.try_slot() {
             Some(env) => {
                 let copied = env.payload.len_bytes();
-                record_recv(&self.world, self.rank, self.src, self.tag, &env, copied);
+                record_recv(
+                    &self.world,
+                    self.rank,
+                    self.src,
+                    self.tag,
+                    &env,
+                    copied,
+                    true,
+                );
                 complete_into(&self.world, env.payload, out);
                 true
             }
@@ -701,7 +749,15 @@ impl PersistentRecv {
     pub fn wait_with<R>(&self, f: impl FnOnce(&[f32]) -> R) -> R {
         let env = self.wait_slot();
         let copied = env.payload.len_bytes();
-        record_recv(&self.world, self.rank, self.src, self.tag, &env, copied);
+        record_recv(
+            &self.world,
+            self.rank,
+            self.src,
+            self.tag,
+            &env,
+            copied,
+            true,
+        );
         complete_with(&self.world, self.rank, env.payload, f)
     }
 
@@ -710,7 +766,15 @@ impl PersistentRecv {
     pub fn try_with<R>(&self, f: impl FnOnce(&[f32]) -> R) -> Option<R> {
         let env = self.try_slot()?;
         let copied = env.payload.len_bytes();
-        record_recv(&self.world, self.rank, self.src, self.tag, &env, copied);
+        record_recv(
+            &self.world,
+            self.rank,
+            self.src,
+            self.tag,
+            &env,
+            copied,
+            true,
+        );
         Some(complete_with(&self.world, self.rank, env.payload, f))
     }
 
@@ -902,11 +966,33 @@ fn send_pooled_with(
             });
         }
     }
+    // Sanitizer send event, strictly before the mailbox push: once the
+    // envelope is visible the receiver may match it, and the sanitizer's
+    // per-channel FIFO must already hold this send. `slot` is `Some` iff
+    // this is a persistent-plan start — exactly the reuse/matching
+    // discipline the detectors distinguish.
+    if let Some(san) = &world.san {
+        let kind = if slot.is_some() {
+            SendKind::Persistent
+        } else {
+            SendKind::Adhoc
+        };
+        san.on_send(rank, dest, tag, kind);
+    }
     let mailbox = &world.mailboxes[dest];
     let wake = {
         let mut inner = mailbox.inner.lock().unwrap();
         let env = Envelope {
             payload: Payload::F32(buf),
+            // Relaxed is sufficient (audited): `log_any` is a sticky
+            // monotonic false->true flag guarding only whether we pay for
+            // an `Instant::now` stamp. The stamp itself travels inside
+            // the envelope under the mailbox mutex, which releases/
+            // acquires it properly; a racing sender that still reads
+            // `false` merely emits one unstamped record (latency 0.0),
+            // never a torn or unsynchronized value. No happens-before
+            // edge is built on this load — the sanitizer's clocks ride
+            // on the mailbox mutex, not on this flag.
             sent_at: world.log_any.load(Ordering::Relaxed).then(Instant::now),
         };
         match slot {
@@ -934,6 +1020,14 @@ impl Comm {
     /// Number of ranks in the world.
     pub fn size(&self) -> usize {
         self.size
+    }
+
+    /// The happens-before sanitizer attached to this world, if enabled.
+    /// Higher layers (halo plans, the executor) use this to report
+    /// array-level events; `None` — the default — makes every hook a
+    /// single predictable branch.
+    pub fn san(&self) -> Option<&Arc<San>> {
+        self.world.san.as_ref()
     }
 
     // ---------------------------------------------------------------- P2P
@@ -972,6 +1066,11 @@ impl Comm {
                 });
             }
         }
+        // Sanitizer send event before the push, as in `send_pooled_with`.
+        // The byte path is always ad-hoc (collectives and user traffic).
+        if let Some(san) = &self.world.san {
+            san.on_send(self.rank, dest, tag, SendKind::Adhoc);
+        }
         let mailbox = &self.world.mailboxes[dest];
         let wake = {
             let mut inner = mailbox.inner.lock().unwrap();
@@ -980,6 +1079,11 @@ impl Comm {
                 tag,
                 Envelope {
                     payload: Payload::Bytes(data.to_vec()),
+                    // Relaxed is sufficient (audited): same contract as
+                    // the typed path in `send_pooled_with` — a sticky
+                    // best-effort flag deciding whether to stamp
+                    // `sent_at`; the stamp synchronizes via the mailbox
+                    // mutex, so no ordering edge is needed here.
                     sent_at: self
                         .world
                         .log_any
@@ -1089,7 +1193,17 @@ impl Comm {
     /// Synchronize all ranks. Poison-aware: unwinds promptly if a peer
     /// rank panics while we wait.
     pub fn barrier(&self) {
+        // Arrive strictly before blocking: every rank's clock is folded
+        // into the generation's accumulator before any rank can depart,
+        // so departure hands each rank the lub of all arrivals — the
+        // all-pairs happens-before edge a barrier promises.
+        if let Some(san) = &self.world.san {
+            san.barrier_arrive(self.rank);
+        }
         self.world.barrier.wait(&self.world.poisoned);
+        if let Some(san) = &self.world.san {
+            san.barrier_depart(self.rank);
+        }
     }
 
     /// All-reduce a single `f64` with the given associative op, over a
@@ -1247,6 +1361,14 @@ impl Comm {
             // Sticky: senders on other ranks must start stamping
             // envelopes; clearing would need a world-wide census and the
             // stamp is cheap relative to logging itself.
+            //
+            // Relaxed is sufficient (audited): this store needs no
+            // release edge because nothing is published *through* the
+            // flag — readers act on it alone (pay for a stamp or not),
+            // and `log_messages` itself is read under the stats mutex.
+            // The worst cost of the weak ordering is a brief window in
+            // which other ranks' sends go unstamped (latency 0.0 in the
+            // log), which the logging contract already allows.
             self.world.log_any.store(true, Ordering::Relaxed);
         }
     }

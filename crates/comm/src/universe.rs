@@ -3,6 +3,8 @@
 use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
 use std::sync::Arc;
 
+use mpix_san::San;
+
 use crate::comm::{Comm, World};
 
 /// Entry point for simulated multi-rank execution.
@@ -25,13 +27,43 @@ pub struct Universe;
 impl Universe {
     /// Run `f` on `n` ranks. The closure may borrow from the environment
     /// (scoped threads); shared captures must be `Sync`.
+    ///
+    /// Honors `MPIX_SAN=1`: the happens-before sanitizer is attached for
+    /// the duration of the run and any findings are printed to stderr
+    /// (never panicking — the sanitizer observes, the caller decides).
+    /// For programmatic access to the reports, build a
+    /// [`San`](mpix_san::San) yourself and use
+    /// [`run_with_san`](Self::run_with_san).
     pub fn run<R, F>(n: usize, f: F) -> Vec<R>
     where
         R: Send,
         F: Fn(Comm) -> R + Send + Sync,
     {
+        Self::run_with_san(n, San::from_env(n), f)
+    }
+
+    /// [`run`](Self::run) with an explicit sanitizer attachment (`None`
+    /// disables; one branch per hooked operation). On clean completion
+    /// the sanitizer's finalize-time checks run (leaked requests) and
+    /// pending reports are flushed to stderr; on a rank panic the
+    /// reports collected so far are flushed *before* the original panic
+    /// payload is re-raised, so diagnostics are not lost on exactly the
+    /// runs that fail.
+    pub fn run_with_san<R, F>(n: usize, san: Option<Arc<San>>, f: F) -> Vec<R>
+    where
+        R: Send,
+        F: Fn(Comm) -> R + Send + Sync,
+    {
         assert!(n >= 1, "need at least one rank");
-        let world = Arc::new(World::new(n));
+        if let Some(s) = &san {
+            assert_eq!(
+                s.nranks(),
+                n,
+                "sanitizer was built for {} rank(s), universe has {n}",
+                s.nranks()
+            );
+        }
+        let world = Arc::new(World::new(n, san.clone()));
         let f = &f;
         let results: Vec<Option<R>> = std::thread::scope(|scope| {
             let mut handles = Vec::with_capacity(n);
@@ -56,7 +88,18 @@ impl Universe {
                 .collect()
         });
         if let Some(payload) = world.take_panic_payload() {
+            // Poison path: flush what the sanitizer saw before
+            // re-raising — `World::poison` already marked it poisoned,
+            // which also disables the finalize-time leak check (peers
+            // legitimately abandon in-flight traffic while unwinding).
+            if let Some(s) = &san {
+                s.flush_to_stderr();
+            }
             resume_unwind(payload);
+        }
+        if let Some(s) = &san {
+            s.finalize();
+            s.flush_to_stderr();
         }
         results
             .into_iter()

@@ -2,7 +2,7 @@
 
 use std::collections::HashMap;
 
-use mpix_codegen::executor::{mpi_mode_of, ExecOptions, ExecStats, OperatorExec};
+use mpix_codegen::executor::{mpi_mode_of, ExecOptions, ExecStats, Fault, OperatorExec};
 use mpix_comm::{dims_create, CartComm, Universe};
 use mpix_dmp::HaloMode;
 use mpix_ir::cluster::{clusterize, Cluster};
@@ -51,6 +51,7 @@ impl From<LoweringError> for BuildError {
 /// | `MPIX_TRACE`   | `trace`   | `off`, `summary`, `full`               |
 /// | `MPIX_VW`      | `vector_width` | `0`/`1` (scalar), `8`, `16`, `32` |
 /// | `MPIX_VERIFY`  | `verify`  | `0`/`off`/`false`, `1`/`on`/`true`     |
+/// | `MPIX_SAN`     | `sanitize`| `0`/`off`/`false`, `1`/`on`/`true`     |
 #[derive(Clone, Debug)]
 pub struct ApplyOptions {
     pub mode: HaloMode,
@@ -83,6 +84,17 @@ pub struct ApplyOptions {
     /// numerics or deadlock; warnings ride along on the
     /// [`PerfSummary::diagnostics`]. Defaults to on in debug builds.
     pub verify: bool,
+    /// Run under the `mpix-san` happens-before sanitizer: vector clocks
+    /// on every message/barrier plus shadow state on halo regions, with
+    /// findings appended to [`PerfSummary::diagnostics`] and printed to
+    /// stderr. Off by default — when off the only cost anywhere in the
+    /// runtime is one `Option` branch per hook site.
+    pub sanitize: bool,
+    /// Test-only fault injection for the sanitizer's mutant corpus:
+    /// makes the executor misbehave in a specific way so the owning
+    /// detector can prove it fires. Never set this outside tests.
+    #[doc(hidden)]
+    pub fault: Option<Fault>,
 }
 
 impl Default for ApplyOptions {
@@ -101,6 +113,8 @@ impl Default for ApplyOptions {
             trace: TraceLevel::Off,
             label: "operator".to_string(),
             verify: cfg!(debug_assertions),
+            sanitize: false,
+            fault: None,
         }
     }
 }
@@ -158,6 +172,10 @@ impl ApplyOptions {
         self.verify = verify;
         self
     }
+    pub fn with_sanitize(mut self, sanitize: bool) -> Self {
+        self.sanitize = sanitize;
+        self
+    }
 
     /// Apply environment overrides on top of the builder values (env
     /// wins — see the table on [`ApplyOptions`]). Unset variables leave
@@ -200,6 +218,13 @@ impl ApplyOptions {
                 "1" | "on" | "true" => true,
                 "0" | "off" | "false" => false,
                 _ => panic!("MPIX_VERIFY={v:?}: expected 0|1|on|off|true|false"),
+            };
+        }
+        if let Ok(v) = std::env::var("MPIX_SAN") {
+            self.sanitize = match v.to_ascii_lowercase().as_str() {
+                "1" | "on" | "true" => true,
+                "0" | "off" | "false" => false,
+                _ => panic!("MPIX_SAN={v:?}: expected 0|1|on|off|true|false"),
             };
         }
         self
@@ -372,6 +397,7 @@ impl Operator {
                 threads: opts.threads,
                 vector_width: opts.vector_width,
                 trace: opts.trace,
+                fault: opts.fault,
             },
         )
     }
@@ -398,7 +424,7 @@ impl Operator {
         // Self-verification gate: prove the artifacts sound for this run
         // configuration before executing them. Errors abort — running a
         // provably broken plan deadlocks or silently corrupts numerics.
-        let diagnostics = if opts.verify {
+        let mut diagnostics = if opts.verify {
             let cfg = mpix_analysis::AnalysisConfig::for_run(
                 opts.mode,
                 nranks,
@@ -416,8 +442,17 @@ impl Operator {
             Vec::new()
         };
 
+        // Sanitizer: `with_sanitize(true)` forces it on; otherwise defer
+        // to `MPIX_SAN` so job scripts can arm it without a rebuild (the
+        // same path a bare `Universe::run` takes).
+        let san = if opts.sanitize {
+            Some(std::sync::Arc::new(mpix_san::San::new(nranks)))
+        } else {
+            mpix_san::San::from_env(nranks)
+        };
+
         let exec = self.executable_for(opts);
-        let per_rank = Universe::run(nranks, |comm| {
+        let per_rank = Universe::run_with_san(nranks, san.clone(), |comm| {
             let cart = CartComm::new(comm, &dims);
             let mut ws = Workspace::new(&self.ctx, &self.grid, cart);
             init(&mut ws);
@@ -426,6 +461,12 @@ impl Operator {
             ws.final_t = opts.t0 + opts.nt;
             (extract(&mut ws), stats)
         });
+
+        // Drain sanitizer findings into the summary (run_with_san already
+        // finalized the leak check and echoed them to stderr).
+        if let Some(s) = &san {
+            diagnostics.extend(s.take_reports());
+        }
 
         let mut results = Vec::with_capacity(per_rank.len());
         let mut rank_totals = Vec::with_capacity(per_rank.len());
@@ -512,6 +553,7 @@ mod tests {
         std::env::set_var("MPIX_TRACE", "summary");
         std::env::set_var("MPIX_VW", "16");
         std::env::set_var("MPIX_VERIFY", "on");
+        std::env::set_var("MPIX_SAN", "on");
         let o = ApplyOptions::from_env();
         assert_eq!(o.mode, HaloMode::Diagonal);
         assert_eq!(o.block, 16);
@@ -520,8 +562,12 @@ mod tests {
         assert_eq!(o.trace, TraceLevel::Summary);
         assert_eq!(o.vector_width, 16);
         assert!(o.verify);
+        assert!(o.sanitize);
         std::env::set_var("MPIX_VERIFY", "0");
-        assert!(!ApplyOptions::from_env().verify);
+        std::env::set_var("MPIX_SAN", "off");
+        let o = ApplyOptions::from_env();
+        assert!(!o.verify);
+        assert!(!o.sanitize);
 
         // Precedence: environment beats builder.
         let o = ApplyOptions::default()
@@ -540,6 +586,7 @@ mod tests {
         std::env::remove_var("MPIX_TRACE");
         std::env::remove_var("MPIX_VW");
         std::env::remove_var("MPIX_VERIFY");
+        std::env::remove_var("MPIX_SAN");
         let o = ApplyOptions::from_env();
         assert_eq!(o.mode, HaloMode::Basic);
         assert_eq!(o.block, 0);

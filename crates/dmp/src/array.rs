@@ -84,6 +84,14 @@ impl DistArray {
         &mut self.data
     }
 
+    /// Stable identity of this array for the sanitizer's shadow state:
+    /// the address of the backing storage. Survives the executor's
+    /// `mem::take` move-out/move-back dance (a `Vec` move keeps its heap
+    /// pointer), which is exactly why it is the identity and not `&self`.
+    pub fn shadow_id(&self) -> usize {
+        self.data.as_ptr() as usize
+    }
+
     /// Linear offset of a padded multi-index.
     #[inline]
     pub fn lin(&self, padded_idx: &[usize]) -> usize {

@@ -33,11 +33,20 @@
 //! [`HaloMode::preallocates_buffers`] is now honestly `true` for all
 //! modes.
 
+use std::sync::Arc;
+
 use mpix_comm::{CartComm, PersistentRecv, PersistentSend, Tag};
+use mpix_san::San;
 use mpix_trace::{Section, Tracer};
 
 use crate::array::DistArray;
 use crate::regions::{box_len, BoxNd};
+
+/// The sanitizer's coarse key for a halo box: `[(lo, hi); nd]`.
+/// (`mpix-san` cannot depend on this crate's `BoxNd` without a cycle.)
+fn san_box_key(b: &BoxNd) -> Vec<(usize, usize)> {
+    b.iter().map(|r| (r.start, r.end)).collect()
+}
 
 /// Which exchange pattern to use; parsed from strings like the
 /// `DEVITO_MPI` environment values in the paper's job scripts.
@@ -175,6 +184,11 @@ pub struct HaloPlan {
     spare_pending: Vec<usize>,
     /// Recycled pending-index scratch for the synchronous waitany drain.
     scratch: Vec<usize>,
+    /// Happens-before sanitizer of the owning world, captured at build
+    /// so exchange/unpack events carry the rank without re-threading the
+    /// communicator through every call.
+    san: Option<Arc<San>>,
+    rank: usize,
 }
 
 impl HaloPlan {
@@ -289,6 +303,20 @@ impl HaloPlan {
             steps,
             spare_pending: Vec::new(),
             scratch: Vec::new(),
+            san: cart.comm().san().cloned(),
+            rank: cart.rank(),
+        }
+    }
+
+    /// Open a new sanitizer epoch for `arr`: an exchange (with at least
+    /// one message) is beginning. Interior ranks of a larger topology
+    /// always have messages; a 1-rank world has none and stays
+    /// untracked — there is nothing an exchange could deliver.
+    fn san_begin(&self, arr: &DistArray) {
+        if let Some(s) = &self.san {
+            if self.num_messages() > 0 {
+                s.exchange_begin(self.rank, arr.shadow_id());
+            }
         }
     }
 
@@ -339,6 +367,9 @@ impl HaloPlan {
     /// *basic* (per dimension) and *diagonal* (single step).
     /// Allocation-free in steady state.
     fn run_step_sync(&mut self, step: usize, arr: &mut DistArray, tracer: &mut Tracer) {
+        let san = self.san.clone();
+        let rank = self.rank;
+        let arr_id = arr.shadow_id();
         for e in &mut self.steps[step] {
             let sp = tracer.begin(Section::HaloSend);
             e.send.start_with(box_len(&e.send_box), |buf| {
@@ -364,6 +395,9 @@ impl HaloPlan {
                         let spu = tracer.begin(Section::HaloUnpack);
                         debug_assert_eq!(data.len(), box_len(recv_box));
                         arr.unpack_box(recv_box, data);
+                        if let Some(s) = &san {
+                            s.unpack(rank, arr_id, &san_box_key(recv_box));
+                        }
                         tracer.end(spu);
                     })
                     .is_some();
@@ -451,6 +485,7 @@ impl HaloExchange for BasicExchange {
         tracer: &mut Tracer,
     ) {
         let plan = ensure_plan(&mut self.plan, HaloMode::Basic, cart, arr, radius, tag_base);
+        plan.san_begin(arr);
         for step in 0..plan.num_steps() {
             plan.run_step_sync(step, arr, tracer);
         }
@@ -492,6 +527,7 @@ impl HaloExchange for DiagonalExchange {
             radius,
             tag_base,
         );
+        plan.san_begin(arr);
         plan.run_step_sync(0, arr, tracer);
     }
 }
@@ -552,6 +588,7 @@ impl FullExchange {
         tracer: &mut Tracer,
     ) -> FullToken {
         let plan = ensure_plan(&mut self.plan, HaloMode::Full, cart, arr, radius, tag_base);
+        plan.san_begin(arr);
         for e in &mut plan.steps[0] {
             let sp = tracer.begin(Section::HaloSend);
             e.send.start_with(box_len(&e.send_box), |buf| {
@@ -574,13 +611,21 @@ impl FullExchange {
         let Some(plan) = self.plan.as_mut() else {
             return 0;
         };
+        let san = plan.san.clone();
+        let rank = plan.rank;
+        let arr_id = arr.shadow_id();
         let mut i = 0;
         while i < token.pending.len() {
             let e = &mut plan.steps[0][token.pending[i]];
             let recv_box = &e.recv_box;
             let done = e
                 .recv
-                .try_with(|data| arr.unpack_box(recv_box, data))
+                .try_with(|data| {
+                    arr.unpack_box(recv_box, data);
+                    if let Some(s) = &san {
+                        s.unpack(rank, arr_id, &san_box_key(recv_box));
+                    }
+                })
                 .is_some();
             if done {
                 token.pending.swap_remove(i);
@@ -611,6 +656,9 @@ impl FullExchange {
             .plan
             .as_mut()
             .expect("finish without begin: no plan built");
+        let san = plan.san.clone();
+        let rank = plan.rank;
+        let arr_id = arr.shadow_id();
         while !token.pending.is_empty() {
             let seq = plan.steps[0][token.pending[0]].recv.arrival_seq();
             let mut i = 0;
@@ -624,6 +672,9 @@ impl FullExchange {
                         let spu = tracer.begin(Section::HaloUnpack);
                         debug_assert_eq!(data.len(), box_len(recv_box));
                         arr.unpack_box(recv_box, data);
+                        if let Some(s) = &san {
+                            s.unpack(rank, arr_id, &san_box_key(recv_box));
+                        }
                         tracer.end(spu);
                     })
                     .is_some();

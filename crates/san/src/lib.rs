@@ -1,0 +1,694 @@
+//! `mpix-san` — a happens-before sanitizer for the simulated MPI
+//! substrate (`mpix-comm`) and the distributed arrays layered on it.
+//!
+//! The static passes in `mpix-analysis` prove properties of *planned*
+//! schedules; nothing there checks the *actual execution*. This crate is
+//! the dynamic half of that story, in the spirit of ThreadSanitizer and
+//! the MUST MPI checker: every send, receive, barrier and collective
+//! ticks a per-rank [`VectorClock`], every halo exchange and unpack
+//! updates coarse per-box shadow state, and five detectors turn
+//! violations into the same structured [`Diagnostic`]s the static passes
+//! emit — so one CI gate sees both.
+//!
+//! Detectors (pass names as reported):
+//!
+//! | pass                        | catches                                         |
+//! |-----------------------------|-------------------------------------------------|
+//! | `mpix-san/reuse-before-wait`| persistent-plan buffer restarted while ≥2 prior messages are still unmatched |
+//! | `mpix-san/stale-halo`       | executor read of a halo box with no happens-before edge from the latest exchange |
+//! | `mpix-san/msg-race`         | ambiguous (src, tag) matching: mixed plan/ad-hoc traffic on one channel |
+//! | `mpix-san/slab-conflict`    | threaded space loop declaring overlapping or gapped write slabs |
+//! | `mpix-san/leaked-request`   | messages still in flight when the universe finalizes |
+//!
+//! The sanitizer is entirely passive: it never panics and never alters
+//! execution. When disabled (the default) the substrate pays exactly one
+//! `Option<Arc<San>>` branch per hooked operation.
+//!
+//! Everything lives behind one mutex. That serializes ranks on the
+//! sanitizer — acceptable because the tool is opt-in (`MPIX_SAN=1` /
+//! `ApplyOptions::sanitize`) and correctness checking, not production.
+
+use std::collections::{HashMap, VecDeque};
+use std::sync::{Arc, Mutex};
+
+use mpix_trace::{Diagnostic, Severity};
+
+/// Pass name for detector 1: persistent send/recv buffer reuse before
+/// the matching wait completed.
+pub const PASS_REUSE: &str = "mpix-san/reuse-before-wait";
+/// Pass name for detector 2: stale-halo reads.
+pub const PASS_STALE_HALO: &str = "mpix-san/stale-halo";
+/// Pass name for detector 3: ambiguous (src, tag) message matching.
+pub const PASS_MSG_RACE: &str = "mpix-san/msg-race";
+/// Pass name for detector 4: cross-thread slab-boundary write conflicts.
+pub const PASS_SLAB: &str = "mpix-san/slab-conflict";
+/// Pass name for detector 5: never-completed requests at finalize.
+pub const PASS_LEAK: &str = "mpix-san/leaked-request";
+
+/// Hard cap on retained reports; further findings are counted, not
+/// stored, so a hot-loop bug cannot OOM the run it is diagnosing.
+pub const MAX_REPORTS: usize = 256;
+
+/// A classic vector clock over `n` ranks: `clock[r]` counts the events
+/// rank `r` has performed that this clock has (transitively) heard of.
+///
+/// `a.leq(b)` is the happens-before partial order: event A (with clock
+/// snapshot `a`) happens-before event B (snapshot `b`) iff `a ≤ b`
+/// pointwise. [`merge`](Self::merge) is the least upper bound, which is
+/// what receiving a message (or leaving a barrier) does.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct VectorClock(Vec<u64>);
+
+impl VectorClock {
+    pub fn new(nranks: usize) -> VectorClock {
+        VectorClock(vec![0; nranks])
+    }
+
+    /// Record one local event on `rank`.
+    pub fn tick(&mut self, rank: usize) {
+        self.0[rank] += 1;
+    }
+
+    /// Pointwise max — the least upper bound of two clocks.
+    pub fn merge(&mut self, other: &VectorClock) {
+        for (a, b) in self.0.iter_mut().zip(&other.0) {
+            *a = (*a).max(*b);
+        }
+    }
+
+    /// `self ≤ other` pointwise: everything this clock has seen, the
+    /// other has too (i.e. `self` happens-before-or-equals `other`).
+    pub fn leq(&self, other: &VectorClock) -> bool {
+        self.0.iter().zip(&other.0).all(|(a, b)| a <= b)
+    }
+
+    pub fn components(&self) -> &[u64] {
+        &self.0
+    }
+}
+
+/// How a message entered the substrate: via a persistent plan slot or an
+/// ad-hoc `send`/`isend`. The two matching disciplines must never share
+/// a `(src, dst, tag)` channel — see [`PASS_MSG_RACE`].
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum SendKind {
+    Adhoc,
+    Persistent,
+}
+
+impl SendKind {
+    fn label(self) -> &'static str {
+        match self {
+            SendKind::Adhoc => "ad-hoc",
+            SendKind::Persistent => "persistent-plan",
+        }
+    }
+}
+
+/// One message the sanitizer knows is in flight: its matching
+/// discipline and the sender's clock at the send event.
+struct InFlight {
+    kind: SendKind,
+    clock: VectorClock,
+}
+
+/// Accumulator for one barrier generation: the lub of every arriving
+/// rank's clock, handed back to each rank as it departs.
+struct BarrierSlot {
+    accum: VectorClock,
+    departed: usize,
+}
+
+/// Coarse shadow state for one `DistArray` on one rank. Rather than
+/// tracking every element, the sanitizer tracks *exchange epochs*: each
+/// halo-exchange start bumps `epoch`, each completed unpack stamps its
+/// halo box with the current epoch, and a read of a box stamped with an
+/// older epoch has provably no happens-before edge from the remote
+/// writes the exchange was supposed to deliver.
+#[derive(Default)]
+struct ArrayShadow {
+    /// Number of exchanges begun on this array (0 = never exchanged;
+    /// such arrays are not tracked at all).
+    epoch: u64,
+    /// Owned interior written since the last exchange began. Guards the
+    /// dropped-exchange check so legitimately hoisted exchanges of
+    /// constant fields are not flagged.
+    dirty: bool,
+    /// Per halo box (`[(lo, hi); nd]` key): the epoch whose unpack last
+    /// wrote it.
+    boxes: HashMap<Vec<(usize, usize)>, u64>,
+    /// `(epoch, step)` of the most recent halo read.
+    last_read: Option<(u64, i64)>,
+    /// Epoch for which a dropped-exchange report was already emitted
+    /// (one report per epoch, not one per timestep).
+    reported_epoch: Option<u64>,
+}
+
+#[derive(Default)]
+struct Inner {
+    /// Per-rank vector clocks.
+    clocks: Vec<VectorClock>,
+    /// In-flight messages per `(src, dst, tag)` channel, FIFO — the
+    /// mailbox matches in arrival order, and with a single sender thread
+    /// per source rank the sanitizer's queue order equals the mailbox's.
+    channels: HashMap<(usize, usize, u32), VecDeque<InFlight>>,
+    /// Next barrier generation each rank will join.
+    barrier_gen: Vec<u64>,
+    /// Open barrier generations (GC'd once every rank departed).
+    barriers: HashMap<u64, BarrierSlot>,
+    /// Shadow state per `(rank, array id)`.
+    arrays: HashMap<(usize, usize), ArrayShadow>,
+    reports: Vec<Diagnostic>,
+    /// Reports dropped past [`MAX_REPORTS`].
+    suppressed: usize,
+    /// Reports already printed by `flush_to_stderr`.
+    flushed: usize,
+    /// Set when the run is unwinding via the poison protocol; suppresses
+    /// the finalize-time leak check (peers legitimately abandon traffic).
+    poisoned: bool,
+}
+
+/// The sanitizer. One instance is shared by every rank of a
+/// [`Universe`](../mpix_comm/struct.Universe.html) run via
+/// `Option<Arc<San>>`; all state sits behind a single mutex.
+pub struct San {
+    nranks: usize,
+    inner: Mutex<Inner>,
+}
+
+impl San {
+    pub fn new(nranks: usize) -> San {
+        San {
+            nranks,
+            inner: Mutex::new(Inner {
+                clocks: vec![VectorClock::new(nranks); nranks],
+                barrier_gen: vec![0; nranks],
+                ..Inner::default()
+            }),
+        }
+    }
+
+    /// Build from the `MPIX_SAN` environment variable: `1`/`on`/`true`
+    /// enables, `0`/`off`/`false` or unset disables, anything else
+    /// panics (silently ignoring a typo'd job script is worse).
+    pub fn from_env(nranks: usize) -> Option<Arc<San>> {
+        match std::env::var("MPIX_SAN") {
+            Ok(v) => match v.to_ascii_lowercase().as_str() {
+                "1" | "on" | "true" => Some(Arc::new(San::new(nranks))),
+                "0" | "off" | "false" => None,
+                _ => panic!("MPIX_SAN={v:?}: expected 0|1|on|off|true|false"),
+            },
+            Err(_) => None,
+        }
+    }
+
+    pub fn nranks(&self) -> usize {
+        self.nranks
+    }
+
+    fn lock(&self) -> std::sync::MutexGuard<'_, Inner> {
+        // A poisoned mutex only means another rank panicked mid-report;
+        // the state is still a consistent snapshot worth reporting from.
+        self.inner.lock().unwrap_or_else(|e| e.into_inner())
+    }
+
+    fn push_report(g: &mut Inner, d: Diagnostic) {
+        if g.reports.len() < MAX_REPORTS {
+            g.reports.push(d);
+        } else {
+            g.suppressed += 1;
+        }
+    }
+
+    // ----- message events -------------------------------------------------
+
+    /// Record a send from `src` to `dest` with `tag`. MUST be called
+    /// before the envelope is pushed into the destination mailbox, so
+    /// the receiver cannot match (and call [`on_recv`](Self::on_recv))
+    /// first. Runs detectors 1 (reuse-before-wait) and 3 (msg-race,
+    /// sender side).
+    pub fn on_send(&self, src: usize, dest: usize, tag: u32, kind: SendKind) {
+        let mut g = self.lock();
+        g.clocks[src].tick(src);
+        let snapshot = g.clocks[src].clone();
+        let (backlog, mixed) = {
+            let q = g.channels.entry((src, dest, tag)).or_default();
+            (q.len(), q.iter().map(|m| m.kind).find(|&k| k != kind))
+        };
+        if kind == SendKind::Persistent && backlog >= 2 {
+            let d = Diagnostic::error(
+                PASS_REUSE,
+                format!("rank {src} -> rank {dest}, tag {tag}"),
+                format!(
+                    "persistent-plan send restarted with {backlog} earlier message(s) \
+                     from the same slot still unmatched: the plan buffer is being \
+                     reused before the receiver's wait_with/try_with completed \
+                     (one in-flight restart is legal pipelining; two cannot happen \
+                     in a correctly synchronized exchange loop)"
+                ),
+            );
+            Self::push_report(&mut g, d);
+        }
+        if let Some(other) = mixed {
+            let d = Diagnostic::error(
+                PASS_MSG_RACE,
+                format!("rank {src} -> rank {dest}, tag {tag}"),
+                format!(
+                    "{} send queued behind an in-flight {} message on the same \
+                     (src, tag) channel: FIFO matching makes the pairing of sends \
+                     to receives ambiguous — either message can satisfy either \
+                     completion",
+                    kind.label(),
+                    other.label()
+                ),
+            );
+            Self::push_report(&mut g, d);
+        }
+        g.channels
+            .entry((src, dest, tag))
+            .or_default()
+            .push_back(InFlight {
+                kind,
+                clock: snapshot,
+            });
+    }
+
+    /// Record a successful receive on `dst` of a message from `src` with
+    /// `tag`. Called at every match point (ad-hoc and persistent);
+    /// merges the sender's clock — the happens-before edge — and runs
+    /// detector 3 (msg-race, receiver side).
+    pub fn on_recv(&self, dst: usize, src: usize, tag: u32, expected: SendKind) {
+        let mut g = self.lock();
+        let matched = g
+            .channels
+            .get_mut(&(src, dst, tag))
+            .and_then(|q| q.pop_front());
+        if let Some(m) = matched {
+            if m.kind != expected {
+                let d = Diagnostic::error(
+                    PASS_MSG_RACE,
+                    format!("rank {src} -> rank {dst}, tag {tag}"),
+                    format!(
+                        "a {} receive matched a {} send: two matching disciplines \
+                         share one (src, tag) channel, so which send completes \
+                         which receive depends on arrival timing",
+                        expected.label(),
+                        m.kind.label()
+                    ),
+                );
+                Self::push_report(&mut g, d);
+            }
+            let mc = m.clock;
+            g.clocks[dst].merge(&mc);
+        }
+        // A miss means the message predates sanitizer attachment; still
+        // count the receive as a local event.
+        g.clocks[dst].tick(dst);
+    }
+
+    // ----- barrier events -------------------------------------------------
+
+    /// Record `rank` arriving at a barrier. Call before blocking on the
+    /// real barrier so every arrival is folded into the generation's
+    /// accumulator before any rank can depart.
+    pub fn barrier_arrive(&self, rank: usize) {
+        let nranks = self.nranks;
+        let mut g = self.lock();
+        g.clocks[rank].tick(rank);
+        let snapshot = g.clocks[rank].clone();
+        let gen = g.barrier_gen[rank];
+        let slot = g.barriers.entry(gen).or_insert_with(|| BarrierSlot {
+            accum: VectorClock::new(nranks),
+            departed: 0,
+        });
+        slot.accum.merge(&snapshot);
+    }
+
+    /// Record `rank` leaving the barrier: its clock becomes the lub of
+    /// every participant's arrival clock, establishing the all-pairs
+    /// happens-before edge a barrier promises.
+    pub fn barrier_depart(&self, rank: usize) {
+        let nranks = self.nranks;
+        let mut g = self.lock();
+        let gen = g.barrier_gen[rank];
+        g.barrier_gen[rank] += 1;
+        let (accum, done) = match g.barriers.get_mut(&gen) {
+            Some(slot) => {
+                slot.departed += 1;
+                (slot.accum.clone(), slot.departed == nranks)
+            }
+            // Unreachable in practice: depart without arrive.
+            None => (VectorClock::new(nranks), false),
+        };
+        g.clocks[rank].merge(&accum);
+        g.clocks[rank].tick(rank);
+        if done {
+            g.barriers.remove(&gen);
+        }
+    }
+
+    // ----- distributed-array shadow state ---------------------------------
+
+    /// A halo exchange with at least one message is beginning on
+    /// `(rank, array)`: open a new epoch. Reads that later observe a box
+    /// stamped with an older epoch have no happens-before edge from this
+    /// exchange's remote writes.
+    pub fn exchange_begin(&self, rank: usize, array: usize) {
+        let mut g = self.lock();
+        let sh = g.arrays.entry((rank, array)).or_default();
+        sh.epoch += 1;
+        sh.dirty = false;
+    }
+
+    /// A receive for `bx` (the `[(lo, hi); nd]` local box) completed and
+    /// its payload was unpacked into the array's halo.
+    pub fn unpack(&self, rank: usize, array: usize, bx: &[(usize, usize)]) {
+        let mut g = self.lock();
+        if let Some(sh) = g.arrays.get_mut(&(rank, array)) {
+            let epoch = sh.epoch;
+            sh.boxes.insert(bx.to_vec(), epoch);
+        }
+    }
+
+    /// The executor wrote the owned interior of `(rank, array)` (it is a
+    /// written stream of some space loop). Arms the dropped-exchange
+    /// check: stale data now *matters*.
+    pub fn owned_write(&self, rank: usize, array: usize) {
+        let mut g = self.lock();
+        if let Some(sh) = g.arrays.get_mut(&(rank, array)) {
+            sh.dirty = true;
+        }
+    }
+
+    /// The executor is about to read `(rank, array)` with a nonzero
+    /// stencil radius in a region that includes halo points, at timestep
+    /// `step`. Runs detector 2, both flavors:
+    ///
+    /// * a box stamped with an older epoch than the current one means an
+    ///   exchange *began* but this box's receive never completed before
+    ///   the read (skipped/raced wait);
+    /// * a repeat read in a *later* step with no intervening exchange,
+    ///   while the owned interior changed, means the exchange that
+    ///   should separate the steps was dropped or wrongly hoisted.
+    ///
+    /// Untracked arrays (never exchanged) are ignored: a read-only or
+    /// boundary-only field with no exchange is not an error.
+    pub fn halo_read(&self, rank: usize, array: usize, step: i64) {
+        let mut g = self.lock();
+        let Some(sh) = g.arrays.get_mut(&(rank, array)) else {
+            return;
+        };
+        let epoch = sh.epoch;
+        let mut stale: Vec<(Vec<(usize, usize)>, u64)> = Vec::new();
+        for (k, e) in sh.boxes.iter_mut() {
+            if *e < epoch {
+                stale.push((k.clone(), *e));
+                // Re-stamp so one missed wait yields one report per box,
+                // not one per read.
+                *e = epoch;
+            }
+        }
+        let dropped = match sh.last_read {
+            Some((le, ls)) if le == epoch && ls != step && sh.dirty => {
+                if sh.reported_epoch != Some(epoch) {
+                    sh.reported_epoch = Some(epoch);
+                    Some(ls)
+                } else {
+                    None
+                }
+            }
+            _ => None,
+        };
+        sh.last_read = Some((epoch, step));
+        for (k, e) in stale {
+            let d = Diagnostic::error(
+                PASS_STALE_HALO,
+                format!("rank {rank} array {array:#x} box {}", fmt_box(&k)),
+                format!(
+                    "halo box read at step {step} before its receive completed: \
+                     exchange epoch {epoch} was begun but the box was last \
+                     unpacked in epoch {e} — the read has no happens-before \
+                     edge from the remote write it depends on"
+                ),
+            );
+            Self::push_report(&mut g, d);
+        }
+        if let Some(ls) = dropped {
+            let d = Diagnostic::error(
+                PASS_STALE_HALO,
+                format!("rank {rank} array {array:#x}"),
+                format!(
+                    "halo re-read at step {step} with no exchange since the read \
+                     at step {ls}, although the owned interior changed in \
+                     between: the separating exchange was dropped or wrongly \
+                     hoisted, so neighbor contributions are one step stale"
+                ),
+            );
+            Self::push_report(&mut g, d);
+        }
+    }
+
+    // ----- threaded slab partition ----------------------------------------
+
+    /// A threaded space loop on `rank` is about to write `total` (a
+    /// dim-0 row range) through per-worker slabs `declared`. Slabs must
+    /// tile `total` exactly: any pairwise overlap is a cross-thread
+    /// write conflict, any gap leaves rows silently not updated. Runs
+    /// detector 4.
+    pub fn slab_partition(&self, rank: usize, total: (usize, usize), declared: &[(usize, usize)]) {
+        let mut g = self.lock();
+        let mut cursor = total.0;
+        for (i, &(lo, hi)) in declared.iter().enumerate() {
+            if lo >= hi {
+                continue; // empty slab: no writes, nothing to conflict
+            }
+            if lo < cursor {
+                let prev = i.saturating_sub(1);
+                let d = Diagnostic::error(
+                    PASS_SLAB,
+                    format!("rank {rank} threaded space loop, workers {prev}/{i}"),
+                    format!(
+                        "write slabs overlap on rows [{lo}, {cursor}): two worker \
+                         threads update the same rows of the same stream \
+                         concurrently — a cross-thread write conflict"
+                    ),
+                );
+                Self::push_report(&mut g, d);
+            } else if lo > cursor {
+                let d = Diagnostic::error(
+                    PASS_SLAB,
+                    format!("rank {rank} threaded space loop, worker {i}"),
+                    format!(
+                        "write slabs leave rows [{cursor}, {lo}) of [{}, {}) \
+                         uncovered: those rows are silently never updated this \
+                         step",
+                        total.0, total.1
+                    ),
+                );
+                Self::push_report(&mut g, d);
+            }
+            cursor = cursor.max(hi);
+        }
+        if cursor < total.1 {
+            let d = Diagnostic::error(
+                PASS_SLAB,
+                format!("rank {rank} threaded space loop"),
+                format!(
+                    "write slabs leave trailing rows [{cursor}, {}) uncovered: \
+                     those rows are silently never updated this step",
+                    total.1
+                ),
+            );
+            Self::push_report(&mut g, d);
+        }
+    }
+
+    // ----- lifecycle ------------------------------------------------------
+
+    /// Run the finalize-time checks once every rank has joined cleanly:
+    /// any message still in flight was sent but never received (detector
+    /// 5). Skipped on poisoned runs — peers legitimately abandon
+    /// in-flight traffic while unwinding.
+    pub fn finalize(&self) {
+        let mut g = self.lock();
+        if g.poisoned {
+            return;
+        }
+        let mut leaked: Vec<((usize, usize, u32), usize, SendKind)> = g
+            .channels
+            .iter()
+            .filter(|(_, q)| !q.is_empty())
+            .map(|(&k, q)| (k, q.len(), q.front().map(|m| m.kind).unwrap()))
+            .collect();
+        leaked.sort_by_key(|&(k, _, _)| k);
+        for ((src, dst, tag), n, kind) in leaked {
+            let d = Diagnostic::error(
+                PASS_LEAK,
+                format!("rank {src} -> rank {dst}, tag {tag}"),
+                format!(
+                    "{n} {} message(s) were still in flight at finalize: the \
+                     matching receive/wait never ran, so the communication this \
+                     schedule planned never completed",
+                    kind.label()
+                ),
+            );
+            Self::push_report(&mut g, d);
+        }
+    }
+
+    /// Mark the run as unwinding via the poison protocol. Disables the
+    /// finalize-time leak check; already-collected reports are kept so
+    /// they can be flushed before the panic is re-raised.
+    pub fn set_poisoned(&self) {
+        self.lock().poisoned = true;
+    }
+
+    pub fn is_poisoned(&self) -> bool {
+        self.lock().poisoned
+    }
+
+    /// Print any not-yet-printed reports to stderr (without draining —
+    /// [`take_reports`](Self::take_reports) still returns them). Used
+    /// both at normal completion and, crucially, on the poison path:
+    /// diagnostics must not be lost on exactly the runs that fail.
+    pub fn flush_to_stderr(&self) {
+        let mut g = self.lock();
+        if g.flushed == g.reports.len() && g.suppressed == 0 {
+            return;
+        }
+        for d in &g.reports[g.flushed..] {
+            eprintln!("mpix-san: {d}");
+        }
+        g.flushed = g.reports.len();
+        if g.suppressed > 0 {
+            eprintln!(
+                "mpix-san: {} further report(s) suppressed past the {MAX_REPORTS}-report cap",
+                g.suppressed
+            );
+        }
+    }
+
+    /// Drain all collected reports (adding a summary line for any
+    /// suppressed past the cap).
+    pub fn take_reports(&self) -> Vec<Diagnostic> {
+        let mut g = self.lock();
+        let mut out = std::mem::take(&mut g.reports);
+        g.flushed = 0;
+        if g.suppressed > 0 {
+            out.push(Diagnostic::new(
+                Severity::Info,
+                "mpix-san",
+                "report cap",
+                format!(
+                    "{} further report(s) suppressed past the {MAX_REPORTS}-report cap",
+                    g.suppressed
+                ),
+            ));
+            g.suppressed = 0;
+        }
+        out
+    }
+
+    /// Non-draining view of the current reports (tests).
+    pub fn snapshot_reports(&self) -> Vec<Diagnostic> {
+        self.lock().reports.clone()
+    }
+
+    pub fn has_reports(&self) -> bool {
+        let g = self.lock();
+        !g.reports.is_empty() || g.suppressed > 0
+    }
+
+    /// Snapshot of `rank`'s current vector clock (tests and debugging).
+    pub fn clock_snapshot(&self, rank: usize) -> VectorClock {
+        self.lock().clocks[rank].clone()
+    }
+}
+
+fn fmt_box(b: &[(usize, usize)]) -> String {
+    let dims: Vec<String> = b.iter().map(|(lo, hi)| format!("{lo}..{hi}")).collect();
+    format!("[{}]", dims.join(", "))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn clock_merge_is_lub_and_leq_is_partial_order() {
+        let mut a = VectorClock::new(3);
+        let mut b = VectorClock::new(3);
+        a.tick(0);
+        a.tick(0);
+        b.tick(1);
+        assert!(!a.leq(&b));
+        assert!(!b.leq(&a));
+        let mut m = a.clone();
+        m.merge(&b);
+        assert!(a.leq(&m));
+        assert!(b.leq(&m));
+        assert_eq!(m.components(), &[2, 1, 0]);
+    }
+
+    #[test]
+    fn send_recv_establishes_happens_before() {
+        let san = San::new(2);
+        san.on_send(0, 1, 7, SendKind::Adhoc);
+        let at_send = san.clock_snapshot(0);
+        san.on_recv(1, 0, 7, SendKind::Adhoc);
+        assert!(at_send.leq(&san.clock_snapshot(1)));
+        assert!(!san.has_reports());
+    }
+
+    #[test]
+    fn single_restart_is_legal_double_restart_reports() {
+        let san = San::new(2);
+        san.on_send(0, 1, 3, SendKind::Persistent);
+        san.on_send(0, 1, 3, SendKind::Persistent); // backlog 1: pipelining
+        assert!(!san.has_reports());
+        san.on_send(0, 1, 3, SendKind::Persistent); // backlog 2: reuse
+        let reports = san.snapshot_reports();
+        assert_eq!(reports.len(), 1);
+        assert_eq!(reports[0].pass, PASS_REUSE);
+    }
+
+    #[test]
+    fn adhoc_queue_depth_is_never_flagged() {
+        let san = San::new(2);
+        for _ in 0..10 {
+            san.on_send(0, 1, 5, SendKind::Adhoc);
+        }
+        assert!(!san.has_reports());
+        san.finalize();
+        // ...but finalize sees them as leaked.
+        let reports = san.snapshot_reports();
+        assert_eq!(reports.len(), 1);
+        assert_eq!(reports[0].pass, PASS_LEAK);
+    }
+
+    #[test]
+    fn slab_overlap_and_gap_both_report() {
+        let san = San::new(1);
+        san.slab_partition(0, (0, 10), &[(0, 5), (5, 10)]);
+        assert!(!san.has_reports());
+        san.slab_partition(0, (0, 10), &[(0, 6), (5, 10)]);
+        san.slab_partition(0, (0, 10), &[(0, 4), (5, 10)]);
+        san.slab_partition(0, (0, 10), &[(0, 5), (5, 9)]);
+        let reports = san.snapshot_reports();
+        assert_eq!(reports.len(), 3);
+        assert!(reports.iter().all(|d| d.pass == PASS_SLAB));
+    }
+
+    #[test]
+    fn report_cap_suppresses_floods() {
+        let san = San::new(1);
+        for _ in 0..(MAX_REPORTS + 40) {
+            san.slab_partition(0, (0, 10), &[(0, 6), (5, 10)]);
+        }
+        assert_eq!(san.snapshot_reports().len(), MAX_REPORTS);
+        let taken = san.take_reports();
+        assert_eq!(taken.len(), MAX_REPORTS + 1);
+        assert_eq!(taken.last().unwrap().severity, Severity::Info);
+        assert!(!san.has_reports());
+    }
+}
