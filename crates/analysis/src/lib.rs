@@ -7,7 +7,7 @@
 //! staged-IR-invariant discipline of the Devito architecture paper
 //! (arXiv:1807.03032).
 //!
-//! Four passes, each emitting structured [`Diagnostic`] values:
+//! Five passes, each emitting structured [`Diagnostic`] values:
 //!
 //! * [`halo_coverage`] — proves every off-rank stencil read is covered by
 //!   an exchange in the plan (under-coverage → wrong numerics at rank
@@ -28,6 +28,10 @@
 //! * [`thread_safety`] — proves the threaded executor's slab partition
 //!   writes each output point from exactly one thread, and lints loads
 //!   that would escape a written stream's slab.
+//! * [`backend_check`] — the multi-backend equivalence gate: every
+//!   selectable backend (the native JIT in particular) must produce
+//!   stores bitwise identical to the scalar bytecode oracle over a
+//!   synthetic geometry, across strip widths and cache blocking.
 //!
 //! The passes are pure functions over artifacts, so the mutation corpus
 //! in `tests/compiler_fuzz.rs` can corrupt an artifact and assert the
@@ -38,6 +42,7 @@
 use std::fmt;
 
 use mpix_codegen::bytecode::{compile_cluster, fold_constants, fuse_cluster};
+use mpix_codegen::{available_backends, Backend};
 use mpix_comm::dims_create;
 use mpix_dmp::halo::HaloMode;
 use mpix_dmp::Decomposition;
@@ -47,6 +52,7 @@ use mpix_json::{json, Value};
 use mpix_symbolic::{Context, Grid};
 use mpix_trace::{Diagnostic, Severity};
 
+pub mod backend_check;
 pub mod bytecode_check;
 pub mod comm_schedule;
 pub mod halo_coverage;
@@ -66,6 +72,9 @@ pub struct AnalysisConfig {
     pub threads: Vec<usize>,
     /// Vector widths for the strip in-bounds proofs.
     pub vector_widths: Vec<usize>,
+    /// Backends for the bitwise equivalence gate (each is compared
+    /// against the scalar bytecode oracle; see [`backend_check`]).
+    pub backends: Vec<Backend>,
     /// Whether to run the bitwise fusion-semantics spot check (cheap,
     /// but disableable for pure structural runs).
     pub check_fused_semantics: bool,
@@ -78,6 +87,7 @@ impl Default for AnalysisConfig {
             ranks: vec![4],
             threads: vec![2, 3, 4],
             vector_widths: vec![8, 16, 32],
+            backends: available_backends(),
             check_fused_semantics: true,
         }
     }
@@ -91,6 +101,7 @@ impl AnalysisConfig {
         ranks: usize,
         threads: usize,
         vector_width: usize,
+        backend: Backend,
     ) -> AnalysisConfig {
         AnalysisConfig {
             modes: vec![mode],
@@ -101,6 +112,7 @@ impl AnalysisConfig {
             } else {
                 vec![8, 16, 32]
             },
+            backends: vec![backend],
             check_fused_semantics: true,
         }
     }
@@ -220,6 +232,12 @@ pub fn verify_operator(
             cfg.check_fused_semantics,
         ));
         diags.extend(thread_safety::check_written_offsets(ctx, ci, &fused));
+        diags.extend(backend_check::check_backend_equivalence(
+            ci,
+            &fused,
+            num_params,
+            &cfg.backends,
+        ));
 
         for (_, local) in &geometries {
             diags.extend(bytecode_check::check_bounds(

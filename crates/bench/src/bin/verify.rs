@@ -6,14 +6,17 @@
 //! cargo run -p mpix-bench --bin mpix-verify -- --json       # JSON report
 //! cargo run -p mpix-bench --bin mpix-verify -- acoustic 8   # one kernel/SDO
 //! cargo run -p mpix-bench --bin mpix-verify -- --san        # runtime sweep
+//! cargo run -p mpix-bench --bin mpix-verify -- --backends=jit   # one backend
 //! ```
 //!
 //! Sweeps every shipped solver × space discretization order {4, 8, 12,
 //! 16} × all three halo-exchange modes (basic / diagonal / full) on 1-,
 //! 2- and 4-rank topologies, plus the thread-slab and vector-strip
-//! proofs. Exits nonzero if any pass reports a diagnostic of severity
-//! Error or worse — the CI gate that generated artifacts stay provably
-//! sound.
+//! proofs and the backend bitwise-equivalence gate (every backend named
+//! by `--backends`, default all available on this host, against the
+//! scalar bytecode oracle). Exits nonzero if any pass reports a
+//! diagnostic of severity Error or worse — the CI gate that generated
+//! artifacts stay provably sound.
 //!
 //! `--san` switches from the static passes to the `mpix-san` dynamic
 //! sweep: *execute* each configuration for a few time steps under the
@@ -22,7 +25,7 @@
 //! matrix under a few minutes.
 
 use mpix_analysis::AnalysisConfig;
-use mpix_core::Workspace;
+use mpix_core::{available_backends, Backend, Workspace};
 use mpix_dmp::HaloMode;
 use mpix_json::Value;
 use mpix_solvers::{KernelKind, ModelSpec, Propagator};
@@ -124,6 +127,17 @@ fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let json = args.iter().any(|a| a == "--json");
     let san = args.iter().any(|a| a == "--san");
+    // Backend axis for the equivalence gate: `--backends=jit` or
+    // `--backends=bytecode,jit`; unknown names abort with the
+    // available-backend listing, so a CI matrix leg cannot silently
+    // verify nothing.
+    let backends: Vec<Backend> = match args.iter().find_map(|a| a.strip_prefix("--backends=")) {
+        Some(list) => list
+            .split(',')
+            .map(|name| name.parse().unwrap_or_else(|e| panic!("--backends: {e}")))
+            .collect(),
+        None => available_backends(),
+    };
     let pos: Vec<&String> = args.iter().filter(|a| !a.starts_with("--")).collect();
     let kernels: Vec<KernelKind> = match pos.first() {
         Some(name) => vec![*KernelKind::all()
@@ -147,6 +161,7 @@ fn main() {
         ranks: vec![1, 2, 4],
         threads: vec![2, 3, 4],
         vector_widths: vec![8, 16, 32],
+        backends,
         check_fused_semantics: true,
     };
 

@@ -439,16 +439,20 @@ pub fn print_perf() {
     }
 }
 
-/// Measured interpreter throughput, scalar vs lane-vectorized: run each
-/// kernel for real on one rank at SDO 4/8/12/16, once with the scalar
-/// interpreter (`vector_width = 0`) and once with the strip engine at
-/// `vector_width = 16`, and return the per-kernel GPts/s comparison as
-/// pretty JSON. The `tables bench-kernels` subcommand writes this to
+/// Measured per-backend throughput: run each kernel for real on one
+/// rank at SDO 4/8/12/16 under every execution backend — the scalar
+/// interpreter (`vector_width = 0`, the paper's generated-C baseline
+/// shape), the lane-vectorized interpreter strips (`vector_width = 16`),
+/// and the native JIT where the host supports it — and return the
+/// per-kernel GPts/s comparison as pretty JSON with one row per
+/// `(kernel, sdo, backend)`. Speedups are relative to the scalar row.
+/// The `tables bench-kernels` subcommand writes this to
 /// `BENCH_kernels.json`, the perf-trajectory record for the repo.
 ///
 /// `quick` shrinks the grid and step count to a CI smoke size (schema
 /// identical; numbers not meaningful for trend tracking).
 pub fn bench_kernels_json(quick: bool) -> String {
+    use mpix_core::{available_backends, Backend};
     use mpix_json::json;
     use mpix_solvers::{ModelSpec, Propagator};
     use std::time::Instant;
@@ -459,12 +463,13 @@ pub fn bench_kernels_json(quick: bool) -> String {
     } else {
         (32, 4, 8)
     };
+    let have_jit = available_backends().contains(&Backend::Jit);
 
     let mut rows = Vec::new();
-    println!("\n## Interpreter throughput: scalar vs vector_width={VW}, {edge}\u{b3}+{nbl} ABC, nt={nt}, 1 rank");
+    println!("\n## Backend throughput: scalar vs vector_width={VW} vs jit, {edge}\u{b3}+{nbl} ABC, nt={nt}, 1 rank");
     println!(
-        "{:<14} {:>4} {:>14} {:>14} {:>9}",
-        "kernel", "sdo", "scalar GPts/s", "vector GPts/s", "speedup"
+        "{:<14} {:>4} {:<9} {:>12} {:>9}",
+        "kernel", "sdo", "backend", "GPts/s", "speedup"
     );
     for kind in KernelKind::all() {
         for sdo in [4u32, 8, 12, 16] {
@@ -475,8 +480,12 @@ pub fn bench_kernels_json(quick: bool) -> String {
                 pref.init(ws);
                 pref.add_ricker_source(ws, 18.0, nt as usize);
             };
-            let time_run = |vw: usize| -> f64 {
-                let opts = p.apply_options(nt).with_vector_width(vw).with_ranks(1);
+            let time_run = |backend: Backend, vw: usize| -> f64 {
+                let opts = p
+                    .apply_options(nt)
+                    .with_backend(backend)
+                    .with_vector_width(vw)
+                    .with_ranks(1);
                 // Untimed warm-up amortizes first-touch and compilation.
                 p.op.run(&opts, init, |_| ());
                 let t0 = Instant::now();
@@ -484,24 +493,38 @@ pub fn bench_kernels_json(quick: bool) -> String {
                 t0.elapsed().as_secs_f64()
             };
             let pts = p.points_per_step() as f64 * nt as f64;
-            let scalar = pts / time_run(0) / 1e9;
-            let vector = pts / time_run(VW) / 1e9;
-            let speedup = vector / scalar;
-            println!(
-                "{:<14} {:>4} {:>14.4} {:>14.4} {:>8.2}x",
-                kind.name(),
-                sdo,
-                scalar,
-                vector,
-                speedup
-            );
-            rows.push(json!({
-                "kernel": kind.name(),
-                "sdo": sdo,
-                "scalar_gpts": scalar,
-                "vector_gpts": vector,
-                "speedup": speedup,
-            }));
+            // (row label, backend, strip width): the scalar interpreter
+            // is the baseline every speedup is measured against.
+            let mut configs = vec![
+                ("scalar", Backend::Bytecode, 0usize),
+                ("bytecode", Backend::Bytecode, VW),
+            ];
+            if have_jit {
+                configs.push(("jit", Backend::Jit, 0));
+            }
+            let mut scalar = 0.0f64;
+            for (label, backend, vw) in configs {
+                let gpts = pts / time_run(backend, vw) / 1e9;
+                if label == "scalar" {
+                    scalar = gpts;
+                }
+                let speedup = gpts / scalar;
+                println!(
+                    "{:<14} {:>4} {:<9} {:>12.4} {:>8.2}x",
+                    kind.name(),
+                    sdo,
+                    label,
+                    gpts,
+                    speedup
+                );
+                rows.push(json!({
+                    "kernel": kind.name(),
+                    "sdo": sdo,
+                    "backend": label,
+                    "gpts": gpts,
+                    "speedup": speedup,
+                }));
+            }
         }
     }
     json!({
@@ -509,6 +532,7 @@ pub fn bench_kernels_json(quick: bool) -> String {
         "nbl": nbl,
         "nt": nt,
         "vector_width": VW,
+        "jit_available": have_jit,
         "quick": quick,
         "kernels": rows,
     })
@@ -757,6 +781,50 @@ mod tests {
             let c = model_cpu_rows(kind, 8)[0][0];
             let g = model_gpu_row(kind, 8)[0];
             assert!(g > c, "{kind:?}: GPU {g} !> CPU {c}");
+        }
+    }
+
+    /// Smoke for the backend column: the quick bench must emit one row
+    /// per `(kernel, sdo, backend)`, and on a JIT-capable host the
+    /// native rows must beat the vectorized interpreter somewhere —
+    /// if the JIT never wins even once, the backend is mislinked (e.g.
+    /// silently falling back to the interpreter everywhere).
+    #[test]
+    fn bench_kernels_has_backend_rows_and_jit_wins_somewhere() {
+        use mpix_core::{available_backends, Backend};
+
+        let out = bench_kernels_json(true);
+        let v = mpix_json::Value::parse(&out).expect("valid JSON");
+        let rows = v
+            .get("kernels")
+            .and_then(mpix_json::Value::as_array)
+            .unwrap();
+        let have_jit = available_backends().contains(&Backend::Jit);
+        let backends_per_group = if have_jit { 3 } else { 2 };
+        // 4 kernels × 4 SDOs × backends.
+        assert_eq!(rows.len(), 16 * backends_per_group, "{out}");
+        for row in rows {
+            assert!(row
+                .get("backend")
+                .and_then(mpix_json::Value::as_str)
+                .is_some());
+            assert!(row.get("gpts").and_then(mpix_json::Value::as_f64).unwrap() > 0.0);
+        }
+        if have_jit {
+            let gpts_of = |backend: &str| -> Vec<f64> {
+                rows.iter()
+                    .filter(|r| {
+                        r.get("backend").and_then(mpix_json::Value::as_str) == Some(backend)
+                    })
+                    .map(|r| r.get("gpts").and_then(mpix_json::Value::as_f64).unwrap())
+                    .collect()
+            };
+            let jit = gpts_of("jit");
+            let bytecode = gpts_of("bytecode");
+            assert!(
+                jit.iter().zip(&bytecode).any(|(j, b)| j > b),
+                "jit never beat the vectorized interpreter:\n{out}"
+            );
         }
     }
 }

@@ -20,6 +20,7 @@ use mpix_san::San;
 use mpix_symbolic::{Context, FieldId};
 use mpix_trace::{Section, TraceLevel, TraceReport, Tracer};
 
+use crate::backend::{create_lowering, Backend, BackendError, ClusterKernel, Launch};
 use crate::bytecode::{compile_cluster, fuse_cluster, powi, CompiledCluster, Op};
 
 /// Strip widths the lane-vectorized engine is monomorphized for.
@@ -212,6 +213,11 @@ pub struct OperatorExec {
     param_defs: Vec<(usize, IExpr)>,
     /// Compiled bodies, keyed by space-loop order of appearance.
     compiled: Vec<CompiledCluster>,
+    /// One executable kernel per compiled body, produced by the selected
+    /// backend's [`crate::backend::Lowering`].
+    kernels: Vec<Box<dyn ClusterKernel>>,
+    /// Which backend compiled the kernels.
+    backend: Backend,
     /// Number of time buffers per field id.
     nbuffers: Vec<usize>,
     /// Allocated halo per field id.
@@ -219,27 +225,47 @@ pub struct OperatorExec {
 }
 
 impl OperatorExec {
-    /// Precompile every space loop in the IET.
+    /// Precompile every space loop in the IET with the default
+    /// (bytecode) backend.
     pub fn new(iet: Node, ctx: &Context) -> OperatorExec {
+        Self::with_backend(iet, ctx, Backend::Bytecode)
+            .expect("bytecode backend is always available")
+    }
+
+    /// Precompile every space loop in the IET through the chosen
+    /// backend's lowering.
+    pub fn with_backend(
+        iet: Node,
+        ctx: &Context,
+        backend: Backend,
+    ) -> Result<OperatorExec, BackendError> {
+        let lowering = create_lowering(backend)?;
         let mut compiled = Vec::new();
         collect_compiled(&iet, &mut compiled);
+        let kernels = compiled.iter().map(|cc| lowering.compile(cc)).collect();
         let param_defs = match &iet {
             Node::Callable { params, .. } => params.clone(),
             _ => Vec::new(),
         };
         let nbuffers = ctx.fields().iter().map(|f| f.time_buffers()).collect();
         let halos = ctx.fields().iter().map(|f| f.halo() as usize).collect();
-        OperatorExec {
+        Ok(OperatorExec {
             iet,
             param_defs,
             compiled,
+            kernels,
+            backend,
             nbuffers,
             halos,
-        }
+        })
     }
 
     pub fn iet(&self) -> &Node {
         &self.iet
+    }
+    /// The backend whose kernels this executable runs.
+    pub fn backend(&self) -> Backend {
+        self.backend
     }
     pub fn compiled_clusters(&self) -> &[CompiledCluster] {
         &self.compiled
@@ -390,12 +416,12 @@ impl OperatorExec {
             Node::SpaceLoop {
                 cluster, region, ..
             } => {
-                let cc = &self.compiled[st.loop_idx];
+                let loop_idx = st.loop_idx;
                 st.loop_idx += 1;
                 let start = Instant::now();
                 let radius = cluster.max_radius(cluster.ndim());
                 let max_r = radius.iter().copied().max().unwrap_or(0);
-                self.exec_space_loop(cc, *region, max_r, st);
+                self.exec_space_loop(loop_idx, *region, max_r, st);
                 let elapsed = start.elapsed().as_secs_f64();
                 st.stats.compute_secs += elapsed;
                 let section = match region {
@@ -517,14 +543,17 @@ impl OperatorExec {
         }
     }
 
-    /// Execute one compiled cluster over the chosen region.
+    /// Execute one compiled cluster over the chosen region through the
+    /// backend-selected kernel.
     fn exec_space_loop(
         &self,
-        cc: &CompiledCluster,
+        loop_idx: usize,
         region: RegionKind,
         radius: usize,
         st: &mut ExecState<'_>,
     ) {
+        let cc = &self.compiled[loop_idx];
+        let kernel = &*self.kernels[loop_idx];
         // Local (owned) shape — identical across fields.
         let some_field = cc.streams[0].0;
         let local = st.fields[some_field.0 as usize].buffers[0]
@@ -614,6 +643,16 @@ impl OperatorExec {
 
         let nthreads = st.opts.threads.max(1);
         let vw = validate_vector_width(st.opts.vector_width);
+        let launch = Launch {
+            cc,
+            strides: &strides,
+            halos: &halos,
+            resolved: &resolved,
+            scalars: &scalar_vals,
+            params: &st.params,
+            block: st.opts.block,
+            vw,
+        };
         let mut points = 0u64;
         for b in &boxes {
             if b.iter().any(|r| r.is_empty()) {
@@ -623,31 +662,14 @@ impl OperatorExec {
             if nthreads <= 1 || b[0].len() < 2 * nthreads {
                 let mut slices: Vec<&mut [f32]> =
                     moved.iter_mut().map(|v| v.as_mut_slice()).collect();
-                exec_box(
-                    cc,
-                    b,
-                    &mut slices,
-                    &strides,
-                    &halos,
-                    &resolved,
-                    &scalar_vals,
-                    &st.params,
-                    st.opts.block,
-                    vw,
-                );
+                kernel.exec_box(&launch, b, &mut slices);
             } else {
                 exec_box_threaded(
-                    cc,
+                    kernel,
+                    &launch,
                     b,
                     &mut moved,
-                    &strides,
-                    &halos,
-                    &resolved,
-                    &scalar_vals,
-                    &st.params,
-                    st.opts.block,
                     nthreads,
-                    vw,
                     st.cart.comm().san().map(|a| a.as_ref()),
                     st.cart.rank(),
                     st.opts.fault,
@@ -663,7 +685,7 @@ impl OperatorExec {
     }
 }
 
-fn collect_compiled(n: &Node, out: &mut Vec<CompiledCluster>) {
+pub(crate) fn collect_compiled(n: &Node, out: &mut Vec<CompiledCluster>) {
     match n {
         // Every compiled body runs through the superinstruction fusion
         // pass — fusion is bitwise-neutral, so there is no scalar/fused
@@ -702,9 +724,10 @@ pub fn eval_invariant(e: &IExpr, scalars: &HashMap<String, f32>, params: &[f32])
 
 /// Execute the compiled body over every point of `bx` (owned-local
 /// coordinates). Applies loop blocking on the outermost two dimensions
-/// when `block > 0`.
+/// when `block > 0`. This is the bytecode backend's whole-buffer entry
+/// point (`backend::BytecodeKernel` delegates here).
 #[allow(clippy::too_many_arguments)]
-fn exec_box(
+pub(crate) fn exec_box(
     cc: &CompiledCluster,
     bx: &BoxNd,
     buffers: &mut [&mut [f32]],
@@ -825,21 +848,17 @@ fn exec_box_flat(
 /// worker's padded row range.
 #[allow(clippy::too_many_arguments)]
 fn exec_box_threaded(
-    cc: &CompiledCluster,
+    kernel: &dyn ClusterKernel,
+    l: &Launch<'_>,
     bx: &BoxNd,
     moved: &mut [Vec<f32>],
-    strides: &[Vec<usize>],
-    halos: &[usize],
-    resolved: &[isize],
-    scalars: &[f32],
-    params: &[f32],
-    block: usize,
     nthreads: usize,
-    vw: usize,
     san: Option<&San>,
     rank: usize,
     fault: Option<Fault>,
 ) {
+    let cc = l.cc;
+    let (strides, halos) = (l.strides, l.halos);
     let nd = bx.len();
     let r0 = bx[0].clone();
     let chunk = r0.len().div_ceil(nthreads);
@@ -950,19 +969,7 @@ fn exec_box_threaded(
                 sub[0] = wk.range0.clone();
                 let mut reads = wk.reads;
                 let mut writes = wk.writes;
-                exec_box_mixed(
-                    cc,
-                    &sub,
-                    &mut reads,
-                    &mut writes,
-                    strides,
-                    halos,
-                    resolved,
-                    scalars,
-                    params,
-                    block,
-                    vw,
-                );
+                kernel.exec_box_mixed(l, &sub, &mut reads, &mut writes);
             });
         }
     });
@@ -970,9 +977,11 @@ fn exec_box_threaded(
 }
 
 /// Like [`exec_box`] but with per-stream read/write bindings (threaded
-/// path). Written streams index relative to their slab offset.
+/// path). Written streams index relative to their slab offset. This is
+/// the bytecode backend's split-binding entry point
+/// (`backend::BytecodeKernel` delegates here).
 #[allow(clippy::too_many_arguments)]
-fn exec_box_mixed(
+pub(crate) fn exec_box_mixed(
     cc: &CompiledCluster,
     bx: &BoxNd,
     reads: &mut [Option<&[f32]>],
@@ -1882,5 +1891,82 @@ mod tests {
     #[should_panic(expected = "vector_width=5")]
     fn unsupported_vector_width_rejected() {
         validate_vector_width(5);
+    }
+
+    /// The native JIT backend must be bitwise identical to the bytecode
+    /// interpreter on every execution shape: plain, blocked, threaded,
+    /// and their compositions (odd inner extent → scalar tail active).
+    #[test]
+    fn jit_backend_bitwise_equal_to_bytecode() {
+        if !crate::backend::available_backends().contains(&Backend::Jit) {
+            return; // host cannot run native code
+        }
+        let mut ctx = Context::new();
+        let grid = Grid::new(&[11, 9, 13], &[1.0, 1.0, 1.0]);
+        let u = ctx.add_time_function("u", &grid, 4, 1);
+        let eq = Eq::new(u.dt(), u.laplace());
+        let st = eq.solve_for(&u.forward(), &ctx).unwrap();
+        let mut cls = clusterize(&lower_equations(&[st], &ctx).unwrap());
+        let mut next = 0;
+        for c in &mut cls {
+            cse_cluster(c, &mut next);
+        }
+        let plan = detect_halo_exchanges(&cls, &ctx);
+        let iet = build_iet(cls, &plan, "K", 0, true);
+        let iet = lower_halo_spots(iet, MpiMode::Basic);
+
+        let run = |backend: Backend, threads: usize, block: usize| -> Vec<f32> {
+            let exec = OperatorExec::with_backend(iet.clone(), &ctx, backend).unwrap();
+            Universe::run(1, |comm| {
+                let cart = mpix_comm::CartComm::new(comm, &[1, 1, 1]);
+                let dc = Arc::new(Decomposition::new(&[11, 9, 13], &[1, 1, 1]));
+                let mut fields = vec![FieldState::new(u.id(), 2, dc, &[0, 0, 0], 4)];
+                for i in 0..11 {
+                    for j in 0..9 {
+                        for k in 0..13 {
+                            fields[0].buffers[0].set_global(
+                                &[i, j, k],
+                                ((i * 117 + j * 13 + k) % 29) as f32 * 0.125 - 1.0,
+                            );
+                        }
+                    }
+                }
+                let mut scalars = HashMap::new();
+                scalars.insert("dt".to_string(), 0.01f32);
+                scalars.insert("h_x".to_string(), 0.1);
+                scalars.insert("h_y".to_string(), 0.1);
+                scalars.insert("h_z".to_string(), 0.1);
+                exec.run(
+                    &cart,
+                    &mut fields,
+                    &scalars,
+                    &mut [],
+                    0,
+                    3,
+                    &ExecOptions {
+                        mode: HaloMode::Basic,
+                        block,
+                        threads,
+                        ..ExecOptions::default()
+                    },
+                );
+                fields[0].buffers[fields[0].buffer_index(3, 0)]
+                    .raw()
+                    .to_vec()
+            })
+            .pop()
+            .unwrap()
+        };
+        let oracle = run(Backend::Bytecode, 1, 0);
+        for (threads, block) in [(1usize, 0usize), (1, 4), (3, 0), (2, 4)] {
+            let jit = run(Backend::Jit, threads, block);
+            for (k, (a, b)) in oracle.iter().zip(&jit).enumerate() {
+                assert_eq!(
+                    a.to_bits(),
+                    b.to_bits(),
+                    "threads={threads} block={block} idx={k}: {a} vs {b}"
+                );
+            }
+        }
     }
 }

@@ -10,6 +10,7 @@
 
 use std::time::Instant;
 
+use mpix_codegen::{available_backends, Backend};
 use mpix_comm::dims_create;
 use mpix_dmp::HaloMode;
 
@@ -135,6 +136,38 @@ impl Operator {
         TuneReport { best, trials }
     }
 
+    /// Select the fastest execution backend on this host. Sweeps every
+    /// entry of [`available_backends`] (so an absent JIT is simply never
+    /// tried) with single-rank trials — backend choice, like blocking,
+    /// is a per-rank concern. The bytecode interpreter's lane width
+    /// rides along from `base`; the JIT ignores it.
+    pub fn autotune_backend<FI>(
+        &self,
+        base: &ApplyOptions,
+        trial_nt: i64,
+        init: FI,
+    ) -> TuneReport<Backend>
+    where
+        FI: Fn(&mut Workspace) + Send + Sync,
+    {
+        let mut trials = Vec::new();
+        for backend in available_backends() {
+            let mut opts = base
+                .clone()
+                .with_backend(backend)
+                .with_nt(trial_nt)
+                .with_ranks(1);
+            opts.topology = None;
+            trials.push((backend, self.timed_trial(&opts, &init)));
+        }
+        let best = trials
+            .iter()
+            .min_by(|a, b| a.1.partial_cmp(&b.1).unwrap())
+            .unwrap()
+            .0;
+        TuneReport { best, trials }
+    }
+
     /// Tune the process-grid topology for the *full* pattern (§IV-F:
     /// "customizing the decomposition to only split in x and y" can beat
     /// the balanced default). Sweeps the balanced factorization plus the
@@ -248,6 +281,17 @@ mod tests {
         let topos: Vec<&Vec<usize>> = report.trials.iter().map(|(t, _)| t).collect();
         assert!(topos.contains(&&vec![2, 2]));
         assert!(topos.contains(&&vec![4, 1]));
+    }
+
+    #[test]
+    fn backend_tuner_sweeps_every_available_backend() {
+        let op = op();
+        let base = ApplyOptions::default().with_dt(0.001);
+        let report = op.autotune_backend(&base, 2, |_| ());
+        let avail = available_backends();
+        assert_eq!(report.trials.len(), avail.len());
+        assert!(avail.contains(&report.best));
+        assert!(report.trials.iter().all(|(_, t)| *t > 0.0));
     }
 
     #[test]

@@ -3,6 +3,7 @@
 use std::collections::HashMap;
 
 use mpix_codegen::executor::{mpi_mode_of, ExecOptions, ExecStats, Fault, OperatorExec};
+use mpix_codegen::Backend;
 use mpix_comm::{dims_create, CartComm, Universe};
 use mpix_dmp::HaloMode;
 use mpix_ir::cluster::{clusterize, Cluster};
@@ -50,6 +51,7 @@ impl From<LoweringError> for BuildError {
 /// | `MPIX_RANKS`   | `ranks`   | simulated MPI ranks                    |
 /// | `MPIX_TRACE`   | `trace`   | `off`, `summary`, `full`               |
 /// | `MPIX_VW`      | `vector_width` | `0`/`1` (scalar), `8`, `16`, `32` |
+/// | `MPIX_BACKEND` | `backend` | `c`, `bytecode`, `jit`                 |
 /// | `MPIX_VERIFY`  | `verify`  | `0`/`off`/`false`, `1`/`on`/`true`     |
 /// | `MPIX_SAN`     | `sanitize`| `0`/`off`/`false`, `1`/`on`/`true`     |
 #[derive(Clone, Debug)]
@@ -59,7 +61,15 @@ pub struct ApplyOptions {
     pub threads: usize,
     /// Lane width for the strip-vectorized interpreter (the runtime
     /// analogue of the paper's `#pragma omp simd`); `0`/`1` = scalar.
+    /// Ignored by the `jit` backend, whose lane count is fixed by the
+    /// instruction set.
     pub vector_width: usize,
+    /// Execution backend compiling the kernel bodies (see
+    /// [`mpix_codegen::Backend`]): `bytecode` (default, portable),
+    /// `jit` (native SIMD), or `c` (paper-style C emission; executes
+    /// through the interpreter). Results are bitwise identical across
+    /// backends — only speed differs.
+    pub backend: Backend,
     /// Number of time steps.
     pub nt: i64,
     /// First time index (enables external stepping: run `nt` steps from
@@ -104,6 +114,7 @@ impl Default for ApplyOptions {
             block: 0,
             threads: 1,
             vector_width: 0,
+            backend: Backend::Bytecode,
             nt: 1,
             t0: 0,
             dt: None,
@@ -146,6 +157,10 @@ impl ApplyOptions {
     }
     pub fn with_vector_width(mut self, vw: usize) -> Self {
         self.vector_width = mpix_codegen::executor::validate_vector_width(vw);
+        self
+    }
+    pub fn with_backend(mut self, backend: Backend) -> Self {
+        self.backend = backend;
         self
     }
     pub fn with_scalar(mut self, name: &str, v: f32) -> Self {
@@ -212,6 +227,11 @@ impl ApplyOptions {
                 .parse()
                 .unwrap_or_else(|_| panic!("MPIX_VW={v:?}: expected a lane width (0|1|8|16|32)"));
             self.vector_width = mpix_codegen::executor::validate_vector_width(vw);
+        }
+        if let Ok(v) = std::env::var("MPIX_BACKEND") {
+            self.backend = v
+                .parse()
+                .unwrap_or_else(|e| panic!("MPIX_BACKEND={v:?}: {e}"));
         }
         if let Ok(v) = std::env::var("MPIX_VERIFY") {
             self.verify = match v.to_ascii_lowercase().as_str() {
@@ -334,22 +354,14 @@ impl Operator {
         mpix_codegen::cgen::emit_c(&lowered, &self.ctx)
     }
 
-    /// Executable lowered for the mode selected in `opts`.
+    /// Executable lowered for the mode and backend selected in `opts`.
+    /// Panics with the backend-availability listing if the requested
+    /// backend cannot run on this host (e.g. `jit` without AVX) — a
+    /// silently substituted backend would invalidate benchmark numbers.
     pub fn executable_for(&self, opts: &ApplyOptions) -> OperatorExec {
         let lowered = lower_halo_spots(self.iet.clone(), mpi_mode_of(opts.mode));
-        OperatorExec::new(lowered, &self.ctx)
-    }
-
-    /// Generated C code for the given mode (Listing 11).
-    #[deprecated(note = "use c_code_for(&ApplyOptions) — mode now lives in ApplyOptions")]
-    pub fn c_code(&self, mode: HaloMode) -> String {
-        self.c_code_for(&ApplyOptions::default().with_mode(mode))
-    }
-
-    /// Mode-lowered executable.
-    #[deprecated(note = "use executable_for(&ApplyOptions) — mode now lives in ApplyOptions")]
-    pub fn executable(&self, mode: HaloMode) -> OperatorExec {
-        self.executable_for(&ApplyOptions::default().with_mode(mode))
+        OperatorExec::with_backend(lowered, &self.ctx, opts.backend)
+            .unwrap_or_else(|e| panic!("operator '{}': {e}", opts.label))
     }
 
     /// Default runtime scalars: `dt` and the grid spacings.
@@ -415,6 +427,12 @@ impl Operator {
         FI: Fn(&mut Workspace) + Send + Sync,
         FX: Fn(&mut Workspace) -> R + Send + Sync,
     {
+        // Validate the lane width once at the entry point: builders and
+        // `env_overrides` already validate, but `vector_width` is a pub
+        // field — a raw struct write could otherwise carry an arbitrary
+        // width all the way into the executor.
+        let _ = mpix_codegen::executor::validate_vector_width(opts.vector_width);
+
         let nranks = opts.ranks.max(1);
         let dims = opts
             .topology
@@ -430,6 +448,7 @@ impl Operator {
                 nranks,
                 opts.threads,
                 opts.vector_width,
+                opts.backend,
             );
             let report = self.verify(&cfg);
             assert!(
@@ -496,46 +515,6 @@ impl Operator {
 
         Applied { results, summary }
     }
-
-    /// Run on `nranks` simulated MPI ranks, discarding the summary.
-    #[deprecated(note = "use Operator::run — ranks/topology now live in ApplyOptions")]
-    pub fn apply_distributed<R, FI, FX>(
-        &self,
-        nranks: usize,
-        topology: Option<Vec<usize>>,
-        opts: &ApplyOptions,
-        init: FI,
-        extract: FX,
-    ) -> Vec<R>
-    where
-        R: Send,
-        FI: Fn(&mut Workspace) + Send + Sync,
-        FX: Fn(&mut Workspace) -> R + Send + Sync,
-    {
-        let mut opts = opts.clone().with_ranks(nranks);
-        opts.topology = topology;
-        self.run(&opts, init, extract).results
-    }
-
-    /// Single-rank convenience (serial reference runs).
-    #[deprecated(note = "use Operator::run with the default single-rank ApplyOptions")]
-    pub fn apply_local<R>(
-        &self,
-        opts: &ApplyOptions,
-        init: impl Fn(&mut Workspace) + Send + Sync,
-        extract: impl Fn(&mut Workspace) -> R + Send + Sync,
-    ) -> R
-    where
-        R: Send,
-    {
-        let mut opts = opts.clone().with_ranks(1);
-        opts.topology = None;
-        self.run(&opts, init, extract)
-            .results
-            .into_iter()
-            .next()
-            .unwrap()
-    }
 }
 
 #[cfg(test)]
@@ -552,6 +531,7 @@ mod tests {
         std::env::set_var("MPIX_RANKS", "8");
         std::env::set_var("MPIX_TRACE", "summary");
         std::env::set_var("MPIX_VW", "16");
+        std::env::set_var("MPIX_BACKEND", "jit");
         std::env::set_var("MPIX_VERIFY", "on");
         std::env::set_var("MPIX_SAN", "on");
         let o = ApplyOptions::from_env();
@@ -561,6 +541,7 @@ mod tests {
         assert_eq!(o.ranks, 8);
         assert_eq!(o.trace, TraceLevel::Summary);
         assert_eq!(o.vector_width, 16);
+        assert_eq!(o.backend, Backend::Jit);
         assert!(o.verify);
         assert!(o.sanitize);
         std::env::set_var("MPIX_VERIFY", "0");
@@ -585,6 +566,7 @@ mod tests {
         std::env::remove_var("MPIX_RANKS");
         std::env::remove_var("MPIX_TRACE");
         std::env::remove_var("MPIX_VW");
+        std::env::remove_var("MPIX_BACKEND");
         std::env::remove_var("MPIX_VERIFY");
         std::env::remove_var("MPIX_SAN");
         let o = ApplyOptions::from_env();
@@ -592,6 +574,7 @@ mod tests {
         assert_eq!(o.block, 0);
         assert_eq!(o.trace, TraceLevel::Off);
         assert_eq!(o.vector_width, 0);
+        assert_eq!(o.backend, Backend::Bytecode);
 
         // Unset env leaves builder values untouched.
         let o = ApplyOptions::default()

@@ -2,9 +2,6 @@
 //! distributed equivalence for every MPI mode, Listing 2 reproduction,
 //! and sparse source/receiver integration.
 
-// Pre-dates the unified Operator::run API; deliberately left on the
-// deprecated apply_*/executable/c_code shims so they stay covered.
-#![allow(deprecated)]
 use mpix_core::prelude::*;
 use mpix_symbolic as sym;
 
@@ -22,16 +19,18 @@ fn diffusion_op(nx: usize, ny: usize, so: u32) -> Operator {
 fn listing2_distributed_views_match_paper() {
     // 4x4 grid, 4 ranks, u.data[1:-1, 1:-1] = 1 (paper Listings 1-2).
     let op = diffusion_op(4, 4, 2);
-    let views = op.apply_distributed(
-        4,
-        Some(vec![2, 2]),
-        &ApplyOptions::default().with_nt(0),
+    let views = op.run(
+        &ApplyOptions::default()
+            .with_nt(0)
+            .with_ranks(4)
+            .with_topology(&[2, 2]),
         |ws| {
             ws.field_data_mut("u", 0)
                 .fill_global_slice(&[1..3, 1..3], 1.0);
         },
         |ws| ws.field_data("u", 0).local_view_string(),
     );
+    let views = views.results;
     assert_eq!(views[0], "[[0.00 0.00]\n [0.00 1.00]]");
     assert_eq!(views[1], "[[0.00 0.00]\n [1.00 0.00]]");
     assert_eq!(views[2], "[[0.00 1.00]\n [0.00 0.00]]");
@@ -45,14 +44,17 @@ fn one_step_diffusion_matches_hand_computation() {
     let op = diffusion_op(nx, ny, 2);
     let dx: f64 = 2.0 / 3.0;
     let dt = 0.25 * dx * dx / 0.5;
-    let got = op.apply_local(
-        &ApplyOptions::default().with_nt(1).with_dt(dt),
-        |ws| {
-            ws.field_data_mut("u", 0)
-                .fill_global_slice(&[1..3, 1..3], 1.0);
-        },
-        |ws| ws.gather("u"),
-    );
+    let got = op
+        .run(
+            &ApplyOptions::default().with_nt(1).with_dt(dt),
+            |ws| {
+                ws.field_data_mut("u", 0)
+                    .fill_global_slice(&[1..3, 1..3], 1.0);
+            },
+            |ws| ws.gather("u"),
+        )
+        .results
+        .remove(0);
     // Serial reference.
     let mut u0 = vec![0.0f64; nx * ny];
     for i in 1..3 {
@@ -91,11 +93,11 @@ fn distributed_equals_serial_for_every_mode() {
             }
         }
     };
-    let serial = op.apply_local(&opts, init, |ws| ws.gather("u"));
+    let serial = op.run(&opts, init, |ws| ws.gather("u")).results.remove(0);
     for mode in [HaloMode::Basic, HaloMode::Diagonal, HaloMode::Full] {
         for nranks in [2, 4, 6] {
-            let opts = opts.clone().with_mode(mode);
-            let out = op.apply_distributed(nranks, None, &opts, init, |ws| ws.gather("u"));
+            let opts = opts.clone().with_mode(mode).with_ranks(nranks);
+            let out = op.run(&opts, init, |ws| ws.gather("u")).results;
             for (r, got) in out.iter().enumerate() {
                 for (k, (a, b)) in got.iter().zip(&serial).enumerate() {
                     assert!(
@@ -116,9 +118,17 @@ fn custom_topology_matches_default() {
         ws.field_data_mut("u", 0)
             .fill_global_slice(&[4..12, 2..6], 1.0);
     };
-    let a = op.apply_distributed(4, Some(vec![4, 1]), &opts, init, |ws| ws.gather("u"));
-    let b = op.apply_distributed(4, Some(vec![1, 4]), &opts, init, |ws| ws.gather("u"));
-    let c = op.apply_distributed(4, Some(vec![2, 2]), &opts, init, |ws| ws.gather("u"));
+    let run_topo = |dims: &[usize]| {
+        op.run(
+            &opts.clone().with_ranks(4).with_topology(dims),
+            init,
+            |ws| ws.gather("u"),
+        )
+        .results
+    };
+    let a = run_topo(&[4, 1]);
+    let b = run_topo(&[1, 4]);
+    let c = run_topo(&[2, 2]);
     for ((x, y), z) in a[0].iter().zip(&b[0]).zip(&c[0]) {
         assert!((x - y).abs() < 1e-5 && (y - z).abs() < 1e-5);
     }
@@ -132,12 +142,11 @@ fn threads_and_blocking_do_not_change_results() {
         ws.field_data_mut("u", 0)
             .fill_global_slice(&[5..15, 5..15], 2.0);
     };
-    let reference = op.apply_local(&base, init, |ws| ws.gather("u"));
-    let blocked = op.apply_local(&base.clone().with_block(4), init, |ws| ws.gather("u"));
-    let threaded = op.apply_local(&base.clone().with_threads(3), init, |ws| ws.gather("u"));
-    let both = op.apply_local(&base.clone().with_block(4).with_threads(2), init, |ws| {
-        ws.gather("u")
-    });
+    let run_one = |o: &ApplyOptions| op.run(o, init, |ws| ws.gather("u")).results.remove(0);
+    let reference = run_one(&base);
+    let blocked = run_one(&base.clone().with_block(4));
+    let threaded = run_one(&base.clone().with_threads(3));
+    let both = run_one(&base.clone().with_block(4).with_threads(2));
     for (((a, b), c), d) in reference.iter().zip(&blocked).zip(&threaded).zip(&both) {
         assert_eq!(a, b, "blocking changed results");
         assert_eq!(a, c, "threading changed results");
@@ -157,10 +166,8 @@ fn second_order_wave_equation_runs_and_spreads() {
     let stencil = sym::solve(&pde, &u.forward(), &ctx).unwrap();
     let op = Operator::build(ctx, grid, vec![stencil]).unwrap();
     let opts = ApplyOptions::default().with_nt(20).with_dt(0.01);
-    let out = op.apply_distributed(
-        4,
-        None,
-        &opts,
+    let out = op.run(
+        &opts.clone().with_ranks(4),
         |ws| {
             ws.field_data_mut("m", 0)
                 .fill_global_slice(&[0..32, 0..32], 1.0);
@@ -169,22 +176,25 @@ fn second_order_wave_equation_runs_and_spreads() {
         },
         |ws| ws.gather("u"),
     );
-    let g = &out[0];
+    let g = &out.results[0];
     assert!(g.iter().all(|v| v.is_finite()), "blow-up");
     // Wave must have reached at least radius 5.
     let far = g[(16 + 5) * 32 + 16].abs();
     assert!(far > 0.0, "no propagation: {far}");
     // Serial equivalence for the wave operator too.
-    let serial = op.apply_local(
-        &opts,
-        |ws| {
-            ws.field_data_mut("m", 0)
-                .fill_global_slice(&[0..32, 0..32], 1.0);
-            ws.field_data_mut("u", 0).set_global(&[16, 16], 1.0);
-            ws.field_data_mut("u", -1).set_global(&[16, 16], 1.0);
-        },
-        |ws| ws.gather("u"),
-    );
+    let serial = op
+        .run(
+            &opts,
+            |ws| {
+                ws.field_data_mut("m", 0)
+                    .fill_global_slice(&[0..32, 0..32], 1.0);
+                ws.field_data_mut("u", 0).set_global(&[16, 16], 1.0);
+                ws.field_data_mut("u", -1).set_global(&[16, 16], 1.0);
+            },
+            |ws| ws.gather("u"),
+        )
+        .results
+        .remove(0);
     for (a, b) in g.iter().zip(&serial) {
         assert!((a - b).abs() <= 1e-4 * b.abs().max(1.0), "{a} vs {b}");
     }
@@ -203,10 +213,8 @@ fn source_injection_and_receivers_work_distributed() {
     let opts = ApplyOptions::default().with_nt(nt).with_dt(0.01);
     let spacing = vec![op.grid().spacing(0), op.grid().spacing(1)];
     let sp = spacing.clone();
-    let out = op.apply_distributed(
-        4,
-        None,
-        &opts,
+    let out = op.run(
+        &opts.clone().with_ranks(4),
         move |ws| {
             ws.field_data_mut("m", 0)
                 .fill_global_slice(&[0..24, 0..24], 1.0);
@@ -222,6 +230,7 @@ fn source_injection_and_receivers_work_distributed() {
             (gathered, samples)
         },
     );
+    let out = out.results;
     let (g, _) = &out[0];
     let total: f32 = g.iter().map(|v| v.abs()).sum();
     assert!(total > 0.0, "injection had no effect");
@@ -258,7 +267,7 @@ fn compiler_artifacts_are_printable() {
     assert!(sched.contains("<Halo(u[t+0])>"), "{sched}");
     let iet = op.iet_string();
     assert!(iet.contains("HaloSpot"), "{iet}");
-    let c = op.c_code(HaloMode::Basic);
+    let c = op.c_code_for(&ApplyOptions::default().with_mode(HaloMode::Basic));
     assert!(c.contains("u[t1][x + 2][y + 2]"), "{c}");
     let counts = op.op_counts();
     assert!(counts.flops() > 0);

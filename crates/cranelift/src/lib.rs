@@ -1,0 +1,267 @@
+//! # cranelift (local stand-in)
+//!
+//! The build environment has no registry access, so — following the
+//! workspace's vendored-crate idiom (`rand`, `proptest`, `criterion`) —
+//! this crate provides exactly the JIT surface `mpix-codegen` needs in
+//! place of the real `cranelift`/`cranelift-jit` crates: a host target
+//! probe, W^X executable-memory management, and an x86-64 assembler
+//! with AVX (VEX-encoded) vector instructions and label fixups.
+//!
+//! The module layout mirrors a Cranelift-style backend (`types`,
+//! `build`/[`asm`], [`memory`], and a [`JitContext`]/[`CompiledModule`]
+//! pair) so a future swap to the real crates is a drop-in:
+//!
+//! * [`TargetInfo`] — host architecture/feature probe; JIT is gated on
+//!   `x86_64-linux` with AVX.
+//! * [`asm::Asm`] — instruction builder: GP moves/arithmetic, rel32
+//!   branches with labels, and the 256-bit/scalar AVX ops a
+//!   finite-difference kernel body needs (`vmovups`, `vbroadcastss`,
+//!   `vaddps`/`vmulps`/`vdivps` and their `ss` forms).
+//! * [`memory::ExecMem`] — `mmap`(RW) → copy → `mprotect`(RX) via raw
+//!   syscalls (no libc dependency), unmapped on drop.
+//! * [`CompiledModule`] — a finalized function: owns its executable
+//!   mapping and exposes the entry pointer.
+//!
+//! Safety model: the assembler produces bytes, the module makes them
+//! executable; *calling* the entry point is `unsafe` and the caller is
+//! responsible for the generated code's correctness. `mpix-codegen`
+//! discharges that obligation with the `mpix-analysis` bounds proofs and
+//! the bytecode-oracle equivalence gate.
+
+pub mod asm;
+pub mod memory;
+
+pub use asm::{Asm, Cc, Reg, Ymm};
+pub use memory::{ExecMem, MemError};
+
+/// Host target description — the stand-in for Cranelift's ISA builder.
+#[derive(Clone, Copy, Debug)]
+pub struct TargetInfo {
+    pub arch: &'static str,
+    pub os: &'static str,
+    /// 256-bit AVX available at runtime (required by the vector bodies).
+    pub has_avx: bool,
+}
+
+impl TargetInfo {
+    /// Probe the host.
+    pub fn host() -> TargetInfo {
+        TargetInfo {
+            arch: std::env::consts::ARCH,
+            os: std::env::consts::OS,
+            has_avx: detect_avx(),
+        }
+    }
+
+    /// Whether this host can run the generated code at all: x86-64
+    /// Linux with AVX. Everything else must stay on the interpreter.
+    pub fn supports_jit(&self) -> bool {
+        self.arch == "x86_64" && self.os == "linux" && self.has_avx
+    }
+}
+
+#[cfg(target_arch = "x86_64")]
+fn detect_avx() -> bool {
+    std::arch::is_x86_feature_detected!("avx")
+}
+
+#[cfg(not(target_arch = "x86_64"))]
+fn detect_avx() -> bool {
+    false
+}
+
+/// Compilation context — checks target support once and finalizes
+/// assembled functions into executable modules.
+#[derive(Clone, Copy, Debug)]
+pub struct JitContext {
+    target: TargetInfo,
+}
+
+/// Why a function could not be finalized into native code.
+#[derive(Clone, Debug)]
+pub enum JitError {
+    /// Host is not x86-64 Linux with AVX.
+    Unsupported(TargetInfo),
+    /// Executable-memory syscall failed.
+    Mem(MemError),
+}
+
+impl std::fmt::Display for JitError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            JitError::Unsupported(t) => write!(
+                f,
+                "jit unsupported on {}-{} (avx: {})",
+                t.arch, t.os, t.has_avx
+            ),
+            JitError::Mem(e) => write!(f, "executable memory: {e}"),
+        }
+    }
+}
+
+impl JitContext {
+    /// Create a context for the host target.
+    pub fn new() -> JitContext {
+        JitContext {
+            target: TargetInfo::host(),
+        }
+    }
+
+    pub fn target(&self) -> TargetInfo {
+        self.target
+    }
+
+    /// Finalize an assembled function into an executable module.
+    pub fn finalize(&self, asm: Asm) -> Result<CompiledModule, JitError> {
+        if !self.target.supports_jit() {
+            return Err(JitError::Unsupported(self.target));
+        }
+        let code = asm.finish();
+        let mem = ExecMem::new(&code).map_err(JitError::Mem)?;
+        Ok(CompiledModule { mem })
+    }
+}
+
+impl Default for JitContext {
+    fn default() -> Self {
+        JitContext::new()
+    }
+}
+
+/// A finalized native function: owns its RX mapping for its lifetime.
+pub struct CompiledModule {
+    mem: ExecMem,
+}
+
+impl CompiledModule {
+    /// Entry point of the compiled function.
+    pub fn entry_ptr(&self) -> *const u8 {
+        self.mem.ptr()
+    }
+
+    /// Code size in bytes (diagnostics).
+    pub fn code_len(&self) -> usize {
+        self.mem.len()
+    }
+
+    /// Call as `extern "C" fn(*mut u8)` with one pointer argument.
+    ///
+    /// # Safety
+    /// The generated code must implement exactly that ABI and only
+    /// access memory reachable (and valid) through `arg`.
+    pub unsafe fn call(&self, arg: *mut u8) {
+        let f: unsafe extern "C" fn(*mut u8) = std::mem::transmute(self.entry_ptr());
+        f(arg)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// JIT `out[i] = a[i] + 2.0 * b[i]` over n floats (8-wide strips +
+    /// scalar tail) and check it end to end — the whole stack in one
+    /// test: assembler, W^X memory, ABI, AVX encodings, label fixups.
+    #[test]
+    fn jit_axpy_roundtrip() {
+        let ctx = JitContext::new();
+        if !ctx.target().supports_jit() {
+            return; // nothing to test on non-x86-64 hosts
+        }
+        // args layout: [out: *mut f32, a: *const f32, b: *const f32,
+        //               n: u64, k: *const f32]
+        let mut a = Asm::new();
+        use asm::Reg::*;
+        a.mov_r_m(R8, Rdi, 0); // out
+        a.mov_r_m(R9, Rdi, 8); // a
+        a.mov_r_m(R10, Rdi, 16); // b
+        a.mov_r_m(Rdx, Rdi, 24); // n
+        a.mov_r_m(R11, Rdi, 32); // k
+        a.vbroadcastss(Ymm(1), R11, 0); // ymm1 = splat k
+        a.xor_r(Rcx);
+        let vec_top = a.new_label();
+        let tail = a.new_label();
+        let done = a.new_label();
+        a.bind(vec_top);
+        a.lea(Rax, Rcx, 8);
+        a.cmp_r_r(Rax, Rdx);
+        a.jcc(Cc::A, tail);
+        a.vmovups_load(Ymm(0), R10, Some(Rcx), 0); // b[i..]
+        a.vmulps_rr(Ymm(0), Ymm(1), Ymm(0)); // k*b
+        a.vaddps_rm(Ymm(0), Ymm(0), R9, Some(Rcx), 0); // + a[i..]
+        a.vmovups_store(R8, Some(Rcx), 0, Ymm(0));
+        a.add_r_imm(Rcx, 8);
+        a.jmp(vec_top);
+        a.bind(tail);
+        a.cmp_r_r(Rcx, Rdx);
+        a.jcc(Cc::Ae, done);
+        a.vmovss_load(Ymm(0), R10, Some(Rcx), 0);
+        a.vmulss_rm(Ymm(0), Ymm(0), R11, None, 0);
+        a.vaddss_rm(Ymm(0), Ymm(0), R9, Some(Rcx), 0);
+        a.vmovss_store(R8, Some(Rcx), 0, Ymm(0));
+        a.inc_r(Rcx);
+        a.jmp(tail);
+        a.bind(done);
+        a.vzeroupper();
+        a.ret();
+
+        let m = ctx.finalize(a).expect("finalize");
+        let n = 13usize; // one full strip + 5-point tail
+        let av: Vec<f32> = (0..n).map(|i| i as f32 * 0.5).collect();
+        let bv: Vec<f32> = (0..n).map(|i| (i as f32) - 3.0).collect();
+        let mut out = vec![0.0f32; n];
+        let k = 2.0f32;
+        #[repr(C)]
+        struct Args {
+            out: *mut f32,
+            a: *const f32,
+            b: *const f32,
+            n: u64,
+            k: *const f32,
+        }
+        let mut args = Args {
+            out: out.as_mut_ptr(),
+            a: av.as_ptr(),
+            b: bv.as_ptr(),
+            n: n as u64,
+            k: &k,
+        };
+        unsafe { m.call(&mut args as *mut Args as *mut u8) };
+        for i in 0..n {
+            let want = av[i] + k * bv[i];
+            assert_eq!(out[i].to_bits(), want.to_bits(), "i={i}");
+        }
+    }
+
+    #[test]
+    fn div_matches_ieee() {
+        let ctx = JitContext::new();
+        if !ctx.target().supports_jit() {
+            return;
+        }
+        // out[0] = 1.0 / x  — args: [out, x, one]
+        let mut a = Asm::new();
+        use asm::Reg::*;
+        a.mov_r_m(R8, Rdi, 0);
+        a.mov_r_m(R9, Rdi, 8);
+        a.mov_r_m(R10, Rdi, 16);
+        a.vmovss_load(Ymm(0), R9, None, 0);
+        a.vmovss_load(Ymm(1), R10, None, 0);
+        a.vdivss_rr(Ymm(0), Ymm(1), Ymm(0)); // 1.0 / x
+        a.vmovss_store(R8, None, 0, Ymm(0));
+        a.vzeroupper();
+        a.ret();
+        let m = ctx.finalize(a).unwrap();
+        for x in [3.0f32, 0.1, -7.25, 1e-20] {
+            let mut out = 0.0f32;
+            let one = 1.0f32;
+            let mut args = [
+                &mut out as *mut f32 as usize,
+                &x as *const f32 as usize,
+                &one as *const f32 as usize,
+            ];
+            unsafe { m.call(args.as_mut_ptr() as *mut u8) };
+            assert_eq!(out.to_bits(), (1.0f32 / x).to_bits(), "x={x}");
+        }
+    }
+}

@@ -1,0 +1,198 @@
+//! W^X executable memory, allocated with raw Linux syscalls so the
+//! crate stays dependency-free (the workspace has no `libc`).
+//!
+//! Lifecycle: `mmap` an anonymous read-write region, copy the code in,
+//! then `mprotect` it read-execute — the region is never writable and
+//! executable at the same time. `munmap` on drop.
+
+/// A syscall failure while creating or releasing executable memory.
+#[derive(Clone, Copy, Debug)]
+pub struct MemError {
+    /// Which syscall failed.
+    pub stage: &'static str,
+    /// Negated kernel return value (an errno).
+    pub errno: i64,
+}
+
+impl std::fmt::Display for MemError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{} failed with errno {}", self.stage, self.errno)
+    }
+}
+
+const PAGE: usize = 4096;
+
+/// An owned read-execute mapping holding one compiled function.
+pub struct ExecMem {
+    ptr: *mut u8,
+    /// Mapped length (page-rounded).
+    map_len: usize,
+    /// Actual code length.
+    code_len: usize,
+}
+
+// The mapping is immutable (RX) after construction; sharing raw
+// pointers to it across threads is sound.
+unsafe impl Send for ExecMem {}
+unsafe impl Sync for ExecMem {}
+
+impl ExecMem {
+    /// Map `code` into fresh executable memory.
+    pub fn new(code: &[u8]) -> Result<ExecMem, MemError> {
+        assert!(!code.is_empty(), "empty code buffer");
+        let map_len = code.len().div_ceil(PAGE) * PAGE;
+        let ptr = sys::map_rw(map_len)?;
+        unsafe {
+            std::ptr::copy_nonoverlapping(code.as_ptr(), ptr, code.len());
+        }
+        if let Err(e) = sys::protect_rx(ptr, map_len) {
+            sys::unmap(ptr, map_len);
+            return Err(e);
+        }
+        Ok(ExecMem {
+            ptr,
+            map_len,
+            code_len: code.len(),
+        })
+    }
+
+    /// Start of the executable region.
+    pub fn ptr(&self) -> *const u8 {
+        self.ptr
+    }
+
+    /// Code length in bytes.
+    pub fn len(&self) -> usize {
+        self.code_len
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.code_len == 0
+    }
+}
+
+impl Drop for ExecMem {
+    fn drop(&mut self) {
+        sys::unmap(self.ptr, self.map_len);
+    }
+}
+
+#[cfg(all(target_arch = "x86_64", target_os = "linux"))]
+mod sys {
+    use super::MemError;
+
+    const SYS_MMAP: i64 = 9;
+    const SYS_MPROTECT: i64 = 10;
+    const SYS_MUNMAP: i64 = 11;
+
+    const PROT_READ: i64 = 1;
+    const PROT_WRITE: i64 = 2;
+    const PROT_EXEC: i64 = 4;
+    const MAP_PRIVATE: i64 = 0x02;
+    const MAP_ANONYMOUS: i64 = 0x20;
+
+    #[inline]
+    unsafe fn syscall6(n: i64, a1: i64, a2: i64, a3: i64, a4: i64, a5: i64, a6: i64) -> i64 {
+        let ret: i64;
+        core::arch::asm!(
+            "syscall",
+            inlateout("rax") n => ret,
+            in("rdi") a1,
+            in("rsi") a2,
+            in("rdx") a3,
+            in("r10") a4,
+            in("r8") a5,
+            in("r9") a6,
+            lateout("rcx") _,
+            lateout("r11") _,
+            options(nostack),
+        );
+        ret
+    }
+
+    pub fn map_rw(len: usize) -> Result<*mut u8, MemError> {
+        let ret = unsafe {
+            syscall6(
+                SYS_MMAP,
+                0,
+                len as i64,
+                PROT_READ | PROT_WRITE,
+                MAP_PRIVATE | MAP_ANONYMOUS,
+                -1,
+                0,
+            )
+        };
+        if (-4095..0).contains(&ret) {
+            return Err(MemError {
+                stage: "mmap",
+                errno: -ret,
+            });
+        }
+        Ok(ret as *mut u8)
+    }
+
+    pub fn protect_rx(ptr: *mut u8, len: usize) -> Result<(), MemError> {
+        let ret = unsafe {
+            syscall6(
+                SYS_MPROTECT,
+                ptr as i64,
+                len as i64,
+                PROT_READ | PROT_EXEC,
+                0,
+                0,
+                0,
+            )
+        };
+        if ret != 0 {
+            return Err(MemError {
+                stage: "mprotect",
+                errno: -ret,
+            });
+        }
+        Ok(())
+    }
+
+    pub fn unmap(ptr: *mut u8, len: usize) {
+        unsafe {
+            syscall6(SYS_MUNMAP, ptr as i64, len as i64, 0, 0, 0, 0);
+        }
+    }
+}
+
+#[cfg(not(all(target_arch = "x86_64", target_os = "linux")))]
+mod sys {
+    use super::MemError;
+
+    // Non-x86-64-Linux hosts never reach these (JitContext::finalize
+    // rejects them first), but keep the crate compiling everywhere.
+    pub fn map_rw(_len: usize) -> Result<*mut u8, MemError> {
+        Err(MemError {
+            stage: "mmap(unsupported host)",
+            errno: 38, // ENOSYS
+        })
+    }
+
+    pub fn protect_rx(_ptr: *mut u8, _len: usize) -> Result<(), MemError> {
+        Err(MemError {
+            stage: "mprotect(unsupported host)",
+            errno: 38,
+        })
+    }
+
+    pub fn unmap(_ptr: *mut u8, _len: usize) {}
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    #[cfg(all(target_arch = "x86_64", target_os = "linux"))]
+    fn ret_only_function_is_callable() {
+        let mem = ExecMem::new(&[0xC3]).unwrap(); // ret
+        assert_eq!(mem.len(), 1);
+        assert!(!mem.is_empty());
+        let f: unsafe extern "C" fn() = unsafe { std::mem::transmute(mem.ptr()) };
+        unsafe { f() };
+    }
+}

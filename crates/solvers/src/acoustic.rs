@@ -33,9 +33,6 @@ pub fn init_workspace(spec: &ModelSpec, ws: &mut Workspace) {
 pub const MAIN_FIELD: &str = "u";
 
 #[cfg(test)]
-// Deliberately keeps exercising the deprecated apply_* shims so the
-// back-compat wrappers stay covered; new code should use Operator::run.
-#[allow(deprecated)]
 mod tests {
     use super::*;
     use mpix_core::ApplyOptions;
@@ -65,10 +62,8 @@ mod tests {
         let opts = ApplyOptions::default().with_nt(8).with_dt(dt);
         let c = spec.padded_shape()[0] / 2;
         let spec2 = spec.clone();
-        let out = op.apply_distributed(
-            8,
-            None,
-            &opts,
+        let out = op.run(
+            &opts.with_ranks(8),
             move |ws| {
                 init_workspace(&spec2, ws);
                 ws.field_data_mut("u", 0).set_global(&[c, c, c], 1.0);
@@ -76,7 +71,7 @@ mod tests {
             },
             |ws| ws.gather("u"),
         );
-        let g = &out[0];
+        let g = &out.results[0];
         assert!(g.iter().all(|v| v.is_finite()));
         let n = spec.padded_shape()[0];
         // Symmetry: the field must be mirror-symmetric around the center.
@@ -101,11 +96,11 @@ mod tests {
             init_workspace(&s2, ws);
             ws.field_data_mut("u", 0).set_global(&[c, c, c], 1.0);
         };
-        let serial = op.apply_local(&opts, &init, |ws| ws.gather("u"));
+        let serial = op.run(&opts, &init, |ws| ws.gather("u")).results.remove(0);
         for mode in [HaloMode::Basic, HaloMode::Diagonal, HaloMode::Full] {
-            let opts = opts.clone().with_mode(mode);
-            let out = op.apply_distributed(8, None, &opts, &init, |ws| ws.gather("u"));
-            for (a, b) in out[0].iter().zip(&serial) {
+            let opts = opts.clone().with_mode(mode).with_ranks(8);
+            let out = op.run(&opts, &init, |ws| ws.gather("u"));
+            for (a, b) in out.results[0].iter().zip(&serial) {
                 assert!(
                     (a - b).abs() <= 1e-5 * b.abs().max(1.0),
                     "{mode:?}: {a} vs {b}"
@@ -125,18 +120,21 @@ mod tests {
             let c = spec.padded_shape()[0] / 2;
             let s2 = spec.clone();
             let opts = ApplyOptions::default().with_nt(60).with_dt(dt);
-            let g = op.apply_local(
-                &opts,
-                move |ws| {
-                    init_workspace(&s2, ws);
-                    if !with_damp {
-                        s2.fill_constant(ws, "damp", 0.0);
-                    }
-                    ws.field_data_mut("u", 0).set_global(&[c, c], 1.0);
-                    ws.field_data_mut("u", -1).set_global(&[c, c], 1.0);
-                },
-                |ws| ws.gather("u"),
-            );
+            let g = op
+                .run(
+                    &opts,
+                    move |ws| {
+                        init_workspace(&s2, ws);
+                        if !with_damp {
+                            s2.fill_constant(ws, "damp", 0.0);
+                        }
+                        ws.field_data_mut("u", 0).set_global(&[c, c], 1.0);
+                        ws.field_data_mut("u", -1).set_global(&[c, c], 1.0);
+                    },
+                    |ws| ws.gather("u"),
+                )
+                .results
+                .remove(0);
             g.iter().map(|v| v.abs()).sum()
         };
         let without = run(false);

@@ -142,9 +142,6 @@ pub fn seed_pressure_source(spec: &ModelSpec, ws: &mut Workspace, amp: f32) {
 }
 
 #[cfg(test)]
-// Deliberately keeps exercising the deprecated apply_* shims so the
-// back-compat wrappers stay covered; new code should use Operator::run.
-#[allow(deprecated)]
 mod tests {
     use super::*;
     use mpix_core::ApplyOptions;
@@ -186,14 +183,17 @@ mod tests {
         let op = operator(&spec, 4);
         let s2 = spec.clone();
         let opts = ApplyOptions::default().with_nt(6).with_dt(stable_dt(&spec));
-        let g = op.apply_local(
-            &opts,
-            move |ws| {
-                init_workspace(&s2, ws);
-                seed_pressure_source(&s2, ws, 1.0);
-            },
-            |ws| ws.gather("txx"),
-        );
+        let g = op
+            .run(
+                &opts,
+                move |ws| {
+                    init_workspace(&s2, ws);
+                    seed_pressure_source(&s2, ws, 1.0);
+                },
+                |ws| ws.gather("txx"),
+            )
+            .results
+            .remove(0);
         assert!(g.iter().all(|v| v.is_finite()));
         let n = spec.padded_shape()[0];
         let c = n / 2;
@@ -217,11 +217,16 @@ mod tests {
             init_workspace(&s2, ws);
             seed_pressure_source(&s2, ws, 1.0);
         };
-        let serial = op.apply_local(&opts, &init, |ws| (ws.gather("txx"), ws.gather("vx")));
+        let serial = op
+            .run(&opts, &init, |ws| (ws.gather("txx"), ws.gather("vx")))
+            .results
+            .remove(0);
         for mode in [HaloMode::Basic, HaloMode::Diagonal, HaloMode::Full] {
-            let out = op.apply_distributed(8, None, &opts.clone().with_mode(mode), &init, |ws| {
-                (ws.gather("txx"), ws.gather("vx"))
-            });
+            let out = op
+                .run(&opts.clone().with_mode(mode).with_ranks(8), &init, |ws| {
+                    (ws.gather("txx"), ws.gather("vx"))
+                })
+                .results;
             for (a, b) in out[0].0.iter().zip(&serial.0) {
                 assert!(
                     (a - b).abs() <= 2e-5 * b.abs().max(1.0),

@@ -153,9 +153,6 @@ impl Propagator {
 }
 
 #[cfg(test)]
-// Deliberately keeps exercising the deprecated apply_* shims so the
-// back-compat wrappers stay covered; new code should use Operator::run.
-#[allow(deprecated)]
 mod tests {
     use super::*;
 
@@ -196,14 +193,17 @@ mod tests {
             let nt = 6;
             let opts = p.apply_options(nt);
             let pref = &p;
-            let g = p.op.apply_local(
-                &opts,
-                move |ws| {
-                    pref.init(ws);
-                    pref.add_ricker_source(ws, 20.0, nt as usize);
-                },
-                |ws| ws.gather(pref.main_field()),
-            );
+            let g =
+                p.op.run(
+                    &opts,
+                    move |ws| {
+                        pref.init(ws);
+                        pref.add_ricker_source(ws, 20.0, nt as usize);
+                    },
+                    |ws| ws.gather(pref.main_field()),
+                )
+                .results
+                .remove(0);
             assert!(g.iter().all(|v| v.is_finite()), "{kind:?} blew up");
             assert!(
                 g.iter().map(|v| v.abs()).sum::<f32>() > 0.0,

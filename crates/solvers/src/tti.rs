@@ -96,9 +96,6 @@ pub fn init_workspace(spec: &ModelSpec, ws: &mut Workspace) {
 pub const MAIN_FIELD: &str = "u";
 
 #[cfg(test)]
-// Deliberately keeps exercising the deprecated apply_* shims so the
-// back-compat wrappers stay covered; new code should use Operator::run.
-#[allow(deprecated)]
 mod tests {
     use super::*;
     use mpix_core::ApplyOptions;
@@ -142,17 +139,20 @@ mod tests {
         let c = spec.padded_shape()[0] / 2;
         let s2 = spec.clone();
         let opts = ApplyOptions::default().with_nt(6).with_dt(dt);
-        let (gu, gv) = op.apply_local(
-            &opts,
-            move |ws| {
-                init_workspace(&s2, ws);
-                for f in ["u", "v"] {
-                    ws.field_data_mut(f, 0).set_global(&[c, c, c], 1.0);
-                    ws.field_data_mut(f, -1).set_global(&[c, c, c], 1.0);
-                }
-            },
-            |ws| (ws.gather("u"), ws.gather("v")),
-        );
+        let (gu, gv) = op
+            .run(
+                &opts,
+                move |ws| {
+                    init_workspace(&s2, ws);
+                    for f in ["u", "v"] {
+                        ws.field_data_mut(f, 0).set_global(&[c, c, c], 1.0);
+                        ws.field_data_mut(f, -1).set_global(&[c, c, c], 1.0);
+                    }
+                },
+                |ws| (ws.gather("u"), ws.gather("v")),
+            )
+            .results
+            .remove(0);
         assert!(gu.iter().all(|x| x.is_finite()));
         assert!(gv.iter().all(|x| x.is_finite()));
         // The coupled system must have spread energy into v.
@@ -171,11 +171,13 @@ mod tests {
             init_workspace(&s2, ws);
             ws.field_data_mut("u", 0).set_global(&[c, c, c], 1.0);
         };
-        let serial = op.apply_local(&opts, &init, |ws| ws.gather("u"));
+        let serial = op.run(&opts, &init, |ws| ws.gather("u")).results.remove(0);
         for mode in [HaloMode::Basic, HaloMode::Diagonal] {
-            let out = op.apply_distributed(8, None, &opts.clone().with_mode(mode), &init, |ws| {
-                ws.gather("u")
-            });
+            let out = op
+                .run(&opts.clone().with_mode(mode).with_ranks(8), &init, |ws| {
+                    ws.gather("u")
+                })
+                .results;
             for (a, b) in out[0].iter().zip(&serial) {
                 assert!(
                     (a - b).abs() <= 2e-5 * b.abs().max(1.0),

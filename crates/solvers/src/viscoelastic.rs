@@ -212,9 +212,6 @@ pub fn apply_scalars(rel: &Relaxation) -> Vec<(String, f32)> {
 pub const MAIN_FIELD: &str = "txx";
 
 #[cfg(test)]
-// Deliberately keeps exercising the deprecated apply_* shims so the
-// back-compat wrappers stay covered; new code should use Operator::run.
-#[allow(deprecated)]
 mod tests {
     use super::*;
     use crate::elastic::seed_pressure_source;
@@ -283,7 +280,7 @@ mod tests {
             .with_scalar("t_ep", rel.t_ep_ratio as f32)
             .with_scalar("t_es", rel.t_es_ratio as f32)
             .with_scalar("inv_t_s", inv_t_s);
-        op.apply_local(
+        op.run(
             &o,
             move |ws| {
                 init_workspace(&s2, ws);
@@ -291,6 +288,8 @@ mod tests {
             },
             |ws| ws.gather("txx"),
         )
+        .results
+        .remove(0)
     }
 
     #[test]
@@ -307,24 +306,27 @@ mod tests {
         let o = ApplyOptions::default()
             .with_nt(5)
             .with_dt(0.3 * spec.spacing / (spec.vp * 3.0f64.sqrt()));
-        let elastic = eo.apply_local(
-            &o,
-            move |ws| {
-                let rho = s3.rho;
-                let mu_v = rho * s3.vs * s3.vs;
-                let pi_v = rho * s3.vp * s3.vp;
-                s3.fill_constant(ws, "b", 1.0 / rho);
-                s3.fill_constant(
-                    ws,
-                    "lam",
-                    pi_v * rel.t_ep_ratio - 2.0 * mu_v * rel.t_es_ratio,
-                );
-                s3.fill_constant(ws, "mu", mu_v * rel.t_es_ratio);
-                s3.fill_damping(ws, "damp");
-                seed_pressure_source(&s3, ws, 1.0);
-            },
-            |ws| ws.gather("txx"),
-        );
+        let elastic = eo
+            .run(
+                &o,
+                move |ws| {
+                    let rho = s3.rho;
+                    let mu_v = rho * s3.vs * s3.vs;
+                    let pi_v = rho * s3.vp * s3.vp;
+                    s3.fill_constant(ws, "b", 1.0 / rho);
+                    s3.fill_constant(
+                        ws,
+                        "lam",
+                        pi_v * rel.t_ep_ratio - 2.0 * mu_v * rel.t_es_ratio,
+                    );
+                    s3.fill_constant(ws, "mu", mu_v * rel.t_es_ratio);
+                    s3.fill_damping(ws, "damp");
+                    seed_pressure_source(&s3, ws, 1.0);
+                },
+                |ws| ws.gather("txx"),
+            )
+            .results
+            .remove(0);
         for (a, b) in visco.iter().zip(&elastic) {
             assert!(
                 (a - b).abs() <= 1e-4 * b.abs().max(1.0),
@@ -361,11 +363,13 @@ mod tests {
             init_workspace(&s2, ws);
             seed_pressure_source(&s2, ws, 1.0);
         };
-        let serial = op.apply_local(&o, &init, |ws| ws.gather("txx"));
+        let serial = op.run(&o, &init, |ws| ws.gather("txx")).results.remove(0);
         for mode in [HaloMode::Basic, HaloMode::Diagonal] {
-            let out = op.apply_distributed(8, None, &o.clone().with_mode(mode), &init, |ws| {
-                ws.gather("txx")
-            });
+            let out = op
+                .run(&o.clone().with_mode(mode).with_ranks(8), &init, |ws| {
+                    ws.gather("txx")
+                })
+                .results;
             for (a, b) in out[0].iter().zip(&serial) {
                 assert!(
                     (a - b).abs() <= 2e-5 * b.abs().max(1.0),

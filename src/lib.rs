@@ -16,7 +16,7 @@
 //! | [`comm`] | the simulated MPI substrate (ranks as threads) |
 //! | [`dmp`] | decomposition, distributed arrays, halo patterns, sparse points |
 //! | [`ir`] | Cluster IR, halo detection, schedule tree, IET + passes |
-//! | [`codegen`] | C emitter and the executable bytecode backend |
+//! | [`codegen`] | lowering backends: C emitter, bytecode engine, native JIT |
 //! | [`core`] | the user-facing `Operator` |
 //! | [`solvers`] | acoustic / TTI / elastic / viscoelastic propagators |
 //! | [`perf`] | machine + network model, strong/weak scaling generators |
@@ -40,5 +40,8 @@ pub use mpix_core::prelude;
 
 // The everyday vocabulary, importable straight off the facade:
 // `use mpix::{Operator, ApplyOptions, TraceLevel, ...}`.
-pub use mpix_core::{Applied, ApplyOptions, Operator, PerfSummary, TraceLevel, Workspace};
+pub use mpix_core::{
+    available_backends, Applied, ApplyOptions, Backend, Operator, PerfSummary, TraceLevel,
+    Workspace,
+};
 pub use mpix_dmp::HaloMode;

@@ -1,9 +1,6 @@
 //! Golden test for the generated C (paper Listing 11) and the printable
 //! compiler IRs (Listings 4–6).
 
-// Pre-dates the unified Operator::run API; deliberately left on the
-// deprecated apply_*/executable/c_code shims so they stay covered.
-#![allow(deprecated)]
 use mpix::prelude::*;
 
 fn listing1_operator() -> Operator {
@@ -18,7 +15,7 @@ fn listing1_operator() -> Operator {
 #[test]
 fn generated_c_matches_golden() {
     let op = listing1_operator();
-    let c = op.c_code(HaloMode::Basic);
+    let c = op.c_code_for(&ApplyOptions::default().with_mode(HaloMode::Basic));
     let golden = "\
 void Kernel(const int time_m, const int time_M)
 {
@@ -49,7 +46,7 @@ void Kernel(const int time_m, const int time_M)
 #[test]
 fn full_mode_c_has_overlap_structure() {
     let op = listing1_operator();
-    let c = op.c_code(HaloMode::Full);
+    let c = op.c_code_for(&ApplyOptions::default().with_mode(HaloMode::Full));
     let begin = c.find("haloupdate_begin_u").expect("async update");
     let core = c.find("/* CORE region */").expect("core loop");
     let wait = c.find("halowait_u").expect("wait call");
@@ -90,7 +87,7 @@ fn elastic_c_contains_staggered_structure() {
     // fresh-velocity exchange.
     let spec = mpix::solvers::ModelSpec::new(&[8, 8, 8]).with_nbl(0);
     let op = mpix::solvers::elastic::operator(&spec, 4);
-    let c = op.c_code(HaloMode::Basic);
+    let c = op.c_code_for(&ApplyOptions::default().with_mode(HaloMode::Basic));
     let vx_up = c.find("vx[t1]").expect("velocity update");
     let txx_up = c.find("txx[t1][").expect("stress update");
     assert!(vx_up < txx_up, "velocity cluster must precede stress");

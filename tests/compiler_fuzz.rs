@@ -6,9 +6,6 @@
 //! Any disagreement is a compiler bug: wrong index arithmetic, wrong CSE,
 //! wrong halo width, wrong unpacking — this test catches them all.
 
-// Pre-dates the unified Operator::run API; deliberately left on the
-// deprecated apply_*/executable/c_code shims so they stay covered.
-#![allow(deprecated)]
 // Linear indices are decoded into multi-dim points in place, so the
 // index-based loops are the natural shape here.
 #![allow(clippy::needless_range_loop)]
@@ -160,11 +157,13 @@ fn check_spec(spec: &StencilSpec, nt: usize, nranks: usize) -> Result<(), TestCa
             }
         }
     };
-    let got = op.apply_distributed(nranks, None, &opts, &seed, |ws| {
-        (0..nfields)
-            .map(|f| ws.gather(&format!("f{f}")))
-            .collect::<Vec<_>>()
-    });
+    let got = op
+        .run(&opts.clone().with_ranks(nranks), &seed, |ws| {
+            (0..nfields)
+                .map(|f| ws.gather(&format!("f{f}")))
+                .collect::<Vec<_>>()
+        })
+        .results;
     for f in 0..nfields {
         for (k, (a, b)) in got[0][f].iter().zip(&expected[f]).enumerate() {
             let tol = 1e-4f32 * b.abs().max(1.0);
@@ -253,7 +252,7 @@ fn elementary_functions_execute_end_to_end() {
     let op = Operator::build(ctx, grid, vec![eq]).unwrap();
 
     // The generated C uses the libm float functions.
-    let c = op.c_code(HaloMode::Basic);
+    let c = op.c_code_for(&ApplyOptions::default().with_mode(HaloMode::Basic));
     assert!(c.contains("expf("), "{c}");
     assert!(c.contains("sinf("), "{c}");
 
@@ -266,18 +265,23 @@ fn elementary_functions_execute_end_to_end() {
         }
     };
     let opts = ApplyOptions::default().with_nt(3).with_dt(1.0);
-    let serial = op.apply_local(&opts, init, |ws| ws.gather("u"));
-    let dist = op.apply_distributed(4, None, &opts, init, |ws| ws.gather("u"));
+    let serial = op.run(&opts, init, |ws| ws.gather("u")).results.remove(0);
+    let dist = op
+        .run(&opts.clone().with_ranks(4), init, |ws| ws.gather("u"))
+        .results;
     for (a, b) in dist[0].iter().zip(&serial) {
         assert_eq!(a, b, "distributed != serial with elementary functions");
     }
 
     // Direct check of one interior point after one step.
-    let one = op.apply_local(
-        &ApplyOptions::default().with_nt(1).with_dt(1.0),
-        init,
-        |ws| ws.gather("u"),
-    );
+    let one = op
+        .run(
+            &ApplyOptions::default().with_nt(1).with_dt(1.0),
+            init,
+            |ws| ws.gather("u"),
+        )
+        .results
+        .remove(0);
     let u0 = |i: usize, j: usize| ((i * 9 + j) % 5) as f32 * 0.3 - 0.6;
     let want = (-(u0(4, 4) * u0(4, 4))).exp() + 0.5 * u0(5, 4).sin();
     let got = one[4 * 9 + 4];

@@ -2,9 +2,6 @@
 //! solutions: the machinery must not only be parallel-consistent but
 //! *correct*.
 
-// Pre-dates the unified Operator::run API; deliberately left on the
-// deprecated apply_*/executable/c_code shims so they stay covered.
-#![allow(deprecated)]
 use std::f64::consts::PI;
 
 use mpix::prelude::*;
@@ -25,10 +22,8 @@ fn heat_error(n: usize, so: u32, nt: usize, ranks: usize) -> f64 {
     assert!((grid_spacing_check(&op) - h).abs() < 1e-12);
     let dt = 0.2 * h * h; // diffusion stability: dt < h²/4
     let opts = ApplyOptions::default().with_nt(nt as i64).with_dt(dt);
-    let got = op.apply_distributed(
-        ranks,
-        None,
-        &opts,
+    let got = op.run(
+        &opts.with_ranks(ranks),
         move |ws| {
             for i in 0..n {
                 for j in 0..n {
@@ -39,7 +34,7 @@ fn heat_error(n: usize, so: u32, nt: usize, ranks: usize) -> f64 {
         },
         |ws| ws.gather("u"),
     );
-    let g = &got[0];
+    let g = &got.results[0];
     let t_final = nt as f64 * dt;
     let decay = (-2.0 * PI * PI * t_final).exp();
     let mut max_err = 0.0f64;
@@ -94,7 +89,7 @@ fn acoustic_energy_is_stable_before_boundary_contact() {
     let energies: Vec<f64> = (1..=3)
         .map(|k| {
             let opts = ApplyOptions::default().with_nt(4 * k).with_dt(dt);
-            let g = op.apply_local(
+            let g = op.run(
                 &opts,
                 |ws| {
                     acoustic::init_workspace(&s2, ws);
@@ -117,7 +112,7 @@ fn acoustic_energy_is_stable_before_boundary_contact() {
                 },
                 |ws| ws.gather("u"),
             );
-            g.iter().map(|&v| (v as f64) * (v as f64)).sum()
+            g.results[0].iter().map(|&v| (v as f64) * (v as f64)).sum()
         })
         .collect();
     // No blow-up: energies stay within an order of magnitude.
@@ -140,7 +135,7 @@ fn staggered_derivatives_exact_on_linear_fields() {
     // txx = x (linear): d(txx)/dx = 1 everywhere away from the border, so
     // vx after one step = dt * b * 1 (b = 1, damp = 0 interior).
     let s2 = spec.clone();
-    let got = op.apply_local(
+    let got = op.run(
         &opts,
         move |ws| {
             elastic::init_workspace(&s2, ws);
@@ -155,7 +150,7 @@ fn staggered_derivatives_exact_on_linear_fields() {
         },
         |ws| ws.gather("vx"),
     );
-    let g = &got;
+    let g = &got.results[0];
     let h = spec.spacing as f32;
     let expected = dt as f32 * 1.0 / h; // d/dx in physical units: 1/h per index
                                         // Check deep-interior values (staggered so-4 stencil radius 2).

@@ -1,9 +1,6 @@
 //! Integration: the "logically centralized, physically distributed"
 //! array contract (paper §III b, Listings 2–3) through the public facade.
 
-// Pre-dates the unified Operator::run API; deliberately left on the
-// deprecated apply_*/executable/c_code shims so they stay covered.
-#![allow(deprecated)]
 use mpix::prelude::*;
 use proptest::prelude::*;
 
@@ -19,16 +16,19 @@ fn diffusion_op(nx: usize, ny: usize) -> Operator {
 #[test]
 fn listing2_exact_reproduction() {
     let op = diffusion_op(4, 4);
-    let views = op.apply_distributed(
-        4,
-        Some(vec![2, 2]),
-        &ApplyOptions::default().with_nt(0),
-        |ws| {
-            ws.field_data_mut("u", 0)
-                .fill_global_slice(&[1..3, 1..3], 1.0)
-        },
-        |ws| ws.field_data("u", 0).local_view_string(),
-    );
+    let views = op
+        .run(
+            &ApplyOptions::default()
+                .with_nt(0)
+                .with_ranks(4)
+                .with_topology(&[2, 2]),
+            |ws| {
+                ws.field_data_mut("u", 0)
+                    .fill_global_slice(&[1..3, 1..3], 1.0)
+            },
+            |ws| ws.field_data("u", 0).local_view_string(),
+        )
+        .results;
     assert_eq!(
         views,
         vec![
@@ -45,10 +45,8 @@ fn global_write_lands_on_exactly_one_rank() {
     let op = diffusion_op(8, 8);
     for nranks in [2usize, 4, 8] {
         let owners: Vec<usize> = op
-            .apply_distributed(
-                nranks,
-                None,
-                &ApplyOptions::default().with_nt(0),
+            .run(
+                &ApplyOptions::default().with_nt(0).with_ranks(nranks),
                 |ws| ws.field_data_mut("u", 0).set_global(&[3, 5], 7.0),
                 |ws| {
                     let nonzero = ws
@@ -60,8 +58,7 @@ fn global_write_lands_on_exactly_one_rank() {
                     nonzero
                 },
             )
-            .into_iter()
-            .collect();
+            .results;
         assert_eq!(owners.iter().sum::<usize>(), 1, "nranks={nranks}");
     }
 }
@@ -77,12 +74,19 @@ fn gather_is_identical_on_every_rank_and_to_serial() {
             }
         }
     };
-    let serial = op.apply_local(&ApplyOptions::default().with_nt(0), init, |ws| {
-        ws.gather("u")
-    });
-    let all = op.apply_distributed(6, None, &ApplyOptions::default().with_nt(0), init, |ws| {
-        ws.gather("u")
-    });
+    let serial = op
+        .run(&ApplyOptions::default().with_nt(0), init, |ws| {
+            ws.gather("u")
+        })
+        .results
+        .remove(0);
+    let all = op
+        .run(
+            &ApplyOptions::default().with_nt(0).with_ranks(6),
+            init,
+            |ws| ws.gather("u"),
+        )
+        .results;
     for g in &all {
         assert_eq!(g, &serial);
     }
@@ -92,16 +96,18 @@ fn gather_is_identical_on_every_rank_and_to_serial() {
 fn slices_crossing_rank_boundaries_cover_exactly_once() {
     let op = diffusion_op(16, 16);
     let total: f32 = op
-        .apply_distributed(
-            4,
-            Some(vec![2, 2]),
-            &ApplyOptions::default().with_nt(0),
+        .run(
+            &ApplyOptions::default()
+                .with_nt(0)
+                .with_ranks(4)
+                .with_topology(&[2, 2]),
             |ws| {
                 ws.field_data_mut("u", 0)
                     .fill_global_slice(&[5..13, 3..11], 1.0)
             },
             |ws| ws.field_data("u", 0).raw().iter().sum::<f32>(),
         )
+        .results
         .iter()
         .sum();
     assert_eq!(total, 64.0); // 8x8 slice, each point exactly once
@@ -119,13 +125,12 @@ proptest! {
         let (x1, y1) = ((x0 + w).min(16), (y0 + h).min(16));
         let expected = ((x1 - x0) * (y1 - y0)) as f32;
         let total: f32 = op
-            .apply_distributed(
-                ranks,
-                None,
-                &ApplyOptions::default().with_nt(0),
+            .run(
+                &ApplyOptions::default().with_nt(0).with_ranks(ranks),
                 move |ws| ws.field_data_mut("u", 0).fill_global_slice(&[x0..x1, y0..y1], 1.0),
                 |ws| ws.field_data("u", 0).raw().iter().sum::<f32>(),
             )
+            .results
             .iter()
             .sum();
         prop_assert_eq!(total, expected);

@@ -2,9 +2,6 @@
 //! produces bit-comparable results to serial execution for every kernel,
 //! every exchange mode, and arbitrary rank counts/topologies.
 
-// Pre-dates the unified Operator::run API; deliberately left on the
-// deprecated apply_*/executable/c_code shims so they stay covered.
-#![allow(deprecated)]
 use mpix::prelude::*;
 use mpix::solvers::{KernelKind, ModelSpec, Propagator};
 
@@ -20,12 +17,15 @@ fn run_equivalence(kind: KernelKind, nranks: usize, topology: Option<Vec<usize>>
     };
     let serial = prop
         .op
-        .apply_local(&opts, init, |ws| ws.gather(pref.main_field()));
+        .run(&opts, init, |ws| ws.gather(pref.main_field()))
+        .results
+        .remove(0);
+    let mut dist_opts = opts.clone().with_ranks(nranks);
+    dist_opts.topology = topology.clone();
     let out = prop
         .op
-        .apply_distributed(nranks, topology.clone(), &opts, init, |ws| {
-            ws.gather(pref.main_field())
-        });
+        .run(&dist_opts, init, |ws| ws.gather(pref.main_field()))
+        .results;
     for (r, g) in out.iter().enumerate() {
         for (k, (a, b)) in g.iter().zip(&serial).enumerate() {
             assert!(
@@ -96,7 +96,8 @@ fn results_do_not_depend_on_mode() {
         let opts = prop.apply_options(nt).with_mode(mode);
         let out = prop
             .op
-            .apply_distributed(4, None, &opts, init, |ws| ws.gather("txx"));
+            .run(&opts.with_ranks(4), init, |ws| ws.gather("txx"))
+            .results;
         fields.push(out.into_iter().next().unwrap());
     }
     for (a, b) in fields[0].iter().zip(&fields[1]) {

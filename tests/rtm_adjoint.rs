@@ -3,9 +3,6 @@
 //! per-receiver traces, zero-lag imaging — must localize a reflector.
 //! (The full-size version lives in `examples/rtm_imaging.rs`.)
 
-// Pre-dates the unified Operator::run API; deliberately left on the
-// deprecated apply_*/executable/c_code shims so they stay covered.
-#![allow(deprecated)]
 use mpix::prelude::*;
 use mpix::solvers::ricker_wavelet;
 
@@ -61,10 +58,8 @@ fn forward(
     save: bool,
 ) -> (Vec<Vec<f32>>, Vec<Vec<f32>>) {
     let wavelet = ricker_wavelet(16.0, dt, nt);
-    let out = op.apply_distributed(
-        4,
-        None,
-        &ApplyOptions::default().with_nt(0).with_dt(dt),
+    let out = op.run(
+        &ApplyOptions::default().with_nt(0).with_dt(dt).with_ranks(4),
         |_| {},
         move |ws| {
             setup(ws, layered);
@@ -77,7 +72,7 @@ fn forward(
                 vec![(dt * dt * V_TOP * V_TOP) as f32],
             );
             ws.add_receivers("u", SparsePoints::new(receivers(), spacing));
-            let exec = op.executable(HaloMode::Basic);
+            let exec = op.executable_for(&ApplyOptions::default().with_mode(HaloMode::Basic));
             let mut snaps = Vec::new();
             for k in 0..nt {
                 let opts = ApplyOptions::default()
@@ -95,6 +90,7 @@ fn forward(
             (ws.take_samples(1), snaps)
         },
     );
+    let out = out.results;
     let nrec = receivers().len();
     let mut gather = vec![vec![0.0f32; nrec]; nt];
     for (g, _) in &out {
@@ -128,10 +124,8 @@ fn rtm_localizes_reflector() {
     // Adjoint with per-receiver traces + imaging.
     let op_ref = &op;
     let image = op
-        .apply_distributed(
-            4,
-            None,
-            &ApplyOptions::default().with_nt(0).with_dt(dt),
+        .run(
+            &ApplyOptions::default().with_nt(0).with_dt(dt).with_ranks(4),
             |_| {},
             move |ws| {
                 setup(ws, false);
@@ -146,7 +140,8 @@ fn rtm_localizes_reflector() {
                     traces,
                     vec![(dt * dt * V_TOP * V_TOP) as f32; nrec],
                 );
-                let exec = op_ref.executable(HaloMode::Basic);
+                let exec =
+                    op_ref.executable_for(&ApplyOptions::default().with_mode(HaloMode::Basic));
                 let mut image = vec![0.0f64; N * N];
                 for s in 0..nt {
                     let opts = ApplyOptions::default()
@@ -165,6 +160,7 @@ fn rtm_localizes_reflector() {
                 image
             },
         )
+        .results
         .into_iter()
         .next()
         .unwrap();

@@ -2,9 +2,6 @@
 //! replication (Fig. 3), injection conservation, receiver gathers across
 //! topologies.
 
-// Pre-dates the unified Operator::run API; deliberately left on the
-// deprecated apply_*/executable/c_code shims so they stay covered.
-#![allow(deprecated)]
 use std::sync::Arc;
 
 use mpix::prelude::*;
@@ -29,19 +26,19 @@ fn receiver_gather_is_topology_invariant() {
         let s2 = spec.clone();
         let rc = rec.clone();
         let sp = spacing.clone();
-        let out = op.apply_distributed(
-            8,
-            Some(topo),
-            &opts,
-            move |ws| {
-                acoustic::init_workspace(&s2, ws);
-                let c = s2.padded_shape()[0] / 2;
-                ws.field_data_mut("u", 0).set_global(&[c, c, c], 1.0);
-                ws.field_data_mut("u", -1).set_global(&[c, c, c], 1.0);
-                ws.add_receivers("u", SparsePoints::new(rc.clone(), sp.clone()));
-            },
-            |ws| ws.take_samples(0),
-        );
+        let out = op
+            .run(
+                &opts.clone().with_ranks(8).with_topology(&topo),
+                move |ws| {
+                    acoustic::init_workspace(&s2, ws);
+                    let c = s2.padded_shape()[0] / 2;
+                    ws.field_data_mut("u", 0).set_global(&[c, c, c], 1.0);
+                    ws.field_data_mut("u", -1).set_global(&[c, c, c], 1.0);
+                    ws.add_receivers("u", SparsePoints::new(rc.clone(), sp.clone()));
+                },
+                |ws| ws.take_samples(0),
+            )
+            .results;
         // Merge: exactly one non-NaN per (t, p).
         let mut merged = vec![vec![f32::NAN; rec.len()]; nt as usize];
         for samples in &out {
@@ -91,21 +88,23 @@ fn source_injection_is_topology_invariant() {
         let s2 = spec.clone();
         let sc = src.clone();
         let sp = spacing.clone();
-        let out = op.apply_distributed(
-            ranks_topo.0,
-            ranks_topo.1,
-            &opts,
-            move |ws| {
-                acoustic::init_workspace(&s2, ws);
-                ws.add_injection(
-                    "u",
-                    SparsePoints::new(vec![sc.clone()], sp.clone()),
-                    vec![1.0; nt as usize],
-                    vec![1.0],
-                );
-            },
-            |ws| ws.gather("u"),
-        );
+        let mut o = opts.clone().with_ranks(ranks_topo.0);
+        o.topology = ranks_topo.1;
+        let out = op
+            .run(
+                &o,
+                move |ws| {
+                    acoustic::init_workspace(&s2, ws);
+                    ws.add_injection(
+                        "u",
+                        SparsePoints::new(vec![sc.clone()], sp.clone()),
+                        vec![1.0; nt as usize],
+                        vec![1.0],
+                    );
+                },
+                |ws| ws.gather("u"),
+            )
+            .results;
         fields.push(out.into_iter().next().unwrap());
     }
     for other in &fields[1..] {
