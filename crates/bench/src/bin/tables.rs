@@ -12,8 +12,10 @@
 //! cargo run -p mpix-bench --release --bin tables -- perf       # per-rank PerfSummary
 //! cargo run -p mpix-bench --release --bin tables -- bench-kernels [--quick]
 //! #   scalar vs vectorized interpreter GPts/s -> BENCH_kernels.json
-//! cargo run -p mpix-bench --release --bin tables -- bench-halo [--quick]
+//! cargo run -p mpix-bench --release --bin tables -- bench-halo [--quick] [--ranks-sweep]
 //! #   persistent-plan vs legacy halo exchange latency -> BENCH_comm.json
+//! #   --ranks-sweep adds weak-scaled P in {8,32,128,256,512}: sharded
+//! #   substrate vs single-shard baseline, parks + collective-algo columns
 //! ```
 
 use mpix_bench::tables;
@@ -81,10 +83,12 @@ fn bench_kernels(args: &[String]) {
 
 /// Measure persistent-plan vs legacy halo-exchange latency per mode and
 /// radius and write the record to `BENCH_comm.json` (`--quick` = CI
-/// smoke size).
+/// smoke size; `--ranks-sweep` adds the weak-scaling P ∈ {8..512} axis
+/// comparing the sharded substrate against the single-shard baseline).
 fn bench_halo(args: &[String]) {
     let quick = args.iter().any(|a| a == "--quick");
-    let json = tables::bench_halo_json(quick);
+    let ranks_sweep = args.iter().any(|a| a == "--ranks-sweep");
+    let json = tables::bench_halo_json_opts(quick, ranks_sweep);
     let path = "BENCH_comm.json";
     std::fs::write(path, &json).expect("write BENCH_comm.json");
     println!("\nwrote {path}");

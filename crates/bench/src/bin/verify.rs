@@ -45,7 +45,7 @@ fn sweep_shape(kind: KernelKind) -> &'static [usize] {
 /// diagnostic on a shipped configuration is a false positive (the
 /// mutant corpus in `tests/sanitizer.rs` proves the detectors *can*
 /// fire), so the exit status is nonzero iff any report appears.
-fn san_sweep(kernels: &[KernelKind], orders: &[u32], json: bool) {
+fn san_sweep(kernels: &[KernelKind], orders: &[u32], ranks_list: &[usize], json: bool) {
     let nt = 4i64;
     let mut entries: Vec<Value> = Vec::new();
     let mut total_reports = 0usize;
@@ -55,7 +55,7 @@ fn san_sweep(kernels: &[KernelKind], orders: &[u32], json: bool) {
             let spec = ModelSpec::new(sweep_shape(kind)).with_nbl(4);
             let prop = Propagator::build(kind, spec, so);
             for mode in [HaloMode::Basic, HaloMode::Diagonal, HaloMode::Full] {
-                for ranks in [1usize, 2, 4] {
+                for &ranks in ranks_list {
                     let pref = &prop;
                     let init = move |ws: &mut Workspace| {
                         pref.init(ws);
@@ -138,6 +138,17 @@ fn main() {
             .collect(),
         None => available_backends(),
     };
+    // Rank-count axis: `--ranks=32` or `--ranks=1,2,4,32`. The default
+    // toy counts keep the full matrix fast; CI adds a dedicated P=32 leg
+    // so the sharded mailboxes and per-rank pools are exercised (and
+    // sanitized) well past the counts the unit tests use.
+    let ranks_list: Vec<usize> = match args.iter().find_map(|a| a.strip_prefix("--ranks=")) {
+        Some(list) => list
+            .split(',')
+            .map(|r| r.parse().unwrap_or_else(|e| panic!("--ranks: {e}")))
+            .collect(),
+        None => vec![1, 2, 4],
+    };
     let pos: Vec<&String> = args.iter().filter(|a| !a.starts_with("--")).collect();
     let kernels: Vec<KernelKind> = match pos.first() {
         Some(name) => vec![*KernelKind::all()
@@ -152,13 +163,13 @@ fn main() {
     };
 
     if san {
-        san_sweep(&kernels, &orders, json);
+        san_sweep(&kernels, &orders, &ranks_list, json);
         return;
     }
 
     let cfg = AnalysisConfig {
         modes: vec![HaloMode::Basic, HaloMode::Diagonal, HaloMode::Full],
-        ranks: vec![1, 2, 4],
+        ranks: ranks_list,
         threads: vec![2, 3, 4],
         vector_widths: vec![8, 16, 32],
         backends,

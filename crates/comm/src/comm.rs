@@ -1,6 +1,6 @@
-//! The communicator: point-to-point messaging, requests, collectives.
+//! The communicator: point-to-point messaging, requests, matching.
 //!
-//! ## Zero-copy typed payloads and the buffer pool
+//! ## Zero-copy typed payloads and the buffer pools
 //!
 //! `f32` traffic — the halo-exchange hot path — travels natively: an
 //! [`Comm::isend_f32`] copies the payload once into a pooled `Vec<f32>`
@@ -8,29 +8,41 @@
 //! vector out wholesale ([`RecvRequest::wait_f32`]) or copies it into a
 //! caller-owned preallocated buffer and recycles the envelope
 //! ([`PersistentRecv::wait_into`], the `MPI_Recv_init` analogue). In
-//! steady state the pool serves every envelope, so a halo exchange
+//! steady state the pools serve every envelope, so a halo exchange
 //! performs **zero heap allocations**; [`CommStats::bufs_allocated`]
 //! counts the misses so the contract is testable.
 //!
-//! ## Bucketed matching
+//! Pools are **per sending rank** (receivers release an envelope back to
+//! the pool of the rank that acquired it), so steady-state sends on
+//! different ranks never serialize on one pool lock and the pooled
+//! capacity scales with the rank count. `MPIX_COMM_SHARDS=1` collapses
+//! to the pre-shard layout: one global capacity-capped pool.
 //!
-//! Each rank's mailbox is a map of per-`(source, tag)` FIFO queues
-//! (`VecDeque`), so matching is an O(1) front pop instead of the former
-//! O(n) scan + O(n) `Vec::remove` under one hot mutex. Arrival order is
-//! preserved per `(source, tag)` pair, exactly MPI's non-overtaking
-//! guarantee.
+//! ## Sharded bucketed matching
+//!
+//! Each rank's mailbox is a power-of-two array of *shards* (default 16,
+//! `MPIX_COMM_SHARDS`), each with its own mutex, condvar and set of
+//! per-`(source, tag)` FIFO queues; a stream hashes to exactly one shard,
+//! preserving MPI's non-overtaking guarantee per `(source, tag)` pair
+//! while concurrent senders from different peers land on different locks.
+//! Matching is an O(1) front pop; persistent requests resolve their
+//! `(shard, slot)` address once at init and skip even the hash on every
+//! message. `MPI_Waitany`-style completion uses a lock-free eventcount
+//! (an atomic push counter plus an advertised-waiter count), so the
+//! arrival-order drain loop in `dmp::halo` costs senders one atomic
+//! add + one atomic load when nobody is parked.
 //!
 //! ## Fail-fast poison semantics
 //!
 //! When a rank's closure panics, [`crate::Universe`] poisons the world:
 //! every blocked receive and barrier wait wakes up and unwinds promptly
-//! instead of hitting the 60 s deadlock timeout, and the *original*
-//! panic payload is re-raised to the `Universe::run` caller.
+//! instead of hitting the receive timeout, and the *original* panic
+//! payload is re-raised to the `Universe::run` caller.
 
 use std::any::Any;
 use std::collections::{BTreeMap, HashMap, VecDeque};
 use std::fmt::Write as _;
-use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
 use std::sync::{Arc, Condvar, Mutex};
 use std::time::{Duration, Instant};
 
@@ -38,6 +50,11 @@ use mpix_san::{San, SendKind};
 use mpix_trace::{MsgDir, MsgRecord};
 
 use crate::stats::{CommStats, StatsInner};
+use crate::tuning::CommTuning;
+
+// Re-exported for path compatibility: callers historically imported the
+// reduction ops from here, before the collectives grew their own module.
+pub use crate::collectives::ReduceOp;
 
 /// Message tag. User tags must stay below [`RESERVED_TAG_BASE`].
 pub type Tag = u32;
@@ -45,20 +62,24 @@ pub type Tag = u32;
 /// Tags at or above this value are reserved for collectives.
 pub const RESERVED_TAG_BASE: Tag = 1 << 30;
 
-/// How long a blocking receive waits before declaring deadlock. Generous
-/// for slow CI machines while still failing fast on real bugs.
-const RECV_TIMEOUT: Duration = Duration::from_secs(60);
-
 /// Panic message used when a wait unwinds because a *peer* rank panicked
 /// (the world was poisoned). `Universe::run` swallows these secondary
 /// panics and re-raises the original payload instead.
 pub const POISONED_MSG: &str = "world poisoned: a peer rank panicked";
 
-/// Upper bound on pooled envelope buffers kept alive per world. Sized so
-/// a 3-D diagonal exchange on a few dozen ranks (26 messages each) stays
-/// fully pooled; beyond that the pool degrades gracefully to occasional
-/// allocation rather than unbounded memory.
+/// Upper bound on pooled envelope buffers in the *global* pool layout
+/// (`MPIX_COMM_SHARDS=1`). Sized so a 3-D diagonal exchange on a few
+/// dozen ranks (26 messages each) stays fully pooled; beyond that the
+/// pool degrades gracefully to occasional allocation rather than
+/// unbounded memory.
 const POOL_MAX: usize = 1024;
+
+/// Upper bound on pooled envelope buffers per *rank* in the sharded
+/// layout. A rank's in-flight window is its neighbour count times the
+/// pipelining depth (26 × a few for 3-D diagonal), so 256 keeps the
+/// steady state allocation-free at any rank count while capping memory
+/// at O(ranks), not O(ranks²).
+const POOL_MAX_PER_RANK: usize = 256;
 
 /// A message payload. `f32` traffic (the halo hot path) is carried
 /// natively so typed receives never round-trip through bytes; the byte
@@ -88,34 +109,27 @@ struct Envelope {
     sent_at: Option<Instant>,
 }
 
-/// How many times a blocked receive yields the core before parking on
-/// the condvar. On oversubscribed hosts the matching send is usually one
-/// scheduler handoff away, and a yield is far cheaper than a futex
-/// park/wake round-trip; on idle hosts the fall-through to a real park
-/// keeps long waits free.
-const YIELD_ROUNDS: usize = 32;
-
+/// One shard of a mailbox: an independent set of per-`(source, tag)`
+/// FIFO queues under its own lock.
 #[derive(Default)]
-struct MailboxInner {
+struct ShardInner {
     /// Per-(source, tag) FIFO queues. A slot, once created for a stream,
     /// lives for the world's lifetime, so persistent requests resolve
-    /// their slot index at init time and skip the hash lookup on every
-    /// message; a pop is an O(1) front pop.
+    /// their `(shard, slot)` address at init time and skip the hash
+    /// lookup on every message; a pop is an O(1) front pop.
     slots: Vec<VecDeque<Envelope>>,
     /// `(source, tag)` → slot index, consulted once per persistent
     /// request (at init) and once per non-persistent message.
     index: HashMap<(usize, Tag), usize>,
     queued: usize,
-    /// Threads currently parked on the `arrived` condvar. Senders skip
-    /// the (syscall-priced) wake entirely when nobody is parked — in a
-    /// healthy exchange most messages land before the receiver blocks.
+    /// Threads currently parked on this shard's `arrived` condvar.
+    /// Senders skip the (syscall-priced) wake entirely when nobody is
+    /// parked — in a healthy exchange most messages land before the
+    /// receiver blocks.
     waiters: usize,
-    /// Monotone push counter; `MPI_Waitany`-style completion parks until
-    /// this moves instead of until one specific message matches.
-    pushes: u64,
 }
 
-impl MailboxInner {
+impl ShardInner {
     /// Slot index of the `(src, tag)` stream, creating it on first use.
     fn slot_of(&mut self, src: usize, tag: Tag) -> usize {
         if let Some(&s) = self.index.get(&(src, tag)) {
@@ -130,7 +144,6 @@ impl MailboxInner {
     fn push_slot(&mut self, slot: usize, env: Envelope) {
         self.slots[slot].push_back(env);
         self.queued += 1;
-        self.pushes += 1;
     }
 
     fn pop_slot(&mut self, slot: usize) -> Option<Envelope> {
@@ -139,57 +152,148 @@ impl MailboxInner {
         Some(env)
     }
 
-    fn push(&mut self, src: usize, tag: Tag, env: Envelope) {
-        let s = self.slot_of(src, tag);
-        self.push_slot(s, env);
-    }
-
     fn pop(&mut self, src: usize, tag: Tag) -> Option<Envelope> {
         let &s = self.index.get(&(src, tag))?;
         self.pop_slot(s)
     }
-
-    /// Human-readable digest of queued-but-unmatched envelopes, so a
-    /// receive timeout reads as the tag-mismatch it usually is rather
-    /// than a lost message.
-    fn queued_summary(&self) -> String {
-        if self.queued == 0 {
-            return "mailbox is empty".to_string();
-        }
-        let mut out = format!("mailbox holds {} unmatched message(s):", self.queued);
-        let mut streams: Vec<(&(usize, Tag), &usize)> = self.index.iter().collect();
-        streams.sort();
-        let mut listed = 0;
-        for (&(src, tag), &slot) in streams {
-            for env in &self.slots[slot] {
-                if listed == 16 {
-                    let _ = write!(out, " …");
-                    return out;
-                }
-                let _ = write!(
-                    out,
-                    " (src={src}, tag={tag}, {} bytes)",
-                    env.payload.len_bytes()
-                );
-                listed += 1;
-            }
-        }
-        out
-    }
 }
 
-/// One mailbox per rank; senders push, the owner matches and pops.
-pub(crate) struct Mailbox {
-    inner: Mutex<MailboxInner>,
+struct Shard {
+    inner: Mutex<ShardInner>,
     arrived: Condvar,
 }
 
+/// One mailbox per rank; senders push, the owner matches and pops.
+///
+/// Matching state is split across `shards.len()` (a power of two)
+/// independently-locked shards keyed by a hash of `(source, tag)`, so
+/// concurrent senders targeting one rank from different streams never
+/// contend on one mutex. The `MPI_Waitany` path rides on a mailbox-wide
+/// *eventcount*: `pushes` counts arrivals across all shards, and a
+/// parked any-waiter advertises itself in `any_waiters` before
+/// re-checking the counter — the SeqCst ordering of both sides makes a
+/// lost wakeup impossible (see [`wait_arrival_beyond`]).
+pub(crate) struct Mailbox {
+    shards: Box<[Shard]>,
+    mask: usize,
+    /// Monotone arrival counter across all shards (the eventcount word).
+    pushes: AtomicU64,
+    /// Threads inside `wait_arrival_beyond` that are about to park (or
+    /// parked) on `any_arrived`. Senders skip the wake when zero.
+    any_waiters: AtomicUsize,
+    any_lock: Mutex<()>,
+    any_arrived: Condvar,
+}
+
 impl Mailbox {
-    pub(crate) fn new() -> Mailbox {
+    pub(crate) fn new(shards: usize) -> Mailbox {
+        debug_assert!(shards.is_power_of_two());
         Mailbox {
-            inner: Mutex::new(MailboxInner::default()),
-            arrived: Condvar::new(),
+            shards: (0..shards)
+                .map(|_| Shard {
+                    inner: Mutex::new(ShardInner::default()),
+                    arrived: Condvar::new(),
+                })
+                .collect(),
+            mask: shards - 1,
+            pushes: AtomicU64::new(0),
+            any_waiters: AtomicUsize::new(0),
+            any_lock: Mutex::new(()),
+            any_arrived: Condvar::new(),
         }
+    }
+
+    /// Shard index of the `(src, tag)` stream. A multiplicative hash of
+    /// both coordinates so that one peer's many tags *and* one tag's
+    /// many peers both spread across shards.
+    fn shard_of(&self, src: usize, tag: Tag) -> usize {
+        let h = (src as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15)
+            ^ (tag as u64).wrapping_mul(0xC2B2_AE3D_27D4_EB4F);
+        ((h >> 32) as usize) & self.mask
+    }
+
+    /// Resolve the `(shard, slot)` address of a stream, creating the
+    /// slot on first use (persistent-request init).
+    fn slot_addr(&self, src: usize, tag: Tag) -> (usize, usize) {
+        let si = self.shard_of(src, tag);
+        let slot = self.shards[si].inner.lock().unwrap().slot_of(src, tag);
+        (si, slot)
+    }
+
+    /// Enqueue one envelope. `addr` is the pre-resolved `(shard, slot)`
+    /// for persistent sends; `None` falls back to the hash + index
+    /// lookup. Bumps the eventcount and performs both waiter-gated
+    /// wakes (the stream's shard condvar and the any-arrival condvar).
+    fn push(&self, addr: Option<(usize, usize)>, src: usize, tag: Tag, env: Envelope) {
+        let si = match addr {
+            Some((si, _)) => si,
+            None => self.shard_of(src, tag),
+        };
+        let shard = &self.shards[si];
+        let wake = {
+            let mut g = shard.inner.lock().unwrap();
+            match addr {
+                Some((_, slot)) => g.push_slot(slot, env),
+                None => {
+                    let slot = g.slot_of(src, tag);
+                    g.push_slot(slot, env);
+                }
+            }
+            g.waiters > 0
+        };
+        // Eventcount publish, strictly after the envelope is enqueued
+        // (under the shard lock above) and strictly before the
+        // any-waiter check below — see `wait_arrival_beyond` for why the
+        // SeqCst pairing makes lost wakeups impossible.
+        self.pushes.fetch_add(1, Ordering::SeqCst);
+        if wake {
+            shard.arrived.notify_all();
+        }
+        if self.any_waiters.load(Ordering::SeqCst) > 0 {
+            let _g = self.any_lock.lock().unwrap();
+            self.any_arrived.notify_all();
+        }
+    }
+
+    /// Human-readable digest of queued-but-unmatched envelopes across
+    /// all shards, so a receive timeout reads as the tag-mismatch it
+    /// usually is rather than a lost message.
+    fn queued_summary(&self) -> String {
+        let mut entries: Vec<(usize, Tag, usize)> = Vec::new();
+        let mut queued = 0usize;
+        for shard in self.shards.iter() {
+            let g = shard.inner.lock().unwrap();
+            queued += g.queued;
+            for (&(src, tag), &slot) in g.index.iter() {
+                for env in &g.slots[slot] {
+                    entries.push((src, tag, env.payload.len_bytes()));
+                }
+            }
+        }
+        if queued == 0 {
+            return "mailbox is empty".to_string();
+        }
+        entries.sort_unstable();
+        let mut out = format!("mailbox holds {queued} unmatched message(s):");
+        for (i, (src, tag, bytes)) in entries.iter().enumerate() {
+            if i == 16 {
+                let _ = write!(out, " …");
+                break;
+            }
+            let _ = write!(out, " (src={src}, tag={tag}, {bytes} bytes)");
+        }
+        out
+    }
+
+    /// Wake every waiter on every shard plus the any-arrival condvar
+    /// (poison path).
+    fn wake_all(&self) {
+        for shard in self.shards.iter() {
+            let _g = shard.inner.lock().unwrap();
+            shard.arrived.notify_all();
+        }
+        let _g = self.any_lock.lock().unwrap();
+        self.any_arrived.notify_all();
     }
 }
 
@@ -199,6 +303,7 @@ impl Mailbox {
 /// request, so mixed message sizes stabilize after warm-up.
 struct BufferPool {
     inner: Mutex<PoolInner>,
+    max: usize,
 }
 
 /// Free buffers keyed by capacity so `acquire` is an `O(log n)` best-fit
@@ -211,9 +316,10 @@ struct PoolInner {
 }
 
 impl BufferPool {
-    fn new() -> BufferPool {
+    fn new(max: usize) -> BufferPool {
         BufferPool {
             inner: Mutex::new(PoolInner::default()),
+            max,
         }
     }
 
@@ -253,7 +359,7 @@ impl BufferPool {
     fn release(&self, mut buf: Vec<f32>) {
         buf.clear();
         let mut pool = self.inner.lock().unwrap();
-        if pool.total < POOL_MAX {
+        if pool.total < self.max {
             pool.total += 1;
             pool.by_cap.entry(buf.capacity()).or_default().push(buf);
         }
@@ -266,7 +372,7 @@ impl BufferPool {
     fn reserve(&self, count: usize, len: usize) {
         let mut pool = self.inner.lock().unwrap();
         for _ in 0..count {
-            if pool.total >= POOL_MAX {
+            if pool.total >= self.max {
                 break;
             }
             let buf = Vec::with_capacity(len);
@@ -334,7 +440,12 @@ pub(crate) struct World {
     pub(crate) mailboxes: Vec<Mailbox>,
     pub(crate) barrier: PoisonBarrier,
     pub(crate) stats: Vec<Mutex<StatsInner>>,
-    pool: BufferPool,
+    pub(crate) tuning: CommTuning,
+    /// Envelope-buffer pools: one per rank (indexed by the *sending*
+    /// rank; receivers release a buffer back to its origin pool), or a
+    /// single global pool when `tuning.mailbox_shards == 1` (the
+    /// pre-shard baseline layout).
+    pools: Box<[BufferPool]>,
     poisoned: AtomicBool,
     /// True once any rank enables message logging; senders stamp
     /// envelopes with `sent_at` only while set.
@@ -347,17 +458,31 @@ pub(crate) struct World {
 }
 
 impl World {
-    pub(crate) fn new(n: usize, san: Option<Arc<San>>) -> World {
+    pub(crate) fn new(n: usize, san: Option<Arc<San>>, tuning: CommTuning) -> World {
+        let shards = tuning.mailbox_shards;
+        let pools: Box<[BufferPool]> = if shards <= 1 {
+            // Unsharded baseline: one global capacity-capped pool.
+            Box::new([BufferPool::new(POOL_MAX)])
+        } else {
+            (0..n).map(|_| BufferPool::new(POOL_MAX_PER_RANK)).collect()
+        };
         World {
-            mailboxes: (0..n).map(|_| Mailbox::new()).collect(),
+            mailboxes: (0..n).map(|_| Mailbox::new(shards)).collect(),
             barrier: PoisonBarrier::new(n),
             stats: (0..n).map(|_| Mutex::new(StatsInner::default())).collect(),
-            pool: BufferPool::new(),
+            tuning,
+            pools,
             poisoned: AtomicBool::new(false),
             log_any: AtomicBool::new(false),
             panic_payload: Mutex::new(None),
             san,
         }
+    }
+
+    /// The envelope pool owned by (sending) `rank`. Collapses to the one
+    /// global pool in the unsharded layout.
+    fn pool_for(&self, rank: usize) -> &BufferPool {
+        &self.pools[rank % self.pools.len()]
     }
 
     fn is_poisoned(&self) -> bool {
@@ -382,8 +507,7 @@ impl World {
         }
         self.poisoned.store(true, Ordering::SeqCst);
         for mb in &self.mailboxes {
-            let _g = mb.inner.lock().unwrap();
-            mb.arrived.notify_all();
+            mb.wake_all();
         }
         self.barrier.poison_notify();
     }
@@ -394,16 +518,25 @@ impl World {
     }
 }
 
-/// Block until a `(src, tag)` message arrives in `rank`'s mailbox.
-/// Unwinds with [`POISONED_MSG`] if a peer rank panics while we wait, and
-/// with a queued-envelope digest if `timeout` expires (tag-mismatch
-/// diagnosis instead of a bare "deadlock").
-fn wait_envelope(world: &World, rank: usize, src: usize, tag: Tag, timeout: Duration) -> Envelope {
+/// Shared blocking-match loop: spin-yield, then park on the stream's
+/// shard condvar until `pop` produces an envelope. Poison-aware and
+/// deadline-guarded; on expiry the panic lists every queued-but-unmatched
+/// envelope in the mailbox (tag-mismatch diagnosis instead of a bare
+/// "deadlock").
+fn wait_match(
+    world: &World,
+    rank: usize,
+    shard_idx: usize,
+    timeout: Duration,
+    mut pop: impl FnMut(&mut ShardInner) -> Option<Envelope>,
+    describe: impl Fn() -> String,
+) -> Envelope {
     let mailbox = &world.mailboxes[rank];
+    let shard = &mailbox.shards[shard_idx];
     // Cooperative phase: donate the timeslice to whichever peer owes us
     // the message before paying for a futex park.
-    for _ in 0..YIELD_ROUNDS {
-        if let Some(env) = mailbox.inner.lock().unwrap().pop(src, tag) {
+    for _ in 0..world.tuning.spin_yields {
+        if let Some(env) = pop(&mut shard.inner.lock().unwrap()) {
             return env;
         }
         if world.is_poisoned() {
@@ -412,9 +545,9 @@ fn wait_envelope(world: &World, rank: usize, src: usize, tag: Tag, timeout: Dura
         std::thread::yield_now();
     }
     let deadline = Instant::now() + timeout;
-    let mut inner = mailbox.inner.lock().unwrap();
+    let mut inner = shard.inner.lock().unwrap();
     loop {
-        if let Some(env) = inner.pop(src, tag) {
+        if let Some(env) = pop(&mut inner) {
             return env;
         }
         if world.is_poisoned() {
@@ -423,38 +556,71 @@ fn wait_envelope(world: &World, rank: usize, src: usize, tag: Tag, timeout: Dura
         }
         let now = Instant::now();
         if now >= deadline {
-            let queued = inner.queued_summary();
             drop(inner);
-            panic!("rank {rank} deadlocked waiting for (src={src}, tag={tag}); {queued}");
+            let queued = mailbox.queued_summary();
+            panic!(
+                "rank {rank} deadlocked waiting for {}; {queued}",
+                describe()
+            );
         }
         inner.waiters += 1;
-        let (mut g, _) = mailbox.arrived.wait_timeout(inner, deadline - now).unwrap();
+        // `stats[rank]` is only ever locked by its owning thread (and
+        // we are it), so taking it under the shard lock cannot deadlock.
+        world.stats[rank].lock().unwrap().recv_parks += 1;
+        let (mut g, _) = shard.arrived.wait_timeout(inner, deadline - now).unwrap();
         g.waiters -= 1;
         inner = g;
     }
 }
 
-/// Non-blocking variant of [`wait_envelope`].
-fn try_envelope(world: &World, rank: usize, src: usize, tag: Tag) -> Option<Envelope> {
-    world.mailboxes[rank].inner.lock().unwrap().pop(src, tag)
+/// Block until a `(src, tag)` message arrives in `rank`'s mailbox.
+/// Unwinds with [`POISONED_MSG`] if a peer rank panics while we wait, and
+/// with a queued-envelope digest if `timeout` expires.
+fn wait_envelope(world: &World, rank: usize, src: usize, tag: Tag, timeout: Duration) -> Envelope {
+    let si = world.mailboxes[rank].shard_of(src, tag);
+    wait_match(
+        world,
+        rank,
+        si,
+        timeout,
+        |g| g.pop(src, tag),
+        || format!("(src={src}, tag={tag})"),
+    )
 }
 
-/// Current value of `rank`'s mailbox push counter (see
+/// Non-blocking variant of [`wait_envelope`].
+fn try_envelope(world: &World, rank: usize, src: usize, tag: Tag) -> Option<Envelope> {
+    let mailbox = &world.mailboxes[rank];
+    let si = mailbox.shard_of(src, tag);
+    mailbox.shards[si].inner.lock().unwrap().pop(src, tag)
+}
+
+/// Current value of `rank`'s mailbox arrival counter (see
 /// [`wait_arrival_beyond`]).
 fn arrival_seq(world: &World, rank: usize) -> u64 {
-    world.mailboxes[rank].inner.lock().unwrap().pushes
+    world.mailboxes[rank].pushes.load(Ordering::SeqCst)
 }
 
 /// Park until `rank`'s mailbox has seen a push beyond `seq` — the
 /// `MPI_Waitany` building block: snapshot the counter, try every pending
 /// request, and park here only if none completed. Returns immediately if
 /// the counter already moved, so no arrival between snapshot and park can
-/// be lost. Poison-aware and deadline-guarded like [`wait_envelope`].
+/// be lost.
+///
+/// Lost-wakeup proof (eventcount): the waiter advertises itself in
+/// `any_waiters` (SeqCst) and only *then* re-reads `pushes`; the sender
+/// bumps `pushes` (SeqCst) and only *then* reads `any_waiters`. If the
+/// waiter's re-read misses the sender's bump, the bump is after the
+/// re-read in the total SeqCst order, hence after the advertisement, so
+/// the sender's `any_waiters` read sees it and the sender takes
+/// `any_lock` to notify — a lock the waiter holds continuously from
+/// before its re-read until it parks, so the notify cannot slip into
+/// the gap. Poison-aware and deadline-guarded like [`wait_envelope`].
 fn wait_arrival_beyond(world: &World, rank: usize, seq: u64) {
     let mailbox = &world.mailboxes[rank];
-    // Cooperative phase, as in `wait_envelope`.
-    for _ in 0..YIELD_ROUNDS {
-        if mailbox.inner.lock().unwrap().pushes != seq {
+    // Cooperative phase, as in `wait_match`.
+    for _ in 0..world.tuning.spin_yields {
+        if mailbox.pushes.load(Ordering::SeqCst) != seq {
             return;
         }
         if world.is_poisoned() {
@@ -462,26 +628,33 @@ fn wait_arrival_beyond(world: &World, rank: usize, seq: u64) {
         }
         std::thread::yield_now();
     }
-    let deadline = Instant::now() + RECV_TIMEOUT;
-    let mut inner = mailbox.inner.lock().unwrap();
+    let deadline = Instant::now() + world.tuning.recv_timeout;
+    let mut g = mailbox.any_lock.lock().unwrap();
     loop {
-        if inner.pushes != seq {
+        if mailbox.pushes.load(Ordering::SeqCst) != seq {
             return;
         }
         if world.is_poisoned() {
-            drop(inner);
+            drop(g);
             panic!("{POISONED_MSG}");
         }
         let now = Instant::now();
         if now >= deadline {
-            let queued = inner.queued_summary();
-            drop(inner);
+            drop(g);
+            let queued = mailbox.queued_summary();
             panic!("rank {rank} deadlocked waiting for any arrival; {queued}");
         }
-        inner.waiters += 1;
-        let (mut g, _) = mailbox.arrived.wait_timeout(inner, deadline - now).unwrap();
-        g.waiters -= 1;
-        inner = g;
+        mailbox.any_waiters.fetch_add(1, Ordering::SeqCst);
+        // Advertised-waiter re-check: closes the race against a sender
+        // that bumped `pushes` before seeing our advertisement.
+        if mailbox.pushes.load(Ordering::SeqCst) != seq {
+            mailbox.any_waiters.fetch_sub(1, Ordering::SeqCst);
+            return;
+        }
+        world.stats[rank].lock().unwrap().recv_parks += 1;
+        let (g2, _) = mailbox.any_arrived.wait_timeout(g, deadline - now).unwrap();
+        mailbox.any_waiters.fetch_sub(1, Ordering::SeqCst);
+        g = g2;
     }
 }
 
@@ -525,14 +698,14 @@ fn record_recv(
 }
 
 /// Complete a received envelope into a caller-owned buffer, recycling
-/// the envelope's storage through the pool. Zero allocations when `out`
-/// has sufficient capacity.
-fn complete_into(world: &World, payload: Payload, out: &mut Vec<f32>) {
+/// the envelope's storage through its origin rank's pool. Zero
+/// allocations when `out` has sufficient capacity.
+fn complete_into(world: &World, origin: usize, payload: Payload, out: &mut Vec<f32>) {
     out.clear();
     match payload {
         Payload::F32(v) => {
             out.extend_from_slice(&v);
-            world.pool.release(v);
+            world.pool_for(origin).release(v);
         }
         Payload::Bytes(b) => {
             assert_eq!(b.len() % 4, 0, "payload not a whole number of f32s");
@@ -547,9 +720,9 @@ fn complete_into(world: &World, payload: Payload, out: &mut Vec<f32>) {
 /// A per-rank communicator handle. Clone-free by design: each rank thread
 /// owns exactly one.
 pub struct Comm {
-    rank: usize,
-    size: usize,
-    world: Arc<World>,
+    pub(crate) rank: usize,
+    pub(crate) size: usize,
+    pub(crate) world: Arc<World>,
 }
 
 /// Completed-on-creation send request (eager delivery), kept for API
@@ -621,7 +794,8 @@ impl RecvRequest {
 
     /// Block until the message arrives and return its payload.
     pub fn wait(self) -> Vec<u8> {
-        self.wait_timeout(RECV_TIMEOUT)
+        let timeout = self.world.tuning.recv_timeout;
+        self.wait_timeout(timeout)
     }
 
     /// [`wait`](Self::wait) with an explicit deadlock timeout; on expiry
@@ -634,22 +808,22 @@ impl RecvRequest {
     /// Like [`wait`](Self::wait) but interpreting the payload as `f32`s.
     /// Natively-typed messages are moved out without conversion.
     pub fn wait_f32(mut self) -> Vec<f32> {
-        self.fill(RECV_TIMEOUT);
+        self.fill(self.world.tuning.recv_timeout);
         self.take_f32()
     }
 
     /// Complete into a caller-owned preallocated buffer (cleared first).
     /// Allocation-free when `out` has capacity; the envelope's storage
-    /// returns to the world's pool.
+    /// returns to its origin rank's pool.
     pub fn wait_into_f32(mut self, out: &mut Vec<f32>) {
-        self.fill(RECV_TIMEOUT);
+        self.fill(self.world.tuning.recv_timeout);
         let payload = self.done.take().unwrap();
         let copied = payload.len_bytes();
         {
             let mut s = self.world.stats[self.rank].lock().unwrap();
             s.bytes_copied += copied as u64;
         }
-        complete_into(&self.world, payload, out);
+        complete_into(&self.world, self.src, payload, out);
     }
 
     fn fill(&mut self, timeout: Duration) {
@@ -690,8 +864,10 @@ impl RecvRequest {
 pub struct PersistentRecv {
     src: usize,
     tag: Tag,
-    /// Mailbox slot resolved at init, skipping the per-message hash
-    /// lookup on every completion (and every failed poll).
+    /// Mailbox `(shard, slot)` address resolved at init, skipping both
+    /// the shard hash and the per-message index lookup on every
+    /// completion (and every failed poll).
+    shard: usize,
     slot: usize,
     rank: usize,
     world: Arc<World>,
@@ -717,7 +893,7 @@ impl PersistentRecv {
             copied,
             true,
         );
-        complete_into(&self.world, env.payload, out);
+        complete_into(&self.world, self.src, env.payload, out);
     }
 
     /// Non-blocking [`wait_into`](Self::wait_into): returns `false` when
@@ -735,7 +911,7 @@ impl PersistentRecv {
                     copied,
                     true,
                 );
-                complete_into(&self.world, env.payload, out);
+                complete_into(&self.world, self.src, env.payload, out);
                 true
             }
             None => false,
@@ -758,7 +934,7 @@ impl PersistentRecv {
             copied,
             true,
         );
-        complete_with(&self.world, self.rank, env.payload, f)
+        complete_with(&self.world, self.rank, self.src, env.payload, f)
     }
 
     /// Non-blocking [`wait_with`](Self::wait_with): returns `None` when
@@ -775,54 +951,34 @@ impl PersistentRecv {
             copied,
             true,
         );
-        Some(complete_with(&self.world, self.rank, env.payload, f))
+        Some(complete_with(
+            &self.world,
+            self.rank,
+            self.src,
+            env.payload,
+            f,
+        ))
     }
 
-    /// Blocking matched-envelope fetch through the cached slot index
-    /// (no per-message hash), sharing the poison/timeout semantics of
-    /// [`wait_envelope`].
+    /// Blocking matched-envelope fetch through the cached `(shard,
+    /// slot)` address (no per-message hash), sharing the poison/timeout
+    /// semantics of [`wait_envelope`].
     fn wait_slot(&self) -> Envelope {
-        let mailbox = &self.world.mailboxes[self.rank];
-        // Cooperative phase: donate the timeslice to whichever peer owes
-        // us the message before paying for a futex park.
-        for _ in 0..YIELD_ROUNDS {
-            if let Some(env) = mailbox.inner.lock().unwrap().pop_slot(self.slot) {
-                return env;
-            }
-            if self.world.is_poisoned() {
-                panic!("{POISONED_MSG}");
-            }
-            std::thread::yield_now();
-        }
-        let deadline = Instant::now() + RECV_TIMEOUT;
-        let mut inner = mailbox.inner.lock().unwrap();
-        loop {
-            if let Some(env) = inner.pop_slot(self.slot) {
-                return env;
-            }
-            if self.world.is_poisoned() {
-                drop(inner);
-                panic!("{POISONED_MSG}");
-            }
-            let now = Instant::now();
-            if now >= deadline {
-                let queued = inner.queued_summary();
-                drop(inner);
-                panic!(
-                    "rank {} deadlocked waiting for (src={}, tag={}); {queued}",
-                    self.rank, self.src, self.tag
-                );
-            }
-            inner.waiters += 1;
-            let (mut g, _) = mailbox.arrived.wait_timeout(inner, deadline - now).unwrap();
-            g.waiters -= 1;
-            inner = g;
-        }
+        let timeout = self.world.tuning.recv_timeout;
+        let slot = self.slot;
+        wait_match(
+            &self.world,
+            self.rank,
+            self.shard,
+            timeout,
+            |g| g.pop_slot(slot),
+            || format!("(src={}, tag={})", self.src, self.tag),
+        )
     }
 
     /// Non-blocking variant of [`wait_slot`](Self::wait_slot).
     fn try_slot(&self) -> Option<Envelope> {
-        self.world.mailboxes[self.rank]
+        self.world.mailboxes[self.rank].shards[self.shard]
             .inner
             .lock()
             .unwrap()
@@ -846,18 +1002,19 @@ impl PersistentRecv {
 }
 
 /// Complete a received envelope by lending its payload slice to `f`,
-/// recycling the envelope's storage through the pool. Zero allocations
-/// for typed payloads.
+/// recycling the envelope's storage through its origin rank's pool.
+/// Zero allocations for typed payloads.
 fn complete_with<R>(
     world: &World,
     rank: usize,
+    origin: usize,
     payload: Payload,
     f: impl FnOnce(&[f32]) -> R,
 ) -> R {
     match payload {
         Payload::F32(v) => {
             let r = f(&v);
-            world.pool.release(v);
+            world.pool_for(origin).release(v);
             r
         }
         Payload::Bytes(b) => {
@@ -874,8 +1031,9 @@ fn complete_with<R>(
 pub struct PersistentSend {
     dest: usize,
     tag: Tag,
-    /// Destination-mailbox slot resolved at init, skipping the
-    /// per-message hash lookup.
+    /// Destination-mailbox `(shard, slot)` address resolved at init,
+    /// skipping the per-message hash lookup.
+    shard: usize,
     slot: usize,
     rank: usize,
     world: Arc<World>,
@@ -893,7 +1051,7 @@ impl PersistentSend {
             self.rank,
             self.dest,
             self.tag,
-            Some(self.slot),
+            Some((self.shard, self.slot)),
             data.len(),
             |buf| buf.extend_from_slice(data),
         )
@@ -909,7 +1067,7 @@ impl PersistentSend {
             self.rank,
             self.dest,
             self.tag,
-            Some(self.slot),
+            Some((self.shard, self.slot)),
             len,
             fill,
         )
@@ -918,7 +1076,13 @@ impl PersistentSend {
 
 /// The shared typed-send path: acquire a pooled envelope buffer, copy
 /// the payload in (the single wire copy), enqueue, notify.
-fn send_f32_pooled(world: &World, rank: usize, dest: usize, tag: Tag, data: &[f32]) -> SendRequest {
+pub(crate) fn send_f32_pooled(
+    world: &World,
+    rank: usize,
+    dest: usize,
+    tag: Tag,
+    data: &[f32],
+) -> SendRequest {
     send_pooled_with(world, rank, dest, tag, None, data.len(), |buf| {
         buf.extend_from_slice(data)
     })
@@ -926,14 +1090,15 @@ fn send_f32_pooled(world: &World, rank: usize, dest: usize, tag: Tag, data: &[f3
 
 /// Typed-send core: acquire a pooled buffer sized for `len` floats, let
 /// `fill` write the payload (the single wire copy), enqueue, notify.
-/// `slot` is the destination-mailbox slot when the caller resolved it at
-/// init time (persistent sends); `None` falls back to the hash lookup.
+/// `addr` is the destination-mailbox `(shard, slot)` when the caller
+/// resolved it at init time (persistent sends); `None` falls back to the
+/// hash lookup.
 fn send_pooled_with(
     world: &World,
     rank: usize,
     dest: usize,
     tag: Tag,
-    slot: Option<usize>,
+    addr: Option<(usize, usize)>,
     len: usize,
     fill: impl FnOnce(&mut Vec<f32>),
 ) -> SendRequest {
@@ -944,7 +1109,7 @@ fn send_pooled_with(
     if world.is_poisoned() {
         panic!("{POISONED_MSG}");
     }
-    let (mut buf, allocated) = world.pool.acquire(len);
+    let (mut buf, allocated) = world.pool_for(rank).acquire(len);
     fill(&mut buf);
     let bytes = buf.len() * 4;
     {
@@ -968,42 +1133,31 @@ fn send_pooled_with(
     }
     // Sanitizer send event, strictly before the mailbox push: once the
     // envelope is visible the receiver may match it, and the sanitizer's
-    // per-channel FIFO must already hold this send. `slot` is `Some` iff
+    // per-channel FIFO must already hold this send. `addr` is `Some` iff
     // this is a persistent-plan start — exactly the reuse/matching
     // discipline the detectors distinguish.
     if let Some(san) = &world.san {
-        let kind = if slot.is_some() {
+        let kind = if addr.is_some() {
             SendKind::Persistent
         } else {
             SendKind::Adhoc
         };
         san.on_send(rank, dest, tag, kind);
     }
-    let mailbox = &world.mailboxes[dest];
-    let wake = {
-        let mut inner = mailbox.inner.lock().unwrap();
-        let env = Envelope {
-            payload: Payload::F32(buf),
-            // Relaxed is sufficient (audited): `log_any` is a sticky
-            // monotonic false->true flag guarding only whether we pay for
-            // an `Instant::now` stamp. The stamp itself travels inside
-            // the envelope under the mailbox mutex, which releases/
-            // acquires it properly; a racing sender that still reads
-            // `false` merely emits one unstamped record (latency 0.0),
-            // never a torn or unsynchronized value. No happens-before
-            // edge is built on this load — the sanitizer's clocks ride
-            // on the mailbox mutex, not on this flag.
-            sent_at: world.log_any.load(Ordering::Relaxed).then(Instant::now),
-        };
-        match slot {
-            Some(s) => inner.push_slot(s, env),
-            None => inner.push(rank, tag, env),
-        }
-        inner.waiters > 0
+    let env = Envelope {
+        payload: Payload::F32(buf),
+        // Relaxed is sufficient (audited): `log_any` is a sticky
+        // monotonic false->true flag guarding only whether we pay for
+        // an `Instant::now` stamp. The stamp itself travels inside
+        // the envelope under the shard mutex, which releases/
+        // acquires it properly; a racing sender that still reads
+        // `false` merely emits one unstamped record (latency 0.0),
+        // never a torn or unsynchronized value. No happens-before
+        // edge is built on this load — the sanitizer's clocks ride
+        // on the shard mutex, not on this flag.
+        sent_at: world.log_any.load(Ordering::Relaxed).then(Instant::now),
     };
-    if wake {
-        mailbox.arrived.notify_all();
-    }
+    world.mailboxes[dest].push(addr, rank, tag, env);
     SendRequest { bytes }
 }
 
@@ -1020,6 +1174,12 @@ impl Comm {
     /// Number of ranks in the world.
     pub fn size(&self) -> usize {
         self.size
+    }
+
+    /// The tuning this world was built with (shard count, spin yields,
+    /// receive timeout).
+    pub fn tuning(&self) -> &CommTuning {
+        &self.world.tuning
     }
 
     /// The happens-before sanitizer attached to this world, if enabled.
@@ -1071,31 +1231,20 @@ impl Comm {
         if let Some(san) = &self.world.san {
             san.on_send(self.rank, dest, tag, SendKind::Adhoc);
         }
-        let mailbox = &self.world.mailboxes[dest];
-        let wake = {
-            let mut inner = mailbox.inner.lock().unwrap();
-            inner.push(
-                self.rank,
-                tag,
-                Envelope {
-                    payload: Payload::Bytes(data.to_vec()),
-                    // Relaxed is sufficient (audited): same contract as
-                    // the typed path in `send_pooled_with` — a sticky
-                    // best-effort flag deciding whether to stamp
-                    // `sent_at`; the stamp synchronizes via the mailbox
-                    // mutex, so no ordering edge is needed here.
-                    sent_at: self
-                        .world
-                        .log_any
-                        .load(Ordering::Relaxed)
-                        .then(Instant::now),
-                },
-            );
-            inner.waiters > 0
+        let env = Envelope {
+            payload: Payload::Bytes(data.to_vec()),
+            // Relaxed is sufficient (audited): same contract as the
+            // typed path in `send_pooled_with` — a sticky best-effort
+            // flag deciding whether to stamp `sent_at`; the stamp
+            // synchronizes via the shard mutex, so no ordering edge is
+            // needed here.
+            sent_at: self
+                .world
+                .log_any
+                .load(Ordering::Relaxed)
+                .then(Instant::now),
         };
-        if wake {
-            mailbox.arrived.notify_all();
-        }
+        self.world.mailboxes[dest].push(None, self.rank, tag, env);
         SendRequest { bytes: data.len() }
     }
 
@@ -1143,27 +1292,24 @@ impl Comm {
     /// `MPI_Recv_init` analogue used by the halo plans.
     pub fn recv_init(&self, src: usize, tag: Tag) -> PersistentRecv {
         assert!(src < self.size, "recv from out-of-range rank {src}");
-        let slot = self.world.mailboxes[self.rank]
-            .inner
-            .lock()
-            .unwrap()
-            .slot_of(src, tag);
+        let (shard, slot) = self.world.mailboxes[self.rank].slot_addr(src, tag);
         PersistentRecv {
             src,
             tag,
+            shard,
             slot,
             rank: self.rank,
             world: Arc::clone(&self.world),
         }
     }
 
-    /// Pre-populate the world's shared buffer pool with `count` message
-    /// buffers of `len` `f32`s each (the `MPI_Buffer_attach` analogue).
-    /// Halo plans call this once at build time so every steady-state
-    /// send finds a pooled buffer and [`CommStats::bufs_allocated`]
-    /// stays flat.
+    /// Pre-populate this rank's envelope-buffer pool with `count`
+    /// message buffers of `len` `f32`s each (the `MPI_Buffer_attach`
+    /// analogue). Halo plans call this once at build time so every
+    /// steady-state send finds a pooled buffer and
+    /// [`CommStats::bufs_allocated`] stays flat.
     pub fn reserve_msg_buffers(&self, count: usize, len: usize) {
-        self.world.pool.reserve(count, len);
+        self.world.pool_for(self.rank).reserve(count, len);
     }
 
     /// Build a persistent send request bound to `(dest, tag)` — the
@@ -1174,14 +1320,11 @@ impl Comm {
             dest != self.rank,
             "self-send unsupported (as in the generated code)"
         );
-        let slot = self.world.mailboxes[dest]
-            .inner
-            .lock()
-            .unwrap()
-            .slot_of(self.rank, tag);
+        let (shard, slot) = self.world.mailboxes[dest].slot_addr(self.rank, tag);
         PersistentSend {
             dest,
             tag,
+            shard,
             slot,
             rank: self.rank,
             world: Arc::clone(&self.world),
@@ -1191,7 +1334,8 @@ impl Comm {
     // ---------------------------------------------------------- collectives
 
     /// Synchronize all ranks. Poison-aware: unwinds promptly if a peer
-    /// rank panics while we wait.
+    /// rank panics while we wait. (The tree/ring collectives live in
+    /// [`crate::collectives`].)
     pub fn barrier(&self) {
         // Arrive strictly before blocking: every rank's clock is folded
         // into the generation's accumulator before any rank can depart,
@@ -1204,130 +1348,6 @@ impl Comm {
         if let Some(san) = &self.world.san {
             san.barrier_depart(self.rank);
         }
-    }
-
-    /// All-reduce a single `f64` with the given associative op, over a
-    /// binomial tree (O(log P) rounds: reduce to rank 0, broadcast back).
-    pub fn allreduce_f64(&self, value: f64, op: ReduceOp) -> f64 {
-        const TAG_UP: Tag = RESERVED_TAG_BASE + 1;
-        const TAG_DOWN: Tag = RESERVED_TAG_BASE + 2;
-        let size = self.size;
-        let vr = self.rank; // tree rooted at rank 0
-        let mut acc = value;
-        // Reduce up the tree: each node absorbs its children (vr + mask
-        // for every mask below its lowest set bit), then reports to its
-        // parent (vr - lowest set bit).
-        let mut mask = 1usize;
-        while mask < size {
-            if vr & mask != 0 {
-                self.send(vr - mask, TAG_UP, &acc.to_le_bytes());
-                break;
-            }
-            let child = vr + mask;
-            if child < size {
-                let v = f64::from_le_bytes(self.recv(child, TAG_UP).try_into().unwrap());
-                acc = op.apply(acc, v);
-            }
-            mask <<= 1;
-        }
-        // Broadcast the result down the same tree.
-        if vr != 0 {
-            acc = f64::from_le_bytes(self.recv(vr - mask, TAG_DOWN).try_into().unwrap());
-        } else {
-            while mask < size {
-                mask <<= 1;
-            }
-        }
-        let mut m = mask >> 1;
-        while m > 0 {
-            if vr + m < size {
-                self.send(vr + m, TAG_DOWN, &acc.to_le_bytes());
-            }
-            m >>= 1;
-        }
-        acc
-    }
-
-    /// Gather variable-length `f32` buffers on `root` over a binomial
-    /// tree; other ranks get `None`. Subtree contributions travel as one
-    /// merged message per tree edge (O(log P) rounds).
-    pub fn gather_f32(&self, root: usize, data: &[f32]) -> Option<Vec<Vec<f32>>> {
-        const TAG: Tag = RESERVED_TAG_BASE + 3;
-        let size = self.size;
-        let vr = (self.rank + size - root) % size;
-        // (original rank, values) contributions accumulated from our
-        // subtree; serialized as [count, (rank, len, values…)…].
-        let mut parts: Vec<(usize, Vec<f32>)> = vec![(self.rank, data.to_vec())];
-        let mut mask = 1usize;
-        while mask < size {
-            if vr & mask != 0 {
-                let parent = (vr - mask + root) % size;
-                let payload_len: usize = 1 + parts.iter().map(|(_, v)| 2 + v.len()).sum::<usize>();
-                let mut buf = Vec::with_capacity(payload_len);
-                buf.push(parts.len() as f32);
-                for (r, vals) in &parts {
-                    buf.push(*r as f32);
-                    buf.push(vals.len() as f32);
-                    buf.extend_from_slice(vals);
-                }
-                self.send_f32(parent, TAG, &buf);
-                break;
-            }
-            let child = vr + mask;
-            if child < size {
-                let buf = self.recv_f32((child + root) % size, TAG);
-                let n = buf[0] as usize;
-                let mut i = 1;
-                for _ in 0..n {
-                    let r = buf[i] as usize;
-                    let len = buf[i + 1] as usize;
-                    i += 2;
-                    parts.push((r, buf[i..i + len].to_vec()));
-                    i += len;
-                }
-            }
-            mask <<= 1;
-        }
-        if self.rank == root {
-            let mut out = vec![Vec::new(); size];
-            for (r, vals) in parts {
-                out[r] = vals;
-            }
-            Some(out)
-        } else {
-            None
-        }
-    }
-
-    /// Broadcast a `f32` buffer from `root` to everyone over a binomial
-    /// tree (O(log P) rounds); returns the data on all ranks.
-    pub fn bcast_f32(&self, root: usize, data: &[f32]) -> Vec<f32> {
-        const TAG: Tag = RESERVED_TAG_BASE + 4;
-        let size = self.size;
-        let vr = (self.rank + size - root) % size;
-        let buf: Vec<f32>;
-        let mut mask = 1usize;
-        if vr == 0 {
-            buf = data.to_vec();
-            while mask < size {
-                mask <<= 1;
-            }
-        } else {
-            // Receive from the parent (clear our lowest set bit).
-            while vr & mask == 0 {
-                mask <<= 1;
-            }
-            let parent = (vr - mask + root) % size;
-            buf = self.recv_f32(parent, TAG);
-        }
-        let mut m = mask >> 1;
-        while m > 0 {
-            if vr + m < size {
-                self.send_f32((vr + m + root) % size, TAG, &buf);
-            }
-            m >>= 1;
-        }
-        buf
     }
 
     // --------------------------------------------------------------- stats
@@ -1377,24 +1397,6 @@ impl Comm {
     /// was enabled or last drained).
     pub fn take_msg_log(&self) -> Vec<MsgRecord> {
         std::mem::take(&mut self.world.stats[self.rank].lock().unwrap().msg_log)
-    }
-}
-
-/// Reduction operators for [`Comm::allreduce_f64`].
-#[derive(Clone, Copy, Debug, PartialEq, Eq)]
-pub enum ReduceOp {
-    Sum,
-    Min,
-    Max,
-}
-
-impl ReduceOp {
-    fn apply(self, a: f64, b: f64) -> f64 {
-        match self {
-            ReduceOp::Sum => a + b,
-            ReduceOp::Min => a.min(b),
-            ReduceOp::Max => a.max(b),
-        }
     }
 }
 
@@ -1545,6 +1547,45 @@ mod tests {
         });
     }
 
+    /// The pool-recycling contract must hold in the unsharded baseline
+    /// layout too (one global pool, `MPIX_COMM_SHARDS=1`).
+    #[test]
+    fn unsharded_layout_keeps_steady_state_allocation_free() {
+        let tuning = CommTuning::default().with_shards(1).with_spin_yields(4);
+        Universe::run_cfg(2, tuning, None, |c| {
+            assert_eq!(c.tuning().mailbox_shards, 1);
+            if c.rank() == 0 {
+                let send = c.send_init(1, 12);
+                let data = vec![1.0f32; 32];
+                for _ in 0..8 {
+                    send.start(&data);
+                }
+                c.barrier();
+                c.reset_stats();
+                for _ in 0..8 {
+                    send.start(&data);
+                }
+                c.barrier();
+                c.barrier();
+                assert_eq!(c.stats().bufs_allocated, 0);
+            } else {
+                let recv = c.recv_init(0, 12);
+                let mut buf = Vec::with_capacity(32);
+                for _ in 0..8 {
+                    recv.wait_into(&mut buf);
+                }
+                c.barrier();
+                c.reset_stats();
+                for _ in 0..8 {
+                    recv.wait_into(&mut buf);
+                }
+                c.barrier();
+                assert_eq!(c.stats().bufs_allocated, 0);
+                c.barrier();
+            }
+        });
+    }
+
     #[test]
     fn recv_timeout_panic_lists_unmatched_envelopes() {
         let result = std::panic::catch_unwind(|| {
@@ -1572,57 +1613,24 @@ mod tests {
     }
 
     #[test]
-    fn allreduce_sum_min_max() {
-        let out = Universe::run(5, |c| {
-            let v = c.rank() as f64 + 1.0;
-            (
-                c.allreduce_f64(v, ReduceOp::Sum),
-                c.allreduce_f64(v, ReduceOp::Min),
-                c.allreduce_f64(v, ReduceOp::Max),
-            )
-        });
-        for (s, mn, mx) in out {
-            assert_eq!(s, 15.0);
-            assert_eq!(mn, 1.0);
-            assert_eq!(mx, 5.0);
-        }
-    }
-
-    #[test]
-    fn gather_collects_in_rank_order() {
-        let out = Universe::run(4, |c| c.gather_f32(0, &[c.rank() as f32; 2]));
-        assert!(out[1].is_none());
-        let g = out[0].as_ref().unwrap();
-        for (r, buf) in g.iter().enumerate() {
-            assert_eq!(buf, &vec![r as f32; 2]);
-        }
-    }
-
-    #[test]
-    fn gather_supports_nonzero_root_and_uneven_lengths() {
-        let out = Universe::run(5, |c| {
-            let data: Vec<f32> = (0..c.rank()).map(|i| i as f32).collect();
-            c.gather_f32(3, &data)
-        });
-        for (r, o) in out.iter().enumerate() {
-            if r == 3 {
-                let g = o.as_ref().unwrap();
-                for (src, buf) in g.iter().enumerate() {
-                    let want: Vec<f32> = (0..src).map(|i| i as f32).collect();
-                    assert_eq!(buf, &want, "root view of rank {src}");
+    fn recv_timeout_is_env_tunable_per_run() {
+        let tuning = CommTuning::default().with_recv_timeout(Duration::from_millis(100));
+        let start = Instant::now();
+        let result = std::panic::catch_unwind(|| {
+            Universe::run_cfg(2, tuning, None, |c| {
+                if c.rank() == 1 {
+                    c.recv_f32(0, 3); // never sent
+                } else {
+                    c.barrier();
                 }
-            } else {
-                assert!(o.is_none());
-            }
-        }
-    }
-
-    #[test]
-    fn bcast_reaches_everyone() {
-        let out = Universe::run(3, |c| c.bcast_f32(1, &[9.0, 8.0]));
-        for v in out {
-            assert_eq!(v, vec![9.0, 8.0]);
-        }
+            });
+        });
+        result.expect_err("receive must time out");
+        assert!(
+            start.elapsed() < Duration::from_secs(20),
+            "short recv_timeout was not honored: {:?}",
+            start.elapsed()
+        );
     }
 
     #[test]

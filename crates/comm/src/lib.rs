@@ -59,11 +59,15 @@
 #![allow(clippy::manual_is_multiple_of)]
 
 pub mod cart;
+pub mod collectives;
 pub mod comm;
 pub mod stats;
+pub mod tuning;
 pub mod universe;
 
 pub use cart::{dims_create, CartComm};
-pub use comm::{Comm, PersistentRecv, PersistentSend, RecvRequest, ReduceOp, SendRequest, Tag};
+pub use collectives::{CollectiveAlgo, ReduceOp};
+pub use comm::{Comm, PersistentRecv, PersistentSend, RecvRequest, SendRequest, Tag};
 pub use stats::CommStats;
+pub use tuning::CommTuning;
 pub use universe::Universe;

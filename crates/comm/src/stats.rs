@@ -30,6 +30,16 @@ pub(crate) struct StatsInner {
     /// A flat vector so the hot send path pays an index bump, not a map
     /// lookup; the public snapshot converts to a sparse map.
     pub per_peer_msgs: Vec<u64>,
+    /// Times a blocking receive (or waitany) actually parked on a
+    /// condvar after exhausting its yield budget. Parks are the futex
+    /// round-trips the waiter-gated wake optimization exists to avoid,
+    /// so parks-per-exchange is the ranks-sweep bench's contention
+    /// column.
+    pub recv_parks: u64,
+    /// Collective calls per `"{op}/{algo}"` key (e.g.
+    /// `"allreduce_f32/ring"`), recording which algorithm the
+    /// size/rank-count selection actually ran.
+    pub collectives: BTreeMap<String, u64>,
     /// When set, every send/receive appends a [`MsgRecord`] to `msg_log`.
     /// Off by default so the counters stay cheap.
     pub log_messages: bool,
@@ -62,6 +72,8 @@ impl StatsInner {
                 .filter(|(_, &c)| c > 0)
                 .map(|(d, &c)| (d, c))
                 .collect(),
+            recv_parks: self.recv_parks,
+            collective_algos: self.collectives.clone(),
         }
     }
 }
@@ -87,6 +99,14 @@ pub struct CommStats {
     pub bytes_copied: u64,
     /// Messages sent per destination rank.
     pub per_peer_msgs: BTreeMap<usize, u64>,
+    /// Times a blocking receive parked on a condvar (futex round-trips
+    /// after the yield budget ran out) — the contention signal of the
+    /// ranks-sweep benchmark.
+    pub recv_parks: u64,
+    /// Collective calls per `"{op}/{algo}"` key, exposing which
+    /// algorithm (binomial / k-ary / ring) each collective selected so
+    /// `mpix-perf` can attribute collective cost.
+    pub collective_algos: BTreeMap<String, u64>,
 }
 
 impl CommStats {

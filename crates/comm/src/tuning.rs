@@ -1,0 +1,125 @@
+//! Runtime-tunable knobs for the communication substrate.
+//!
+//! Eight ranks in CI and 512 oversubscribed ranks on a laptop want very
+//! different waiting behavior, so the former compile-time constants
+//! (`RECV_TIMEOUT`, the yield-before-park spin count) and the mailbox
+//! shard count are configurable per [`crate::Universe`] run:
+//!
+//! | env var               | default | meaning                                   |
+//! |-----------------------|---------|-------------------------------------------|
+//! | `MPIX_COMM_SHARDS`    | 16      | mailbox shards per rank (rounded up to a power of two; `1` = the unsharded single-lock layout) |
+//! | `MPIX_SPIN_YIELDS`    | 32      | sched-yields a blocked receive donates before parking on a futex |
+//! | `MPIX_RECV_TIMEOUT_MS`| 60000   | blocking-receive deadlock timeout         |
+//!
+//! The environment is read once per world (`Universe::run` →
+//! [`CommTuning::from_env`]), so benchmarks can vary the knobs between
+//! runs inside one process; [`crate::Universe::run_cfg`] takes an
+//! explicit [`CommTuning`] for callers that want no env coupling at all.
+
+use std::time::Duration;
+
+/// Tunables fixed for the lifetime of one world. See the module docs for
+/// the corresponding environment variables.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct CommTuning {
+    /// Mailbox shards per rank. Always a power of two; `1` collapses to
+    /// the pre-shard layout (one lock per mailbox, one global buffer
+    /// pool) and is the honest baseline arm of the ranks-sweep bench.
+    pub mailbox_shards: usize,
+    /// How many times a blocked receive yields the core before parking
+    /// on the condvar. On oversubscribed hosts the matching send is
+    /// usually one scheduler handoff away, and a yield is far cheaper
+    /// than a futex park/wake round-trip; `0` parks immediately (best
+    /// when hundreds of ranks share a few cores and yield-storms would
+    /// burn the timeslice).
+    pub spin_yields: usize,
+    /// How long a blocking receive waits before declaring deadlock.
+    /// Generous for slow CI machines while still failing fast on real
+    /// bugs.
+    pub recv_timeout: Duration,
+}
+
+impl Default for CommTuning {
+    fn default() -> CommTuning {
+        CommTuning {
+            mailbox_shards: 16,
+            spin_yields: 32,
+            recv_timeout: Duration::from_secs(60),
+        }
+    }
+}
+
+impl CommTuning {
+    /// Defaults overridden by `MPIX_COMM_SHARDS`, `MPIX_SPIN_YIELDS` and
+    /// `MPIX_RECV_TIMEOUT_MS`. A malformed value panics — silently
+    /// ignoring a typo'd job script is worse than failing it.
+    pub fn from_env() -> CommTuning {
+        let mut t = CommTuning::default();
+        if let Some(v) = read_usize("MPIX_COMM_SHARDS") {
+            assert!(
+                (1..=1024).contains(&v),
+                "MPIX_COMM_SHARDS={v}: expected 1..=1024"
+            );
+            t.mailbox_shards = v.next_power_of_two();
+        }
+        if let Some(v) = read_usize("MPIX_SPIN_YIELDS") {
+            assert!(v <= 1 << 20, "MPIX_SPIN_YIELDS={v}: unreasonably large");
+            t.spin_yields = v;
+        }
+        if let Some(v) = read_usize("MPIX_RECV_TIMEOUT_MS") {
+            assert!(v >= 1, "MPIX_RECV_TIMEOUT_MS must be >= 1");
+            t.recv_timeout = Duration::from_millis(v as u64);
+        }
+        t
+    }
+
+    /// Builder-style shard-count override (rounded up to a power of two).
+    pub fn with_shards(mut self, shards: usize) -> CommTuning {
+        assert!((1..=1024).contains(&shards), "shards out of range");
+        self.mailbox_shards = shards.next_power_of_two();
+        self
+    }
+
+    /// Builder-style spin-count override.
+    pub fn with_spin_yields(mut self, yields: usize) -> CommTuning {
+        self.spin_yields = yields;
+        self
+    }
+
+    /// Builder-style receive-timeout override.
+    pub fn with_recv_timeout(mut self, timeout: Duration) -> CommTuning {
+        self.recv_timeout = timeout;
+        self
+    }
+}
+
+fn read_usize(name: &str) -> Option<usize> {
+    match std::env::var(name) {
+        Ok(v) => Some(
+            v.parse()
+                .unwrap_or_else(|_| panic!("{name}={v:?}: expected an unsigned integer")),
+        ),
+        Err(_) => None,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaults_match_documented_values() {
+        let t = CommTuning::default();
+        assert_eq!(t.mailbox_shards, 16);
+        assert_eq!(t.spin_yields, 32);
+        assert_eq!(t.recv_timeout, Duration::from_secs(60));
+    }
+
+    #[test]
+    fn shard_counts_round_up_to_powers_of_two() {
+        assert_eq!(CommTuning::default().with_shards(1).mailbox_shards, 1);
+        assert_eq!(CommTuning::default().with_shards(3).mailbox_shards, 4);
+        assert_eq!(CommTuning::default().with_shards(16).mailbox_shards, 16);
+        assert_eq!(CommTuning::default().with_shards(100).mailbox_shards, 128);
+    }
+}

@@ -6,6 +6,7 @@ use std::sync::Arc;
 use mpix_san::San;
 
 use crate::comm::{Comm, World};
+use crate::tuning::CommTuning;
 
 /// Entry point for simulated multi-rank execution.
 ///
@@ -34,6 +35,10 @@ impl Universe {
     /// For programmatic access to the reports, build a
     /// [`San`](mpix_san::San) yourself and use
     /// [`run_with_san`](Self::run_with_san).
+    /// Comm-layer tuning (mailbox shards, spin yields, receive timeout)
+    /// is read from the environment once per run — see
+    /// [`CommTuning::from_env`]; [`run_cfg`](Self::run_cfg) takes an
+    /// explicit [`CommTuning`].
     pub fn run<R, F>(n: usize, f: F) -> Vec<R>
     where
         R: Send,
@@ -54,6 +59,18 @@ impl Universe {
         R: Send,
         F: Fn(Comm) -> R + Send + Sync,
     {
+        Self::run_cfg(n, CommTuning::from_env(), san, f)
+    }
+
+    /// [`run_with_san`](Self::run_with_san) with explicit comm-layer
+    /// tuning, bypassing the environment entirely. The ranks-sweep
+    /// benchmark drives both arms (sharded vs the `with_shards(1)`
+    /// baseline layout) through this in one process.
+    pub fn run_cfg<R, F>(n: usize, tuning: CommTuning, san: Option<Arc<San>>, f: F) -> Vec<R>
+    where
+        R: Send,
+        F: Fn(Comm) -> R + Send + Sync,
+    {
         assert!(n >= 1, "need at least one rank");
         if let Some(s) = &san {
             assert_eq!(
@@ -63,7 +80,7 @@ impl Universe {
                 s.nranks()
             );
         }
-        let world = Arc::new(World::new(n, san.clone()));
+        let world = Arc::new(World::new(n, san.clone(), tuning));
         let f = &f;
         let results: Vec<Option<R>> = std::thread::scope(|scope| {
             let mut handles = Vec::with_capacity(n);

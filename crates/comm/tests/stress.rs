@@ -1,7 +1,7 @@
 //! Stress and ordering tests for the message substrate: many ranks, many
 //! tags, interleaved nonblocking traffic, collectives under contention.
 
-use mpix_comm::{comm::ReduceOp, CartComm, Universe};
+use mpix_comm::{comm::ReduceOp, CartComm, CollectiveAlgo, CommTuning, Universe};
 use proptest::prelude::*;
 use rand::{rngs::StdRng, Rng, SeedableRng};
 
@@ -213,6 +213,166 @@ fn tree_collectives_match_serial_reference() {
             }
         }
     }
+}
+
+/// Every collective algorithm must bitwise-match the binomial-tree
+/// oracle at rank counts where the selection actually switches
+/// algorithms (16 = k-ary threshold, 33 = odd/non-power-of-two, 64 =
+/// deep trees). Integer-valued payloads make every association order
+/// exact, so "bitwise" is meaningful.
+#[test]
+fn collective_algorithms_match_binomial_oracle_at_scale() {
+    for p in [16usize, 33, 64] {
+        // Heavily oversubscribed: park immediately instead of burning
+        // the timeslice in yield loops.
+        let tuning = CommTuning::default().with_spin_yields(0);
+        let out = Universe::run_cfg(p, tuning, None, |c| {
+            let me = c.rank();
+            let v = (me * 3 + 1) as f64;
+            let oracle_sum = c.allreduce_f64_with(v, ReduceOp::Sum, CollectiveAlgo::Binomial);
+            let kary_sum = c.allreduce_f64_with(v, ReduceOp::Sum, CollectiveAlgo::Kary(4));
+            let kary_min = c.allreduce_f64_with(v, ReduceOp::Min, CollectiveAlgo::Kary(4));
+            let oracle_min = c.allreduce_f64_with(v, ReduceOp::Min, CollectiveAlgo::Binomial);
+
+            // Vector payload long enough that ring chunks are non-trivial
+            // and short enough to keep 64 oversubscribed ranks fast.
+            let data: Vec<f32> = (0..200).map(|i| ((me + i) % 17) as f32).collect();
+            let oracle_vec = c.allreduce_f32_with(&data, ReduceOp::Sum, CollectiveAlgo::Binomial);
+            let kary_vec = c.allreduce_f32_with(&data, ReduceOp::Sum, CollectiveAlgo::Kary(4));
+            let ring_vec = c.allreduce_f32_with(&data, ReduceOp::Sum, CollectiveAlgo::Ring);
+            let ring_max = c.allreduce_f32_with(&data, ReduceOp::Max, CollectiveAlgo::Ring);
+            let oracle_max = c.allreduce_f32_with(&data, ReduceOp::Max, CollectiveAlgo::Binomial);
+
+            let root = p / 2; // non-zero root exercises the rotation
+            let payload = [me as f32; 3];
+            let bc_oracle = c.bcast_f32_with(root, &payload, CollectiveAlgo::Binomial);
+            let bc_kary = c.bcast_f32_with(root, &payload, CollectiveAlgo::Kary(4));
+
+            (
+                (oracle_sum, kary_sum, oracle_min, kary_min),
+                (oracle_vec, kary_vec, ring_vec),
+                (oracle_max, ring_max),
+                (bc_oracle, bc_kary),
+            )
+        });
+        let want_sum: f64 = (0..p).map(|r| (r * 3 + 1) as f64).sum();
+        for (r, (scalar, vec_sum, vec_max, bc)) in out.iter().enumerate() {
+            let (oracle_sum, kary_sum, oracle_min, kary_min) = scalar;
+            assert_eq!(*oracle_sum, want_sum, "P={p} rank {r} oracle sum");
+            assert_eq!(kary_sum, oracle_sum, "P={p} rank {r} kary sum");
+            assert_eq!(kary_min, oracle_min, "P={p} rank {r} kary min");
+            let (oracle_vec, kary_vec, ring_vec) = vec_sum;
+            assert_eq!(kary_vec, oracle_vec, "P={p} rank {r} kary vector sum");
+            assert_eq!(ring_vec, oracle_vec, "P={p} rank {r} ring vector sum");
+            let (oracle_max, ring_max) = vec_max;
+            assert_eq!(ring_max, oracle_max, "P={p} rank {r} ring vector max");
+            let (bc_oracle, bc_kary) = bc;
+            assert_eq!(bc_oracle, &vec![(p / 2) as f32; 3], "P={p} rank {r} bcast");
+            assert_eq!(bc_kary, bc_oracle, "P={p} rank {r} kary bcast");
+        }
+    }
+}
+
+/// The auto-selected algorithms (rank-count + payload-size dispatch)
+/// agree with the forced binomial oracle end-to-end at a rank count
+/// where k-ary and ring are actually chosen.
+#[test]
+fn auto_selected_collectives_match_oracle() {
+    let p = 24;
+    let tuning = CommTuning::default().with_spin_yields(0);
+    let out = Universe::run_cfg(p, tuning, None, |c| {
+        let me = c.rank();
+        // 8192 floats = 32 KiB >= RING_MIN_BYTES: the bandwidth regime
+        // (ring on parallel hosts, kary on oversubscribed single cores).
+        let big: Vec<f32> = (0..8192).map(|i| ((me * 7 + i) % 13) as f32).collect();
+        let auto_big = c.allreduce_f32(&big, ReduceOp::Sum);
+        let oracle_big = c.allreduce_f32_with(&big, ReduceOp::Sum, CollectiveAlgo::Binomial);
+        let auto_scalar = c.allreduce_f64(me as f64, ReduceOp::Sum);
+        let stats = c.stats();
+        (auto_big, oracle_big, auto_scalar, stats)
+    });
+    // The selection is topology-aware (ring only with real parallelism),
+    // so compute the promised label for *this* host rather than
+    // hardcoding one — the point is that the stats attribute each call
+    // to exactly the algorithm the selection reports.
+    let big_algo = CollectiveAlgo::select_allreduce(p, 8192 * 4).label();
+    for (r, (auto_big, oracle_big, auto_scalar, stats)) in out.iter().enumerate() {
+        assert_eq!(auto_big, oracle_big, "rank {r} auto vs oracle");
+        assert_eq!(*auto_scalar, (p * (p - 1) / 2) as f64, "rank {r} scalar");
+        assert_eq!(
+            stats
+                .collective_algos
+                .get(&format!("allreduce_f32/{big_algo}")),
+            Some(&1),
+            "rank {r} {big_algo} attribution: {:?}",
+            stats.collective_algos
+        );
+        assert_eq!(
+            stats.collective_algos.get("allreduce_f64/kary4"),
+            Some(&1),
+            "rank {r} kary attribution: {:?}",
+            stats.collective_algos
+        );
+    }
+}
+
+/// Many senders × many tags into one receiver draining with the
+/// `MPI_Waitany`-style arrival loop: the sharded mailbox must preserve
+/// FIFO per (src, tag) even though the streams land on different shards
+/// and the drain order is arrival-driven.
+#[test]
+fn sharded_mailbox_preserves_fifo_under_waitany_drain() {
+    let n = 9; // 8 senders, 1 receiver
+    let tags = 11u32;
+    let per_stream = 40;
+    let tuning = CommTuning::default().with_spin_yields(1);
+    Universe::run_cfg(n, tuning, None, |c| {
+        let me = c.rank();
+        if me == 0 {
+            // One persistent request per (src, tag) stream, like a halo
+            // plan's receive side.
+            let recvs: Vec<_> = (1..n)
+                .flat_map(|src| (0..tags).map(move |t| (src, t)))
+                .map(|(src, t)| (src, t, c.recv_init(src, t)))
+                .collect();
+            let mut next_seq = vec![0usize; n * tags as usize];
+            let total = (n - 1) * tags as usize * per_stream;
+            let mut completed = 0usize;
+            while completed < total {
+                let seq = recvs[0].2.arrival_seq();
+                let mut progressed = false;
+                for (src, t, r) in &recvs {
+                    let stream = src * tags as usize + *t as usize;
+                    // Drain everything pending on this stream.
+                    while r
+                        .try_with(|payload| {
+                            assert_eq!(payload[0] as usize, *src, "src stamp");
+                            assert_eq!(payload[1], *t as f32, "tag stamp");
+                            assert_eq!(
+                                payload[2] as usize, next_seq[stream],
+                                "FIFO violated on (src={src}, tag={t})"
+                            );
+                        })
+                        .is_some()
+                    {
+                        next_seq[stream] += 1;
+                        completed += 1;
+                        progressed = true;
+                    }
+                }
+                if !progressed {
+                    recvs[0].2.wait_any_arrival(seq);
+                }
+            }
+        } else {
+            let sends: Vec<_> = (0..tags).map(|t| c.send_init(0, t)).collect();
+            for seq in 0..per_stream {
+                for (t, s) in sends.iter().enumerate() {
+                    s.start(&[me as f32, t as f32, seq as f32]);
+                }
+            }
+        }
+    });
 }
 
 #[test]

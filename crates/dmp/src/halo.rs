@@ -281,9 +281,12 @@ impl HaloPlan {
                 steps.push(entries);
             }
         }
-        // Prime the world's shared envelope pool with this rank's share
-        // of wire buffers, so even the first exchange's sends (and every
-        // one after) find pooled storage.
+        // Prime this rank's envelope pool with its share of wire
+        // buffers, so even the first exchange's sends (and every one
+        // after) find pooled storage. Two exchanges deep: buffers return
+        // to the *sender's* pool only when the receiver pops them, and a
+        // rank that races one exchange ahead of a slow peer can have up
+        // to two exchanges of envelopes in flight at once.
         let total: usize = steps.iter().map(|s| s.len()).sum();
         let max_len = steps
             .iter()
@@ -292,7 +295,7 @@ impl HaloPlan {
             .max()
             .unwrap_or(0);
         if total > 0 {
-            cart.comm().reserve_msg_buffers(total, max_len);
+            cart.comm().reserve_msg_buffers(2 * total, max_len);
         }
         HaloPlan {
             mode,

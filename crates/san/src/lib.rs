@@ -24,12 +24,21 @@
 //! execution. When disabled (the default) the substrate pays exactly one
 //! `Option<Arc<San>>` branch per hooked operation.
 //!
-//! Everything lives behind one mutex. That serializes ranks on the
-//! sanitizer — acceptable because the tool is opt-in (`MPIX_SAN=1` /
-//! `ApplyOptions::sanitize`) and correctness checking, not production.
+//! ## Sharded state, matching the sharded substrate
+//!
+//! State is split so the sanitizer never reintroduces the global lock
+//! the sharded mailboxes removed: per-rank clock mutexes (a rank's clock
+//! is mutated only from its own events), per-`(src, dst, tag)`-hash
+//! channel shards mirroring the mailbox shard idea, per-rank array
+//! shadows, and separate barrier/report locks. Every hook takes one lock
+//! at a time — clock snapshots travel by value between critical sections
+//! — so there is no lock-order discipline to violate and the hb model
+//! stays transport-agnostic. Clock ticks and merges remain *per event*
+//! exactly as before; sharding changes only which mutex guards them.
 
 use std::collections::{HashMap, VecDeque};
-use std::sync::{Arc, Mutex};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, Mutex, MutexGuard};
 
 use mpix_trace::{Diagnostic, Severity};
 
@@ -48,6 +57,11 @@ pub const PASS_LEAK: &str = "mpix-san/leaked-request";
 /// Hard cap on retained reports; further findings are counted, not
 /// stored, so a hot-loop bug cannot OOM the run it is diagnosing.
 pub const MAX_REPORTS: usize = 256;
+
+/// Number of channel-map shards. A power of two comfortably above any
+/// plausible per-event contention (two ranks hit the same shard only
+/// when their `(src, dst, tag)` hashes collide).
+const CHANNEL_SHARDS: usize = 64;
 
 /// A classic vector clock over `n` ranks: `clock[r]` counts the events
 /// rank `r` has performed that this clock has (transitively) heard of.
@@ -119,6 +133,15 @@ struct BarrierSlot {
     departed: usize,
 }
 
+/// All barrier bookkeeping, under its own (cold-path) lock.
+#[derive(Default)]
+struct BarrierState {
+    /// Next barrier generation each rank will join.
+    gen: Vec<u64>,
+    /// Open barrier generations (GC'd once every rank departed).
+    slots: HashMap<u64, BarrierSlot>,
+}
+
 /// Coarse shadow state for one `DistArray` on one rank. Rather than
 /// tracking every element, the sanitizer tracks *exchange epochs*: each
 /// halo-exchange start bumps `epoch`, each completed unpack stamps its
@@ -144,47 +167,68 @@ struct ArrayShadow {
     reported_epoch: Option<u64>,
 }
 
+/// Report accumulation, under its own (leaf) lock.
 #[derive(Default)]
-struct Inner {
-    /// Per-rank vector clocks.
-    clocks: Vec<VectorClock>,
-    /// In-flight messages per `(src, dst, tag)` channel, FIFO — the
-    /// mailbox matches in arrival order, and with a single sender thread
-    /// per source rank the sanitizer's queue order equals the mailbox's.
-    channels: HashMap<(usize, usize, u32), VecDeque<InFlight>>,
-    /// Next barrier generation each rank will join.
-    barrier_gen: Vec<u64>,
-    /// Open barrier generations (GC'd once every rank departed).
-    barriers: HashMap<u64, BarrierSlot>,
-    /// Shadow state per `(rank, array id)`.
-    arrays: HashMap<(usize, usize), ArrayShadow>,
+struct Reports {
     reports: Vec<Diagnostic>,
     /// Reports dropped past [`MAX_REPORTS`].
     suppressed: usize,
     /// Reports already printed by `flush_to_stderr`.
     flushed: usize,
-    /// Set when the run is unwinding via the poison protocol; suppresses
-    /// the finalize-time leak check (peers legitimately abandon traffic).
-    poisoned: bool,
 }
+
+type ChannelMap = HashMap<(usize, usize, u32), VecDeque<InFlight>>;
 
 /// The sanitizer. One instance is shared by every rank of a
 /// [`Universe`](../mpix_comm/struct.Universe.html) run via
-/// `Option<Arc<San>>`; all state sits behind a single mutex.
+/// `Option<Arc<San>>`; state is sharded as described in the module docs.
 pub struct San {
     nranks: usize,
-    inner: Mutex<Inner>,
+    /// Per-rank vector clocks. Rank `r`'s clock is only *mutated* by
+    /// events on `r`'s own thread; the mutex exists for cross-thread
+    /// snapshot reads (`clock_snapshot`, barrier folds), so it is
+    /// effectively uncontended.
+    clocks: Vec<Mutex<VectorClock>>,
+    /// In-flight messages per `(src, dst, tag)` channel, FIFO — the
+    /// mailbox matches in arrival order, and with a single sender thread
+    /// per source rank the sanitizer's queue order equals the mailbox's.
+    /// Sharded by a hash of the channel key, mirroring the mailbox
+    /// shards, so concurrent sends on different channels take different
+    /// locks.
+    channels: Box<[Mutex<ChannelMap>]>,
+    /// Shadow state per rank (inner map keyed by array id); array events
+    /// are rank-local, so per-rank locks make them contention-free.
+    arrays: Vec<Mutex<HashMap<usize, ArrayShadow>>>,
+    barriers: Mutex<BarrierState>,
+    reports: Mutex<Reports>,
+    /// Set when the run is unwinding via the poison protocol; suppresses
+    /// the finalize-time leak check (peers legitimately abandon traffic).
+    poisoned: AtomicBool,
+}
+
+/// A poisoned mutex only means another rank panicked mid-report; the
+/// state is still a consistent snapshot worth reporting from.
+fn lock<T>(m: &Mutex<T>) -> MutexGuard<'_, T> {
+    m.lock().unwrap_or_else(|e| e.into_inner())
 }
 
 impl San {
     pub fn new(nranks: usize) -> San {
         San {
             nranks,
-            inner: Mutex::new(Inner {
-                clocks: vec![VectorClock::new(nranks); nranks],
-                barrier_gen: vec![0; nranks],
-                ..Inner::default()
+            clocks: (0..nranks)
+                .map(|_| Mutex::new(VectorClock::new(nranks)))
+                .collect(),
+            channels: (0..CHANNEL_SHARDS)
+                .map(|_| Mutex::new(ChannelMap::new()))
+                .collect(),
+            arrays: (0..nranks).map(|_| Mutex::new(HashMap::new())).collect(),
+            barriers: Mutex::new(BarrierState {
+                gen: vec![0; nranks],
+                slots: HashMap::new(),
             }),
+            reports: Mutex::new(Reports::default()),
+            poisoned: AtomicBool::new(false),
         }
     }
 
@@ -206,13 +250,17 @@ impl San {
         self.nranks
     }
 
-    fn lock(&self) -> std::sync::MutexGuard<'_, Inner> {
-        // A poisoned mutex only means another rank panicked mid-report;
-        // the state is still a consistent snapshot worth reporting from.
-        self.inner.lock().unwrap_or_else(|e| e.into_inner())
+    /// Channel shard for a `(src, dst, tag)` key — the same
+    /// multiplicative-hash idea as the mailbox shards.
+    fn channel_shard(&self, src: usize, dst: usize, tag: u32) -> &Mutex<ChannelMap> {
+        let h = (src as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15)
+            ^ (dst as u64).wrapping_mul(0xC2B2_AE3D_27D4_EB4F)
+            ^ (tag as u64).wrapping_mul(0x1656_67B1_9E37_79F9);
+        &self.channels[((h >> 32) as usize) & (CHANNEL_SHARDS - 1)]
     }
 
-    fn push_report(g: &mut Inner, d: Diagnostic) {
+    fn push_report(&self, d: Diagnostic) {
+        let mut g = lock(&self.reports);
         if g.reports.len() < MAX_REPORTS {
             g.reports.push(d);
         } else {
@@ -228,49 +276,54 @@ impl San {
     /// first. Runs detectors 1 (reuse-before-wait) and 3 (msg-race,
     /// sender side).
     pub fn on_send(&self, src: usize, dest: usize, tag: u32, kind: SendKind) {
-        let mut g = self.lock();
-        g.clocks[src].tick(src);
-        let snapshot = g.clocks[src].clone();
-        let (backlog, mixed) = {
-            let q = g.channels.entry((src, dest, tag)).or_default();
-            (q.len(), q.iter().map(|m| m.kind).find(|&k| k != kind))
+        let snapshot = {
+            let mut c = lock(&self.clocks[src]);
+            c.tick(src);
+            c.clone()
         };
-        if kind == SendKind::Persistent && backlog >= 2 {
-            let d = Diagnostic::error(
-                PASS_REUSE,
-                format!("rank {src} -> rank {dest}, tag {tag}"),
-                format!(
-                    "persistent-plan send restarted with {backlog} earlier message(s) \
-                     from the same slot still unmatched: the plan buffer is being \
-                     reused before the receiver's wait_with/try_with completed \
-                     (one in-flight restart is legal pipelining; two cannot happen \
-                     in a correctly synchronized exchange loop)"
-                ),
-            );
-            Self::push_report(&mut g, d);
-        }
-        if let Some(other) = mixed {
-            let d = Diagnostic::error(
-                PASS_MSG_RACE,
-                format!("rank {src} -> rank {dest}, tag {tag}"),
-                format!(
-                    "{} send queued behind an in-flight {} message on the same \
-                     (src, tag) channel: FIFO matching makes the pairing of sends \
-                     to receives ambiguous — either message can satisfy either \
-                     completion",
-                    kind.label(),
-                    other.label()
-                ),
-            );
-            Self::push_report(&mut g, d);
-        }
-        g.channels
-            .entry((src, dest, tag))
-            .or_default()
-            .push_back(InFlight {
+        // Detector findings are staged and reported after the channel
+        // lock drops — every hook holds at most one shard lock at a time.
+        let mut found: Vec<Diagnostic> = Vec::new();
+        {
+            let mut shard = lock(self.channel_shard(src, dest, tag));
+            let q = shard.entry((src, dest, tag)).or_default();
+            let backlog = q.len();
+            let mixed = q.iter().map(|m| m.kind).find(|&k| k != kind);
+            if kind == SendKind::Persistent && backlog >= 2 {
+                found.push(Diagnostic::error(
+                    PASS_REUSE,
+                    format!("rank {src} -> rank {dest}, tag {tag}"),
+                    format!(
+                        "persistent-plan send restarted with {backlog} earlier message(s) \
+                         from the same slot still unmatched: the plan buffer is being \
+                         reused before the receiver's wait_with/try_with completed \
+                         (one in-flight restart is legal pipelining; two cannot happen \
+                         in a correctly synchronized exchange loop)"
+                    ),
+                ));
+            }
+            if let Some(other) = mixed {
+                found.push(Diagnostic::error(
+                    PASS_MSG_RACE,
+                    format!("rank {src} -> rank {dest}, tag {tag}"),
+                    format!(
+                        "{} send queued behind an in-flight {} message on the same \
+                         (src, tag) channel: FIFO matching makes the pairing of sends \
+                         to receives ambiguous — either message can satisfy either \
+                         completion",
+                        kind.label(),
+                        other.label()
+                    ),
+                ));
+            }
+            q.push_back(InFlight {
                 kind,
                 clock: snapshot,
             });
+        }
+        for d in found {
+            self.push_report(d);
+        }
     }
 
     /// Record a successful receive on `dst` of a message from `src` with
@@ -278,14 +331,13 @@ impl San {
     /// merges the sender's clock — the happens-before edge — and runs
     /// detector 3 (msg-race, receiver side).
     pub fn on_recv(&self, dst: usize, src: usize, tag: u32, expected: SendKind) {
-        let mut g = self.lock();
-        let matched = g
-            .channels
-            .get_mut(&(src, dst, tag))
-            .and_then(|q| q.pop_front());
+        let matched = {
+            let mut shard = lock(self.channel_shard(src, dst, tag));
+            shard.get_mut(&(src, dst, tag)).and_then(|q| q.pop_front())
+        };
         if let Some(m) = matched {
             if m.kind != expected {
-                let d = Diagnostic::error(
+                self.push_report(Diagnostic::error(
                     PASS_MSG_RACE,
                     format!("rank {src} -> rank {dst}, tag {tag}"),
                     format!(
@@ -295,15 +347,16 @@ impl San {
                         expected.label(),
                         m.kind.label()
                     ),
-                );
-                Self::push_report(&mut g, d);
+                ));
             }
-            let mc = m.clock;
-            g.clocks[dst].merge(&mc);
+            let mut c = lock(&self.clocks[dst]);
+            c.merge(&m.clock);
+            c.tick(dst);
+        } else {
+            // A miss means the message predates sanitizer attachment;
+            // still count the receive as a local event.
+            lock(&self.clocks[dst]).tick(dst);
         }
-        // A miss means the message predates sanitizer attachment; still
-        // count the receive as a local event.
-        g.clocks[dst].tick(dst);
     }
 
     // ----- barrier events -------------------------------------------------
@@ -313,11 +366,14 @@ impl San {
     /// accumulator before any rank can depart.
     pub fn barrier_arrive(&self, rank: usize) {
         let nranks = self.nranks;
-        let mut g = self.lock();
-        g.clocks[rank].tick(rank);
-        let snapshot = g.clocks[rank].clone();
-        let gen = g.barrier_gen[rank];
-        let slot = g.barriers.entry(gen).or_insert_with(|| BarrierSlot {
+        let snapshot = {
+            let mut c = lock(&self.clocks[rank]);
+            c.tick(rank);
+            c.clone()
+        };
+        let mut b = lock(&self.barriers);
+        let gen = b.gen[rank];
+        let slot = b.slots.entry(gen).or_insert_with(|| BarrierSlot {
             accum: VectorClock::new(nranks),
             departed: 0,
         });
@@ -329,22 +385,26 @@ impl San {
     /// happens-before edge a barrier promises.
     pub fn barrier_depart(&self, rank: usize) {
         let nranks = self.nranks;
-        let mut g = self.lock();
-        let gen = g.barrier_gen[rank];
-        g.barrier_gen[rank] += 1;
-        let (accum, done) = match g.barriers.get_mut(&gen) {
-            Some(slot) => {
-                slot.departed += 1;
-                (slot.accum.clone(), slot.departed == nranks)
+        let accum = {
+            let mut b = lock(&self.barriers);
+            let gen = b.gen[rank];
+            b.gen[rank] += 1;
+            match b.slots.get_mut(&gen) {
+                Some(slot) => {
+                    slot.departed += 1;
+                    let accum = slot.accum.clone();
+                    if slot.departed == nranks {
+                        b.slots.remove(&gen);
+                    }
+                    accum
+                }
+                // Unreachable in practice: depart without arrive.
+                None => VectorClock::new(nranks),
             }
-            // Unreachable in practice: depart without arrive.
-            None => (VectorClock::new(nranks), false),
         };
-        g.clocks[rank].merge(&accum);
-        g.clocks[rank].tick(rank);
-        if done {
-            g.barriers.remove(&gen);
-        }
+        let mut c = lock(&self.clocks[rank]);
+        c.merge(&accum);
+        c.tick(rank);
     }
 
     // ----- distributed-array shadow state ---------------------------------
@@ -354,8 +414,8 @@ impl San {
     /// stamped with an older epoch have no happens-before edge from this
     /// exchange's remote writes.
     pub fn exchange_begin(&self, rank: usize, array: usize) {
-        let mut g = self.lock();
-        let sh = g.arrays.entry((rank, array)).or_default();
+        let mut arrays = lock(&self.arrays[rank]);
+        let sh = arrays.entry(array).or_default();
         sh.epoch += 1;
         sh.dirty = false;
     }
@@ -363,8 +423,8 @@ impl San {
     /// A receive for `bx` (the `[(lo, hi); nd]` local box) completed and
     /// its payload was unpacked into the array's halo.
     pub fn unpack(&self, rank: usize, array: usize, bx: &[(usize, usize)]) {
-        let mut g = self.lock();
-        if let Some(sh) = g.arrays.get_mut(&(rank, array)) {
+        let mut arrays = lock(&self.arrays[rank]);
+        if let Some(sh) = arrays.get_mut(&array) {
             let epoch = sh.epoch;
             sh.boxes.insert(bx.to_vec(), epoch);
         }
@@ -374,8 +434,8 @@ impl San {
     /// written stream of some space loop). Arms the dropped-exchange
     /// check: stale data now *matters*.
     pub fn owned_write(&self, rank: usize, array: usize) {
-        let mut g = self.lock();
-        if let Some(sh) = g.arrays.get_mut(&(rank, array)) {
+        let mut arrays = lock(&self.arrays[rank]);
+        if let Some(sh) = arrays.get_mut(&array) {
             sh.dirty = true;
         }
     }
@@ -394,57 +454,61 @@ impl San {
     /// Untracked arrays (never exchanged) are ignored: a read-only or
     /// boundary-only field with no exchange is not an error.
     pub fn halo_read(&self, rank: usize, array: usize, step: i64) {
-        let mut g = self.lock();
-        let Some(sh) = g.arrays.get_mut(&(rank, array)) else {
-            return;
-        };
-        let epoch = sh.epoch;
-        let mut stale: Vec<(Vec<(usize, usize)>, u64)> = Vec::new();
-        for (k, e) in sh.boxes.iter_mut() {
-            if *e < epoch {
-                stale.push((k.clone(), *e));
-                // Re-stamp so one missed wait yields one report per box,
-                // not one per read.
-                *e = epoch;
-            }
-        }
-        let dropped = match sh.last_read {
-            Some((le, ls)) if le == epoch && ls != step && sh.dirty => {
-                if sh.reported_epoch != Some(epoch) {
-                    sh.reported_epoch = Some(epoch);
-                    Some(ls)
-                } else {
-                    None
+        let mut found: Vec<Diagnostic> = Vec::new();
+        {
+            let mut arrays = lock(&self.arrays[rank]);
+            let Some(sh) = arrays.get_mut(&array) else {
+                return;
+            };
+            let epoch = sh.epoch;
+            let mut stale: Vec<(Vec<(usize, usize)>, u64)> = Vec::new();
+            for (k, e) in sh.boxes.iter_mut() {
+                if *e < epoch {
+                    stale.push((k.clone(), *e));
+                    // Re-stamp so one missed wait yields one report per
+                    // box, not one per read.
+                    *e = epoch;
                 }
             }
-            _ => None,
-        };
-        sh.last_read = Some((epoch, step));
-        for (k, e) in stale {
-            let d = Diagnostic::error(
-                PASS_STALE_HALO,
-                format!("rank {rank} array {array:#x} box {}", fmt_box(&k)),
-                format!(
-                    "halo box read at step {step} before its receive completed: \
-                     exchange epoch {epoch} was begun but the box was last \
-                     unpacked in epoch {e} — the read has no happens-before \
-                     edge from the remote write it depends on"
-                ),
-            );
-            Self::push_report(&mut g, d);
+            let dropped = match sh.last_read {
+                Some((le, ls)) if le == epoch && ls != step && sh.dirty => {
+                    if sh.reported_epoch != Some(epoch) {
+                        sh.reported_epoch = Some(epoch);
+                        Some(ls)
+                    } else {
+                        None
+                    }
+                }
+                _ => None,
+            };
+            sh.last_read = Some((epoch, step));
+            for (k, e) in stale {
+                found.push(Diagnostic::error(
+                    PASS_STALE_HALO,
+                    format!("rank {rank} array {array:#x} box {}", fmt_box(&k)),
+                    format!(
+                        "halo box read at step {step} before its receive completed: \
+                         exchange epoch {epoch} was begun but the box was last \
+                         unpacked in epoch {e} — the read has no happens-before \
+                         edge from the remote write it depends on"
+                    ),
+                ));
+            }
+            if let Some(ls) = dropped {
+                found.push(Diagnostic::error(
+                    PASS_STALE_HALO,
+                    format!("rank {rank} array {array:#x}"),
+                    format!(
+                        "halo re-read at step {step} with no exchange since the read \
+                         at step {ls}, although the owned interior changed in \
+                         between: the separating exchange was dropped or wrongly \
+                         hoisted, so neighbor contributions are one step stale"
+                    ),
+                ));
+            }
         }
-        if let Some(ls) = dropped {
-            let d = Diagnostic::error(
-                PASS_STALE_HALO,
-                format!("rank {rank} array {array:#x}"),
-                format!(
-                    "halo re-read at step {step} with no exchange since the read \
-                     at step {ls}, although the owned interior changed in \
-                     between: the separating exchange was dropped or wrongly \
-                     hoisted, so neighbor contributions are one step stale"
-                ),
-            );
-            Self::push_report(&mut g, d);
+        for d in found {
+            self.push_report(d);
         }
     }
 
@@ -456,7 +520,6 @@ impl San {
     /// write conflict, any gap leaves rows silently not updated. Runs
     /// detector 4.
     pub fn slab_partition(&self, rank: usize, total: (usize, usize), declared: &[(usize, usize)]) {
-        let mut g = self.lock();
         let mut cursor = total.0;
         for (i, &(lo, hi)) in declared.iter().enumerate() {
             if lo >= hi {
@@ -464,7 +527,7 @@ impl San {
             }
             if lo < cursor {
                 let prev = i.saturating_sub(1);
-                let d = Diagnostic::error(
+                self.push_report(Diagnostic::error(
                     PASS_SLAB,
                     format!("rank {rank} threaded space loop, workers {prev}/{i}"),
                     format!(
@@ -472,10 +535,9 @@ impl San {
                          threads update the same rows of the same stream \
                          concurrently — a cross-thread write conflict"
                     ),
-                );
-                Self::push_report(&mut g, d);
+                ));
             } else if lo > cursor {
-                let d = Diagnostic::error(
+                self.push_report(Diagnostic::error(
                     PASS_SLAB,
                     format!("rank {rank} threaded space loop, worker {i}"),
                     format!(
@@ -484,13 +546,12 @@ impl San {
                          step",
                         total.0, total.1
                     ),
-                );
-                Self::push_report(&mut g, d);
+                ));
             }
             cursor = cursor.max(hi);
         }
         if cursor < total.1 {
-            let d = Diagnostic::error(
+            self.push_report(Diagnostic::error(
                 PASS_SLAB,
                 format!("rank {rank} threaded space loop"),
                 format!(
@@ -498,8 +559,7 @@ impl San {
                      those rows are silently never updated this step",
                     total.1
                 ),
-            );
-            Self::push_report(&mut g, d);
+            ));
         }
     }
 
@@ -510,19 +570,21 @@ impl San {
     /// 5). Skipped on poisoned runs — peers legitimately abandon
     /// in-flight traffic while unwinding.
     pub fn finalize(&self) {
-        let mut g = self.lock();
-        if g.poisoned {
+        if self.poisoned.load(Ordering::SeqCst) {
             return;
         }
-        let mut leaked: Vec<((usize, usize, u32), usize, SendKind)> = g
-            .channels
-            .iter()
-            .filter(|(_, q)| !q.is_empty())
-            .map(|(&k, q)| (k, q.len(), q.front().map(|m| m.kind).unwrap()))
-            .collect();
+        let mut leaked: Vec<((usize, usize, u32), usize, SendKind)> = Vec::new();
+        for shard in self.channels.iter() {
+            let g = lock(shard);
+            leaked.extend(
+                g.iter()
+                    .filter(|(_, q)| !q.is_empty())
+                    .map(|(&k, q)| (k, q.len(), q.front().map(|m| m.kind).unwrap())),
+            );
+        }
         leaked.sort_by_key(|&(k, _, _)| k);
         for ((src, dst, tag), n, kind) in leaked {
-            let d = Diagnostic::error(
+            self.push_report(Diagnostic::error(
                 PASS_LEAK,
                 format!("rank {src} -> rank {dst}, tag {tag}"),
                 format!(
@@ -531,8 +593,7 @@ impl San {
                      schedule planned never completed",
                     kind.label()
                 ),
-            );
-            Self::push_report(&mut g, d);
+            ));
         }
     }
 
@@ -540,11 +601,11 @@ impl San {
     /// finalize-time leak check; already-collected reports are kept so
     /// they can be flushed before the panic is re-raised.
     pub fn set_poisoned(&self) {
-        self.lock().poisoned = true;
+        self.poisoned.store(true, Ordering::SeqCst);
     }
 
     pub fn is_poisoned(&self) -> bool {
-        self.lock().poisoned
+        self.poisoned.load(Ordering::SeqCst)
     }
 
     /// Print any not-yet-printed reports to stderr (without draining —
@@ -552,7 +613,7 @@ impl San {
     /// both at normal completion and, crucially, on the poison path:
     /// diagnostics must not be lost on exactly the runs that fail.
     pub fn flush_to_stderr(&self) {
-        let mut g = self.lock();
+        let mut g = lock(&self.reports);
         if g.flushed == g.reports.len() && g.suppressed == 0 {
             return;
         }
@@ -571,7 +632,7 @@ impl San {
     /// Drain all collected reports (adding a summary line for any
     /// suppressed past the cap).
     pub fn take_reports(&self) -> Vec<Diagnostic> {
-        let mut g = self.lock();
+        let mut g = lock(&self.reports);
         let mut out = std::mem::take(&mut g.reports);
         g.flushed = 0;
         if g.suppressed > 0 {
@@ -591,17 +652,17 @@ impl San {
 
     /// Non-draining view of the current reports (tests).
     pub fn snapshot_reports(&self) -> Vec<Diagnostic> {
-        self.lock().reports.clone()
+        lock(&self.reports).reports.clone()
     }
 
     pub fn has_reports(&self) -> bool {
-        let g = self.lock();
+        let g = lock(&self.reports);
         !g.reports.is_empty() || g.suppressed > 0
     }
 
     /// Snapshot of `rank`'s current vector clock (tests and debugging).
     pub fn clock_snapshot(&self, rank: usize) -> VectorClock {
-        self.lock().clocks[rank].clone()
+        lock(&self.clocks[rank]).clone()
     }
 }
 
@@ -690,5 +751,24 @@ mod tests {
         assert_eq!(taken.len(), MAX_REPORTS + 1);
         assert_eq!(taken.last().unwrap().severity, Severity::Info);
         assert!(!san.has_reports());
+    }
+
+    /// Channels in different shards (and the same shard) keep their
+    /// independent FIFO disciplines: leak detection still sees every
+    /// channel exactly once, in sorted key order.
+    #[test]
+    fn finalize_aggregates_across_channel_shards() {
+        let san = San::new(4);
+        san.on_send(0, 1, 7, SendKind::Adhoc);
+        san.on_send(2, 3, 9, SendKind::Persistent);
+        san.on_send(1, 0, 7, SendKind::Adhoc);
+        san.on_recv(0, 1, 7, SendKind::Adhoc);
+        san.finalize();
+        let reports = san.snapshot_reports();
+        assert_eq!(reports.len(), 2, "two channels still hold traffic");
+        assert!(reports.iter().all(|d| d.pass == PASS_LEAK));
+        // Sorted by (src, dst, tag): (0,1,7) before (2,3,9).
+        assert!(reports[0].location.contains("rank 0 -> rank 1"));
+        assert!(reports[1].location.contains("rank 2 -> rank 3"));
     }
 }
