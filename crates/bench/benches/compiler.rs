@@ -40,7 +40,14 @@ fn bench_executable(c: &mut Criterion) {
     let prop = Propagator::build(KernelKind::Viscoelastic, spec, 8);
     let opts = ApplyOptions::default().with_mode(HaloMode::Diagonal);
     g.bench_function("viscoelastic_so8", |b| {
-        b.iter(|| prop.op.executable_for(&opts).compiled_clusters().len())
+        // The uncached path: `executable_for` would memoize after the
+        // first iteration and this group would time a hashmap hit.
+        b.iter(|| {
+            prop.op
+                .compile_executable_for(&opts)
+                .compiled_clusters()
+                .len()
+        })
     });
     g.finish();
 }

@@ -144,6 +144,14 @@ pub trait ClusterKernel: Send + Sync {
     /// path; `buffers[s]` is stream `s`'s full padded buffer).
     fn exec_box(&self, launch: &Launch<'_>, bx: &BoxNd, buffers: &mut [&mut [f32]]);
 
+    /// How many natively-compiled per-geometry modules this kernel holds
+    /// in its cache. `0` for interpreter kernels, which compile nothing
+    /// at run time. `tests/serve_load.rs` uses this to prove repeated
+    /// runs reuse modules instead of re-encoding machine code.
+    fn cached_modules(&self) -> usize {
+        0
+    }
+
     /// Execute over `bx` with split bindings (threaded path): shared
     /// read slices and per-worker write slabs carrying their linear
     /// start offset, as produced by the executor's slab partitioner.

@@ -26,6 +26,17 @@ use crate::bytecode::{compile_cluster, fuse_cluster, powi, CompiledCluster, Op};
 /// Strip widths the lane-vectorized engine is monomorphized for.
 pub const SUPPORTED_VECTOR_WIDTHS: [usize; 3] = [8, 16, 32];
 
+/// Process-wide count of full operator lowerings
+/// ([`OperatorExec::with_backend`] calls). The serve smoke harness
+/// asserts this equals the number of *unique* operator cache keys — the
+/// compile-once contract made countable.
+static EXEC_COMPILES: std::sync::atomic::AtomicU64 = std::sync::atomic::AtomicU64::new(0);
+
+/// How many times this process has lowered an operator into kernels.
+pub fn exec_compiles() -> u64 {
+    EXEC_COMPILES.load(std::sync::atomic::Ordering::Relaxed)
+}
+
 /// Validate a `vector_width` knob: `0`/`1` select the scalar
 /// interpreter, the widths in [`SUPPORTED_VECTOR_WIDTHS`] the strip
 /// engine. Anything else panics — silently degrading a job script's
@@ -240,6 +251,7 @@ impl OperatorExec {
         backend: Backend,
     ) -> Result<OperatorExec, BackendError> {
         let lowering = create_lowering(backend)?;
+        EXEC_COMPILES.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
         let mut compiled = Vec::new();
         collect_compiled(&iet, &mut compiled);
         let kernels = compiled.iter().map(|cc| lowering.compile(cc)).collect();
@@ -275,6 +287,13 @@ impl OperatorExec {
     }
     pub fn halos(&self) -> &[usize] {
         &self.halos
+    }
+
+    /// Total natively-compiled per-geometry modules held across this
+    /// executable's kernels (0 for interpreter backends). Stable across
+    /// repeated runs of the same geometry — the compile-once contract.
+    pub fn cached_native_modules(&self) -> usize {
+        self.kernels.iter().map(|k| k.cached_modules()).sum()
     }
 
     /// Run the operator for time steps `t0 .. t0 + nt`.

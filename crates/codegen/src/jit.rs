@@ -55,6 +55,17 @@ use mpix_symbolic::Context;
 use crate::backend::{Backend, BytecodeKernel, ClusterKernel, Launch, Lowering};
 use crate::bytecode::{CoeffSrc, CompiledCluster, Op};
 
+/// Process-wide count of native modules actually encoded and finalized
+/// (cache misses in [`JitKernel::module_for`]). Repeated runs of a
+/// cached operator must leave this flat — the per-run-recompile
+/// regression test watches it.
+static JIT_MODULES_BUILT: std::sync::atomic::AtomicU64 = std::sync::atomic::AtomicU64::new(0);
+
+/// How many native modules this process has encoded so far.
+pub fn jit_modules_built() -> u64 {
+    JIT_MODULES_BUILT.load(std::sync::atomic::Ordering::Relaxed)
+}
+
 /// Deepest expression stack the register allocator maps to `ymm0..=11`.
 const MAX_JIT_STACK: usize = 12;
 /// Scratch vector register (fused-op intermediate, coefficient splat).
@@ -206,12 +217,24 @@ impl JitKernel {
         }
         let built = codegen_row_fn(cc, resolved, &self.plan)
             .and_then(|asm| self.ctx.finalize(asm).ok().map(Arc::new));
+        if built.is_some() {
+            JIT_MODULES_BUILT.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+        }
         cache.insert(resolved.to_vec(), built.clone());
         built
     }
 }
 
 impl ClusterKernel for JitKernel {
+    fn cached_modules(&self) -> usize {
+        self.modules
+            .lock()
+            .unwrap()
+            .values()
+            .filter(|m| m.is_some())
+            .count()
+    }
+
     fn exec_box(&self, l: &Launch<'_>, bx: &BoxNd, buffers: &mut [&mut [f32]]) {
         match self.module_for(l.cc, l.resolved) {
             Some(module) => {

@@ -41,4 +41,5 @@ pub use backend::{
 };
 pub use bytecode::{compile_cluster, fold_constants, fuse_cluster, CompiledCluster, Op};
 pub use cgen::emit_c;
-pub use executor::{halo_tag_base, ExecOptions, FieldState, OperatorExec, SparseOp};
+pub use executor::{exec_compiles, halo_tag_base, ExecOptions, FieldState, OperatorExec, SparseOp};
+pub use jit::jit_modules_built;

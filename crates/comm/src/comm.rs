@@ -437,6 +437,11 @@ impl PoisonBarrier {
 
 /// Shared state for a set of ranks (the "world").
 pub(crate) struct World {
+    /// Process-unique id, assigned at construction. Every `Universe::run`
+    /// builds a fresh `World`, so two concurrently running jobs can prove
+    /// their communicators are disjoint by comparing ids — the serve
+    /// layer's tenant-isolation test does exactly this.
+    pub(crate) id: u64,
     pub(crate) mailboxes: Vec<Mailbox>,
     pub(crate) barrier: PoisonBarrier,
     pub(crate) stats: Vec<Mutex<StatsInner>>,
@@ -457,6 +462,10 @@ pub(crate) struct World {
     pub(crate) san: Option<Arc<San>>,
 }
 
+/// Monotonic source of [`World::id`]s. Starts at 1 so 0 can mean
+/// "no world" in diagnostics.
+static NEXT_WORLD_ID: AtomicU64 = AtomicU64::new(1);
+
 impl World {
     pub(crate) fn new(n: usize, san: Option<Arc<San>>, tuning: CommTuning) -> World {
         let shards = tuning.mailbox_shards;
@@ -467,6 +476,7 @@ impl World {
             (0..n).map(|_| BufferPool::new(POOL_MAX_PER_RANK)).collect()
         };
         World {
+            id: NEXT_WORLD_ID.fetch_add(1, Ordering::Relaxed),
             mailboxes: (0..n).map(|_| Mailbox::new(shards)).collect(),
             barrier: PoisonBarrier::new(n),
             stats: (0..n).map(|_| Mutex::new(StatsInner::default())).collect(),
@@ -1174,6 +1184,14 @@ impl Comm {
     /// Number of ranks in the world.
     pub fn size(&self) -> usize {
         self.size
+    }
+
+    /// Process-unique id of the world this communicator belongs to.
+    /// Each `Universe::run` builds a fresh world, so ids differ across
+    /// jobs even when they run concurrently — the communicator-isolation
+    /// witness for multi-tenant serving.
+    pub fn world_id(&self) -> u64 {
+        self.world.id
     }
 
     /// The tuning this world was built with (shard count, spin yields,

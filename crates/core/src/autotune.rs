@@ -26,6 +26,20 @@ pub struct TuneReport<C> {
     pub trials: Vec<(C, f64)>,
 }
 
+/// Pick the fastest trial with a *total* order on times. `total_cmp`
+/// sorts every NaN after every real number, so a pathological trial
+/// (e.g. a zero-duration clock anomaly propagated through a division)
+/// loses to any finite measurement instead of panicking the whole sweep
+/// the way `partial_cmp(..).unwrap()` did.
+fn best_trial<C: Clone>(trials: &[(C, f64)]) -> C {
+    trials
+        .iter()
+        .min_by(|a, b| a.1.total_cmp(&b.1))
+        .expect("tuning sweep ran at least one trial")
+        .0
+        .clone()
+}
+
 impl Operator {
     /// One candidate measurement: an untimed warm-up run amortizes
     /// first-touch allocation, lazy compilation, and thread-pool spin-up
@@ -65,11 +79,7 @@ impl Operator {
             opts.topology = topology.clone();
             trials.push((mode, self.timed_trial(&opts, &init)));
         }
-        let best = trials
-            .iter()
-            .min_by(|a, b| a.1.partial_cmp(&b.1).unwrap())
-            .unwrap()
-            .0;
+        let best = best_trial(&trials);
         TuneReport { best, trials }
     }
 
@@ -128,11 +138,7 @@ impl Operator {
                 trials.push(((block, vw), self.timed_trial(&opts, &init)));
             }
         }
-        let best = trials
-            .iter()
-            .min_by(|a, b| a.1.partial_cmp(&b.1).unwrap())
-            .unwrap()
-            .0;
+        let best = best_trial(&trials);
         TuneReport { best, trials }
     }
 
@@ -160,11 +166,7 @@ impl Operator {
             opts.topology = None;
             trials.push((backend, self.timed_trial(&opts, &init)));
         }
-        let best = trials
-            .iter()
-            .min_by(|a, b| a.1.partial_cmp(&b.1).unwrap())
-            .unwrap()
-            .0;
+        let best = best_trial(&trials);
         TuneReport { best, trials }
     }
 
@@ -211,12 +213,7 @@ impl Operator {
             let secs = self.timed_trial(&opts, &init);
             trials.push((topo, secs));
         }
-        let best = trials
-            .iter()
-            .min_by(|a, b| a.1.partial_cmp(&b.1).unwrap())
-            .unwrap()
-            .0
-            .clone();
+        let best = best_trial(&trials);
         TuneReport { best, trials }
     }
 }
@@ -292,6 +289,17 @@ mod tests {
         assert_eq!(report.trials.len(), avail.len());
         assert!(avail.contains(&report.best));
         assert!(report.trials.iter().all(|(_, t)| *t > 0.0));
+    }
+
+    #[test]
+    fn best_trial_is_nan_safe() {
+        // A NaN trial time must lose to every finite time, not panic the
+        // sweep (the old partial_cmp(..).unwrap() selection did).
+        let trials = vec![("nan", f64::NAN), ("fast", 0.1), ("slow", 0.9)];
+        assert_eq!(super::best_trial(&trials), "fast");
+        // Even an all-NaN sweep picks *something* deterministically.
+        let all_nan = vec![("a", f64::NAN), ("b", f64::NAN)];
+        assert_eq!(super::best_trial(&all_nan), "a");
     }
 
     #[test]

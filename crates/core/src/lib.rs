@@ -36,10 +36,15 @@
 
 pub mod autotune;
 pub mod operator;
+pub mod serve;
 pub mod workspace;
 
 pub use autotune::TuneReport;
 pub use operator::{Applied, ApplyOptions, BuildError, Operator};
+pub use serve::{
+    CacheSnapshot, Job, JobRecord, JobStatus, OperatorCache, OperatorKey, RankPool, RecordSink,
+    ServeConfig, ServeReport, Server,
+};
 pub use workspace::Workspace;
 // The backend vocabulary, so callers can select/enumerate backends
 // without depending on mpix-codegen directly.

@@ -1,6 +1,8 @@
 //! The `Operator`: compile once, apply at any rank count and MPI mode.
 
 use std::collections::HashMap;
+use std::hash::{Hash, Hasher};
+use std::sync::Arc;
 
 use mpix_codegen::executor::{mpi_mode_of, ExecOptions, ExecStats, Fault, OperatorExec};
 use mpix_codegen::Backend;
@@ -208,16 +210,19 @@ impl ApplyOptions {
                 .unwrap_or_else(|_| panic!("MPIX_BLOCK={v:?}: expected a block size"));
         }
         if let Ok(v) = std::env::var("MPIX_THREADS") {
-            let t: usize = v
-                .parse()
-                .unwrap_or_else(|_| panic!("MPIX_THREADS={v:?}: expected a thread count"));
-            self.threads = t.max(1);
+            // Zero is as malformed as a typo: clamping `MPIX_THREADS=0`
+            // to 1 would silently run a misconfigured job script, which
+            // the contract above promises never happens.
+            self.threads = match v.parse() {
+                Ok(t) if t >= 1 => t,
+                _ => panic!("MPIX_THREADS={v:?}: expected a thread count >= 1"),
+            };
         }
         if let Ok(v) = std::env::var("MPIX_RANKS") {
-            let r: usize = v
-                .parse()
-                .unwrap_or_else(|_| panic!("MPIX_RANKS={v:?}: expected a rank count"));
-            self.ranks = r.max(1);
+            self.ranks = match v.parse() {
+                Ok(r) if r >= 1 => r,
+                _ => panic!("MPIX_RANKS={v:?}: expected a rank count >= 1"),
+            };
         }
         if std::env::var("MPIX_TRACE").is_ok() {
             self.trace = TraceLevel::from_env();
@@ -285,6 +290,13 @@ pub struct Operator {
     plan: HaloPlan,
     iet: Node,
     counts: OpCounts,
+    /// Executables already lowered for a `(mode, backend)` pair. Lowering
+    /// and kernel compilation (including the JIT's per-geometry native
+    /// modules, which live *inside* the cached [`OperatorExec`]) happen
+    /// once per pair per operator; every later [`run`](Self::run) reuses
+    /// the same kernels. This is the per-operator face of the serve
+    /// layer's content-keyed [`crate::serve::OperatorCache`].
+    execs: std::sync::Mutex<HashMap<(HaloMode, Backend), Arc<OperatorExec>>>,
 }
 
 impl Operator {
@@ -311,6 +323,7 @@ impl Operator {
             plan,
             iet,
             counts,
+            execs: std::sync::Mutex::new(HashMap::new()),
         })
     }
 
@@ -354,14 +367,62 @@ impl Operator {
         mpix_codegen::cgen::emit_c(&lowered, &self.ctx)
     }
 
-    /// Executable lowered for the mode and backend selected in `opts`.
+    /// Executable lowered for the mode and backend selected in `opts`,
+    /// compiled **once** per `(mode, backend)` pair and shared across
+    /// every subsequent `run` of this operator. The JIT's per-geometry
+    /// native-module cache lives inside the returned executable, so
+    /// repeated runs of the same geometry reuse machine code instead of
+    /// re-encoding AVX on every call (the pre-serve code rebuilt a fresh
+    /// `JitKernel` with an empty module cache per run).
+    ///
     /// Panics with the backend-availability listing if the requested
     /// backend cannot run on this host (e.g. `jit` without AVX) — a
     /// silently substituted backend would invalidate benchmark numbers.
-    pub fn executable_for(&self, opts: &ApplyOptions) -> OperatorExec {
+    pub fn executable_for(&self, opts: &ApplyOptions) -> Arc<OperatorExec> {
+        let key = (opts.mode, opts.backend);
+        // The lock is held across compilation deliberately: concurrent
+        // first requests for one pair must compile once, not race
+        // (single-flight at per-operator granularity; the serve layer's
+        // OperatorCache adds the same guarantee across operators).
+        let mut cache = self.execs.lock().unwrap();
+        if let Some(exec) = cache.get(&key) {
+            return Arc::clone(exec);
+        }
+        let exec = Arc::new(self.compile_executable_for(opts));
+        cache.insert(key, Arc::clone(&exec));
+        exec
+    }
+
+    /// Compile a fresh executable for `opts`, bypassing the cache. This
+    /// is the raw compile [`executable_for`](Self::executable_for)
+    /// memoizes; benchmarks use it to time compilation itself.
+    pub fn compile_executable_for(&self, opts: &ApplyOptions) -> OperatorExec {
         let lowered = lower_halo_spots(self.iet.clone(), mpi_mode_of(opts.mode));
         OperatorExec::with_backend(lowered, &self.ctx, opts.backend)
             .unwrap_or_else(|e| panic!("operator '{}': {e}", opts.label))
+    }
+
+    /// Content hash of this operator as lowered for `opts` — the serve
+    /// layer's cache key. Two operators collide exactly when their
+    /// mode-lowered IET (structure *and* expressions, via the C
+    /// emission), their compiled cluster bytecode, the execution
+    /// backend, and the interpreter lane width all agree; pointer
+    /// identity plays no part. Same-geometry operators with different
+    /// expressions hash apart (different coefficients/opcodes); the same
+    /// equations built twice hash together.
+    pub fn content_key(&self, opts: &ApplyOptions) -> u64 {
+        let lowered = lower_halo_spots(self.iet.clone(), mpi_mode_of(opts.mode));
+        let mut h = std::collections::hash_map::DefaultHasher::new();
+        // IET structure + expressions + halo call sites for this mode.
+        mpix_codegen::cgen::emit_c(&lowered, &self.ctx).hash(&mut h);
+        // The compiled cluster bodies (post-fusion bytecode listing).
+        mpix_codegen::create_lowering(Backend::Bytecode)
+            .expect("bytecode backend is always available")
+            .emit(&lowered, &self.ctx)
+            .hash(&mut h);
+        opts.backend.to_string().hash(&mut h);
+        opts.vector_width.hash(&mut h);
+        h.finish()
     }
 
     /// Default runtime scalars: `dt` and the grid spacings.
@@ -427,6 +488,36 @@ impl Operator {
         FI: Fn(&mut Workspace) + Send + Sync,
         FX: Fn(&mut Workspace) -> R + Send + Sync,
     {
+        let exec = self.executable_for(opts);
+        self.run_with_exec(&exec, opts, init, extract)
+    }
+
+    /// [`run`](Self::run) against an explicitly provided executable —
+    /// the serve layer's entry point, where the executable comes from a
+    /// cross-operator [`crate::serve::OperatorCache`] rather than this
+    /// operator's own per-`(mode, backend)` cache. The executable must
+    /// have been lowered for the same mode and backend `opts` selects.
+    pub fn run_with_exec<R, FI, FX>(
+        &self,
+        exec: &OperatorExec,
+        opts: &ApplyOptions,
+        init: FI,
+        extract: FX,
+    ) -> Applied<R>
+    where
+        R: Send,
+        FI: Fn(&mut Workspace) + Send + Sync,
+        FX: Fn(&mut Workspace) -> R + Send + Sync,
+    {
+        assert_eq!(
+            exec.backend(),
+            opts.backend,
+            "operator '{}': executable was compiled by the {} backend but \
+             the run options select {}",
+            opts.label,
+            exec.backend(),
+            opts.backend
+        );
         // Validate the lane width once at the entry point: builders and
         // `env_overrides` already validate, but `vector_width` is a pub
         // field — a raw struct write could otherwise carry an arbitrary
@@ -470,12 +561,11 @@ impl Operator {
             mpix_san::San::from_env(nranks)
         };
 
-        let exec = self.executable_for(opts);
         let per_rank = Universe::run_with_san(nranks, san.clone(), |comm| {
             let cart = CartComm::new(comm, &dims);
             let mut ws = Workspace::new(&self.ctx, &self.grid, cart);
             init(&mut ws);
-            let stats = self.apply(&mut ws, &exec, opts);
+            let stats = self.apply(&mut ws, exec, opts);
             ws.last_stats = Some(stats.clone());
             ws.final_t = opts.t0 + opts.nt;
             (extract(&mut ws), stats)
@@ -559,6 +649,19 @@ mod tests {
         assert_eq!(o.mode, HaloMode::Diagonal);
         assert_eq!(o.block, 16);
         assert_eq!(o.trace, TraceLevel::Summary);
+
+        // Zero is malformed for THREADS/RANKS — fail loudly, never clamp
+        // to 1 (a typo'd job script must not silently run serial).
+        std::env::set_var("MPIX_THREADS", "0");
+        assert!(std::panic::catch_unwind(ApplyOptions::from_env).is_err());
+        std::env::set_var("MPIX_THREADS", "4");
+        std::env::set_var("MPIX_RANKS", "0");
+        assert!(std::panic::catch_unwind(ApplyOptions::from_env).is_err());
+        std::env::set_var("MPIX_RANKS", "8");
+        // Set-but-empty MPIX_TRACE is malformed, like every other knob.
+        std::env::set_var("MPIX_TRACE", "");
+        assert!(std::panic::catch_unwind(ApplyOptions::from_env).is_err());
+        std::env::set_var("MPIX_TRACE", "summary");
 
         std::env::remove_var("MPIX_MPI");
         std::env::remove_var("MPIX_BLOCK");

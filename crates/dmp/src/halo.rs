@@ -50,7 +50,7 @@ fn san_box_key(b: &BoxNd) -> Vec<(usize, usize)> {
 
 /// Which exchange pattern to use; parsed from strings like the
 /// `DEVITO_MPI` environment values in the paper's job scripts.
-#[derive(Clone, Copy, PartialEq, Eq, Debug, Default)]
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug, Default)]
 pub enum HaloMode {
     #[default]
     Basic,

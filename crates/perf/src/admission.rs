@@ -1,0 +1,103 @@
+//! Admission pricing for the serve layer: a roofline estimate of what a
+//! solver job will cost *before* it runs, so the scheduler can reject
+//! work that would monopolize the rank pool.
+//!
+//! The estimate reuses the same analytic machinery as the scaling model
+//! (§IV): per-point cost is the roofline maximum of the compute time
+//! (`flops / peak`) and the streaming time (`bytes / bw`) on the
+//! reference machine, multiplied out over grid points and time steps.
+//! It is deliberately a *bound*, not a prediction — admission control
+//! needs a stable, monotone price (more points / more steps / more work
+//! per point never gets cheaper), and the single-flight compile cache
+//! means the price must not depend on warm-up state.
+
+use mpix_json::{json, Value};
+
+use crate::machine::MachineSpec;
+
+/// The admission price of one job, in rank-seconds on the reference
+/// machine (the unit the pool scheduler budgets in: a job using `r`
+/// ranks for `s` seconds consumes `r·s` rank-seconds of pool capacity).
+#[derive(Clone, Debug)]
+pub struct JobCost {
+    /// Estimated wall seconds on `ranks` ranks (perfect strong scaling —
+    /// a lower bound on time, an upper bound on parallel efficiency).
+    pub est_secs: f64,
+    /// Total sequential work: `est_secs × ranks`. Invariant under the
+    /// rank count, which is what makes it a fair admission currency.
+    pub rank_seconds: f64,
+    /// Whether the roofline bound was the compute ceiling (`true`) or
+    /// the memory-bandwidth ceiling (`false`).
+    pub compute_bound: bool,
+}
+
+impl JobCost {
+    /// Machine-readable form, embedded in serve job records.
+    pub fn to_json(&self) -> Value {
+        json!({
+            "est_secs": self.est_secs,
+            "rank_seconds": self.rank_seconds,
+            "compute_bound": self.compute_bound,
+        })
+    }
+}
+
+/// Price a job from its compile-time operation counts.
+///
+/// * `flops_per_pt` / `bytes_per_pt` — per-grid-point work and streaming
+///   traffic (from `OpCounts::flops()` / `OpCounts::bytes()`).
+/// * `points` — global grid points updated per time step.
+/// * `nt` — number of time steps.
+/// * `ranks` — ranks the job requests from the pool.
+pub fn price_job(
+    flops_per_pt: f64,
+    bytes_per_pt: f64,
+    points: u64,
+    nt: u64,
+    ranks: usize,
+    machine: &MachineSpec,
+) -> JobCost {
+    let compute = flops_per_pt / machine.rank_flops();
+    let memory = bytes_per_pt / machine.rank_bw();
+    let per_point = compute.max(memory);
+    let rank_seconds = per_point * points as f64 * nt as f64;
+    JobCost {
+        est_secs: rank_seconds / ranks.max(1) as f64,
+        rank_seconds,
+        compute_bound: compute >= memory,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::machine::archer2_node;
+
+    #[test]
+    fn price_is_monotone_in_work() {
+        let m = archer2_node();
+        let base = price_job(100.0, 40.0, 1_000_000, 10, 8, &m);
+        assert!(base.rank_seconds > 0.0);
+        // More points, more steps, more flops: never cheaper.
+        assert!(price_job(100.0, 40.0, 2_000_000, 10, 8, &m).rank_seconds > base.rank_seconds);
+        assert!(price_job(100.0, 40.0, 1_000_000, 20, 8, &m).rank_seconds > base.rank_seconds);
+        assert!(price_job(200.0, 40.0, 1_000_000, 10, 8, &m).rank_seconds >= base.rank_seconds);
+    }
+
+    #[test]
+    fn rank_seconds_invariant_under_rank_count() {
+        let m = archer2_node();
+        let a = price_job(100.0, 40.0, 1_000_000, 10, 1, &m);
+        let b = price_job(100.0, 40.0, 1_000_000, 10, 16, &m);
+        assert!((a.rank_seconds - b.rank_seconds).abs() < 1e-12);
+        assert!(b.est_secs < a.est_secs);
+    }
+
+    #[test]
+    fn roofline_picks_the_binding_ceiling() {
+        let m = archer2_node();
+        // Very high OI: compute-bound. Very low OI: memory-bound.
+        assert!(price_job(1e6, 4.0, 1000, 1, 1, &m).compute_bound);
+        assert!(!price_job(1.0, 4000.0, 1000, 1, 1, &m).compute_bound);
+    }
+}

@@ -27,12 +27,14 @@
 #![allow(clippy::needless_range_loop)]
 #![allow(clippy::manual_is_multiple_of)]
 
+pub mod admission;
 pub mod machine;
 pub mod network;
 pub mod profile;
 pub mod roofline;
 pub mod scaling;
 
+pub use admission::{price_job, JobCost};
 pub use machine::{archer2_node, tursa_a100, MachineSpec};
 pub use network::{collective_time, comm_time_per_step, CommBreakdown};
 pub use profile::KernelProfile;

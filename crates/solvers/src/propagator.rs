@@ -43,7 +43,10 @@ impl KernelKind {
 pub struct Propagator {
     pub kind: KernelKind,
     pub spec: ModelSpec,
-    pub op: Operator,
+    /// The compiled operator, shared: serve jobs clone this `Arc` so
+    /// many concurrent jobs run one build (compiled artifacts are
+    /// additionally shared content-addressed, see `mpix_core::serve`).
+    pub op: std::sync::Arc<Operator>,
     pub so: u32,
     pub dt: f64,
 }
@@ -67,7 +70,7 @@ impl Propagator {
         Propagator {
             kind,
             spec,
-            op,
+            op: std::sync::Arc::new(op),
             so,
             dt,
         }

@@ -22,10 +22,12 @@ use std::time::Instant;
 
 pub mod diag;
 pub mod msg;
+pub mod sink;
 pub mod summary;
 
 pub use diag::{Diagnostic, Severity};
 pub use msg::{MsgDir, MsgRecord};
+pub use sink::{JsonlSink, MemorySink};
 pub use summary::{MsgHistogram, PerfSummary, RankPerf};
 // The JSON value type the to_json/from_json surface speaks.
 pub use mpix_json::Value;
@@ -46,9 +48,12 @@ pub enum TraceLevel {
 
 impl TraceLevel {
     /// Parse a user-facing spelling (`off`/`0`, `summary`/`1`, `full`/`2`).
+    /// The empty string is *not* a spelling of `Off`: a set-but-empty
+    /// `MPIX_TRACE` is as malformed as a typo and must fail loudly, like
+    /// every other `MPIX_*` knob.
     pub fn parse(s: &str) -> Option<TraceLevel> {
         match s.trim().to_ascii_lowercase().as_str() {
-            "off" | "0" | "none" | "" => Some(TraceLevel::Off),
+            "off" | "0" | "none" => Some(TraceLevel::Off),
             "summary" | "1" | "on" => Some(TraceLevel::Summary),
             "full" | "2" | "all" => Some(TraceLevel::Full),
             _ => None,

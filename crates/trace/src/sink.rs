@@ -1,0 +1,107 @@
+//! JSON-lines streaming: one compact [`Value`] per line, flushed as it
+//! is written. The serve layer streams one record per finished job
+//! through a sink; consumers (`tail -f`, the load harness, CI greps)
+//! see each record the moment the job completes rather than a document
+//! at shutdown — which is the point of *streaming* results back.
+
+use std::io::Write;
+use std::sync::Mutex;
+
+use mpix_json::Value;
+
+/// A thread-safe JSON-lines writer. Lines are written and flushed under
+/// one lock acquisition, so records from concurrent workers never
+/// interleave mid-line.
+pub struct JsonlSink {
+    out: Mutex<Box<dyn Write + Send>>,
+}
+
+impl JsonlSink {
+    /// Stream to any writer (a file, a pipe, an in-memory buffer).
+    pub fn new(out: Box<dyn Write + Send>) -> JsonlSink {
+        JsonlSink {
+            out: Mutex::new(out),
+        }
+    }
+
+    /// Stream to standard output.
+    pub fn stdout() -> JsonlSink {
+        JsonlSink::new(Box::new(std::io::stdout()))
+    }
+
+    /// Write one record as a compact single line and flush it.
+    pub fn write(&self, v: &Value) {
+        let line = v.compact();
+        debug_assert!(!line.contains('\n'), "compact JSON is single-line");
+        let mut out = self.out.lock().unwrap();
+        // A dead pipe is the consumer's problem, not the solver's: keep
+        // serving (matches `println!`'s behaviour minus the panic).
+        let _ = writeln!(out, "{line}");
+        let _ = out.flush();
+    }
+}
+
+/// An in-memory sink for tests: collects every record for inspection.
+#[derive(Default)]
+pub struct MemorySink {
+    records: Mutex<Vec<Value>>,
+}
+
+impl MemorySink {
+    pub fn new() -> MemorySink {
+        MemorySink::default()
+    }
+
+    /// Append one record.
+    pub fn write(&self, v: &Value) {
+        self.records.lock().unwrap().push(v.clone());
+    }
+
+    /// Snapshot of every record written so far.
+    pub fn records(&self) -> Vec<Value> {
+        self.records.lock().unwrap().clone()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mpix_json::json;
+
+    #[test]
+    fn jsonl_lines_are_parseable_and_ordered() {
+        let buf: Vec<u8> = Vec::new();
+        let shared = std::sync::Arc::new(Mutex::new(buf));
+        struct SharedWriter(std::sync::Arc<Mutex<Vec<u8>>>);
+        impl Write for SharedWriter {
+            fn write(&mut self, b: &[u8]) -> std::io::Result<usize> {
+                self.0.lock().unwrap().extend_from_slice(b);
+                Ok(b.len())
+            }
+            fn flush(&mut self) -> std::io::Result<()> {
+                Ok(())
+            }
+        }
+        let sink = JsonlSink::new(Box::new(SharedWriter(shared.clone())));
+        for i in 0..3 {
+            sink.write(&json!({ "i": i }));
+        }
+        let text = String::from_utf8(shared.lock().unwrap().clone()).unwrap();
+        let lines: Vec<&str> = text.lines().collect();
+        assert_eq!(lines.len(), 3);
+        for (i, line) in lines.iter().enumerate() {
+            let v = Value::parse(line).unwrap();
+            assert_eq!(v.get("i").and_then(Value::as_u64), Some(i as u64));
+        }
+    }
+
+    #[test]
+    fn memory_sink_collects_in_order() {
+        let sink = MemorySink::new();
+        sink.write(&json!({ "a": 1 }));
+        sink.write(&json!({ "a": 2 }));
+        let recs = sink.records();
+        assert_eq!(recs.len(), 2);
+        assert_eq!(recs[1].get("a").and_then(Value::as_u64), Some(2));
+    }
+}
