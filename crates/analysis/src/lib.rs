@@ -56,7 +56,10 @@ pub mod backend_check;
 pub mod bytecode_check;
 pub mod comm_schedule;
 pub mod halo_coverage;
+pub mod lint;
 pub mod thread_safety;
+
+pub use lint::{LintConfig, LintLevel};
 
 /// Which configurations the passes sweep. The `Operator::run` gate
 /// verifies only the actual run configuration ([`AnalysisConfig::for_run`]);
@@ -78,6 +81,9 @@ pub struct AnalysisConfig {
     /// Whether to run the bitwise fusion-semantics spot check (cheap,
     /// but disableable for pure structural runs).
     pub check_fused_semantics: bool,
+    /// Lint levels for the `mpix-analysis::lint` passes; `None` skips
+    /// linting entirely (the heavyweight passes still run).
+    pub lint: Option<LintConfig>,
 }
 
 impl Default for AnalysisConfig {
@@ -89,6 +95,7 @@ impl Default for AnalysisConfig {
             vector_widths: vec![8, 16, 32],
             backends: available_backends(),
             check_fused_semantics: true,
+            lint: Some(LintConfig::from_env()),
         }
     }
 }
@@ -114,6 +121,7 @@ impl AnalysisConfig {
             },
             backends: vec![backend],
             check_fused_semantics: true,
+            lint: Some(LintConfig::from_env()),
         }
     }
 }
@@ -191,6 +199,14 @@ pub fn verify_operator(
 ) -> AnalysisReport {
     let mut diags = Vec::new();
     let nd = grid.shape.len();
+
+    // Pass 0: the lint family — cheapest, runs before any backend work,
+    // so a broken artifact fails fast with a stable MPX code.
+    if let Some(lc) = &cfg.lint {
+        diags.extend(lint::lint_operator(
+            ctx, clusters, plan, &cfg.modes, None, lc,
+        ));
+    }
 
     // Pass 1: halo coverage (pure, cheap).
     diags.extend(halo_coverage::check_halo_coverage(ctx, clusters, plan));
@@ -303,6 +319,23 @@ pub fn verify_operator(
             }
         }
     }
+
+    // Deterministic output: the passes above iterate maps, geometry sets
+    // and topology sweeps whose visit order is an implementation detail,
+    // and overlapping sweeps can restate the same finding. A stable sort
+    // by (code, pass, location, severity, explanation) plus dedup makes
+    // `verify_operator` a pure function of the artifacts — baselines and
+    // golden tests can diff its output textually.
+    diags.sort_by(|a, b| {
+        (&a.code, &a.pass, &a.location, a.severity, &a.explanation).cmp(&(
+            &b.code,
+            &b.pass,
+            &b.location,
+            b.severity,
+            &b.explanation,
+        ))
+    });
+    diags.dedup();
 
     AnalysisReport { diagnostics: diags }
 }

@@ -1,0 +1,624 @@
+//! Abstract interpretation over cluster expressions and compiled
+//! bytecode: a small interval domain plus def-use dataflow, detecting
+//! the value- and lifetime-level bug classes (`MPX001`–`MPX008`) that
+//! the geometric verification passes cannot see.
+//!
+//! The interval domain is deliberately coarse — constants are exact,
+//! the solver scalars `dt` / `h_*` are known positive, everything else
+//! is ⊤ — because the lints only act on *provable* facts: a divisor
+//! flagged by `MPX002` is zero for every grid point and every runtime
+//! parameter value, not merely possibly zero. Coarseness costs recall,
+//! never precision, so a `deny` finding is always a real bug.
+
+use std::collections::{BTreeMap, BTreeSet};
+
+use mpix_codegen::bytecode::compile_cluster;
+use mpix_ir::cluster::{Cluster, Stmt};
+use mpix_ir::iexpr::{IExpr, IdxAccess};
+use mpix_symbolic::{Context, FieldId, FieldKind, UnaryFn};
+
+use super::LintFinding;
+
+/// A closed interval over the extended reals; `[-∞, +∞]` is ⊤.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct Interval {
+    pub lo: f64,
+    pub hi: f64,
+}
+
+const TOP: Interval = Interval {
+    lo: f64::NEG_INFINITY,
+    hi: f64::INFINITY,
+};
+
+/// Strictly positive, unbounded: the abstraction of `dt` and `h_*`.
+const POSITIVE: Interval = Interval {
+    lo: f64::MIN_POSITIVE,
+    hi: f64::INFINITY,
+};
+
+impl Interval {
+    fn point(c: f64) -> Interval {
+        Interval { lo: c, hi: c }
+    }
+
+    fn is_point(&self) -> Option<f64> {
+        (self.lo == self.hi && self.lo.is_finite()).then_some(self.lo)
+    }
+
+    /// Provably zero at every point.
+    fn is_zero(&self) -> bool {
+        self.lo == 0.0 && self.hi == 0.0
+    }
+
+    fn add(self, o: Interval) -> Interval {
+        let lo = self.lo + o.lo;
+        let hi = self.hi + o.hi;
+        if lo.is_nan() || hi.is_nan() {
+            return TOP;
+        }
+        Interval { lo, hi }
+    }
+
+    fn mul(self, o: Interval) -> Interval {
+        let corners = [
+            self.lo * o.lo,
+            self.lo * o.hi,
+            self.hi * o.lo,
+            self.hi * o.hi,
+        ];
+        if corners.iter().any(|c| c.is_nan()) {
+            return TOP;
+        }
+        Interval {
+            lo: corners.iter().cloned().fold(f64::INFINITY, f64::min),
+            hi: corners.iter().cloned().fold(f64::NEG_INFINITY, f64::max),
+        }
+    }
+
+    fn pow(self, n: i32) -> Interval {
+        if let Some(c) = self.is_point() {
+            let v = c.powi(n);
+            if v.is_finite() {
+                return Interval::point(v);
+            }
+        }
+        if self.lo > 0.0 {
+            // Positive base: any integer power stays positive.
+            return POSITIVE;
+        }
+        if n > 0 && n % 2 == 0 {
+            return Interval {
+                lo: 0.0,
+                hi: f64::INFINITY,
+            };
+        }
+        TOP
+    }
+}
+
+/// Evaluation environment: per-point temps (cluster-local indices) and
+/// hoisted parameters (operator-global indices).
+struct Env {
+    temps: Vec<Interval>,
+    params: BTreeMap<usize, Interval>,
+}
+
+/// Evaluate an expression in the interval domain, emitting `MPX002` /
+/// `MPX003` findings for provably-singular subexpressions on the way.
+fn eval(e: &IExpr, env: &Env, loc: &str, out: &mut Vec<LintFinding>) -> Interval {
+    match e {
+        IExpr::Const(c) => {
+            if !c.is_finite() {
+                out.push(LintFinding::new(
+                    "MPX003",
+                    loc,
+                    format!("non-finite constant {c} propagates NaN/inf into every point"),
+                ));
+                return TOP;
+            }
+            Interval::point(*c)
+        }
+        IExpr::Sym(s) => {
+            if s == "dt" || s.starts_with("h_") {
+                POSITIVE
+            } else {
+                TOP
+            }
+        }
+        IExpr::Load(_) => TOP,
+        IExpr::Temp(i) => env.temps.get(*i).copied().unwrap_or(TOP),
+        IExpr::Param(i) => env.params.get(i).copied().unwrap_or(TOP),
+        IExpr::Add(xs) => xs
+            .iter()
+            .map(|x| eval(x, env, loc, out))
+            .fold(Interval::point(0.0), Interval::add),
+        IExpr::Mul(xs) => xs
+            .iter()
+            .map(|x| eval(x, env, loc, out))
+            .fold(Interval::point(1.0), Interval::mul),
+        IExpr::Pow(b, n) => {
+            let bi = eval(b, env, loc, out);
+            if *n < 0 && bi.is_zero() {
+                out.push(LintFinding::new(
+                    "MPX002",
+                    loc,
+                    format!("reciprocal power ({b})^{n} has a provably zero base"),
+                ));
+                return TOP;
+            }
+            bi.pow(*n)
+        }
+        IExpr::Func(fx, b) => {
+            let bi = eval(b, env, loc, out);
+            match fx {
+                UnaryFn::Sqrt => {
+                    if bi.hi < 0.0 {
+                        out.push(LintFinding::new(
+                            "MPX003",
+                            loc,
+                            format!(
+                                "sqrt of a provably negative value in [{}, {}]",
+                                bi.lo, bi.hi
+                            ),
+                        ));
+                        return TOP;
+                    }
+                    match bi.is_point() {
+                        Some(c) if c >= 0.0 => Interval::point(c.sqrt()),
+                        _ => Interval {
+                            lo: 0.0,
+                            hi: f64::INFINITY,
+                        },
+                    }
+                }
+                UnaryFn::Exp => match bi.is_point() {
+                    Some(c) => Interval::point(c.exp()),
+                    None => Interval {
+                        lo: 0.0,
+                        hi: f64::INFINITY,
+                    },
+                },
+                UnaryFn::Abs => match bi.is_point() {
+                    Some(c) => Interval::point(c.abs()),
+                    None => Interval {
+                        lo: 0.0,
+                        hi: f64::INFINITY,
+                    },
+                },
+                UnaryFn::Sin | UnaryFn::Cos => Interval { lo: -1.0, hi: 1.0 },
+            }
+        }
+    }
+}
+
+/// Valid time-offset window for a field: `{0}` for `Function`s, the
+/// rotation window `[2 - buffers, +1]` for `TimeFunction`s.
+fn valid_time_window(ctx: &Context, f: FieldId) -> (i32, i32) {
+    let fld = ctx.field(f);
+    match fld.kind {
+        FieldKind::Function => (0, 0),
+        FieldKind::TimeFunction => (2 - fld.time_buffers() as i32, 1),
+    }
+}
+
+/// `MPX006` on one access (load or store target).
+fn check_access(
+    ctx: &Context,
+    a: &IdxAccess,
+    loc: &str,
+    seen: &mut BTreeSet<(FieldId, i32, Vec<i32>)>,
+    out: &mut Vec<LintFinding>,
+) {
+    if !seen.insert((a.field, a.time_offset, a.deltas.clone())) {
+        return;
+    }
+    let fld = ctx.field(a.field);
+    let halo = fld.halo() as i32;
+    for (d, &delta) in a.deltas.iter().enumerate() {
+        if delta.abs() > halo {
+            out.push(LintFinding::new(
+                "MPX006",
+                loc,
+                format!(
+                    "access {}[t{:+}] offset {delta:+} in dim {d} exceeds the allocated \
+                     halo width {halo} — out-of-bounds at the domain edge",
+                    fld.name, a.time_offset
+                ),
+            ));
+        }
+    }
+    let (t_lo, t_hi) = valid_time_window(ctx, a.field);
+    if a.time_offset < t_lo || a.time_offset > t_hi {
+        out.push(LintFinding::new(
+            "MPX006",
+            loc,
+            format!(
+                "access {}[t{:+}] addresses a time buffer outside the valid \
+                 rotation window [{t_lo:+}, {t_hi:+}]",
+                fld.name, a.time_offset
+            ),
+        ));
+    }
+}
+
+/// The cluster-level lints: `MPX001`–`MPX006`. See [`super::lint_operator`]
+/// for the `assume_initialized` contract.
+pub fn lint_clusters(
+    ctx: &Context,
+    clusters: &[Cluster],
+    assume_initialized: Option<&BTreeSet<FieldId>>,
+) -> Vec<LintFinding> {
+    let mut out = Vec::new();
+    let mut written: BTreeSet<(FieldId, i32)> = BTreeSet::new();
+    // (field, toff) -> location of a store no later statement has read.
+    let mut pending_store: BTreeMap<(FieldId, i32), String> = BTreeMap::new();
+    let mut used_fields: BTreeSet<FieldId> = BTreeSet::new();
+    let mut uninit_reported: BTreeSet<(FieldId, i32)> = BTreeSet::new();
+    let mut oob_seen: BTreeSet<(FieldId, i32, Vec<i32>)> = BTreeSet::new();
+    let mut env = Env {
+        temps: Vec::new(),
+        params: BTreeMap::new(),
+    };
+
+    for (ci, cl) in clusters.iter().enumerate() {
+        env.temps = vec![TOP; cl.num_temps];
+        for (pi, value) in &cl.params {
+            let loc = format!("cluster {ci} / r{pi}");
+            let iv = eval(value, &env, &loc, &mut out);
+            env.params.insert(*pi, iv);
+        }
+        for (si, stmt) in cl.stmts.iter().enumerate() {
+            let loc = format!("cluster {ci} / stmt {si}");
+            // Reads first: a statement reads its RHS before any store lands.
+            stmt.value().visit_loads(&mut |a: &IdxAccess| {
+                used_fields.insert(a.field);
+                check_access(ctx, a, &loc, &mut oob_seen, &mut out);
+                let key = (a.field, a.time_offset);
+                pending_store.remove(&key);
+                let externally_init = match assume_initialized {
+                    // Unknown init state: trust everything except the
+                    // buffer being written this step — under rotation it
+                    // holds values from two steps back until stored.
+                    None => a.time_offset <= 0,
+                    Some(set) => set.contains(&a.field),
+                };
+                if !written.contains(&key) && !externally_init && uninit_reported.insert(key) {
+                    out.push(LintFinding::new(
+                        "MPX001",
+                        &loc,
+                        format!(
+                            "read of {} before any statement writes it — under buffer \
+                             rotation this observes stale data from an earlier step",
+                            crate::buf_name(ctx, a.field, a.time_offset)
+                        ),
+                    ));
+                }
+            });
+            let iv = eval(stmt.value(), &env, &loc, &mut out);
+            match stmt {
+                Stmt::Let { temp, .. } => {
+                    if let Some(t) = env.temps.get_mut(*temp) {
+                        *t = iv;
+                    }
+                }
+                Stmt::Store { target, .. } => {
+                    used_fields.insert(target.field);
+                    check_access(ctx, target, &loc, &mut oob_seen, &mut out);
+                    let key = (target.field, target.time_offset);
+                    if let Some(prev) = pending_store.insert(key, loc.clone()) {
+                        out.push(LintFinding::new(
+                            "MPX004",
+                            prev,
+                            format!(
+                                "store to {} is overwritten at {loc} with no \
+                                 intervening read — the first store is dead",
+                                crate::buf_name(ctx, target.field, target.time_offset)
+                            ),
+                        ));
+                    }
+                    written.insert(key);
+                }
+            }
+        }
+    }
+
+    for fld in ctx.fields() {
+        if !used_fields.contains(&fld.id) {
+            out.push(LintFinding::new(
+                "MPX005",
+                format!("field {}", fld.name),
+                "registered field is neither read nor written by any cluster",
+            ));
+        }
+    }
+    out
+}
+
+/// The bytecode-level def-use lints: `MPX007` (temp read before any
+/// `SetTemp`) and `MPX008` (a `SetTemp` no later op reads). Each cluster
+/// is compiled through the same `compile_cluster` path the executor
+/// uses, so what is linted is what runs.
+pub fn lint_bytecode(clusters: &[Cluster]) -> Vec<LintFinding> {
+    let mut out = Vec::new();
+    for (ci, cl) in clusters.iter().enumerate() {
+        let cc = compile_cluster(cl);
+        let mut defined = vec![false; cc.num_temps];
+        let mut reported = vec![false; cc.num_temps];
+        let mut op_list = Vec::new();
+        cc.visit_ops(|i, op, _depth| op_list.push((i, op)));
+        for &(i, op) in &op_list {
+            if let Some(t) = op.temp_read() {
+                let t = t as usize;
+                if !defined.get(t).copied().unwrap_or(false)
+                    && !std::mem::replace(&mut reported[t], true)
+                {
+                    out.push(LintFinding::new(
+                        "MPX007",
+                        format!("cluster {ci} / op {i}"),
+                        format!("tmp{t} is read before any SetTemp defines it"),
+                    ));
+                }
+            }
+            if let Some(t) = op.temp_written() {
+                defined[t as usize] = true;
+            }
+        }
+        // A SetTemp is dead when no op reads the slot before its next
+        // redefinition (or the end of the program).
+        for (k, &(i, op)) in op_list.iter().enumerate() {
+            let Some(t) = op.temp_written() else { continue };
+            let live = op_list[k + 1..]
+                .iter()
+                .take_while(|(_, o)| o.temp_written() != Some(t))
+                .any(|(_, o)| o.temp_read() == Some(t));
+            if !live {
+                out.push(LintFinding::new(
+                    "MPX008",
+                    format!("cluster {ci} / op {i}"),
+                    format!("SetTemp tmp{t} is never read afterwards — a dead store"),
+                ));
+            }
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mpix_ir::cluster::Stmt;
+    use mpix_symbolic::Grid;
+
+    fn two_field_ctx() -> (Context, FieldId, FieldId) {
+        let mut ctx = Context::new();
+        let g = Grid::new(&[16, 16], &[1.0, 1.0]);
+        let u = ctx.add_time_function("u", &g, 2, 2);
+        let m = ctx.add_function("m", &g, 2);
+        (ctx, u.id(), m.id())
+    }
+
+    fn load(f: FieldId, toff: i32, deltas: &[i32]) -> IExpr {
+        IExpr::Load(IdxAccess {
+            field: f,
+            time_offset: toff,
+            deltas: deltas.to_vec(),
+        })
+    }
+
+    fn store(f: FieldId, toff: i32, value: IExpr) -> Stmt {
+        Stmt::Store {
+            target: IdxAccess {
+                field: f,
+                time_offset: toff,
+                deltas: vec![0, 0],
+            },
+            value,
+        }
+    }
+
+    fn codes(findings: &[LintFinding]) -> Vec<&str> {
+        findings.iter().map(|f| f.code).collect()
+    }
+
+    #[test]
+    fn zero_divisor_is_mpx002() {
+        let (ctx, u, m) = two_field_ctx();
+        let value = IExpr::Mul(vec![
+            load(m, 0, &[0, 0]),
+            IExpr::Pow(Box::new(IExpr::Const(0.0)), -1),
+        ]);
+        let cl = Cluster {
+            stmts: vec![store(u, 1, value)],
+            ..Default::default()
+        };
+        let f = lint_clusters(&ctx, &[cl], None);
+        assert!(codes(&f).contains(&"MPX002"), "{f:?}");
+    }
+
+    #[test]
+    fn sqrt_negative_and_nonfinite_are_mpx003() {
+        let (ctx, u, m) = two_field_ctx();
+        let cl = Cluster {
+            stmts: vec![
+                store(
+                    u,
+                    1,
+                    IExpr::Func(UnaryFn::Sqrt, Box::new(IExpr::Const(-4.0))),
+                ),
+                store(u, 0, IExpr::Const(f64::NAN)),
+                store(m, 0, IExpr::Const(1.0)),
+            ],
+            ..Default::default()
+        };
+        let f = lint_clusters(&ctx, &[cl], None);
+        assert_eq!(
+            codes(&f).iter().filter(|c| **c == "MPX003").count(),
+            2,
+            "{f:?}"
+        );
+    }
+
+    #[test]
+    fn sqrt_of_square_is_clean() {
+        let (ctx, u, m) = two_field_ctx();
+        let value = IExpr::Func(
+            UnaryFn::Sqrt,
+            Box::new(IExpr::Pow(Box::new(load(m, 0, &[0, 0])), 2)),
+        );
+        let cl = Cluster {
+            stmts: vec![store(u, 1, value)],
+            ..Default::default()
+        };
+        let f = lint_clusters(&ctx, &[cl], None);
+        assert!(!codes(&f).contains(&"MPX003"), "{f:?}");
+    }
+
+    #[test]
+    fn forward_read_before_write_is_mpx001() {
+        let (ctx, u, m) = two_field_ctx();
+        let cl = Cluster {
+            stmts: vec![store(m, 0, load(u, 1, &[0, 0]))],
+            ..Default::default()
+        };
+        let f = lint_clusters(&ctx, &[cl], None);
+        assert!(codes(&f).contains(&"MPX001"), "{f:?}");
+        // Reading u[t+1] after it is stored is fine.
+        let cl2 = Cluster {
+            stmts: vec![
+                store(u, 1, load(u, 0, &[0, 0])),
+                store(m, 0, load(u, 1, &[0, 0])),
+            ],
+            ..Default::default()
+        };
+        let f2 = lint_clusters(&ctx, &[cl2], None);
+        assert!(!codes(&f2).contains(&"MPX001"), "{f2:?}");
+    }
+
+    #[test]
+    fn assume_initialized_flags_missing_fields() {
+        let (ctx, u, m) = two_field_ctx();
+        let cl = Cluster {
+            stmts: vec![store(
+                u,
+                1,
+                load(m, 0, &[0, 0]).mul_dummy(load(u, 0, &[0, 0])),
+            )],
+            ..Default::default()
+        };
+        // Only u is declared initialized: the m read is flagged.
+        let init: BTreeSet<FieldId> = [u].into_iter().collect();
+        let f = lint_clusters(&ctx, std::slice::from_ref(&cl), Some(&init));
+        assert!(codes(&f).contains(&"MPX001"), "{f:?}");
+        // Both declared: clean.
+        let both: BTreeSet<FieldId> = [u, m].into_iter().collect();
+        let f2 = lint_clusters(&ctx, &[cl], Some(&both));
+        assert!(!codes(&f2).contains(&"MPX001"), "{f2:?}");
+    }
+
+    #[test]
+    fn overwritten_store_is_mpx004() {
+        let (ctx, u, m) = two_field_ctx();
+        let c1 = Cluster {
+            stmts: vec![store(u, 1, load(u, 0, &[0, 0]))],
+            ..Default::default()
+        };
+        let c2 = Cluster {
+            stmts: vec![store(u, 1, load(m, 0, &[0, 0]))],
+            ..Default::default()
+        };
+        let f = lint_clusters(&ctx, &[c1.clone(), c2.clone()], None);
+        assert!(codes(&f).contains(&"MPX004"), "{f:?}");
+        // An intervening read keeps the first store live.
+        let mid = Cluster {
+            stmts: vec![store(m, 0, load(u, 1, &[0, 0]))],
+            ..Default::default()
+        };
+        let f2 = lint_clusters(&ctx, &[c1, mid, c2], None);
+        assert!(!codes(&f2).contains(&"MPX004"), "{f2:?}");
+    }
+
+    #[test]
+    fn unused_field_is_mpx005() {
+        let (ctx, u, _m) = two_field_ctx();
+        let cl = Cluster {
+            stmts: vec![store(u, 1, load(u, 0, &[0, 0]))],
+            ..Default::default()
+        };
+        let f = lint_clusters(&ctx, &[cl], None);
+        let m_unused: Vec<_> = f.iter().filter(|x| x.code == "MPX005").collect();
+        assert_eq!(m_unused.len(), 1, "{f:?}");
+        assert!(m_unused[0].location.contains('m'), "{f:?}");
+    }
+
+    #[test]
+    fn oversized_offset_and_bad_buffer_are_mpx006() {
+        let (ctx, u, m) = two_field_ctx();
+        let cl = Cluster {
+            stmts: vec![
+                store(u, 1, load(u, 0, &[3, 0])),  // halo is 2
+                store(m, 0, load(u, -2, &[0, 0])), // window is [-1, +1]
+            ],
+            ..Default::default()
+        };
+        let f = lint_clusters(&ctx, &[cl], None);
+        assert_eq!(
+            codes(&f).iter().filter(|c| **c == "MPX006").count(),
+            2,
+            "{f:?}"
+        );
+    }
+
+    #[test]
+    fn bytecode_undefined_temp_is_mpx007() {
+        let (_ctx, u, _m) = two_field_ctx();
+        let cl = Cluster {
+            stmts: vec![store(u, 1, IExpr::Temp(0))],
+            num_temps: 1,
+            ..Default::default()
+        };
+        let f = lint_bytecode(&[cl]);
+        assert!(codes(&f).contains(&"MPX007"), "{f:?}");
+    }
+
+    #[test]
+    fn bytecode_dead_temp_is_mpx008() {
+        let (_ctx, u, _m) = two_field_ctx();
+        let cl = Cluster {
+            stmts: vec![
+                Stmt::Let {
+                    temp: 0,
+                    value: IExpr::Const(1.0),
+                },
+                store(u, 1, IExpr::Const(2.0)),
+            ],
+            num_temps: 1,
+            ..Default::default()
+        };
+        let f = lint_bytecode(&[cl]);
+        assert!(codes(&f).contains(&"MPX008"), "{f:?}");
+        // A read keeps it live.
+        let live = Cluster {
+            stmts: vec![
+                Stmt::Let {
+                    temp: 0,
+                    value: IExpr::Const(1.0),
+                },
+                store(u, 1, IExpr::Temp(0)),
+            ],
+            num_temps: 1,
+            ..Default::default()
+        };
+        assert!(lint_bytecode(&[live]).is_empty());
+    }
+
+    // Tiny helper so the assume_initialized test reads naturally.
+    trait MulDummy {
+        fn mul_dummy(self, o: IExpr) -> IExpr;
+    }
+    impl MulDummy for IExpr {
+        fn mul_dummy(self, o: IExpr) -> IExpr {
+            IExpr::Mul(vec![self, o])
+        }
+    }
+}

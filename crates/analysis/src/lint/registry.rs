@@ -1,0 +1,197 @@
+//! The diagnostic registry: every lint the `mpix-analysis::lint` family
+//! can emit, under a stable machine-readable `MPX0xx` code.
+//!
+//! Codes are append-only: a code, once published, keeps its meaning
+//! forever (baselines and CI filters key on it), even if the producing
+//! pass is rewritten. New lints take the next free number; retired lints
+//! leave a hole.
+
+use mpix_trace::Severity;
+
+/// Default enforcement level for a lint (rustc-style).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum LintLevel {
+    /// Finding is dropped entirely.
+    Allow,
+    /// Finding surfaces as [`Severity::Warning`].
+    Warn,
+    /// Finding surfaces as [`Severity::Error`].
+    Deny,
+}
+
+impl LintLevel {
+    pub fn name(self) -> &'static str {
+        match self {
+            LintLevel::Allow => "allow",
+            LintLevel::Warn => "warn",
+            LintLevel::Deny => "deny",
+        }
+    }
+
+    pub fn parse(s: &str) -> Option<LintLevel> {
+        match s {
+            "allow" => Some(LintLevel::Allow),
+            "warn" => Some(LintLevel::Warn),
+            "deny" => Some(LintLevel::Deny),
+            _ => None,
+        }
+    }
+
+    /// Severity a finding at this level surfaces with (`None` = dropped).
+    pub fn severity(self) -> Option<Severity> {
+        match self {
+            LintLevel::Allow => None,
+            LintLevel::Warn => Some(Severity::Warning),
+            LintLevel::Deny => Some(Severity::Error),
+        }
+    }
+}
+
+/// One registered lint.
+#[derive(Clone, Copy, Debug)]
+pub struct LintDef {
+    /// Stable code, `MPX` + 3 digits.
+    pub code: &'static str,
+    /// Short kebab-case name (what `--help` and docs call it).
+    pub name: &'static str,
+    /// Default enforcement level.
+    pub default_level: LintLevel,
+    /// One-line description of the proof obligation.
+    pub description: &'static str,
+}
+
+/// Every lint, ordered by code. The single source of truth for docs,
+/// `mpix-lint --help`, and `MPIX_LINT` validation.
+pub const LINTS: &[LintDef] = &[
+    LintDef {
+        code: "MPX001",
+        name: "uninitialized-field-read",
+        default_level: LintLevel::Deny,
+        description: "a cluster reads a field time-buffer no prior statement or \
+                      declared initialization wrote",
+    },
+    LintDef {
+        code: "MPX002",
+        name: "statically-zero-divisor",
+        default_level: LintLevel::Deny,
+        description: "a reciprocal power's base is provably zero at every grid point",
+    },
+    LintDef {
+        code: "MPX003",
+        name: "nan-producing-op",
+        default_level: LintLevel::Deny,
+        description: "an elementary function is applied outside its domain (e.g. \
+                      sqrt of a provably negative value) or to a non-finite constant",
+    },
+    LintDef {
+        code: "MPX004",
+        name: "dead-store",
+        default_level: LintLevel::Warn,
+        description: "a field store is overwritten by a later store to the same \
+                      (field, time-buffer) with no intervening read",
+    },
+    LintDef {
+        code: "MPX005",
+        name: "unused-field",
+        default_level: LintLevel::Warn,
+        description: "a registered field is neither read nor written by any cluster",
+    },
+    LintDef {
+        code: "MPX006",
+        name: "out-of-domain-index",
+        default_level: LintLevel::Deny,
+        description: "a constant access offset exceeds the field's allocated halo \
+                      or addresses a time buffer outside the rotation window",
+    },
+    LintDef {
+        code: "MPX007",
+        name: "uninitialized-temp-read",
+        default_level: LintLevel::Deny,
+        description: "bytecode reads a per-point temporary before any SetTemp \
+                      defines it",
+    },
+    LintDef {
+        code: "MPX008",
+        name: "dead-temp-store",
+        default_level: LintLevel::Warn,
+        description: "bytecode writes a per-point temporary that no later op reads",
+    },
+    LintDef {
+        code: "MPX010",
+        name: "tag-window-violation",
+        default_level: LintLevel::Deny,
+        description: "the symbolic schedule needs more MPI tags than the reserved \
+                      per-exchange window guarantees collision-free",
+    },
+    LintDef {
+        code: "MPX011",
+        name: "schedule-mismatch",
+        default_level: LintLevel::Deny,
+        description: "a symbolic send has no matching receive (tag or box length) \
+                      in the paired position class — a deadlock for some P",
+    },
+    LintDef {
+        code: "MPX012",
+        name: "annulus-coverage-gap",
+        default_level: LintLevel::Deny,
+        description: "a halo-annulus segment whose cells are globally valid is \
+                      never received — stale data for every P in the class",
+    },
+    LintDef {
+        code: "MPX013",
+        name: "provenance-violation",
+        default_level: LintLevel::Deny,
+        description: "a staged (Basic-mode) step forwards halo cells not proven \
+                      received by an earlier step — corner propagation is broken",
+    },
+    LintDef {
+        code: "MPX014",
+        name: "unproven-topology-class",
+        default_level: LintLevel::Warn,
+        description: "the parametric prover does not model this topology (e.g. \
+                      diagonal exchange above 3 dimensions); only sampled P are \
+                      checked",
+    },
+];
+
+/// Look up a lint by its `MPX0xx` code.
+pub fn lint_by_code(code: &str) -> Option<&'static LintDef> {
+    LINTS.iter().find(|l| l.code == code)
+}
+
+/// Look up a lint by its kebab-case name.
+pub fn lint_by_name(name: &str) -> Option<&'static LintDef> {
+    LINTS.iter().find(|l| l.name == name)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn codes_are_sorted_and_unique() {
+        for w in LINTS.windows(2) {
+            assert!(w[0].code < w[1].code, "{} !< {}", w[0].code, w[1].code);
+        }
+        for l in LINTS {
+            assert!(l.code.starts_with("MPX") && l.code.len() == 6, "{}", l.code);
+        }
+    }
+
+    #[test]
+    fn lookup_by_code_and_name() {
+        assert_eq!(lint_by_code("MPX004").unwrap().name, "dead-store");
+        assert_eq!(lint_by_name("dead-store").unwrap().code, "MPX004");
+        assert!(lint_by_code("MPX999").is_none());
+    }
+
+    #[test]
+    fn level_parse_roundtrips() {
+        for lv in [LintLevel::Allow, LintLevel::Warn, LintLevel::Deny] {
+            assert_eq!(LintLevel::parse(lv.name()), Some(lv));
+        }
+        assert_eq!(LintLevel::parse("forbid"), None);
+        assert_eq!(LintLevel::Allow.severity(), None);
+        assert_eq!(LintLevel::Deny.severity(), Some(Severity::Error));
+    }
+}

@@ -1,0 +1,297 @@
+//! `mpix-lint` — run the `MPX0xx` static lints (abstract interpretation
+//! plus the parametric-in-P schedule prover) over every shipped solver
+//! and every operator the `examples/` programs build, without compiling
+//! a single backend kernel.
+//!
+//! ```text
+//! cargo run -p mpix-bench --bin mpix-lint                    # everything
+//! cargo run -p mpix-bench --bin mpix-lint -- acoustic        # one target
+//! cargo run -p mpix-bench --bin mpix-lint -- --json          # JSON report
+//! cargo run -p mpix-bench --bin mpix-lint -- --list          # registry table
+//! ```
+//!
+//! This is the cheap pre-compile stage of the verification story: the
+//! full `mpix-verify` matrix costs minutes of backend compilation and
+//! simulated runs, the lints cost milliseconds per operator, so CI runs
+//! them first (and at `--deny-warnings`) to fail fast on anything the
+//! static passes can already prove wrong.
+
+use std::collections::BTreeMap;
+use std::sync::Arc;
+
+use mpix_analysis::lint::{lint_operator, LintConfig, LINTS};
+use mpix_core::Operator;
+use mpix_dmp::HaloMode;
+use mpix_json::Value;
+use mpix_solvers::{KernelKind, ModelSpec, Propagator};
+use mpix_symbolic::{solve, Context, Eq, Grid};
+use mpix_trace::{Diagnostic, Severity};
+
+const HELP: &str = "\
+mpix-lint — MPX static lints over shipped solvers and example operators
+
+USAGE:
+    mpix-lint [FLAGS] [TARGET ...]
+
+TARGETS (default: all):
+    acoustic | tti | elastic | viscoelastic    solver × SDO {4,8,12,16}
+    quickstart | rtm_imaging | ...             operators built by examples/
+
+FLAGS:
+    --json             machine-readable JSON report on stdout
+    --deny-warnings    exit 1 on Warning findings too
+    --baseline=FILE    suppress findings listed in FILE (lines of
+                       `MPX0xx location-substring`; `#` comments)
+    --list             print the lint registry table and exit
+    --help             print this message
+
+EXIT CODES:
+    0    no unsuppressed finding at the gating severity (Error, or
+         Warning under --deny-warnings)
+    1    at least one unsuppressed finding at the gating severity
+
+Per-code levels come from the registry defaults overridden by
+MPIX_LINT=\"MPX004=allow,dead-store=allow,all=deny\" (left to right).";
+
+/// One lintable operator. Solvers contribute one target per space
+/// discretization order; each `examples/` program contributes the
+/// operator(s) it builds (programs sharing an operator share a target).
+struct Target {
+    name: &'static str,
+    /// SDO sweep for solver targets; empty = fixed-order example.
+    orders: &'static [u32],
+    build: fn(u32) -> Arc<Operator>,
+}
+
+/// Same shapes as `mpix-verify`: big enough that every swept topology
+/// keeps a stencil radius per rank per dimension.
+fn solver_op(kind: KernelKind, so: u32) -> Arc<Operator> {
+    let shape: &[usize] = match kind {
+        KernelKind::Acoustic => &[40, 40],
+        _ => &[16, 16, 16],
+    };
+    Propagator::build(kind, ModelSpec::new(shape).with_nbl(4), so).op
+}
+
+/// The 2-D heat-diffusion operator of `quickstart`, `cdump` and
+/// `codegen_inspect` (the paper's Listing 1).
+fn diffusion_op(_so: u32) -> Arc<Operator> {
+    let mut ctx = Context::new();
+    let grid = Grid::new(&[4, 4], &[2.0, 2.0]);
+    let u = ctx.add_time_function("u", &grid, 2, 1);
+    let eq = Eq::new(u.dt(), u.laplace());
+    let st = eq.solve_for(&u.forward(), &ctx).unwrap();
+    Arc::new(Operator::build(ctx, grid, vec![st]).unwrap())
+}
+
+/// The damped acoustic operator of `rtm_imaging`.
+fn rtm_op(_so: u32) -> Arc<Operator> {
+    let mut ctx = Context::new();
+    let grid = Grid::new(&[81, 81], &[0.8, 0.8]);
+    let u = ctx.add_time_function("u", &grid, 8, 2);
+    let m = ctx.add_function("m", &grid, 8);
+    let damp = ctx.add_function("damp", &grid, 8);
+    let pde = m.center() * u.dt2() - u.laplace() + damp.center() * u.dt();
+    let st = solve(&pde, &u.forward(), &ctx).unwrap();
+    Arc::new(Operator::build(ctx, grid, vec![st]).unwrap())
+}
+
+/// The acoustic propagators built by `acoustic_modeling`,
+/// `autotune_demo` and `scaling_experiment`.
+fn acoustic_modeling_op(_so: u32) -> Arc<Operator> {
+    Propagator::build(
+        KernelKind::Acoustic,
+        ModelSpec::new(&[36, 36, 36]).with_nbl(6),
+        8,
+    )
+    .op
+}
+
+const SOLVER_ORDERS: &[u32] = &[4, 8, 12, 16];
+
+fn targets() -> Vec<Target> {
+    let mut t: Vec<Target> = KernelKind::all()
+        .iter()
+        .map(|&kind| Target {
+            name: kind.name(),
+            orders: SOLVER_ORDERS,
+            build: match kind {
+                KernelKind::Acoustic => |so| solver_op(KernelKind::Acoustic, so),
+                KernelKind::Tti => |so| solver_op(KernelKind::Tti, so),
+                KernelKind::Elastic => |so| solver_op(KernelKind::Elastic, so),
+                KernelKind::Viscoelastic => |so| solver_op(KernelKind::Viscoelastic, so),
+            },
+        })
+        .collect();
+    t.push(Target {
+        name: "quickstart",
+        orders: &[],
+        build: diffusion_op,
+    });
+    t.push(Target {
+        name: "rtm_imaging",
+        orders: &[],
+        build: rtm_op,
+    });
+    t.push(Target {
+        name: "acoustic_modeling",
+        orders: &[],
+        build: acoustic_modeling_op,
+    });
+    t
+}
+
+/// `MPX0xx location-substring` lines; `#` starts a comment.
+fn parse_baseline(path: &str) -> Vec<(String, String)> {
+    let text = std::fs::read_to_string(path)
+        .unwrap_or_else(|e| panic!("--baseline: cannot read {path:?}: {e}"));
+    text.lines()
+        .map(|l| l.split('#').next().unwrap_or("").trim())
+        .filter(|l| !l.is_empty())
+        .map(|l| {
+            let (code, loc) = l.split_once(char::is_whitespace).unwrap_or((l, ""));
+            (code.to_string(), loc.trim().to_string())
+        })
+        .collect()
+}
+
+fn baselined(d: &Diagnostic, baseline: &[(String, String)]) -> bool {
+    baseline
+        .iter()
+        .any(|(code, loc)| d.code.as_deref() == Some(code) && d.location.contains(loc.as_str()))
+}
+
+fn print_registry() {
+    println!("{:<8} {:<26} {:<6} description", "code", "name", "level");
+    for l in LINTS {
+        println!(
+            "{:<8} {:<26} {:<6} {}",
+            l.code,
+            l.name,
+            l.default_level.name(),
+            l.description
+                .split_whitespace()
+                .collect::<Vec<_>>()
+                .join(" ")
+        );
+    }
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    if args.iter().any(|a| a == "--help" || a == "-h") {
+        println!("{HELP}");
+        return;
+    }
+    if args.iter().any(|a| a == "--list") {
+        print_registry();
+        return;
+    }
+    let json = args.iter().any(|a| a == "--json");
+    let deny_warnings = args.iter().any(|a| a == "--deny-warnings");
+    let baseline: Vec<(String, String)> = args
+        .iter()
+        .find_map(|a| a.strip_prefix("--baseline="))
+        .map(parse_baseline)
+        .unwrap_or_default();
+    let wanted: Vec<&String> = args.iter().filter(|a| !a.starts_with("--")).collect();
+
+    let all = targets();
+    let selected: Vec<&Target> = if wanted.is_empty() {
+        all.iter().collect()
+    } else {
+        wanted
+            .iter()
+            .map(|w| {
+                all.iter()
+                    .find(|t| t.name == w.as_str())
+                    .unwrap_or_else(|| panic!("unknown target {w:?} (see --help)"))
+            })
+            .collect()
+    };
+
+    let cfg = LintConfig::from_env();
+    let modes = [HaloMode::Basic, HaloMode::Diagonal, HaloMode::Full];
+    let mut entries: Vec<Value> = Vec::new();
+    let mut counts: BTreeMap<Severity, usize> = BTreeMap::new();
+    let mut suppressed = 0usize;
+    let mut worst: Option<Severity> = None;
+    let mut configs = 0usize;
+    for t in &selected {
+        // An example target lints once; a solver target sweeps its SDOs.
+        let orders: Vec<Option<u32>> = if t.orders.is_empty() {
+            vec![None]
+        } else {
+            t.orders.iter().map(|&so| Some(so)).collect()
+        };
+        for so in orders {
+            let label = match so {
+                Some(so) => format!("{} so={so}", t.name),
+                None => t.name.to_string(),
+            };
+            let op = (t.build)(so.unwrap_or(0));
+            let diags = lint_operator(op.ctx(), op.clusters(), op.halo_plan(), &modes, None, &cfg);
+            configs += 1;
+            let (kept, masked): (Vec<_>, Vec<_>) =
+                diags.into_iter().partition(|d| !baselined(d, &baseline));
+            suppressed += masked.len();
+            for d in &kept {
+                *counts.entry(d.severity).or_default() += 1;
+                worst = worst.max(Some(d.severity));
+            }
+            if json {
+                entries.push(Value::Obj(vec![
+                    ("target".to_string(), Value::Str(label.clone())),
+                    (
+                        "findings".to_string(),
+                        Value::Arr(kept.iter().map(|d| d.to_json()).collect()),
+                    ),
+                    ("suppressed".to_string(), Value::Num(masked.len() as f64)),
+                ]));
+            } else {
+                let status = if kept.is_empty() && masked.is_empty() {
+                    "clean".to_string()
+                } else if kept.is_empty() {
+                    format!("clean ({} baselined)", masked.len())
+                } else {
+                    format!("{} finding(s)", kept.len())
+                };
+                println!("{label:<22} {status}");
+                for d in &kept {
+                    let code = d.code.as_deref().unwrap_or("-");
+                    let name = mpix_analysis::lint::lint_by_code(code)
+                        .map(|l| l.name)
+                        .unwrap_or("-");
+                    println!("    {}[{code}]({name}): {}", d.severity, d.location);
+                    println!("        {}", d.explanation);
+                }
+            }
+        }
+    }
+
+    let errors = counts.get(&Severity::Error).copied().unwrap_or(0);
+    let warnings = counts.get(&Severity::Warning).copied().unwrap_or(0);
+    if json {
+        let out = Value::Obj(vec![
+            ("results".to_string(), Value::Arr(entries)),
+            ("targets".to_string(), Value::Num(configs as f64)),
+            ("errors".to_string(), Value::Num(errors as f64)),
+            ("warnings".to_string(), Value::Num(warnings as f64)),
+            ("suppressed".to_string(), Value::Num(suppressed as f64)),
+        ]);
+        println!("{}", out.pretty());
+    } else {
+        println!(
+            "\nmpix-lint: {configs} operator(s), {errors} error(s), {warnings} warning(s), \
+             {suppressed} baselined"
+        );
+    }
+    let gate = if deny_warnings {
+        Severity::Warning
+    } else {
+        Severity::Error
+    };
+    if worst >= Some(gate) {
+        std::process::exit(1);
+    }
+}

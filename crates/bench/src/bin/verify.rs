@@ -24,7 +24,7 @@
 //! false-positive gate for shipped solvers. Tiny domains keep the full
 //! matrix under a few minutes.
 
-use mpix_analysis::AnalysisConfig;
+use mpix_analysis::{AnalysisConfig, LintConfig};
 use mpix_core::{available_backends, Backend, Workspace};
 use mpix_dmp::HaloMode;
 use mpix_json::Value;
@@ -123,10 +123,39 @@ fn san_sweep(kernels: &[KernelKind], orders: &[u32], ranks_list: &[usize], json:
     }
 }
 
+const HELP: &str = "\
+mpix-verify — compiler self-verification over the shipped-solver matrix
+
+USAGE:
+    mpix-verify [FLAGS] [KERNEL [SPACE_ORDER]]
+
+FLAGS:
+    --json             machine-readable JSON report on stdout
+    --deny-warnings    treat Warning diagnostics as fatal (see EXIT CODES)
+    --san              dynamic sanitizer sweep instead of the static passes
+    --backends=A,B     restrict the equivalence gate to named backends
+    --ranks=N,M        rank counts to sweep (default 1,2,4)
+    --help             print this message
+
+EXIT CODES:
+    0    every configuration verified clean (no Error diagnostics; with
+         --deny-warnings, no Warning diagnostics either)
+    1    at least one diagnostic at Severity::Error or worse, or — under
+         --deny-warnings — at Severity::Warning; with --san, at least
+         one sanitizer finding
+
+Lint findings from the MPX registry run as pass 0 of verification; use
+MPIX_LINT=\"MPX004=allow,...\" to adjust per-code levels.";
+
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
+    if args.iter().any(|a| a == "--help" || a == "-h") {
+        println!("{HELP}");
+        return;
+    }
     let json = args.iter().any(|a| a == "--json");
     let san = args.iter().any(|a| a == "--san");
+    let deny_warnings = args.iter().any(|a| a == "--deny-warnings");
     // Backend axis for the equivalence gate: `--backends=jit` or
     // `--backends=bytecode,jit`; unknown names abort with the
     // available-backend listing, so a CI matrix leg cannot silently
@@ -174,6 +203,7 @@ fn main() {
         vector_widths: vec![8, 16, 32],
         backends,
         check_fused_semantics: true,
+        lint: Some(LintConfig::from_env()),
     };
 
     let mut worst: Option<Severity> = None;
@@ -234,7 +264,14 @@ fn main() {
             kernels.len() * orders.len()
         );
     }
-    if worst >= Some(Severity::Error) {
+    // Exit-code contract (see --help): Error always gates; Warning gates
+    // only under --deny-warnings.
+    let gate = if deny_warnings {
+        Severity::Warning
+    } else {
+        Severity::Error
+    };
+    if worst >= Some(gate) {
         std::process::exit(1);
     }
 }

@@ -120,6 +120,48 @@ impl Op {
             _ => None,
         }
     }
+
+    /// Temp slot this op reads, if any.
+    pub fn temp_read(self) -> Option<u32> {
+        match self {
+            Op::Temp(i) => Some(i),
+            _ => None,
+        }
+    }
+
+    /// Temp slot this op writes, if any.
+    pub fn temp_written(self) -> Option<u32> {
+        match self {
+            Op::SetTemp(i) => Some(i),
+            _ => None,
+        }
+    }
+
+    /// Stream slot this op loads from (fused taps included), if any.
+    pub fn stream_read(self) -> Option<u32> {
+        match self {
+            Op::Load { stream, .. }
+            | Op::LoadMul { stream, .. }
+            | Op::LoadMulAdd { stream, .. } => Some(stream),
+            _ => None,
+        }
+    }
+
+    /// Stream slot this op stores to, if any.
+    pub fn stream_written(self) -> Option<u32> {
+        match self {
+            Op::Store { stream } => Some(stream),
+            _ => None,
+        }
+    }
+
+    /// Fused coefficient this op carries, if any.
+    pub fn coeff(self) -> Option<CoeffSrc> {
+        match self {
+            Op::LoadMul { coeff, .. } | Op::LoadMulAdd { coeff, .. } => Some(coeff),
+            _ => None,
+        }
+    }
 }
 
 /// A compiled cluster body.
@@ -174,6 +216,18 @@ impl CompiledCluster {
         }
         assert_eq!(depth, 0, "unbalanced stack");
         max as usize
+    }
+
+    /// Visit every op in program order with its index and the stack depth
+    /// *before* the op executes. The iteration hook the bytecode lints
+    /// (`mpix-analysis::lint`) walk the program with, so they track
+    /// def-use state without re-implementing the stack model.
+    pub fn visit_ops(&self, mut f: impl FnMut(usize, Op, i32)) {
+        let mut depth = 0i32;
+        for (i, &op) in self.ops.iter().enumerate() {
+            f(i, op, depth);
+            depth += op.stack_effect();
+        }
     }
 }
 

@@ -92,6 +92,19 @@ impl Cluster {
         r
     }
 
+    /// Visit every right-hand-side expression of this cluster — hoisted
+    /// parameter definitions first (they evaluate before the loop nest),
+    /// then statement values in program order. The def-use walker the
+    /// abstract-interpretation lints iterate with.
+    pub fn visit_values(&self, f: &mut impl FnMut(&IExpr)) {
+        for (_, v) in &self.params {
+            f(v);
+        }
+        for s in &self.stmts {
+            f(s.value());
+        }
+    }
+
     /// Number of spatial dimensions (from the first store).
     pub fn ndim(&self) -> usize {
         self.stmts

@@ -86,13 +86,34 @@ impl IExpr {
 
     /// Visit every load in the expression.
     pub fn visit_loads(&self, f: &mut impl FnMut(&IdxAccess)) {
+        self.visit(&mut |e| {
+            if let IExpr::Load(a) = e {
+                f(a)
+            }
+        });
+    }
+
+    /// Pre-order walk over every node of the expression tree. The
+    /// generic traversal the dataflow lints (`mpix-analysis::lint`) and
+    /// ad-hoc passes build on, so each analysis does not re-implement
+    /// the recursion over the node shapes.
+    pub fn visit(&self, f: &mut impl FnMut(&IExpr)) {
+        f(self);
         match self {
-            IExpr::Load(a) => f(a),
-            IExpr::Add(xs) | IExpr::Mul(xs) => xs.iter().for_each(|x| x.visit_loads(f)),
-            IExpr::Pow(b, _) => b.visit_loads(f),
-            IExpr::Func(_, b) => b.visit_loads(f),
+            IExpr::Add(xs) | IExpr::Mul(xs) => xs.iter().for_each(|x| x.visit(f)),
+            IExpr::Pow(b, _) => b.visit(f),
+            IExpr::Func(_, b) => b.visit(f),
             _ => {}
         }
+    }
+
+    /// Visit every per-point temporary index read by the expression.
+    pub fn visit_temps(&self, f: &mut impl FnMut(usize)) {
+        self.visit(&mut |e| {
+            if let IExpr::Temp(i) = e {
+                f(*i)
+            }
+        });
     }
 
     /// Does the expression contain only `Const`/`Sym`/`Param` leaves

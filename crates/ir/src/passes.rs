@@ -138,36 +138,84 @@ fn extract_temps(cl: &mut Cluster) {
         .map(|(k, (e, _))| (k, e))
         .collect();
     // Deterministic order; smaller subtrees first so bigger candidates
-    // can reference temps of smaller ones in a later generalization.
+    // can reference the temps of smaller ones: a contained subtree is
+    // strictly smaller, so by the time a candidate is substituted every
+    // candidate inside it has already been replaced — in the statements
+    // AND in this candidate's own definition, which is rewritten in
+    // lockstep so its key keeps matching the statements.
     cands.sort_by_key(|(k, e)| (e.size(), k.clone()));
     if cands.is_empty() {
         return;
     }
+    let mut cands: Vec<IExpr> = cands.into_iter().map(|(_, e)| e).collect();
     let temp_base = cl.num_temps;
     let mut lets: Vec<Stmt> = Vec::new();
-    for (i, (key, def)) in cands.iter().enumerate() {
+    for i in 0..cands.len() {
         let temp = temp_base + i;
-        let key = key.clone();
+        let (head, tail) = cands.split_at_mut(i + 1);
+        let key = format!("{}", head[i]);
+        let subst = |x: &IExpr| {
+            if format!("{x}") == key {
+                Some(IExpr::Temp(temp))
+            } else {
+                None
+            }
+        };
         for s in &mut cl.stmts {
-            let v = s.value().rewrite(&|x| {
-                if format!("{x}") == key {
-                    Some(IExpr::Temp(temp))
-                } else {
-                    None
-                }
-            });
+            let v = s.value().rewrite(&subst);
             *s.value_mut() = v;
+        }
+        for later in tail.iter_mut() {
+            *later = later.rewrite(&subst);
         }
         lets.push(Stmt::Let {
             temp,
-            value: def.clone(),
+            value: head[i].clone(),
         });
     }
-    cl.num_temps = temp_base + cands.len();
+    // Dead-let elimination: a candidate whose occurrences all sat inside
+    // other candidates can end up with zero remaining reads; emitting it
+    // would compute a per-point value nobody consumes (MPX008). Liveness
+    // flows backward — later lets may read earlier temps, never the
+    // reverse — then survivors are renumbered densely.
+    let mut live = vec![false; lets.len()];
+    let mark = |e: &IExpr, live: &mut Vec<bool>| {
+        e.visit_temps(&mut |t| {
+            if t >= temp_base {
+                live[t - temp_base] = true;
+            }
+        })
+    };
+    for s in &cl.stmts {
+        mark(s.value(), &mut live);
+    }
+    for i in (0..lets.len()).rev() {
+        if live[i] {
+            let v = lets[i].value().clone();
+            mark(&v, &mut live);
+        }
+    }
+    let mut remap: HashMap<usize, usize> = HashMap::new();
+    let mut kept: Vec<Stmt> = Vec::new();
+    for (i, l) in lets.into_iter().enumerate() {
+        if live[i] {
+            remap.insert(temp_base + i, temp_base + remap.len());
+            kept.push(l);
+        }
+    }
+    let renumber = |x: &IExpr| match x {
+        IExpr::Temp(t) => remap.get(t).map(|&n| IExpr::Temp(n)),
+        _ => None,
+    };
+    for s in kept.iter_mut().chain(cl.stmts.iter_mut()) {
+        let v = s.value().rewrite(&renumber);
+        *s.value_mut() = v;
+    }
+    cl.num_temps = temp_base + kept.len();
     // Prepend lets (their definitions contain no temps of later lets by
     // the sort order above).
-    lets.append(&mut cl.stmts);
-    cl.stmts = lets;
+    kept.append(&mut cl.stmts);
+    cl.stmts = kept;
 }
 
 fn count_subtrees(e: &IExpr, counts: &mut HashMap<String, (IExpr, usize)>) {

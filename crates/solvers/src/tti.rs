@@ -110,13 +110,17 @@ mod tests {
         let spec = small_spec();
         let tti = operator(&spec, 4);
         let ac = crate::acoustic::operator(&spec, 4);
+        // Margin re-anchored after the CSE dead-let fix: the rotated
+        // Laplacian's repeated trig products now share one temp instead
+        // of being recounted per use, so the honest ratio is ~1.45x,
+        // not the ~2x the redundant counts used to show.
         assert!(
-            tti.op_counts().oi() > 2.0 * ac.op_counts().oi(),
+            tti.op_counts().oi() > 1.25 * ac.op_counts().oi(),
             "TTI OI {} vs acoustic {}",
             tti.op_counts().oi(),
             ac.op_counts().oi()
         );
-        assert!(tti.op_counts().flops() > 5 * ac.op_counts().flops());
+        assert!(tti.op_counts().flops() > 3 * ac.op_counts().flops());
     }
 
     #[test]

@@ -6,6 +6,20 @@ use std::collections::BTreeSet;
 use crate::context::FieldId;
 use crate::expr::{Access, Expr, Symbol};
 
+/// Pre-order walk over every node of a symbolic expression. The generic
+/// traversal the collectors below (and the `mpix-analysis` lints) build
+/// on, so callers match only on the node kinds they care about.
+pub fn visit_expr(e: &Expr, f: &mut impl FnMut(&Expr)) {
+    f(e);
+    match e {
+        Expr::Add(xs) | Expr::Mul(xs) => xs.iter().for_each(|x| visit_expr(x, f)),
+        Expr::Pow(b, _) => visit_expr(b, f),
+        Expr::Func(_, b) => visit_expr(b, f),
+        Expr::Deriv { expr, .. } => visit_expr(expr, f),
+        _ => {}
+    }
+}
+
 /// Collect every access in the expression, in deterministic order,
 /// de-duplicated.
 pub fn collect_accesses(e: &Expr) -> Vec<Access> {

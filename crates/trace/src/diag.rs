@@ -11,7 +11,7 @@
 
 use std::fmt;
 
-use mpix_json::{json, Value};
+use mpix_json::Value;
 
 /// How bad a finding is. Ordering is by severity, so `max()` over a
 /// report gives the overall verdict.
@@ -57,12 +57,17 @@ impl fmt::Display for Severity {
 pub struct Diagnostic {
     pub severity: Severity,
     /// Short pass name (`halo-coverage`, `comm-schedule`, `bytecode`,
-    /// `thread-safety`).
+    /// `thread-safety`, `lint`).
     pub pass: String,
     /// IR location the finding anchors to, e.g. `cluster 1 / u[t+0]`.
     pub location: String,
     /// What proof obligation failed and why it matters.
     pub explanation: String,
+    /// Stable machine-readable diagnostic code (`MPX001`, …) for findings
+    /// from the lint registry; `None` for the ad-hoc verification passes.
+    /// Codes survive rewording of `explanation`, so baselines and CI
+    /// filters key on them.
+    pub code: Option<String>,
 }
 
 impl Diagnostic {
@@ -77,7 +82,14 @@ impl Diagnostic {
             pass: pass.into(),
             location: location.into(),
             explanation: explanation.into(),
+            code: None,
         }
+    }
+
+    /// Attach a stable registry code (`MPX0xx`).
+    pub fn with_code(mut self, code: impl Into<String>) -> Diagnostic {
+        self.code = Some(code.into());
+        self
     }
 
     pub fn error(
@@ -97,12 +109,22 @@ impl Diagnostic {
     }
 
     pub fn to_json(&self) -> Value {
-        json!({
-            "severity": self.severity.name(),
-            "pass": &self.pass,
-            "location": &self.location,
-            "explanation": &self.explanation,
-        })
+        let mut fields = vec![
+            (
+                "severity".to_string(),
+                Value::Str(self.severity.name().to_string()),
+            ),
+            ("pass".to_string(), Value::Str(self.pass.clone())),
+            ("location".to_string(), Value::Str(self.location.clone())),
+            (
+                "explanation".to_string(),
+                Value::Str(self.explanation.clone()),
+            ),
+        ];
+        if let Some(code) = &self.code {
+            fields.push(("code".to_string(), Value::Str(code.clone())));
+        }
+        Value::Obj(fields)
     }
 
     pub fn from_json(v: &Value) -> Result<Diagnostic, String> {
@@ -127,17 +149,25 @@ impl Diagnostic {
                 .and_then(Value::as_str)
                 .unwrap_or("")
                 .to_string(),
+            code: v.get("code").and_then(Value::as_str).map(|s| s.to_string()),
         })
     }
 }
 
 impl fmt::Display for Diagnostic {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(
-            f,
-            "[{}] {}: {} — {}",
-            self.severity, self.pass, self.location, self.explanation
-        )
+        match &self.code {
+            Some(code) => write!(
+                f,
+                "[{}][{code}] {}: {} — {}",
+                self.severity, self.pass, self.location, self.explanation
+            ),
+            None => write!(
+                f,
+                "[{}] {}: {} — {}",
+                self.severity, self.pass, self.location, self.explanation
+            ),
+        }
     }
 }
 
@@ -162,6 +192,16 @@ mod tests {
         );
         let back = Diagnostic::from_json(&Value::parse(&d.to_json().pretty()).unwrap()).unwrap();
         assert_eq!(back, d);
+    }
+
+    #[test]
+    fn code_roundtrips_and_renders() {
+        let d = Diagnostic::warning("lint", "cluster 0", "dead store").with_code("MPX004");
+        let back = Diagnostic::from_json(&Value::parse(&d.to_json().pretty()).unwrap()).unwrap();
+        assert_eq!(back, d);
+        assert_eq!(back.code.as_deref(), Some("MPX004"));
+        let s = format!("{d}");
+        assert!(s.contains("[MPX004]"), "{s}");
     }
 
     #[test]

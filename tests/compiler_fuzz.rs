@@ -713,6 +713,73 @@ mod verification_oracle {
         assert_eq!(sev("written-load-inner-dim"), Severity::Warning);
     }
 
+    /// Lint mutants: each seeded defect must be caught by exactly its
+    /// owning `MPX0xx` code — no escapes, no cross-talk between lints.
+    #[test]
+    fn lint_catches_seeded_mutants() {
+        use mpix::analysis::lint::absint;
+        use mpix::ir::iexpr::IExpr;
+        use std::collections::BTreeSet;
+
+        let build = || {
+            let mut ctx = Context::new();
+            let g = Grid::new(&[32, 32], &[1.0, 1.0]);
+            let u = ctx.add_time_function("u", &g, 4, 2);
+            let m = ctx.add_function("m", &g, 4);
+            let pde = m.center() * u.dt2() - u.laplace();
+            let st = mpix::symbolic::solve(&pde, &u.forward(), &ctx).unwrap();
+            let cl = clusterize(&lower_equations(&[st], &ctx).unwrap());
+            (ctx, cl, u.id(), m.id())
+        };
+        let codes = |fs: &[mpix::analysis::lint::LintFinding]| -> BTreeSet<&'static str> {
+            fs.iter().map(|f| f.code).collect()
+        };
+
+        // Unmutated artifacts are lint-clean under the default contract.
+        let (ctx, cl, u_id, _) = build();
+        assert!(absint::lint_clusters(&ctx, &cl, None).is_empty());
+        assert!(absint::lint_bytecode(&cl).is_empty());
+
+        // Mutant: the declared initialization set drops `m` — every read
+        // of the velocity model becomes a read of a buffer nothing wrote.
+        let init_without_m: BTreeSet<_> = [u_id].into_iter().collect();
+        let found = absint::lint_clusters(&ctx, &cl, Some(&init_without_m));
+        assert_eq!(
+            codes(&found),
+            BTreeSet::from(["MPX001"]),
+            "dropped-field-init must be caught by MPX001 alone: {found:?}"
+        );
+
+        // Mutant: multiply the update by 1/0 — a statically-zero divisor.
+        let (ctx, mut cl, _, _) = build();
+        let si = cl[0]
+            .stmts
+            .iter()
+            .position(|s| matches!(s, mpix::ir::cluster::Stmt::Store { .. }))
+            .unwrap();
+        let old = cl[0].stmts[si].value().clone();
+        *cl[0].stmts[si].value_mut() =
+            IExpr::Mul(vec![old, IExpr::Pow(Box::new(IExpr::Const(0.0)), -1)]);
+        let found = absint::lint_clusters(&ctx, &cl, None);
+        assert_eq!(
+            codes(&found),
+            BTreeSet::from(["MPX002"]),
+            "zero-divisor must be caught by MPX002 alone: {found:?}"
+        );
+
+        // Mutant: duplicate the store — the first write of u[t+1] is
+        // overwritten with no intervening read, a dead store.
+        let (ctx, mut cl, _, _) = build();
+        let dup = cl[0].stmts[si].clone();
+        cl[0].stmts.push(dup);
+        let found = absint::lint_clusters(&ctx, &cl, None);
+        assert_eq!(
+            codes(&found),
+            BTreeSet::from(["MPX004"]),
+            "duplicate-store must be caught by MPX004 alone: {found:?}"
+        );
+    }
+
     #[test]
     fn unmutated_artifacts_verify_clean() {
         let (ctx, cl, plan) = artifacts();
