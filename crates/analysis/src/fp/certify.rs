@@ -1,0 +1,296 @@
+//! Machine-checkable precision certificates.
+//!
+//! A [`PrecisionCertificate`] packages, for one operator under explicit
+//! [`FpAssumptions`], the per-field absolute/relative rounding-error
+//! bounds under every storage precision (f64/f32/bf16 at native wire)
+//! and every demoted halo wire format (bf16/f16 at f32 storage), plus
+//! the CFL verdict per forward update and the lint findings the
+//! analysis proved. The JSON rendering (`mpix-fp-cert/v1`) has a fixed
+//! field order — object keys are emitted in insertion order by
+//! `mpix-json` — so certificates diff cleanly across compiler versions.
+//!
+//! Unbounded entries serialize as `null`, never as a large sentinel: a
+//! certificate only ever *claims* what the analysis proved, which is
+//! what `tests/fp_certs.rs` holds it to empirically (observed f32-vs-f64
+//! divergence must stay below the certified bound for every solver and
+//! space order).
+
+use mpix_ir::cluster::Cluster;
+use mpix_ir::precision::{StoragePrecision, WireFormat};
+use mpix_json::Value;
+use mpix_symbolic::{Context, FieldId};
+
+use super::cfl::{check_cfl, CflVerdict};
+use super::{analyze, FpAssumptions, FpConfig, WIRE_RATIO_THRESHOLD};
+use crate::lint::absint::Interval;
+use crate::lint::LintFinding;
+
+/// Certificate schema identifier; bump on breaking JSON changes.
+pub const CERT_SCHEMA: &str = "mpix-fp-cert/v1";
+
+/// One field's certified bounds across all analyzed scenarios.
+#[derive(Clone, Debug)]
+pub struct FieldRow {
+    pub name: String,
+    pub written: bool,
+    /// Exact-value interval (from the f32/native scenario; the value
+    /// abstraction is precision-independent, only errors differ).
+    pub val: Interval,
+    /// `(storage, abs bound, rel bound)` at native wire.
+    pub storage: Vec<(StoragePrecision, f64, f64)>,
+    /// `(wire, abs bound, rel bound)` at f32 storage.
+    pub wire: Vec<(WireFormat, f64, f64)>,
+}
+
+impl FieldRow {
+    fn bound(&self, p: StoragePrecision) -> Option<(f64, f64)> {
+        self.storage
+            .iter()
+            .find(|(sp, _, _)| *sp == p)
+            .map(|&(_, a, r)| (a, r))
+    }
+}
+
+/// The full certificate for one operator instantiation.
+#[derive(Clone, Debug)]
+pub struct PrecisionCertificate {
+    pub operator: String,
+    pub steps: u32,
+    pub assume: FpAssumptions,
+    pub fields: Vec<FieldRow>,
+    pub cfl: Vec<(String, CflVerdict)>,
+    /// Findings proved by the shipped-scenario analysis plus the
+    /// wire-demotion advisories (`MPX018`).
+    pub findings: Vec<LintFinding>,
+}
+
+impl PrecisionCertificate {
+    /// Certified absolute error bound for `field` under `storage`
+    /// (native wire); `None` when unbounded or unknown.
+    pub fn abs_bound(&self, field: &str, storage: StoragePrecision) -> Option<f64> {
+        let (abs, _) = self
+            .fields
+            .iter()
+            .find(|r| r.name == field)?
+            .bound(storage)?;
+        abs.is_finite().then_some(abs)
+    }
+
+    /// Stable-order JSON rendering (`mpix-fp-cert/v1`).
+    pub fn to_json(&self) -> Value {
+        let num_or_null = |x: f64| {
+            if x.is_finite() {
+                Value::Num(x)
+            } else {
+                Value::Null
+            }
+        };
+        let bound_obj = |abs: f64, rel: f64| {
+            Value::Obj(vec![
+                ("abs".to_string(), num_or_null(abs)),
+                ("rel".to_string(), num_or_null(rel)),
+            ])
+        };
+        let assumptions = Value::Obj(vec![
+            (
+                "scalars".to_string(),
+                Value::Obj(
+                    self.assume
+                        .scalars
+                        .iter()
+                        .map(|(k, &v)| (k.clone(), Value::Num(v)))
+                        .collect(),
+                ),
+            ),
+            ("steps".to_string(), Value::Num(self.steps as f64)),
+        ]);
+        let fields = Value::Arr(
+            self.fields
+                .iter()
+                .map(|r| {
+                    Value::Obj(vec![
+                        ("name".to_string(), Value::Str(r.name.clone())),
+                        ("written".to_string(), Value::Bool(r.written)),
+                        (
+                            "value".to_string(),
+                            Value::Arr(vec![num_or_null(r.val.lo), num_or_null(r.val.hi)]),
+                        ),
+                        (
+                            "storage".to_string(),
+                            Value::Obj(
+                                r.storage
+                                    .iter()
+                                    .map(|&(p, a, rl)| (p.name().to_string(), bound_obj(a, rl)))
+                                    .collect(),
+                            ),
+                        ),
+                        (
+                            "wire".to_string(),
+                            Value::Obj(
+                                r.wire
+                                    .iter()
+                                    .map(|&(w, a, rl)| (w.name().to_string(), bound_obj(a, rl)))
+                                    .collect(),
+                            ),
+                        ),
+                    ])
+                })
+                .collect(),
+        );
+        let cfl = Value::Arr(
+            self.cfl
+                .iter()
+                .map(|(name, v)| {
+                    let (verdict, amp, reason) = match v {
+                        CflVerdict::SampledStable { max_amp } => {
+                            ("sampled-stable", Some(*max_amp), None)
+                        }
+                        CflVerdict::Unstable { max_amp } => ("unstable", Some(*max_amp), None),
+                        CflVerdict::Unanalyzed { reason } => {
+                            ("unanalyzed", None, Some(reason.clone()))
+                        }
+                    };
+                    let mut row = vec![
+                        ("field".to_string(), Value::Str(name.clone())),
+                        ("verdict".to_string(), Value::Str(verdict.to_string())),
+                        (
+                            "max_amp".to_string(),
+                            amp.map(Value::Num).unwrap_or(Value::Null),
+                        ),
+                    ];
+                    if let Some(r) = reason {
+                        row.push(("reason".to_string(), Value::Str(r)));
+                    }
+                    Value::Obj(row)
+                })
+                .collect(),
+        );
+        let findings = Value::Arr(
+            self.findings
+                .iter()
+                .map(|f| {
+                    Value::Obj(vec![
+                        ("code".to_string(), Value::Str(f.code.to_string())),
+                        ("location".to_string(), Value::Str(f.location.clone())),
+                        ("explanation".to_string(), Value::Str(f.explanation.clone())),
+                    ])
+                })
+                .collect(),
+        );
+        Value::Obj(vec![
+            ("schema".to_string(), Value::Str(CERT_SCHEMA.to_string())),
+            ("operator".to_string(), Value::Str(self.operator.clone())),
+            ("assumptions".to_string(), assumptions),
+            ("fields".to_string(), fields),
+            ("cfl".to_string(), cfl),
+            ("findings".to_string(), findings),
+        ])
+    }
+}
+
+/// Run the analysis across the full storage × wire scenario matrix and
+/// assemble the certificate.
+pub fn certify(
+    ctx: &Context,
+    clusters: &[Cluster],
+    assume: &FpAssumptions,
+    operator: &str,
+) -> PrecisionCertificate {
+    let scenario = |storage, wire| FpConfig {
+        storage,
+        wire,
+        model: mpix_codegen::bytecode::RoundingModel::EXECUTED,
+    };
+    let storage_reports: Vec<_> = StoragePrecision::ALL
+        .iter()
+        .map(|&p| {
+            (
+                p,
+                analyze(ctx, clusters, scenario(p, WireFormat::Native), assume),
+            )
+        })
+        .collect();
+    let wire_reports: Vec<_> = [WireFormat::Bf16, WireFormat::F16]
+        .iter()
+        .map(|&w| {
+            (
+                w,
+                analyze(ctx, clusters, scenario(StoragePrecision::F32, w), assume),
+            )
+        })
+        .collect();
+
+    // Findings: the shipped scenario owns MPX015/016/017/019…
+    let mut findings = storage_reports
+        .iter()
+        .find(|(p, _)| *p == StoragePrecision::F32)
+        .map(|(_, r)| r.findings.clone())
+        .unwrap_or_default();
+
+    let field_ids: Vec<FieldId> = ctx.fields().iter().map(|f| f.id).collect();
+    let mut rows = Vec::new();
+    for f in &field_ids {
+        let name = ctx.field(*f).name.clone();
+        let f32_native = storage_reports
+            .iter()
+            .find(|(p, _)| *p == StoragePrecision::F32)
+            .and_then(|(_, r)| r.fields.get(f).copied());
+        let (val, written, native_abs) = match f32_native {
+            Some(b) => (b.val, b.written, b.abs),
+            None => (crate::lint::absint::TOP, false, f64::INFINITY),
+        };
+        let storage = storage_reports
+            .iter()
+            .filter_map(|(p, r)| r.fields.get(f).map(|b| (*p, b.abs, b.rel)))
+            .collect();
+        let wire: Vec<_> = wire_reports
+            .iter()
+            .filter_map(|(w, r)| r.fields.get(f).map(|b| (*w, b.abs, b.rel)))
+            .collect();
+
+        // …while MPX018 needs two scenarios side by side: demoting the
+        // wire is flagged when it provably inflates a field's bound
+        // past WIRE_RATIO_THRESHOLD× the native-wire bound.
+        for &(w, wabs, _) in &wire {
+            if written
+                && native_abs.is_finite()
+                && native_abs > 0.0
+                && wabs.is_finite()
+                && wabs > WIRE_RATIO_THRESHOLD * native_abs
+            {
+                findings.push(LintFinding::new(
+                    "MPX018",
+                    format!("field {name} / wire {}", w.name()),
+                    format!(
+                        "demoting halo traffic to {} inflates the certified error bound \
+                         {:.1}× over the native wire (> {WIRE_RATIO_THRESHOLD}×): demotion \
+                         is not numerically free for this field",
+                        w.name(),
+                        wabs / native_abs
+                    ),
+                ));
+            }
+        }
+        rows.push(FieldRow {
+            name,
+            written,
+            val,
+            storage,
+            wire,
+        });
+    }
+
+    let cfl = check_cfl(ctx, clusters, &assume.scalars)
+        .into_iter()
+        .map(|(f, v)| (ctx.field(f).name.clone(), v))
+        .collect();
+
+    PrecisionCertificate {
+        operator: operator.to_string(),
+        steps: assume.steps.max(1),
+        assume: assume.clone(),
+        fields: rows,
+        cfl,
+        findings,
+    }
+}

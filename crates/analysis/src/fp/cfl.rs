@@ -1,0 +1,365 @@
+//! `MPX019`: static CFL/von Neumann stability check.
+//!
+//! The extraction half of the CFL argument: a `Store` to a
+//! `TimeFunction`'s forward buffer is linearized over that field's
+//! `t`/`t-1` taps — coefficients evaluated to `f64` from the symbolic
+//! `dt`/`h_*` bindings — and handed to
+//! [`mpix_symbolic::cfl::max_amplification`] for the sampled von
+//! Neumann verdict. Only *linear, grid-invariant-coefficient,
+//! single-field* updates are in the analyzable class; anything else
+//! (material-parameter loads, coupled fields, nonlinearity) yields an
+//! honest [`CflVerdict::Unanalyzed`] with the reason recorded, never a
+//! guess. Verdicts are one-sided: a sampled amplification `> 1 + tol`
+//! *proves* instability (that mode exists on any grid with ≥ 4 points
+//! per dimension), which is what licenses `MPX019`'s `Deny` default.
+
+use std::collections::BTreeMap;
+
+use mpix_ir::cluster::{Cluster, Stmt};
+use mpix_ir::iexpr::IExpr;
+use mpix_symbolic::cfl::{max_amplification, Tap};
+use mpix_symbolic::{Context, FieldId, FieldKind};
+
+use crate::lint::LintFinding;
+
+/// Sampled `|z|` must exceed `1 + CFL_TOL` before instability is
+/// claimed; keeps marginally-stable schemes (|z| = 1 exactly, e.g.
+/// leapfrog at the Courant limit) out of the finding.
+pub const CFL_TOL: f64 = 1e-6;
+
+/// Outcome of the stability check for one forward update.
+#[derive(Clone, Debug, PartialEq)]
+pub enum CflVerdict {
+    /// `|z| ≤ 1 + tol` at every sampled wavenumber. Consistent with
+    /// stability, but *not* a proof (sampling is finite).
+    SampledStable { max_amp: f64 },
+    /// Some sampled mode grows: provably von Neumann unstable under
+    /// the bound scalars.
+    Unstable { max_amp: f64 },
+    /// The update is outside the analyzable class.
+    Unanalyzed { reason: String },
+}
+
+/// Linear form of an expression over the target field's taps:
+/// `constant + Σ curr_δ·u[t, x+δ] + Σ prev_δ·u[t-1, x+δ]`.
+#[derive(Clone, Debug, Default)]
+struct LinForm {
+    constant: f64,
+    curr: BTreeMap<Vec<i32>, f64>,
+    prev: BTreeMap<Vec<i32>, f64>,
+}
+
+impl LinForm {
+    fn scalar(c: f64) -> LinForm {
+        LinForm {
+            constant: c,
+            ..Default::default()
+        }
+    }
+
+    fn is_scalar(&self) -> bool {
+        self.curr.is_empty() && self.prev.is_empty()
+    }
+
+    fn add(mut self, o: LinForm) -> LinForm {
+        self.constant += o.constant;
+        for (d, c) in o.curr {
+            *self.curr.entry(d).or_insert(0.0) += c;
+        }
+        for (d, c) in o.prev {
+            *self.prev.entry(d).or_insert(0.0) += c;
+        }
+        self
+    }
+
+    fn scale(mut self, s: f64) -> LinForm {
+        self.constant *= s;
+        self.curr.values_mut().for_each(|c| *c *= s);
+        self.prev.values_mut().for_each(|c| *c *= s);
+        self
+    }
+}
+
+/// Pure-scalar `f64` evaluation (for hoisted parameters — they are
+/// grid-invariant by construction, so loads/temps are malformed here).
+fn eval_scalar(
+    e: &IExpr,
+    scalars: &BTreeMap<String, f64>,
+    params: &BTreeMap<usize, Result<f64, String>>,
+) -> Result<f64, String> {
+    match e {
+        IExpr::Const(c) => Ok(*c),
+        IExpr::Sym(s) => scalars
+            .get(s)
+            .copied()
+            .ok_or_else(|| format!("scalar `{s}` is unbound")),
+        IExpr::Param(i) => params
+            .get(i)
+            .cloned()
+            .unwrap_or_else(|| Err(format!("parameter r{i} is undefined"))),
+        IExpr::Add(xs) => xs
+            .iter()
+            .try_fold(0.0, |a, x| Ok(a + eval_scalar(x, scalars, params)?)),
+        IExpr::Mul(xs) => xs
+            .iter()
+            .try_fold(1.0, |a, x| Ok(a * eval_scalar(x, scalars, params)?)),
+        IExpr::Pow(b, n) => Ok(eval_scalar(b, scalars, params)?.powi(*n)),
+        IExpr::Func(f, b) => Ok(f.apply(eval_scalar(b, scalars, params)?)),
+        IExpr::Load(_) | IExpr::Temp(_) => Err("parameter is not grid-invariant".to_string()),
+    }
+}
+
+struct LinCtx<'a> {
+    ctx: &'a Context,
+    target: FieldId,
+    scalars: &'a BTreeMap<String, f64>,
+    params: &'a BTreeMap<usize, Result<f64, String>>,
+    temps: &'a [Result<LinForm, String>],
+}
+
+/// Linearize `e` over the target field's taps, or say why that is
+/// impossible.
+fn eval_lin(e: &IExpr, lc: &LinCtx) -> Result<LinForm, String> {
+    match e {
+        IExpr::Const(c) => Ok(LinForm::scalar(*c)),
+        IExpr::Sym(s) => lc
+            .scalars
+            .get(s)
+            .map(|&v| LinForm::scalar(v))
+            .ok_or_else(|| format!("scalar `{s}` is unbound")),
+        IExpr::Param(i) => lc
+            .params
+            .get(i)
+            .cloned()
+            .unwrap_or_else(|| Err(format!("parameter r{i} is undefined")))
+            .map(LinForm::scalar),
+        IExpr::Temp(i) => match lc.temps.get(*i) {
+            Some(r) => r.clone(),
+            None => Err(format!("temporary t{i} is undefined")),
+        },
+        IExpr::Load(a) => {
+            if a.field != lc.target {
+                return Err(format!(
+                    "coefficient reads field `{}` (not grid-invariant)",
+                    lc.ctx.field(a.field).name
+                ));
+            }
+            let mut lf = LinForm::scalar(0.0);
+            match a.time_offset {
+                0 => {
+                    lf.curr.insert(a.deltas.clone(), 1.0);
+                }
+                -1 => {
+                    lf.prev.insert(a.deltas.clone(), 1.0);
+                }
+                t => {
+                    return Err(format!(
+                        "update reads `{}`[t{t:+}], outside the two-level von Neumann form",
+                        lc.ctx.field(a.field).name
+                    ))
+                }
+            }
+            Ok(lf)
+        }
+        IExpr::Add(xs) => {
+            let mut acc = LinForm::scalar(0.0);
+            for x in xs {
+                acc = acc.add(eval_lin(x, lc)?);
+            }
+            Ok(acc)
+        }
+        IExpr::Mul(xs) => {
+            let mut scale = 1.0f64;
+            let mut tapped: Option<LinForm> = None;
+            for x in xs {
+                let lf = eval_lin(x, lc)?;
+                if lf.is_scalar() {
+                    scale *= lf.constant;
+                } else if tapped.is_none() {
+                    tapped = Some(lf);
+                } else {
+                    return Err("update is nonlinear in the evolved field".to_string());
+                }
+            }
+            Ok(match tapped {
+                Some(lf) => lf.scale(scale),
+                None => LinForm::scalar(scale),
+            })
+        }
+        IExpr::Pow(b, n) => {
+            let lf = eval_lin(b, lc)?;
+            if lf.is_scalar() {
+                Ok(LinForm::scalar(lf.constant.powi(*n)))
+            } else if *n == 1 {
+                Ok(lf)
+            } else {
+                Err("update is nonlinear in the evolved field (pow)".to_string())
+            }
+        }
+        IExpr::Func(f, b) => {
+            let lf = eval_lin(b, lc)?;
+            if lf.is_scalar() {
+                Ok(LinForm::scalar(f.apply(lf.constant)))
+            } else {
+                Err(format!(
+                    "update applies `{}` to the evolved field (nonlinear)",
+                    f.name()
+                ))
+            }
+        }
+    }
+}
+
+/// Check every forward `TimeFunction` update in `clusters` under the
+/// given scalar bindings. Returns one verdict per store, in program
+/// order, keyed by the updated field.
+pub fn check_cfl(
+    ctx: &Context,
+    clusters: &[Cluster],
+    scalars: &BTreeMap<String, f64>,
+) -> Vec<(FieldId, CflVerdict)> {
+    // Hoisted parameters first (shared across clusters).
+    let mut params: BTreeMap<usize, Result<f64, String>> = BTreeMap::new();
+    for cl in clusters {
+        for (pi, value) in &cl.params {
+            let v = eval_scalar(value, scalars, &params);
+            params.insert(*pi, v);
+        }
+    }
+
+    let mut verdicts = Vec::new();
+    for cl in clusters {
+        // Per-cluster temporaries, linearized against each store's own
+        // target lazily: temps may legitimately mix fields, so they are
+        // (re-)evaluated per target below.
+        for stmt in &cl.stmts {
+            let Stmt::Store { target, value } = stmt else {
+                continue;
+            };
+            let fld = ctx.field(target.field);
+            if fld.kind != FieldKind::TimeFunction || target.time_offset <= 0 {
+                continue;
+            }
+            // Linearize the temps for *this* target.
+            let mut temps: Vec<Result<LinForm, String>> =
+                vec![Err("temporary t? is undefined".to_string()); cl.num_temps];
+            for s in &cl.stmts {
+                if let Stmt::Let { temp, value } = s {
+                    let lf = {
+                        let lc = LinCtx {
+                            ctx,
+                            target: target.field,
+                            scalars,
+                            params: &params,
+                            temps: &temps,
+                        };
+                        eval_lin(value, &lc)
+                    };
+                    temps[*temp] = lf;
+                }
+            }
+            let lc = LinCtx {
+                ctx,
+                target: target.field,
+                scalars,
+                params: &params,
+                temps: &temps,
+            };
+            let verdict = match eval_lin(value, &lc) {
+                Err(reason) => CflVerdict::Unanalyzed { reason },
+                Ok(lf) => {
+                    // A nonzero constant is an affine source term; it
+                    // shifts the solution, not the homogeneous growth,
+                    // so von Neumann ignores it.
+                    let curr: Vec<Tap> = lf.curr.into_iter().collect();
+                    let prev: Vec<Tap> = lf.prev.into_iter().collect();
+                    let amp = max_amplification(&curr, &prev);
+                    if amp > 1.0 + CFL_TOL {
+                        CflVerdict::Unstable { max_amp: amp }
+                    } else {
+                        CflVerdict::SampledStable { max_amp: amp }
+                    }
+                }
+            };
+            verdicts.push((target.field, verdict));
+        }
+    }
+    verdicts
+}
+
+/// The `MPX019` findings for provably unstable updates.
+pub fn lint_cfl(
+    ctx: &Context,
+    clusters: &[Cluster],
+    scalars: &BTreeMap<String, f64>,
+) -> Vec<LintFinding> {
+    check_cfl(ctx, clusters, scalars)
+        .into_iter()
+        .filter_map(|(f, v)| match v {
+            CflVerdict::Unstable { max_amp } => Some(LintFinding::new(
+                "MPX019",
+                format!("store {}", ctx.field(f).name),
+                format!(
+                    "update of `{}` is provably von Neumann unstable under the bound \
+                     dt/h scalars: sampled mode amplification |z| = {max_amp:.4} > 1 — \
+                     the scheme diverges at every storage precision; reduce dt",
+                    ctx.field(f).name
+                ),
+            )),
+            _ => None,
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mpix_symbolic::{discretize, Eq, Grid};
+
+    /// 2-D diffusion `u.dt = u.laplace` on a grid with spacing bound at
+    /// analysis time; FTCS is stable iff `dt · Σ 2/h_d² ≤ 1` here.
+    fn diffusion(dt: f64) -> (Context, Vec<Cluster>, BTreeMap<String, f64>) {
+        let mut ctx = Context::new();
+        let grid = Grid::new(&[9, 9], &[1.0, 1.0]);
+        let u = ctx.add_time_function("u", &grid, 2, 1);
+        let eq = Eq::new(u.dt(), u.laplace());
+        let st = eq.solve_for(&u.forward(), &ctx).unwrap();
+        let disc = discretize(&st, &ctx).unwrap();
+        let lowered = mpix_ir::lower_equations(&[disc], &ctx).unwrap();
+        let clusters = mpix_ir::clusterize(&lowered);
+        let mut scalars = grid.spacing_bindings();
+        scalars.insert("dt".to_string(), dt);
+        (ctx, clusters, scalars)
+    }
+
+    #[test]
+    fn diffusion_verdict_flips_at_the_cfl_limit() {
+        // h = 1/8: limit dt* = h²/4 = 1/256.
+        let (ctx, cls, sc) = diffusion(0.9 / 256.0);
+        let v = check_cfl(&ctx, &cls, &sc);
+        assert_eq!(v.len(), 1);
+        assert!(matches!(v[0].1, CflVerdict::SampledStable { .. }), "{v:?}");
+        assert!(lint_cfl(&ctx, &cls, &sc).is_empty());
+
+        let (ctx, cls, sc) = diffusion(2.0 / 256.0);
+        let v = check_cfl(&ctx, &cls, &sc);
+        assert!(
+            matches!(v[0].1, CflVerdict::Unstable { max_amp } if max_amp > 1.5),
+            "{v:?}"
+        );
+        let findings = lint_cfl(&ctx, &cls, &sc);
+        assert_eq!(findings.len(), 1);
+        assert_eq!(findings[0].code, "MPX019");
+    }
+
+    #[test]
+    fn unbound_scalars_yield_unanalyzed_not_a_guess() {
+        let (ctx, cls, _) = diffusion(1.0);
+        let v = check_cfl(&ctx, &cls, &BTreeMap::new());
+        assert!(
+            matches!(&v[0].1, CflVerdict::Unanalyzed { reason } if reason.contains("unbound")),
+            "{v:?}"
+        );
+        assert!(lint_cfl(&ctx, &cls, &BTreeMap::new()).is_empty());
+    }
+}

@@ -55,6 +55,7 @@ use mpix_trace::{Diagnostic, Severity};
 pub mod backend_check;
 pub mod bytecode_check;
 pub mod comm_schedule;
+pub mod fp;
 pub mod halo_coverage;
 pub mod lint;
 pub mod thread_safety;

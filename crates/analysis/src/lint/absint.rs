@@ -26,32 +26,61 @@ pub struct Interval {
     pub hi: f64,
 }
 
-const TOP: Interval = Interval {
+/// `⊤`: no information. Shared with the error-domain analysis in
+/// [`crate::fp`], which pairs these intervals with round-off bounds.
+pub const TOP: Interval = Interval {
     lo: f64::NEG_INFINITY,
     hi: f64::INFINITY,
 };
 
 /// Strictly positive, unbounded: the abstraction of `dt` and `h_*`.
-const POSITIVE: Interval = Interval {
+pub const POSITIVE: Interval = Interval {
     lo: f64::MIN_POSITIVE,
     hi: f64::INFINITY,
 };
 
 impl Interval {
-    fn point(c: f64) -> Interval {
+    pub fn point(c: f64) -> Interval {
         Interval { lo: c, hi: c }
     }
 
-    fn is_point(&self) -> Option<f64> {
+    pub fn is_point(&self) -> Option<f64> {
         (self.lo == self.hi && self.lo.is_finite()).then_some(self.lo)
     }
 
     /// Provably zero at every point.
-    fn is_zero(&self) -> bool {
+    pub fn is_zero(&self) -> bool {
         self.lo == 0.0 && self.hi == 0.0
     }
 
-    fn add(self, o: Interval) -> Interval {
+    /// Smallest interval containing both — the lattice join.
+    pub fn union(self, o: Interval) -> Interval {
+        Interval {
+            lo: self.lo.min(o.lo),
+            hi: self.hi.max(o.hi),
+        }
+    }
+
+    /// Largest absolute value attained on the interval.
+    pub fn mag(self) -> f64 {
+        self.lo.abs().max(self.hi.abs())
+    }
+
+    /// Smallest absolute value attained on the interval (0 if it
+    /// straddles zero).
+    pub fn min_mag(self) -> f64 {
+        if self.lo <= 0.0 && self.hi >= 0.0 {
+            0.0
+        } else {
+            self.lo.abs().min(self.hi.abs())
+        }
+    }
+
+    // `add`/`mul` shadow the operator-trait names deliberately: the
+    // abstract domain is NaN-absorbing (NaN corners widen to ⊤), which
+    // operator syntax would misleadingly present as plain arithmetic.
+    #[allow(clippy::should_implement_trait)]
+    pub fn add(self, o: Interval) -> Interval {
         let lo = self.lo + o.lo;
         let hi = self.hi + o.hi;
         if lo.is_nan() || hi.is_nan() {
@@ -60,7 +89,8 @@ impl Interval {
         Interval { lo, hi }
     }
 
-    fn mul(self, o: Interval) -> Interval {
+    #[allow(clippy::should_implement_trait)]
+    pub fn mul(self, o: Interval) -> Interval {
         let corners = [
             self.lo * o.lo,
             self.lo * o.hi,
@@ -76,7 +106,7 @@ impl Interval {
         }
     }
 
-    fn pow(self, n: i32) -> Interval {
+    pub fn pow(self, n: i32) -> Interval {
         if let Some(c) = self.is_point() {
             let v = c.powi(n);
             if v.is_finite() {

@@ -179,6 +179,10 @@ pub fn lint_operator(
     let mut findings = absint::lint_clusters(ctx, clusters, assume_initialized);
     findings.extend(absint::lint_bytecode(clusters));
     findings.extend(parametric::lint_schedules(ctx, plan, modes));
+    // Structural floating-point lints (MPX015/MPX016): no value or
+    // scalar bindings here, so only provable-from-structure findings
+    // can fire. The full certificate path is `crate::fp::certify`.
+    findings.extend(crate::fp::lint_clusters_fp(ctx, clusters));
     cfg.apply(findings)
 }
 
@@ -211,6 +215,91 @@ mod tests {
     #[should_panic(expected = "allow, warn or deny")]
     fn parse_rejects_unknown_levels() {
         LintConfig::parse("MPX004=forbid");
+    }
+
+    /// Panic messages must name the offending entry verbatim so a user
+    /// can find it in a long comma-separated spec — "bad spec" alone is
+    /// not actionable.
+    fn parse_panic_message(spec: &str) -> String {
+        let err = std::panic::catch_unwind(|| LintConfig::parse(spec))
+            .expect_err("malformed spec must panic");
+        err.downcast_ref::<String>()
+            .cloned()
+            .or_else(|| err.downcast_ref::<&str>().map(|s| s.to_string()))
+            .expect("panic payload is a message")
+    }
+
+    #[test]
+    fn parse_errors_name_the_offending_entry() {
+        let msg = parse_panic_message("MPX004=allow,MPX999=deny");
+        assert!(msg.contains("MPX999"), "names the bad key: {msg}");
+        assert!(msg.contains("unknown lint"), "says what is wrong: {msg}");
+
+        let msg = parse_panic_message("dead-store=forbid");
+        assert!(
+            msg.contains("dead-store=forbid"),
+            "quotes the full entry: {msg}"
+        );
+        assert!(
+            msg.contains("allow, warn or deny"),
+            "lists the valid levels: {msg}"
+        );
+
+        // A bare key with no `=` is a distinct failure with its own
+        // message (it is not an "unknown lint").
+        let msg = parse_panic_message("MPX004");
+        assert!(
+            msg.contains("is not key=level") && msg.contains("MPX004"),
+            "explains the expected shape: {msg}"
+        );
+    }
+
+    #[test]
+    fn parse_duplicate_entries_last_wins() {
+        // Documented contract ("later entries win"): duplicates are not
+        // an error, the rightmost binding takes effect — including when
+        // the same lint is addressed once by code and once by name.
+        let cfg = LintConfig::parse("MPX004=deny,MPX004=allow");
+        assert_eq!(cfg.level("MPX004"), LintLevel::Allow);
+        let cfg = LintConfig::parse("dead-store=allow,MPX004=deny");
+        assert_eq!(cfg.level("MPX004"), LintLevel::Deny);
+        let cfg = LintConfig::parse("MPX004=deny,dead-store=allow");
+        assert_eq!(cfg.level("MPX004"), LintLevel::Allow);
+    }
+
+    #[test]
+    fn parse_empty_spec_keeps_registry_defaults() {
+        // `MPIX_LINT=""` (and stray separators/whitespace) must behave
+        // exactly like an unset variable, not panic on an empty entry.
+        for spec in ["", " ", ",", " , ,", "\t"] {
+            let cfg = LintConfig::parse(spec);
+            for l in LINTS {
+                assert_eq!(
+                    cfg.level(l.code),
+                    l.default_level,
+                    "spec {spec:?} changed {}",
+                    l.code
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn kebab_name_and_code_are_equivalent_keys() {
+        // Every registry entry must be addressable by code and by its
+        // kebab name with identical effect (and `set` follows suit).
+        for l in LINTS {
+            let by_code = LintConfig::parse(&format!("{}=deny", l.code));
+            let by_name = LintConfig::parse(&format!("{}=deny", l.name));
+            assert_eq!(
+                by_code.level(l.code),
+                by_name.level(l.code),
+                "{} vs {}",
+                l.code,
+                l.name
+            );
+            assert_eq!(by_name.level(l.code), LintLevel::Deny);
+        }
     }
 
     #[test]

@@ -152,6 +152,45 @@ pub const LINTS: &[LintDef] = &[
                       diagonal exchange above 3 dimensions); only sampled P are \
                       checked",
     },
+    LintDef {
+        code: "MPX015",
+        name: "catastrophic-cancellation",
+        default_level: LintLevel::Warn,
+        description: "a sum of provably-bounded operands can cancel to near zero, \
+                      amplifying incoming relative error by more than 2^10",
+    },
+    LintDef {
+        code: "MPX016",
+        name: "accumulation-amplification",
+        default_level: LintLevel::Warn,
+        description: "a stencil-tap accumulation chain's rounding-event count \
+                      exceeds the affine-in-radius envelope the certificate \
+                      budget assumes",
+    },
+    LintDef {
+        code: "MPX017",
+        name: "insufficient-storage-precision",
+        default_level: LintLevel::Warn,
+        description: "the certified per-step relative error of a stored field \
+                      under the shipped f32 storage exceeds the acceptance \
+                      threshold",
+    },
+    LintDef {
+        code: "MPX018",
+        name: "wire-demotion-unsafe",
+        default_level: LintLevel::Allow,
+        description: "demoting halo wire traffic to bf16/f16 would push a field's \
+                      certified error past its interior rounding floor (advisory \
+                      for ROADMAP item 4; opt-in via MPIX_LINT)",
+    },
+    LintDef {
+        code: "MPX019",
+        name: "cfl-unstable",
+        default_level: LintLevel::Deny,
+        description: "the time-update is provably von Neumann unstable for the \
+                      bound dt/h coefficients — the solve diverges at every \
+                      precision",
+    },
 ];
 
 /// Look up a lint by its `MPX0xx` code.

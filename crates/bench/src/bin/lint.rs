@@ -19,11 +19,12 @@
 use std::collections::BTreeMap;
 use std::sync::Arc;
 
+use mpix_analysis::fp::{certify, FpAssumptions};
 use mpix_analysis::lint::{lint_operator, LintConfig, LINTS};
 use mpix_core::Operator;
 use mpix_dmp::HaloMode;
 use mpix_json::Value;
-use mpix_solvers::{KernelKind, ModelSpec, Propagator};
+use mpix_solvers::{fp_profile, FpProfile, KernelKind, ModelSpec, Propagator};
 use mpix_symbolic::{solve, Context, Eq, Grid};
 use mpix_trace::{Diagnostic, Severity};
 
@@ -42,6 +43,9 @@ FLAGS:
     --deny-warnings    exit 1 on Warning findings too
     --baseline=FILE    suppress findings listed in FILE (lines of
                        `MPX0xx location-substring`; `#` comments)
+    --fp-certs=DIR     write one precision certificate (mpix-fp-cert/v1
+                       JSON) per target into DIR and gate on the
+                       certificate findings (MPX015-MPX019) too
     --list             print the lint registry table and exit
     --help             print this message
 
@@ -56,36 +60,54 @@ MPIX_LINT=\"MPX004=allow,dead-store=allow,all=deny\" (left to right).";
 /// One lintable operator. Solvers contribute one target per space
 /// discretization order; each `examples/` program contributes the
 /// operator(s) it builds (programs sharing an operator share a target).
+/// A target's builder also yields the [`FpProfile`] its precision
+/// certificate is conditional on (when one is known).
 struct Target {
     name: &'static str,
     /// SDO sweep for solver targets; empty = fixed-order example.
     orders: &'static [u32],
-    build: fn(u32) -> Arc<Operator>,
+    build: fn(u32) -> (Arc<Operator>, Option<FpProfile>),
 }
+
+/// Time steps the exported certificates bound. Error growth is
+/// monotone in steps, so a short-horizon certificate stays checkable
+/// (finite) for every kernel while still exercising the full
+/// cross-cluster, cross-buffer propagation.
+const CERT_STEPS: u32 = 3;
 
 /// Same shapes as `mpix-verify`: big enough that every swept topology
 /// keeps a stencil radius per rank per dimension.
-fn solver_op(kind: KernelKind, so: u32) -> Arc<Operator> {
+fn solver_op(kind: KernelKind, so: u32) -> (Arc<Operator>, Option<FpProfile>) {
     let shape: &[usize] = match kind {
         KernelKind::Acoustic => &[40, 40],
         _ => &[16, 16, 16],
     };
-    Propagator::build(kind, ModelSpec::new(shape).with_nbl(4), so).op
+    let p = Propagator::build(kind, ModelSpec::new(shape).with_nbl(4), so);
+    let profile = fp_profile(kind, &p.spec, p.dt);
+    (p.op, Some(profile))
 }
 
 /// The 2-D heat-diffusion operator of `quickstart`, `cdump` and
 /// `codegen_inspect` (the paper's Listing 1).
-fn diffusion_op(_so: u32) -> Arc<Operator> {
+fn diffusion_op(_so: u32) -> (Arc<Operator>, Option<FpProfile>) {
     let mut ctx = Context::new();
     let grid = Grid::new(&[4, 4], &[2.0, 2.0]);
     let u = ctx.add_time_function("u", &grid, 2, 1);
     let eq = Eq::new(u.dt(), u.laplace());
     let st = eq.solve_for(&u.forward(), &ctx).unwrap();
-    Arc::new(Operator::build(ctx, grid, vec![st]).unwrap())
+    // FTCS diffusion: stable (and certifiable) at dt = h²/8 ≤ h²/(2·ndim).
+    let h = grid.spacing(0);
+    let mut profile = FpProfile {
+        scalars: grid.spacing_bindings(),
+        fields: vec![("u", 0.0, 1.0)],
+    };
+    profile.scalars.insert("dt".to_string(), h * h / 8.0);
+    let op = Arc::new(Operator::build(ctx, grid, vec![st]).unwrap());
+    (op, Some(profile))
 }
 
 /// The damped acoustic operator of `rtm_imaging`.
-fn rtm_op(_so: u32) -> Arc<Operator> {
+fn rtm_op(_so: u32) -> (Arc<Operator>, Option<FpProfile>) {
     let mut ctx = Context::new();
     let grid = Grid::new(&[81, 81], &[0.8, 0.8]);
     let u = ctx.add_time_function("u", &grid, 8, 2);
@@ -93,18 +115,35 @@ fn rtm_op(_so: u32) -> Arc<Operator> {
     let damp = ctx.add_function("damp", &grid, 8);
     let pde = m.center() * u.dt2() - u.laplace() + damp.center() * u.dt();
     let st = solve(&pde, &u.forward(), &ctx).unwrap();
-    Arc::new(Operator::build(ctx, grid, vec![st]).unwrap())
+    // Generic marine-survey assumptions: vp ∈ [1, 3] km/s (m = 1/vp²),
+    // a sponge up to 10³, unit-amplitude wavefield, CFL-0.4 time step
+    // at the fastest velocity.
+    let h = grid.spacing(0);
+    let mut profile = FpProfile {
+        scalars: grid.spacing_bindings(),
+        fields: vec![
+            ("u", -1.0, 1.0),
+            ("m", 1.0 / 9.0, 1.0),
+            ("damp", 0.0, 1000.0),
+        ],
+    };
+    profile
+        .scalars
+        .insert("dt".to_string(), 0.4 * h / (3.0 * 2.0f64.sqrt()));
+    let op = Arc::new(Operator::build(ctx, grid, vec![st]).unwrap());
+    (op, Some(profile))
 }
 
 /// The acoustic propagators built by `acoustic_modeling`,
 /// `autotune_demo` and `scaling_experiment`.
-fn acoustic_modeling_op(_so: u32) -> Arc<Operator> {
-    Propagator::build(
+fn acoustic_modeling_op(_so: u32) -> (Arc<Operator>, Option<FpProfile>) {
+    let p = Propagator::build(
         KernelKind::Acoustic,
         ModelSpec::new(&[36, 36, 36]).with_nbl(6),
         8,
-    )
-    .op
+    );
+    let profile = fp_profile(KernelKind::Acoustic, &p.spec, p.dt);
+    (p.op, Some(profile))
 }
 
 const SOLVER_ORDERS: &[u32] = &[4, 8, 12, 16];
@@ -194,6 +233,14 @@ fn main() {
         .find_map(|a| a.strip_prefix("--baseline="))
         .map(parse_baseline)
         .unwrap_or_default();
+    let certs_dir: Option<String> = args
+        .iter()
+        .find_map(|a| a.strip_prefix("--fp-certs="))
+        .map(String::from);
+    if let Some(dir) = &certs_dir {
+        std::fs::create_dir_all(dir)
+            .unwrap_or_else(|e| panic!("--fp-certs: cannot create {dir:?}: {e}"));
+    }
     let wanted: Vec<&String> = args.iter().filter(|a| !a.starts_with("--")).collect();
 
     let all = targets();
@@ -217,6 +264,7 @@ fn main() {
     let mut suppressed = 0usize;
     let mut worst: Option<Severity> = None;
     let mut configs = 0usize;
+    let mut certs_written = 0usize;
     for t in &selected {
         // An example target lints once; a solver target sweeps its SDOs.
         let orders: Vec<Option<u32>> = if t.orders.is_empty() {
@@ -229,9 +277,38 @@ fn main() {
                 Some(so) => format!("{} so={so}", t.name),
                 None => t.name.to_string(),
             };
-            let op = (t.build)(so.unwrap_or(0));
-            let diags = lint_operator(op.ctx(), op.clusters(), op.halo_plan(), &modes, None, &cfg);
+            let (op, profile) = (t.build)(so.unwrap_or(0));
+            let mut diags =
+                lint_operator(op.ctx(), op.clusters(), op.halo_plan(), &modes, None, &cfg);
             configs += 1;
+            if let (Some(dir), Some(p)) = (&certs_dir, &profile) {
+                let mut assume = FpAssumptions::structural().with_steps(CERT_STEPS);
+                for (k, v) in &p.scalars {
+                    assume = assume.with_scalar(k, *v);
+                }
+                for (name, lo, hi) in &p.fields {
+                    if let Some(f) = op.ctx().field_by_name(name) {
+                        assume = assume.with_field(f.id, *lo, *hi);
+                    }
+                }
+                let cert = certify(op.ctx(), op.clusters(), &assume, &label);
+                let fname = format!("{}.json", label.replace(' ', "-").replace('=', ""));
+                let path = std::path::Path::new(dir).join(fname);
+                std::fs::write(&path, format!("{}\n", cert.to_json().pretty()))
+                    .unwrap_or_else(|e| panic!("--fp-certs: cannot write {path:?}: {e}"));
+                certs_written += 1;
+                // Certificate findings (value-conditional MPX015-019)
+                // join the gate; the structural pass may have already
+                // reported an identical (code, location) pair.
+                for d in cfg.apply(cert.findings.clone()) {
+                    if !diags
+                        .iter()
+                        .any(|e| e.code == d.code && e.location == d.location)
+                    {
+                        diags.push(d);
+                    }
+                }
+            }
             let (kept, masked): (Vec<_>, Vec<_>) =
                 diags.into_iter().partition(|d| !baselined(d, &baseline));
             suppressed += masked.len();
@@ -240,11 +317,14 @@ fn main() {
                 worst = worst.max(Some(d.severity));
             }
             if json {
+                // The per-finding layout is a golden-tested parsing
+                // surface — see `mpix_bench::lint_finding_json`.
+                let finding_json = |d: &Diagnostic| mpix_bench::lint_finding_json(d, &cfg);
                 entries.push(Value::Obj(vec![
                     ("target".to_string(), Value::Str(label.clone())),
                     (
                         "findings".to_string(),
-                        Value::Arr(kept.iter().map(|d| d.to_json()).collect()),
+                        Value::Arr(kept.iter().map(finding_json).collect()),
                     ),
                     ("suppressed".to_string(), Value::Num(masked.len() as f64)),
                 ]));
@@ -285,6 +365,9 @@ fn main() {
             "\nmpix-lint: {configs} operator(s), {errors} error(s), {warnings} warning(s), \
              {suppressed} baselined"
         );
+        if let Some(dir) = &certs_dir {
+            println!("mpix-lint: {certs_written} precision certificate(s) -> {dir}");
+        }
     }
     let gate = if deny_warnings {
         Severity::Warning

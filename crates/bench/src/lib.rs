@@ -17,8 +17,10 @@
 #![allow(clippy::needless_range_loop)]
 #![allow(clippy::manual_is_multiple_of)]
 
+pub mod lint_json;
 pub mod paper;
 pub mod profiles;
 pub mod tables;
 
+pub use lint_json::lint_finding_json;
 pub use profiles::profile_for;

@@ -1,0 +1,27 @@
+//! The stable JSON shape of one `mpix-lint --json` finding.
+//!
+//! `mpix-lint --json` is the machine-readable face of the lint gate;
+//! downstream tooling (baselines, dashboards, CI annotators) parses it,
+//! so the object layout is a compatibility surface: the [`Diagnostic`]
+//! fields in their fixed order (`severity`, `pass`, `location`,
+//! `explanation`, `code`) with the post-override registry `level`
+//! appended **last**, keeping the object a strict extension of
+//! `Diagnostic::to_json`. Golden-tested in `tests/lint_json_golden.rs`.
+
+use mpix_analysis::lint::LintConfig;
+use mpix_json::Value;
+use mpix_trace::Diagnostic;
+
+/// One finding as `mpix-lint --json` emits it: the diagnostic plus the
+/// configured lint level that gated it (after `MPIX_LINT` overrides).
+/// Findings without a code (non-lint diagnostics) carry no `level`.
+pub fn lint_finding_json(d: &Diagnostic, cfg: &LintConfig) -> Value {
+    let mut j = d.to_json();
+    if let (Value::Obj(kv), Some(code)) = (&mut j, d.code.as_deref()) {
+        kv.push((
+            "level".to_string(),
+            Value::Str(cfg.level(code).name().to_string()),
+        ));
+    }
+    j
+}

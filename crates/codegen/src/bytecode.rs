@@ -112,7 +112,7 @@ impl Op {
     }
 
     /// The coefficient source when this op is a point-invariant push.
-    fn as_coeff(self) -> Option<CoeffSrc> {
+    pub fn as_coeff(self) -> Option<CoeffSrc> {
         match self {
             Op::Const(i) => Some(CoeffSrc::Const(i)),
             Op::Scalar(i) => Some(CoeffSrc::Scalar(i)),
@@ -162,6 +162,73 @@ impl Op {
             _ => None,
         }
     }
+
+    /// Is this op one of the superinstructions introduced by
+    /// [`fuse_cluster`]? Fusion metadata for the error analysis: a fused
+    /// op's rounding behaviour is declared by [`Op::rounding_events`],
+    /// not inferred from the unfused pair it replaced.
+    pub fn is_fused(self) -> bool {
+        matches!(
+            self,
+            Op::MulAdd | Op::LoadMul { .. } | Op::LoadMulAdd { .. }
+        )
+    }
+
+    /// Number of rounded f32 results this op materializes per point
+    /// under `model` — the table the static floating-point error
+    /// analysis (`mpix-analysis::fp`) consumes instead of hard-coding
+    /// per-op knowledge.
+    ///
+    /// Every interpreter and JIT backend evaluates the fused mul+add
+    /// pairs as two separately rounded operations ([`RoundingModel::EXECUTED`]),
+    /// which is what keeps fused programs bitwise-identical to their
+    /// unfused originals. A hypothetical FMA-contracting backend
+    /// ([`RoundingModel::FMA_CONTRACTED`]) would round the fused pair
+    /// once; the analysis models that distinctly, which is why the
+    /// count is declared here rather than assumed.
+    pub fn rounding_events(self, model: RoundingModel) -> usize {
+        match self {
+            Op::Add | Op::Mul | Op::Call(_) | Op::LoadMul { .. } => 1,
+            // Mirrors the `powi` lowering: v*v, 1/v and 1/(v*v) round
+            // once per multiply/divide; the generic case is bounded by
+            // the |n|-long multiply chain.
+            Op::Pow(n) => match n {
+                0 | 1 => 0,
+                2 | -1 => 1,
+                -2 => 2,
+                n => n.unsigned_abs() as usize,
+            },
+            Op::MulAdd | Op::LoadMulAdd { .. } => {
+                if model.fma_contraction {
+                    1
+                } else {
+                    2
+                }
+            }
+            _ => 0,
+        }
+    }
+}
+
+/// How fused mul+add superinstructions round, declared per backend
+/// family and consumed by [`Op::rounding_events`].
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct RoundingModel {
+    /// `true`: fused pairs round once (hardware FMA). `false`: mul and
+    /// add each round (the semantics every shipped backend implements).
+    pub fma_contraction: bool,
+}
+
+impl RoundingModel {
+    /// What actually runs: mul-then-add with two roundings.
+    pub const EXECUTED: RoundingModel = RoundingModel {
+        fma_contraction: false,
+    };
+    /// A single-rounding FMA backend (none shipped; modeled distinctly
+    /// so precision certificates stay honest if one lands).
+    pub const FMA_CONTRACTED: RoundingModel = RoundingModel {
+        fma_contraction: true,
+    };
 }
 
 /// A compiled cluster body.
@@ -834,6 +901,32 @@ mod tests {
             let b = eval_1d(&fused, &src, at);
             assert_eq!(a.to_bits(), b.to_bits(), "point {at}: {a} vs {b}");
         }
+    }
+
+    #[test]
+    fn rounding_table_distinguishes_fused_semantics() {
+        // Fusion must conserve rounding events under the executed
+        // model (that is what makes it bitwise-invariant), while the
+        // contracted model rounds each fused pair once — strictly
+        // fewer events wherever a superinstruction landed.
+        let cc = compile_cluster(&star_cluster());
+        let fused = fuse_cluster(cc.clone());
+        let events = |cc: &CompiledCluster, m: RoundingModel| -> usize {
+            cc.ops.iter().map(|op| op.rounding_events(m)).sum()
+        };
+        assert_eq!(
+            events(&cc, RoundingModel::EXECUTED),
+            events(&fused, RoundingModel::EXECUTED)
+        );
+        assert!(fused.ops.iter().any(|op| op.is_fused()));
+        assert!(
+            events(&fused, RoundingModel::FMA_CONTRACTED) < events(&fused, RoundingModel::EXECUTED)
+        );
+        // Unfused ops are unaffected by the contraction flag.
+        assert_eq!(
+            Op::Add.rounding_events(RoundingModel::FMA_CONTRACTED),
+            Op::Add.rounding_events(RoundingModel::EXECUTED)
+        );
     }
 
     #[test]

@@ -297,6 +297,9 @@ pub struct Operator {
     /// the same kernels. This is the per-operator face of the serve
     /// layer's content-keyed [`crate::serve::OperatorCache`].
     execs: std::sync::Mutex<HashMap<(HaloMode, Backend), Arc<OperatorExec>>>,
+    /// Memoized per-point bytecode flop count (see
+    /// [`bytecode_flops`](Self::bytecode_flops)).
+    bc_flops: std::sync::OnceLock<usize>,
 }
 
 impl Operator {
@@ -324,6 +327,7 @@ impl Operator {
             iet,
             counts,
             execs: std::sync::Mutex::new(HashMap::new()),
+            bc_flops: std::sync::OnceLock::new(),
         })
     }
 
@@ -343,6 +347,27 @@ impl Operator {
     /// paper's §IV-C compile-time metrics.
     pub fn op_counts(&self) -> &OpCounts {
         &self.counts
+    }
+
+    /// Per-point flop count of the bytecode the executor actually runs:
+    /// the sum over clusters of the fused program's
+    /// [`CompiledCluster::flop_count`](mpix_codegen::CompiledCluster::flop_count)
+    /// (fused ops are costed at full arithmetic weight, so fusion never
+    /// changes the number). Admission pricing derives per-point work
+    /// from this — re-computed from the compiler on every build, never
+    /// a per-solver constant — so it tracks compiler improvements (e.g.
+    /// the CSE fix that dropped viscoelastic to ~580 flops/pt)
+    /// automatically. Memoized: the bytecode compile is cheap but not
+    /// free, and serve prices every job at admission.
+    pub fn bytecode_flops(&self) -> usize {
+        *self.bc_flops.get_or_init(|| {
+            self.clusters
+                .iter()
+                .map(|cl| {
+                    mpix_codegen::fuse_cluster(mpix_codegen::compile_cluster(cl)).flop_count()
+                })
+                .sum()
+        })
     }
 
     /// The schedule tree (Listing 4).

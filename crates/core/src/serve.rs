@@ -84,6 +84,7 @@ pub struct CacheStats {
     hits: AtomicU64,
     misses: AtomicU64,
     compiles: AtomicU64,
+    evictions: AtomicU64,
 }
 
 /// A point-in-time copy of [`CacheStats`].
@@ -96,6 +97,10 @@ pub struct CacheSnapshot {
     /// Compilations actually executed. Equal to `misses` — the
     /// single-flight invariant — and to the number of unique keys seen.
     pub compiles: u64,
+    /// Ready slots dropped by the LRU capacity bound (always 0 for an
+    /// unbounded cache). A re-request of an evicted key recompiles, so
+    /// `compiles` can exceed the number of *live* keys by `evictions`.
+    pub evictions: u64,
 }
 
 impl CacheSnapshot {
@@ -114,6 +119,7 @@ impl CacheSnapshot {
             "hits": self.hits,
             "misses": self.misses,
             "compiles": self.compiles,
+            "evictions": self.evictions,
             "hit_rate": self.hit_rate(),
         })
     }
@@ -154,22 +160,57 @@ impl Drop for CompileGuard<'_> {
     }
 }
 
+/// One cache entry: the slot plus its recency stamp for LRU eviction.
+struct Entry {
+    slot: Arc<Slot>,
+    last_used: u64,
+}
+
+/// The mutex-protected cache interior: the key map and a monotone use
+/// counter (incremented per request) that stamps entries for LRU order.
+#[derive(Default)]
+struct CacheMap {
+    slots: HashMap<OperatorKey, Entry>,
+    tick: u64,
+}
+
 /// A concurrent, content-addressed map from [`OperatorKey`] to compiled
 /// executable, with single-flight compilation: for each key, exactly one
 /// requester compiles; concurrent requesters for the same key block
-/// until the artifact is ready and then share it. Entries are never
-/// evicted — compiled operators are small (bytecode programs plus JIT
-/// module tables) and a serving process wants its whole working set
-/// warm.
+/// until the artifact is ready and then share it.
+///
+/// By default entries are never evicted — compiled operators are small
+/// (bytecode programs plus JIT module tables) and a serving process
+/// wants its whole working set warm. A long-lived multi-tenant server
+/// seeing unbounded distinct operators can bound the map with
+/// [`bounded`](Self::bounded) (`MPIX_SERVE_CACHE_CAP` at the server
+/// level): inserting past the capacity evicts least-recently-used
+/// **non-in-flight** slots. A slot still compiling is never evicted —
+/// removing it would break single-flight (a concurrent request for the
+/// same key would start a second compile while waiters block on the
+/// orphaned slot). Evicting a Ready slot is safe: running jobs keep
+/// their `Arc<OperatorExec>`; only the cache's reference is dropped.
 #[derive(Default)]
 pub struct OperatorCache {
-    slots: Mutex<HashMap<OperatorKey, Arc<Slot>>>,
+    map: Mutex<CacheMap>,
+    /// Maximum live slots; `None` = unbounded.
+    cap: Option<usize>,
     stats: CacheStats,
 }
 
 impl OperatorCache {
+    /// An unbounded cache (entries live until the server drops).
     pub fn new() -> OperatorCache {
         OperatorCache::default()
+    }
+
+    /// A cache holding at most `cap` slots, LRU-evicting beyond that.
+    pub fn bounded(cap: usize) -> OperatorCache {
+        assert!(cap >= 1, "the operator cache needs at least one slot");
+        OperatorCache {
+            cap: Some(cap),
+            ..OperatorCache::default()
+        }
     }
 
     /// Fetch the artifact for `key`, compiling it with `compile` if this
@@ -186,15 +227,29 @@ impl OperatorCache {
         F: FnOnce() -> Arc<OperatorExec>,
     {
         let (slot, we_compile) = {
-            let mut slots = self.slots.lock().unwrap();
-            match slots.get(&key) {
-                Some(slot) => (Arc::clone(slot), false),
+            let mut m = self.map.lock().unwrap();
+            m.tick += 1;
+            let tick = m.tick;
+            match m.slots.get_mut(&key) {
+                Some(e) => {
+                    e.last_used = tick;
+                    (Arc::clone(&e.slot), false)
+                }
                 None => {
                     let slot = Arc::new(Slot {
                         state: Mutex::new(SlotState::Compiling),
                         ready: Condvar::new(),
                     });
-                    slots.insert(key, Arc::clone(&slot));
+                    m.slots.insert(
+                        key,
+                        Entry {
+                            slot: Arc::clone(&slot),
+                            last_used: tick,
+                        },
+                    );
+                    if let Some(cap) = self.cap {
+                        self.evict_over(&mut m, cap);
+                    }
                     (slot, true)
                 }
             }
@@ -229,9 +284,40 @@ impl OperatorCache {
         }
     }
 
-    /// Number of distinct keys ever inserted.
+    /// Drop least-recently-used non-in-flight slots until at most `cap`
+    /// remain (or nothing evictable is left — a map full of compiling
+    /// slots may transiently exceed the capacity rather than stall
+    /// admission or break single-flight).
+    fn evict_over(&self, m: &mut CacheMap, cap: usize) {
+        while m.slots.len() > cap {
+            let victim = m
+                .slots
+                .iter()
+                .filter(|(_, e)| {
+                    // try_lock: a contended state mutex means the slot is
+                    // mid-compile or being handed to waiters — in-flight
+                    // either way, so it is not a candidate.
+                    e.slot
+                        .state
+                        .try_lock()
+                        .is_ok_and(|s| !matches!(&*s, SlotState::Compiling))
+                })
+                .min_by_key(|(_, e)| e.last_used)
+                .map(|(k, _)| *k);
+            match victim {
+                Some(k) => {
+                    m.slots.remove(&k);
+                    self.stats.evictions.fetch_add(1, Ordering::Relaxed);
+                }
+                None => break,
+            }
+        }
+    }
+
+    /// Number of keys currently live in the map (evicted keys are gone;
+    /// an unbounded cache never shrinks).
     pub fn len(&self) -> usize {
-        self.slots.lock().unwrap().len()
+        self.map.lock().unwrap().slots.len()
     }
 
     pub fn is_empty(&self) -> bool {
@@ -244,6 +330,7 @@ impl OperatorCache {
             hits: self.stats.hits.load(Ordering::Relaxed),
             misses: self.stats.misses.load(Ordering::Relaxed),
             compiles: self.stats.compiles.load(Ordering::Relaxed),
+            evictions: self.stats.evictions.load(Ordering::Relaxed),
         }
     }
 }
@@ -339,6 +426,7 @@ impl Drop for RankPermit {
 /// | `MPIX_SERVE_WORKERS`    | `workers`    | worker threads, >= 1       |
 /// | `MPIX_SERVE_POOL_RANKS` | `pool_ranks` | rank slots, >= 1           |
 /// | `MPIX_SERVE_MAX_COST`   | `max_cost`   | rank-seconds bound (> 0), or `off` |
+/// | `MPIX_SERVE_CACHE_CAP`  | `cache_cap`  | max cached operators (>= 1), or `off` |
 #[derive(Clone, Debug)]
 pub struct ServeConfig {
     /// Concurrent job-executing worker threads.
@@ -349,6 +437,10 @@ pub struct ServeConfig {
     /// rank-seconds on the reference machine. `None` = no price bound
     /// (capacity bounds still apply).
     pub max_cost: Option<f64>,
+    /// Bound the [`OperatorCache`] to this many compiled operators,
+    /// LRU-evicting non-in-flight slots beyond it. `None` = unbounded
+    /// (every compiled operator stays warm for the server's lifetime).
+    pub cache_cap: Option<usize>,
 }
 
 impl Default for ServeConfig {
@@ -357,6 +449,7 @@ impl Default for ServeConfig {
             workers: 4,
             pool_ranks: 16,
             max_cost: None,
+            cache_cap: None,
         }
     }
 }
@@ -375,6 +468,11 @@ impl ServeConfig {
     pub fn with_max_cost(mut self, rank_seconds: f64) -> Self {
         assert!(rank_seconds > 0.0, "max cost must be positive");
         self.max_cost = Some(rank_seconds);
+        self
+    }
+    pub fn with_cache_cap(mut self, cap: usize) -> Self {
+        assert!(cap >= 1, "the operator cache needs at least one slot");
+        self.cache_cap = Some(cap);
         self
     }
 
@@ -400,6 +498,15 @@ impl ServeConfig {
                 _ => match v.parse::<f64>() {
                     Ok(c) if c > 0.0 && c.is_finite() => Some(c),
                     _ => panic!("MPIX_SERVE_MAX_COST={v:?}: expected rank-seconds > 0, or off"),
+                },
+            };
+        }
+        if let Ok(v) = std::env::var("MPIX_SERVE_CACHE_CAP") {
+            self.cache_cap = match v.to_ascii_lowercase().as_str() {
+                "off" | "none" => None,
+                _ => match v.parse::<usize>() {
+                    Ok(c) if c >= 1 => Some(c),
+                    _ => panic!("MPIX_SERVE_CACHE_CAP={v:?}: expected a slot count >= 1, or off"),
                 },
             };
         }
@@ -599,7 +706,10 @@ impl Server {
     pub fn start(cfg: ServeConfig, sink: RecordSink) -> Server {
         assert!(cfg.workers >= 1, "a server needs at least one worker");
         let shared = Arc::new(ServerShared {
-            cache: OperatorCache::new(),
+            cache: match cfg.cache_cap {
+                Some(cap) => OperatorCache::bounded(cap),
+                None => OperatorCache::new(),
+            },
             pool: Arc::new(RankPool::new(cfg.pool_ranks)),
             cfg,
             sink,
@@ -701,11 +811,14 @@ fn run_job(shared: &ServerShared, id: u64, job: Job) {
         summary: None,
     };
 
-    // Admission: price from compile-time op counts — no compilation, no
-    // pool slots spent on a job we refuse.
+    // Admission: price from compile-time counts — no full compilation,
+    // no pool slots spent on a job we refuse. Per-point work comes from
+    // the memoized bytecode flop count (what the executor actually
+    // runs), not a per-solver constant, so pricing tracks compiler
+    // improvements like the CSE fix instead of a stale snapshot.
     let counts = job.op.op_counts();
     let cost = mpix_perf::price_job(
-        counts.flops() as f64,
+        job.op.bytecode_flops() as f64,
         counts.bytes() as f64,
         job.op.grid().num_points() as u64,
         job.opts.nt.max(0) as u64,
@@ -814,6 +927,81 @@ mod tests {
         assert_eq!(calls.load(Ordering::Relaxed), 2);
         assert_eq!(cache.len(), 2);
         assert!((s.hit_rate() - 1.0 / 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn bounded_cache_evicts_lru_instead_of_growing() {
+        const CAP: usize = 2;
+        let cache = OperatorCache::bounded(CAP);
+        let calls = AtomicU64::new(0);
+        let factory = dummy_exec_factory(&calls);
+
+        // 3×cap distinct keys: the map must stop growing at the cap
+        // rather than monotonically accreting every key it ever saw.
+        for k in 0..(3 * CAP as u64) {
+            cache.get_or_compile(OperatorKey(k), &factory);
+            assert!(
+                cache.len() <= CAP,
+                "cache grew to {} slots past cap {CAP}",
+                cache.len()
+            );
+        }
+        let s = cache.stats();
+        assert_eq!(s.compiles, 3 * CAP as u64, "every distinct key compiled");
+        assert_eq!(
+            s.evictions,
+            2 * CAP as u64,
+            "all but the last cap keys were evicted"
+        );
+        assert_eq!(cache.len(), CAP);
+
+        // LRU order, not insertion order: touch key 4 (making key 5 the
+        // least recently used), insert a fresh key, and key 4 survives
+        // (hit, no compile) while key 5 is gone (recompiles on return).
+        let before = cache.stats().compiles;
+        let (_, hit) = cache.get_or_compile(OperatorKey(4), &factory);
+        assert!(hit, "key 4 is still cached");
+        cache.get_or_compile(OperatorKey(100), &factory);
+        let (_, hit4) = cache.get_or_compile(OperatorKey(4), &factory);
+        assert!(hit4, "recently used key survived the eviction");
+        let (_, hit5) = cache.get_or_compile(OperatorKey(5), &factory);
+        assert!(!hit5, "LRU key 5 was the victim");
+        assert_eq!(cache.stats().compiles, before + 2, "keys 100 and 5");
+    }
+
+    #[test]
+    fn compiling_slots_are_never_evicted() {
+        // A capacity-1 cache with a slow compile in flight: a second
+        // distinct key inserted mid-compile must not evict the compiling
+        // slot (that would break single-flight); the map transiently
+        // holds both, then the *ready* slot is evictable next insert.
+        let cache = Arc::new(OperatorCache::bounded(1));
+        let calls = Arc::new(AtomicU64::new(0));
+        std::thread::scope(|s| {
+            let slow = {
+                let cache = Arc::clone(&cache);
+                let calls = Arc::clone(&calls);
+                s.spawn(move || {
+                    let factory = dummy_exec_factory(&calls);
+                    cache.get_or_compile(OperatorKey(1), || {
+                        std::thread::sleep(std::time::Duration::from_millis(50));
+                        factory()
+                    })
+                })
+            };
+            // Give the slow compile time to claim its slot.
+            std::thread::sleep(std::time::Duration::from_millis(10));
+            let factory = dummy_exec_factory(&calls);
+            cache.get_or_compile(OperatorKey(2), &factory);
+            let (_, hit) = cache.get_or_compile(OperatorKey(1), &factory);
+            assert!(hit, "in-flight slot survived the over-cap insert");
+            slow.join().unwrap();
+        });
+        assert_eq!(
+            calls.load(Ordering::Relaxed),
+            2,
+            "single-flight held for key 1 throughout"
+        );
     }
 
     #[test]

@@ -31,6 +31,7 @@ pub mod iexpr;
 pub mod lowering;
 pub mod opcount;
 pub mod passes;
+pub mod precision;
 pub mod schedule;
 
 pub use cluster::{clusterize, Cluster, Stmt};
@@ -40,3 +41,4 @@ pub use iexpr::{IExpr, IdxAccess};
 pub use lowering::{lower_equations, LoweredEq, LoweringError};
 pub use opcount::{op_counts, OpCounts};
 pub use passes::{cse_cluster, lower_halo_spots};
+pub use precision::{PrecisionMap, StoragePrecision, WireFormat};

@@ -29,6 +29,16 @@ pub fn init_workspace(spec: &ModelSpec, ws: &mut Workspace) {
     spec.fill_damping(ws, "damp");
 }
 
+/// Initial value ranges the precision certificate assumes: the
+/// wavefield within ±[`crate::fp_profile::WAVE_AMP`], materials exactly
+/// as [`init_workspace`] writes them.
+pub fn fp_ranges(spec: &ModelSpec) -> Vec<(&'static str, f64, f64)> {
+    let w = crate::fp_profile::WAVE_AMP;
+    let (mlo, mhi) = crate::fp_profile::around(spec.m());
+    let (dlo, dhi) = crate::fp_profile::damp_range(spec);
+    vec![("u", -w, w), ("m", mlo, mhi), ("damp", dlo, dhi)]
+}
+
 /// The wavefield updated by this propagator.
 pub const MAIN_FIELD: &str = "u";
 

@@ -131,6 +131,27 @@ pub fn init_workspace(spec: &ModelSpec, ws: &mut Workspace) {
     spec.fill_damping(ws, "damp");
 }
 
+/// Initial value ranges the precision certificate assumes.
+pub fn fp_ranges(spec: &ModelSpec) -> Vec<(&'static str, f64, f64)> {
+    let w = crate::fp_profile::WAVE_AMP;
+    let a = crate::fp_profile::around;
+    let rho = spec.rho;
+    let mu = rho * spec.vs * spec.vs;
+    let lam = rho * spec.vp * spec.vp - 2.0 * mu;
+    let (dlo, dhi) = crate::fp_profile::damp_range(spec);
+    let mut out: Vec<(&'static str, f64, f64)> =
+        ["vx", "vy", "vz", "txx", "tyy", "tzz", "txy", "txz", "tyz"]
+            .iter()
+            .map(|&n| (n, -w, w))
+            .collect();
+    for (n, v) in [("b", 1.0 / rho), ("lam", lam), ("mu", mu)] {
+        let (lo, hi) = a(v);
+        out.push((n, lo, hi));
+    }
+    out.push(("damp", dlo, dhi));
+    out
+}
+
 pub const MAIN_FIELD: &str = "txx";
 
 /// A shared source initializer: a stress "explosion" at the centre.

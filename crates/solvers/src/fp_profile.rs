@@ -1,0 +1,101 @@
+//! Certificate assumptions for the shipped solvers.
+//!
+//! The static floating-point analysis (`mpix-analysis::fp`) produces
+//! *conditional* bounds: they hold for runs whose scalars and initial
+//! field values stay inside declared ranges. This module is the single
+//! place those declarations live for the shipped kernels, so the
+//! `mpix-lint --fp-certs` export and the empirical validation in
+//! `tests/fp_certs.rs` certify against the same assumptions. Each
+//! solver module contributes its own `fp_ranges` (next to its
+//! `init_workspace`, so the two cannot drift apart silently); this
+//! module assembles them with the scalar bindings.
+//!
+//! The crate deliberately exposes plain data (names and `f64` ranges)
+//! rather than analysis types: solvers stay independent of
+//! `mpix-analysis`, and any consumer can translate names to `FieldId`s
+//! through the operator's own context.
+
+use std::collections::BTreeMap;
+
+use crate::model::ModelSpec;
+use crate::propagator::KernelKind;
+use crate::viscoelastic::Relaxation;
+
+/// Value assumptions one precision certificate is conditional on.
+#[derive(Clone, Debug)]
+pub struct FpProfile {
+    /// Runtime scalar bindings: `dt`, `h_*`, solver scalars.
+    pub scalars: BTreeMap<String, f64>,
+    /// `(field, lo, hi)` ranges the *initial* data must lie in.
+    pub fields: Vec<(&'static str, f64, f64)>,
+}
+
+/// Wavefield amplitude the certificates assume at t = 0. Runs seeding
+/// larger initial data void the certificate (linear PDEs: rescale
+/// instead).
+pub const WAVE_AMP: f64 = 1.0;
+
+/// A tight interval around a nominal material value: wide enough to
+/// contain the f32 the workspace actually stores, no wider.
+pub(crate) fn around(v: f64) -> (f64, f64) {
+    let w = v.abs() * 1e-6 + 1e-9;
+    (v - w, v + w)
+}
+
+/// The sponge damping profile spans `[0, damping_at(corner)]`.
+pub(crate) fn damp_range(spec: &ModelSpec) -> (f64, f64) {
+    let corner = vec![0usize; spec.shape.len()];
+    (0.0, spec.damping_at(&corner) * (1.0 + 1e-6))
+}
+
+/// Assemble the certificate assumptions for one shipped kernel at the
+/// time step it actually runs with.
+pub fn fp_profile(kind: KernelKind, spec: &ModelSpec, dt: f64) -> FpProfile {
+    let mut scalars = spec.grid().spacing_bindings();
+    scalars.insert("dt".to_string(), dt);
+    let fields = match kind {
+        KernelKind::Acoustic => crate::acoustic::fp_ranges(spec),
+        KernelKind::Tti => crate::tti::fp_ranges(spec),
+        KernelKind::Elastic => crate::elastic::fp_ranges(spec),
+        KernelKind::Viscoelastic => {
+            // The relaxation ratios enter as runtime scalars; certify
+            // against the exact f32 values the runtime will pass.
+            for (k, v) in crate::viscoelastic::apply_scalars(&Relaxation::default()) {
+                scalars.insert(k, v as f64);
+            }
+            crate::viscoelastic::fp_ranges(spec)
+        }
+    };
+    FpProfile { scalars, fields }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn profiles_cover_every_field_of_their_operator() {
+        for kind in KernelKind::all() {
+            let shape: &[usize] = match kind {
+                KernelKind::Acoustic => &[12, 12],
+                _ => &[8, 8, 8],
+            };
+            let spec = ModelSpec::new(shape).with_nbl(2);
+            let p = crate::Propagator::build(kind, spec, 4);
+            let profile = fp_profile(kind, &p.spec, p.dt);
+            for f in p.op.ctx().fields() {
+                assert!(
+                    profile.fields.iter().any(|(n, _, _)| *n == f.name),
+                    "{}: field {} missing from fp profile",
+                    kind.name(),
+                    f.name
+                );
+            }
+            assert!(profile.scalars.contains_key("dt"));
+            assert!(profile.scalars.contains_key("h_x"));
+            for (_, lo, hi) in &profile.fields {
+                assert!(lo < hi);
+            }
+        }
+    }
+}

@@ -25,6 +25,7 @@
 
 pub mod acoustic;
 pub mod elastic;
+pub mod fp_profile;
 pub mod model;
 pub mod propagator;
 pub mod ricker;
@@ -32,6 +33,7 @@ pub mod tti;
 pub mod verification;
 pub mod viscoelastic;
 
+pub use fp_profile::{fp_profile, FpProfile};
 pub use model::ModelSpec;
 pub use propagator::{KernelKind, Propagator};
 pub use ricker::ricker_wavelet;

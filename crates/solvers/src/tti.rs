@@ -77,20 +77,59 @@ pub fn operator(spec: &ModelSpec, so: u32) -> Operator {
     Operator::build(ctx, grid, vec![eq_qu, eq_qv, st_u, st_v]).expect("tti operator builds")
 }
 
+/// Constant background model: tilt and azimuth (radians) and Thomsen
+/// anisotropy. Shared by [`init_workspace`] and [`fp_ranges`], so the
+/// certified ranges cannot drift from the seeded values.
+pub const THETA: f64 = 0.35;
+pub const PHI: f64 = 0.25;
+pub const EPSILON: f64 = 0.15;
+pub const DELTA: f64 = 0.08;
+
 /// Seed model parameters: constant tilt/azimuth/anisotropy background.
 pub fn init_workspace(spec: &ModelSpec, ws: &mut Workspace) {
-    let theta: f64 = 0.35; // tilt (rad)
-    let phi: f64 = 0.25; // azimuth (rad)
-    let epsilon: f64 = 0.15;
-    let delta: f64 = 0.08;
     spec.fill_constant(ws, "m", spec.m());
     spec.fill_damping(ws, "damp");
-    spec.fill_constant(ws, "cost", theta.cos());
-    spec.fill_constant(ws, "sint", theta.sin());
-    spec.fill_constant(ws, "cosp", phi.cos());
-    spec.fill_constant(ws, "sinp", phi.sin());
-    spec.fill_constant(ws, "epsf", 1.0 + 2.0 * epsilon);
-    spec.fill_constant(ws, "sqd", (1.0 + 2.0 * delta).sqrt());
+    spec.fill_constant(ws, "cost", THETA.cos());
+    spec.fill_constant(ws, "sint", THETA.sin());
+    spec.fill_constant(ws, "cosp", PHI.cos());
+    spec.fill_constant(ws, "sinp", PHI.sin());
+    spec.fill_constant(ws, "epsf", 1.0 + 2.0 * EPSILON);
+    spec.fill_constant(ws, "sqd", (1.0 + 2.0 * DELTA).sqrt());
+}
+
+/// Initial value ranges the precision certificate assumes.
+pub fn fp_ranges(spec: &ModelSpec) -> Vec<(&'static str, f64, f64)> {
+    let w = crate::fp_profile::WAVE_AMP;
+    let a = crate::fp_profile::around;
+    let (mlo, mhi) = a(spec.m());
+    let (dlo, dhi) = crate::fp_profile::damp_range(spec);
+    let mut out = vec![
+        ("u", -w, w),
+        ("v", -w, w),
+        ("m", mlo, mhi),
+        ("damp", dlo, dhi),
+    ];
+    // The rotated-Laplacian temporaries hold first derivatives of the
+    // wavefields: bounded by amplitude × the derivative stencil's
+    // coefficient sum over the smallest spacing.
+    let h_min = (0..spec.shape.len())
+        .map(|d| spec.grid().spacing(d))
+        .fold(f64::INFINITY, f64::min);
+    let q = 4.0 * w / h_min;
+    out.push(("qu", -q, q));
+    out.push(("qv", -q, q));
+    for (name, v) in [
+        ("cost", THETA.cos()),
+        ("sint", THETA.sin()),
+        ("cosp", PHI.cos()),
+        ("sinp", PHI.sin()),
+        ("epsf", 1.0 + 2.0 * EPSILON),
+        ("sqd", (1.0 + 2.0 * DELTA).sqrt()),
+    ] {
+        let (lo, hi) = a(v);
+        out.push((name, lo, hi));
+    }
+    out
 }
 
 pub const MAIN_FIELD: &str = "u";

@@ -209,6 +209,29 @@ pub fn apply_scalars(rel: &Relaxation) -> Vec<(String, f32)> {
     ]
 }
 
+/// Initial value ranges the precision certificate assumes.
+pub fn fp_ranges(spec: &ModelSpec) -> Vec<(&'static str, f64, f64)> {
+    let w = crate::fp_profile::WAVE_AMP;
+    let a = crate::fp_profile::around;
+    let rho = spec.rho;
+    let mu = rho * spec.vs * spec.vs;
+    let pi = rho * spec.vp * spec.vp;
+    let (dlo, dhi) = crate::fp_profile::damp_range(spec);
+    let mut out: Vec<(&'static str, f64, f64)> = [
+        "vx", "vy", "vz", "txx", "tyy", "tzz", "txy", "txz", "tyz", "rxx", "ryy", "rzz", "rxy",
+        "rxz", "ryz",
+    ]
+    .iter()
+    .map(|&n| (n, -w, w))
+    .collect();
+    for (n, v) in [("b", 1.0 / rho), ("pi", pi), ("mu", mu)] {
+        let (lo, hi) = a(v);
+        out.push((n, lo, hi));
+    }
+    out.push(("damp", dlo, dhi));
+    out
+}
+
 pub const MAIN_FIELD: &str = "txx";
 
 #[cfg(test)]

@@ -1,0 +1,200 @@
+//! Von Neumann stability arithmetic for explicit time updates.
+//!
+//! The CFL lint (`MPX019` in `mpix-analysis::fp`) reduces a linear,
+//! constant-coefficient time update
+//!
+//! ```text
+//! u[t+1, x] = Σ_δ c_δ · u[t, x+δ]  +  Σ_δ d_δ · u[t-1, x+δ]
+//! ```
+//!
+//! to its amplification factor `z(θ)`: substituting the Fourier mode
+//! `u[t, x] = z^t · e^{iθ·x}` turns the update into the quadratic
+//! `z² = P(θ)·z + Q(θ)` with symbol sums `P(θ) = Σ c_δ e^{iθ·δ}`,
+//! `Q(θ) = Σ d_δ e^{iθ·δ}`. The scheme is unstable iff `|z(θ)| > 1`
+//! for some wavenumber θ. This module owns the *numeric* half of that
+//! argument — symbol sums, quadratic roots, sampled maximization — on
+//! tap tables whose coefficients are already evaluated to `f64`
+//! (extraction from IR expressions lives in `mpix-analysis`, which
+//! depends on this crate and not vice versa).
+//!
+//! Sampling θ over `{0, π/2, π}` per dimension makes the verdict
+//! one-sided by construction: a sampled `|z| > 1` *proves* instability
+//! (that mode is representable on any grid with ≥ 4 points per
+//! dimension), while `|z| ≤ 1` everywhere sampled proves nothing. The
+//! consuming lint only acts on the former, so coarse sampling costs
+//! recall, never precision — the same contract as the interval lints.
+
+/// Minimal complex arithmetic; enough for symbol sums and one
+/// quadratic. (No external deps: the workspace vendors everything.)
+#[derive(Clone, Copy, Debug, PartialEq)]
+struct C {
+    re: f64,
+    im: f64,
+}
+
+impl C {
+    const ZERO: C = C { re: 0.0, im: 0.0 };
+
+    fn add(self, o: C) -> C {
+        C {
+            re: self.re + o.re,
+            im: self.im + o.im,
+        }
+    }
+
+    fn mul(self, o: C) -> C {
+        C {
+            re: self.re * o.re - self.im * o.im,
+            im: self.re * o.im + self.im * o.re,
+        }
+    }
+
+    fn scale(self, s: f64) -> C {
+        C {
+            re: self.re * s,
+            im: self.im * s,
+        }
+    }
+
+    fn abs(self) -> f64 {
+        self.re.hypot(self.im)
+    }
+
+    /// Principal square root.
+    fn sqrt(self) -> C {
+        let r = self.abs();
+        let re = ((r + self.re) / 2.0).max(0.0).sqrt();
+        let im = ((r - self.re) / 2.0).max(0.0).sqrt();
+        C {
+            re,
+            im: if self.im < 0.0 { -im } else { im },
+        }
+    }
+
+    /// `e^{iφ}`.
+    fn cis(phi: f64) -> C {
+        C {
+            re: phi.cos(),
+            im: phi.sin(),
+        }
+    }
+}
+
+/// One stencil tap: index delta per dimension and its (numeric)
+/// coefficient.
+pub type Tap = (Vec<i32>, f64);
+
+/// The symbol sum `Σ c_δ · e^{iθ·δ}` of a tap table at wavenumber θ.
+fn symbol(taps: &[Tap], theta: &[f64]) -> C {
+    taps.iter().fold(C::ZERO, |acc, (deltas, c)| {
+        let phase: f64 = deltas
+            .iter()
+            .zip(theta)
+            .map(|(&d, &th)| d as f64 * th)
+            .sum();
+        acc.add(C::cis(phase).scale(*c))
+    })
+}
+
+/// Largest root magnitude of `z² = p·z + q` (the two-step
+/// amplification polynomial); `q = 0` degenerates to the one-step
+/// factor `z = p`.
+fn max_root_mag(p: C, q: C) -> f64 {
+    if q == C::ZERO {
+        return p.abs();
+    }
+    // z = (p ± sqrt(p² + 4q)) / 2
+    let disc = p.mul(p).add(q.scale(4.0)).sqrt();
+    let a = p.add(disc).scale(0.5);
+    let b = p.add(disc.scale(-1.0)).scale(0.5);
+    a.abs().max(b.abs())
+}
+
+/// Maximum amplification-factor magnitude of the update over sampled
+/// wavenumbers `θ ∈ {0, π/2, π}^ndim`. `curr` holds the taps of the
+/// `t`-level field, `prev` the `t-1`-level taps (empty for first-order
+/// in time). A return value `> 1 + tol` proves von Neumann
+/// instability; a value `≤ 1` is *not* a stability proof (sampling).
+pub fn max_amplification(curr: &[Tap], prev: &[Tap]) -> f64 {
+    let ndim = curr
+        .iter()
+        .chain(prev)
+        .map(|(d, _)| d.len())
+        .max()
+        .unwrap_or(0);
+    if ndim == 0 {
+        return max_root_mag(symbol(curr, &[]), symbol(prev, &[]));
+    }
+    let samples = [0.0, std::f64::consts::FRAC_PI_2, std::f64::consts::PI];
+    let mut worst = 0.0f64;
+    let mut theta = vec![0.0; ndim];
+    let n_combos = samples.len().pow(ndim as u32);
+    for combo in 0..n_combos {
+        let mut c = combo;
+        for th in theta.iter_mut() {
+            *th = samples[c % samples.len()];
+            c /= samples.len();
+        }
+        worst = worst.max(max_root_mag(symbol(curr, &theta), symbol(prev, &theta)));
+    }
+    worst
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// FTCS heat equation in 1-D: `u[t+1] = (1-2r)u[t] + r(u[t,±1])`,
+    /// stable iff `r ≤ 1/2`.
+    fn ftcs(r: f64) -> Vec<Tap> {
+        vec![(vec![0], 1.0 - 2.0 * r), (vec![1], r), (vec![-1], r)]
+    }
+
+    #[test]
+    fn ftcs_diffusion_stability_threshold() {
+        assert!(max_amplification(&ftcs(0.4), &[]) <= 1.0 + 1e-12);
+        assert!(max_amplification(&ftcs(0.5), &[]) <= 1.0 + 1e-12);
+        // r = 0.75: g(π) = 1 - 4r = -2.
+        let g = max_amplification(&ftcs(0.75), &[]);
+        assert!((g - 2.0).abs() < 1e-12, "{g}");
+    }
+
+    /// Leapfrog wave equation in 1-D with Courant number `c`:
+    /// `u[t+1] = 2(1-c²)u[t] + c²(u[t,±1]) - u[t-1]`, stable iff c ≤ 1.
+    fn leapfrog(c2: f64) -> (Vec<Tap>, Vec<Tap>) {
+        (
+            vec![(vec![0], 2.0 * (1.0 - c2)), (vec![1], c2), (vec![-1], c2)],
+            vec![(vec![0], -1.0)],
+        )
+    }
+
+    #[test]
+    fn leapfrog_wave_stability_threshold() {
+        let (c, p) = leapfrog(0.81); // Courant 0.9: |z| = 1 exactly.
+        assert!(max_amplification(&c, &p) <= 1.0 + 1e-9);
+        let (c, p) = leapfrog(1.44); // Courant 1.2: unstable at θ = π.
+        assert!(max_amplification(&c, &p) > 1.2);
+    }
+
+    #[test]
+    fn two_dimensional_sampling_reaches_the_corner_mode() {
+        // 2-D FTCS: stable iff r_x + r_y ≤ 1/2; at r_x = r_y = 0.4 the
+        // worst mode is θ = (π, π) with g = 1 - 8r = -2.2.
+        let taps = vec![
+            (vec![0, 0], 1.0 - 4.0 * 0.4),
+            (vec![1, 0], 0.4),
+            (vec![-1, 0], 0.4),
+            (vec![0, 1], 0.4),
+            (vec![0, -1], 0.4),
+        ];
+        let g = max_amplification(&taps, &[]);
+        assert!((g - 2.2).abs() < 1e-12, "{g}");
+    }
+
+    #[test]
+    fn complex_sqrt_and_roots() {
+        // z² = -1 -> |z| = 1 for both roots.
+        let g = max_root_mag(C::ZERO, C { re: -1.0, im: 0.0 });
+        assert!((g - 1.0).abs() < 1e-12);
+    }
+}

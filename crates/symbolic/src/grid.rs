@@ -70,6 +70,16 @@ impl Grid {
         self.shape.iter().product()
     }
 
+    /// Concrete numeric bindings for every spacing symbol this grid
+    /// introduces (`h_x` → spacing(0), …). The map the CFL-stability
+    /// and floating-point error analyses evaluate dt/h coefficient
+    /// expressions against; callers add `dt` and solver scalars.
+    pub fn spacing_bindings(&self) -> std::collections::BTreeMap<String, f64> {
+        (0..self.ndim())
+            .map(|d| (Grid::spacing_symbol_name(d), self.spacing(d)))
+            .collect()
+    }
+
     /// Physical coordinates of grid point `idx`.
     pub fn point_coords(&self, idx: &[usize]) -> Vec<f64> {
         idx.iter()

@@ -41,6 +41,7 @@
 #![allow(clippy::needless_range_loop)]
 #![allow(clippy::manual_is_multiple_of)]
 
+pub mod cfl;
 pub mod context;
 pub mod eq;
 pub mod expr;

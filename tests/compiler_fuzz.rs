@@ -780,6 +780,86 @@ mod verification_oracle {
         );
     }
 
+    /// Floating-point lint mutants: seeded numerical defects in a real
+    /// compiled operator must be caught by exactly their owning code
+    /// (MPX015 cancellation, MPX016 accumulation amplification) — same
+    /// no-escape/no-cross-talk contract as `lint_catches_seeded_mutants`.
+    #[test]
+    fn fp_lints_catch_seeded_mutants() {
+        use mpix::analysis::fp::lint_clusters_fp;
+        use mpix::ir::iexpr::IExpr;
+        use std::collections::BTreeSet;
+
+        let build = || {
+            let mut ctx = Context::new();
+            let g = Grid::new(&[32, 32], &[1.0, 1.0]);
+            let u = ctx.add_time_function("u", &g, 4, 2);
+            let m = ctx.add_function("m", &g, 4);
+            let pde = m.center() * u.dt2() - u.laplace();
+            let st = mpix::symbolic::solve(&pde, &u.forward(), &ctx).unwrap();
+            let cl = clusterize(&lower_equations(&[st], &ctx).unwrap());
+            (ctx, cl)
+        };
+        let codes = |fs: &[mpix::analysis::lint::LintFinding]| -> BTreeSet<&'static str> {
+            fs.iter().map(|f| f.code).collect()
+        };
+
+        // The unmutated operator is clean under the structural fp pass.
+        let (ctx, cl) = build();
+        assert!(lint_clusters_fp(&ctx, &cl).is_empty());
+        let si = cl[0]
+            .stmts
+            .iter()
+            .position(|s| matches!(s, mpix::ir::cluster::Stmt::Store { .. }))
+            .unwrap();
+
+        // Mutant: scale the update by (1 − 0.99999) written as an Add —
+        // a constant pair that provably cancels by ~1e5 ≫ the 2^10
+        // condition-number threshold at every grid point.
+        let (ctx, mut cl) = build();
+        let old = cl[0].stmts[si].value().clone();
+        *cl[0].stmts[si].value_mut() = IExpr::Mul(vec![
+            IExpr::Add(vec![IExpr::Const(1.0), IExpr::Const(-0.99999)]),
+            old,
+        ]);
+        let found = lint_clusters_fp(&ctx, &cl);
+        assert_eq!(
+            codes(&found),
+            BTreeSet::from(["MPX015"]),
+            "seeded cancellation must be caught by MPX015 alone: {found:?}"
+        );
+
+        // Mutant: replace the update with a 300-tap flat accumulation of
+        // coeff·u[t] loads — it fuses into one LoadMulAdd run whose
+        // rounding-event count is far past the affine envelope for a
+        // radius-1 2-D cluster (8·2·3 + 16 = 64 events).
+        let (ctx, mut cl) = build();
+        let mpix::ir::cluster::Stmt::Store { target, .. } = &cl[0].stmts[si] else {
+            unreachable!()
+        };
+        let uf = target.field;
+        let terms: Vec<IExpr> = (0..100)
+            .flat_map(|i| {
+                [-1i32, 0, 1].map(|d| {
+                    IExpr::Mul(vec![
+                        IExpr::Const(1.0 + (i % 3) as f64 * 1e-3),
+                        IExpr::Load(mpix::ir::iexpr::IdxAccess {
+                            field: uf,
+                            time_offset: 0,
+                            deltas: vec![d, 0],
+                        }),
+                    ])
+                })
+            })
+            .collect();
+        *cl[0].stmts[si].value_mut() = IExpr::Add(terms);
+        let found = lint_clusters_fp(&ctx, &cl);
+        assert!(
+            codes(&found).contains("MPX016"),
+            "seeded accumulation chain must be caught by MPX016: {found:?}"
+        );
+    }
+
     #[test]
     fn unmutated_artifacts_verify_clean() {
         let (ctx, cl, plan) = artifacts();

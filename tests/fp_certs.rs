@@ -1,0 +1,371 @@
+//! Empirical validation of the static precision certificates.
+//!
+//! For every solver kernel at space orders {4, 8, 12, 16}, this test
+//! (1) builds the precision certificate `mpix-analysis::fp::certify`
+//! emits under the shipped [`mpix_solvers::fp_profile`] assumptions,
+//! (2) runs the operator for real through the f32 bytecode executor,
+//! (3) replays the identical computation through an f64 shadow
+//! interpreter over the cluster IR — same statement order, same
+//! per-cluster sweeps, same time-buffer rotation, same zero-padded
+//! halo — starting from the *exact* f32 initial state of the real run,
+//! and (4) asserts the observed |f32 − f64| divergence of every written
+//! field stays below the certified bound.
+//!
+//! The comparison budget is `bound_f32 + bound_f64`: the certificate
+//! bounds each arm's distance from exact real arithmetic, so the
+//! triangle inequality bounds the observable gap between the arms. A
+//! certificate claiming a tighter bound than the machine can deliver
+//! fails here — this is the teeth behind the JSON the `mpix-lint
+//! --fp-certs` export ships.
+
+use std::collections::BTreeMap;
+use std::collections::HashMap;
+use std::sync::Mutex;
+
+use mpix_analysis::fp::{certify, FpAssumptions, PrecisionCertificate};
+use mpix_ir::cluster::{Cluster, Stmt};
+use mpix_ir::iexpr::{IExpr, IdxAccess};
+use mpix_ir::precision::StoragePrecision;
+use mpix_solvers::{fp_profile, KernelKind, ModelSpec, Propagator};
+
+/// Time steps both arms run and the certificate is issued for.
+const STEPS: i64 = 3;
+
+const ORDERS: [u32; 4] = [4, 8, 12, 16];
+
+fn spec_for(kind: KernelKind) -> ModelSpec {
+    match kind {
+        // The acoustic kernel supports 2-D; the coupled systems are 3-D.
+        KernelKind::Acoustic => ModelSpec::new(&[24, 24]).with_nbl(4),
+        _ => ModelSpec::new(&[12, 12, 12]).with_nbl(2),
+    }
+}
+
+/// A smooth centred bump, amplitude 0.5 — inside the certified ±1
+/// wavefield range, smooth enough that high-order stencils see realistic
+/// (non-impulsive) data.
+fn bump(pos: &[usize], shape: &[usize]) -> f32 {
+    let mut r2 = 0.0f64;
+    for d in 0..shape.len() {
+        let x = pos[d] as f64 - shape[d] as f64 / 2.0;
+        r2 += x * x;
+    }
+    (0.5 * (-r2 / 8.0).exp()) as f32
+}
+
+/// Row-major iteration over every point of `shape`.
+fn for_each_point(shape: &[usize], mut f: impl FnMut(&[usize])) {
+    let mut pos = vec![0usize; shape.len()];
+    loop {
+        f(&pos);
+        let mut d = shape.len();
+        loop {
+            if d == 0 {
+                return;
+            }
+            d -= 1;
+            pos[d] += 1;
+            if pos[d] < shape[d] {
+                break;
+            }
+            pos[d] = 0;
+        }
+    }
+}
+
+/// The f64 shadow of the executor: global (single-rank) arrays per
+/// (field, time buffer), reads past the domain see the padded zeros the
+/// real run sees, stores commit in statement order.
+struct Shadow {
+    shape: Vec<usize>,
+    strides: Vec<usize>,
+    /// Buffer count per field, indexed by `FieldId.0`.
+    nb: Vec<usize>,
+    /// `data[field][buffer][linear index]`.
+    data: Vec<Vec<Vec<f64>>>,
+    scalars: BTreeMap<String, f64>,
+    /// Loop-invariant precomputed parameters, evaluated in f64.
+    params: Vec<f64>,
+}
+
+impl Shadow {
+    fn buffer(&self, field: u32, t: i64, toff: i32) -> usize {
+        let nb = self.nb[field as usize] as i64;
+        (((t + toff as i64) % nb + nb) % nb) as usize
+    }
+
+    /// Linear index of `pos + deltas`; `None` = outside the domain
+    /// (reads there yield the halo pad's zeros).
+    fn lin(&self, pos: &[usize], deltas: &[i32]) -> Option<usize> {
+        let mut lin = 0usize;
+        for d in 0..pos.len() {
+            let q = pos[d] as i64 + deltas[d] as i64;
+            if q < 0 || q >= self.shape[d] as i64 {
+                return None;
+            }
+            lin += q as usize * self.strides[d];
+        }
+        Some(lin)
+    }
+
+    fn load(&self, a: &IdxAccess, t: i64, pos: &[usize]) -> f64 {
+        match self.lin(pos, &a.deltas) {
+            Some(lin) => {
+                self.data[a.field.0 as usize][self.buffer(a.field.0, t, a.time_offset)][lin]
+            }
+            None => 0.0,
+        }
+    }
+
+    fn eval(&self, e: &IExpr, t: i64, pos: &[usize], temps: &[f64]) -> f64 {
+        match e {
+            IExpr::Const(c) => *c,
+            IExpr::Sym(s) => *self
+                .scalars
+                .get(s)
+                .unwrap_or_else(|| panic!("unbound scalar {s:?}")),
+            IExpr::Param(i) => self.params[*i],
+            IExpr::Temp(i) => temps[*i],
+            IExpr::Load(a) => self.load(a, t, pos),
+            IExpr::Add(xs) => xs.iter().map(|x| self.eval(x, t, pos, temps)).sum(),
+            IExpr::Mul(xs) => xs
+                .iter()
+                .fold(1.0, |acc, x| acc * self.eval(x, t, pos, temps)),
+            IExpr::Pow(b, e) => self.eval(b, t, pos, temps).powi(*e),
+            IExpr::Func(f, b) => f.apply(self.eval(b, t, pos, temps)),
+        }
+    }
+
+    /// One time step: every cluster in program order, full-domain sweep,
+    /// per-point temporaries, stores committed immediately (preserving
+    /// same-point reads of fresh values, as the real loop body does).
+    fn step(&mut self, clusters: &[Cluster], t: i64) {
+        let shape = self.shape.clone();
+        for cl in clusters {
+            let mut temps = vec![0.0f64; cl.num_temps];
+            for_each_point(&shape, |pos| {
+                for st in &cl.stmts {
+                    match st {
+                        Stmt::Let { temp, value } => {
+                            temps[*temp] = self.eval(value, t, pos, &temps);
+                        }
+                        Stmt::Store { target, value } => {
+                            let v = self.eval(value, t, pos, &temps);
+                            let b = self.buffer(target.field.0, t, target.time_offset);
+                            let lin = self
+                                .lin(pos, &target.deltas)
+                                .expect("stores stay inside the domain");
+                            self.data[target.field.0 as usize][b][lin] = v;
+                        }
+                    }
+                }
+            });
+        }
+    }
+}
+
+/// Evaluate a grid-invariant parameter definition in f64.
+fn eval_param(e: &IExpr, scalars: &BTreeMap<String, f64>, params: &[f64]) -> f64 {
+    match e {
+        IExpr::Const(c) => *c,
+        IExpr::Sym(s) => *scalars
+            .get(s)
+            .unwrap_or_else(|| panic!("unbound scalar {s:?}")),
+        IExpr::Param(i) => params[*i],
+        IExpr::Add(xs) => xs.iter().map(|x| eval_param(x, scalars, params)).sum(),
+        IExpr::Mul(xs) => xs
+            .iter()
+            .fold(1.0, |acc, x| acc * eval_param(x, scalars, params)),
+        IExpr::Pow(b, e) => eval_param(b, scalars, params).powi(*e),
+        IExpr::Func(f, b) => f.apply(eval_param(b, scalars, params)),
+        IExpr::Load(_) | IExpr::Temp(_) => panic!("parameter definitions are grid-invariant"),
+    }
+}
+
+/// Certified error budget for comparing the two arms on `field`.
+fn budget(cert: &PrecisionCertificate, field: &str) -> f64 {
+    let f32b = cert
+        .abs_bound(field, StoragePrecision::F32)
+        .unwrap_or_else(|| panic!("{}: no finite f32 bound for {field}", cert.operator));
+    let f64b = cert
+        .abs_bound(field, StoragePrecision::F64)
+        .unwrap_or_else(|| panic!("{}: no finite f64 bound for {field}", cert.operator));
+    f32b + f64b
+}
+
+fn validate(kind: KernelKind, so: u32) {
+    let spec = spec_for(kind);
+    let p = Propagator::build(kind, spec, so);
+    let label = format!("{}-so{}", kind.name(), so);
+    let ctx = p.op.ctx();
+    let shape = p.spec.padded_shape();
+
+    // The certificate, under exactly the assumptions the run satisfies.
+    let profile = fp_profile(kind, &p.spec, p.dt);
+    let mut assume = FpAssumptions::structural().with_steps(STEPS as u32);
+    for (k, v) in &profile.scalars {
+        assume = assume.with_scalar(k, *v);
+    }
+    for (name, lo, hi) in &profile.fields {
+        let f = ctx
+            .field_by_name(name)
+            .unwrap_or_else(|| panic!("{label}: profile names unknown field {name}"));
+        assume = assume.with_field(f.id, *lo, *hi);
+    }
+    let cert = certify(ctx, p.op.clusters(), &assume, &label);
+
+    // Per-field layout facts, gathered up-front (the init closure
+    // cannot see the context).
+    let field_info: Vec<(String, usize)> = ctx
+        .fields()
+        .iter()
+        .map(|f| (f.name.clone(), f.time_buffers()))
+        .collect();
+    let written: Vec<String> = cert
+        .fields
+        .iter()
+        .filter(|r| r.written)
+        .map(|r| r.name.clone())
+        .collect();
+    assert!(!written.is_empty(), "{label}: nothing written?");
+    for name in &written {
+        assert!(
+            budget(&cert, name).is_finite(),
+            "{label}: unbounded certificate for {name}"
+        );
+    }
+    let seeds: Vec<(String, Vec<i64>)> = p
+        .source_fields()
+        .iter()
+        .map(|&n| {
+            let nb = field_info.iter().find(|(fi, _)| fi == n).unwrap().1;
+            // Second-order-in-time fields start from a standing bump
+            // (t = 0 and t = −1); first-order fields seed t = 0 only.
+            let levels = if nb >= 3 { vec![0, -1] } else { vec![0] };
+            (n.to_string(), levels)
+        })
+        .collect();
+
+    // The f32 arm: the real executor (bytecode backend, one rank), with
+    // the initial f32 state snapshotted for the shadow.
+    let snapshot: Mutex<HashMap<(String, usize), Vec<f32>>> = Mutex::new(HashMap::new());
+    let opts = p.apply_options(STEPS).with_verify(false);
+    let shape_init = shape.clone();
+    let finals =
+        p.op.run(
+            &opts,
+            |ws| {
+                p.init(ws);
+                for (name, levels) in &seeds {
+                    for &lvl in levels {
+                        let arr = ws.field_data_mut(name, lvl);
+                        for_each_point(&shape_init, |pos| {
+                            arr.set_global(pos, bump(pos, &shape_init));
+                        });
+                    }
+                }
+                let mut snap = snapshot.lock().unwrap();
+                for (name, nb) in &field_info {
+                    for b in 0..*nb {
+                        snap.insert((name.clone(), b), ws.gather_at(name, b as i64));
+                    }
+                }
+            },
+            |ws| {
+                written
+                    .iter()
+                    .map(|n| (n.clone(), ws.gather(n)))
+                    .collect::<Vec<_>>()
+            },
+        )
+        .results
+        .remove(0);
+
+    // The f64 shadow arm, from the identical initial f32 bits.
+    let snap = snapshot.into_inner().unwrap();
+    let mut strides = vec![1usize; shape.len()];
+    for d in (0..shape.len() - 1).rev() {
+        strides[d] = strides[d + 1] * shape[d + 1];
+    }
+    let mut shadow = Shadow {
+        shape: shape.clone(),
+        strides,
+        nb: field_info.iter().map(|(_, nb)| *nb).collect(),
+        data: field_info
+            .iter()
+            .map(|(name, nb)| {
+                (0..*nb)
+                    .map(|b| snap[&(name.clone(), b)].iter().map(|&v| v as f64).collect())
+                    .collect()
+            })
+            .collect(),
+        scalars: profile.scalars.clone(),
+        params: Vec::new(),
+    };
+    let max_param =
+        p.op.clusters()
+            .iter()
+            .flat_map(|c| c.params.iter().map(|(i, _)| i + 1))
+            .max()
+            .unwrap_or(0);
+    let mut params = vec![0.0f64; max_param];
+    for cl in p.op.clusters() {
+        for (i, def) in &cl.params {
+            params[*i] = eval_param(def, &shadow.scalars, &params);
+        }
+    }
+    shadow.params = params;
+    for t in 0..STEPS {
+        shadow.step(p.op.clusters(), t);
+    }
+
+    // Observed divergence vs certified budget, per written field.
+    let mut moved = 0.0f32;
+    for (name, got) in &finals {
+        let fi = field_info.iter().position(|(n, _)| n == name).unwrap();
+        let b = shadow.buffer(fi as u32, STEPS, 0);
+        let reference = &shadow.data[fi][b];
+        assert_eq!(got.len(), reference.len(), "{label}/{name}: shape mismatch");
+        let observed = got
+            .iter()
+            .zip(reference)
+            .map(|(&a, &b)| (a as f64 - b).abs())
+            .fold(0.0f64, f64::max);
+        let allowed = budget(&cert, name);
+        assert!(
+            observed <= allowed,
+            "{label}: field {name} diverged {observed:.3e} > certified {allowed:.3e}"
+        );
+        moved += got.iter().map(|v| v.abs()).sum::<f32>();
+    }
+    // Guard against a vacuous pass: the run must have actually moved data.
+    assert!(moved > 0.0, "{label}: all written fields are zero");
+}
+
+#[test]
+fn acoustic_certified_bounds_hold_empirically() {
+    for so in ORDERS {
+        validate(KernelKind::Acoustic, so);
+    }
+}
+
+#[test]
+fn tti_certified_bounds_hold_empirically() {
+    for so in ORDERS {
+        validate(KernelKind::Tti, so);
+    }
+}
+
+#[test]
+fn elastic_certified_bounds_hold_empirically() {
+    for so in ORDERS {
+        validate(KernelKind::Elastic, so);
+    }
+}
+
+#[test]
+fn viscoelastic_certified_bounds_hold_empirically() {
+    for so in ORDERS {
+        validate(KernelKind::Viscoelastic, so);
+    }
+}

@@ -1,0 +1,107 @@
+//! Golden test for the `mpix-lint --json` finding layout.
+//!
+//! The JSON report is parsed by downstream tooling (baselines, CI
+//! annotators), so the per-finding object is a compatibility surface:
+//! field order is fixed (`severity`, `pass`, `location`, `explanation`,
+//! `code`, `level`) and the registry `level` — post-`MPIX_LINT`
+//! overrides — rides along on every coded finding. The binary emits
+//! findings through `mpix_bench::lint_finding_json`, which is what this
+//! file pins; a layout change must update the goldens here knowingly.
+
+use mpix_analysis::lint::{LintConfig, LintLevel, LINTS};
+use mpix_bench::lint_finding_json;
+use mpix_trace::{Diagnostic, Severity, Value};
+
+#[test]
+fn finding_json_matches_golden() {
+    let d = Diagnostic::new(
+        Severity::Warning,
+        "lint",
+        "cluster 0, stmt 2",
+        "operands cancel to ~0 while inputs are O(1)",
+    )
+    .with_code("MPX015");
+    let golden = "\
+{
+  \"severity\": \"warning\",
+  \"pass\": \"lint\",
+  \"location\": \"cluster 0, stmt 2\",
+  \"explanation\": \"operands cancel to ~0 while inputs are O(1)\",
+  \"code\": \"MPX015\",
+  \"level\": \"warn\"
+}";
+    let j = lint_finding_json(&d, &LintConfig::new());
+    assert_eq!(
+        j.pretty(),
+        golden,
+        "mpix-lint --json finding layout drifted"
+    );
+}
+
+#[test]
+fn level_reflects_mpix_lint_overrides() {
+    let d = Diagnostic::new(
+        Severity::Error,
+        "lint",
+        "cluster 1",
+        "divisor is provably zero",
+    )
+    .with_code("MPX002");
+    let cfg = LintConfig::parse("MPX002=allow");
+    let golden = "\
+{
+  \"severity\": \"error\",
+  \"pass\": \"lint\",
+  \"location\": \"cluster 1\",
+  \"explanation\": \"divisor is provably zero\",
+  \"code\": \"MPX002\",
+  \"level\": \"allow\"
+}";
+    assert_eq!(lint_finding_json(&d, &cfg).pretty(), golden);
+}
+
+#[test]
+fn uncoded_diagnostics_carry_no_level() {
+    // Non-lint diagnostics (sanitizer, verify) pass through unchanged:
+    // the object is exactly Diagnostic::to_json, no trailing level.
+    let d = Diagnostic::new(Severity::Warning, "mpix-san", "field u", "leak");
+    let j = lint_finding_json(&d, &LintConfig::new());
+    assert_eq!(j.pretty(), d.to_json().pretty());
+    assert!(j.get("level").is_none());
+}
+
+#[test]
+fn field_order_is_stable_for_every_registry_code() {
+    // Parsers index by position at their peril, but the documented
+    // order must at least be identical across codes and levels.
+    for l in LINTS {
+        for (lv, name) in [
+            (LintLevel::Allow, "allow"),
+            (LintLevel::Warn, "warn"),
+            (LintLevel::Deny, "deny"),
+        ] {
+            let mut cfg = LintConfig::new();
+            cfg.set(l.code, lv);
+            let d = Diagnostic::new(Severity::Warning, "lint", "loc", "x").with_code(l.code);
+            let j = lint_finding_json(&d, &cfg);
+            let Value::Obj(kv) = &j else {
+                panic!("finding is an object")
+            };
+            let keys: Vec<&str> = kv.iter().map(|(k, _)| k.as_str()).collect();
+            assert_eq!(
+                keys,
+                [
+                    "severity",
+                    "pass",
+                    "location",
+                    "explanation",
+                    "code",
+                    "level"
+                ],
+                "{}",
+                l.code
+            );
+            assert_eq!(j.get("level").and_then(Value::as_str), Some(name));
+        }
+    }
+}

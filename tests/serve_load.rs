@@ -353,3 +353,75 @@ fn jit_modules_survive_across_runs_of_one_operator() {
         "the second run reused the cached native modules"
     );
 }
+
+#[test]
+fn admission_prices_from_bytecode_flop_count() {
+    // The bytecode count must agree with the AST-level OpCounts for
+    // every shipped kernel at SDO 8 — the two are derived independently
+    // (IExpr walk vs. compiled-program op weights), so agreement means
+    // neither has drifted into a stale snapshot of the compiler.
+    for kind in KernelKind::all() {
+        let shape: &[usize] = match kind {
+            KernelKind::Acoustic => &[16, 16],
+            _ => &[10, 10, 10],
+        };
+        let p = Propagator::build(kind, ModelSpec::new(shape).with_nbl(2), 8);
+        assert_eq!(
+            p.op.bytecode_flops(),
+            p.op.op_counts().flops(),
+            "{}: bytecode and AST flop counts drifted apart",
+            p.kind.name()
+        );
+    }
+
+    // Pin the post-CSE viscoelastic count, and pin the price the serve
+    // layer actually admits it at to the price derived from that count:
+    // reintroducing a pre-CSE per-solver constant (~700 flops/pt) would
+    // change the recorded rank-seconds and fail here.
+    let p = Arc::new(Propagator::build(
+        KernelKind::Viscoelastic,
+        ModelSpec::new(&[10, 10, 10]).with_nbl(2),
+        8,
+    ));
+    assert_eq!(
+        p.op.bytecode_flops(),
+        580,
+        "viscoelastic SDO-8 flops/pt after the CSE fix"
+    );
+
+    let opts = job_opts(&p, HaloMode::Basic, 2, false);
+    let expected = mpix_perf::price_job(
+        580.0,
+        p.op.op_counts().bytes() as f64,
+        p.op.grid().num_points() as u64,
+        opts.nt as u64,
+        opts.ranks,
+        &mpix_perf::archer2_node(),
+    );
+
+    let (sink, records) = collecting_sink();
+    let server = Server::start(
+        ServeConfig::default().with_workers(1).with_pool_ranks(2),
+        sink,
+    );
+    let init = Arc::clone(&p);
+    server.submit(Job::new("priced", Arc::clone(&p.op), opts).with_init(move |ws| init.init(ws)));
+    let report = server.shutdown();
+    assert_eq!(report.done, 1);
+
+    let records = records.lock().unwrap();
+    let job = records
+        .iter()
+        .find(|r| r.get("record").and_then(Value::as_str) == Some("job"))
+        .expect("one job record");
+    let priced = job
+        .get("cost")
+        .and_then(|c| c.get("rank_seconds"))
+        .and_then(Value::as_f64)
+        .expect("job record carries the admission price");
+    assert!(
+        (priced - expected.rank_seconds).abs() <= 1e-9 * expected.rank_seconds,
+        "admission priced {priced} rank-seconds; bytecode-derived price is {}",
+        expected.rank_seconds
+    );
+}
